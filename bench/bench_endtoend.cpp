@@ -1,0 +1,92 @@
+// Lemmas 9/10: end-to-end AER, plus the resilience curve.
+//
+//   Lemma 9 (sync, non-rushing): O(1) rounds, O~(n) total messages.
+//   Lemma 10 (async): O(log n / log log n) time, O~(n) total messages.
+//
+// First table: rounds/time and total messages vs n for both models, with
+// messages normalized by n * d^3 (the Fw1 relay volume of the algorithm as
+// published — see EXPERIMENTS.md for the accounting discussion).
+//
+// Second table: the resilience curve. At fixed n we sweep the corrupt
+// fraction toward the paper's t < (1/3 - eps) n bound with quorums sized for
+// the margin, showing where the quorum-majority filters give out at
+// laptop-scale d (the paper's guarantee is asymptotic in d ~ log n / eps^2).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "fba.h"
+
+int main(int argc, char** argv) {
+  using namespace fba;
+  using namespace fba::benchutil;
+  const Scale scale = parse_scale(argc, argv);
+  print_banner("Lemmas 9/10: end-to-end AER + resilience curve",
+               "completion time and total messages vs n; success vs t/n");
+
+  Table table({"model", "n", "d", "time", "msgs", "msgs/(n d^3)", "bits/node",
+               "agree"});
+  Stopwatch watch;
+
+  for (std::size_t n : protocol_sizes(scale)) {
+    for (auto model : {aer::Model::kSyncNonRushing, aer::Model::kAsync}) {
+      aer::AerConfig cfg;
+      cfg.n = n;
+      cfg.seed = 20130722;
+      cfg.model = model;
+      const aer::AerReport r = run_aer(cfg);
+      const double d3 = std::pow(double(r.d), 3.0);
+      table.add_row({aer::model_name(model),
+                     Table::num(static_cast<std::uint64_t>(n)),
+                     Table::num(static_cast<std::uint64_t>(r.d)),
+                     Table::num(r.completion_time, 2),
+                     Table::num(r.total_messages),
+                     Table::num(double(r.total_messages) / (double(n) * d3), 3),
+                     Table::num(r.amortized_bits, 0),
+                     r.agreement ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  // Resilience: success rate vs corrupt fraction at n = 128, d = 24.
+  std::printf("\nresilience curve (n=128, d=24, knowledgeable = 95%% of"
+              " correct, %s seeds/point):\n",
+              scale == Scale::kQuick ? "3" : "10");
+  const std::size_t seeds = scale == Scale::kQuick ? 3 : 10;
+  Table resilience({"t/n", "t", "know/all", "agree rate", "mean decided",
+                    "wrong decisions"});
+  for (const double frac : {0.00, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}) {
+    std::size_t agreed = 0, decided_sum = 0, wrong = 0, know = 0;
+    std::size_t correct_sum = 0;
+    for (std::size_t seed = 1; seed <= seeds; ++seed) {
+      aer::AerConfig cfg;
+      cfg.n = 128;
+      cfg.seed = seed;
+      cfg.corrupt_fraction = frac;
+      cfg.d_override = 24;
+      cfg.max_rounds = 60;
+      const aer::AerReport r = run_aer(cfg);
+      agreed += r.agreement ? 1 : 0;
+      decided_sum += r.decided_count;
+      correct_sum += r.correct_count;
+      wrong += r.decided_count - r.decided_gstring;
+      know = r.knowledgeable_count;
+    }
+    resilience.add_row(
+        {Table::num(frac, 2),
+         Table::num(static_cast<std::uint64_t>(
+             std::floor(frac * 128))),
+         Table::num(double(know) / 128.0, 2),
+         Table::num(double(agreed) / double(seeds), 2),
+         Table::num(double(decided_sum) / double(correct_sum), 3),
+         Table::num(static_cast<std::uint64_t>(wrong))});
+  }
+  resilience.print(std::cout);
+  std::printf(
+      "\npaper: t < (1/3 - eps) n with d = O(log n) scaled to eps; at"
+      " laptop-scale d the liveness cliff appears as the correct-and-"
+      "knowledgeable fraction approaches 1/2 — safety (zero wrong"
+      " decisions) holds everywhere.\n");
+  std::printf("[endtoend done in %.1fs]\n", watch.seconds());
+  return 0;
+}

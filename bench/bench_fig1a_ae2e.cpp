@@ -1,0 +1,163 @@
+// Figure 1(a): almost-everywhere to everywhere comparison.
+//
+// Paper columns: Time, Bits, Load-Balanced for [KLST11] (sync rushing),
+// AER (sync non-rushing) and AER (async). We regenerate the table
+// empirically: for each n, run
+//   AER  under sync-non-rushing / sync-rushing / async,
+//   SQRT-SAMPLE (the KLST11-style load-balanced comparator), and
+//   FLOOD-ALL (the classical reference point),
+// and report decision time (rounds / normalized async time), amortized bits
+// per node, the per-node maximum, and the load-balance ratio (max/mean).
+//
+// Expected shapes (paper): AER's time is flat in n under a non-rushing
+// adversary and grows slowly under rushing/async; AER's bits grow
+// poly-logarithmically (vs ~sqrt(n) polylog for SQRT-SAMPLE and ~n for
+// FLOOD-ALL — note the d^3 relay constant keeps AER's absolute bits above
+// the baselines until far larger n; the growth *slopes* are the
+// reproduction target, see EXPERIMENTS.md); AER is not load-balanced while
+// SQRT-SAMPLE and FLOOD-ALL are.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "fba.h"
+
+namespace {
+
+using namespace fba;
+
+aer::AerConfig base_config(std::size_t n, aer::Model model) {
+  aer::AerConfig cfg;
+  cfg.n = n;
+  cfg.seed = 20130722;  // PODC'13, July 22
+  cfg.model = model;
+  return cfg;
+}
+
+struct Series {
+  std::string label;
+  std::vector<double> bits;
+};
+
+void print_growth(const std::vector<std::size_t>& sizes,
+                  const std::vector<Series>& series) {
+  std::printf("\nper-node bit growth when n doubles (slope ~ 2^p per size step):\n");
+  for (const auto& s : series) {
+    std::printf("  %-18s", s.label.c_str());
+    for (std::size_t i = 1; i < s.bits.size(); ++i) {
+      const double ratio = s.bits[i] / s.bits[i - 1];
+      const double step = std::log2(static_cast<double>(sizes[i]) /
+                                    static_cast<double>(sizes[i - 1]));
+      std::printf("  x%.2f (n^%.2f)", ratio, std::log2(ratio) / step);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fba::benchutil;
+  const Scale scale = parse_scale(argc, argv);
+  print_banner("Figure 1(a): almost-everywhere to everywhere comparison",
+               "time / amortized bits / load balance across reductions");
+
+  Table table({"protocol", "model", "n", "time", "bits/node", "max bits/node",
+               "imbalance", "load-balanced", "decided", "agree"});
+  std::vector<std::size_t> sizes = protocol_sizes(scale);
+  std::vector<Series> series = {{"AER", {}},
+                                {"SQRT-SAMPLE", {}},
+                                {"FLOOD-ALL", {}}};
+
+  Stopwatch watch;
+  for (std::size_t n : sizes) {
+    struct Row {
+      const char* protocol;
+      aer::AerReport report;
+    };
+    std::vector<Row> rows;
+
+    for (auto model : {aer::Model::kSyncNonRushing, aer::Model::kSyncRushing,
+                       aer::Model::kAsync}) {
+      rows.push_back({"AER", run_aer(base_config(n, model))});
+    }
+    {
+      aer::AerWorld world =
+          aer::build_aer_world(base_config(n, aer::Model::kSyncRushing));
+      rows.push_back({"SQRT-SAMPLE", baseline::run_sqrtsample_world(world)});
+    }
+    {
+      aer::AerWorld world =
+          aer::build_aer_world(base_config(n, aer::Model::kSyncRushing));
+      rows.push_back({"FLOOD-ALL", baseline::run_flood_world(world)});
+    }
+
+    for (const auto& row : rows) {
+      const auto& r = row.report;
+      const bool balanced = r.sent_bits.imbalance() < 1.5;
+      table.add_row({row.protocol, aer::model_name(r.model),
+                     Table::num(static_cast<std::uint64_t>(n)),
+                     Table::num(r.completion_time, 2),
+                     Table::num(r.amortized_bits, 0),
+                     Table::num(r.sent_bits.max, 0),
+                     Table::num(r.sent_bits.imbalance(), 2),
+                     balanced ? "yes" : "no",
+                     Table::num(static_cast<std::uint64_t>(r.decided_count)) +
+                         "/" +
+                         Table::num(
+                             static_cast<std::uint64_t>(r.correct_count)),
+                     r.agreement ? "yes" : "NO"});
+    }
+    // Collect the sync-rushing rows for slope reporting.
+    series[0].bits.push_back(rows[1].report.amortized_bits);
+    series[1].bits.push_back(rows[3].report.amortized_bits);
+    series[2].bits.push_back(rows[4].report.amortized_bits);
+  }
+
+  table.print(std::cout);
+  print_growth(sizes, series);
+
+  // The "Load-Balanced: No" column: the quorum-seizure load-skew attack
+  // ("force these nodes to verify an almost-linear number of strings") vs
+  // SQRT-SAMPLE's reply cap under the same corruption.
+  std::printf("\nload balance under the quorum-seizure attack"
+              " (t/n = 0.30, victim node 0):\n");
+  Table skew({"protocol", "n", "strings planted on victim",
+              "victim sent bits", "mean sent bits", "victim/mean"});
+  for (std::size_t n : {std::size_t(256), std::size_t(512)}) {
+    aer::AerConfig cfg = base_config(n, aer::Model::kSyncRushing);
+    cfg.corrupt_fraction = 0.30;
+    cfg.max_rounds = 40;
+    std::size_t planted = 0;
+    aer::AerWorld world = aer::build_aer_world(cfg);
+    std::unique_ptr<adv::LoadSkewStrategy> strategy;
+    const aer::AerReport r = aer::run_aer_world(
+        world, [&planted](const aer::AerWorldView& view) {
+          auto s = std::make_unique<adv::LoadSkewStrategy>(view, 0, 2048);
+          planted = s->strings_planted();
+          return s;
+        });
+    // Per-node sent bits: victim (node 0) vs mean.
+    const double victim_bits = r.sent_bits.max;  // victim dominates max
+    skew.add_row({"AER", Table::num(static_cast<std::uint64_t>(n)),
+                  Table::num(static_cast<std::uint64_t>(planted)),
+                  Table::num(victim_bits, 0), Table::num(r.sent_bits.mean, 0),
+                  Table::num(victim_bits / r.sent_bits.mean, 2)});
+
+    aer::AerWorld sq_world = aer::build_aer_world(cfg);
+    const aer::AerReport sq = baseline::run_sqrtsample_world(sq_world);
+    skew.add_row({"SQRT-SAMPLE", Table::num(static_cast<std::uint64_t>(n)),
+                  "n/a (reply cap)", Table::num(sq.sent_bits.max, 0),
+                  Table::num(sq.sent_bits.mean, 0),
+                  Table::num(sq.sent_bits.max / sq.sent_bits.mean, 2)});
+  }
+  skew.print(std::cout);
+
+  std::printf("\npaper's asymptotic columns: AER time O(1) SNR /"
+              " O(log n/log log n) async; bits O(polylog);"
+              " KLST11-style bits O~(sqrt n), load-balanced.\n"
+              "The victim/mean ratio is unbounded in n for AER (string"
+              " search keeps paying) but capped for SQRT-SAMPLE.\n");
+  std::printf("[fig1a done in %.1fs]\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the primitives everything else is
+// built from: SipHash, Feistel permutations, quorum/poll-list evaluation,
+// the memoizing caches, and raw engine message throughput. Not a paper
+// artifact; used to keep the simulator fast enough for the protocol sweeps
+// and to quantify the invertible-sampler design decision (DESIGN.md §6).
+#include <benchmark/benchmark.h>
+
+#include "fba.h"
+
+namespace {
+
+using namespace fba;
+
+void BM_SipHashWords(benchmark::State& state) {
+  const SipKey key{1, 2};
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(siphash_words(key, {x++, 42, 7}));
+  }
+}
+BENCHMARK(BM_SipHashWords);
+
+void BM_FeistelForward(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  FeistelPermutation perm(n, SipKey{3, 4});
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm.forward(x));
+    x = (x + 1) % n;
+  }
+}
+BENCHMARK(BM_FeistelForward)->Arg(1024)->Arg(65536);
+
+void BM_FeistelInverse(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  FeistelPermutation perm(n, SipKey{3, 4});
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm.inverse(x));
+    x = (x + 1) % n;
+  }
+}
+BENCHMARK(BM_FeistelInverse)->Arg(1024)->Arg(65536);
+
+void BM_QuorumEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sampler::QuorumSampler sampler(sampler::SamplerParams::defaults(n, 1), 0x11);
+  NodeId x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.quorum(0xabc, x));
+    x = (x + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations() * sampler.d());
+}
+BENCHMARK(BM_QuorumEval)->Arg(1024)->Arg(16384);
+
+void BM_QuorumTargets(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sampler::QuorumSampler sampler(sampler::SamplerParams::defaults(n, 1), 0x11);
+  NodeId y = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.targets(0xabc, y));
+    y = (y + 1) % n;
+  }
+}
+BENCHMARK(BM_QuorumTargets)->Arg(1024)->Arg(16384);
+
+void BM_QuorumCacheHit(benchmark::State& state) {
+  sampler::QuorumSampler sampler(sampler::SamplerParams::defaults(4096, 1),
+                                 0x11);
+  sampler::QuorumCache cache(sampler);
+  cache.get(7, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.contains(7, 3, 1));
+  }
+}
+BENCHMARK(BM_QuorumCacheHit);
+
+void BM_PollListEval(benchmark::State& state) {
+  sampler::PollSampler sampler(sampler::SamplerParams::defaults(4096, 1),
+                               0x44);
+  PollLabel r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.poll_list(5, r++));
+  }
+}
+BENCHMARK(BM_PollListEval);
+
+/// Raw engine throughput: one actor ping-pong pair, measured per delivery.
+void BM_SyncEngineDelivery(benchmark::State& state) {
+  struct Wire final : sim::Wire {
+    std::size_t node_id_bits() const override { return 12; }
+    std::size_t label_bits() const override { return 24; }
+    std::size_t string_bits(StringId) const override { return 48; }
+  };
+  struct Ping final : sim::Payload {
+    std::size_t bit_size(const sim::Wire&) const override { return 8; }
+    const char* kind() const override { return "ping"; }
+  };
+  struct Bouncer final : sim::Actor {
+    void on_start(sim::Context& ctx) override {
+      ctx.send(1 - ctx.self(), std::make_shared<Ping>());
+    }
+    void on_message(sim::Context& ctx, const sim::Envelope& env) override {
+      ctx.send(env.src, env.payload);
+    }
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::SyncConfig cfg;
+    cfg.n = 2;
+    cfg.max_rounds = 1000;
+    sim::SyncEngine engine(cfg);
+    Wire wire;
+    engine.set_wire(&wire);
+    engine.set_actor(0, std::make_unique<Bouncer>());
+    engine.set_actor(1, std::make_unique<Bouncer>());
+    state.ResumeTiming();
+    engine.run([] { return false; });
+    benchmark::DoNotOptimize(engine.metrics().total_messages());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SyncEngineDelivery);
+
+void BM_BitStringDigest(benchmark::State& state) {
+  Rng rng(1);
+  const BitString s = BitString::random(64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.digest());
+  }
+}
+BENCHMARK(BM_BitStringDigest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

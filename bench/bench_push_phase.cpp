@@ -1,0 +1,134 @@
+// Lemmas 3-5: the push phase.
+//
+//   Lemma 3: each correct node sends O(log n) push messages of O(log n)
+//            bits — push traffic per node is O(log^2 n).
+//   Lemma 4: the summed candidate-list size is O(n), even under coordinated
+//            junk diffusion.
+//   Lemma 5: w.h.p. every correct node ends the phase with gstring in its
+//            candidate list.
+//
+// The bench runs the push phase (one synchronous round suffices: pushes are
+// sent at round 0 and counted during round 1) across n, with and without
+// the junk-push adversary, and prints per-node push bits, Sum|L_x| / n and
+// the number of nodes missing gstring.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "fba.h"
+
+namespace {
+
+using namespace fba;
+
+struct PushOutcome {
+  double push_bits_per_node = 0;
+  double push_msgs_per_node = 0;
+  double lists_per_node = 0;
+  std::size_t max_list = 0;
+  std::size_t missing = 0;
+  std::size_t d = 0;
+};
+
+/// Runs only the diffusion: round 0 sends pushes, round 1 delivers them and
+/// finalizes the candidate lists. Pull traffic queued for later rounds is
+/// never delivered, so large n stays cheap.
+PushOutcome run_push_only(std::size_t n, std::uint64_t seed,
+                          const aer::StrategyFactory& strategy_factory) {
+  aer::AerConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.model = aer::Model::kSyncRushing;
+  cfg.max_rounds = 1;
+
+  aer::AerWorld world = aer::build_aer_world(cfg);
+  std::vector<aer::AerNode*> nodes(n, nullptr);
+
+  sim::SyncConfig ec;
+  ec.n = n;
+  ec.seed = seed;
+  ec.max_rounds = 1;
+  sim::SyncEngine engine(ec);
+  engine.set_wire(world.shared.get());
+  engine.set_corrupt(world.view.corrupt);
+  for (NodeId id = 0; id < n; ++id) {
+    if (engine.is_corrupt(id)) continue;
+    auto actor = std::make_unique<aer::AerNode>(world.shared.get(), id,
+                                                world.view.initial[id]);
+    nodes[id] = actor.get();
+    engine.set_actor(id, std::move(actor));
+  }
+  std::unique_ptr<adv::Strategy> strategy;
+  if (strategy_factory) strategy = strategy_factory(world.view);
+  engine.set_strategy(strategy.get());
+  engine.run([] { return false; });
+
+  PushOutcome out;
+  out.d = cfg.resolved_d();
+  const auto& bits = engine.metrics().bits_by_kind();
+  const auto& msgs = engine.metrics().messages_by_kind();
+  if (bits.count("push") > 0) {
+    out.push_bits_per_node = double(bits.at("push")) / double(n);
+    out.push_msgs_per_node = double(msgs.at("push")) / double(n);
+  }
+  std::size_t sum_lists = 0;
+  for (aer::AerNode* node : nodes) {
+    if (node == nullptr) continue;
+    sum_lists += node->candidate_list().size();
+    out.max_list = std::max(out.max_list, node->candidate_list().size());
+    if (!node->has_candidate(world.shared->gstring)) ++out.missing;
+  }
+  out.lists_per_node = double(sum_lists) / double(world.correct.size());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fba::benchutil;
+  const Scale scale = parse_scale(argc, argv);
+  print_banner("Lemmas 3-5: push phase",
+               "push bits per node (L3), candidate-list growth (L4),"
+               " gstring coverage (L5)");
+
+  Table table({"n", "d", "adversary", "push msgs/node", "push bits/node",
+               "bits/log^2 n", "|L|/node", "max |L|", "missing gstring"});
+  Stopwatch watch;
+
+  for (std::size_t n : light_sizes(scale)) {
+    const double log2n = std::log2(double(n));
+    struct Case {
+      const char* name;
+      aer::StrategyFactory factory;
+    };
+    const Case cases[] = {
+        {"none", {}},
+        {"junk-push", [](const aer::AerWorldView& view) {
+           return std::make_unique<adv::JunkPushStrategy>(view, 3, 16);
+         }},
+        {"push-flood", [](const aer::AerWorldView& view) {
+           return std::make_unique<adv::PushFloodStrategy>(view, 64);
+         }},
+    };
+    for (const Case& c : cases) {
+      const PushOutcome out = run_push_only(n, 20130722, c.factory);
+      table.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                     Table::num(static_cast<std::uint64_t>(out.d)), c.name,
+                     Table::num(out.push_msgs_per_node, 1),
+                     Table::num(out.push_bits_per_node, 0),
+                     Table::num(out.push_bits_per_node / (log2n * log2n), 2),
+                     Table::num(out.lists_per_node, 2),
+                     Table::num(static_cast<std::uint64_t>(out.max_list)),
+                     Table::num(static_cast<std::uint64_t>(out.missing))});
+    }
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\npaper: push msgs/node = d = O(log n); bits/node = O(log^2 n) (flat"
+      " in the normalized column); Sum|L_x| = O(n) (|L|/node ~ constant);"
+      " missing = 0 w.h.p.\nNote the flood adversary buys nothing: its"
+      " pushes fail the I(s,x) membership filter.\n");
+  std::printf("[push-phase done in %.1fs]\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared bench scaffolding: sweep-size selection and wall-clock timing.
+//
+// Every bench binary regenerates one table or figure of the paper (see
+// DESIGN.md §4) and prints the corresponding rows. `--quick` shrinks sweeps
+// for smoke runs; `--large` extends them to the biggest sizes that still fit
+// a laptop-class machine.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace fba::benchutil {
+
+enum class Scale { kQuick, kDefault, kLarge };
+
+inline Scale parse_scale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return Scale::kQuick;
+    if (std::strcmp(argv[i], "--large") == 0) return Scale::kLarge;
+  }
+  return Scale::kDefault;
+}
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Network sizes for full-protocol sweeps (pull phase included).
+inline std::vector<std::size_t> protocol_sizes(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick:
+      return {128, 256};
+    case Scale::kDefault:
+      return {128, 256, 512, 1024, 2048};
+    case Scale::kLarge:
+      return {128, 256, 512, 1024, 2048, 4096};
+  }
+  return {};
+}
+
+/// Sizes for push-only / sampler sweeps (much cheaper per run).
+inline std::vector<std::size_t> light_sizes(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick:
+      return {256, 1024};
+    case Scale::kDefault:
+      return {256, 1024, 4096, 8192};
+    case Scale::kLarge:
+      return {256, 1024, 4096, 8192, 16384};
+  }
+  return {};
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_banner(const char* artifact, const char* description) {
+  std::printf("=== %s ===\n%s\n\n", artifact, description);
+}
+
+}  // namespace fba::benchutil

@@ -1,0 +1,80 @@
+// Adversary gauntlet: run AER against every strategy in the gallery and
+// print a scoreboard. Each strategy realizes the attack one of the paper's
+// lemmas defends against (see adversary/strategies.h).
+//
+//   $ ./adversary_gauntlet [n]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "fba.h"
+
+namespace {
+
+using namespace fba;
+
+struct GauntletEntry {
+  const char* name;
+  const char* lemma;
+  aer::StrategyFactory factory;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
+
+  const GauntletEntry gauntlet[] = {
+      {"silent (crash faults)", "intro",
+       [](const aer::AerWorldView&) {
+         return std::make_unique<adv::SilentStrategy>();
+       }},
+      {"coordinated junk push", "Lemma 4",
+       [](const aer::AerWorldView& view) {
+         return std::make_unique<adv::JunkPushStrategy>(view, 3, 32);
+       }},
+      {"blind push flooding", "3.1.1",
+       [](const aer::AerWorldView& view) {
+         return std::make_unique<adv::PushFloodStrategy>(view, 64);
+       }},
+      {"poll stuffing (overload)", "Lemma 6",
+       [](const aer::AerWorldView& view) {
+         return std::make_unique<adv::PollStuffStrategy>(view);
+       }},
+      {"wrong answers", "Lemma 7",
+       [](const aer::AerWorldView& view) {
+         return std::make_unique<adv::WrongAnswerStrategy>(view, 16);
+       }},
+      {"combo (junk+answers+stuff)", "all",
+       [](const aer::AerWorldView& view) {
+         auto combo = std::make_unique<adv::ComboStrategy>();
+         combo->add(std::make_unique<adv::JunkPushStrategy>(view, 2, 16));
+         combo->add(std::make_unique<adv::WrongAnswerStrategy>(view, 8));
+         combo->add(std::make_unique<adv::PollStuffStrategy>(view));
+         return combo;
+       }},
+  };
+
+  Table table({"strategy", "lemma", "decided", "wrong", "time", "bits/node",
+               "verdict"});
+  for (const auto& entry : gauntlet) {
+    aer::AerConfig cfg;
+    cfg.n = n;
+    cfg.seed = 99;
+    cfg.model = aer::Model::kSyncRushing;
+    cfg.d_override = 16;
+    const aer::AerReport r = run_aer(cfg, entry.factory);
+    const std::size_t wrong = r.decided_count - r.decided_gstring;
+    table.add_row(
+        {entry.name, entry.lemma,
+         Table::num(static_cast<std::uint64_t>(r.decided_count)) + "/" +
+             Table::num(static_cast<std::uint64_t>(r.correct_count)),
+         Table::num(static_cast<std::uint64_t>(wrong)),
+         Table::num(r.completion_time, 1), Table::num(r.amortized_bits, 0),
+         r.agreement ? "defended" : "DEGRADED"});
+  }
+
+  std::printf("AER vs the adversary gallery (n=%zu, t/n=0.08, d=16):\n\n", n);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,208 @@
+// fba_sim: command-line driver for the whole library — run any protocol
+// under any timing model and adversary, from one binary.
+//
+//   fba_sim --protocol=aer --n=512 --model=async --attack=poll-stuff
+//   fba_sim --protocol=ba --n=1024 --reduction=aer
+//   fba_sim --protocol=flood|sqrt|snowball --n=256 --corrupt=0.1
+//   fba_sim --protocol=ae --n=512 --attack=equivocate
+//
+// Flags (all optional): --n, --seed, --corrupt (fraction), --know
+// (knowledgeable fraction), --d (quorum size), --budget (answer budget),
+// --model=sync|sync-nr|async, --attack=none|silent|junk|flood|stuff|wrong|
+// combo|skew, --reduction=aer|sqrt|flood, --quiet.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "fba.h"
+
+namespace {
+
+using namespace fba;
+
+struct Options {
+  std::string protocol = "aer";
+  std::size_t n = 256;
+  std::uint64_t seed = 1;
+  double corrupt = 0.08;
+  double know = 0.95;
+  std::size_t d = 0;
+  std::size_t budget = 0;
+  std::string model = "sync";
+  std::string attack = "none";
+  std::string reduction = "aer";
+};
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    if (parse_flag(argv[i], "--protocol", value)) opt.protocol = value;
+    else if (parse_flag(argv[i], "--n", value)) opt.n = std::stoull(value);
+    else if (parse_flag(argv[i], "--seed", value)) opt.seed = std::stoull(value);
+    else if (parse_flag(argv[i], "--corrupt", value)) opt.corrupt = std::stod(value);
+    else if (parse_flag(argv[i], "--know", value)) opt.know = std::stod(value);
+    else if (parse_flag(argv[i], "--d", value)) opt.d = std::stoull(value);
+    else if (parse_flag(argv[i], "--budget", value)) opt.budget = std::stoull(value);
+    else if (parse_flag(argv[i], "--model", value)) opt.model = value;
+    else if (parse_flag(argv[i], "--attack", value)) opt.attack = value;
+    else if (parse_flag(argv[i], "--reduction", value)) opt.reduction = value;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+aer::Model parse_model(const std::string& name) {
+  if (name == "sync") return aer::Model::kSyncRushing;
+  if (name == "sync-nr") return aer::Model::kSyncNonRushing;
+  if (name == "async") return aer::Model::kAsync;
+  std::fprintf(stderr, "unknown model: %s\n", name.c_str());
+  std::exit(2);
+}
+
+aer::StrategyFactory make_attack(const std::string& name) {
+  if (name == "none") return {};
+  if (name == "silent") {
+    return [](const aer::AerWorldView&) {
+      return std::make_unique<adv::SilentStrategy>();
+    };
+  }
+  if (name == "junk") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::JunkPushStrategy>(view, 3, 32);
+    };
+  }
+  if (name == "flood") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::PushFloodStrategy>(view, 64);
+    };
+  }
+  if (name == "stuff") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::PollStuffStrategy>(view);
+    };
+  }
+  if (name == "wrong") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::WrongAnswerStrategy>(view, 16);
+    };
+  }
+  if (name == "skew") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::LoadSkewStrategy>(view, 0, 1024);
+    };
+  }
+  if (name == "combo") {
+    return [](const aer::AerWorldView& view) {
+      auto combo = std::make_unique<adv::ComboStrategy>();
+      combo->add(std::make_unique<adv::JunkPushStrategy>(view, 2, 16));
+      combo->add(std::make_unique<adv::WrongAnswerStrategy>(view, 8));
+      combo->add(std::make_unique<adv::PollStuffStrategy>(view));
+      return combo;
+    };
+  }
+  std::fprintf(stderr, "unknown attack: %s\n", name.c_str());
+  std::exit(2);
+}
+
+void print_report(const char* label, const aer::AerReport& r) {
+  std::printf("%s: n=%zu t=%zu d=%zu\n", label, r.n, r.t, r.d);
+  std::printf("  outcome : %zu/%zu decided, %zu on the common string -> %s\n",
+              r.decided_count, r.correct_count, r.decided_gstring,
+              r.agreement ? "AGREEMENT" : "no agreement");
+  std::printf("  time    : completion %.2f, mean decision %.2f\n",
+              r.completion_time, r.mean_decision_time);
+  std::printf("  traffic : %llu msgs, %.0f bits/node (max %.0f,"
+              " imbalance %.2f)\n",
+              static_cast<unsigned long long>(r.total_messages),
+              r.amortized_bits, r.sent_bits.max, r.sent_bits.imbalance());
+  for (const auto& [kind, msgs] : r.msgs_by_kind) {
+    std::printf("  %-8s: %llu msgs, %llu bits\n", kind.c_str(),
+                static_cast<unsigned long long>(msgs),
+                static_cast<unsigned long long>(r.bits_by_kind.at(kind)));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  if (opt.protocol == "ae") {
+    ae::AeConfig cfg;
+    cfg.n = opt.n;
+    cfg.seed = opt.seed;
+    cfg.corrupt_fraction = opt.corrupt;
+    const auto result =
+        ae::run_ae(cfg, opt.attack == "equivocate" || opt.attack == "combo"
+                            ? ae::ae_equivocate_strategy()
+                            : ae::AeStrategyFactory{});
+    const auto& r = result.report;
+    std::printf("AE tournament: n=%zu t=%zu committees=%zu x %zu\n", r.n, r.t,
+                r.root_size, r.committee_size);
+    std::printf("  %u rounds, %.0f bits/node, knowledgeable %zu/%zu"
+                " (precondition %s)\n",
+                r.rounds, r.amortized_bits, r.knowledgeable_count,
+                r.correct_count, r.precondition_met ? "met" : "NOT met");
+    return r.precondition_met ? 0 : 1;
+  }
+
+  if (opt.protocol == "ba") {
+    ba::BaConfig cfg;
+    cfg.n = opt.n;
+    cfg.seed = opt.seed;
+    cfg.corrupt_fraction = opt.corrupt;
+    cfg.reduction_model = parse_model(opt.model);
+    cfg.d_override = opt.d;
+    ba::Reduction reduction = ba::Reduction::kAer;
+    if (opt.reduction == "sqrt") reduction = ba::Reduction::kSqrtSample;
+    if (opt.reduction == "flood") reduction = ba::Reduction::kFlood;
+    const ba::BaReport r =
+        ba::run_ba(cfg, reduction, {}, make_attack(opt.attack));
+    std::printf("BA (%s reduction): total time %.1f, %.0f bits/node -> %s\n",
+                ba::reduction_name(reduction), r.total_time, r.amortized_bits,
+                r.agreement ? "AGREEMENT" : "no agreement");
+    print_report("  reduction phase", r.reduction);
+    return r.agreement ? 0 : 1;
+  }
+
+  // AE->E protocols on a synthetic precondition world.
+  aer::AerConfig cfg;
+  cfg.n = opt.n;
+  cfg.seed = opt.seed;
+  cfg.model = parse_model(opt.model);
+  cfg.corrupt_fraction = opt.corrupt;
+  cfg.knowledgeable_fraction = opt.know;
+  cfg.d_override = opt.d;
+  cfg.answer_budget = opt.budget;
+
+  aer::AerReport report;
+  if (opt.protocol == "aer") {
+    report = aer::run_aer(cfg, make_attack(opt.attack));
+  } else if (opt.protocol == "flood") {
+    report = baseline::run_flood(cfg, make_attack(opt.attack));
+  } else if (opt.protocol == "sqrt") {
+    report = baseline::run_sqrtsample(cfg, make_attack(opt.attack));
+  } else if (opt.protocol == "snowball") {
+    report = baseline::run_snowball(cfg, make_attack(opt.attack));
+  } else {
+    std::fprintf(stderr, "unknown protocol: %s\n", opt.protocol.c_str());
+    return 2;
+  }
+  print_report(opt.protocol.c_str(), report);
+  return report.agreement ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Quickstart: run the full Byzantine Agreement protocol (the paper's
+// composition: almost-everywhere tournament + AER) on a simulated network
+// and inspect the outcome.
+//
+//   $ ./quickstart [n]
+//
+// This is the ~40-line tour of the public API; see adversary_gauntlet.cpp
+// and async_vs_sync.cpp for adversarial and timing-model variations.
+#include <cstdio>
+#include <cstdlib>
+
+#include "fba.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 512;
+
+  fba::ba::BaConfig config;
+  config.n = n;
+  config.seed = 1;
+  config.corrupt_fraction = 0.05;  // non-adaptive Byzantine corruption
+  config.reduction_model = fba::aer::Model::kSyncRushing;
+
+  // Phase 1 (almost-everywhere agreement) + phase 2 (AER) in one call.
+  const fba::ba::BaReport report = fba::ba::run_ba(config);
+
+  std::printf("Byzantine Agreement on n=%zu nodes (t=%zu corrupt)\n", n,
+              report.ae.t);
+  std::printf("  AE tournament : %u rounds, %.0f bits/node, "
+              "%zu/%zu nodes share gstring\n",
+              report.ae.rounds, report.ae.amortized_bits,
+              report.ae.knowledgeable_count, report.ae.correct_count);
+  std::printf("  AER reduction : %.1f %s, %.0f bits/node\n",
+              report.reduction.completion_time,
+              config.reduction_model == fba::aer::Model::kAsync ? "time units"
+                                                                : "rounds",
+              report.reduction.amortized_bits);
+  std::printf("  total         : %.1f time, %.0f bits/node, %llu messages\n",
+              report.total_time, report.amortized_bits,
+              static_cast<unsigned long long>(report.total_messages));
+  std::printf("  agreement     : %s (%zu/%zu correct nodes decided the"
+              " common string)\n",
+              report.agreement ? "YES" : "NO",
+              report.reduction.decided_gstring,
+              report.reduction.correct_count);
+  return report.agreement ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+#include "adversary/adversary.h"
+
+#include <cmath>
+
+namespace fba::adv {
+
+SimTime Strategy::choose_delay(AdvContext& ctx, const sim::Envelope& env) {
+  (void)env;
+  return ctx.rng().uniform_positive();
+}
+
+std::vector<NodeId> random_corruption(std::size_t n, std::size_t t, Rng& rng) {
+  FBA_REQUIRE(t <= n, "cannot corrupt more nodes than exist");
+  auto picked = rng.sample_without_replacement(n, t);
+  return {picked.begin(), picked.end()};
+}
+
+std::size_t max_corrupt(std::size_t n, double eps) {
+  const double bound = (1.0 / 3.0 - eps) * static_cast<double>(n);
+  const auto t = static_cast<std::size_t>(std::floor(bound));
+  return t >= n ? n - 1 : t;
+}
+
+}  // namespace fba::adv

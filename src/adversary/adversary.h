@@ -1,0 +1,99 @@
+// The Byzantine adversary.
+//
+// Model (Section 2.1): non-adaptive (corrupt set fixed before execution),
+// full information (observes all traffic, knows the public samplers and the
+// whole network), coordinated (one Strategy speaks for every corrupt node).
+// Corrupt nodes can deviate arbitrarily: the Strategy sends any payload from
+// any corrupt node to anyone; authenticated channels only guarantee it
+// cannot forge a *correct* sender identity.
+//
+// Rushing vs non-rushing is a scheduling property enforced by the engines:
+//   - rushing: the strategy's per-round action runs after correct nodes have
+//     produced their round-r messages (which it has observed);
+//   - non-rushing: it runs before, so its round-r messages are chosen
+//     independently of correct round-r traffic.
+// The asynchronous engine is inherently rushing (footnote 7 of the paper):
+// the adversary picks every message's delay and thus sees sends before
+// delivery.
+#pragma once
+
+#include <vector>
+
+#include "net/envelope.h"
+#include "net/network.h"
+#include "support/random.h"
+#include "support/types.h"
+
+namespace fba::adv {
+
+/// Strategy-facing view of the engine.
+class AdvContext {
+ public:
+  explicit AdvContext(sim::EngineBase& engine) : engine_(engine) {}
+
+  std::size_t n() const { return engine_.n(); }
+  double now() const { return engine_.now(); }
+  Rng& rng() { return engine_.strategy_rng(); }
+  const std::vector<NodeId>& corrupt_nodes() const {
+    return engine_.corrupt_nodes();
+  }
+  bool is_corrupt(NodeId id) const { return engine_.is_corrupt(id); }
+
+  /// Send an arbitrary payload from a corrupt node. Rejects correct senders:
+  /// channels are authenticated.
+  void send_from(NodeId corrupt_src, NodeId dst, sim::PayloadPtr payload) {
+    FBA_REQUIRE(engine_.is_corrupt(corrupt_src),
+                "adversary can only send from corrupt nodes");
+    engine_.send_from(corrupt_src, dst, std::move(payload));
+  }
+
+ private:
+  sim::EngineBase& engine_;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// After corruption and actor setup, before any protocol activity.
+  virtual void on_setup(AdvContext& ctx) { (void)ctx; }
+
+  /// Synchronous engines: once per round. `rushing` tells the strategy
+  /// whether correct round-`round` traffic has already been observed.
+  virtual void on_round(AdvContext& ctx, Round round, bool rushing) {
+    (void)ctx;
+    (void)round;
+    (void)rushing;
+  }
+
+  /// Full-information tap: called for every message the instant it is sent
+  /// (by correct and corrupt nodes alike).
+  virtual void on_observe(AdvContext& ctx, const sim::Envelope& env) {
+    (void)ctx;
+    (void)env;
+  }
+
+  /// A message addressed to a corrupt node arrived. The strategy may react
+  /// by sending messages (asynchronous engine: immediately; synchronous:
+  /// queued for the next round).
+  virtual void on_deliver_to_corrupt(AdvContext& ctx,
+                                     const sim::Envelope& env) {
+    (void)ctx;
+    (void)env;
+  }
+
+  /// Asynchronous engine: delay, in (0, 1], for a freshly sent message.
+  /// Default: natural asynchrony (uniform). Attacks override to stretch
+  /// specific edges to the 1.0 bound.
+  virtual SimTime choose_delay(AdvContext& ctx, const sim::Envelope& env);
+};
+
+/// Picks `t` corrupt nodes uniformly at random (the default non-adaptive
+/// corruption). Attack-specific corruption (e.g. seizing whole Input
+/// Quorums) is done by the strategies in strategies.h.
+std::vector<NodeId> random_corruption(std::size_t n, std::size_t t, Rng& rng);
+
+/// Largest t allowed by the paper's resilience bound t < (1/3 - eps) n.
+std::size_t max_corrupt(std::size_t n, double eps = 0.02);
+
+}  // namespace fba::adv

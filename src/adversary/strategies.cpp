@@ -1,0 +1,357 @@
+#include "adversary/strategies.h"
+
+#include <algorithm>
+
+#include "aer/messages.h"
+
+namespace fba::adv {
+
+namespace {
+
+using aer::AnswerMsg;
+using aer::PollMsg;
+using aer::PullMsg;
+using aer::PushMsg;
+
+std::vector<NodeId> distinct(const sampler::Quorum& q) {
+  std::vector<NodeId> out;
+  for (NodeId m : q.members) {
+    if (std::find(out.begin(), out.end(), m) == out.end()) out.push_back(m);
+  }
+  return out;
+}
+
+/// How many quorums I(s, .) the corrupt coalition wins for string s — the
+/// adversary's yardstick when searching the string domain (Lemma 4 / 5).
+std::size_t quorums_won(const aer::AerShared& shared, sampler::StringKey skey,
+                        const std::vector<bool>& is_corrupt) {
+  std::size_t won = 0;
+  const std::size_t n = shared.config.n;
+  for (NodeId x = 0; x < n; ++x) {
+    const auto q = shared.samplers.push.quorum(skey, x);
+    std::size_t corrupt_slots = 0;
+    for (NodeId member : q.members) {
+      if (is_corrupt[member]) ++corrupt_slots;
+    }
+    if (corrupt_slots * 2 > q.size()) ++won;
+  }
+  return won;
+}
+
+std::vector<bool> corrupt_mask(const aer::AerWorldView& view) {
+  std::vector<bool> mask(view.initial.size(), false);
+  for (NodeId id : view.corrupt) mask[id] = true;
+  return mask;
+}
+
+}  // namespace
+
+// ----- JunkPushStrategy ------------------------------------------------------
+
+JunkPushStrategy::JunkPushStrategy(const aer::AerWorldView& view,
+                                   std::size_t num_strings,
+                                   std::size_t search_trials)
+    : shared_(view.shared) {
+  FBA_REQUIRE(num_strings >= 1, "need at least one junk string");
+  const std::size_t bits = shared_->table.get(view.gstring).size();
+  Rng rng = Rng(shared_->config.seed).split(0xbadull);
+  const std::vector<bool> is_corrupt = corrupt_mask(view);
+
+  if (search_trials == 0) {
+    for (std::size_t i = 0; i < num_strings; ++i) {
+      junk_.push_back(shared_->table.intern(BitString::random(bits, rng)));
+    }
+    return;
+  }
+  // Full-information search: sample candidate strings, keep those whose Push
+  // Quorums the coalition wins most often.
+  std::vector<std::pair<std::size_t, StringId>> scored;
+  for (std::size_t trial = 0; trial < search_trials; ++trial) {
+    const StringId id = shared_->table.intern(BitString::random(bits, rng));
+    const std::size_t won =
+        quorums_won(*shared_, shared_->key_of(id), is_corrupt);
+    scored.emplace_back(won, id);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; i < num_strings && i < scored.size(); ++i) {
+    junk_.push_back(scored[i].second);
+  }
+}
+
+void JunkPushStrategy::on_setup(AdvContext& ctx) {
+  // Push through the legitimate channels: receivers only credit quorum
+  // members, so targets(s, y) is the only send that can possibly count.
+  for (StringId s : junk_) {
+    const auto skey = shared_->key_of(s);
+    const auto payload = std::make_shared<PushMsg>(s);
+    for (NodeId y : ctx.corrupt_nodes()) {
+      for (NodeId target : shared_->samplers.push.targets(skey, y)) {
+        ctx.send_from(y, target, payload);
+      }
+    }
+  }
+}
+
+// ----- PushFloodStrategy -----------------------------------------------------
+
+PushFloodStrategy::PushFloodStrategy(const aer::AerWorldView& view,
+                                     std::size_t pushes_per_node)
+    : shared_(view.shared), pushes_per_node_(pushes_per_node) {}
+
+void PushFloodStrategy::on_setup(AdvContext& ctx) {
+  const std::size_t bits = shared_->table.get(shared_->gstring).size();
+  for (NodeId y : ctx.corrupt_nodes()) {
+    for (std::size_t i = 0; i < pushes_per_node_; ++i) {
+      const StringId junk =
+          shared_->table.intern(BitString::random(bits, ctx.rng()));
+      ctx.send_from(y, ctx.rng().node(ctx.n()),
+                    std::make_shared<PushMsg>(junk));
+    }
+  }
+}
+
+// ----- PollStuffStrategy -----------------------------------------------------
+
+PollStuffStrategy::PollStuffStrategy(const aer::AerWorldView& view,
+                                     std::size_t budget_estimate,
+                                     std::size_t label_search_budget,
+                                     bool eager)
+    : view_(view),
+      shared_(view.shared),
+      burned_(view.initial.size(), 0),
+      budget_estimate_(budget_estimate > 0
+                           ? budget_estimate
+                           : view.shared->config.resolved_answer_budget()),
+      label_search_budget_(label_search_budget),
+      eager_(eager) {}
+
+std::size_t PollStuffStrategy::victims_saturated() const {
+  std::size_t count = 0;
+  for (std::size_t units : burned_) count += units >= budget_estimate_;
+  return count;
+}
+
+void PollStuffStrategy::on_setup(AdvContext& ctx) {
+  if (!eager_) return;
+  // Strike first: setup-time sends precede all honest round-0 traffic, so
+  // victims burn budget on the adversary before serving anyone honest.
+  launch_all(ctx);
+}
+
+void PollStuffStrategy::on_observe(AdvContext& ctx, const sim::Envelope& env) {
+  // Observation-triggered mode: the first honest Poll reveals the pull
+  // phase has begun; the coalition strikes (one round late under a
+  // non-rushing schedule, immediately under rushing/async).
+  if (launched_ || eager_) return;
+  if (ctx.is_corrupt(env.src)) return;
+  if (sim::payload_cast<PollMsg>(env.payload.get()) == nullptr) return;
+  launch_all(ctx);
+}
+
+void PollStuffStrategy::on_round(AdvContext& ctx, Round round, bool rushing) {
+  (void)round;
+  (void)rushing;
+  if (!launched_ && !eager_) launch_all(ctx);
+}
+
+void PollStuffStrategy::launch_all(AdvContext& ctx) {
+  launched_ = true;
+  for (NodeId attacker : ctx.corrupt_nodes()) {
+    if (spent_attackers_.insert(attacker).second) strike(ctx, attacker);
+  }
+}
+
+void PollStuffStrategy::strike(AdvContext& ctx, NodeId attacker) {
+  // One properly routed pull per attacker (forwarders dedupe per (x, s)).
+  // Full-information search: pick the label whose poll list covers the most
+  // not-yet-saturated victims.
+  PollLabel best_r = 0;
+  long best_score = -1;
+  for (std::size_t trial = 0; trial < label_search_budget_; ++trial) {
+    const PollLabel r = shared_->samplers.poll.random_label(ctx.rng());
+    const auto list = shared_->samplers.poll.poll_list(attacker, r);
+    long score = 0;
+    for (NodeId member : list.members) {
+      if (!ctx.is_corrupt(member) && burned_[member] < budget_estimate_) {
+        ++score;
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_r = r;
+    }
+  }
+  if (best_score <= 0) return;
+  ++strikes_launched_;
+
+  const auto list = shared_->samplers.poll.poll_list(attacker, best_r);
+  const auto poll = std::make_shared<PollMsg>(shared_->gstring, best_r);
+  for (NodeId member : distinct(list)) {
+    if (ctx.is_corrupt(member)) continue;
+    ++burned_[member];
+    // The member needs (attacker, gstring) in Polled to answer (and pay).
+    ctx.send_from(attacker, member, poll);
+  }
+  const auto pull = std::make_shared<PullMsg>(shared_->gstring, best_r);
+  const auto skey = shared_->key_of(shared_->gstring);
+  for (NodeId y : distinct(shared_->samplers.pull.quorum(skey, attacker))) {
+    ctx.send_from(attacker, y, pull);
+  }
+}
+
+// ----- WrongAnswerStrategy ---------------------------------------------------
+
+WrongAnswerStrategy::WrongAnswerStrategy(const aer::AerWorldView& view,
+                                         std::size_t search_trials)
+    : pusher_(view, 1, search_trials), gstring_(view.gstring) {
+  junk_ = pusher_.junk_strings();
+}
+
+void WrongAnswerStrategy::on_setup(AdvContext& ctx) { pusher_.on_setup(ctx); }
+
+void WrongAnswerStrategy::on_deliver_to_corrupt(AdvContext& ctx,
+                                                const sim::Envelope& env) {
+  // A corrupt poll-list member answers any poll for a non-gstring candidate,
+  // trying to assemble a wrong majority at the requester.
+  const auto* poll = sim::payload_cast<PollMsg>(env.payload.get());
+  if (poll == nullptr || poll->s == gstring_) return;
+  ctx.send_from(env.dst, env.src, std::make_shared<AnswerMsg>(poll->s));
+}
+
+// ----- TargetedDelayStrategy -------------------------------------------------
+
+TargetedDelayStrategy::TargetedDelayStrategy(const aer::AerWorldView& view)
+    : TargetedDelayStrategy(view, Options()) {}
+
+TargetedDelayStrategy::TargetedDelayStrategy(const aer::AerWorldView& view,
+                                             Options options)
+    : corrupt_(view.initial.size(), false), options_(options) {
+  for (NodeId id : view.corrupt) corrupt_[id] = true;
+}
+
+SimTime TargetedDelayStrategy::choose_delay(AdvContext& ctx,
+                                            const sim::Envelope& env) {
+  (void)ctx;
+  if (corrupt_[env.src]) return options_.fast_delay;
+  if (options_.slow_everything_honest) return options_.slow_delay;
+  const char* kind = env.payload->kind();
+  const bool decisive =
+      (options_.slow_answers && std::string_view(kind) == "answer") ||
+      (options_.slow_forwards && (std::string_view(kind) == "fw1" ||
+                                  std::string_view(kind) == "fw2"));
+  return decisive ? options_.slow_delay : options_.fast_delay;
+}
+
+// ----- ComboStrategy ---------------------------------------------------------
+
+ComboStrategy& ComboStrategy::add(std::unique_ptr<Strategy> child) {
+  children_.push_back(std::move(child));
+  return *this;
+}
+
+ComboStrategy& ComboStrategy::set_delay_policy(
+    std::unique_ptr<Strategy> policy) {
+  delay_policy_ = std::move(policy);
+  return *this;
+}
+
+void ComboStrategy::on_setup(AdvContext& ctx) {
+  for (auto& child : children_) child->on_setup(ctx);
+}
+
+void ComboStrategy::on_round(AdvContext& ctx, Round round, bool rushing) {
+  for (auto& child : children_) child->on_round(ctx, round, rushing);
+}
+
+void ComboStrategy::on_observe(AdvContext& ctx, const sim::Envelope& env) {
+  for (auto& child : children_) child->on_observe(ctx, env);
+}
+
+void ComboStrategy::on_deliver_to_corrupt(AdvContext& ctx,
+                                          const sim::Envelope& env) {
+  for (auto& child : children_) child->on_deliver_to_corrupt(ctx, env);
+}
+
+SimTime ComboStrategy::choose_delay(AdvContext& ctx,
+                                    const sim::Envelope& env) {
+  if (delay_policy_) return delay_policy_->choose_delay(ctx, env);
+  return Strategy::choose_delay(ctx, env);
+}
+
+// ----- LoadSkewStrategy --------------------------------------------------------
+
+LoadSkewStrategy::LoadSkewStrategy(const aer::AerWorldView& view,
+                                   NodeId victim,
+                                   std::size_t string_search_budget)
+    : shared_(view.shared), victim_(victim) {
+  const std::vector<bool> is_corrupt = corrupt_mask(view);
+  const std::size_t bits = shared_->table.get(view.gstring).size();
+  Rng rng = Rng(shared_->config.seed).split(0x10adull);
+  // Full-information string search: keep every string whose Push Quorum at
+  // the victim has a corrupt slot majority. At t/n near 1/3 a constant
+  // fraction of strings qualifies — the reason AER cannot be load-balanced
+  // in the worst case.
+  for (std::size_t trial = 0; trial < string_search_budget; ++trial) {
+    const BitString candidate = BitString::random(bits, rng);
+    const auto quorum =
+        shared_->samplers.push.quorum(candidate.digest(), victim_);
+    std::size_t corrupt_slots = 0;
+    for (NodeId member : quorum.members) {
+      corrupt_slots += is_corrupt[member] ? 1 : 0;
+    }
+    if (corrupt_slots * 2 > quorum.size()) {
+      planted_.push_back(shared_->table.intern(candidate));
+    }
+  }
+}
+
+void LoadSkewStrategy::on_setup(AdvContext& ctx) {
+  for (StringId s : planted_) {
+    const auto skey = shared_->key_of(s);
+    const auto payload = std::make_shared<PushMsg>(s);
+    // Push from exactly the corrupt members of I(s, victim): the receiver's
+    // membership filter admits them, and their slot majority forces s into
+    // the victim's candidate list.
+    for (NodeId member :
+         distinct(shared_->samplers.push.quorum(skey, victim_))) {
+      if (ctx.is_corrupt(member)) {
+        ctx.send_from(member, victim_, payload);
+      }
+    }
+  }
+}
+
+// ----- corner_gstring_picker -------------------------------------------------
+
+aer::CorruptPicker corner_gstring_picker(std::size_t victims) {
+  return [victims](std::size_t n, std::size_t t, Rng& rng,
+                   aer::AerShared& shared) {
+    std::vector<NodeId> corrupt;
+    std::vector<bool> taken(n, false);
+    const auto skey = shared.key_of(shared.gstring);
+    // Seize whole Push Quorums I(gstring, x) for the first `victims` nodes,
+    // until the corruption budget runs out.
+    for (NodeId x = 0; x < victims && x < n; ++x) {
+      for (NodeId member : shared.samplers.push.quorum(skey, x).members) {
+        if (corrupt.size() >= t) break;
+        if (!taken[member]) {
+          taken[member] = true;
+          corrupt.push_back(member);
+        }
+      }
+      if (corrupt.size() >= t) break;
+    }
+    // Spend the rest uniformly.
+    while (corrupt.size() < t) {
+      const NodeId id = rng.node(n);
+      if (!taken[id]) {
+        taken[id] = true;
+        corrupt.push_back(id);
+      }
+    }
+    return corrupt;
+  };
+}
+
+}  // namespace fba::adv

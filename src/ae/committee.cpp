@@ -1,0 +1,89 @@
+#include "ae/committee.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fba::ae {
+
+std::size_t AeConfig::resolved_t() const {
+  if (explicit_t >= 0) return static_cast<std::size_t>(explicit_t);
+  return static_cast<std::size_t>(
+      std::floor(corrupt_fraction * static_cast<double>(n)));
+}
+
+std::size_t AeConfig::resolved_root_size() const {
+  if (root_size > 0) return root_size;
+  const double log2n = std::log2(static_cast<double>(n));
+  return std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::lround(2.0 * log2n)), 12, 32);
+}
+
+std::size_t AeConfig::resolved_committee_size() const {
+  if (committee_size > 0) return committee_size;
+  const double log2n = std::log2(static_cast<double>(n));
+  // Phase king tolerates < g/4 corrupt members; the committee must be large
+  // enough that the binomial tail P[Bin(g, t/n) >= g/4] is negligible.
+  const auto g = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::lround(4.0 * log2n)), 24, 48);
+  return std::min(g, n);
+}
+
+std::size_t AeConfig::slice_bits() const {
+  const std::size_t target =
+      gstring_c * static_cast<std::size_t>(node_id_bits(n));
+  const std::size_t r = resolved_root_size();
+  const std::size_t bits = (target + r - 1) / r;
+  FBA_REQUIRE(bits <= 64, "slice must fit a 64-bit word");
+  return std::max<std::size_t>(1, bits);
+}
+
+std::size_t AeConfig::gstring_bits() const {
+  return resolved_root_size() * slice_bits();
+}
+
+AeLayout AeLayout::build(const AeConfig& config) {
+  const std::size_t n = config.n;
+  const std::size_t r = config.resolved_root_size();
+  const std::size_t g = config.resolved_committee_size();
+  FBA_REQUIRE(r <= n, "root committee larger than the network");
+  FBA_REQUIRE(g <= n, "echo committee larger than the network");
+
+  AeLayout layout;
+  Rng rng = Rng(config.seed).split(0xaeull);
+  auto root = rng.sample_without_replacement(n, r);
+  layout.root.assign(root.begin(), root.end());
+  layout.committees.reserve(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    auto members = rng.sample_without_replacement(n, g);
+    layout.committees.emplace_back(members.begin(), members.end());
+  }
+  return layout;
+}
+
+long AeLayout::member_index(std::size_t slice, NodeId node) const {
+  const auto& members = committees.at(slice);
+  const auto it = std::find(members.begin(), members.end(), node);
+  return it == members.end() ? -1 : static_cast<long>(it - members.begin());
+}
+
+AeSchedule AeSchedule::from(const AeConfig& config) {
+  AeSchedule s;
+  s.committee = config.resolved_committee_size();
+  const std::size_t tolerance = (s.committee - 1) / 4;
+  s.phases = tolerance + 1;
+  return s;
+}
+
+long AeSchedule::exchange_phase_at(Round round) const {
+  if (round < 2 || (round - 2) % 2 != 0) return -1;
+  const auto p = static_cast<std::size_t>((round - 2) / 2);
+  return p < phases ? static_cast<long>(p) : -1;
+}
+
+long AeSchedule::king_phase_at(Round round) const {
+  if (round < 3 || (round - 3) % 2 != 0) return -1;
+  const auto p = static_cast<std::size_t>((round - 3) / 2);
+  return p < phases ? static_cast<long>(p) : -1;
+}
+
+}  // namespace fba::ae

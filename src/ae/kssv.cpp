@@ -1,0 +1,416 @@
+#include "ae/kssv.h"
+
+#include <algorithm>
+
+#include "net/sync_engine.h"
+
+namespace fba::ae {
+
+namespace {
+
+std::uint64_t slice_mask(std::size_t slice_bits) {
+  return slice_bits >= 64 ? ~0ull : ((1ull << slice_bits) - 1);
+}
+
+const AeShared& ae_wire(const sim::Wire& w) {
+  return static_cast<const AeShared&>(w);
+}
+
+}  // namespace
+
+std::size_t ContribMsg::bit_size(const sim::Wire& w) const {
+  const AeShared& s = ae_wire(w);
+  return s.config.slice_bits() + s.slice_index_bits();
+}
+
+std::size_t PkValueMsg::bit_size(const sim::Wire& w) const {
+  const AeShared& s = ae_wire(w);
+  return s.config.slice_bits() + s.slice_index_bits() + s.phase_bits();
+}
+
+std::size_t PkKingMsg::bit_size(const sim::Wire& w) const {
+  const AeShared& s = ae_wire(w);
+  return s.config.slice_bits() + s.slice_index_bits() + s.phase_bits();
+}
+
+std::size_t FinalSliceMsg::bit_size(const sim::Wire& w) const {
+  const AeShared& s = ae_wire(w);
+  return s.config.slice_bits() + s.slice_index_bits();
+}
+
+// ----- AeNode ----------------------------------------------------------------
+
+AeNode::AeNode(AeShared* shared, NodeId self) : shared_(shared), self_(self) {
+  const AeLayout& layout = shared_->layout;
+  for (std::size_t i = 0; i < layout.root.size(); ++i) {
+    if (layout.root[i] == self_) root_slice_ = i;
+  }
+  for (std::size_t i = 0; i < layout.committees.size(); ++i) {
+    if (layout.in_committee(i, self_)) {
+      EchoRole role;
+      role.slice = i;
+      echo_.emplace(i, std::move(role));
+    }
+  }
+}
+
+void AeNode::broadcast_to_committee(sim::Context& ctx, std::size_t slice,
+                                    sim::PayloadPtr payload) {
+  for (NodeId member : shared_->layout.committees[slice]) {
+    ctx.send(member, payload);
+  }
+}
+
+void AeNode::on_start(sim::Context& ctx) {
+  if (!root_slice_.has_value()) return;
+  // Root member: draw the slice from the private RNG. This is where
+  // gstring's random bits come from; corrupt root members (driven by the
+  // strategy instead) may pick theirs arbitrarily.
+  const std::uint64_t value =
+      ctx.rng().next() & slice_mask(shared_->config.slice_bits());
+  broadcast_to_committee(ctx, *root_slice_,
+                         std::make_shared<ContribMsg>(*root_slice_, value));
+}
+
+void AeNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
+  const sim::Payload* p = env.payload.get();
+  if (const auto* m = sim::payload_cast<ContribMsg>(p)) {
+    handle_contrib(ctx, env.src, *m);
+  } else if (const auto* m = sim::payload_cast<PkValueMsg>(p)) {
+    handle_pk_value(ctx, env.src, *m);
+  } else if (const auto* m = sim::payload_cast<PkKingMsg>(p)) {
+    handle_pk_king(ctx, env.src, *m);
+  } else if (const auto* m = sim::payload_cast<FinalSliceMsg>(p)) {
+    handle_final(ctx, env.src, *m);
+  }
+}
+
+void AeNode::handle_contrib(sim::Context& ctx, NodeId from,
+                            const ContribMsg& m) {
+  (void)ctx;
+  const auto it = echo_.find(m.slice);
+  if (it == echo_.end()) return;
+  if (m.slice >= shared_->layout.root.size()) return;
+  if (shared_->layout.root[m.slice] != from) return;  // only the root member
+  it->second.value = m.value & slice_mask(shared_->config.slice_bits());
+}
+
+void AeNode::handle_pk_value(sim::Context& ctx, NodeId from,
+                             const PkValueMsg& m) {
+  const auto it = echo_.find(m.slice);
+  if (it == echo_.end()) return;
+  // Only the exchange of the phase currently being delivered counts; this
+  // also bounds adversarial state injection.
+  const long expected =
+      shared_->schedule.exchange_phase_at(static_cast<Round>(ctx.now()));
+  if (expected < 0 || m.phase != static_cast<std::size_t>(expected)) return;
+  if (!shared_->layout.in_committee(m.slice, from)) return;
+  EchoRole& role = it->second;
+  if (std::find(role.exchange_seen.begin(), role.exchange_seen.end(), from) !=
+      role.exchange_seen.end()) {
+    return;
+  }
+  role.exchange_seen.push_back(from);
+  const std::size_t count = ++role.exchange_counts[m.value];
+  if (count > role.mult) {
+    role.mult = count;
+    role.maj = m.value;
+  }
+}
+
+void AeNode::handle_pk_king(sim::Context& ctx, NodeId from,
+                            const PkKingMsg& m) {
+  const auto it = echo_.find(m.slice);
+  if (it == echo_.end()) return;
+  const long expected =
+      shared_->schedule.king_phase_at(static_cast<Round>(ctx.now()));
+  if (expected < 0 || m.phase != static_cast<std::size_t>(expected)) return;
+  const auto& members = shared_->layout.committees[m.slice];
+  if (shared_->schedule.king(members, m.phase) != from) return;
+  it->second.king_seen = true;
+  it->second.king_value = m.value & slice_mask(shared_->config.slice_bits());
+}
+
+void AeNode::handle_final(sim::Context& ctx, NodeId from,
+                          const FinalSliceMsg& m) {
+  (void)ctx;
+  if (m.slice >= shared_->layout.committees.size()) return;
+  if (!shared_->layout.in_committee(m.slice, from)) return;
+  auto& voters = final_votes_[m.slice][m.value];
+  if (std::find(voters.begin(), voters.end(), from) != voters.end()) return;
+  voters.push_back(from);
+}
+
+void AeNode::on_round(sim::Context& ctx, Round round) {
+  const AeSchedule& sched = shared_->schedule;
+
+  // Phase-king adopt + next exchange. Exchange round 1+2p doubles as the
+  // adopt point of phase p-1.
+  for (std::size_t p = 0; p < sched.phases; ++p) {
+    if (round != sched.exchange_round(p)) continue;
+    for (auto& [slice, role] : echo_) {
+      if (p > 0) {
+        // Adopt the outcome of phase p-1: keep the majority when it is
+        // overwhelming (immune to t_c equivocators), else obey the king.
+        const std::size_t g = sched.committee;
+        const std::size_t t_c = (g - 1) / 4;
+        if (!(role.mult > g / 2 + t_c)) {
+          role.value = role.king_seen ? role.king_value : 0;
+        } else {
+          role.value = role.maj;
+        }
+        role.exchange_seen.clear();
+        role.exchange_counts.clear();
+        role.maj = 0;
+        role.mult = 0;
+        role.king_seen = false;
+      }
+      broadcast_to_committee(
+          ctx, slice, std::make_shared<PkValueMsg>(slice, p, role.value));
+    }
+    return;
+  }
+
+  // King rounds: the phase's king announces its majority value.
+  const long king_phase =
+      round >= 2 && (round - 2) % 2 == 0 && (round - 2) / 2 < sched.phases
+          ? static_cast<long>((round - 2) / 2)
+          : -1;
+  if (king_phase >= 0) {
+    for (auto& [slice, role] : echo_) {
+      const auto& members = shared_->layout.committees[slice];
+      if (sched.king(members, static_cast<std::size_t>(king_phase)) != self_) {
+        continue;
+      }
+      broadcast_to_committee(
+          ctx, slice,
+          std::make_shared<PkKingMsg>(slice,
+                                      static_cast<std::size_t>(king_phase),
+                                      role.maj));
+    }
+    return;
+  }
+
+  if (round == sched.final_broadcast_round()) {
+    for (auto& [slice, role] : echo_) {
+      // Final adopt of the last phase before announcing.
+      const std::size_t g = sched.committee;
+      const std::size_t t_c = (g - 1) / 4;
+      if (!(role.mult > g / 2 + t_c)) {
+        role.value = role.king_seen ? role.king_value : 0;
+      } else {
+        role.value = role.maj;
+      }
+      const auto payload = std::make_shared<FinalSliceMsg>(slice, role.value);
+      for (NodeId dst = 0; dst < ctx.n(); ++dst) ctx.send(dst, payload);
+    }
+    return;
+  }
+
+  if (round == sched.assemble_round()) assemble(ctx);
+}
+
+void AeNode::assemble(sim::Context& ctx) {
+  if (completed_) return;
+  completed_ = true;
+  const std::size_t r = shared_->config.resolved_root_size();
+  const std::size_t bits = shared_->config.slice_bits();
+  const std::size_t g = shared_->schedule.committee;
+
+  BitString gstring(r * bits);
+  for (std::size_t slice = 0; slice < r; ++slice) {
+    std::uint64_t value = 0;  // deterministic default for failed slices
+    const auto it = final_votes_.find(slice);
+    if (it != final_votes_.end()) {
+      for (const auto& [candidate, voters] : it->second) {
+        if (voters.size() * 2 > g) {
+          value = candidate;
+          break;
+        }
+      }
+    }
+    for (std::size_t b = 0; b < bits; ++b) {
+      gstring.set_bit(slice * bits + b, ((value >> b) & 1) != 0);
+    }
+  }
+  assembled_ = shared_->table.intern(gstring);
+  ctx.decide(assembled_);
+}
+
+// ----- AeEquivocateStrategy ----------------------------------------------------
+
+AeEquivocateStrategy::AeEquivocateStrategy(const AeWorldView& view)
+    : shared_(view.shared), corrupt_(view.shared->config.n, false) {
+  for (NodeId id : view.corrupt) corrupt_[id] = true;
+}
+
+void AeEquivocateStrategy::on_setup(adv::AdvContext& ctx) {
+  // Corrupt root members equivocate: a different random slice per recipient.
+  const std::uint64_t mask = slice_mask(shared_->config.slice_bits());
+  const AeLayout& layout = shared_->layout;
+  for (std::size_t i = 0; i < layout.root.size(); ++i) {
+    const NodeId root = layout.root[i];
+    if (!corrupt_[root]) continue;
+    for (NodeId member : layout.committees[i]) {
+      ctx.send_from(root, member,
+                    std::make_shared<ContribMsg>(i, ctx.rng().next() & mask));
+    }
+  }
+}
+
+void AeEquivocateStrategy::on_round(adv::AdvContext& ctx, Round round,
+                                    bool rushing) {
+  (void)rushing;
+  const AeSchedule& sched = shared_->schedule;
+  const AeLayout& layout = shared_->layout;
+  const std::uint64_t mask = slice_mask(shared_->config.slice_bits());
+
+  for (std::size_t i = 0; i < layout.committees.size(); ++i) {
+    const auto& members = layout.committees[i];
+    for (NodeId z : members) {
+      if (!corrupt_[z]) continue;
+      // Exchange rounds: a different value to every member.
+      for (std::size_t p = 0; p < sched.phases; ++p) {
+        if (round == sched.exchange_round(p)) {
+          for (NodeId dst : members) {
+            ctx.send_from(z, dst,
+                          std::make_shared<PkValueMsg>(
+                              i, p, ctx.rng().next() & mask));
+          }
+        }
+        if (round == sched.king_round(p) && sched.king(members, p) == z) {
+          for (NodeId dst : members) {
+            ctx.send_from(z, dst,
+                          std::make_shared<PkKingMsg>(
+                              i, p, ctx.rng().next() & mask));
+          }
+        }
+      }
+      // Final announcement: conflicting slices to different nodes.
+      if (round == sched.final_broadcast_round()) {
+        for (NodeId dst = 0; dst < ctx.n(); ++dst) {
+          ctx.send_from(z, dst,
+                        std::make_shared<FinalSliceMsg>(
+                            i, ctx.rng().next() & mask));
+        }
+      }
+    }
+  }
+}
+
+AeStrategyFactory ae_equivocate_strategy() {
+  return [](const AeWorldView& view) {
+    return std::make_unique<AeEquivocateStrategy>(view);
+  };
+}
+
+// ----- run_ae ------------------------------------------------------------------
+
+AeRunResult run_ae(const AeConfig& config, const AeStrategyFactory& make_strategy,
+                   bool rushing) {
+  FBA_REQUIRE(config.n >= 16, "AE tournament needs at least 16 nodes");
+  AeRunResult result;
+
+  AeShared shared(config);
+  const std::size_t n = config.n;
+  const std::size_t t = config.resolved_t();
+
+  Rng corrupt_rng = Rng(config.seed).split(0xaec0ull);
+  result.corrupt = adv::random_corruption(n, t, corrupt_rng);
+
+  AeWorldView view;
+  view.shared = &shared;
+  view.corrupt = result.corrupt;
+  std::unique_ptr<adv::Strategy> strategy;
+  if (make_strategy) strategy = make_strategy(view);
+
+  sim::SyncConfig ec;
+  ec.n = n;
+  ec.seed = config.seed;
+  ec.rushing_adversary = rushing;
+  ec.max_rounds = config.max_rounds;
+  // King rounds where every committee's king is corrupt carry no traffic;
+  // the tournament is round-scheduled, so keep the clock running.
+  ec.min_rounds = shared.schedule.assemble_round() + 1;
+  sim::SyncEngine engine(ec);
+  engine.set_wire(&shared);
+  engine.set_corrupt(result.corrupt);
+  engine.set_strategy(strategy.get());
+
+  std::vector<AeNode*> nodes(n, nullptr);
+  for (NodeId id = 0; id < n; ++id) {
+    if (engine.is_corrupt(id)) continue;
+    auto actor = std::make_unique<AeNode>(&shared, id);
+    nodes[id] = actor.get();
+    engine.set_actor(id, std::move(actor));
+  }
+
+  DecisionLog decisions(n);
+  std::size_t completed = 0;
+  engine.set_decision_callback(
+      [&decisions, &completed](NodeId node, StringId value, double time) {
+        if (!decisions.has_decided(node)) ++completed;
+        decisions.record(node, value, time);
+      });
+
+  std::vector<NodeId> correct;
+  for (NodeId id = 0; id < n; ++id) {
+    if (!engine.is_corrupt(id)) correct.push_back(id);
+  }
+  const std::size_t target = correct.size();
+  const auto sync_result = engine.run([&] { return completed >= target; });
+
+  // Harvest per-node strings and find the plurality winner.
+  result.assembled.assign(n, BitString());
+  std::unordered_map<std::uint64_t, std::pair<std::size_t, StringId>> tally;
+  for (NodeId id : correct) {
+    AeNode* node = nodes[id];
+    if (node == nullptr || !node->completed()) continue;
+    const StringId sid = node->assembled();
+    result.assembled[id] = shared.table.get(sid);
+    auto& entry = tally[shared.table.digest(sid)];
+    entry.first += 1;
+    entry.second = sid;
+  }
+  std::size_t best = 0;
+  StringId winner_id = kNoString;
+  for (const auto& [digest, entry] : tally) {
+    if (entry.first > best) {
+      best = entry.first;
+      winner_id = entry.second;
+    }
+  }
+  if (winner_id != kNoString) result.winner = shared.table.get(winner_id);
+
+  AeReport& report = result.report;
+  report.n = n;
+  report.t = t;
+  report.root_size = config.resolved_root_size();
+  report.committee_size = config.resolved_committee_size();
+  report.phases = shared.schedule.phases;
+  report.gstring_bits = config.gstring_bits();
+  report.rounds = sync_result.rounds;
+  report.total_messages = engine.metrics().total_messages();
+  report.total_bits = engine.metrics().total_bits();
+  report.amortized_bits = engine.metrics().amortized_bits();
+  report.sent_bits = engine.metrics().sent_bits_stats();
+  report.correct_count = correct.size();
+  report.knowledgeable_count = best;
+  report.knowledgeable_fraction =
+      static_cast<double>(best) / static_cast<double>(n);
+  report.precondition_met = best * 2 > n;
+
+  std::size_t honest_slices = 0;
+  std::vector<bool> is_corrupt(n, false);
+  for (NodeId id : result.corrupt) is_corrupt[id] = true;
+  for (NodeId root : shared.layout.root) {
+    if (!is_corrupt[root]) ++honest_slices;
+  }
+  report.honest_slice_fraction =
+      static_cast<double>(honest_slices) /
+      static_cast<double>(shared.layout.root.size());
+
+  return result;
+}
+
+}  // namespace fba::ae

@@ -1,0 +1,183 @@
+// The KSSV06-style almost-everywhere agreement protocol (see committee.h for
+// the design overview and DESIGN.md §3 for the substitution note).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "ae/committee.h"
+#include "net/node.h"
+#include "support/metrics.h"
+
+namespace fba::ae {
+
+// ----- messages --------------------------------------------------------------
+
+/// Root member i hands its random slice to echo committee E_i.
+struct ContribMsg final : sim::Payload {
+  std::size_t slice;
+  std::uint64_t value;
+
+  ContribMsg(std::size_t slice, std::uint64_t value)
+      : slice(slice), value(value) {}
+  std::size_t bit_size(const sim::Wire& w) const override;
+  const char* kind() const override { return "contrib"; }
+};
+
+/// Phase-king universal exchange: member broadcasts its current value.
+struct PkValueMsg final : sim::Payload {
+  std::size_t slice;
+  std::size_t phase;
+  std::uint64_t value;
+
+  PkValueMsg(std::size_t slice, std::size_t phase, std::uint64_t value)
+      : slice(slice), phase(phase), value(value) {}
+  std::size_t bit_size(const sim::Wire& w) const override;
+  const char* kind() const override { return "pk-val"; }
+};
+
+/// Phase-king round 2: the phase's king broadcasts its majority value.
+struct PkKingMsg final : sim::Payload {
+  std::size_t slice;
+  std::size_t phase;
+  std::uint64_t value;
+
+  PkKingMsg(std::size_t slice, std::size_t phase, std::uint64_t value)
+      : slice(slice), phase(phase), value(value) {}
+  std::size_t bit_size(const sim::Wire& w) const override;
+  const char* kind() const override { return "pk-king"; }
+};
+
+/// Echo committee member announces the agreed slice to the whole network.
+struct FinalSliceMsg final : sim::Payload {
+  std::size_t slice;
+  std::uint64_t value;
+
+  FinalSliceMsg(std::size_t slice, std::uint64_t value)
+      : slice(slice), value(value) {}
+  std::size_t bit_size(const sim::Wire& w) const override;
+  const char* kind() const override { return "final"; }
+};
+
+// ----- actor -----------------------------------------------------------------
+
+class AeNode final : public sim::Actor {
+ public:
+  AeNode(AeShared* shared, NodeId self);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  void on_round(sim::Context& ctx, Round round) override;
+
+  bool completed() const { return completed_; }
+  StringId assembled() const { return assembled_; }
+
+ private:
+  struct EchoRole {
+    std::size_t slice = 0;
+    std::uint64_t value = 0;
+    // Tally of the currently delivered phase (reset on adopt).
+    std::vector<NodeId> exchange_seen;
+    std::map<std::uint64_t, std::size_t> exchange_counts;
+    std::uint64_t maj = 0;
+    std::size_t mult = 0;
+    bool king_seen = false;
+    std::uint64_t king_value = 0;
+  };
+
+  void broadcast_to_committee(sim::Context& ctx, std::size_t slice,
+                              sim::PayloadPtr payload);
+  void handle_contrib(sim::Context& ctx, NodeId from, const ContribMsg& m);
+  void handle_pk_value(sim::Context& ctx, NodeId from, const PkValueMsg& m);
+  void handle_pk_king(sim::Context& ctx, NodeId from, const PkKingMsg& m);
+  void handle_final(sim::Context& ctx, NodeId from, const FinalSliceMsg& m);
+  void assemble(sim::Context& ctx);
+
+  AeShared* shared_;
+  NodeId self_;
+  std::optional<std::size_t> root_slice_;  ///< my root slot, if any.
+  std::unordered_map<std::size_t, EchoRole> echo_;  ///< slice -> my role.
+  /// slice -> value -> distinct announcing committee members.
+  std::unordered_map<std::size_t,
+                     std::map<std::uint64_t, std::vector<NodeId>>>
+      final_votes_;
+  bool completed_ = false;
+  StringId assembled_ = kNoString;
+};
+
+// ----- adversary --------------------------------------------------------------
+
+struct AeWorldView {
+  AeShared* shared = nullptr;
+  std::vector<NodeId> corrupt;
+};
+
+using AeStrategyFactory =
+    std::function<std::unique_ptr<adv::Strategy>(const AeWorldView&)>;
+
+/// The strongest generic AE attack we model: corrupt root members equivocate
+/// (different slice to each committee member); corrupt committee members
+/// send conflicting values in every exchange and king round, and announce
+/// conflicting final slices to different nodes.
+class AeEquivocateStrategy final : public adv::Strategy {
+ public:
+  explicit AeEquivocateStrategy(const AeWorldView& view);
+
+  void on_setup(adv::AdvContext& ctx) override;
+  void on_round(adv::AdvContext& ctx, Round round, bool rushing) override;
+
+ private:
+  AeShared* shared_;
+  std::vector<bool> corrupt_;
+};
+
+AeStrategyFactory ae_equivocate_strategy();
+
+// ----- harness ----------------------------------------------------------------
+
+struct AeReport {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  std::size_t root_size = 0;
+  std::size_t committee_size = 0;
+  std::size_t phases = 0;
+  std::size_t gstring_bits = 0;
+
+  Round rounds = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bits = 0;
+  double amortized_bits = 0;
+  LoadStats sent_bits;
+
+  /// Correct nodes holding the plurality string (the winner).
+  std::size_t knowledgeable_count = 0;
+  std::size_t correct_count = 0;
+  /// knowledgeable_count / n — the AER precondition needs > 1/2.
+  double knowledgeable_fraction = 0;
+  bool precondition_met = false;
+  /// Fraction of gstring's slices contributed by correct root members (the
+  /// paper's "2/3 + eps of the bits uniformly random").
+  double honest_slice_fraction = 0;
+};
+
+struct AeRunResult {
+  AeReport report;
+  BitString winner;  ///< plurality string among correct nodes.
+  /// Per-node assembled string (empty for corrupt / incomplete nodes).
+  std::vector<BitString> assembled;
+  std::vector<NodeId> corrupt;
+};
+
+/// Runs the AE tournament on the synchronous engine (the AE phase of the
+/// composed protocol is synchronous, as in the paper, where only AER carries
+/// the asynchronous guarantee).
+AeRunResult run_ae(const AeConfig& config,
+                   const AeStrategyFactory& make_strategy = {},
+                   bool rushing = true);
+
+}  // namespace fba::ae

@@ -1,0 +1,238 @@
+#include "ae/phase_king.h"
+
+#include <algorithm>
+
+#include "net/sync_engine.h"
+
+namespace fba::ae {
+
+// Round schedule (messages sent in round r arrive in round r+1):
+//   round 1 + 2p : exchange broadcast of phase p      (arrives at 2 + 2p)
+//   round 2 + 2p : king decree of phase p             (arrives at 3 + 2p)
+//   round 1 + 2(p+1) : adopt phase p, next exchange
+//   round 1 + 2 * phases : final adopt; done.
+// on_start doubles as round 0; the first exchange goes out in round 0 so
+// every index shifts down by one relative to the comment above — the
+// schedule helpers below are the single source of truth.
+namespace {
+
+constexpr Round exchange_round(std::size_t phase) {
+  return static_cast<Round>(2 * phase);
+}
+constexpr Round decree_round(std::size_t phase) {
+  return static_cast<Round>(1 + 2 * phase);
+}
+
+}  // namespace
+
+PhaseKingNode::PhaseKingNode(const PhaseKingConfig* config, NodeId self,
+                             std::uint64_t input)
+    : config_(config), self_(self), value_(input) {}
+
+void PhaseKingNode::broadcast(sim::Context& ctx, sim::PayloadPtr payload) {
+  for (NodeId dst = 0; dst < ctx.n(); ++dst) {
+    if (dst != self_) ctx.send(dst, payload);
+  }
+}
+
+void PhaseKingNode::on_start(sim::Context& ctx) {
+  // Phase 0 exchange; own vote counts without a self-message.
+  seen_.push_back(self_);
+  counts_[value_] = 1;
+  maj_ = value_;
+  mult_ = 1;
+  broadcast(ctx, std::make_shared<PkExchangeMsg>(0, value_));
+}
+
+void PhaseKingNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
+  const Round round = static_cast<Round>(ctx.now());
+  if (const auto* m = sim::payload_cast<PkExchangeMsg>(env.payload.get())) {
+    // Accept only the exchange of the phase currently in flight.
+    if (round != exchange_round(m->phase) + 1) return;
+    if (std::find(seen_.begin(), seen_.end(), env.src) != seen_.end()) return;
+    seen_.push_back(env.src);
+    const std::size_t count = ++counts_[m->value];
+    if (count > mult_) {
+      mult_ = count;
+      maj_ = m->value;
+    }
+    return;
+  }
+  if (const auto* m = sim::payload_cast<PkDecreeMsg>(env.payload.get())) {
+    if (round != decree_round(m->phase) + 1) return;
+    if (env.src != m->phase % ctx.n()) return;  // only the phase's king
+    decree_seen_ = true;
+    decree_ = m->value;
+  }
+}
+
+void PhaseKingNode::adopt() {
+  const std::size_t n = config_->n;
+  const std::size_t t = config_->t;
+  if (!(mult_ > n / 2 + t)) value_ = decree_seen_ ? decree_ : 0;
+  else value_ = maj_;
+  seen_.clear();
+  counts_.clear();
+  maj_ = 0;
+  mult_ = 0;
+  decree_seen_ = false;
+}
+
+void PhaseKingNode::on_round(sim::Context& ctx, Round round) {
+  if (done_) return;
+  // King decree for the phase whose exchange was just delivered.
+  for (std::size_t p = 0; p < config_->phases(); ++p) {
+    if (round == decree_round(p)) {
+      if (self_ == p % ctx.n()) {
+        // The king obeys its own decree (no self-message is sent).
+        decree_seen_ = true;
+        decree_ = maj_;
+        broadcast(ctx, std::make_shared<PkDecreeMsg>(p, maj_));
+      }
+      return;
+    }
+    if (p > 0 && round == exchange_round(p)) {
+      adopt();  // phase p-1 concluded
+      seen_.push_back(self_);
+      counts_[value_] = 1;
+      maj_ = value_;
+      mult_ = 1;
+      broadcast(ctx, std::make_shared<PkExchangeMsg>(p, value_));
+      return;
+    }
+  }
+  if (round == exchange_round(config_->phases())) {
+    adopt();
+    done_ = true;
+    ctx.decide(static_cast<StringId>(value_ & 0x7fffffffu));
+  }
+}
+
+// ----- adversary ---------------------------------------------------------------
+
+PhaseKingEquivocator::PhaseKingEquivocator(const PhaseKingConfig* config,
+                                           std::vector<NodeId> corrupt)
+    : config_(config), corrupt_(std::move(corrupt)) {}
+
+void PhaseKingEquivocator::on_round(adv::AdvContext& ctx, Round round,
+                                    bool rushing) {
+  (void)rushing;
+  for (std::size_t p = 0; p < config_->phases(); ++p) {
+    if (round == exchange_round(p)) {
+      for (NodeId z : corrupt_) {
+        for (NodeId dst = 0; dst < ctx.n(); ++dst) {
+          if (ctx.is_corrupt(dst)) continue;
+          ctx.send_from(z, dst,
+                        std::make_shared<PkExchangeMsg>(p, ctx.rng().next()));
+        }
+      }
+    }
+    if (round == decree_round(p)) {
+      const NodeId king = static_cast<NodeId>(p % ctx.n());
+      if (!ctx.is_corrupt(king)) continue;
+      for (NodeId dst = 0; dst < ctx.n(); ++dst) {
+        if (ctx.is_corrupt(dst)) continue;
+        ctx.send_from(king, dst,
+                      std::make_shared<PkDecreeMsg>(p, ctx.rng().next()));
+      }
+    }
+  }
+}
+
+// ----- harness -------------------------------------------------------------------
+
+namespace {
+
+class PkWire final : public sim::Wire {
+ public:
+  explicit PkWire(std::size_t n) : bits_(fba::node_id_bits(n)) {}
+  std::size_t node_id_bits() const override { return bits_; }
+  std::size_t label_bits() const override { return 0; }
+  std::size_t string_bits(StringId) const override { return 64; }
+
+ private:
+  std::size_t bits_;
+};
+
+}  // namespace
+
+PhaseKingReport run_phase_king(const PhaseKingConfig& config,
+                               const std::vector<NodeId>& corrupt,
+                               adv::Strategy* strategy) {
+  FBA_REQUIRE(config.n >= 5, "phase king needs at least 5 parties");
+  FBA_REQUIRE(4 * config.t < config.n, "phase king requires t < n/4");
+  FBA_REQUIRE(config.inputs.size() == config.n,
+              "one input value per party required");
+  FBA_REQUIRE(corrupt.size() <= config.t,
+              "more corrupt parties than the tolerance t");
+
+  sim::SyncConfig ec;
+  ec.n = config.n;
+  ec.seed = config.seed;
+  ec.max_rounds = static_cast<Round>(2 * config.phases() + 4);
+  // Decree rounds with a corrupt, silent king carry no traffic; the round
+  // clock must still advance through them.
+  ec.min_rounds = static_cast<Round>(2 * config.phases() + 1);
+  sim::SyncEngine engine(ec);
+  PkWire wire(config.n);
+  engine.set_wire(&wire);
+  engine.set_corrupt(corrupt);
+  engine.set_strategy(strategy);
+
+  std::vector<PhaseKingNode*> nodes(config.n, nullptr);
+  for (NodeId id = 0; id < config.n; ++id) {
+    if (engine.is_corrupt(id)) continue;
+    auto actor =
+        std::make_unique<PhaseKingNode>(&config, id, config.inputs[id]);
+    nodes[id] = actor.get();
+    engine.set_actor(id, std::move(actor));
+  }
+
+  std::size_t done_count = 0;
+  engine.set_decision_callback(
+      [&done_count](NodeId, StringId, double) { ++done_count; });
+  const std::size_t target = config.n - corrupt.size();
+  const auto result = engine.run([&] { return done_count >= target; });
+
+  PhaseKingReport report;
+  report.n = config.n;
+  report.t = config.t;
+  report.rounds = result.rounds;
+  report.total_messages = engine.metrics().total_messages();
+  report.total_bits = engine.metrics().total_bits();
+
+  bool first = true;
+  bool all_same = true;
+  std::uint64_t agreed = 0;
+  bool inputs_uniform = true;
+  std::uint64_t common_input = 0;
+  bool first_input = true;
+  for (NodeId id = 0; id < config.n; ++id) {
+    if (engine.is_corrupt(id)) continue;
+    if (first_input) {
+      common_input = config.inputs[id];
+      first_input = false;
+    } else if (config.inputs[id] != common_input) {
+      inputs_uniform = false;
+    }
+    PhaseKingNode* node = nodes[id];
+    if (node == nullptr || !node->done()) {
+      all_same = false;
+      continue;
+    }
+    if (first) {
+      agreed = node->output();
+      first = false;
+    } else if (node->output() != agreed) {
+      all_same = false;
+    }
+  }
+  report.agreement = all_same && !first;
+  report.output = agreed;
+  report.validity_applicable = inputs_uniform;
+  report.validity_held =
+      inputs_uniform && report.agreement && agreed == common_input;
+  return report;
+}
+
+}  // namespace fba::ae

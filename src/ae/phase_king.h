@@ -1,0 +1,128 @@
+// Standalone Phase-King Byzantine agreement (Berman–Garay–Perry).
+//
+// The deterministic consensus core the committee tournament runs inside
+// each echo committee, packaged as a full-network protocol in its own right:
+// n parties, t < n/4 Byzantine, t+1 phases of two rounds each
+// (universal exchange, then the phase king's tie-break), multi-valued.
+//
+//   phase p, round 1: everyone broadcasts its current value v_i;
+//                     maj_i = most frequent received value, mult_i = count.
+//   phase p, round 2: the king (party p) broadcasts maj_king;
+//                     v_i = maj_i if mult_i > n/2 + t, else maj_king.
+//
+// Guarantees for t < n/4:
+//   validity    — if all correct parties start with v, they end with v
+//                 (mult_i >= n - t > n/2 + t for every correct i);
+//   agreement   — after the first phase with a correct king all correct
+//                 parties hold one value, and persistence keeps it.
+//
+// This module exists both as a usable substrate (small-committee BA) and as
+// a reference point in tests: the in-committee agreement of ae/kssv.cpp is
+// the same algorithm interleaved across many committees.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "net/node.h"
+#include "support/metrics.h"
+
+namespace fba::ae {
+
+struct PhaseKingConfig {
+  std::size_t n = 0;
+  std::uint64_t seed = 1;
+  std::size_t t = 0;  ///< tolerated faults; phases = t + 1. Must be < n/4.
+  /// Input value per party (64-bit values; corrupt entries ignored).
+  std::vector<std::uint64_t> inputs;
+
+  std::size_t phases() const { return t + 1; }
+};
+
+/// Value broadcast in the exchange round.
+struct PkExchangeMsg final : sim::Payload {
+  std::size_t phase;
+  std::uint64_t value;
+
+  PkExchangeMsg(std::size_t phase, std::uint64_t value)
+      : phase(phase), value(value) {}
+  std::size_t bit_size(const sim::Wire&) const override { return 64 + 8; }
+  const char* kind() const override { return "pk-exchange"; }
+};
+
+/// King's tie-break broadcast.
+struct PkDecreeMsg final : sim::Payload {
+  std::size_t phase;
+  std::uint64_t value;
+
+  PkDecreeMsg(std::size_t phase, std::uint64_t value)
+      : phase(phase), value(value) {}
+  std::size_t bit_size(const sim::Wire&) const override { return 64 + 8; }
+  const char* kind() const override { return "pk-decree"; }
+};
+
+class PhaseKingNode final : public sim::Actor {
+ public:
+  PhaseKingNode(const PhaseKingConfig* config, NodeId self,
+                std::uint64_t input);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  void on_round(sim::Context& ctx, Round round) override;
+
+  bool done() const { return done_; }
+  std::uint64_t output() const { return value_; }
+
+ private:
+  void broadcast(sim::Context& ctx, sim::PayloadPtr payload);
+  void adopt();
+
+  const PhaseKingConfig* config_;
+  NodeId self_;
+  std::uint64_t value_;
+  bool done_ = false;
+
+  // Tally of the phase currently being delivered.
+  std::vector<NodeId> seen_;
+  std::map<std::uint64_t, std::size_t> counts_;
+  std::uint64_t maj_ = 0;
+  std::size_t mult_ = 0;
+  bool decree_seen_ = false;
+  std::uint64_t decree_ = 0;
+};
+
+struct PhaseKingReport {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  Round rounds = 0;
+  bool agreement = false;       ///< all correct parties output one value.
+  bool validity_applicable = false;  ///< all correct inputs were equal...
+  bool validity_held = false;        ///< ...and the output matches them.
+  std::uint64_t output = 0;     ///< the agreed value (if agreement).
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bits = 0;
+};
+
+/// Strategy for the standalone protocol: corrupt parties equivocate in every
+/// exchange and decree round (worst-case king behaviour included).
+class PhaseKingEquivocator final : public adv::Strategy {
+ public:
+  PhaseKingEquivocator(const PhaseKingConfig* config,
+                       std::vector<NodeId> corrupt);
+
+  void on_round(adv::AdvContext& ctx, Round round, bool rushing) override;
+
+ private:
+  const PhaseKingConfig* config_;
+  std::vector<NodeId> corrupt_;
+};
+
+/// Runs phase king on the synchronous engine with `corrupt` parties under
+/// `strategy` (null = silent corrupt parties).
+PhaseKingReport run_phase_king(const PhaseKingConfig& config,
+                               const std::vector<NodeId>& corrupt = {},
+                               adv::Strategy* strategy = nullptr);
+
+}  // namespace fba::ae

@@ -1,0 +1,102 @@
+// AER configuration and the shared world state (public setup) every node
+// sees: the three samplers, the string table, and the wire format.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/payload.h"
+#include "sampler/sampler.h"
+#include "support/intern.h"
+#include "support/types.h"
+
+namespace fba::aer {
+
+/// Which engine / adversary-timing combination to run under (Section 2.1).
+enum class Model {
+  kSyncNonRushing,  ///< Lemma 8/9 regime: O(1) expected decision time.
+  kSyncRushing,     ///< synchronous, adversary sees same-round traffic.
+  kAsync,           ///< Lemma 6/10 regime: O(log n / log log n) time.
+};
+
+const char* model_name(Model model);
+
+struct AerConfig {
+  std::size_t n = 0;
+  Model model = Model::kSyncRushing;
+  std::uint64_t seed = 1;
+
+  /// Corrupt fraction t/n. The paper tolerates t < (1/3 - eps) n
+  /// asymptotically; at simulation scale d = Theta(log n) is small, so the
+  /// default operating point keeps a comfortable quorum-majority margin.
+  /// Resilience stress benches sweep this toward 1/3.
+  double corrupt_fraction = 0.08;
+  /// Use an explicit t instead of the fraction when set (>= 0).
+  long explicit_t = -1;
+
+  /// Fraction of *correct* nodes that initially know gstring. The paper's
+  /// precondition is that more than half of all nodes are correct and
+  /// knowledgeable (equivalently >= 3/4 of correct nodes when t < n/3).
+  double knowledgeable_fraction = 0.95;
+
+  /// Quorum / poll-list size d = max(8, c_d * log2 n), or d_override.
+  double c_d = 1.5;
+  std::size_t d_override = 0;
+
+  /// gstring is gstring_c * log2(n) bits, 2/3 of them uniformly random.
+  std::size_t gstring_c = 4;
+  double gstring_random_fraction = 2.0 / 3.0;
+
+  /// Algorithm 3 answer budget; 0 means ceil(log2 n)^2 as in the paper.
+  std::size_t answer_budget = 0;
+
+  /// Ablation: when false, over-budget requests are dropped instead of
+  /// deferred until decision ("Wait for has_decided").
+  bool defer_answers = true;
+
+  Round max_rounds = 300;
+  double max_time = 300.0;
+
+  std::size_t resolved_t() const;
+  std::size_t resolved_d() const;
+  std::size_t resolved_answer_budget() const;
+  std::size_t resolved_gstring_bits() const;
+};
+
+/// Public setup shared by all nodes, plus the run-wide string table. Also
+/// implements the wire format (node ids cost log2 n bits, labels come from
+/// R with |R| = n^2, strings carry their true length).
+class AerShared : public sim::Wire {
+ public:
+  AerShared(const AerConfig& config, const sampler::SamplerParams& sp)
+      : config(config),
+        samplers(sp),
+        push_cache(samplers.push),
+        pull_cache(samplers.pull),
+        poll_cache(samplers.poll),
+        id_bits_(fba::node_id_bits(config.n)) {}
+
+  std::size_t node_id_bits() const override { return id_bits_; }
+  std::size_t label_bits() const override {
+    return samplers.params.label_bits;
+  }
+  std::size_t string_bits(StringId id) const override {
+    return table.bits(id);
+  }
+
+  /// Sampler key for an interned string (functions of string content).
+  sampler::StringKey key_of(StringId id) const { return table.digest(id); }
+
+  AerConfig config;
+  sampler::SamplerSuite samplers;
+  sampler::QuorumCache push_cache;  ///< memoized I
+  sampler::QuorumCache pull_cache;  ///< memoized H
+  sampler::PollCache poll_cache;    ///< memoized J
+  StringTable table;
+  StringId gstring = kNoString;
+
+ private:
+  std::size_t id_bits_;
+};
+
+}  // namespace fba::aer

@@ -1,0 +1,312 @@
+#include "aer/node.h"
+
+#include <algorithm>
+
+#include "net/network.h"
+
+namespace fba::aer {
+
+namespace {
+
+/// Distinct values of a quorum's member multiset, preserving first-seen
+/// order. Duplicate slots get one message; thresholds still count slots.
+std::vector<NodeId> distinct_members(const sampler::Quorum& q) {
+  std::vector<NodeId> out;
+  out.reserve(q.members.size());
+  for (NodeId m : q.members) {
+    if (std::find(out.begin(), out.end(), m) == out.end()) out.push_back(m);
+  }
+  return out;
+}
+
+bool already_counted(const std::vector<NodeId>& counted, NodeId who) {
+  return std::find(counted.begin(), counted.end(), who) != counted.end();
+}
+
+}  // namespace
+
+AerNode::AerNode(const AerShared* shared, NodeId self,
+                 StringId initial_candidate)
+    : shared_(shared),
+      self_(self),
+      initial_(initial_candidate),
+      current_(initial_candidate) {
+  candidates_.push_back(initial_);
+  in_list_.insert(initial_);
+}
+
+std::size_t AerNode::answers_sent(StringId s) const {
+  const auto it = answer_counts_.find(s);
+  return it == answer_counts_.end() ? 0 : it->second;
+}
+
+std::optional<AerNode::PullStatus> AerNode::pull_status(StringId s) const {
+  const auto it = my_pulls_.find(s);
+  if (it == my_pulls_.end()) return std::nullopt;
+  PullStatus status;
+  status.r = it->second.r;
+  status.answered_members = it->second.answered.size();
+  status.answered_slots = it->second.slots;
+  return status;
+}
+
+AerNode::ResponderStatus AerNode::responder_status(NodeId x,
+                                                   StringId s) const {
+  ResponderStatus status;
+  const auto it = responder_.find(pack_xs(x, s));
+  if (it == responder_.end()) return status;
+  status.known = true;
+  status.polled = it->second.polled;
+  status.answered = it->second.answered;
+  status.slots = it->second.slots;
+  return status;
+}
+
+bool AerNode::over_budget(StringId s) const {
+  return answers_sent(s) > shared_->config.resolved_answer_budget();
+}
+
+void AerNode::on_start(sim::Context& ctx) {
+  // Push phase: diffuse the initial candidate to the d nodes whose Push
+  // Quorum for it contains us. The permutation-based sampler gives the
+  // target set directly (Lemma 3: O(log n) messages per node).
+  const auto skey = shared_->key_of(initial_);
+  for (NodeId target : shared_->samplers.push.targets(skey, self_)) {
+    ctx.send(target, std::make_shared<PushMsg>(initial_));
+  }
+  // Algorithm 1 runs over L_x, which initially holds s_x.
+  start_pull(ctx, initial_);
+}
+
+void AerNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
+  const sim::Payload* p = env.payload.get();
+  if (const auto* m = sim::payload_cast<PushMsg>(p)) {
+    handle_push(ctx, env.src, *m);
+  } else if (const auto* m = sim::payload_cast<PollMsg>(p)) {
+    handle_poll(ctx, env.src, *m);
+  } else if (const auto* m = sim::payload_cast<PullMsg>(p)) {
+    handle_pull(ctx, env.src, *m);
+  } else if (const auto* m = sim::payload_cast<Fw1Msg>(p)) {
+    handle_fw1(ctx, env.src, *m);
+  } else if (const auto* m = sim::payload_cast<Fw2Msg>(p)) {
+    handle_fw2(ctx, env.src, *m);
+  } else if (const auto* m = sim::payload_cast<AnswerMsg>(p)) {
+    handle_answer(ctx, env.src, *m);
+  }
+  // Unknown payloads (adversarial garbage) are ignored.
+}
+
+// ----- push phase ----------------------------------------------------------
+
+void AerNode::handle_push(sim::Context& ctx, NodeId from, const PushMsg& m) {
+  if (in_list_.count(m.s) > 0) return;  // already a candidate
+  // Filter: only members of I(s, self) may push s to us; each sender is
+  // credited once, with its slot multiplicity.
+  const auto& quorum = shared_->push_cache.get(shared_->key_of(m.s), self_);
+  const std::size_t mult = quorum.multiplicity(from);
+  if (mult == 0) return;  // not in our Push Quorum for s: ignore silently
+  PushTally& tally = push_tallies_[m.s];
+  if (already_counted(tally.counted, from)) return;
+  tally.counted.push_back(from);
+  tally.slots += mult;
+  if (tally.slots * 2 > quorum.size()) {
+    accept_candidate(ctx, m.s);
+    push_tallies_.erase(m.s);  // tally no longer needed
+  }
+}
+
+void AerNode::accept_candidate(sim::Context& ctx, StringId s) {
+  if (!in_list_.insert(s).second) return;
+  candidates_.push_back(s);
+  if (!has_decided_) start_pull(ctx, s);
+}
+
+// ----- pull phase: requester (Algorithm 1) ---------------------------------
+
+void AerNode::start_pull(sim::Context& ctx, StringId s) {
+  if (my_pulls_.count(s) > 0) return;
+  MyPull& pull = my_pulls_[s];
+  pull.r = shared_->samplers.poll.random_label(ctx.rng());
+
+  const auto poll_payload = std::make_shared<PollMsg>(s, pull.r);
+  for (NodeId w : distinct_members(shared_->poll_cache.get(self_, pull.r))) {
+    ctx.send(w, poll_payload);
+  }
+  const auto pull_payload = std::make_shared<PullMsg>(s, pull.r);
+  const auto& h = shared_->pull_cache.get(shared_->key_of(s), self_);
+  for (NodeId y : distinct_members(h)) {
+    ctx.send(y, pull_payload);
+  }
+}
+
+void AerNode::handle_answer(sim::Context& ctx, NodeId from,
+                            const AnswerMsg& m) {
+  if (has_decided_) return;
+  const auto it = my_pulls_.find(m.s);
+  if (it == my_pulls_.end()) return;  // never asked about s
+  MyPull& pull = it->second;
+  const auto& poll_list = shared_->poll_cache.get(self_, pull.r);
+  const std::size_t mult = poll_list.multiplicity(from);
+  if (mult == 0) return;  // answer from outside J(x, r_{x,s})
+  if (already_counted(pull.answered, from)) return;  // one answer per member
+  pull.answered.push_back(from);
+  pull.slots += mult;
+  if (pull.slots * 2 > poll_list.size()) decide(ctx, m.s);
+}
+
+void AerNode::decide(sim::Context& ctx, StringId s) {
+  if (has_decided_) return;
+  has_decided_ = true;
+  decided_ = s;
+  current_ = s;  // s_this is updated accordingly (Algorithm 3's data note)
+  ctx.decide(s);
+  // "Wait for has_decided" resolves now: serve the deferred requests whose
+  // string matches our decided belief.
+  auto pending = std::move(deferred_);
+  deferred_.clear();
+  for (const auto& [x, str] : pending) {
+    if (str == current_) emit_answer(ctx, x, str);
+  }
+  serve_retained(ctx);
+}
+
+void AerNode::serve_retained(sim::Context& ctx) {
+  // A node that just learned gstring starts serving the requests for it that
+  // arrived while it still believed its own candidate (Algorithm 3's
+  // "s_w was changed accordingly", applied to all three relay roles). This
+  // is what lets nodes whose quorums contain initially-unknowledgeable
+  // members still gather their majorities.
+  for (const auto& [key, r] : pending_pulls_) {
+    const StringId s = static_cast<StringId>(key & 0xffffffffu);
+    const NodeId x = static_cast<NodeId>(key >> 32);
+    if (s == current_) forward_pull(ctx, x, s, r);
+  }
+  pending_pulls_.clear();
+
+  for (auto& [key, per_w] : fw1_tallies_) {
+    const StringId s = static_cast<StringId>(key & 0xffffffffu);
+    if (s != current_) continue;
+    const NodeId x = static_cast<NodeId>(key >> 32);
+    const auto& h_x = shared_->pull_cache.get(shared_->key_of(s), x);
+    for (auto& [w, tally] : per_w) {
+      if (!tally.fired && tally.slots * 2 > h_x.size()) {
+        tally.fired = true;
+        ctx.send(w, std::make_shared<Fw2Msg>(x, s, tally.r));
+      }
+    }
+  }
+
+  const auto& h_self = shared_->pull_cache.get(shared_->key_of(current_), self_);
+  for (auto& [key, st] : responder_) {
+    const StringId s = static_cast<StringId>(key & 0xffffffffu);
+    if (s != current_) continue;
+    const NodeId x = static_cast<NodeId>(key >> 32);
+    if (!st.answered && st.polled && st.slots * 2 > h_self.size()) {
+      st.answered = true;
+      emit_answer(ctx, x, s);
+    }
+  }
+}
+
+// ----- pull phase: forwarder, first hop (Algorithm 2) -----------------------
+
+void AerNode::handle_pull(sim::Context& ctx, NodeId from, const PullMsg& m) {
+  // Only members of the sender's Pull Quorum for s may route the request.
+  const auto skey = shared_->key_of(m.s);
+  if (!shared_->pull_cache.get(skey, from).contains(self_)) return;
+  if (m.s != current_) {
+    // Not (yet) our belief. Retain it: if we later decide on s, we serve it
+    // (post-decision answering, Algorithm 3). One slot per (x, s).
+    if (!has_decided_) pending_pulls_.emplace(pack_xs(from, m.s), m.r);
+    return;
+  }
+  forward_pull(ctx, from, m.s, m.r);
+}
+
+void AerNode::forward_pull(sim::Context& ctx, NodeId x, StringId s,
+                           PollLabel r) {
+  // Flooding guard ("keep track of senders"): one forward per (x, s).
+  if (!forwarded_.insert(pack_xs(x, s)).second) return;
+  const auto skey = shared_->key_of(s);
+  for (NodeId w : distinct_members(shared_->poll_cache.get(x, r))) {
+    const auto payload = std::make_shared<Fw1Msg>(x, s, r, w);
+    for (NodeId z : distinct_members(shared_->pull_cache.get(skey, w))) {
+      ctx.send(z, payload);
+    }
+  }
+}
+
+// ----- pull phase: relay, second hop (Algorithm 2) ---------------------------
+
+void AerNode::handle_fw1(sim::Context& ctx, NodeId from, const Fw1Msg& m) {
+  const auto skey = shared_->key_of(m.s);
+  const auto& h_w = shared_->pull_cache.get(skey, m.w);
+  if (!h_w.contains(self_)) return;  // this in H(s, w)
+  const auto& h_x = shared_->pull_cache.get(skey, m.x);
+  const std::size_t mult = h_x.multiplicity(from);
+  if (mult == 0) return;  // y in H(s, x)
+  if (!shared_->poll_cache.get(m.x, m.r).contains(m.w)) return;  // w in J(x,r)
+
+  // Vouching is tallied even when s is not (yet) our belief; the Fw2 is only
+  // emitted while s = s_this (now or after deciding on s).
+  Fw1Tally& tally = fw1_tallies_[pack_xs(m.x, m.s)][m.w];
+  if (tally.fired || already_counted(tally.counted, from)) return;
+  if (tally.counted.empty()) tally.r = m.r;
+  tally.counted.push_back(from);
+  tally.slots += mult;
+  if (m.s == current_ && tally.slots * 2 > h_x.size()) {
+    tally.fired = true;  // forward only once
+    ctx.send(m.w, std::make_shared<Fw2Msg>(m.x, m.s, m.r));
+  }
+}
+
+// ----- pull phase: responder (Algorithm 3) -----------------------------------
+
+void AerNode::handle_fw2(sim::Context& ctx, NodeId from, const Fw2Msg& m) {
+  if (!shared_->poll_cache.get(m.x, m.r).contains(self_)) return;  // in J(x,r)
+  const auto skey = shared_->key_of(m.s);
+  const auto& h_self = shared_->pull_cache.get(skey, self_);
+  const std::size_t mult = h_self.multiplicity(from);
+  if (mult == 0) return;  // z in H(s, this)
+
+  // Evidence is tallied regardless of current belief; answers require
+  // s = s_this (initially our candidate, after deciding the decided value).
+  ResponderState& st = responder_[pack_xs(m.x, m.s)];
+  if (st.answered || already_counted(st.counted, from)) return;
+  st.counted.push_back(from);
+  st.slots += mult;
+  if (m.s == current_ && st.slots * 2 > h_self.size() && st.polled) {
+    st.answered = true;
+    emit_answer(ctx, m.x, m.s);
+  }
+}
+
+void AerNode::handle_poll(sim::Context& ctx, NodeId from, const PollMsg& m) {
+  if (!shared_->poll_cache.get(from, m.r).contains(self_)) return;
+  ResponderState& st = responder_[pack_xs(from, m.s)];
+  if (st.polled) return;
+  st.polled = true;
+  // Necessary in the asynchronous case: the Fw2 majority may have formed
+  // before the Poll arrived.
+  const auto& h_self = shared_->pull_cache.get(shared_->key_of(m.s), self_);
+  if (m.s == current_ && !st.answered && st.slots * 2 > h_self.size()) {
+    st.answered = true;
+    emit_answer(ctx, from, m.s);
+  }
+}
+
+void AerNode::emit_answer(sim::Context& ctx, NodeId x, StringId s) {
+  // Algorithm 3's answer budget: an overloaded node stops answering until it
+  // has decided (then it answers for its decided string only).
+  if (!has_decided_ && over_budget(s)) {
+    if (shared_->config.defer_answers) {
+      deferred_.emplace_back(x, s);
+      deferred_peak_ = std::max(deferred_peak_, deferred_.size());
+    }
+    return;
+  }
+  ++answer_counts_[s];
+  ctx.send(x, std::make_shared<AnswerMsg>(s));
+}
+
+}  // namespace fba::aer

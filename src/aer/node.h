@@ -1,0 +1,153 @@
+// AerNode: one protocol participant, implementing both phases of AER
+// (Section 3.1) as a pure message-reactive actor — the same code runs under
+// the synchronous and asynchronous engines.
+//
+// Push phase (3.1.1): on start, diffuse the initial candidate s_x to the d
+// nodes x' with self in I(s_x, x'). A received Push(s) from y counts toward
+// the quorum I(s, self) only if y occupies a slot of it; when more than half
+// of the slots have pushed s, s joins the candidate list L_x and a pull is
+// started for it. Nodes never react to pushes by sending messages, so the
+// phase is impervious to flooding.
+//
+// Pull phase (3.1.2, Algorithms 1-3): to verify candidate s, send
+// Poll(s, r) to the poll list J(self, r) (r fresh and random per candidate)
+// and Pull(s, r) to the Pull Quorum H(s, self). Quorum members route the
+// request in two majority-filtered hops (Fw1 via H(s, w), then Fw2 to w);
+// poll-list members answer subject to the log^2 n budget, deferring excess
+// work until they have decided. Deciding requires answers from a majority of
+// the poll list.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "aer/config.h"
+#include "aer/messages.h"
+#include "net/node.h"
+
+namespace fba::aer {
+
+class AerNode final : public sim::Actor {
+ public:
+  AerNode(const AerShared* shared, NodeId self, StringId initial_candidate);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+
+  // ----- post-run introspection (read by the harness / tests) -------------
+
+  bool has_decided() const { return has_decided_; }
+  StringId decided_value() const { return decided_; }
+  StringId initial_candidate() const { return initial_; }
+  /// L_x, including the initial candidate.
+  const std::vector<StringId>& candidate_list() const { return candidates_; }
+  bool has_candidate(StringId s) const { return in_list_.count(s) > 0; }
+  /// Answers emitted for each string (Algorithm 3's Counts).
+  std::size_t answers_sent(StringId s) const;
+  std::size_t deferred_peak() const { return deferred_peak_; }
+
+  /// Requester-side introspection (tests / diagnostics).
+  struct PullStatus {
+    PollLabel r = 0;
+    std::size_t answered_members = 0;
+    std::size_t answered_slots = 0;
+  };
+  std::optional<PullStatus> pull_status(StringId s) const;
+
+  /// Responder-side introspection for a given requester/string pair.
+  struct ResponderStatus {
+    bool known = false;
+    bool polled = false;
+    bool answered = false;
+    std::size_t slots = 0;
+  };
+  ResponderStatus responder_status(NodeId x, StringId s) const;
+
+ private:
+  // -- handlers, one per message kind --
+  void handle_push(sim::Context& ctx, NodeId from, const PushMsg& m);
+  void handle_poll(sim::Context& ctx, NodeId from, const PollMsg& m);
+  void handle_pull(sim::Context& ctx, NodeId from, const PullMsg& m);
+  void handle_fw1(sim::Context& ctx, NodeId from, const Fw1Msg& m);
+  void handle_fw2(sim::Context& ctx, NodeId from, const Fw2Msg& m);
+  void handle_answer(sim::Context& ctx, NodeId from, const AnswerMsg& m);
+
+  /// Adds s to L_x (if new) and starts its verification pull (Algorithm 1).
+  void accept_candidate(sim::Context& ctx, StringId s);
+  void start_pull(sim::Context& ctx, StringId s);
+
+  /// Answer emission with the Algorithm 3 budget: over-budget answers are
+  /// deferred until this node decides ("Wait for has_decided").
+  void emit_answer(sim::Context& ctx, NodeId x, StringId s);
+  void decide(sim::Context& ctx, StringId s);
+  bool over_budget(StringId s) const;
+  void forward_pull(sim::Context& ctx, NodeId x, StringId s, PollLabel r);
+  /// Post-decision service: requests for the decided string whose evidence
+  /// accumulated while we still believed something else.
+  void serve_retained(sim::Context& ctx);
+
+  static std::uint64_t pack_xs(NodeId x, StringId s) {
+    return (static_cast<std::uint64_t>(x) << 32) | s;
+  }
+
+  const AerShared* shared_;
+  NodeId self_;
+  StringId initial_;   ///< s_x: forwarding filter for the pull phase.
+  StringId current_;   ///< s_this: initial candidate until decision.
+  bool has_decided_ = false;
+  StringId decided_ = kNoString;
+
+  // -- push-phase state --
+  struct PushTally {
+    std::vector<NodeId> counted;  ///< distinct senders already credited.
+    std::size_t slots = 0;        ///< quorum slots of I(s, self) that pushed.
+  };
+  std::unordered_map<StringId, PushTally> push_tallies_;
+  std::vector<StringId> candidates_;
+  std::unordered_set<StringId> in_list_;
+
+  // -- requester state (Algorithm 1) --
+  struct MyPull {
+    PollLabel r = 0;
+    std::vector<NodeId> answered;  ///< distinct poll-list members that replied.
+    std::size_t slots = 0;         ///< poll-list slots covered by answers.
+  };
+  std::unordered_map<StringId, MyPull> my_pulls_;
+
+  // -- forwarder state (Algorithm 2, first hop) --
+  /// Flooding guard: forward at most one request per (x, s).
+  std::unordered_set<std::uint64_t> forwarded_;
+  /// Pull requests for strings we do not (yet) believe in. If we later
+  /// decide on that string, we serve them — the post-decision answering of
+  /// Algorithm 3 applied to the forwarding role. Keyed by (x, s).
+  std::unordered_map<std::uint64_t, PollLabel> pending_pulls_;
+
+  // -- relay state (Algorithm 2, second hop): z in H(s, w) --
+  struct Fw1Tally {
+    std::vector<NodeId> counted;  ///< distinct vouching y in H(s, x).
+    std::size_t slots = 0;        ///< slots of H(s, x) vouching.
+    bool fired = false;           ///< Fw2 already sent ("forward only once").
+    PollLabel r = 0;              ///< label from the vouched request.
+  };
+  /// Keyed by (x, s) then by w: z may serve several poll-list members.
+  std::unordered_map<std::uint64_t, std::unordered_map<NodeId, Fw1Tally>>
+      fw1_tallies_;
+
+  // -- responder state (Algorithm 3): this in J(x, r) --
+  struct ResponderState {
+    std::vector<NodeId> counted;  ///< distinct vouching z in H(s, this).
+    std::size_t slots = 0;        ///< slots of H(s, this) vouching.
+    bool polled = false;          ///< Poll(s, r) received from x.
+    bool answered = false;        ///< Answer sent ("forward once").
+  };
+  std::unordered_map<std::uint64_t, ResponderState> responder_;
+  std::unordered_map<StringId, std::size_t> answer_counts_;  ///< Counts
+  std::deque<std::pair<NodeId, StringId>> deferred_;  ///< over-budget answers
+  std::size_t deferred_peak_ = 0;
+};
+
+}  // namespace fba::aer

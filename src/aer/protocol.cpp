@@ -1,0 +1,218 @@
+#include "aer/protocol.h"
+
+#include <cmath>
+
+#include "aer/runner.h"
+#include "support/table.h"
+
+namespace fba::aer {
+
+const char* model_name(Model model) {
+  switch (model) {
+    case Model::kSyncNonRushing:
+      return "sync-nonrushing";
+    case Model::kSyncRushing:
+      return "sync-rushing";
+    case Model::kAsync:
+      return "async";
+  }
+  return "?";
+}
+
+std::size_t AerConfig::resolved_t() const {
+  if (explicit_t >= 0) return static_cast<std::size_t>(explicit_t);
+  return static_cast<std::size_t>(
+      std::floor(corrupt_fraction * static_cast<double>(n)));
+}
+
+std::size_t AerConfig::resolved_d() const {
+  if (d_override > 0) return d_override;
+  const double log2n = std::log2(static_cast<double>(n));
+  return std::max<std::size_t>(
+      8, static_cast<std::size_t>(std::lround(c_d * log2n)));
+}
+
+std::size_t AerConfig::resolved_answer_budget() const {
+  if (answer_budget > 0) return answer_budget;
+  const auto log2n = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(n))));
+  return log2n * log2n;
+}
+
+std::size_t AerConfig::resolved_gstring_bits() const {
+  return gstring_c * static_cast<std::size_t>(node_id_bits(n));
+}
+
+AerWorld build_aer_world(const AerConfig& config,
+                         const CorruptPicker& pick_corrupt) {
+  FBA_REQUIRE(config.n >= 8, "AER needs at least 8 nodes");
+  const std::size_t n = config.n;
+  const std::size_t t = config.resolved_t();
+  FBA_REQUIRE(t < n, "cannot corrupt every node");
+
+  sampler::SamplerParams sp =
+      sampler::SamplerParams::defaults(n, config.seed, config.c_d);
+  sp.d = config.resolved_d();
+
+  AerWorld world;
+  world.shared = std::make_unique<AerShared>(config, sp);
+  AerShared& shared = *world.shared;
+
+  Rng setup_rng = Rng(config.seed).split(0x5e7u);
+
+  // The agreement value: c*log n bits, of which only a 2/3 fraction needs to
+  // be uniformly random; the rest is adversary-influenced (it comes from
+  // Byzantine committee members in the composed protocol). We fix those bits
+  // to zero, the structured worst case for an oblivious choice.
+  GstringSpec gspec;
+  gspec.length_bits = config.resolved_gstring_bits();
+  gspec.random_fraction = config.gstring_random_fraction;
+  BitString adversary_bits(gspec.length_bits);
+  Rng gstring_rng = setup_rng.split(0x65u);
+  shared.gstring = shared.table.intern(
+      make_gstring(gspec, adversary_bits, gstring_rng));
+
+  // Non-adaptive corruption, before any protocol activity.
+  Rng corrupt_rng = setup_rng.split(0xc0u);
+  std::vector<NodeId> corrupt =
+      pick_corrupt ? pick_corrupt(n, t, corrupt_rng, shared)
+                   : adv::random_corruption(n, t, corrupt_rng);
+  FBA_REQUIRE(corrupt.size() <= t, "corrupt picker exceeded its budget");
+
+  std::vector<bool> is_corrupt(n, false);
+  for (NodeId id : corrupt) is_corrupt.at(id) = true;
+
+  for (NodeId id = 0; id < n; ++id) {
+    if (!is_corrupt[id]) world.correct.push_back(id);
+  }
+
+  // Knowledgeable assignment: a random knowledgeable_fraction of correct
+  // nodes starts with gstring; the rest start with private random strings
+  // (the "sx can be random or set to a default value" case).
+  const auto know_count = static_cast<std::size_t>(
+      std::floor(config.knowledgeable_fraction *
+                 static_cast<double>(world.correct.size())));
+  Rng know_rng = setup_rng.split(0x4bu);
+  std::vector<NodeId> shuffled = world.correct;
+  know_rng.shuffle(shuffled);
+
+  world.view.shared = &shared;
+  world.view.gstring = shared.gstring;
+  world.view.corrupt = corrupt;
+  world.view.initial.assign(n, kNoString);
+  world.view.knowledgeable.assign(n, false);
+  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+    const NodeId id = shuffled[i];
+    if (i < know_count) {
+      world.view.initial[id] = shared.gstring;
+      world.view.knowledgeable[id] = true;
+    } else {
+      world.view.initial[id] = shared.table.intern(
+          BitString::random(gspec.length_bits, know_rng));
+    }
+  }
+  world.decisions.reset(n);
+  return world;
+}
+
+void fill_outcome_and_traffic(AerReport& report, const AerWorld& world,
+                              const TrafficMetrics& metrics) {
+  const AerShared& shared = *world.shared;
+  report.correct_count = world.correct.size();
+  report.knowledgeable_count = 0;
+  for (bool k : world.view.knowledgeable) {
+    if (k) ++report.knowledgeable_count;
+  }
+
+  report.decided_count = world.decisions.count_decided(world.correct);
+  report.decided_gstring =
+      world.decisions.count_correct_decisions(world.correct, shared.gstring);
+  report.everyone_decided = report.decided_count == world.correct.size();
+  report.agreement = report.decided_gstring == world.correct.size();
+  report.completion_time = world.decisions.completion_time(world.correct);
+
+  double time_sum = 0;
+  std::size_t timed = 0;
+  for (NodeId id : world.correct) {
+    if (world.decisions.has_decided(id)) {
+      time_sum += world.decisions.time(id);
+      ++timed;
+    }
+  }
+  report.mean_decision_time = timed > 0 ? time_sum / timed : 0;
+
+  report.total_messages = metrics.total_messages();
+  report.total_bits = metrics.total_bits();
+  report.amortized_bits = metrics.amortized_bits();
+  report.sent_bits = metrics.sent_bits_stats();
+  report.bits_by_kind = metrics.bits_by_kind();
+  report.msgs_by_kind = metrics.messages_by_kind();
+
+  const auto push_it = report.bits_by_kind.find("push");
+  report.push_bits_per_node =
+      push_it == report.bits_by_kind.end()
+          ? 0
+          : static_cast<double>(push_it->second) /
+                static_cast<double>(report.n);
+}
+
+namespace {
+
+/// AER-specific report sections (candidate lists, deferred-answer peaks).
+void fill_aer_specific(AerReport& report, const AerWorld& world,
+                       const std::vector<AerNode*>& nodes) {
+  const AerShared& shared = *world.shared;
+  for (AerNode* node : nodes) {
+    if (node == nullptr) continue;
+    report.sum_candidate_lists += node->candidate_list().size();
+    report.max_candidate_list =
+        std::max(report.max_candidate_list, node->candidate_list().size());
+    if (!node->has_candidate(shared.gstring)) ++report.nodes_missing_gstring;
+    report.max_deferred_answers =
+        std::max(report.max_deferred_answers, node->deferred_peak());
+  }
+}
+
+}  // namespace
+
+AerReport run_aer(const AerConfig& config, const StrategyFactory& make_strategy,
+                  const CorruptPicker& pick_corrupt) {
+  AerWorld world = build_aer_world(config, pick_corrupt);
+  return run_aer_world(world, make_strategy);
+}
+
+AerReport run_aer_world(AerWorld& world, const StrategyFactory& make_strategy) {
+  std::vector<AerNode*> nodes(world.shared->config.n, nullptr);
+  auto make_actor = [&world, &nodes](NodeId id) {
+    auto actor = std::make_unique<AerNode>(world.shared.get(), id,
+                                           world.view.initial[id]);
+    nodes[id] = actor.get();
+    return actor;
+  };
+  auto post_run = [&world, &nodes](AerReport& report) {
+    fill_aer_specific(report, world, nodes);
+  };
+  return run_world_protocol(world, make_actor, make_strategy, post_run);
+}
+
+std::vector<std::string> report_header() {
+  return {"protocol", "n",         "t",          "d",       "time",
+          "bits/node", "max bits", "imbalance",  "decided", "agree"};
+}
+
+std::vector<std::string> report_row(const std::string& label,
+                                    const AerReport& r) {
+  return {label,
+          Table::num(static_cast<std::uint64_t>(r.n)),
+          Table::num(static_cast<std::uint64_t>(r.t)),
+          Table::num(static_cast<std::uint64_t>(r.d)),
+          Table::num(r.completion_time),
+          Table::num(r.amortized_bits, 0),
+          Table::num(r.sent_bits.max, 0),
+          Table::num(r.sent_bits.imbalance(), 2),
+          Table::num(static_cast<std::uint64_t>(r.decided_count)) + "/" +
+              Table::num(static_cast<std::uint64_t>(r.correct_count)),
+          r.agreement ? "yes" : "NO"};
+}
+
+}  // namespace fba::aer

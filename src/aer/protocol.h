@@ -1,0 +1,114 @@
+// Harness: assembles a full AER run — samplers, gstring, corruption,
+// knowledgeable assignment, engine, adversary — executes it, and reports the
+// paper's metrics (decision outcome, time, amortized and per-node bits).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "aer/config.h"
+#include "aer/node.h"
+#include "support/metrics.h"
+
+namespace fba::aer {
+
+/// Everything the adversary may know at setup time (full information):
+/// public samplers, the string table, everyone's initial candidate, the
+/// corrupt roster and the value under agreement.
+struct AerWorldView {
+  AerShared* shared = nullptr;
+  StringId gstring = kNoString;
+  std::vector<StringId> initial;    ///< per-node initial candidate.
+  std::vector<bool> knowledgeable;  ///< correct and initially holding gstring.
+  std::vector<NodeId> corrupt;
+};
+
+/// Builds the adversary brain once the world is known.
+using StrategyFactory =
+    std::function<std::unique_ptr<adv::Strategy>(const AerWorldView&)>;
+
+/// Overrides the corrupt-set choice (still non-adaptive: runs before any
+/// protocol activity). Receives the shared setup so attacks can seize
+/// specific quorums.
+using CorruptPicker = std::function<std::vector<NodeId>(
+    std::size_t n, std::size_t t, Rng& rng, AerShared& shared)>;
+
+/// A fully assembled run environment. Exposed so that the BA composition
+/// (ba/) and the baseline AE->E protocols (baseline/) can execute against
+/// the *same* world — same corrupt set, same initial candidates, same wire
+/// format — for apples-to-apples comparisons.
+struct AerWorld {
+  std::unique_ptr<AerShared> shared;
+  AerWorldView view;
+  std::vector<NodeId> correct;
+  DecisionLog decisions;
+};
+
+/// Builds samplers, gstring, the corrupt set and the knowledgeable
+/// assignment per `config`.
+AerWorld build_aer_world(const AerConfig& config,
+                         const CorruptPicker& pick_corrupt = {});
+
+struct AerReport {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  std::size_t d = 0;
+  Model model = Model::kSyncRushing;
+
+  // Outcome.
+  std::size_t correct_count = 0;
+  std::size_t knowledgeable_count = 0;
+  std::size_t decided_count = 0;        ///< correct nodes that decided.
+  std::size_t decided_gstring = 0;      ///< ... on gstring.
+  bool everyone_decided = false;
+  bool agreement = false;  ///< every correct node decided on gstring.
+
+  // Time (rounds in sync models, normalized time in async).
+  double completion_time = 0;  ///< latest decision among correct nodes.
+  double mean_decision_time = 0;
+  double engine_time = 0;
+  bool engine_completed = false;
+
+  // Communication.
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bits = 0;
+  double amortized_bits = 0;  ///< total bits / n (the paper's measure).
+  LoadStats sent_bits;        ///< per-node sent-bits distribution.
+  std::map<std::string, std::uint64_t> bits_by_kind;
+  std::map<std::string, std::uint64_t> msgs_by_kind;
+
+  // Push phase (Lemmas 3-5).
+  std::uint64_t sum_candidate_lists = 0;  ///< sum over correct x of |L_x|.
+  std::size_t max_candidate_list = 0;
+  std::size_t nodes_missing_gstring = 0;  ///< correct x with gstring not in L_x.
+  double push_bits_per_node = 0;
+
+  // Responder pressure (Lemma 6 attack surface).
+  std::size_t max_deferred_answers = 0;
+};
+
+AerReport run_aer(const AerConfig& config,
+                  const StrategyFactory& make_strategy = {},
+                  const CorruptPicker& pick_corrupt = {});
+
+/// Runs AER on a prebuilt (possibly externally mutated) world; used by the
+/// BA composition where the AE phase dictates initial candidates.
+AerReport run_aer_world(AerWorld& world, const StrategyFactory& make_strategy = {});
+
+/// Fills the outcome (decisions vs gstring) and traffic sections of a
+/// report from a finished run. Shared with the baseline AE->E protocols so
+/// all Figure 1 rows are computed identically.
+void fill_outcome_and_traffic(AerReport& report, const AerWorld& world,
+                              const TrafficMetrics& metrics);
+
+/// Renders the headline fields of a report as one table row; benches use it
+/// to print Figure 1-style series.
+std::vector<std::string> report_row(const std::string& label,
+                                    const AerReport& report);
+std::vector<std::string> report_header();
+
+}  // namespace fba::aer

@@ -1,0 +1,113 @@
+#include "ba/ba.h"
+
+#include "baseline/flood.h"
+#include "baseline/sqrtsample.h"
+
+namespace fba::ba {
+
+const char* reduction_name(Reduction reduction) {
+  switch (reduction) {
+    case Reduction::kAer:
+      return "AER";
+    case Reduction::kSqrtSample:
+      return "sqrt-sample";
+    case Reduction::kFlood:
+      return "flood";
+  }
+  return "?";
+}
+
+BaReport run_ba(const BaConfig& config, Reduction reduction,
+                const ae::AeStrategyFactory& ae_strategy,
+                const aer::StrategyFactory& reduction_strategy) {
+  BaReport report;
+  report.kind = reduction;
+
+  // ---- Phase 1: almost-everywhere agreement ------------------------------
+  ae::AeConfig ae_cfg;
+  ae_cfg.n = config.n;
+  ae_cfg.seed = config.seed;
+  ae_cfg.corrupt_fraction = config.corrupt_fraction;
+  ae_cfg.explicit_t = config.explicit_t;
+  ae_cfg.root_size = config.root_size;
+  ae_cfg.committee_size = config.committee_size;
+  ae_cfg.gstring_c = config.gstring_c;
+  ae_cfg.max_rounds = config.max_rounds;
+
+  ae::AeRunResult ae_result = run_ae(ae_cfg, ae_strategy);
+  report.ae = ae_result.report;
+
+  FBA_ASSERT(!ae_result.winner.empty(),
+             "AE phase produced no assembled string");
+
+  // ---- Phase 2: almost-everywhere to everywhere --------------------------
+  aer::AerConfig aer_cfg;
+  aer_cfg.n = config.n;
+  aer_cfg.seed = config.seed + 1;  // fresh protocol randomness, same world
+  aer_cfg.model = config.reduction_model;
+  aer_cfg.explicit_t = static_cast<long>(ae_result.corrupt.size());
+  aer_cfg.c_d = config.c_d;
+  aer_cfg.d_override = config.d_override;
+  aer_cfg.gstring_c = config.gstring_c;
+  aer_cfg.answer_budget = config.answer_budget;
+  aer_cfg.max_rounds = config.max_rounds;
+  aer_cfg.max_time = config.max_time;
+
+  // The corrupt set is non-adaptive and spans both phases.
+  auto same_corrupt = [&ae_result](std::size_t, std::size_t, Rng&,
+                                   aer::AerShared&) {
+    return ae_result.corrupt;
+  };
+  aer::AerWorld world = aer::build_aer_world(aer_cfg, same_corrupt);
+
+  // Replace the synthetic precondition by the AE phase's actual outcome:
+  // every node starts the reduction with whatever string it assembled.
+  aer::AerShared& shared = *world.shared;
+  shared.gstring = shared.table.intern(ae_result.winner);
+  world.view.gstring = shared.gstring;
+  const std::size_t bits = ae_result.winner.size();
+  Rng filler = Rng(config.seed).split(0xf111ull);
+  for (NodeId id = 0; id < config.n; ++id) {
+    world.view.knowledgeable[id] = false;
+    if (std::find(ae_result.corrupt.begin(), ae_result.corrupt.end(), id) !=
+        ae_result.corrupt.end()) {
+      world.view.initial[id] = kNoString;
+      continue;
+    }
+    const BitString& assembled = ae_result.assembled[id];
+    if (assembled.empty()) {
+      // Node failed to assemble (should not happen in sync runs); give it an
+      // arbitrary private string, as the AER precondition allows.
+      world.view.initial[id] =
+          shared.table.intern(BitString::random(bits, filler));
+    } else {
+      world.view.initial[id] = shared.table.intern(assembled);
+      world.view.knowledgeable[id] = assembled == ae_result.winner;
+    }
+  }
+
+  switch (reduction) {
+    case Reduction::kAer:
+      report.reduction = run_aer_world(world, reduction_strategy);
+      break;
+    case Reduction::kSqrtSample:
+      report.reduction =
+          baseline::run_sqrtsample_world(world, reduction_strategy);
+      break;
+    case Reduction::kFlood:
+      report.reduction = baseline::run_flood_world(world, reduction_strategy);
+      break;
+  }
+
+  report.total_time =
+      static_cast<double>(report.ae.rounds) + report.reduction.completion_time;
+  report.total_messages =
+      report.ae.total_messages + report.reduction.total_messages;
+  report.total_bits = report.ae.total_bits + report.reduction.total_bits;
+  report.amortized_bits =
+      static_cast<double>(report.total_bits) / static_cast<double>(config.n);
+  report.agreement = report.reduction.agreement;
+  return report;
+}
+
+}  // namespace fba::ba

@@ -1,0 +1,69 @@
+// BA: the paper's composed Byzantine Agreement protocol.
+//
+// BA = almost-everywhere agreement (ae/, the KSSV06-style tournament, which
+// establishes the precondition that more than half of the nodes are correct
+// and share a mostly-random gstring) composed with an almost-everywhere to
+// everywhere reduction. With the AER reduction this is the paper's headline
+// protocol: poly-logarithmic in both time and communication. The same AE
+// phase composed with the baselines yields the Figure 1(b) comparison rows.
+#pragma once
+
+#include "ae/kssv.h"
+#include "aer/protocol.h"
+
+namespace fba::ba {
+
+/// Which AE->E reduction to compose after the AE phase.
+enum class Reduction {
+  kAer,         ///< the paper's protocol (polylog bits).
+  kSqrtSample,  ///< KS09/KLST11-style Õ(sqrt n) reduction.
+  kFlood,       ///< trivial O(n) broadcast reduction.
+};
+
+const char* reduction_name(Reduction reduction);
+
+struct BaConfig {
+  std::size_t n = 0;
+  std::uint64_t seed = 1;
+  double corrupt_fraction = 0.05;
+  long explicit_t = -1;
+
+  /// Model for the reduction phase (the AE tournament is synchronous, as in
+  /// the paper: only AER carries the asynchronous guarantee).
+  aer::Model reduction_model = aer::Model::kSyncRushing;
+
+  // AE phase knobs (0 = auto).
+  std::size_t root_size = 0;
+  std::size_t committee_size = 0;
+  std::size_t gstring_c = 4;
+
+  // AER knobs.
+  double c_d = 1.5;
+  std::size_t d_override = 0;
+  std::size_t answer_budget = 0;
+
+  Round max_rounds = 500;
+  double max_time = 500.0;
+};
+
+struct BaReport {
+  Reduction kind = Reduction::kAer;
+  ae::AeReport ae;
+  aer::AerReport reduction;
+
+  /// AE rounds + reduction time (rounds or normalized async time).
+  double total_time = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bits = 0;
+  double amortized_bits = 0;
+  /// Every correct node decided on the common string produced by AE.
+  bool agreement = false;
+};
+
+/// Runs the full composition. Adversary strategies are per phase; both
+/// phases share one non-adaptive corrupt set.
+BaReport run_ba(const BaConfig& config, Reduction reduction = Reduction::kAer,
+                const ae::AeStrategyFactory& ae_strategy = {},
+                const aer::StrategyFactory& reduction_strategy = {});
+
+}  // namespace fba::ba

@@ -1,0 +1,58 @@
+#include "baseline/flood.h"
+
+#include <algorithm>
+
+#include "aer/runner.h"
+
+namespace fba::baseline {
+
+FloodNode::FloodNode(const aer::AerShared* shared, NodeId self,
+                     StringId initial)
+    : shared_(shared), self_(self), initial_(initial) {}
+
+void FloodNode::on_start(sim::Context& ctx) {
+  const auto payload = std::make_shared<CandidateMsg>(initial_);
+  for (NodeId dst = 0; dst < ctx.n(); ++dst) {
+    if (dst != self_) ctx.send(dst, payload);
+  }
+  credit(ctx, self_, initial_);  // own candidate counts as one vote
+}
+
+void FloodNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
+  const auto* m = sim::payload_cast<CandidateMsg>(env.payload.get());
+  if (m == nullptr) return;
+  credit(ctx, env.src, m->s);
+}
+
+void FloodNode::credit(sim::Context& ctx, NodeId from, StringId s) {
+  if (decided_) return;
+  auto& voters = votes_[s];
+  if (std::find(voters.begin(), voters.end(), from) != voters.end()) return;
+  voters.push_back(from);
+  // More than half of all nodes hold s: by the precondition only gstring can
+  // ever cross this line, and it always will (> n/2 correct knowledgeable
+  // nodes broadcast reliably).
+  if (voters.size() * 2 > ctx.n()) {
+    decided_ = true;
+    ctx.decide(s);
+  }
+}
+
+aer::AerReport run_flood_world(aer::AerWorld& world,
+                               const aer::StrategyFactory& make_strategy) {
+  return aer::run_world_protocol(
+      world,
+      [&world](NodeId id) {
+        return std::make_unique<FloodNode>(world.shared.get(), id,
+                                           world.view.initial[id]);
+      },
+      make_strategy);
+}
+
+aer::AerReport run_flood(const aer::AerConfig& config,
+                         const aer::StrategyFactory& make_strategy) {
+  aer::AerWorld world = aer::build_aer_world(config);
+  return run_flood_world(world, make_strategy);
+}
+
+}  // namespace fba::baseline

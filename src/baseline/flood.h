@@ -1,0 +1,51 @@
+// FLOOD-ALL: the trivial almost-everywhere to everywhere reduction.
+//
+// Every node broadcasts its candidate to everyone and decides on the first
+// string held by more than half of all nodes. One round, O(n * |s|) bits per
+// node — the classical reference point against which both AER (polylog) and
+// the sqrt(n) reduction are compared in Figure 1(a).
+#pragma once
+
+#include "aer/protocol.h"
+#include "net/node.h"
+
+namespace fba::baseline {
+
+/// Broadcast of the sender's candidate string.
+struct CandidateMsg final : sim::Payload {
+  StringId s;
+
+  explicit CandidateMsg(StringId s) : s(s) {}
+  std::size_t bit_size(const sim::Wire& w) const override {
+    return w.string_bits(s);
+  }
+  const char* kind() const override { return "bcast"; }
+};
+
+class FloodNode final : public sim::Actor {
+ public:
+  FloodNode(const aer::AerShared* shared, NodeId self, StringId initial);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+
+ private:
+  void credit(sim::Context& ctx, NodeId from, StringId s);
+
+  const aer::AerShared* shared_;
+  NodeId self_;
+  StringId initial_;
+  bool decided_ = false;
+  std::unordered_map<StringId, std::vector<NodeId>> votes_;
+};
+
+/// Runs FLOOD-ALL on a prebuilt AER world (same corrupt set and candidate
+/// assignment) under the model in the world's config.
+aer::AerReport run_flood_world(aer::AerWorld& world,
+                               const aer::StrategyFactory& make_strategy = {});
+
+/// Convenience: build the world from `config` and run.
+aer::AerReport run_flood(const aer::AerConfig& config,
+                         const aer::StrategyFactory& make_strategy = {});
+
+}  // namespace fba::baseline

@@ -1,0 +1,112 @@
+#include "baseline/snowball.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aer/runner.h"
+
+namespace fba::baseline {
+
+SnowballParams SnowballParams::defaults(std::size_t n) {
+  SnowballParams p;
+  p.k = std::min<std::size_t>(10, n - 1);
+  p.alpha = 0.7;
+  p.beta = 5;
+  p.max_queries = 8 * p.k * p.beta;
+  return p;
+}
+
+SnowballNode::SnowballNode(const aer::AerShared* shared, NodeId self,
+                           StringId initial, const SnowballParams& params)
+    : shared_(shared), self_(self), params_(params), preference_(initial) {
+  if (params_.max_queries == 0) {
+    params_.max_queries = 8 * params_.k * params_.beta;
+  }
+}
+
+void SnowballNode::on_start(sim::Context& ctx) { sample(ctx); }
+
+void SnowballNode::sample(sim::Context& ctx) {
+  ++round_tag_;
+  replies_.clear();
+  reply_count_ = 0;
+  auto picks = ctx.rng().sample_without_replacement(ctx.n(), params_.k);
+  sampled_.assign(picks.begin(), picks.end());
+  std::sort(sampled_.begin(), sampled_.end());
+  const auto query = std::make_shared<SnowQueryMsg>(round_tag_);
+  for (NodeId dst : sampled_) ctx.send(dst, query);
+  // Query + reply is two delivery hops; corrupt peers may never reply, so a
+  // timer closes the sample window (sync: 3 rounds; async: 2.05 units).
+  ctx.schedule_timer(2.05, round_tag_);
+}
+
+void SnowballNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
+  if (const auto* q = sim::payload_cast<SnowQueryMsg>(env.payload.get())) {
+    // Load cap: a Byzantine query flood cannot skew this node's traffic.
+    if (queries_answered_ >= params_.max_queries) return;
+    ++queries_answered_;
+    ctx.send(env.src, std::make_shared<SnowReplyMsg>(preference_, q->round_tag));
+    return;
+  }
+  const auto* reply = sim::payload_cast<SnowReplyMsg>(env.payload.get());
+  if (reply == nullptr || decided_) return;
+  if (reply->round_tag != round_tag_) return;  // stale round
+  if (!std::binary_search(sampled_.begin(), sampled_.end(), env.src)) return;
+  ++replies_[reply->s];
+  ++reply_count_;
+  // Full sample in: no need to wait for the window timer.
+  if (reply_count_ == sampled_.size()) conclude_round(ctx);
+}
+
+void SnowballNode::on_timer(sim::Context& ctx, std::uint64_t token) {
+  if (decided_ || token != round_tag_) return;  // stale window
+  conclude_round(ctx);
+}
+
+void SnowballNode::conclude_round(sim::Context& ctx) {
+  // Evaluate the finished sample (replies from the previous round).
+  const auto threshold = static_cast<std::size_t>(
+      std::ceil(params_.alpha * static_cast<double>(params_.k)));
+  StringId winner = kNoString;
+  for (const auto& [value, count] : replies_) {
+    if (count >= threshold) winner = value;
+  }
+  if (winner == kNoString) {
+    chain_ = 0;
+  } else {
+    const std::size_t score = ++scores_[winner];
+    if (score >= scores_[preference_]) preference_ = winner;
+    chain_ = (winner == last_winner_) ? chain_ + 1 : 1;
+    last_winner_ = winner;
+    if (chain_ >= params_.beta) {
+      decided_ = true;
+      ctx.decide(preference_);
+      return;
+    }
+  }
+  sample(ctx);
+}
+
+aer::AerReport run_snowball_world(aer::AerWorld& world,
+                                  const aer::StrategyFactory& make_strategy,
+                                  const SnowballParams* params_override) {
+  const SnowballParams params =
+      params_override != nullptr
+          ? *params_override
+          : SnowballParams::defaults(world.shared->config.n);
+  return aer::run_world_protocol(
+      world,
+      [&world, &params](NodeId id) {
+        return std::make_unique<SnowballNode>(
+            world.shared.get(), id, world.view.initial[id], params);
+      },
+      make_strategy);
+}
+
+aer::AerReport run_snowball(const aer::AerConfig& config,
+                            const aer::StrategyFactory& make_strategy) {
+  aer::AerWorld world = aer::build_aer_world(config);
+  return run_snowball_world(world, make_strategy);
+}
+
+}  // namespace fba::baseline

@@ -1,0 +1,97 @@
+// SNOWBALL: a practitioner-style metastable gossip reduction.
+//
+// The calibration note for this reproduction observes that practitioners
+// reach for gossip/sampling protocols (PBFT/HotStuff for small n, Avalanche-
+// family sampling for large n) rather than theoretical AE->E reductions.
+// This baseline implements a Snowball-style loop as a third comparison
+// point for Figure 1(a):
+//
+//   repeat each round (until decided):
+//     query k uniformly random nodes for their current preference;
+//     if >= alpha * k replies agree on v:
+//         bump v's counter; chain++ if v repeats, else chain = 1;
+//         adopt v as preference when its counter takes the lead;
+//     else chain = 0;
+//     decide v after beta consecutive agreeing rounds.
+//
+// Costs O(k * rounds) messages per node (polylog-ish in practice) and is
+// load-balanced, but its guarantees are probabilistic/metastable rather
+// than worst-case — which is exactly the gap the paper's AER closes in
+// theory. Responders answer from their current preference, so the protocol
+// also *converges* the ignorant minority.
+#pragma once
+
+#include "aer/protocol.h"
+#include "net/node.h"
+
+namespace fba::baseline {
+
+/// Query for the recipient's current preference.
+struct SnowQueryMsg final : sim::Payload {
+  std::uint32_t round_tag;
+
+  explicit SnowQueryMsg(std::uint32_t round_tag) : round_tag(round_tag) {}
+  std::size_t bit_size(const sim::Wire&) const override { return 16; }
+  const char* kind() const override { return "snow-q"; }
+};
+
+/// Reply carrying the responder's preference.
+struct SnowReplyMsg final : sim::Payload {
+  StringId s;
+  std::uint32_t round_tag;
+
+  SnowReplyMsg(StringId s, std::uint32_t round_tag)
+      : s(s), round_tag(round_tag) {}
+  std::size_t bit_size(const sim::Wire& w) const override {
+    return w.string_bits(s) + 16;
+  }
+  const char* kind() const override { return "snow-r"; }
+};
+
+struct SnowballParams {
+  std::size_t k = 10;        ///< sample size per round.
+  double alpha = 0.7;        ///< quorum fraction within a sample.
+  std::size_t beta = 5;      ///< consecutive successes required to decide.
+  std::size_t max_queries = 0;  ///< responder budget; 0 = 8 * k * beta.
+
+  static SnowballParams defaults(std::size_t n);
+};
+
+class SnowballNode final : public sim::Actor {
+ public:
+  SnowballNode(const aer::AerShared* shared, NodeId self, StringId initial,
+               const SnowballParams& params);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  void on_timer(sim::Context& ctx, std::uint64_t token) override;
+
+ private:
+  void sample(sim::Context& ctx);
+  void conclude_round(sim::Context& ctx);
+
+  const aer::AerShared* shared_;
+  NodeId self_;
+  SnowballParams params_;
+  StringId preference_;
+  bool decided_ = false;
+
+  std::uint32_t round_tag_ = 0;
+  std::vector<NodeId> sampled_;
+  std::unordered_map<StringId, std::size_t> replies_;
+  std::size_t reply_count_ = 0;
+
+  std::unordered_map<StringId, std::size_t> scores_;  ///< Snowball counters.
+  StringId last_winner_ = kNoString;
+  std::size_t chain_ = 0;
+  std::size_t queries_answered_ = 0;
+};
+
+aer::AerReport run_snowball_world(
+    aer::AerWorld& world, const aer::StrategyFactory& make_strategy = {},
+    const SnowballParams* params_override = nullptr);
+
+aer::AerReport run_snowball(const aer::AerConfig& config,
+                            const aer::StrategyFactory& make_strategy = {});
+
+}  // namespace fba::baseline

@@ -1,0 +1,110 @@
+#include "baseline/sqrtsample.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aer/runner.h"
+
+namespace fba::baseline {
+
+SqrtSampleParams SqrtSampleParams::defaults(std::size_t n) {
+  SqrtSampleParams p;
+  const double root = std::sqrt(static_cast<double>(n));
+  const double log2n = std::log2(static_cast<double>(n));
+  p.sample_size = std::max<std::size_t>(
+      8, static_cast<std::size_t>(std::ceil(root * log2n / 2.0)));
+  if (p.sample_size >= n) p.sample_size = n - 1;
+  p.reply_cap = 4 * p.sample_size;
+  return p;
+}
+
+SqrtSampleNode::SqrtSampleNode(const aer::AerShared* shared, NodeId self,
+                               StringId initial,
+                               const SqrtSampleParams& params)
+    : shared_(shared), self_(self), initial_(initial), params_(params) {}
+
+void SqrtSampleNode::on_start(sim::Context& ctx) {
+  auto sample =
+      ctx.rng().sample_without_replacement(ctx.n(), params_.sample_size);
+  queried_.assign(sample.begin(), sample.end());
+  std::sort(queried_.begin(), queried_.end());
+  const auto query = std::make_shared<SampleQueryMsg>();
+  for (NodeId dst : queried_) ctx.send(dst, query);
+}
+
+void SqrtSampleNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
+  if (sim::payload_cast<SampleQueryMsg>(env.payload.get()) != nullptr) {
+    // Load-balance cap: answer at most reply_cap queries, so query flooding
+    // cannot skew this node's outbound traffic past a constant factor.
+    if (replies_sent_ >= params_.reply_cap) return;
+    ++replies_sent_;
+    ctx.send(env.src, std::make_shared<SampleReplyMsg>(initial_));
+    return;
+  }
+  const auto* reply = sim::payload_cast<SampleReplyMsg>(env.payload.get());
+  if (reply == nullptr || decided_) return;
+  if (!std::binary_search(queried_.begin(), queried_.end(), env.src)) return;
+  auto& voters = votes_[reply->s];
+  if (std::find(voters.begin(), voters.end(), env.src) != voters.end()) return;
+  voters.push_back(env.src);
+  if (voters.size() * 2 > params_.sample_size) {
+    decided_ = true;
+    ctx.decide(reply->s);
+  }
+}
+
+aer::AerReport run_sqrtsample_world(aer::AerWorld& world,
+                                    const aer::StrategyFactory& make_strategy,
+                                    const SqrtSampleParams* params_override) {
+  const SqrtSampleParams params =
+      params_override != nullptr
+          ? *params_override
+          : SqrtSampleParams::defaults(world.shared->config.n);
+  return aer::run_world_protocol(
+      world,
+      [&world, &params](NodeId id) {
+        return std::make_unique<SqrtSampleNode>(
+            world.shared.get(), id, world.view.initial[id], params);
+      },
+      make_strategy);
+}
+
+aer::AerReport run_sqrtsample(const aer::AerConfig& config,
+                              const aer::StrategyFactory& make_strategy) {
+  aer::AerWorld world = aer::build_aer_world(config);
+  return run_sqrtsample_world(world, make_strategy);
+}
+
+namespace {
+
+class SqrtJunkReplyStrategy final : public adv::Strategy {
+ public:
+  explicit SqrtJunkReplyStrategy(const aer::AerWorldView& view)
+      : shared_(view.shared) {
+    const std::size_t bits = shared_->table.get(view.gstring).size();
+    Rng rng = Rng(shared_->config.seed).split(0x6a6bull);
+    junk_ = shared_->table.intern(BitString::random(bits, rng));
+  }
+
+  void on_deliver_to_corrupt(adv::AdvContext& ctx,
+                             const sim::Envelope& env) override {
+    if (sim::payload_cast<SampleQueryMsg>(env.payload.get()) == nullptr) {
+      return;
+    }
+    ctx.send_from(env.dst, env.src, std::make_shared<SampleReplyMsg>(junk_));
+  }
+
+ private:
+  aer::AerShared* shared_;
+  StringId junk_;
+};
+
+}  // namespace
+
+aer::StrategyFactory sqrt_junk_reply_strategy() {
+  return [](const aer::AerWorldView& view) {
+    return std::make_unique<SqrtJunkReplyStrategy>(view);
+  };
+}
+
+}  // namespace fba::baseline

@@ -1,0 +1,75 @@
+// SQRT-SAMPLE: a KS09 / KLST11-style load-balanced almost-everywhere to
+// everywhere reduction, the Figure 1(a) comparator.
+//
+// Every node queries Theta(sqrt(n) * log n) uniformly random nodes for their
+// candidate and decides on the strict majority of its sample. Responders cap
+// how many queries they answer (a small multiple of the expected load), so
+// the protocol stays load-balanced even under query flooding — the defining
+// property the paper's AER deliberately relaxes. Bits per node grow as
+// ~sqrt(n) * polylog(n), against AER's polylog — the shape the Figure 1(a)
+// "Bits" column contrasts.
+#pragma once
+
+#include "aer/protocol.h"
+#include "net/node.h"
+
+namespace fba::baseline {
+
+/// Query for the recipient's candidate string (header-only on the wire).
+struct SampleQueryMsg final : sim::Payload {
+  std::size_t bit_size(const sim::Wire&) const override { return 0; }
+  const char* kind() const override { return "query"; }
+};
+
+/// Reply carrying the responder's candidate.
+struct SampleReplyMsg final : sim::Payload {
+  StringId s;
+
+  explicit SampleReplyMsg(StringId s) : s(s) {}
+  std::size_t bit_size(const sim::Wire& w) const override {
+    return w.string_bits(s);
+  }
+  const char* kind() const override { return "reply"; }
+};
+
+struct SqrtSampleParams {
+  std::size_t sample_size = 0;  ///< k: queries per node.
+  std::size_t reply_cap = 0;    ///< responder budget (load-balance cap).
+
+  /// k = ceil(sqrt(n) * log2(n) / 2), cap = 4k.
+  static SqrtSampleParams defaults(std::size_t n);
+};
+
+class SqrtSampleNode final : public sim::Actor {
+ public:
+  SqrtSampleNode(const aer::AerShared* shared, NodeId self, StringId initial,
+                 const SqrtSampleParams& params);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+
+  std::size_t replies_sent() const { return replies_sent_; }
+
+ private:
+  const aer::AerShared* shared_;
+  NodeId self_;
+  StringId initial_;
+  SqrtSampleParams params_;
+  bool decided_ = false;
+  std::vector<NodeId> queried_;  ///< sorted sample, for reply filtering.
+  std::unordered_map<StringId, std::vector<NodeId>> votes_;
+  std::size_t replies_sent_ = 0;
+};
+
+aer::AerReport run_sqrtsample_world(
+    aer::AerWorld& world, const aer::StrategyFactory& make_strategy = {},
+    const SqrtSampleParams* params_override = nullptr);
+
+aer::AerReport run_sqrtsample(const aer::AerConfig& config,
+                              const aer::StrategyFactory& make_strategy = {});
+
+/// Baseline attack: corrupt nodes answer every query with a coordinated junk
+/// string (the strongest reply-side deviation; silence is weaker).
+aer::StrategyFactory sqrt_junk_reply_strategy();
+
+}  // namespace fba::baseline

@@ -1,0 +1,46 @@
+// Umbrella header: the full public API of the fba library.
+//
+//   fba::aer     — AER, the paper's almost-everywhere to everywhere protocol
+//   fba::ae      — KSSV06-style almost-everywhere agreement tournament
+//   fba::ba      — the composed Byzantine Agreement protocol
+//   fba::baseline— FLOOD-ALL and SQRT-SAMPLE comparators
+//   fba::sampler — the I/H/J sampler machinery (Section 2.2)
+//   fba::sim     — the simulated network engines (sync / async)
+//   fba::adv     — the Byzantine adversary and its strategy gallery
+//
+// Quickstart (see examples/quickstart.cpp):
+//
+//   fba::ba::BaConfig config;
+//   config.n = 512;
+//   auto report = fba::ba::run_ba(config);
+//   // report.agreement, report.total_time, report.amortized_bits ...
+#pragma once
+
+#include "adversary/adversary.h"
+#include "adversary/strategies.h"
+#include "ae/committee.h"
+#include "ae/kssv.h"
+#include "ae/phase_king.h"
+#include "aer/config.h"
+#include "aer/messages.h"
+#include "aer/node.h"
+#include "aer/protocol.h"
+#include "aer/runner.h"
+#include "ba/ba.h"
+#include "baseline/flood.h"
+#include "baseline/snowball.h"
+#include "baseline/sqrtsample.h"
+#include "net/async_engine.h"
+#include "net/sync_engine.h"
+#include "sampler/hash_sampler.h"
+#include "sampler/properties.h"
+#include "sampler/sampler.h"
+#include "support/bitstring.h"
+#include "support/histogram.h"
+#include "support/intern.h"
+#include "support/metrics.h"
+#include "support/permutation.h"
+#include "support/random.h"
+#include "support/siphash.h"
+#include "support/table.h"
+#include "support/types.h"

@@ -1,0 +1,70 @@
+#include "net/async_engine.h"
+
+#include <algorithm>
+
+#include "adversary/adversary.h"
+
+namespace fba::sim {
+
+AsyncEngine::AsyncEngine(const AsyncConfig& config)
+    : EngineBase(config.n, config.seed), config_(config) {}
+
+void AsyncEngine::queue_envelope(Envelope env) {
+  SimTime delay;
+  if (strategy_ != nullptr) {
+    adv::AdvContext actx(*this);
+    delay = strategy_->choose_delay(actx, env);
+    // Reliability: the adversary cannot hold a message past the bound, nor
+    // deliver into the past.
+    delay = std::clamp(delay, 1e-9, 1.0);
+  } else {
+    delay = strategy_rng_.uniform_positive();
+  }
+  queue_.push(Pending{current_time_ + delay, std::move(env), false, 0, 0});
+}
+
+void AsyncEngine::queue_timer(NodeId node, double delay, std::uint64_t token) {
+  FBA_REQUIRE(delay > 0, "timer delay must be positive");
+  Pending pending;
+  pending.at = current_time_ + delay;
+  pending.env.seq = ++send_seq_;  // tie-break ordering with deliveries
+  pending.is_timer = true;
+  pending.timer_node = node;
+  pending.timer_token = token;
+  queue_.push(std::move(pending));
+}
+
+AsyncResult AsyncEngine::run(const std::function<bool()>& done) {
+  AsyncResult result;
+
+  strategy_setup();
+  for (NodeId id = 0; id < n_; ++id) start_actor(id);
+
+  std::size_t since_check = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().at > config_.max_time) break;
+    if (++since_check >= config_.done_check_stride) {
+      since_check = 0;
+      if (done()) {
+        result.completed = true;
+        break;
+      }
+    }
+    Pending next = queue_.top();
+    queue_.pop();
+    current_time_ = next.at;
+    ++result.deliveries;
+    if (next.is_timer) {
+      fire_timer(next.timer_node, next.timer_token);
+    } else {
+      deliver(next.env);
+    }
+  }
+
+  if (queue_.empty()) result.quiescent = true;
+  if (!result.completed && done()) result.completed = true;
+  result.time = current_time_;
+  return result;
+}
+
+}  // namespace fba::sim

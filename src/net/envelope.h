@@ -1,0 +1,19 @@
+// An in-flight message. The simulator stamps the true sender (authenticated
+// channels): Byzantine nodes can send arbitrary payloads but cannot forge
+// `src`.
+#pragma once
+
+#include "net/payload.h"
+#include "support/types.h"
+
+namespace fba::sim {
+
+struct Envelope {
+  NodeId src = 0;
+  NodeId dst = 0;
+  PayloadPtr payload;
+  double send_time = 0;  ///< round (sync) or sim time (async) when sent.
+  std::uint64_t seq = 0; ///< global send sequence, breaks ties deterministically.
+};
+
+}  // namespace fba::sim

@@ -1,0 +1,113 @@
+#include "net/network.h"
+
+#include "adversary/adversary.h"
+
+namespace fba::sim {
+
+EngineBase::EngineBase(std::size_t n, std::uint64_t seed)
+    : n_(n),
+      actors_(n),
+      corrupt_(n, false),
+      metrics_(n),
+      strategy_rng_(Rng(seed).split(0xadull)) {
+  FBA_REQUIRE(n >= 2, "a network needs at least two nodes");
+  Rng master(seed);
+  node_rngs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    node_rngs_.push_back(master.split(0x1000 + i));
+  }
+}
+
+EngineBase::~EngineBase() = default;
+
+void EngineBase::set_actor(NodeId id, std::unique_ptr<Actor> actor) {
+  FBA_REQUIRE(id < n_, "actor id out of range");
+  actors_[id] = std::move(actor);
+}
+
+void EngineBase::set_corrupt(const std::vector<NodeId>& nodes) {
+  for (NodeId id : nodes) {
+    FBA_REQUIRE(id < n_, "corrupt node id out of range");
+    if (!corrupt_[id]) {
+      corrupt_[id] = true;
+      corrupt_list_.push_back(id);
+    }
+  }
+}
+
+std::vector<NodeId> EngineBase::correct_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(n_ - corrupt_list_.size());
+  for (NodeId id = 0; id < n_; ++id) {
+    if (!corrupt_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+void EngineBase::send_from(NodeId src, NodeId dst, PayloadPtr payload) {
+  FBA_REQUIRE(src < n_ && dst < n_, "send endpoint out of range");
+  FBA_ASSERT(payload != nullptr, "cannot send a null payload");
+  FBA_ASSERT(wire_ != nullptr, "engine has no wire format configured");
+  const std::size_t bits =
+      payload->bit_size(*wire_) + wire_->header_bits();
+  metrics_.on_message(src, dst, bits, payload->kind());
+
+  Envelope env;
+  env.src = src;
+  env.dst = dst;
+  env.payload = std::move(payload);
+  env.send_time = now();
+  env.seq = ++send_seq_;
+
+  // Full-information adversary: it sees every message as soon as it is sent.
+  // (Whether it can *react* within the same time step is the rushing /
+  // non-rushing distinction, enforced by the engines' scheduling.)
+  if (strategy_ != nullptr) {
+    adv::AdvContext actx(*this);
+    strategy_->on_observe(actx, env);
+  }
+  queue_envelope(std::move(env));
+}
+
+void EngineBase::report_decision(NodeId node, StringId value) {
+  if (on_decide_) on_decide_(node, value, now());
+}
+
+void EngineBase::deliver(const Envelope& env) {
+  if (corrupt_[env.dst]) {
+    if (strategy_ != nullptr) {
+      adv::AdvContext actx(*this);
+      strategy_->on_deliver_to_corrupt(actx, env);
+    }
+    return;
+  }
+  Actor* actor = actors_[env.dst].get();
+  FBA_ASSERT(actor != nullptr, "correct node has no actor");
+  Context ctx(*this, env.dst, now(), node_rngs_[env.dst]);
+  actor->on_message(ctx, env);
+}
+
+void EngineBase::fire_timer(NodeId node, std::uint64_t token) {
+  if (corrupt_[node]) return;
+  Actor* actor = actors_[node].get();
+  FBA_ASSERT(actor != nullptr, "correct node has no actor");
+  Context ctx(*this, node, now(), node_rngs_[node]);
+  actor->on_timer(ctx, token);
+}
+
+void EngineBase::start_actor(NodeId id) {
+  if (corrupt_[id]) return;
+  Actor* actor = actors_[id].get();
+  FBA_ASSERT(actor != nullptr, "correct node has no actor");
+  Context ctx(*this, id, now(), node_rngs_[id]);
+  actor->on_start(ctx);
+}
+
+void EngineBase::strategy_setup() {
+  if (strategy_ != nullptr) {
+    adv::AdvContext actx(*this);
+    strategy_->on_setup(actx);
+  }
+}
+
+}  // namespace fba::sim

@@ -1,0 +1,116 @@
+// EngineBase: state shared by the synchronous and asynchronous engines —
+// the node roster, the corrupt set, the adversary strategy, traffic metrics,
+// and the authenticated send path.
+//
+// Model (Section 2.1): fully-connected network, authenticated channels,
+// reliable delivery. The adversary is non-adaptive (corrupt set fixed before
+// execution), has full information (observes every send), and coordinates
+// all corrupt nodes through a single Strategy object.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/envelope.h"
+#include "net/node.h"
+#include "net/payload.h"
+#include "support/metrics.h"
+#include "support/random.h"
+#include "support/types.h"
+
+namespace fba::adv {
+class Strategy;
+}
+
+namespace fba::sim {
+
+/// Invoked when a correct node decides: (node, value, time).
+using DecisionCallback = std::function<void(NodeId, StringId, double)>;
+
+class EngineBase {
+ public:
+  EngineBase(std::size_t n, std::uint64_t seed);
+  virtual ~EngineBase();
+
+  EngineBase(const EngineBase&) = delete;
+  EngineBase& operator=(const EngineBase&) = delete;
+
+  // ----- setup -------------------------------------------------------------
+
+  /// Registers the actor for node `id`. Every node needs one, corrupt or not
+  /// (corrupt nodes' actors are simply never invoked).
+  void set_actor(NodeId id, std::unique_ptr<Actor> actor);
+
+  /// Marks `nodes` as Byzantine. Must be called before run().
+  void set_corrupt(const std::vector<NodeId>& nodes);
+
+  /// Installs the adversary brain; may be null (corrupt nodes stay silent).
+  void set_strategy(adv::Strategy* strategy) { strategy_ = strategy; }
+
+  void set_wire(const Wire* wire) { wire_ = wire; }
+
+  void set_decision_callback(DecisionCallback cb) { on_decide_ = std::move(cb); }
+
+  // ----- introspection -----------------------------------------------------
+
+  std::size_t n() const { return n_; }
+  bool is_corrupt(NodeId id) const { return corrupt_.at(id); }
+  const std::vector<NodeId>& corrupt_nodes() const { return corrupt_list_; }
+  std::vector<NodeId> correct_nodes() const;
+  TrafficMetrics& metrics() { return metrics_; }
+  const TrafficMetrics& metrics() const { return metrics_; }
+  Rng& strategy_rng() { return strategy_rng_; }
+  virtual double now() const = 0;
+
+  // ----- used by Context / AdvContext --------------------------------------
+
+  /// Authenticated send: `src` is stamped by the engine. Charges metrics and
+  /// feeds the adversary's full-information tap, then hands the envelope to
+  /// the engine-specific queue via queue_envelope().
+  void send_from(NodeId src, NodeId dst, PayloadPtr payload);
+
+  void report_decision(NodeId node, StringId value);
+
+  /// Requests an Actor::on_timer callback for `node` after `delay`.
+  virtual void queue_timer(NodeId node, double delay, std::uint64_t token) = 0;
+
+ protected:
+  virtual void queue_envelope(Envelope env) = 0;
+
+  void fire_timer(NodeId node, std::uint64_t token);
+
+  /// Dispatches a delivered envelope: correct nodes get their actor callback,
+  /// corrupt nodes hand the message to the strategy.
+  void deliver(const Envelope& env);
+
+  void start_actor(NodeId id);
+  void strategy_setup();
+
+  Rng& node_rng(NodeId id) { return node_rngs_.at(id); }
+
+  std::size_t n_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::vector<bool> corrupt_;
+  std::vector<NodeId> corrupt_list_;
+  adv::Strategy* strategy_ = nullptr;
+  const Wire* wire_ = nullptr;
+  TrafficMetrics metrics_;
+  DecisionCallback on_decide_;
+  std::vector<Rng> node_rngs_;
+  Rng strategy_rng_;
+  std::uint64_t send_seq_ = 0;
+};
+
+inline std::size_t Context::n() const { return engine_.n(); }
+inline void Context::send(NodeId dst, PayloadPtr payload) {
+  engine_.send_from(self_, dst, std::move(payload));
+}
+inline void Context::schedule_timer(double delay, std::uint64_t token) {
+  engine_.queue_timer(self_, delay, token);
+}
+inline void Context::decide(StringId value) {
+  engine_.report_decision(self_, value);
+}
+
+}  // namespace fba::sim

@@ -1,0 +1,72 @@
+// Actor interface: a protocol node, engine-agnostic.
+//
+// The same actor implementation runs unmodified under the synchronous and
+// asynchronous engines — this is how the paper's claim that AER "remains
+// correct and efficient under asynchrony" is exercised by construction.
+#pragma once
+
+#include "net/envelope.h"
+#include "support/random.h"
+#include "support/types.h"
+
+namespace fba::sim {
+
+class EngineBase;
+
+/// Per-callback view of the world handed to an actor. Valid only for the
+/// duration of the callback.
+class Context {
+ public:
+  Context(EngineBase& engine, NodeId self, double now, Rng& rng)
+      : engine_(engine), self_(self), now_(now), rng_(rng) {}
+
+  NodeId self() const { return self_; }
+  double now() const { return now_; }
+  std::size_t n() const;
+
+  /// The node's private random number generator (Section 2.1).
+  Rng& rng() { return rng_; }
+
+  /// Queue a message; delivery obeys the engine's timing model.
+  void send(NodeId dst, PayloadPtr payload);
+
+  /// Request an on_timer(token) callback after `delay` (rounds in the
+  /// synchronous engine, rounded up; normalized time units in the
+  /// asynchronous engine). Timers are local: no network traffic is charged.
+  void schedule_timer(double delay, std::uint64_t token);
+
+  /// Report an irrevocable decision on `value`; recorded with a timestamp by
+  /// the harness. Repeated calls are ignored (first decision wins).
+  void decide(StringId value);
+
+ private:
+  EngineBase& engine_;
+  NodeId self_;
+  double now_;
+  Rng& rng_;
+};
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Called once before any message flows (round 0 / time 0).
+  virtual void on_start(Context& ctx) = 0;
+
+  /// Called for every delivered message.
+  virtual void on_message(Context& ctx, const Envelope& env) = 0;
+
+  /// Synchronous engine only: start of each round after deliveries.
+  virtual void on_round(Context& ctx, Round round) {
+    (void)ctx;
+    (void)round;
+  }
+
+  /// A timer requested via Context::schedule_timer fired.
+  virtual void on_timer(Context& ctx, std::uint64_t token) {
+    (void)ctx;
+    (void)token;
+  }
+};
+
+}  // namespace fba::sim

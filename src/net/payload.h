@@ -1,0 +1,54 @@
+// Message payloads and wire-size accounting.
+//
+// Payloads are immutable, shared objects; the simulator moves
+// shared_ptr<const Payload> around instead of serialized bytes, but every
+// send is charged its true encoded size via Payload::bit_size(const Wire&),
+// so the measured communication complexity matches what a faithful wire
+// format would cost.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "support/types.h"
+
+namespace fba::sim {
+
+/// Encoding parameters of the deployment: how many bits a node id, a poll
+/// label r (from the paper's domain R), or a candidate string costs on the
+/// wire. Implemented by protocol harnesses (they own the string table).
+class Wire {
+ public:
+  virtual ~Wire() = default;
+
+  virtual std::size_t node_id_bits() const = 0;
+  virtual std::size_t label_bits() const = 0;
+  virtual std::size_t string_bits(StringId id) const = 0;
+
+  /// Fixed per-message overhead: message-kind tag plus the authenticated
+  /// sender identity (channels are authenticated, Section 2.1).
+  std::size_t header_bits() const { return kKindTagBits + node_id_bits(); }
+
+  static constexpr std::size_t kKindTagBits = 4;
+};
+
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Encoded size of this payload's fields, excluding the common header.
+  virtual std::size_t bit_size(const Wire& wire) const = 0;
+
+  /// Stable short name used for per-kind traffic metrics ("push", "fw1"...).
+  virtual const char* kind() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Safe downcast for received payloads; returns nullptr on kind mismatch.
+template <typename T>
+const T* payload_cast(const Payload* p) {
+  return dynamic_cast<const T*>(p);
+}
+
+}  // namespace fba::sim

@@ -1,0 +1,84 @@
+#include "net/sync_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "adversary/adversary.h"
+
+namespace fba::sim {
+
+SyncEngine::SyncEngine(const SyncConfig& config)
+    : EngineBase(config.n, config.seed), config_(config) {}
+
+void SyncEngine::queue_envelope(Envelope env) {
+  next_round_.push_back(std::move(env));
+}
+
+void SyncEngine::queue_timer(NodeId node, double delay, std::uint64_t token) {
+  const auto rounds = static_cast<Round>(std::max(1.0, std::ceil(delay)));
+  timers_.push_back(Timer{current_round_ + rounds, node, token});
+}
+
+SyncResult SyncEngine::run(const std::function<bool()>& done) {
+  SyncResult result;
+
+  strategy_setup();
+  // Round 0: every correct node's initial step.
+  const bool rushing = config_.rushing_adversary;
+  auto adversary_turn = [&](Round round) {
+    if (strategy_ != nullptr) {
+      adv::AdvContext actx(*this);
+      strategy_->on_round(actx, round, rushing);
+    }
+  };
+
+  if (!rushing) adversary_turn(0);
+  for (NodeId id = 0; id < n_; ++id) start_actor(id);
+  if (rushing) adversary_turn(0);
+
+  while (current_round_ < config_.max_rounds) {
+    if (done()) {
+      result.completed = true;
+      break;
+    }
+    if (next_round_.empty() && timers_.empty() &&
+        current_round_ >= config_.min_rounds) {
+      result.quiescent = true;
+      break;
+    }
+    ++current_round_;
+
+    std::deque<Envelope> inbox = std::exchange(next_round_, {});
+    if (rushing && !corrupt_list_.empty()) {
+      // The rushing adversary wins same-round delivery races.
+      std::stable_partition(
+          inbox.begin(), inbox.end(),
+          [this](const Envelope& env) { return corrupt_[env.src]; });
+    }
+
+    if (!rushing) adversary_turn(current_round_);
+    for (const Envelope& env : inbox) deliver(env);
+    if (!timers_.empty()) {
+      std::vector<Timer> due;
+      std::vector<Timer> later;
+      for (const Timer& timer : timers_) {
+        (timer.at <= current_round_ ? due : later).push_back(timer);
+      }
+      timers_ = std::move(later);
+      for (const Timer& timer : due) fire_timer(timer.node, timer.token);
+    }
+    for (NodeId id = 0; id < n_; ++id) {
+      if (corrupt_[id]) continue;
+      Context ctx(*this, id, now(), node_rng(id));
+      actors_[id]->on_round(ctx, current_round_);
+    }
+    if (rushing) adversary_turn(current_round_);
+  }
+
+  if (!result.completed && done()) result.completed = true;
+  result.rounds = current_round_;
+  return result;
+}
+
+}  // namespace fba::sim

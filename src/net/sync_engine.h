@@ -1,0 +1,72 @@
+// Synchronous round-based engine.
+//
+// Timing model (Section 2.1): a message sent during round r is delivered
+// during round r+1. Each round:
+//   1. deliver the previous round's messages to their targets;
+//   2. (non-rushing) the adversary acts for this round, blind to correct
+//      traffic of the same round;
+//   3. correct nodes take their round step (on_round), queueing sends;
+//   4. (rushing) the adversary acts now, having observed step 3's sends.
+// Everything queued in steps 2-4 forms the next round's deliveries.
+//
+// Against a rushing adversary, corrupt-origin messages are additionally
+// delivered first within their round: a rushing adversary wins same-round
+// delivery races (it controls when in the round its messages leave).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "net/network.h"
+
+namespace fba::sim {
+
+struct SyncConfig {
+  std::size_t n = 0;
+  std::uint64_t seed = 1;
+  bool rushing_adversary = true;
+  Round max_rounds = 10000;
+  /// Round-scheduled protocols (phase king, the AE tournament) progress on
+  /// the round clock even through silent rounds (e.g. a corrupt king says
+  /// nothing): quiescence only stops the run after this many rounds.
+  Round min_rounds = 0;
+};
+
+struct SyncResult {
+  Round rounds = 0;       ///< rounds executed before stopping.
+  bool completed = false; ///< the done-predicate fired.
+  bool quiescent = false; ///< stopped because no messages were in flight.
+};
+
+class SyncEngine : public EngineBase {
+ public:
+  explicit SyncEngine(const SyncConfig& config);
+
+  double now() const override {
+    return static_cast<double>(current_round_);
+  }
+  Round current_round() const { return current_round_; }
+
+  /// Runs rounds until `done` returns true, the network goes quiescent, or
+  /// max_rounds elapse. `done` is evaluated at the end of every round.
+  SyncResult run(const std::function<bool()>& done);
+
+  /// Timers fire at round current + ceil(delay), before on_round.
+  void queue_timer(NodeId node, double delay, std::uint64_t token) override;
+
+ private:
+  void queue_envelope(Envelope env) override;
+
+  struct Timer {
+    Round at;
+    NodeId node;
+    std::uint64_t token;
+  };
+
+  SyncConfig config_;
+  Round current_round_ = 0;
+  std::deque<Envelope> next_round_;  // sent this round, delivered next round
+  std::vector<Timer> timers_;
+};
+
+}  // namespace fba::sim

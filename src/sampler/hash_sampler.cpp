@@ -1,0 +1,40 @@
+#include "sampler/hash_sampler.h"
+
+namespace fba::sampler {
+
+HashQuorumSampler::HashQuorumSampler(const SamplerParams& params,
+                                     std::uint64_t domain_tag)
+    : params_(params),
+      key_(derive_key(SipKey{params.setup_seed, ~params.setup_seed},
+                      domain_tag)) {
+  FBA_REQUIRE(params.d >= 1, "quorum size must be positive");
+}
+
+Quorum HashQuorumSampler::quorum(StringKey s, NodeId x) const {
+  std::vector<NodeId> members;
+  members.reserve(params_.d);
+  for (std::size_t k = 0; k < params_.d; ++k) {
+    const std::uint64_t h = siphash_words(
+        key_, {s, static_cast<std::uint64_t>(x), static_cast<std::uint64_t>(k)});
+    members.push_back(static_cast<NodeId>(h % params_.n));
+  }
+  return make_quorum(std::move(members));
+}
+
+std::vector<NodeId> HashQuorumSampler::targets(StringKey s, NodeId y) const {
+  std::vector<NodeId> out;
+  for (NodeId x = 0; x < params_.n; ++x) {
+    if (quorum(s, x).contains(y)) out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<std::size_t> HashQuorumSampler::slot_loads(StringKey s) const {
+  std::vector<std::size_t> loads(params_.n, 0);
+  for (NodeId x = 0; x < params_.n; ++x) {
+    for (NodeId member : quorum(s, x).members) ++loads[member];
+  }
+  return loads;
+}
+
+}  // namespace fba::sampler

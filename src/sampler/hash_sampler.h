@@ -1,0 +1,43 @@
+// Ablation: the naive hash-based quorum sampler.
+//
+// The obvious way to build I and H is d independent hash draws per (s, x):
+//   I(s, x) = { hash(s, x, k) mod n : k in [d] }.
+// It has two costs the permutation construction (sampler.h) avoids:
+//   1. finding the push targets { x : y in I(s, x) } requires scanning all
+//      n quorums — O(n d) evaluations instead of O(d);
+//   2. per-string slot loads are Binomial(n d, 1/n) ~ Poisson(d), so some
+//      node is overloaded by a log n / log log n factor — Lemma 1's
+//      "no x is overloaded" only holds up to that slack, not exactly.
+// This module exists to quantify both effects (tests and
+// bench_micro_primitives); protocols use the permutation sampler.
+#pragma once
+
+#include <vector>
+
+#include "sampler/sampler.h"
+
+namespace fba::sampler {
+
+class HashQuorumSampler {
+ public:
+  HashQuorumSampler(const SamplerParams& params, std::uint64_t domain_tag);
+
+  std::size_t n() const { return params_.n; }
+  std::size_t d() const { return params_.d; }
+
+  Quorum quorum(StringKey s, NodeId x) const;
+
+  /// { x : y in I(s, x) } by exhaustive inversion — O(n d) evaluations.
+  std::vector<NodeId> targets(StringKey s, NodeId y) const;
+
+  /// Per-node slot loads |I^{-1}(s, y)| for one string — the Lemma 1
+  /// overload distribution (exactly d everywhere for the permutation
+  /// sampler; Poisson(d)-spread here).
+  std::vector<std::size_t> slot_loads(StringKey s) const;
+
+ private:
+  SamplerParams params_;
+  SipKey key_;
+};
+
+}  // namespace fba::sampler

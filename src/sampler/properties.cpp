@@ -1,0 +1,147 @@
+#include "sampler/properties.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+namespace fba::sampler {
+
+OverloadReport check_overload(const QuorumSampler& sampler, StringKey s) {
+  const std::size_t n = sampler.n();
+  std::vector<std::size_t> load(n, 0);
+  for (NodeId x = 0; x < n; ++x) {
+    for (NodeId member : sampler.quorum(s, x).members) ++load[member];
+  }
+  OverloadReport r;
+  r.min_load = *std::min_element(load.begin(), load.end());
+  r.max_load = *std::max_element(load.begin(), load.end());
+  std::uint64_t total = 0;
+  for (auto v : load) total += v;
+  r.mean_load = static_cast<double>(total) / static_cast<double>(n);
+  return r;
+}
+
+double bad_quorum_fraction(const QuorumSampler& sampler, StringKey s,
+                           const std::vector<bool>& good) {
+  const std::size_t n = sampler.n();
+  FBA_REQUIRE(good.size() == n, "good-set size must match n");
+  std::size_t bad = 0;
+  for (NodeId x = 0; x < n; ++x) {
+    const Quorum q = sampler.quorum(s, x);
+    std::size_t good_slots = 0;
+    for (NodeId member : q.members) {
+      if (good[member]) ++good_slots;
+    }
+    if (good_slots * 2 <= q.size()) ++bad;
+  }
+  return static_cast<double>(bad) / static_cast<double>(n);
+}
+
+double bad_label_fraction(const PollSampler& sampler,
+                          const std::vector<bool>& good, std::size_t samples,
+                          Rng& rng) {
+  FBA_REQUIRE(good.size() == sampler.n(), "good-set size must match n");
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const NodeId x = rng.node(sampler.n());
+    const PollLabel r = sampler.random_label(rng);
+    const Quorum q = sampler.poll_list(x, r);
+    std::size_t good_slots = 0;
+    for (NodeId member : q.members) {
+      if (good[member]) ++good_slots;
+    }
+    if (good_slots * 2 <= q.size()) ++bad;
+  }
+  return static_cast<double>(bad) / static_cast<double>(samples);
+}
+
+namespace {
+
+/// Border contribution of one poll list against the current L* node set.
+std::size_t outside_count(const Quorum& q,
+                          const std::vector<bool>& in_lstar) {
+  std::size_t out = 0;
+  for (NodeId member : q.members) {
+    if (!in_lstar[member]) ++out;
+  }
+  return out;
+}
+
+BorderReport finalize(const PollSampler& sampler,
+                      const std::vector<std::pair<NodeId, PollLabel>>& set,
+                      const std::vector<bool>& in_lstar) {
+  BorderReport r;
+  r.set_size = set.size();
+  for (const auto& [x, label] : set) {
+    r.border += outside_count(sampler.poll_list(x, label), in_lstar);
+  }
+  const double denom =
+      static_cast<double>(sampler.d()) * static_cast<double>(set.size());
+  r.ratio = denom > 0 ? static_cast<double>(r.border) / denom : 0;
+  return r;
+}
+
+}  // namespace
+
+BorderReport random_border(const PollSampler& sampler, std::size_t set_size,
+                           Rng& rng) {
+  const std::size_t n = sampler.n();
+  FBA_REQUIRE(set_size <= n, "|L| cannot exceed n (one label per node)");
+  std::vector<bool> in_lstar(n, false);
+  std::vector<std::pair<NodeId, PollLabel>> set;
+  set.reserve(set_size);
+  for (auto x : rng.sample_without_replacement(n, set_size)) {
+    in_lstar[x] = true;
+    set.emplace_back(static_cast<NodeId>(x), sampler.random_label(rng));
+  }
+  return finalize(sampler, set, in_lstar);
+}
+
+BorderReport greedy_adversarial_border(const PollSampler& sampler,
+                                       std::size_t set_size,
+                                       std::size_t labels_per_node, Rng& rng) {
+  const std::size_t n = sampler.n();
+  FBA_REQUIRE(set_size <= n, "|L| cannot exceed n (one label per node)");
+  FBA_REQUIRE(labels_per_node >= 1, "need at least one label per candidate");
+
+  std::vector<bool> in_lstar(n, false);
+  std::vector<bool> used(n, false);
+  std::vector<std::pair<NodeId, PollLabel>> set;
+  set.reserve(set_size);
+
+  // Greedy cornering: at each step, consider a sample of unused nodes; for
+  // each, scan labels_per_node labels and keep the list pointing most inside
+  // the current L*. Add the overall best. This mimics the overload-chain
+  // adversary of Lemma 6 trying to keep poll lists trapped inside L.
+  const std::size_t candidate_pool = std::min<std::size_t>(n, 64);
+  while (set.size() < set_size) {
+    NodeId best_x = 0;
+    PollLabel best_r = 0;
+    std::size_t best_outside = std::numeric_limits<std::size_t>::max();
+    std::size_t scanned = 0;
+    for (std::size_t attempt = 0;
+         attempt < candidate_pool * 4 && scanned < candidate_pool;
+         ++attempt) {
+      const NodeId x = rng.node(n);
+      if (used[x]) continue;
+      ++scanned;
+      for (std::size_t j = 0; j < labels_per_node; ++j) {
+        const PollLabel r = sampler.random_label(rng);
+        const std::size_t outside =
+            outside_count(sampler.poll_list(x, r), in_lstar);
+        if (outside < best_outside) {
+          best_outside = outside;
+          best_x = x;
+          best_r = r;
+        }
+      }
+    }
+    if (scanned == 0) break;  // all nodes used (set_size ~ n)
+    used[best_x] = true;
+    in_lstar[best_x] = true;
+    set.emplace_back(best_x, best_r);
+  }
+  return finalize(sampler, set, in_lstar);
+}
+
+}  // namespace fba::sampler

@@ -1,0 +1,129 @@
+#include "sampler/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fba::sampler {
+
+SamplerParams SamplerParams::defaults(std::size_t n, std::uint64_t setup_seed,
+                                      double c_d) {
+  FBA_REQUIRE(n >= 2, "sampler domain needs at least two nodes");
+  SamplerParams p;
+  p.n = n;
+  const double log2n = std::log2(static_cast<double>(n));
+  p.d = std::max<std::size_t>(
+      8, static_cast<std::size_t>(std::lround(c_d * log2n)));
+  p.label_bits = 2 * node_id_bits(n);  // |R| = n^2, polynomial in n.
+  p.setup_seed = setup_seed;
+  return p;
+}
+
+bool Quorum::contains(NodeId y) const {
+  return std::binary_search(sorted.begin(), sorted.end(), y);
+}
+
+std::size_t Quorum::multiplicity(NodeId y) const {
+  const auto range = std::equal_range(sorted.begin(), sorted.end(), y);
+  return static_cast<std::size_t>(range.second - range.first);
+}
+
+Quorum make_quorum(std::vector<NodeId> members) {
+  Quorum q;
+  q.sorted = members;
+  q.members = std::move(members);
+  std::sort(q.sorted.begin(), q.sorted.end());
+  return q;
+}
+
+QuorumSampler::QuorumSampler(const SamplerParams& params,
+                             std::uint64_t domain_tag)
+    : params_(params),
+      key_(derive_key(SipKey{params.setup_seed, ~params.setup_seed},
+                      domain_tag)) {
+  FBA_REQUIRE(params.d >= 1, "quorum size must be positive");
+}
+
+FeistelPermutation QuorumSampler::slot_permutation(StringKey s,
+                                                   std::size_t slot) const {
+  // One independent bijection per (string, slot): key derived from both.
+  SipKey slot_key;
+  slot_key.k0 = siphash_words(key_, {s, static_cast<std::uint64_t>(slot), 0});
+  slot_key.k1 = siphash_words(key_, {s, static_cast<std::uint64_t>(slot), 1});
+  return FeistelPermutation(params_.n, slot_key);
+}
+
+Quorum QuorumSampler::quorum(StringKey s, NodeId x) const {
+  std::vector<NodeId> members;
+  members.reserve(params_.d);
+  for (std::size_t k = 0; k < params_.d; ++k) {
+    members.push_back(
+        static_cast<NodeId>(slot_permutation(s, k).inverse(x)));
+  }
+  return make_quorum(std::move(members));
+}
+
+std::vector<NodeId> QuorumSampler::targets(StringKey s, NodeId y) const {
+  std::vector<NodeId> out;
+  out.reserve(params_.d);
+  for (std::size_t k = 0; k < params_.d; ++k) {
+    out.push_back(static_cast<NodeId>(slot_permutation(s, k).forward(y)));
+  }
+  return out;
+}
+
+PollSampler::PollSampler(const SamplerParams& params, std::uint64_t domain_tag)
+    : params_(params),
+      key_(derive_key(SipKey{params.setup_seed, ~params.setup_seed},
+                      domain_tag)) {
+  FBA_REQUIRE(params.d >= 1, "poll list size must be positive");
+  FBA_REQUIRE(params.label_bits >= 1 && params.label_bits < 63,
+              "label domain must be polynomial and non-trivial");
+}
+
+Quorum PollSampler::poll_list(NodeId x, PollLabel r) const {
+  std::vector<NodeId> members;
+  members.reserve(params_.d);
+  for (std::size_t k = 0; k < params_.d; ++k) {
+    const std::uint64_t h = siphash_words(
+        key_, {static_cast<std::uint64_t>(x), r, static_cast<std::uint64_t>(k)});
+    members.push_back(static_cast<NodeId>(h % params_.n));
+  }
+  return make_quorum(std::move(members));
+}
+
+PollLabel PollSampler::random_label(Rng& rng) const {
+  return rng.next() & ((1ull << params_.label_bits) - 1);
+}
+
+const Quorum& QuorumCache::get(StringKey s, NodeId x) const {
+  const auto key = std::make_pair(s, x);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, sampler_.quorum(s, x)).first;
+  }
+  return it->second;
+}
+
+const Quorum& PollCache::get(NodeId x, PollLabel r) const {
+  const auto key = std::make_pair(x, r);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, sampler_.poll_list(x, r)).first;
+  }
+  return it->second;
+}
+
+namespace {
+// Distinct domain tags so the three samplers do not correlate.
+constexpr std::uint64_t kPushTag = 0x4920707573680000ull;  // "I push"
+constexpr std::uint64_t kPullTag = 0x482070756c6c0000ull;  // "H pull"
+constexpr std::uint64_t kPollTag = 0x4a20706f6c6c0000ull;  // "J poll"
+}  // namespace
+
+SamplerSuite::SamplerSuite(const SamplerParams& p)
+    : params(p),
+      push(p, kPushTag),
+      pull(p, kPullTag),
+      poll(p, kPollTag) {}
+
+}  // namespace fba::sampler

@@ -1,0 +1,167 @@
+// Samplers (Section 2.2): the middle ground between deterministic quorums
+// (corruptible) and uniformly random ones (unverifiable / high complexity).
+// Quorum choice is directed by deterministically-known information (string
+// content, node identity) plus public setup randomness, exactly as in the
+// paper: all nodes share three sampling functions I, H and J.
+//
+//   I : D x [n] -> [n]^d   Push Quorums.  I(s,x) is the set of nodes allowed
+//                          to push string s to x (Section 3.1.1).
+//   H : D x [n] -> [n]^d   Pull Quorums, same properties (Lemma 1), used as
+//                          forwarding proxies in the pull phase.
+//   J : [n] x R -> [n]^d   Poll Lists (Lemma 2), the authoritative samples
+//                          a node polls to verify a candidate string.
+//
+// I and H are built from families of keyed bijections sigma_{s,k} so that
+// both directions are O(d):
+//     I(s,x)                 = { sigma^{-1}_{s,k}(x) : k in [d] }
+//     {x : y in I(s,x)}      = { sigma_{s,k}(y)      : k in [d] }
+// and every node occupies exactly d quorum slots per string — Lemma 1's
+// "no node is overloaded" holds by construction.
+//
+// J is built from keyed hashing; its Lemma 2 properties (few bad labels,
+// border expansion) hold w.h.p. for a random construction — the content of
+// Section 4.1 — and are checked empirically in sampler/properties.h.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/permutation.h"
+#include "support/random.h"
+#include "support/siphash.h"
+#include "support/types.h"
+
+namespace fba::sampler {
+
+/// Strings are identified by their content digest: samplers are functions of
+/// the candidate string itself, not of any run-local id.
+using StringKey = std::uint64_t;
+
+struct SamplerParams {
+  std::size_t n = 0;
+  std::size_t d = 0;           ///< quorum size, Theta(log n).
+  std::uint32_t label_bits = 0; ///< |R| = 2^label_bits, polynomial in n.
+  std::uint64_t setup_seed = 1; ///< public setup randomness.
+
+  /// d = max(8, round(c_d * log2 n)), |R| = n^2.
+  static SamplerParams defaults(std::size_t n, std::uint64_t setup_seed,
+                                double c_d = 1.5);
+};
+
+/// A quorum as an evaluated multiset: `members` in slot order (size d, may
+/// repeat), plus a sorted copy for O(log d) membership tests.
+struct Quorum {
+  std::vector<NodeId> members;
+  std::vector<NodeId> sorted;
+
+  bool contains(NodeId y) const;
+  /// Number of slots occupied by y (multiset multiplicity).
+  std::size_t multiplicity(NodeId y) const;
+  std::size_t size() const { return members.size(); }
+};
+
+Quorum make_quorum(std::vector<NodeId> members);
+
+/// Push / Pull quorums (the samplers I and H). Instantiate two with
+/// different domain tags.
+class QuorumSampler {
+ public:
+  QuorumSampler(const SamplerParams& params, std::uint64_t domain_tag);
+
+  std::size_t n() const { return params_.n; }
+  std::size_t d() const { return params_.d; }
+
+  /// I(s, x): the d nodes allowed to push/route string s to node x.
+  Quorum quorum(StringKey s, NodeId x) const;
+
+  /// { x : y in I(s, x) }: the d nodes y must contact when diffusing s.
+  std::vector<NodeId> targets(StringKey s, NodeId y) const;
+
+ private:
+  FeistelPermutation slot_permutation(StringKey s, std::size_t slot) const;
+
+  SamplerParams params_;
+  SipKey key_;
+};
+
+/// Poll lists (the sampler J).
+class PollSampler {
+ public:
+  PollSampler(const SamplerParams& params, std::uint64_t domain_tag);
+
+  std::size_t n() const { return params_.n; }
+  std::size_t d() const { return params_.d; }
+  std::uint32_t label_bits() const { return params_.label_bits; }
+  std::uint64_t label_count() const { return 1ull << params_.label_bits; }
+
+  /// J(x, r): the poll list of node x under label r.
+  Quorum poll_list(NodeId x, PollLabel r) const;
+
+  /// Uniform label from R (each node draws one per candidate string).
+  PollLabel random_label(Rng& rng) const;
+
+ private:
+  SamplerParams params_;
+  SipKey key_;
+};
+
+/// Memoizing wrapper: protocol hot paths (Fw1/Fw2 membership checks) ask for
+/// the same quorums repeatedly; single-threaded simulation makes a plain
+/// hash-map cache safe and effective.
+class QuorumCache {
+ public:
+  explicit QuorumCache(const QuorumSampler& sampler) : sampler_(sampler) {}
+
+  const Quorum& get(StringKey s, NodeId x) const;
+  bool contains(StringKey s, NodeId x, NodeId member) const {
+    return get(s, x).contains(member);
+  }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::pair<StringKey, NodeId>& k) const {
+      return std::hash<std::uint64_t>()(k.first * 0x9e3779b97f4a7c15ull +
+                                        k.second);
+    }
+  };
+  const QuorumSampler& sampler_;
+  mutable std::unordered_map<std::pair<StringKey, NodeId>, Quorum, KeyHash>
+      cache_;
+};
+
+class PollCache {
+ public:
+  explicit PollCache(const PollSampler& sampler) : sampler_(sampler) {}
+
+  const Quorum& get(NodeId x, PollLabel r) const;
+  bool contains(NodeId x, PollLabel r, NodeId member) const {
+    return get(x, r).contains(member);
+  }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::pair<NodeId, PollLabel>& k) const {
+      return std::hash<std::uint64_t>()(k.second * 0x9e3779b97f4a7c15ull +
+                                        k.first);
+    }
+  };
+  const PollSampler& sampler_;
+  mutable std::unordered_map<std::pair<NodeId, PollLabel>, Quorum, KeyHash>
+      cache_;
+};
+
+/// The three shared sampling functions, bundled (every node knows all
+/// three; they are public setup).
+struct SamplerSuite {
+  SamplerSuite(const SamplerParams& params);
+
+  SamplerParams params;
+  QuorumSampler push;   ///< I
+  QuorumSampler pull;   ///< H
+  PollSampler poll;     ///< J
+};
+
+}  // namespace fba::sampler

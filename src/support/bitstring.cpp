@@ -1,0 +1,65 @@
+#include "support/bitstring.h"
+
+#include <algorithm>
+
+#include "support/siphash.h"
+
+namespace fba {
+
+BitString BitString::random(std::size_t bit_count, Rng& rng) {
+  BitString s(bit_count);
+  for (std::size_t i = 0; i < bit_count; ++i) s.bits_[i] = rng.chance(0.5);
+  return s;
+}
+
+void BitString::append(const BitString& other) {
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+}
+
+std::uint64_t BitString::digest() const {
+  // Pack into bytes, then SipHash with a fixed public key: digests only need
+  // to be stable and well-distributed, not secret.
+  std::vector<unsigned char> bytes((bits_.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) bytes[i / 8] |= static_cast<unsigned char>(1u << (i % 8));
+  }
+  static constexpr SipKey kDigestKey{0x6662612d64696765ull,
+                                     0x73742d6b65792121ull};
+  std::uint64_t len_tag = static_cast<std::uint64_t>(bits_.size());
+  std::uint64_t body =
+      bytes.empty() ? 0 : siphash24(kDigestKey, bytes.data(), bytes.size());
+  return siphash_words(kDigestKey, {body, len_tag});
+}
+
+std::string BitString::to_string(std::size_t max_bits) const {
+  std::string out = "0b";
+  const std::size_t shown = std::min(bits_.size(), max_bits);
+  for (std::size_t i = 0; i < shown; ++i) out += bits_[i] ? '1' : '0';
+  if (shown < bits_.size()) out += "...";
+  return out;
+}
+
+BitString make_gstring(const GstringSpec& spec, const BitString& adversary_bits,
+                       Rng& rng) {
+  FBA_REQUIRE(spec.length_bits > 0, "gstring length must be positive");
+  FBA_REQUIRE(spec.random_fraction >= 0.0 && spec.random_fraction <= 1.0,
+              "random_fraction must lie in [0, 1]");
+  const auto adversarial =
+      static_cast<std::size_t>(static_cast<double>(spec.length_bits) *
+                               (1.0 - spec.random_fraction));
+  BitString s(spec.length_bits);
+  for (std::size_t i = 0; i < adversarial; ++i) {
+    const bool v = i < adversary_bits.size() ? adversary_bits.bit(i) : false;
+    s.set_bit(i, v);
+  }
+  for (std::size_t i = adversarial; i < spec.length_bits; ++i) {
+    s.set_bit(i, rng.chance(0.5));
+  }
+  return s;
+}
+
+std::size_t default_gstring_bits(std::size_t n, std::size_t c) {
+  return c * static_cast<std::size_t>(node_id_bits(n));
+}
+
+}  // namespace fba

@@ -1,0 +1,65 @@
+// Candidate strings ("gstring" and impostors).
+//
+// The agreement value in the paper is a string of c*log(n) bits of which a
+// 2/3 + eps fraction is uniformly random — the remainder may be chosen by
+// the adversary (gstring is assembled by an almost-everywhere protocol in
+// which Byzantine committee members contribute some bits). BitString models
+// such values; make_gstring() builds one with an adversary-chosen prefix
+// fraction, mirroring how ae::Tournament actually assembles it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/random.h"
+#include "support/types.h"
+
+namespace fba {
+
+class BitString {
+ public:
+  BitString() = default;
+  explicit BitString(std::size_t bit_count) : bits_(bit_count, false) {}
+
+  static BitString random(std::size_t bit_count, Rng& rng);
+
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  bool bit(std::size_t i) const { return bits_.at(i); }
+  void set_bit(std::size_t i, bool v) { bits_.at(i) = v; }
+
+  void append(bool v) { bits_.push_back(v); }
+  void append(const BitString& other);
+
+  bool operator==(const BitString& other) const = default;
+
+  /// Stable 64-bit digest (used for interning and hashing).
+  std::uint64_t digest() const;
+
+  /// "0b1011..." rendering, truncated with an ellipsis when long.
+  std::string to_string(std::size_t max_bits = 24) const;
+
+ private:
+  std::vector<bool> bits_;
+};
+
+/// Parameters governing gstring synthesis when AER runs stand-alone (when
+/// composed in ba::run_ba the tournament produces the string instead).
+struct GstringSpec {
+  std::size_t length_bits = 0;       ///< c * log2(n); set by callers.
+  double random_fraction = 2.0 / 3;  ///< fraction of uniformly random bits.
+};
+
+/// Builds a gstring whose first (1 - random_fraction) bits are supplied by
+/// `adversary_bits` (padded/truncated as needed) and the rest drawn from
+/// `rng`. Matches the paper's precondition that only 2/3 + eps of the bits
+/// need to be random.
+BitString make_gstring(const GstringSpec& spec, const BitString& adversary_bits,
+                       Rng& rng);
+
+/// Default gstring length for an n-node system: c * ceil(log2 n) bits.
+std::size_t default_gstring_bits(std::size_t n, std::size_t c = 4);
+
+}  // namespace fba

@@ -1,0 +1,93 @@
+#include "support/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/types.h"
+
+namespace fba {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets + 2, 0) {
+  FBA_REQUIRE(hi > lo, "histogram range must be non-empty");
+  FBA_REQUIRE(buckets >= 1, "histogram needs at least one bucket");
+  bucket_width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void Histogram::add(double value) {
+  if (count_ == 0) {
+    min_seen_ = max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  ++count_;
+  sum_ += value;
+
+  std::size_t idx;
+  if (value < lo_) {
+    idx = 0;
+  } else if (value >= hi_) {
+    idx = buckets_.size() - 1;
+  } else {
+    idx = 1 + static_cast<std::size_t>((value - lo_) / bucket_width_);
+    idx = std::min(idx, buckets_.size() - 2);
+  }
+  ++buckets_[idx];
+}
+
+double Histogram::min() const { return count_ > 0 ? min_seen_ : 0; }
+double Histogram::max() const { return count_ > 0 ? max_seen_ : 0; }
+double Histogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0;
+}
+
+double Histogram::quantile(double q) const {
+  FBA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (count_ == 0) return 0;
+  const auto target = static_cast<std::size_t>(
+      q * static_cast<double>(count_ - 1));
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] > target) {
+      if (i == 0) return min();
+      if (i == buckets_.size() - 1) return max();
+      // Interpolate within the bucket by rank.
+      const double frac = buckets_[i] > 1
+                              ? static_cast<double>(target - seen) /
+                                    static_cast<double>(buckets_[i] - 1)
+                              : 0.5;
+      const double left = lo_ + static_cast<double>(i - 1) * bucket_width_;
+      return left + frac * bucket_width_;
+    }
+    seen += buckets_[i];
+  }
+  return max();
+}
+
+std::string Histogram::render(std::size_t width) const {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "#", "%", "@"};
+  const std::size_t inner = buckets_.size() - 2;
+  const std::size_t step = std::max<std::size_t>(1, inner / width);
+  std::size_t peak = 1;
+  for (std::size_t i = 1; i + 1 < buckets_.size(); ++i) {
+    peak = std::max(peak, buckets_[i]);
+  }
+  std::string bars;
+  for (std::size_t i = 1; i + 1 < buckets_.size(); i += step) {
+    std::size_t total = 0;
+    for (std::size_t j = i; j < i + step && j + 1 < buckets_.size(); ++j) {
+      total += buckets_[j];
+    }
+    const std::size_t level =
+        total == 0 ? 0 : 1 + (total * 6) / std::max<std::size_t>(1, peak);
+    bars += kLevels[std::min<std::size_t>(level, 7)];
+  }
+  char head[96];
+  std::snprintf(head, sizeof(head), "[%.2f..%.2f] |%s| n=%zu", lo_, hi_,
+                bars.c_str(), count_);
+  return head;
+}
+
+}  // namespace fba

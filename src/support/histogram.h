@@ -1,0 +1,42 @@
+// Fixed-bucket histogram for decision-latency distributions.
+//
+// Benches report not just mean/max but the shape of decision times (the
+// Lemma 6 overload chain shows up as a fat upper tail before it moves the
+// mean). Values are doubles; buckets are uniform over [lo, hi) with
+// overflow/underflow bins.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fba {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Quantile by linear interpolation within the owning bucket; q in [0,1].
+  double quantile(double q) const;
+
+  /// One-line sparkline-style rendering: "[lo..hi] ▁▂▅█▂ n=..".
+  std::string render(std::size_t width = 32) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::size_t> buckets_;  // [underflow, b0..bk-1, overflow]
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double min_seen_ = 0;
+  double max_seen_ = 0;
+};
+
+}  // namespace fba

@@ -1,0 +1,40 @@
+#include "support/intern.h"
+
+namespace fba {
+
+StringId StringTable::intern(const BitString& s) {
+  const std::uint64_t d = s.digest();
+  auto& bucket = by_digest_[d];
+  for (StringId id : bucket) {
+    if (strings_[id] == s) return id;
+  }
+  const auto id = static_cast<StringId>(strings_.size());
+  FBA_ASSERT(id != kNoString, "string table overflow");
+  strings_.push_back(s);
+  digests_.push_back(d);
+  bucket.push_back(id);
+  return id;
+}
+
+std::optional<StringId> StringTable::find(const BitString& s) const {
+  const auto it = by_digest_.find(s.digest());
+  if (it == by_digest_.end()) return std::nullopt;
+  for (StringId id : it->second) {
+    if (strings_[id] == s) return id;
+  }
+  return std::nullopt;
+}
+
+const BitString& StringTable::get(StringId id) const {
+  FBA_ASSERT(id < strings_.size(), "unknown string id");
+  return strings_[id];
+}
+
+std::uint64_t StringTable::digest(StringId id) const {
+  FBA_ASSERT(id < digests_.size(), "unknown string id");
+  return digests_[id];
+}
+
+std::size_t StringTable::bits(StringId id) const { return get(id).size(); }
+
+}  // namespace fba

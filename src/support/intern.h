@@ -1,0 +1,41 @@
+// String interning: candidate strings are stored once per run; protocol
+// messages carry 32-bit StringIds while bit accounting uses the true encoded
+// length. This keeps the O(n * d^3) pull-phase message volume cheap in
+// memory without distorting the measured communication complexity.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bitstring.h"
+#include "support/types.h"
+
+namespace fba {
+
+class StringTable {
+ public:
+  /// Returns the id for `s`, inserting it on first sight.
+  StringId intern(const BitString& s);
+
+  /// Id for `s` if already interned.
+  std::optional<StringId> find(const BitString& s) const;
+
+  const BitString& get(StringId id) const;
+
+  /// Content digest of the string behind `id` (cached; samplers key on it).
+  std::uint64_t digest(StringId id) const;
+
+  /// Encoded size in bits of the string behind `id` (what a real wire
+  /// message would carry).
+  std::size_t bits(StringId id) const;
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<BitString> strings_;
+  std::vector<std::uint64_t> digests_;
+  std::unordered_map<std::uint64_t, std::vector<StringId>> by_digest_;
+};
+
+}  // namespace fba

@@ -1,0 +1,108 @@
+#include "support/metrics.h"
+
+#include <cmath>
+
+namespace fba {
+
+LoadStats summarize(const std::vector<double>& values) {
+  LoadStats s;
+  if (values.empty()) return s;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(sorted.size()))) - 1;
+  s.p99 = sorted[std::min(idx, sorted.size() - 1)];
+  return s;
+}
+
+LoadStats summarize_u64(const std::vector<std::uint64_t>& values) {
+  std::vector<double> d(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    d[i] = static_cast<double>(values[i]);
+  }
+  return summarize(d);
+}
+
+void TrafficMetrics::reset(std::size_t n) {
+  total_messages_ = 0;
+  total_bits_ = 0;
+  sent_bits_.assign(n, 0);
+  received_bits_.assign(n, 0);
+  sent_msgs_.assign(n, 0);
+  msgs_by_kind_.clear();
+  bits_by_kind_.clear();
+}
+
+void TrafficMetrics::on_message(NodeId src, NodeId dst, std::size_t bits,
+                                const std::string& kind) {
+  ++total_messages_;
+  total_bits_ += bits;
+  sent_bits_.at(src) += bits;
+  received_bits_.at(dst) += bits;
+  ++sent_msgs_.at(src);
+  ++msgs_by_kind_[kind];
+  bits_by_kind_[kind] += bits;
+}
+
+double TrafficMetrics::amortized_bits() const {
+  return sent_bits_.empty()
+             ? 0
+             : static_cast<double>(total_bits_) /
+                   static_cast<double>(sent_bits_.size());
+}
+
+LoadStats TrafficMetrics::sent_bits_stats() const {
+  return summarize_u64(sent_bits_);
+}
+
+LoadStats TrafficMetrics::received_bits_stats() const {
+  return summarize_u64(received_bits_);
+}
+
+void DecisionLog::reset(std::size_t n) {
+  decided_.assign(n, false);
+  values_.assign(n, kNoString);
+  times_.assign(n, 0.0);
+}
+
+void DecisionLog::record(NodeId node, StringId value, double time) {
+  FBA_ASSERT(node < decided_.size(), "decision for unknown node");
+  if (decided_[node]) return;  // first decision wins; nodes decide once
+  decided_[node] = true;
+  values_[node] = value;
+  times_[node] = time;
+}
+
+std::size_t DecisionLog::count_correct_decisions(
+    const std::vector<NodeId>& relevant, StringId expected) const {
+  std::size_t count = 0;
+  for (NodeId id : relevant) {
+    if (decided_.at(id) && values_.at(id) == expected) ++count;
+  }
+  return count;
+}
+
+std::size_t DecisionLog::count_decided(
+    const std::vector<NodeId>& relevant) const {
+  std::size_t count = 0;
+  for (NodeId id : relevant) {
+    if (decided_.at(id)) ++count;
+  }
+  return count;
+}
+
+double DecisionLog::completion_time(
+    const std::vector<NodeId>& relevant) const {
+  double latest = 0;
+  for (NodeId id : relevant) {
+    if (decided_.at(id)) latest = std::max(latest, times_.at(id));
+  }
+  return latest;
+}
+
+}  // namespace fba

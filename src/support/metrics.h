@@ -1,0 +1,109 @@
+// Traffic and timing metrics.
+//
+// The paper's two complexity measures (Section 2.1):
+//   - time: number of steps before all correct nodes return a value;
+//   - communication: total bits exchanged divided by n (amortized), which
+//     for non-load-balanced algorithms differs from the per-node maximum.
+// TrafficMetrics tracks both, per node and per message kind, so benches can
+// report amortized bits, the per-node maximum, and the load-balance ratio.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/types.h"
+
+namespace fba {
+
+/// Summary statistics over a set of per-node values.
+struct LoadStats {
+  double mean = 0;
+  double max = 0;
+  double min = 0;
+  double p99 = 0;
+
+  /// max / mean — ~1 for load-balanced protocols, grows under skew.
+  double imbalance() const { return mean > 0 ? max / mean : 0; }
+};
+
+LoadStats summarize(const std::vector<double>& values);
+LoadStats summarize_u64(const std::vector<std::uint64_t>& values);
+
+class TrafficMetrics {
+ public:
+  explicit TrafficMetrics(std::size_t n = 0) { reset(n); }
+
+  void reset(std::size_t n);
+
+  /// Records one message of `bits` payload+header bits from src to dst,
+  /// tagged with a protocol-level kind ("push", "fw1", ...).
+  void on_message(NodeId src, NodeId dst, std::size_t bits,
+                  const std::string& kind);
+
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_bits() const { return total_bits_; }
+
+  /// Amortized communication complexity: total bits / n.
+  double amortized_bits() const;
+
+  LoadStats sent_bits_stats() const;
+  LoadStats received_bits_stats() const;
+
+  std::uint64_t sent_bits(NodeId node) const { return sent_bits_.at(node); }
+  std::uint64_t received_bits(NodeId node) const {
+    return received_bits_.at(node);
+  }
+  std::uint64_t sent_messages(NodeId node) const {
+    return sent_msgs_.at(node);
+  }
+
+  const std::map<std::string, std::uint64_t>& messages_by_kind() const {
+    return msgs_by_kind_;
+  }
+  const std::map<std::string, std::uint64_t>& bits_by_kind() const {
+    return bits_by_kind_;
+  }
+
+  std::size_t n() const { return sent_bits_.size(); }
+
+ private:
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bits_ = 0;
+  std::vector<std::uint64_t> sent_bits_;
+  std::vector<std::uint64_t> received_bits_;
+  std::vector<std::uint64_t> sent_msgs_;
+  std::map<std::string, std::uint64_t> msgs_by_kind_;
+  std::map<std::string, std::uint64_t> bits_by_kind_;
+};
+
+/// Decision bookkeeping: when each node decided and on what.
+class DecisionLog {
+ public:
+  explicit DecisionLog(std::size_t n = 0) { reset(n); }
+
+  void reset(std::size_t n);
+
+  void record(NodeId node, StringId value, double time);
+
+  bool has_decided(NodeId node) const { return decided_.at(node); }
+  StringId value(NodeId node) const { return values_.at(node); }
+  double time(NodeId node) const { return times_.at(node); }
+
+  /// Count of nodes (from `relevant`) that decided `expected`.
+  std::size_t count_correct_decisions(const std::vector<NodeId>& relevant,
+                                      StringId expected) const;
+  std::size_t count_decided(const std::vector<NodeId>& relevant) const;
+
+  /// Latest decision time among `relevant` nodes that decided; 0 if none.
+  double completion_time(const std::vector<NodeId>& relevant) const;
+
+ private:
+  std::vector<bool> decided_;
+  std::vector<StringId> values_;
+  std::vector<double> times_;
+};
+
+}  // namespace fba

@@ -1,0 +1,65 @@
+#include "support/permutation.h"
+
+namespace fba {
+
+FeistelPermutation::FeistelPermutation(std::uint64_t n, const SipKey& key)
+    : n_(n), key_(key) {
+  FBA_REQUIRE(n >= 1, "permutation domain must be non-empty");
+  // Smallest even bit-width whose range covers n (Feistel needs two equal
+  // halves). For n == 1 the permutation is trivially the identity.
+  std::uint32_t bits = ceil_log2(n < 2 ? 2 : n);
+  if (bits % 2 != 0) ++bits;
+  half_bits_ = bits / 2;
+  half_mask_ = (half_bits_ >= 64) ? ~0ull : ((1ull << half_bits_) - 1);
+  domain_ = 1ull << (2 * half_bits_);
+}
+
+std::uint64_t FeistelPermutation::round_fn(int round,
+                                           std::uint64_t half) const {
+  return siphash_words(key_, {static_cast<std::uint64_t>(round), half}) &
+         half_mask_;
+}
+
+std::uint64_t FeistelPermutation::encrypt_once(std::uint64_t v) const {
+  std::uint64_t left = v >> half_bits_;
+  std::uint64_t right = v & half_mask_;
+  for (int r = 0; r < kRounds; ++r) {
+    std::uint64_t next_left = right;
+    std::uint64_t next_right = left ^ round_fn(r, right);
+    left = next_left;
+    right = next_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint64_t FeistelPermutation::decrypt_once(std::uint64_t v) const {
+  std::uint64_t left = v >> half_bits_;
+  std::uint64_t right = v & half_mask_;
+  for (int r = kRounds - 1; r >= 0; --r) {
+    std::uint64_t prev_right = left;
+    std::uint64_t prev_left = right ^ round_fn(r, left);
+    left = prev_left;
+    right = prev_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint64_t FeistelPermutation::forward(std::uint64_t x) const {
+  FBA_ASSERT(x < n_, "permutation input out of domain");
+  if (n_ == 1) return 0;
+  // Cycle-walk: iterate over the superset domain until we land back in [n).
+  // Expected iterations: domain_ / n_ <= 4.
+  std::uint64_t v = encrypt_once(x);
+  while (v >= n_) v = encrypt_once(v);
+  return v;
+}
+
+std::uint64_t FeistelPermutation::inverse(std::uint64_t y) const {
+  FBA_ASSERT(y < n_, "permutation input out of domain");
+  if (n_ == 1) return 0;
+  std::uint64_t v = decrypt_once(y);
+  while (v >= n_) v = decrypt_once(v);
+  return v;
+}
+
+}  // namespace fba

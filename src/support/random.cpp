@@ -1,0 +1,90 @@
+#include "support/random.h"
+
+#include <unordered_set>
+
+namespace fba {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed expansion per the xoshiro authors' recommendation.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  FBA_ASSERT(bound > 0, "Rng::below requires a positive bound");
+  // Lemire-style rejection: unbiased and nearly always a single iteration.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_positive() {
+  return 1.0 - uniform();  // uniform() < 1, so this is in (0, 1].
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+Rng Rng::split(std::uint64_t tag) const {
+  // Mix current state with the tag through splitmix so substreams derived
+  // with different tags are independent for simulation purposes.
+  std::uint64_t mix = s_[0] ^ rotl(s_[2], 13) ^ (tag * 0x9e3779b97f4a7c15ull);
+  return Rng(splitmix64(mix));
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::size_t n,
+                                                           std::size_t k) {
+  FBA_REQUIRE(k <= n, "cannot sample more values than the domain holds");
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the full domain.
+    std::vector<std::uint32_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + static_cast<std::size_t>(below(n - i));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    auto v = static_cast<std::uint32_t>(below(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace fba

@@ -1,0 +1,64 @@
+// Deterministic, splittable random number generation.
+//
+// Every run of the simulator is reproducible from a single master seed.
+// Each node owns a private Rng substream (the paper's "private random number
+// generator"), derived from the master seed and the node id, so adversary
+// code cannot observe correct nodes' future randomness by sharing state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.h"
+
+namespace fba {
+
+/// splitmix64: used to expand seeds into full generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG. Small, fast, and good enough statistical quality for
+/// simulation workloads; not cryptographic (the full-information model makes
+/// no secrecy assumption on public setup anyway).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound), bound > 0. Uses rejection to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in (0, 1] — used for message delays which must be > 0.
+  double uniform_positive();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Uniform node id in [0, n).
+  NodeId node(std::size_t n) { return static_cast<NodeId>(below(n)); }
+
+  /// Derive an independent substream; `tag` distinguishes purposes.
+  Rng split(std::uint64_t tag) const;
+
+  /// k distinct values from [0, n), k <= n. O(k) expected when k << n.
+  std::vector<std::uint32_t> sample_without_replacement(std::size_t n,
+                                                        std::size_t k);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fba

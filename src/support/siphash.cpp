@@ -1,0 +1,93 @@
+#include "support/siphash.h"
+
+#include <cstring>
+
+namespace fba {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  explicit SipState(const SipKey& key)
+      : v0(0x736f6d6570736575ull ^ key.k0),
+        v1(0x646f72616e646f6dull ^ key.k1),
+        v2(0x6c7967656e657261ull ^ key.k0),
+        v3(0x7465646279746573ull ^ key.k1) {}
+
+  void round() {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+
+  void compress(std::uint64_t m) {
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+
+  std::uint64_t finalize() {
+    v2 ^= 0xff;
+    round();
+    round();
+    round();
+    round();
+    return v0 ^ v1 ^ v2 ^ v3;
+  }
+};
+
+}  // namespace
+
+std::uint64_t siphash24(const SipKey& key, const void* data, std::size_t len) {
+  SipState st(key);
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::size_t full_blocks = len / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    std::uint64_t m;
+    std::memcpy(&m, p + i * 8, 8);
+    st.compress(m);
+  }
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
+  const std::size_t rem = len % 8;
+  const unsigned char* tail = p + full_blocks * 8;
+  for (std::size_t i = 0; i < rem; ++i) {
+    last |= static_cast<std::uint64_t>(tail[i]) << (8 * i);
+  }
+  st.compress(last);
+  return st.finalize();
+}
+
+std::uint64_t siphash_words(const SipKey& key,
+                            std::initializer_list<std::uint64_t> words) {
+  SipState st(key);
+  for (std::uint64_t w : words) st.compress(w);
+  st.compress(static_cast<std::uint64_t>(words.size()) << 56);
+  return st.finalize();
+}
+
+SipKey derive_key(const SipKey& master, std::uint64_t domain_tag) {
+  SipKey out;
+  out.k0 = siphash_words(master, {domain_tag, 0xd0ull});
+  out.k1 = siphash_words(master, {domain_tag, 0xd1ull});
+  return out;
+}
+
+}  // namespace fba

@@ -1,0 +1,33 @@
+// SipHash-2-4: the keyed hash underlying all sampler constructions.
+//
+// Samplers must be (a) shared by every node (public setup) and (b) behave
+// like uniformly random functions of their inputs — the paper's existence
+// proofs (Lemma 1, Lemma 2 / Section 4.1) argue exactly that a random
+// construction has the required properties w.h.p. SipHash keyed with the
+// public setup seed gives a deterministic, well-distributed stand-in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+
+namespace fba {
+
+struct SipKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+};
+
+/// SipHash-2-4 over an arbitrary byte buffer.
+std::uint64_t siphash24(const SipKey& key, const void* data, std::size_t len);
+
+/// Convenience: hash a short sequence of 64-bit words (the common case for
+/// sampler inputs such as (string id, node id, slot index)).
+std::uint64_t siphash_words(const SipKey& key,
+                            std::initializer_list<std::uint64_t> words);
+
+/// Derive a subkey for a named domain, so independent samplers built from the
+/// same setup seed do not correlate.
+SipKey derive_key(const SipKey& master, std::uint64_t domain_tag);
+
+}  // namespace fba

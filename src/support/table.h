@@ -1,0 +1,31 @@
+// Minimal ASCII table renderer for bench output. Benches print the same rows
+// and series the paper's Figure 1 tables report; this keeps that output
+// aligned and diff-friendly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fba {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Numeric convenience: formats doubles with `precision` significant
+  /// decimal places, integers plainly.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fba

@@ -1,0 +1,69 @@
+// Basic vocabulary types shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fba {
+
+/// Identity of a node in the fully-connected network. Nodes are numbered
+/// 0..n-1 (the paper's [n] shifted to zero-based indexing).
+using NodeId = std::uint32_t;
+
+/// Synchronous round counter.
+using Round = std::uint32_t;
+
+/// Simulated wall-clock in the asynchronous engine. Delays are normalized so
+/// the maximum message delay is one time unit (the standard async measure).
+using SimTime = double;
+
+/// Interned candidate-string handle (see support/intern.h). Messages carry
+/// these 32-bit ids; bit accounting always uses the true encoded size.
+using StringId = std::uint32_t;
+
+inline constexpr StringId kNoString = 0xffffffffu;
+
+/// Random label r from the paper's domain R (|R| polynomial in n).
+using PollLabel = std::uint64_t;
+
+/// Thrown on invalid configuration (bad n/t combinations, empty domains...).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Internal invariant violation; indicates a bug in the library itself.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+#define FBA_REQUIRE(cond, msg)                 \
+  do {                                         \
+    if (!(cond)) throw ::fba::ConfigError(msg); \
+  } while (0)
+
+#define FBA_ASSERT(cond, msg)                      \
+  do {                                             \
+    if (!(cond)) throw ::fba::InvariantError(msg); \
+  } while (0)
+
+/// ceil(log2(x)) for x >= 1; number of bits needed to index x values.
+inline std::uint32_t ceil_log2(std::uint64_t x) {
+  std::uint32_t bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Bits needed to name one node out of n.
+inline std::uint32_t node_id_bits(std::size_t n) {
+  return ceil_log2(n < 2 ? 2 : n);
+}
+
+}  // namespace fba

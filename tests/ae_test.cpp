@@ -1,0 +1,189 @@
+// Tests for the almost-everywhere agreement substrate: committee layout,
+// the phase-king schedule, in-committee agreement under equivocation, and
+// the AER precondition contract (> 1/2 of nodes share a mostly-random
+// gstring).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ae/kssv.h"
+
+namespace fba::ae {
+namespace {
+
+AeConfig config_for(std::size_t n, std::uint64_t seed = 1) {
+  AeConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// ----- configuration & layout ----------------------------------------------------
+
+TEST(AeConfigTest, DerivedSizes) {
+  AeConfig cfg = config_for(1024);
+  EXPECT_EQ(cfg.resolved_t(), 51u);  // floor(0.05 * 1024)
+  EXPECT_EQ(cfg.resolved_root_size(), 20u);   // 2 * log2(n)
+  EXPECT_EQ(cfg.resolved_committee_size(), 40u);  // 4 * log2(n)
+  EXPECT_EQ(cfg.slice_bits(), 2u);  // ceil(40 / 20)
+  EXPECT_EQ(cfg.gstring_bits(), 40u);
+}
+
+TEST(AeConfigTest, SliceBitsCoverTarget) {
+  for (std::size_t n : {64ull, 256ull, 1024ull, 4096ull}) {
+    AeConfig cfg = config_for(n);
+    EXPECT_GE(cfg.gstring_bits(),
+              cfg.gstring_c * static_cast<std::size_t>(node_id_bits(n)));
+    EXPECT_LE(cfg.slice_bits(), 64u);
+  }
+}
+
+TEST(AeLayoutTest, CommitteesAreWellFormed) {
+  AeConfig cfg = config_for(512);
+  const AeLayout layout = AeLayout::build(cfg);
+  ASSERT_EQ(layout.root.size(), cfg.resolved_root_size());
+  ASSERT_EQ(layout.committees.size(), layout.root.size());
+
+  // Root members are distinct.
+  std::set<NodeId> roots(layout.root.begin(), layout.root.end());
+  EXPECT_EQ(roots.size(), layout.root.size());
+
+  for (const auto& committee : layout.committees) {
+    EXPECT_EQ(committee.size(), cfg.resolved_committee_size());
+    std::set<NodeId> uniq(committee.begin(), committee.end());
+    EXPECT_EQ(uniq.size(), committee.size());  // no duplicate members
+    for (NodeId m : committee) EXPECT_LT(m, cfg.n);
+  }
+}
+
+TEST(AeLayoutTest, MemberIndexAgreesWithMembership) {
+  AeConfig cfg = config_for(256);
+  const AeLayout layout = AeLayout::build(cfg);
+  const auto& committee = layout.committees[0];
+  for (std::size_t i = 0; i < committee.size(); ++i) {
+    EXPECT_EQ(layout.member_index(0, committee[i]), static_cast<long>(i));
+    EXPECT_TRUE(layout.in_committee(0, committee[i]));
+  }
+  // A node not in the committee.
+  for (NodeId id = 0; id < cfg.n; ++id) {
+    if (std::find(committee.begin(), committee.end(), id) == committee.end()) {
+      EXPECT_FALSE(layout.in_committee(0, id));
+      break;
+    }
+  }
+}
+
+TEST(AeScheduleTest, RoundArithmetic) {
+  AeConfig cfg = config_for(256);
+  const AeSchedule sched = AeSchedule::from(cfg);
+  EXPECT_EQ(sched.phases, (cfg.resolved_committee_size() - 1) / 4 + 1);
+  EXPECT_EQ(sched.exchange_round(0), 1u);
+  EXPECT_EQ(sched.king_round(0), 2u);
+  EXPECT_EQ(sched.exchange_round(1), 3u);
+  EXPECT_EQ(sched.final_broadcast_round(), 1 + 2 * sched.phases);
+  EXPECT_EQ(sched.assemble_round(), 2 + 2 * sched.phases);
+
+  // Delivery-round inverses: exchange of phase p is delivered at 2 + 2p.
+  EXPECT_EQ(sched.exchange_phase_at(2), 0);
+  EXPECT_EQ(sched.exchange_phase_at(4), 1);
+  EXPECT_EQ(sched.exchange_phase_at(3), -1);
+  EXPECT_EQ(sched.king_phase_at(3), 0);
+  EXPECT_EQ(sched.king_phase_at(5), 1);
+  EXPECT_EQ(sched.king_phase_at(4), -1);
+  // Past the last phase nothing matches.
+  EXPECT_EQ(sched.exchange_phase_at(sched.assemble_round()), -1);
+}
+
+// ----- protocol runs -------------------------------------------------------------
+
+TEST(AeRunTest, SilentAdversaryYieldsUnanimity) {
+  const AeRunResult result = run_ae(config_for(256, 1));
+  const AeReport& r = result.report;
+  EXPECT_EQ(r.knowledgeable_count, r.correct_count);
+  EXPECT_TRUE(r.precondition_met);
+  EXPECT_FALSE(result.winner.empty());
+  EXPECT_EQ(result.winner.size(), config_for(256).gstring_bits());
+}
+
+TEST(AeRunTest, RoundsMatchSchedule) {
+  AeConfig cfg = config_for(256, 2);
+  const AeRunResult result = run_ae(cfg);
+  const AeSchedule sched = AeSchedule::from(cfg);
+  EXPECT_EQ(result.report.rounds, sched.assemble_round());
+}
+
+TEST(AeRunTest, PerNodeStringsMatchWinnerForCorrectNodes) {
+  const AeRunResult result = run_ae(config_for(128, 3));
+  std::vector<bool> corrupt(128, false);
+  for (NodeId id : result.corrupt) corrupt[id] = true;
+  for (NodeId id = 0; id < 128; ++id) {
+    if (corrupt[id]) {
+      EXPECT_TRUE(result.assembled[id].empty());
+    } else {
+      EXPECT_EQ(result.assembled[id], result.winner);
+    }
+  }
+}
+
+TEST(AeRunTest, CommunicationGrowsPolylogarithmically) {
+  // Per-node bits must grow far slower than linearly in n: quadrupling the
+  // network should much less than double the per-node cost (committee sizes
+  // grow only with log n).
+  const AeRunResult small = run_ae(config_for(256, 4));
+  const AeRunResult large = run_ae(config_for(1024, 4));
+  const double growth =
+      large.report.amortized_bits / small.report.amortized_bits;
+  EXPECT_LT(growth, 2.0);
+}
+
+TEST(AeRunTest, DeterministicAcrossRuns) {
+  const AeRunResult a = run_ae(config_for(128, 5));
+  const AeRunResult b = run_ae(config_for(128, 5));
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.report.total_bits, b.report.total_bits);
+  EXPECT_EQ(a.corrupt, b.corrupt);
+}
+
+TEST(AeRunTest, HonestSlicesProvideRandomBits) {
+  // The 2/3 + eps randomness precondition: with t/n = 5%, the corrupt root
+  // fraction stays far below 1/3 w.h.p., so most slices are honest-random.
+  const AeRunResult result = run_ae(config_for(512, 6));
+  EXPECT_GT(result.report.honest_slice_fraction, 2.0 / 3.0);
+}
+
+class AeSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AeSeedSweep, EquivocationCannotBreakThePrecondition) {
+  const AeRunResult result =
+      run_ae(config_for(256, GetParam()), ae_equivocate_strategy());
+  EXPECT_TRUE(result.report.precondition_met)
+      << "knowledgeable " << result.report.knowledgeable_count;
+  // Phase king holds committees together: unanimity among correct nodes
+  // unless a committee exceeded its corruption tolerance (rare at 5%).
+  EXPECT_GE(result.report.knowledgeable_fraction, 0.90);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AeSeedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(AeRunTest, HigherCorruptionDegradesGracefully) {
+  AeConfig cfg = config_for(256, 7);
+  cfg.corrupt_fraction = 0.15;
+  const AeRunResult result = run_ae(cfg, ae_equivocate_strategy());
+  // Committees can fail at 15%, but the plurality string must still
+  // dominate: the tournament degrades, it does not collapse.
+  EXPECT_GT(result.report.knowledgeable_fraction, 0.5);
+}
+
+TEST(AeRunTest, NonRushingRunsToo) {
+  const AeRunResult result =
+      run_ae(config_for(128, 8), ae_equivocate_strategy(), false);
+  EXPECT_TRUE(result.report.precondition_met);
+}
+
+TEST(AeRunTest, RejectsTinyNetworks) {
+  EXPECT_THROW(run_ae(config_for(8)), ConfigError);
+}
+
+}  // namespace
+}  // namespace fba::ae

@@ -1,0 +1,220 @@
+// Adversarial AER tests: each strategy in the gallery exercises the attack
+// one of the paper's lemmas defends against; agreement and safety must hold
+// at the default operating point.
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "aer/protocol.h"
+
+namespace fba::aer {
+namespace {
+
+AerConfig attack_config(std::uint64_t seed, Model model = Model::kSyncRushing) {
+  AerConfig cfg;
+  cfg.n = 128;
+  cfg.seed = seed;
+  cfg.model = model;
+  cfg.d_override = 16;  // extra margin: these runs face live adversaries
+  return cfg;
+}
+
+// ----- crash / silent -----------------------------------------------------------
+
+TEST(AdversaryAerTest, SilentAdversaryIsHarmless) {
+  const AerReport report = run_aer(attack_config(1), [](const AerWorldView&) {
+    return std::make_unique<adv::SilentStrategy>();
+  });
+  EXPECT_TRUE(report.agreement);
+}
+
+// ----- Lemma 4/5: junk diffusion ---------------------------------------------------
+
+class JunkSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JunkSweep, AgreementSurvivesCoordinatedJunk) {
+  const AerReport report =
+      run_aer(attack_config(GetParam()), [](const AerWorldView& view) {
+        return std::make_unique<adv::JunkPushStrategy>(view, 3, 32);
+      });
+  EXPECT_TRUE(report.agreement);
+  EXPECT_EQ(report.nodes_missing_gstring, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JunkSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(AdversaryAerTest, JunkSearchFindsAtMostFewQuorums) {
+  // Even with a search budget, the junk strings the adversary diffuses must
+  // not blow up candidate lists (Lemma 4's O(mu n) bound).
+  const AerReport report =
+      run_aer(attack_config(6), [](const AerWorldView& view) {
+        return std::make_unique<adv::JunkPushStrategy>(view, 1, 64);
+      });
+  EXPECT_LE(report.sum_candidate_lists,
+            2 * report.correct_count + report.n / 4);
+}
+
+// ----- Lemma 7: safety under wrong answers ------------------------------------------
+
+class SafetySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SafetySweep, NoCorrectNodeDecidesJunk) {
+  const AerReport report =
+      run_aer(attack_config(GetParam()), [](const AerWorldView& view) {
+        return std::make_unique<adv::WrongAnswerStrategy>(view, 16);
+      });
+  // Liveness AND safety: everyone decides, and only on gstring. A single
+  // wrong decision would make decided_gstring < decided_count.
+  EXPECT_EQ(report.decided_gstring, report.decided_count);
+  EXPECT_TRUE(report.agreement);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafetySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ----- Lemma 6: poll stuffing / overload ---------------------------------------------
+
+TEST(AdversaryAerTest, PollStuffingCannotStopAgreement) {
+  AerConfig cfg = attack_config(7);
+  cfg.answer_budget = 8;  // tight budget so the attack actually bites
+  std::size_t victims = 0;
+  const AerReport report = run_aer(cfg, [&victims](const AerWorldView& view) {
+    auto strategy = std::make_unique<adv::PollStuffStrategy>(view, 16, 512);
+    return strategy;
+  });
+  EXPECT_TRUE(report.agreement);
+}
+
+TEST(AdversaryAerTest, PollStuffingBurnsBudgetsButDeferralRecovers) {
+  // Budget above the honest per-responder load (~d) but low enough that the
+  // coalition saturates some victims: deferral must carry those through.
+  AerConfig cfg = attack_config(8);
+  cfg.answer_budget = 20;
+  cfg.defer_answers = true;
+  const AerReport report = run_aer(cfg, [](const AerWorldView& view) {
+    return std::make_unique<adv::PollStuffStrategy>(view, 20, 512);
+  });
+  EXPECT_TRUE(report.agreement);
+}
+
+TEST(AdversaryAerTest, PollStuffingWinsBelowTheBudgetThreshold) {
+  // Lemma 6's quantitative content, seen from the other side: if the answer
+  // budget falls below the honest load + per-victim burn, the eager
+  // overload attack stalls the network. The paper's log^2 n budget is
+  // exactly what rules this regime out asymptotically.
+  AerConfig cfg = attack_config(8);
+  cfg.answer_budget = 4;  // far below d = 16
+  cfg.max_rounds = 60;
+  const AerReport report = run_aer(cfg, [](const AerWorldView& view) {
+    return std::make_unique<adv::PollStuffStrategy>(view, 4, 512);
+  });
+  EXPECT_FALSE(report.agreement);
+  // Stalls are honest: nobody decided a wrong value.
+  EXPECT_EQ(report.decided_gstring, report.decided_count);
+}
+
+TEST(AdversaryAerTest, RushingStuffingIsNoWorseThanDelayedAtThisScale) {
+  // Lemma 6 vs Lemma 8: the rushing adversary reacts within the round, the
+  // non-rushing one a round later. Both must fail to break agreement; the
+  // rushing run may take longer.
+  AerConfig rushing = attack_config(9, Model::kSyncRushing);
+  AerConfig nonrushing = attack_config(9, Model::kSyncNonRushing);
+  rushing.answer_budget = nonrushing.answer_budget = 6;
+  auto factory = [](const AerWorldView& view) {
+    return std::make_unique<adv::PollStuffStrategy>(view, 16, 512);
+  };
+  const AerReport r1 = run_aer(rushing, factory);
+  const AerReport r2 = run_aer(nonrushing, factory);
+  EXPECT_TRUE(r1.agreement);
+  EXPECT_TRUE(r2.agreement);
+  EXPECT_GE(r1.completion_time + 3.0, r2.completion_time);
+}
+
+// ----- async delay attacks -----------------------------------------------------------
+
+TEST(AdversaryAerTest, TargetedDelaysSlowButDoNotBreakAsync) {
+  AerConfig fast_cfg = attack_config(10, Model::kAsync);
+  const AerReport fast = run_aer(fast_cfg);
+
+  AerConfig slow_cfg = attack_config(10, Model::kAsync);
+  const AerReport slow =
+      run_aer(slow_cfg, [](const AerWorldView& view) {
+        return std::make_unique<adv::TargetedDelayStrategy>(view);
+      });
+  EXPECT_TRUE(slow.agreement);
+  // Stretching answers and forwards to the delay bound costs time.
+  EXPECT_GT(slow.completion_time, fast.completion_time * 0.8);
+}
+
+TEST(AdversaryAerTest, ComboAttackStillLosesAtDefaults) {
+  AerConfig cfg = attack_config(11, Model::kAsync);
+  cfg.answer_budget = 8;
+  const AerReport report = run_aer(cfg, [](const AerWorldView& view) {
+    auto combo = std::make_unique<adv::ComboStrategy>();
+    combo->add(std::make_unique<adv::JunkPushStrategy>(view, 2, 16));
+    combo->add(std::make_unique<adv::WrongAnswerStrategy>(view, 8));
+    combo->add(std::make_unique<adv::PollStuffStrategy>(view, 8, 256));
+    combo->set_delay_policy(
+        std::make_unique<adv::TargetedDelayStrategy>(view));
+    return combo;
+  });
+  EXPECT_TRUE(report.agreement);
+}
+
+// ----- load skew (Figure 1a's "not load-balanced") -------------------------------------
+
+TEST(AdversaryAerTest, QuorumSeizureSkewsTheVictimsLoad) {
+  // At t/n = 0.30 a constant fraction of random strings has a corrupt
+  // majority in I(s, victim): the coalition plants many candidates on the
+  // victim, whose verification traffic then dwarfs the mean — the paper's
+  // reason AER is not load-balanced.
+  AerConfig cfg;
+  cfg.n = 256;
+  cfg.seed = 3;
+  cfg.corrupt_fraction = 0.30;
+  cfg.max_rounds = 40;
+  std::size_t planted = 0;
+  AerWorld world = build_aer_world(cfg);
+  const AerReport report = run_aer_world(
+      world, [&planted](const AerWorldView& view) {
+        auto strategy = std::make_unique<adv::LoadSkewStrategy>(view, 0, 1024);
+        planted = strategy->strings_planted();
+        return strategy;
+      });
+  EXPECT_GT(planted, 10u);  // the search succeeds at this corruption level
+  EXPECT_GT(report.max_candidate_list, 10u);  // the victim's list blew up
+  EXPECT_GT(report.sent_bits.imbalance(), 1.5);
+}
+
+// ----- resilience limits ---------------------------------------------------------------
+
+TEST(AdversaryAerTest, HigherCorruptionNeedsBiggerQuorums) {
+  // At t/n = 0.20 with large quorums the protocol still clears (the paper's
+  // asymptotic t < (1/3 - eps) n needs d beyond laptop scale; see DESIGN.md).
+  AerConfig cfg;
+  cfg.n = 128;
+  cfg.seed = 13;
+  cfg.corrupt_fraction = 0.20;
+  cfg.knowledgeable_fraction = 0.97;
+  cfg.d_override = 24;
+  const AerReport report = run_aer(cfg);
+  EXPECT_TRUE(report.agreement);
+}
+
+TEST(AdversaryAerTest, BeyondHalfBadPrecondViolatedProtocolFailsHonestly) {
+  // When the precondition (correct & knowledgeable > 1/2) is violated, the
+  // protocol must not fabricate agreement on junk — nodes simply stall.
+  AerConfig cfg;
+  cfg.n = 128;
+  cfg.seed = 14;
+  cfg.corrupt_fraction = 0.30;
+  cfg.knowledgeable_fraction = 0.60;  // 0.7 * 0.6 = 0.42 < 1/2 knowledgeable
+  cfg.d_override = 16;
+  cfg.max_rounds = 40;
+  const AerReport report = run_aer(cfg);
+  EXPECT_FALSE(report.agreement);
+  // Safety is never traded: whatever decisions happened are on gstring.
+  EXPECT_EQ(report.decided_gstring, report.decided_count);
+}
+
+}  // namespace
+}  // namespace fba::aer

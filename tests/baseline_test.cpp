@@ -1,0 +1,128 @@
+// Tests for the baseline AE->E reductions: FLOOD-ALL and SQRT-SAMPLE.
+// These are the Figure 1(a) comparators; they must agree under the same
+// worlds AER runs in, with their characteristic cost/balance profiles.
+#include <gtest/gtest.h>
+
+#include "baseline/flood.h"
+#include "baseline/sqrtsample.h"
+
+namespace fba::baseline {
+namespace {
+
+aer::AerConfig config_for(std::size_t n, std::uint64_t seed = 1,
+                          aer::Model model = aer::Model::kSyncRushing) {
+  aer::AerConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.model = model;
+  return cfg;
+}
+
+// ----- FLOOD-ALL -----------------------------------------------------------------
+
+TEST(FloodTest, EveryoneDecidesGstring) {
+  const aer::AerReport r = run_flood(config_for(128));
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.everyone_decided);
+}
+
+TEST(FloodTest, OneRoundInSync) {
+  const aer::AerReport r = run_flood(config_for(128, 2));
+  // Broadcast at round 0, counted at round 1.
+  EXPECT_DOUBLE_EQ(r.completion_time, 1.0);
+}
+
+TEST(FloodTest, BitsPerNodeAreLinear) {
+  const aer::AerReport small = run_flood(config_for(128, 3));
+  const aer::AerReport large = run_flood(config_for(512, 3));
+  // Bits per node scale ~linearly in n (each node broadcasts to everyone).
+  const double ratio = large.amortized_bits / small.amortized_bits;
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 6.5);
+}
+
+TEST(FloodTest, WorksUnderAsync) {
+  const aer::AerReport r =
+      run_flood(config_for(128, 4, aer::Model::kAsync));
+  EXPECT_TRUE(r.agreement);
+  EXPECT_LE(r.completion_time, 1.0);  // a single delay unit
+}
+
+TEST(FloodTest, LoadIsBalanced) {
+  const aer::AerReport r = run_flood(config_for(256, 5));
+  EXPECT_LT(r.sent_bits.imbalance(), 1.10);
+}
+
+// ----- SQRT-SAMPLE ---------------------------------------------------------------
+
+TEST(SqrtSampleTest, ParamsScaleAsRootN) {
+  const auto p128 = SqrtSampleParams::defaults(128);
+  const auto p512 = SqrtSampleParams::defaults(512);
+  const auto p2048 = SqrtSampleParams::defaults(2048);
+  // Doubling n twice roughly doubles the sample (sqrt(4) = 2, plus log).
+  EXPECT_GT(static_cast<double>(p512.sample_size) / p128.sample_size, 1.8);
+  EXPECT_GT(static_cast<double>(p2048.sample_size) / p512.sample_size, 1.8);
+  EXPECT_EQ(p128.reply_cap, 4 * p128.sample_size);
+}
+
+class SqrtSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SqrtSeedSweep, EveryoneDecidesGstring) {
+  const aer::AerReport r = run_sqrtsample(config_for(256, GetParam()));
+  EXPECT_TRUE(r.agreement);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqrtSeedSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(SqrtSampleTest, WorksUnderAsync) {
+  const aer::AerReport r =
+      run_sqrtsample(config_for(256, 5, aer::Model::kAsync));
+  EXPECT_TRUE(r.agreement);
+}
+
+TEST(SqrtSampleTest, JunkRepliesCannotFlipTheMajority) {
+  const aer::AerReport r =
+      run_sqrtsample(config_for(256, 6), sqrt_junk_reply_strategy());
+  EXPECT_TRUE(r.agreement);
+  // Safety: nobody decided the junk string.
+  EXPECT_EQ(r.decided_gstring, r.decided_count);
+}
+
+TEST(SqrtSampleTest, LoadStaysBalancedUnderQueryFlood) {
+  // The reply cap bounds each node's outbound traffic even if the adversary
+  // concentrates queries (here: natural load only; cap is the invariant).
+  const aer::AerReport r = run_sqrtsample(config_for(256, 7));
+  EXPECT_LT(r.sent_bits.imbalance(), 1.5);
+}
+
+TEST(SqrtSampleTest, BitsSitBetweenAerConstantsAndFlood) {
+  // The defining cost shape: ~sqrt(n) polylog bits per node — far below
+  // flooding at this n.
+  const aer::AerReport sample = run_sqrtsample(config_for(512, 8));
+  const aer::AerReport flood = run_flood(config_for(512, 8));
+  EXPECT_LT(sample.amortized_bits, flood.amortized_bits / 2);
+}
+
+TEST(SqrtSampleTest, GrowthIsSlowerThanFlood) {
+  const aer::AerReport s128 = run_sqrtsample(config_for(128, 9));
+  const aer::AerReport s512 = run_sqrtsample(config_for(512, 9));
+  const aer::AerReport f128 = run_flood(config_for(128, 9));
+  const aer::AerReport f512 = run_flood(config_for(512, 9));
+  const double sample_growth = s512.amortized_bits / s128.amortized_bits;
+  const double flood_growth = f512.amortized_bits / f128.amortized_bits;
+  EXPECT_LT(sample_growth, flood_growth);
+}
+
+TEST(SqrtSampleTest, ParamsOverrideIsHonored) {
+  aer::AerWorld world = aer::build_aer_world(config_for(128, 10));
+  SqrtSampleParams params;
+  params.sample_size = 32;
+  params.reply_cap = 128;
+  const aer::AerReport r = run_sqrtsample_world(world, {}, &params);
+  EXPECT_TRUE(r.agreement);
+  // Query count: every correct node sends exactly sample_size queries.
+  EXPECT_EQ(r.msgs_by_kind.at("query"), r.correct_count * params.sample_size);
+}
+
+}  // namespace
+}  // namespace fba::baseline

@@ -1,0 +1,341 @@
+// Tests for the simulated network: engine timing models, authenticated
+// sends, bit accounting, adversary scheduling hooks, rushing semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/adversary.h"
+#include "net/async_engine.h"
+#include "net/sync_engine.h"
+
+namespace fba::sim {
+namespace {
+
+// Minimal test fixtures: a ping payload and simple actors.
+
+struct PingMsg final : Payload {
+  int tag;
+  explicit PingMsg(int tag) : tag(tag) {}
+  std::size_t bit_size(const Wire&) const override { return 16; }
+  const char* kind() const override { return "ping"; }
+};
+
+class TestWire final : public Wire {
+ public:
+  std::size_t node_id_bits() const override { return 10; }
+  std::size_t label_bits() const override { return 20; }
+  std::size_t string_bits(StringId) const override { return 40; }
+};
+
+/// Sends one ping to a fixed destination at start, records deliveries.
+class PingActor final : public Actor {
+ public:
+  PingActor(NodeId target, bool reply) : target_(target), reply_(reply) {}
+
+  void on_start(Context& ctx) override {
+    ctx.send(target_, std::make_shared<PingMsg>(1));
+  }
+  void on_message(Context& ctx, const Envelope& env) override {
+    deliveries.push_back(env);
+    delivery_times.push_back(ctx.now());
+    if (reply_ && env.src != ctx.self()) {
+      ctx.send(env.src, std::make_shared<PingMsg>(2));
+    }
+  }
+
+  std::vector<Envelope> deliveries;
+  std::vector<double> delivery_times;
+
+ private:
+  NodeId target_;
+  bool reply_;
+};
+
+class IdleActor final : public Actor {
+ public:
+  void on_start(Context&) override {}
+  void on_message(Context&, const Envelope& env) override {
+    received.push_back(env);
+  }
+  std::vector<Envelope> received;
+};
+
+TEST(SyncEngineTest, DeliversNextRound) {
+  SyncConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 1;
+  SyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  auto* a = new PingActor(1, false);
+  auto* b = new IdleActor();
+  engine.set_actor(0, std::unique_ptr<Actor>(a));
+  engine.set_actor(1, std::unique_ptr<Actor>(b));
+  engine.set_actor(2, std::make_unique<IdleActor>());
+  engine.set_actor(3, std::make_unique<IdleActor>());
+
+  const auto result = engine.run([&] { return !b->received.empty(); });
+  EXPECT_TRUE(result.completed);
+  ASSERT_EQ(b->received.size(), 1u);
+  EXPECT_EQ(b->received[0].src, 0u);
+  EXPECT_DOUBLE_EQ(b->received[0].send_time, 0.0);
+  EXPECT_EQ(result.rounds, 1u);  // sent round 0, delivered round 1
+}
+
+TEST(SyncEngineTest, StopsWhenQuiescent) {
+  SyncConfig cfg;
+  cfg.n = 2;
+  SyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  engine.set_actor(0, std::make_unique<IdleActor>());
+  engine.set_actor(1, std::make_unique<IdleActor>());
+  const auto result = engine.run([] { return false; });
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(SyncEngineTest, PingPongAlternatesRounds) {
+  SyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_rounds = 10;
+  SyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  auto* a = new PingActor(1, true);
+  auto* b = new PingActor(0, true);
+  engine.set_actor(0, std::unique_ptr<Actor>(a));
+  engine.set_actor(1, std::unique_ptr<Actor>(b));
+  const auto result = engine.run([] { return false; });
+  EXPECT_EQ(result.rounds, 10u);  // endless ping-pong hits the cap
+  // Each actor delivered once per round.
+  EXPECT_GE(a->deliveries.size(), 9u);
+}
+
+TEST(SyncEngineTest, MetricsChargeHeaderPlusPayload) {
+  SyncConfig cfg;
+  cfg.n = 2;
+  SyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  engine.set_actor(0, std::make_unique<PingActor>(1, false));
+  engine.set_actor(1, std::make_unique<IdleActor>());
+  engine.run([] { return false; });
+  // 16 payload + (4 kind tag + 10 node id) header.
+  EXPECT_EQ(engine.metrics().total_bits(), 30u);
+  EXPECT_EQ(engine.metrics().total_messages(), 1u);
+  EXPECT_EQ(engine.metrics().messages_by_kind().at("ping"), 1u);
+}
+
+TEST(SyncEngineTest, RejectsOutOfRangeSend) {
+  SyncConfig cfg;
+  cfg.n = 2;
+  SyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  engine.set_actor(0, std::make_unique<PingActor>(5, false));  // bad target
+  engine.set_actor(1, std::make_unique<IdleActor>());
+  EXPECT_THROW(engine.run([] { return false; }), ConfigError);
+}
+
+TEST(AsyncEngineTest, DeliversWithinDelayBound) {
+  AsyncConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 2;
+  AsyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  auto* b = new IdleActor();
+  engine.set_actor(0, std::make_unique<PingActor>(1, false));
+  engine.set_actor(1, std::unique_ptr<Actor>(b));
+  engine.set_actor(2, std::make_unique<IdleActor>());
+  const auto result = engine.run([] { return false; });
+  EXPECT_TRUE(result.quiescent);
+  ASSERT_EQ(b->received.size(), 1u);
+  EXPECT_GT(result.time, 0.0);
+  EXPECT_LE(result.time, 1.0);  // one message, delay in (0, 1]
+}
+
+TEST(AsyncEngineTest, TimeAdvancesMonotonically) {
+  AsyncConfig cfg;
+  cfg.n = 2;
+  cfg.seed = 3;
+  AsyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  auto* a = new PingActor(1, true);
+  auto* b = new PingActor(0, true);
+  engine.set_actor(0, std::unique_ptr<Actor>(a));
+  engine.set_actor(1, std::unique_ptr<Actor>(b));
+  std::size_t count = 0;
+  engine.run([&] { return ++count > 50; });
+  for (std::size_t i = 1; i < b->delivery_times.size(); ++i) {
+    EXPECT_GE(b->delivery_times[i], b->delivery_times[i - 1]);
+  }
+}
+
+// ----- adversary plumbing ------------------------------------------------------
+
+/// Records observations; can send junk from corrupt nodes on a schedule.
+class SpyStrategy final : public adv::Strategy {
+ public:
+  void on_observe(adv::AdvContext&, const Envelope& env) override {
+    observed.push_back(env);
+  }
+  void on_deliver_to_corrupt(adv::AdvContext& ctx,
+                             const Envelope& env) override {
+    delivered_to_corrupt.push_back(env);
+    if (reply_from_corrupt) {
+      ctx.send_from(env.dst, env.src, std::make_shared<PingMsg>(99));
+    }
+  }
+  void on_round(adv::AdvContext& ctx, Round round, bool rushing) override {
+    round_calls.emplace_back(round, rushing);
+    round_observed_counts.push_back(observed.size());
+    (void)ctx;
+  }
+
+  std::vector<Envelope> observed;
+  std::vector<Envelope> delivered_to_corrupt;
+  std::vector<std::pair<Round, bool>> round_calls;
+  std::vector<std::size_t> round_observed_counts;
+  bool reply_from_corrupt = false;
+};
+
+TEST(AdversaryTest, ObservesEveryMessage) {
+  SyncConfig cfg;
+  cfg.n = 3;
+  SyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  SpyStrategy spy;
+  engine.set_strategy(&spy);
+  engine.set_actor(0, std::make_unique<PingActor>(1, false));
+  engine.set_actor(1, std::make_unique<PingActor>(2, false));
+  engine.set_actor(2, std::make_unique<IdleActor>());
+  engine.run([] { return false; });
+  EXPECT_EQ(spy.observed.size(), 2u);
+}
+
+TEST(AdversaryTest, CorruptNodesRouteToStrategy) {
+  SyncConfig cfg;
+  cfg.n = 3;
+  SyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  SpyStrategy spy;
+  spy.reply_from_corrupt = true;
+  engine.set_strategy(&spy);
+  engine.set_corrupt({1});
+  auto* a = new PingActor(1, false);
+  engine.set_actor(0, std::unique_ptr<Actor>(a));
+  // Corrupt node 1 needs no actor.
+  engine.set_actor(2, std::make_unique<IdleActor>());
+  engine.run([] { return false; });
+  ASSERT_EQ(spy.delivered_to_corrupt.size(), 1u);
+  EXPECT_EQ(spy.delivered_to_corrupt[0].src, 0u);
+  // The corrupt reply reached node 0's actor.
+  ASSERT_EQ(a->deliveries.size(), 1u);
+  EXPECT_EQ(a->deliveries[0].src, 1u);
+  const auto* ping = payload_cast<PingMsg>(a->deliveries[0].payload.get());
+  ASSERT_NE(ping, nullptr);
+  EXPECT_EQ(ping->tag, 99);
+}
+
+TEST(AdversaryTest, CannotForgeCorrectSender) {
+  SyncConfig cfg;
+  cfg.n = 3;
+  SyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  engine.set_corrupt({1});
+  engine.set_actor(0, std::make_unique<IdleActor>());
+  engine.set_actor(2, std::make_unique<IdleActor>());
+  adv::AdvContext ctx(engine);
+  EXPECT_THROW(ctx.send_from(0, 2, std::make_shared<PingMsg>(1)),
+               ConfigError);
+}
+
+TEST(AdversaryTest, RushingOrderingSeesSameRoundTraffic) {
+  // Rushing: when on_round(r) fires, the round-r sends of correct nodes have
+  // already been observed. Non-rushing: they have not.
+  for (const bool rushing : {true, false}) {
+    SyncConfig cfg;
+    cfg.n = 2;
+    cfg.rushing_adversary = rushing;
+    cfg.max_rounds = 3;
+    SyncEngine engine(cfg);
+    TestWire wire;
+    engine.set_wire(&wire);
+    SpyStrategy spy;
+    engine.set_strategy(&spy);
+    engine.set_actor(0, std::make_unique<PingActor>(1, false));
+    engine.set_actor(1, std::make_unique<IdleActor>());
+    engine.run([] { return false; });
+    ASSERT_FALSE(spy.round_calls.empty());
+    EXPECT_EQ(spy.round_calls[0].second, rushing);
+    // At the round-0 adversary turn, the start-of-round ping (1 message) is
+    // visible iff rushing.
+    EXPECT_EQ(spy.round_observed_counts[0], rushing ? 1u : 0u);
+  }
+}
+
+/// Delay policy that stretches everything to the bound.
+class MaxDelayStrategy final : public adv::Strategy {
+ public:
+  SimTime choose_delay(adv::AdvContext&, const Envelope&) override {
+    return 1.0;
+  }
+};
+
+TEST(AdversaryTest, AsyncDelayIsClampedToReliabilityBound) {
+  AsyncConfig cfg;
+  cfg.n = 2;
+  AsyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  MaxDelayStrategy delays;
+  engine.set_strategy(&delays);
+  auto* b = new IdleActor();
+  engine.set_actor(0, std::make_unique<PingActor>(1, false));
+  engine.set_actor(1, std::unique_ptr<Actor>(b));
+  const auto result = engine.run([] { return false; });
+  ASSERT_EQ(b->received.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.time, 1.0);
+}
+
+TEST(AdversaryTest, MaxCorruptRespectsBound) {
+  EXPECT_EQ(adv::max_corrupt(100, 0.02), 31u);
+  EXPECT_LT(adv::max_corrupt(3000), 1000u);
+  Rng rng(1);
+  auto corrupt = adv::random_corruption(100, 31, rng);
+  EXPECT_EQ(corrupt.size(), 31u);
+  std::set<NodeId> uniq(corrupt.begin(), corrupt.end());
+  EXPECT_EQ(uniq.size(), 31u);
+}
+
+TEST(EngineTest, DecisionCallbackFires) {
+  class Decider final : public Actor {
+   public:
+    void on_start(Context& ctx) override { ctx.decide(7); }
+    void on_message(Context&, const Envelope&) override {}
+  };
+  SyncConfig cfg;
+  cfg.n = 2;
+  SyncEngine engine(cfg);
+  TestWire wire;
+  engine.set_wire(&wire);
+  engine.set_actor(0, std::make_unique<Decider>());
+  engine.set_actor(1, std::make_unique<IdleActor>());
+  std::vector<std::tuple<NodeId, StringId, double>> decisions;
+  engine.set_decision_callback([&](NodeId n, StringId s, double t) {
+    decisions.emplace_back(n, s, t);
+  });
+  engine.run([] { return true; });
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(std::get<0>(decisions[0]), 0u);
+  EXPECT_EQ(std::get<1>(decisions[0]), 7u);
+}
+
+}  // namespace
+}  // namespace fba::sim

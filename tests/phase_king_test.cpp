@@ -1,0 +1,130 @@
+// Tests for the standalone Phase-King BA substrate (Berman–Garay–Perry,
+// n > 4t): validity, agreement under silence and equivocation, the t < n/4
+// tolerance envelope, and round/message accounting.
+#include <gtest/gtest.h>
+
+#include "ae/phase_king.h"
+
+namespace fba::ae {
+namespace {
+
+PhaseKingConfig config_for(std::size_t n, std::size_t t,
+                           std::uint64_t seed = 1) {
+  PhaseKingConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.seed = seed;
+  cfg.inputs.assign(n, 0);
+  return cfg;
+}
+
+std::vector<NodeId> first_k(std::size_t k) {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < k; ++i) out.push_back(static_cast<NodeId>(i));
+  return out;
+}
+
+TEST(PhaseKingTest, ValidityWithUnanimousInputs) {
+  PhaseKingConfig cfg = config_for(16, 3);
+  for (auto& v : cfg.inputs) v = 42;
+  const PhaseKingReport r = run_phase_king(cfg);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.validity_applicable);
+  EXPECT_TRUE(r.validity_held);
+  EXPECT_EQ(r.output, 42u);
+}
+
+TEST(PhaseKingTest, AgreementFromSplitInputs) {
+  PhaseKingConfig cfg = config_for(16, 3);
+  for (std::size_t i = 0; i < cfg.n; ++i) cfg.inputs[i] = i % 3;
+  const PhaseKingReport r = run_phase_king(cfg);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_FALSE(r.validity_applicable);
+}
+
+TEST(PhaseKingTest, SilentFaultsDoNotBreakValidity) {
+  PhaseKingConfig cfg = config_for(17, 4);
+  for (auto& v : cfg.inputs) v = 7;
+  const PhaseKingReport r = run_phase_king(cfg, first_k(4));
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.validity_held);
+}
+
+class PkEquivocationSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(PkEquivocationSweep, AgreementUnderFullEquivocation) {
+  const auto [n, seed] = GetParam();
+  const std::size_t t = (n - 1) / 4;
+  PhaseKingConfig cfg = config_for(n, t, seed);
+  for (std::size_t i = 0; i < n; ++i) cfg.inputs[i] = i % 2;
+  // Corrupt the first t parties — they include early kings, the worst case
+  // for phase king (the honest-king phase is as late as possible).
+  const auto corrupt = first_k(t);
+  PhaseKingEquivocator equivocator(&cfg, corrupt);
+  const PhaseKingReport r = run_phase_king(cfg, corrupt, &equivocator);
+  EXPECT_TRUE(r.agreement) << "n=" << n << " t=" << t << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PkEquivocationSweep,
+    ::testing::Combine(::testing::Values(9, 13, 17, 21, 33),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(PhaseKingTest, ValidityUnderEquivocation) {
+  // All correct parties share an input; equivocators must not dislodge it
+  // (mult >= n - t > n/2 + t for every correct party in every phase).
+  PhaseKingConfig cfg = config_for(21, 5);
+  for (auto& v : cfg.inputs) v = 0xbeef;
+  const auto corrupt = first_k(5);
+  PhaseKingEquivocator equivocator(&cfg, corrupt);
+  const PhaseKingReport r = run_phase_king(cfg, corrupt, &equivocator);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.validity_held);
+  EXPECT_EQ(r.output, 0xbeefu);
+}
+
+TEST(PhaseKingTest, RoundCountMatchesPhases) {
+  PhaseKingConfig cfg = config_for(16, 3);
+  const PhaseKingReport r = run_phase_king(cfg);
+  // 2 rounds per phase, t+1 phases, final adopt at round 2*(t+1).
+  EXPECT_EQ(r.rounds, 2 * (cfg.t + 1));
+}
+
+TEST(PhaseKingTest, MessageComplexityIsQuadraticPerRound) {
+  PhaseKingConfig cfg = config_for(20, 4);
+  const PhaseKingReport r = run_phase_king(cfg);
+  // Exchange rounds dominate: phases * n * (n-1), plus one king broadcast
+  // per phase.
+  const std::uint64_t exchanges =
+      static_cast<std::uint64_t>(cfg.phases()) * 20u * 19u;
+  EXPECT_GE(r.total_messages, exchanges);
+  EXPECT_LE(r.total_messages, exchanges + cfg.phases() * 20u);
+}
+
+TEST(PhaseKingTest, RejectsOutOfToleranceConfigs) {
+  PhaseKingConfig cfg = config_for(12, 3);  // 4t = 12 = n: not allowed
+  EXPECT_THROW(run_phase_king(cfg), ConfigError);
+  PhaseKingConfig tiny = config_for(4, 0);
+  EXPECT_THROW(run_phase_king(tiny), ConfigError);
+  PhaseKingConfig short_inputs = config_for(16, 3);
+  short_inputs.inputs.pop_back();
+  EXPECT_THROW(run_phase_king(short_inputs), ConfigError);
+  PhaseKingConfig over_corrupt = config_for(16, 3);
+  EXPECT_THROW(run_phase_king(over_corrupt, first_k(4)), ConfigError);
+}
+
+TEST(PhaseKingTest, DeterministicGivenSeed) {
+  PhaseKingConfig cfg = config_for(17, 4, 9);
+  for (std::size_t i = 0; i < cfg.n; ++i) cfg.inputs[i] = i;
+  const auto corrupt = first_k(4);
+  PhaseKingEquivocator e1(&cfg, corrupt), e2(&cfg, corrupt);
+  const PhaseKingReport a = run_phase_king(cfg, corrupt, &e1);
+  const PhaseKingReport b = run_phase_king(cfg, corrupt, &e2);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+}
+
+}  // namespace
+}  // namespace fba::ae
