@@ -3,14 +3,16 @@
 //   Lemma 9 (sync, non-rushing): O(1) rounds, O~(n) total messages.
 //   Lemma 10 (async): O(log n / log log n) time, O~(n) total messages.
 //
-// First table: rounds/time and total messages vs n for both models, with
-// messages normalized by n * d^3 (the Fw1 relay volume of the algorithm as
-// published — see EXPERIMENTS.md for the accounting discussion).
+// First table: mean rounds/time and total messages vs n for both models
+// over a multi-trial exp::Sweep, with messages normalized by n * d^3 (the
+// Fw1 relay volume of the algorithm as published — see EXPERIMENTS.md for
+// the accounting discussion).
 //
-// Second table: the resilience curve. At fixed n we sweep the corrupt
-// fraction toward the paper's t < (1/3 - eps) n bound with quorums sized for
-// the margin, showing where the quorum-majority filters give out at
-// laptop-scale d (the paper's guarantee is asymptotic in d ~ log n / eps^2).
+// Second table: the resilience curve. At fixed n the corrupt-fraction axis
+// of the grid sweeps toward the paper's t < (1/3 - eps) n bound with
+// quorums sized for the margin, showing where the quorum-majority filters
+// give out at laptop-scale d (the paper's guarantee is asymptotic in
+// d ~ log n / eps^2).
 #include <cmath>
 #include <iostream>
 
@@ -21,65 +23,66 @@ int main(int argc, char** argv) {
   using namespace fba;
   using namespace fba::benchutil;
   const Scale scale = parse_scale(argc, argv);
+  const std::size_t trials = trials_for(scale, argc, argv);
+  const std::size_t threads = threads_for(argc, argv);
   print_banner("Lemmas 9/10: end-to-end AER + resilience curve",
                "completion time and total messages vs n; success vs t/n");
 
-  Table table({"model", "n", "d", "time", "msgs", "msgs/(n d^3)", "bits/node",
-               "agree"});
+  Table table({"model", "n", "d", "trials", "time", "p99", "msgs",
+               "msgs/(n d^3)", "bits/node", "agree"});
   Stopwatch watch;
 
-  for (std::size_t n : protocol_sizes(scale)) {
-    for (auto model : {aer::Model::kSyncNonRushing, aer::Model::kAsync}) {
-      aer::AerConfig cfg;
-      cfg.n = n;
-      cfg.seed = 20130722;
-      cfg.model = model;
-      const aer::AerReport r = run_aer(cfg);
-      const double d3 = std::pow(double(r.d), 3.0);
-      table.add_row({aer::model_name(model),
-                     Table::num(static_cast<std::uint64_t>(n)),
-                     Table::num(static_cast<std::uint64_t>(r.d)),
-                     Table::num(r.completion_time, 2),
-                     Table::num(r.total_messages),
-                     Table::num(double(r.total_messages) / (double(n) * d3), 3),
-                     Table::num(r.amortized_bits, 0),
-                     r.agreement ? "yes" : "NO"});
-    }
+  aer::AerConfig base;
+  base.seed = 20130722;
+
+  exp::Grid grid;
+  grid.ns = protocol_sizes(scale);
+  grid.models = {aer::Model::kSyncNonRushing, aer::Model::kAsync};
+  exp::Sweep sweep(base, grid, trials);
+  sweep.set_threads(threads);
+  for (const exp::PointResult& r : sweep.run()) {
+    const exp::Aggregate& a = r.aggregate;
+    aer::AerConfig cfg = base;
+    cfg.n = r.point.n;
+    const double d3 = std::pow(double(cfg.resolved_d()), 3.0);
+    table.add_row(
+        {aer::model_name(r.point.model),
+         Table::num(static_cast<std::uint64_t>(r.point.n)),
+         Table::num(static_cast<std::uint64_t>(cfg.resolved_d())),
+         Table::num(static_cast<std::uint64_t>(a.trials)),
+         Table::num(a.completion_time.mean, 2),
+         Table::num(a.completion_time.p99, 2),
+         Table::num(a.total_messages.mean, 0),
+         Table::num(a.total_messages.mean / (double(r.point.n) * d3), 3),
+         Table::num(a.amortized_bits.mean, 0),
+         Table::num(a.agreement_rate(), 2)});
   }
   table.print(std::cout);
 
-  // Resilience: success rate vs corrupt fraction at n = 128, d = 24.
+  // Resilience: agreement rate vs corrupt fraction at n = 128, d = 24,
+  // replicated across the sweep's seeded trials.
   std::printf("\nresilience curve (n=128, d=24, knowledgeable = 95%% of"
-              " correct, %s seeds/point):\n",
-              scale == Scale::kQuick ? "3" : "10");
-  const std::size_t seeds = scale == Scale::kQuick ? 3 : 10;
-  Table resilience({"t/n", "t", "know/all", "agree rate", "mean decided",
+              " correct, %zu trials/point):\n", trials);
+  Table resilience({"t/n", "t", "agree rate", "mean decided",
                     "wrong decisions"});
-  for (const double frac : {0.00, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}) {
-    std::size_t agreed = 0, decided_sum = 0, wrong = 0, know = 0;
-    std::size_t correct_sum = 0;
-    for (std::size_t seed = 1; seed <= seeds; ++seed) {
-      aer::AerConfig cfg;
-      cfg.n = 128;
-      cfg.seed = seed;
-      cfg.corrupt_fraction = frac;
-      cfg.d_override = 24;
-      cfg.max_rounds = 60;
-      const aer::AerReport r = run_aer(cfg);
-      agreed += r.agreement ? 1 : 0;
-      decided_sum += r.decided_count;
-      correct_sum += r.correct_count;
-      wrong += r.decided_count - r.decided_gstring;
-      know = r.knowledgeable_count;
-    }
+  aer::AerConfig rbase;
+  rbase.n = 128;
+  rbase.seed = 20130722;
+  rbase.d_override = 24;
+  rbase.max_rounds = 60;
+  exp::Grid rgrid;
+  rgrid.corrupt_fractions = {0.00, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+  exp::Sweep rsweep(rbase, rgrid, trials);
+  rsweep.set_threads(threads);
+  for (const exp::PointResult& r : rsweep.run()) {
+    const exp::Aggregate& a = r.aggregate;
     resilience.add_row(
-        {Table::num(frac, 2),
+        {Table::num(r.point.corrupt_fraction, 2),
          Table::num(static_cast<std::uint64_t>(
-             std::floor(frac * 128))),
-         Table::num(double(know) / 128.0, 2),
-         Table::num(double(agreed) / double(seeds), 2),
-         Table::num(double(decided_sum) / double(correct_sum), 3),
-         Table::num(static_cast<std::uint64_t>(wrong))});
+             std::floor(r.point.corrupt_fraction * 128))),
+         Table::num(a.agreement_rate(), 2),
+         Table::num(a.decided_fraction(), 3),
+         Table::num(a.wrong_decisions)});
   }
   resilience.print(std::cout);
   std::printf(
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
       " laptop-scale d the liveness cliff appears as the correct-and-"
       "knowledgeable fraction approaches 1/2 — safety (zero wrong"
       " decisions) holds everywhere.\n");
-  std::printf("[endtoend done in %.1fs]\n", watch.seconds());
+  std::printf("[endtoend done in %.1fs on %zu thread(s)]\n", watch.seconds(),
+              threads);
   return 0;
 }

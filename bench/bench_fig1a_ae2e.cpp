@@ -2,12 +2,13 @@
 //
 // Paper columns: Time, Bits, Load-Balanced for [KLST11] (sync rushing),
 // AER (sync non-rushing) and AER (async). We regenerate the table
-// empirically: for each n, run
+// empirically: for each n, a multi-trial exp::Sweep runs
 //   AER  under sync-non-rushing / sync-rushing / async,
 //   SQRT-SAMPLE (the KLST11-style load-balanced comparator), and
 //   FLOOD-ALL (the classical reference point),
-// and report decision time (rounds / normalized async time), amortized bits
-// per node, the per-node maximum, and the load-balance ratio (max/mean).
+// and reports mean decision time (rounds / normalized async time), mean
+// amortized bits per node, the per-node maximum, and the load-balance ratio
+// (max/mean).
 //
 // Expected shapes (paper): AER's time is flat in n under a non-rushing
 // adversary and grows slowly under rushing/async; AER's bits grow
@@ -25,14 +26,6 @@
 namespace {
 
 using namespace fba;
-
-aer::AerConfig base_config(std::size_t n, aer::Model model) {
-  aer::AerConfig cfg;
-  cfg.n = n;
-  cfg.seed = 20130722;  // PODC'13, July 22
-  cfg.model = model;
-  return cfg;
-}
 
 struct Series {
   std::string label;
@@ -54,110 +47,130 @@ void print_growth(const std::vector<std::size_t>& sizes,
   }
 }
 
+void add_rows(Table& table, const char* protocol,
+              const std::vector<exp::PointResult>& results) {
+  for (const exp::PointResult& r : results) {
+    const exp::Aggregate& a = r.aggregate;
+    const bool balanced = a.imbalance.mean < 1.5;
+    table.add_row(
+        {protocol, aer::model_name(r.point.model),
+         Table::num(static_cast<std::uint64_t>(r.point.n)),
+         Table::num(static_cast<std::uint64_t>(a.trials)),
+         Table::num(a.completion_time.mean, 2),
+         Table::num(a.amortized_bits.mean, 0),
+         Table::num(a.max_sent_bits.mean, 0), Table::num(a.imbalance.mean, 2),
+         balanced ? "yes" : "no",
+         Table::num(a.decided_fraction(), 3),
+         Table::num(a.agreement_rate(), 2)});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
   const Scale scale = parse_scale(argc, argv);
+  const std::size_t trials = trials_for(scale, argc, argv);
+  const std::size_t threads = threads_for(argc, argv);
   print_banner("Figure 1(a): almost-everywhere to everywhere comparison",
-               "time / amortized bits / load balance across reductions");
+               "time / amortized bits / load balance across reductions;"
+               " cells are means over seeded trials");
 
-  Table table({"protocol", "model", "n", "time", "bits/node", "max bits/node",
-               "imbalance", "load-balanced", "decided", "agree"});
-  std::vector<std::size_t> sizes = protocol_sizes(scale);
+  Table table({"protocol", "model", "n", "trials", "time", "bits/node",
+               "max bits/node", "imbalance", "load-balanced", "decided",
+               "agree"});
+  const std::vector<std::size_t> sizes = protocol_sizes(scale);
+
+  aer::AerConfig base;
+  base.seed = 20130722;  // PODC'13, July 22
+
+  Stopwatch watch;
+
+  // AER under all three timing models.
+  exp::Grid aer_grid;
+  aer_grid.ns = sizes;
+  aer_grid.models = {aer::Model::kSyncNonRushing, aer::Model::kSyncRushing,
+                     aer::Model::kAsync};
+  exp::Sweep aer_sweep(base, aer_grid, trials);
+  aer_sweep.set_threads(threads);
+  const auto aer_results = aer_sweep.run();
+
+  // Baselines under sync-rushing, same world construction.
+  exp::Grid base_grid;
+  base_grid.ns = sizes;
+  base_grid.models = {aer::Model::kSyncRushing};
+  exp::Sweep sqrt_sweep(base, base_grid, trials);
+  sqrt_sweep.set_threads(threads).set_trial(exp::run_sqrtsample_trial);
+  const auto sqrt_results = sqrt_sweep.run();
+  exp::Sweep flood_sweep(base, base_grid, trials);
+  flood_sweep.set_threads(threads).set_trial(exp::run_flood_trial);
+  const auto flood_results = flood_sweep.run();
+
+  add_rows(table, "AER", aer_results);
+  add_rows(table, "SQRT-SAMPLE", sqrt_results);
+  add_rows(table, "FLOOD-ALL", flood_results);
+  table.print(std::cout);
+
+  // Slope series from the sync-rushing rows (mean bits per point).
   std::vector<Series> series = {{"AER", {}},
                                 {"SQRT-SAMPLE", {}},
                                 {"FLOOD-ALL", {}}};
-
-  Stopwatch watch;
-  for (std::size_t n : sizes) {
-    struct Row {
-      const char* protocol;
-      aer::AerReport report;
-    };
-    std::vector<Row> rows;
-
-    for (auto model : {aer::Model::kSyncNonRushing, aer::Model::kSyncRushing,
-                       aer::Model::kAsync}) {
-      rows.push_back({"AER", run_aer(base_config(n, model))});
+  for (const exp::PointResult& r : aer_results) {
+    if (r.point.model == aer::Model::kSyncRushing) {
+      series[0].bits.push_back(r.aggregate.amortized_bits.mean);
     }
-    {
-      aer::AerWorld world =
-          aer::build_aer_world(base_config(n, aer::Model::kSyncRushing));
-      rows.push_back({"SQRT-SAMPLE", baseline::run_sqrtsample_world(world)});
-    }
-    {
-      aer::AerWorld world =
-          aer::build_aer_world(base_config(n, aer::Model::kSyncRushing));
-      rows.push_back({"FLOOD-ALL", baseline::run_flood_world(world)});
-    }
-
-    for (const auto& row : rows) {
-      const auto& r = row.report;
-      const bool balanced = r.sent_bits.imbalance() < 1.5;
-      table.add_row({row.protocol, aer::model_name(r.model),
-                     Table::num(static_cast<std::uint64_t>(n)),
-                     Table::num(r.completion_time, 2),
-                     Table::num(r.amortized_bits, 0),
-                     Table::num(r.sent_bits.max, 0),
-                     Table::num(r.sent_bits.imbalance(), 2),
-                     balanced ? "yes" : "no",
-                     Table::num(static_cast<std::uint64_t>(r.decided_count)) +
-                         "/" +
-                         Table::num(
-                             static_cast<std::uint64_t>(r.correct_count)),
-                     r.agreement ? "yes" : "NO"});
-    }
-    // Collect the sync-rushing rows for slope reporting.
-    series[0].bits.push_back(rows[1].report.amortized_bits);
-    series[1].bits.push_back(rows[3].report.amortized_bits);
-    series[2].bits.push_back(rows[4].report.amortized_bits);
   }
-
-  table.print(std::cout);
+  for (const exp::PointResult& r : sqrt_results) {
+    series[1].bits.push_back(r.aggregate.amortized_bits.mean);
+  }
+  for (const exp::PointResult& r : flood_results) {
+    series[2].bits.push_back(r.aggregate.amortized_bits.mean);
+  }
   print_growth(sizes, series);
 
   // The "Load-Balanced: No" column: the quorum-seizure load-skew attack
   // ("force these nodes to verify an almost-linear number of strings") vs
-  // SQRT-SAMPLE's reply cap under the same corruption.
+  // SQRT-SAMPLE's reply cap under the same corruption. The victim's planted
+  // candidate load shows up as the max candidate-list size.
   std::printf("\nload balance under the quorum-seizure attack"
-              " (t/n = 0.30, victim node 0):\n");
-  Table skew({"protocol", "n", "strings planted on victim",
-              "victim sent bits", "mean sent bits", "victim/mean"});
-  for (std::size_t n : {std::size_t(256), std::size_t(512)}) {
-    aer::AerConfig cfg = base_config(n, aer::Model::kSyncRushing);
-    cfg.corrupt_fraction = 0.30;
-    cfg.max_rounds = 40;
-    std::size_t planted = 0;
-    aer::AerWorld world = aer::build_aer_world(cfg);
-    std::unique_ptr<adv::LoadSkewStrategy> strategy;
-    const aer::AerReport r = aer::run_aer_world(
-        world, [&planted](const aer::AerWorldView& view) {
-          auto s = std::make_unique<adv::LoadSkewStrategy>(view, 0, 2048);
-          planted = s->strings_planted();
-          return s;
-        });
-    // Per-node sent bits: victim (node 0) vs mean.
-    const double victim_bits = r.sent_bits.max;  // victim dominates max
-    skew.add_row({"AER", Table::num(static_cast<std::uint64_t>(n)),
-                  Table::num(static_cast<std::uint64_t>(planted)),
-                  Table::num(victim_bits, 0), Table::num(r.sent_bits.mean, 0),
-                  Table::num(victim_bits / r.sent_bits.mean, 2)});
-
-    aer::AerWorld sq_world = aer::build_aer_world(cfg);
-    const aer::AerReport sq = baseline::run_sqrtsample_world(sq_world);
-    skew.add_row({"SQRT-SAMPLE", Table::num(static_cast<std::uint64_t>(n)),
-                  "n/a (reply cap)", Table::num(sq.sent_bits.max, 0),
-                  Table::num(sq.sent_bits.mean, 0),
-                  Table::num(sq.sent_bits.max / sq.sent_bits.mean, 2)});
+              " (t/n = 0.30, victim node 0, %zu trials/point):\n", trials);
+  Table skew({"protocol", "n", "max |L| (victim)", "max sent bits",
+              "mean sent bits", "imbalance"});
+  aer::AerConfig skew_base = base;
+  skew_base.corrupt_fraction = 0.30;
+  skew_base.max_rounds = 40;
+  exp::Grid skew_grid;
+  skew_grid.ns = {256, 512};
+  skew_grid.corrupt_fractions = {0.30};
+  skew_grid.strategies = {"skew-heavy"};
+  exp::Sweep skew_sweep(skew_base, skew_grid, trials);
+  skew_sweep.set_threads(threads);
+  for (const exp::PointResult& r : skew_sweep.run()) {
+    const exp::Aggregate& a = r.aggregate;
+    skew.add_row({"AER", Table::num(static_cast<std::uint64_t>(r.point.n)),
+                  Table::num(static_cast<std::uint64_t>(a.max_candidate_list)),
+                  Table::num(a.max_sent_bits.mean, 0),
+                  Table::num(a.mean_sent_bits.mean, 0),
+                  Table::num(a.imbalance.mean, 2)});
+  }
+  exp::Sweep skew_sqrt(skew_base, skew_grid, trials);
+  skew_sqrt.set_threads(threads).set_trial(exp::run_sqrtsample_trial);
+  for (const exp::PointResult& r : skew_sqrt.run()) {
+    const exp::Aggregate& a = r.aggregate;
+    skew.add_row({"SQRT-SAMPLE",
+                  Table::num(static_cast<std::uint64_t>(r.point.n)),
+                  "n/a (reply cap)", Table::num(a.max_sent_bits.mean, 0),
+                  Table::num(a.mean_sent_bits.mean, 0),
+                  Table::num(a.imbalance.mean, 2)});
   }
   skew.print(std::cout);
 
   std::printf("\npaper's asymptotic columns: AER time O(1) SNR /"
               " O(log n/log log n) async; bits O(polylog);"
               " KLST11-style bits O~(sqrt n), load-balanced.\n"
-              "The victim/mean ratio is unbounded in n for AER (string"
+              "The imbalance ratio is unbounded in n for AER (string"
               " search keeps paying) but capped for SQRT-SAMPLE.\n");
-  std::printf("[fig1a done in %.1fs]\n", watch.seconds());
+  std::printf("[fig1a done in %.1fs on %zu thread(s)]\n", watch.seconds(),
+              threads);
   return 0;
 }

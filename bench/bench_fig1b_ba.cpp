@@ -4,10 +4,12 @@
 // paper), [PR10], [KS13]. We regenerate the realizable rows empirically:
 // the composed protocol BA = AE tournament + reduction, with the reduction
 // instantiated as AER (the paper's protocol), SQRT-SAMPLE (KLST11-style) and
-// FLOOD-ALL (the classical O(n) reference). For each n we report end-to-end
-// time (AE rounds + reduction time), amortized bits per node (both phases),
-// and whether agreement held. The AE phase is common to all rows — exactly
-// how the paper's table differs only in the reduction column.
+// FLOOD-ALL (the classical O(n) reference). For each n the bench runs a
+// multi-trial exp::Sweep (the paper's time/bits claims are expectations, so
+// every cell is a mean with a 95% CI) and reports end-to-end time (AE rounds
+// + reduction time), amortized bits per node (both phases), and the
+// agreement rate. `--trials=N` and `--threads=N` control the sweep;
+// `--threads=1` is the serial reference for speedup measurements.
 #include <iostream>
 
 #include "bench_util.h"
@@ -17,11 +19,11 @@ namespace {
 
 using namespace fba;
 
-ba::BaConfig config_for(std::size_t n) {
-  ba::BaConfig cfg;
-  cfg.n = n;
-  cfg.seed = 20130722;
-  return cfg;
+ba::BaConfig ba_config_for(const aer::AerConfig& cfg) {
+  ba::BaConfig out;
+  out.n = cfg.n;
+  out.seed = cfg.seed;
+  return out;
 }
 
 }  // namespace
@@ -29,28 +31,45 @@ ba::BaConfig config_for(std::size_t n) {
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
   const Scale scale = parse_scale(argc, argv);
+  const std::size_t trials = trials_for(scale, argc, argv);
+  const std::size_t threads = threads_for(argc, argv);
   print_banner("Figure 1(b): Byzantine Agreement comparison",
-               "BA = AE tournament + reduction; per-row reduction varies");
+               "BA = AE tournament + reduction; per-row reduction varies;"
+               " cells are means over seeded trials");
 
-  Table table({"protocol", "n", "t", "time", "ae rounds", "red. time",
-               "bits/node", "ae bits", "red. bits", "agree"});
+  Table table({"protocol", "n", "t", "trials", "time", "ci95", "ae rounds",
+               "red. time", "bits/node", "ae bits", "red. bits", "agree"});
   Stopwatch watch;
 
-  for (std::size_t n : protocol_sizes(scale)) {
-    for (auto reduction : {ba::Reduction::kAer, ba::Reduction::kSqrtSample,
-                           ba::Reduction::kFlood}) {
-      const ba::BaReport r = run_ba(config_for(n), reduction);
+  aer::AerConfig base;
+  base.seed = 20130722;  // PODC'13, July 22
+  exp::Grid grid;
+  grid.ns = protocol_sizes(scale);
+
+  for (auto reduction : {ba::Reduction::kAer, ba::Reduction::kSqrtSample,
+                         ba::Reduction::kFlood}) {
+    exp::Sweep sweep(base, grid, trials);
+    sweep.set_threads(threads);
+    sweep.set_trial(
+        [reduction](const aer::AerConfig& cfg, const exp::GridPoint&) {
+          return exp::outcome_of(ba::run_ba(ba_config_for(cfg), reduction));
+        });
+    for (const exp::PointResult& r : sweep.run()) {
+      const exp::Aggregate& a = r.aggregate;
       table.add_row(
           {std::string("BA/") + ba::reduction_name(reduction),
-           Table::num(static_cast<std::uint64_t>(n)),
-           Table::num(static_cast<std::uint64_t>(r.ae.t)),
-           Table::num(r.total_time, 1),
-           Table::num(static_cast<std::uint64_t>(r.ae.rounds)),
-           Table::num(r.reduction.completion_time, 1),
-           Table::num(r.amortized_bits, 0),
-           Table::num(r.ae.amortized_bits, 0),
-           Table::num(r.reduction.amortized_bits, 0),
-           r.agreement ? "yes" : "NO"});
+           Table::num(static_cast<std::uint64_t>(r.point.n)),
+           Table::num(static_cast<std::uint64_t>(
+               r.outcomes.front().correct > 0
+                   ? r.point.n - r.outcomes.front().correct
+                   : 0)),
+           Table::num(static_cast<std::uint64_t>(a.trials)),
+           Table::num(a.completion_time.mean, 1),
+           "+-" + Table::num(a.completion_time.ci95, 1),
+           Table::num(a.ae_rounds, 1), Table::num(a.reduction_time, 1),
+           Table::num(a.amortized_bits.mean, 0), Table::num(a.ae_bits, 0),
+           Table::num(a.reduction_bits, 0),
+           Table::num(a.agreement_rate(), 2)});
     }
   }
 
@@ -60,6 +79,8 @@ int main(int argc, char** argv) {
       " n >= 3t+1 asymptotically.\nAt simulation scale the corruption"
       " operating point is t/n = 0.05 (see DESIGN.md on quorum-majority"
       " margins).\n");
-  std::printf("[fig1b done in %.1fs]\n", watch.seconds());
+  std::printf("[fig1b done in %.1fs: %zu trials/point x %zu points on %zu"
+              " thread(s)]\n",
+              watch.seconds(), trials, grid.points() * 3, threads);
   return 0;
 }

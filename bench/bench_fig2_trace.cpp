@@ -120,5 +120,17 @@ int main(int argc, char** argv) {
               report.decided_gstring, report.correct_count,
               report.agreement ? "agreement" : "NO AGREEMENT",
               report.completion_time);
+
+  // The trace above is one seed; confirm it is typical with a quick
+  // multi-trial sweep of the same configuration.
+  const std::size_t trials = flag_value(argc, argv, "--trials", 25);
+  exp::Sweep sweep(cfg, exp::Grid{}, trials);
+  sweep.set_threads(threads_for(argc, argv));
+  const exp::Aggregate agg = sweep.run().front().aggregate;
+  std::printf("\nacross %zu seeded trials of this configuration: agreement"
+              " rate %.2f, mean completion %.1f rounds (p99 %.1f), %.0f"
+              " bits/node\n",
+              agg.trials, agg.agreement_rate(), agg.completion_time.mean,
+              agg.completion_time.p99, agg.amortized_bits.mean);
   return 0;
 }

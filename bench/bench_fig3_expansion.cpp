@@ -9,6 +9,9 @@
 //   - Property 2: the border ratio |dL| / (d |L|) for uniformly random L and
 //     for a greedy adversarial L that tries to corner the sampler (the
 //     overload-chain builder of Lemma 6). Both must stay above 2/3.
+// Monte-Carlo trials fan out across threads via exp::run_indexed with
+// per-trial seeds from exp::trial_seed, so results are reproducible at any
+// thread count.
 #include <algorithm>
 #include <cmath>
 #include <iostream>
@@ -20,58 +23,70 @@ int main(int argc, char** argv) {
   using namespace fba;
   using namespace fba::benchutil;
   const Scale scale = parse_scale(argc, argv);
+  const std::size_t trials = std::max<std::size_t>(
+      1, flag_value(argc, argv, "--trials", scale == Scale::kQuick ? 3 : 10));
+  const std::size_t threads = threads_for(argc, argv);
   print_banner("Figure 3 / Section 4.1.2: sampler expansion (Lemma 2)",
                "border ratio |dL| / (d|L|) must exceed 2/3 for all L with"
                " |L| <= n/log n");
-
-  const std::size_t trials = scale == Scale::kQuick ? 3 : 10;
 
   Table table({"n", "d", "|L|", "set", "min ratio", "mean ratio", "bound",
                "holds"});
   Table p1_table({"n", "good frac", "bad-label frac", "samples"});
   Stopwatch watch;
 
+  std::size_t grid_point = 0;
   for (std::size_t n : light_sizes(scale)) {
     const auto params = sampler::SamplerParams::defaults(n, 1);
-    sampler::PollSampler sampler(params, 0x4a20706f6c6c0000ull);
-    Rng rng(20130722 + n);
+    const sampler::PollSampler sampler(params, 0x4a20706f6c6c0000ull);
+    const std::uint64_t base_seed = 20130722 + n;
 
     const std::size_t log2n =
         static_cast<std::size_t>(std::ceil(std::log2(double(n))));
     const std::size_t set_size = std::max<std::size_t>(4, n / log2n);
 
     for (const bool adversarial : {false, true}) {
-      double min_ratio = 1e9, sum_ratio = 0;
-      for (std::size_t trial = 0; trial < trials; ++trial) {
+      ++grid_point;
+      // The sampler is a const keyed hash, so trials share it and fan out;
+      // each trial derives its own Rng stream.
+      std::vector<double> ratios(trials, 0);
+      exp::run_indexed(trials, threads, [&](std::size_t trial) {
+        Rng rng(exp::trial_seed(base_seed, grid_point, trial));
         const sampler::BorderReport r =
             adversarial
                 ? sampler::greedy_adversarial_border(sampler, set_size, 8, rng)
                 : sampler::random_border(sampler, set_size, rng);
-        min_ratio = std::min(min_ratio, r.ratio);
-        sum_ratio += r.ratio;
-      }
+        ratios[trial] = r.ratio;
+      });
+      const exp::SummaryStats stats = exp::summarize_sample(ratios);
       table.add_row({Table::num(static_cast<std::uint64_t>(n)),
                      Table::num(static_cast<std::uint64_t>(params.d)),
                      Table::num(static_cast<std::uint64_t>(set_size)),
                      adversarial ? "greedy-adversarial" : "uniform",
-                     Table::num(min_ratio, 3),
-                     Table::num(sum_ratio / double(trials), 3), "0.667",
-                     min_ratio > 2.0 / 3.0 ? "yes" : "NO"});
+                     Table::num(stats.min, 3), Table::num(stats.mean, 3),
+                     "0.667", stats.min > 2.0 / 3.0 ? "yes" : "NO"});
     }
 
     // Property 1: bad-label fraction under a (1/2 + eps) good population.
-    for (const double good_frac : {0.55, 0.75, 0.90}) {
+    const std::vector<double> good_fracs = {0.55, 0.75, 0.90};
+    std::vector<double> fracs(good_fracs.size(), 0);
+    std::vector<std::size_t> good_counts(good_fracs.size(), 0);
+    const std::size_t samples = scale == Scale::kQuick ? 4000 : 20000;
+    exp::run_indexed(good_fracs.size(), threads, [&](std::size_t i) {
+      Rng rng(exp::trial_seed(base_seed, 0x9001 + i, 0));
       std::vector<bool> good(n, false);
       std::size_t good_count = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        good[i] = rng.chance(good_frac);
-        good_count += good[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        good[j] = rng.chance(good_fracs[i]);
+        good_count += good[j];
       }
-      const std::size_t samples = scale == Scale::kQuick ? 4000 : 20000;
-      const double frac = bad_label_fraction(sampler, good, samples, rng);
+      good_counts[i] = good_count;
+      fracs[i] = bad_label_fraction(sampler, good, samples, rng);
+    });
+    for (std::size_t i = 0; i < good_fracs.size(); ++i) {
       p1_table.add_row({Table::num(static_cast<std::uint64_t>(n)),
-                        Table::num(double(good_count) / double(n), 2),
-                        Table::num(frac, 4),
+                        Table::num(double(good_counts[i]) / double(n), 2),
+                        Table::num(fracs[i], 4),
                         Table::num(static_cast<std::uint64_t>(samples))});
     }
   }
@@ -82,6 +97,7 @@ int main(int argc, char** argv) {
   p1_table.print(std::cout);
   std::printf("\npaper: both properties hold w.h.p. for a random construction"
               " (P(u,s) = o(2^-n)); measured instance satisfies them.\n");
-  std::printf("[fig3 done in %.1fs]\n", watch.seconds());
+  std::printf("[fig3 done in %.1fs on %zu thread(s)]\n", watch.seconds(),
+              threads);
   return 0;
 }

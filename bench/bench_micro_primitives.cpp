@@ -132,6 +132,29 @@ void BM_BitStringDigest(benchmark::State& state) {
 }
 BENCHMARK(BM_BitStringDigest);
 
+/// Per-trial seed derivation, paid once per experiment trial.
+void BM_ExpTrialSeed(benchmark::State& state) {
+  std::uint64_t point = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp::trial_seed(20130722, point++, 7));
+  }
+}
+BENCHMARK(BM_ExpTrialSeed);
+
+/// Thread-pool fan-out overhead of the experiment runner: tasks are no-ops,
+/// so this measures pure dispatch cost per trial slot.
+void BM_ExpRunIndexed(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> sink(tasks, 0);
+  for (auto _ : state) {
+    exp::run_indexed(tasks, exp::default_threads(),
+                     [&sink](std::size_t i) { sink[i] = i; });
+    benchmark::DoNotOptimize(sink.data());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_ExpRunIndexed)->Arg(64)->Arg(1024);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -6,71 +6,32 @@
 //            requester polled (the overload-chain attack), stretching the
 //            time to O(log n / log log n).
 //
-// The bench sweeps n under all three models with the poll-stuffing attack
-// at a deliberately tight answer budget (the paper's log^2 n budget exceeds
-// t at simulation scale, which would mute the attack — see DESIGN.md), and
-// reports mean / max decision times. The `--no-defer` ablation removes
-// Algorithm 3's deferred answering ("Wait for has_decided") to show it is
-// load-bearing under attack.
+// The bench sweeps {n} x {three models} x {none, overload} through
+// exp::Sweep at a deliberately tight answer budget (the paper's log^2 n
+// budget exceeds t at simulation scale, which would mute the attack — see
+// DESIGN.md), and reports mean / p99 / max decision times with per-node
+// latencies pooled across all trials of a point. The `--no-defer` ablation
+// removes Algorithm 3's deferred answering ("Wait for has_decided") to show
+// it is load-bearing under attack.
 #include <iostream>
 
 #include "bench_util.h"
 #include "fba.h"
 
-namespace {
-
-using namespace fba;
-
-struct CaseResult {
-  aer::AerReport report;
-  Histogram latency{0, 12, 48};
-};
-
-CaseResult run_case(std::size_t n, aer::Model model, bool attack,
-                    bool defer) {
-  aer::AerConfig cfg;
-  cfg.n = n;
-  cfg.seed = 20130722;
-  cfg.model = model;
-  cfg.answer_budget = 16;  // tight but above the honest per-responder load
-  cfg.defer_answers = defer;
-
-  aer::StrategyFactory factory;
-  if (attack) {
-    factory = [](const aer::AerWorldView& view) {
-      auto combo = std::make_unique<adv::ComboStrategy>();
-      combo->add(std::make_unique<adv::PollStuffStrategy>(view, 24, 512));
-      if (view.shared->config.model == aer::Model::kAsync) {
-        combo->set_delay_policy(
-            std::make_unique<adv::TargetedDelayStrategy>(view));
-      }
-      return combo;
-    };
-  }
-
-  CaseResult result;
-  aer::AerWorld world = aer::build_aer_world(cfg);
-  result.report = aer::run_aer_world(world, factory);
-  for (NodeId id : world.correct) {
-    if (world.decisions.has_decided(id)) {
-      result.latency.add(world.decisions.time(id));
-    }
-  }
-  return result;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace fba;
   using namespace fba::benchutil;
   const Scale scale = parse_scale(argc, argv);
+  const std::size_t trials = trials_for(scale, argc, argv);
+  const std::size_t threads = threads_for(argc, argv);
   const bool no_defer = has_flag(argc, argv, "--no-defer");
   print_banner("Lemmas 6/8: pull latency under overload attacks",
                no_defer ? "ABLATION: deferred answering disabled"
-                        : "decision time vs n, poll-stuffing adversary");
+                        : "decision time vs n, poll-stuffing adversary;"
+                          " latencies pooled across trials");
 
-  Table table({"model", "adversary", "n", "mean time", "p99", "max time",
-               "max deferred", "decided", "agree"});
+  Table table({"model", "adversary", "n", "trials", "mean time", "p99",
+               "max time", "max deferred", "decided", "agree"});
   Stopwatch watch;
 
   std::vector<std::size_t> sizes = protocol_sizes(scale);
@@ -78,30 +39,44 @@ int main(int argc, char** argv) {
     sizes.pop_back();  // three models x attack: keep the default run short
   }
 
+  aer::AerConfig base;
+  base.seed = 20130722;
+  base.answer_budget = 16;  // tight but above the honest per-responder load
+  base.defer_answers = !no_defer;
+
+  exp::Grid grid;
+  grid.ns = sizes;
+  grid.models = {aer::Model::kSyncNonRushing, aer::Model::kSyncRushing,
+                 aer::Model::kAsync};
+  grid.strategies = {"none", "overload"};
+  exp::Sweep sweep(base, grid, trials);
+  sweep.set_threads(threads);
+  const auto results = sweep.run();
+
   std::vector<std::pair<std::string, std::string>> histograms;
-  for (std::size_t n : sizes) {
-    for (auto model : {aer::Model::kSyncNonRushing, aer::Model::kSyncRushing,
-                       aer::Model::kAsync}) {
-      for (const bool attack : {false, true}) {
-        const CaseResult c = run_case(n, model, attack, !no_defer);
-        const aer::AerReport& r = c.report;
-        table.add_row(
-            {aer::model_name(model), attack ? "poll-stuff" : "none",
-             Table::num(static_cast<std::uint64_t>(n)),
-             Table::num(r.mean_decision_time, 2),
-             Table::num(c.latency.quantile(0.99), 2),
-             Table::num(r.completion_time, 2),
-             Table::num(static_cast<std::uint64_t>(r.max_deferred_answers)),
-             Table::num(static_cast<std::uint64_t>(r.decided_count)) + "/" +
-                 Table::num(static_cast<std::uint64_t>(r.correct_count)),
-             r.agreement ? "yes" : "NO"});
-        if (n == sizes.back() && model == aer::Model::kAsync) {
-          histograms.emplace_back(
-              std::string(attack ? "async+attack " : "async        ") +
-                  "n=" + std::to_string(n),
-              c.latency.render(40));
-        }
+  for (const exp::PointResult& r : results) {
+    const exp::Aggregate& a = r.aggregate;
+    const bool attack = r.point.strategy != "none";
+    table.add_row(
+        {aer::model_name(r.point.model), attack ? "poll-stuff" : "none",
+         Table::num(static_cast<std::uint64_t>(r.point.n)),
+         Table::num(static_cast<std::uint64_t>(a.trials)),
+         Table::num(a.mean_decision_time.mean, 2),
+         Table::num(a.decision_time.p99, 2),
+         Table::num(a.completion_time.max, 2),
+         Table::num(static_cast<std::uint64_t>(a.max_deferred)),
+         Table::num(a.decided_fraction(), 3),
+         Table::num(a.agreement_rate(), 2)});
+    if (r.point.n == sizes.back() && r.point.model == aer::Model::kAsync) {
+      // Pool per-node decision latencies from every trial of this point.
+      Histogram latency(0, 12, 48);
+      for (const exp::TrialOutcome& o : r.outcomes) {
+        for (double t : o.decision_times) latency.add(t);
       }
+      histograms.emplace_back(
+          std::string(attack ? "async+attack " : "async        ") +
+              "n=" + std::to_string(r.point.n),
+          latency.render(40));
     }
   }
 
@@ -115,6 +90,7 @@ int main(int argc, char** argv) {
       "\npaper: non-rushing decision time O(1) (flat); rushing/async grows"
       " O(log n / log log n) under the overload chain. Deferral keeps the"
       " attacked runs live; rerun with --no-defer for the ablation.\n");
-  std::printf("[pull-latency done in %.1fs]\n", watch.seconds());
+  std::printf("[pull-latency done in %.1fs on %zu thread(s)]\n",
+              watch.seconds(), threads);
   return 0;
 }

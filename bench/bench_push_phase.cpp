@@ -7,10 +7,11 @@
 //   Lemma 5: w.h.p. every correct node ends the phase with gstring in its
 //            candidate list.
 //
-// The bench runs the push phase (one synchronous round suffices: pushes are
-// sent at round 0 and counted during round 1) across n, with and without
-// the junk-push adversary, and prints per-node push bits, Sum|L_x| / n and
-// the number of nodes missing gstring.
+// The bench sweeps {n} x {none, junk, flood} through exp::Sweep with a
+// custom push-only trial (one synchronous round suffices: pushes are sent
+// at round 0 and counted during round 1; pull traffic queued for later
+// rounds is never delivered, so large n stays cheap), and prints mean
+// per-node push bits, Sum|L_x| / n and the number of nodes missing gstring.
 #include <cmath>
 #include <iostream>
 
@@ -21,32 +22,21 @@ namespace {
 
 using namespace fba;
 
-struct PushOutcome {
-  double push_bits_per_node = 0;
-  double push_msgs_per_node = 0;
-  double lists_per_node = 0;
-  std::size_t max_list = 0;
-  std::size_t missing = 0;
-  std::size_t d = 0;
-};
-
-/// Runs only the diffusion: round 0 sends pushes, round 1 delivers them and
-/// finalizes the candidate lists. Pull traffic queued for later rounds is
-/// never delivered, so large n stays cheap.
-PushOutcome run_push_only(std::size_t n, std::uint64_t seed,
-                          const aer::StrategyFactory& strategy_factory) {
-  aer::AerConfig cfg;
-  cfg.n = n;
-  cfg.seed = seed;
-  cfg.model = aer::Model::kSyncRushing;
+/// Runs only the diffusion and harvests the candidate-list shape directly
+/// from the actors (the full-run report sections never get filled because
+/// the engine stops after round 1).
+exp::TrialOutcome run_push_trial(const aer::AerConfig& base_cfg,
+                                 const exp::GridPoint& point) {
+  aer::AerConfig cfg = base_cfg;
   cfg.max_rounds = 1;
 
   aer::AerWorld world = aer::build_aer_world(cfg);
+  const std::size_t n = cfg.n;
   std::vector<aer::AerNode*> nodes(n, nullptr);
 
   sim::SyncConfig ec;
   ec.n = n;
-  ec.seed = seed;
+  ec.seed = cfg.seed;
   ec.max_rounds = 1;
   sim::SyncEngine engine(ec);
   engine.set_wire(world.shared.get());
@@ -59,12 +49,13 @@ PushOutcome run_push_only(std::size_t n, std::uint64_t seed,
     engine.set_actor(id, std::move(actor));
   }
   std::unique_ptr<adv::Strategy> strategy;
-  if (strategy_factory) strategy = strategy_factory(world.view);
+  const aer::StrategyFactory factory = exp::attack_factory(point.strategy);
+  if (factory) strategy = factory(world.view);
   engine.set_strategy(strategy.get());
   engine.run([] { return false; });
 
-  PushOutcome out;
-  out.d = cfg.resolved_d();
+  exp::TrialOutcome out;
+  out.correct = world.correct.size();
   const auto& bits = engine.metrics().bits_by_kind();
   const auto& msgs = engine.metrics().messages_by_kind();
   if (bits.count("push") > 0) {
@@ -75,10 +66,12 @@ PushOutcome run_push_only(std::size_t n, std::uint64_t seed,
   for (aer::AerNode* node : nodes) {
     if (node == nullptr) continue;
     sum_lists += node->candidate_list().size();
-    out.max_list = std::max(out.max_list, node->candidate_list().size());
-    if (!node->has_candidate(world.shared->gstring)) ++out.missing;
+    out.max_candidate_list =
+        std::max(out.max_candidate_list, node->candidate_list().size());
+    if (!node->has_candidate(world.shared->gstring)) ++out.missing_gstring;
   }
-  out.lists_per_node = double(sum_lists) / double(world.correct.size());
+  out.candidate_lists_per_node =
+      double(sum_lists) / double(world.correct.size());
   return out;
 }
 
@@ -87,40 +80,41 @@ PushOutcome run_push_only(std::size_t n, std::uint64_t seed,
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
   const Scale scale = parse_scale(argc, argv);
+  const std::size_t trials = trials_for(scale, argc, argv);
+  const std::size_t threads = threads_for(argc, argv);
   print_banner("Lemmas 3-5: push phase",
                "push bits per node (L3), candidate-list growth (L4),"
-               " gstring coverage (L5)");
+               " gstring coverage (L5); means over seeded trials");
 
-  Table table({"n", "d", "adversary", "push msgs/node", "push bits/node",
-               "bits/log^2 n", "|L|/node", "max |L|", "missing gstring"});
+  Table table({"n", "d", "adversary", "trials", "push msgs/node",
+               "push bits/node", "bits/log^2 n", "|L|/node", "max |L|",
+               "missing gstring"});
   Stopwatch watch;
 
-  for (std::size_t n : light_sizes(scale)) {
-    const double log2n = std::log2(double(n));
-    struct Case {
-      const char* name;
-      aer::StrategyFactory factory;
-    };
-    const Case cases[] = {
-        {"none", {}},
-        {"junk-push", [](const aer::AerWorldView& view) {
-           return std::make_unique<adv::JunkPushStrategy>(view, 3, 16);
-         }},
-        {"push-flood", [](const aer::AerWorldView& view) {
-           return std::make_unique<adv::PushFloodStrategy>(view, 64);
-         }},
-    };
-    for (const Case& c : cases) {
-      const PushOutcome out = run_push_only(n, 20130722, c.factory);
-      table.add_row({Table::num(static_cast<std::uint64_t>(n)),
-                     Table::num(static_cast<std::uint64_t>(out.d)), c.name,
-                     Table::num(out.push_msgs_per_node, 1),
-                     Table::num(out.push_bits_per_node, 0),
-                     Table::num(out.push_bits_per_node / (log2n * log2n), 2),
-                     Table::num(out.lists_per_node, 2),
-                     Table::num(static_cast<std::uint64_t>(out.max_list)),
-                     Table::num(static_cast<std::uint64_t>(out.missing))});
-    }
+  aer::AerConfig base;
+  base.seed = 20130722;
+
+  exp::Grid grid;
+  grid.ns = light_sizes(scale);
+  grid.strategies = {"none", "junk-light", "flood"};
+  exp::Sweep sweep(base, grid, trials);
+  sweep.set_threads(threads).set_trial(run_push_trial);
+
+  for (const exp::PointResult& r : sweep.run()) {
+    const exp::Aggregate& a = r.aggregate;
+    const double log2n = std::log2(double(r.point.n));
+    aer::AerConfig cfg = r.point.apply(base);
+    table.add_row(
+        {Table::num(static_cast<std::uint64_t>(r.point.n)),
+         Table::num(static_cast<std::uint64_t>(cfg.resolved_d())),
+         r.point.strategy.c_str(),
+         Table::num(static_cast<std::uint64_t>(a.trials)),
+         Table::num(a.push_msgs_per_node, 1),
+         Table::num(a.push_bits_per_node, 0),
+         Table::num(a.push_bits_per_node / (log2n * log2n), 2),
+         Table::num(a.candidate_lists_per_node, 2),
+         Table::num(static_cast<std::uint64_t>(a.max_candidate_list)),
+         Table::num(a.missing_gstring)});
   }
 
   table.print(std::cout);
@@ -129,6 +123,7 @@ int main(int argc, char** argv) {
       " in the normalized column); Sum|L_x| = O(n) (|L|/node ~ constant);"
       " missing = 0 w.h.p.\nNote the flood adversary buys nothing: its"
       " pushes fail the I(s,x) membership filter.\n");
-  std::printf("[push-phase done in %.1fs]\n", watch.seconds());
+  std::printf("[push-phase done in %.1fs on %zu thread(s)]\n", watch.seconds(),
+              threads);
   return 0;
 }

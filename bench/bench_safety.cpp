@@ -3,82 +3,74 @@
 // The adversary plays the strongest decision-forcing strategy we model:
 // search the string domain for junk whose Push Quorums it wins, diffuse it,
 // and have every corrupt poll-list member affirmatively answer polls for it
-// (WrongAnswerStrategy). Across many seeded runs we count wrong decisions
-// (the paper: w.h.p. zero) and also verify the failure mode when the
-// precondition is violated: nodes stall rather than decide junk.
+// (WrongAnswerStrategy). Across a seeded exp::Sweep we count wrong
+// decisions (the paper: w.h.p. zero) and also verify the failure mode when
+// the precondition is violated: nodes stall rather than decide junk.
 #include <iostream>
 
 #include "bench_util.h"
 #include "fba.h"
 
-namespace {
-
-using namespace fba;
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace fba;
   using namespace fba::benchutil;
   const Scale scale = parse_scale(argc, argv);
+  const std::size_t trials = std::max<std::size_t>(
+      1, flag_value(argc, argv, "--trials", scale == Scale::kQuick ? 5 : 25));
+  const std::size_t threads = threads_for(argc, argv);
   print_banner("Lemma 7: decision safety under wrong-answer attacks",
-               "wrong decisions across seeds (expect zero), plus the"
+               "wrong decisions across seeded trials (expect zero), plus the"
                " honest failure mode when the precondition breaks");
-
-  const std::size_t seeds = scale == Scale::kQuick ? 5 : 25;
 
   Table table({"n", "model", "runs", "wrong decisions", "stalled nodes",
                "agreement rate"});
   Stopwatch watch;
 
-  for (std::size_t n : {std::size_t(128), std::size_t(256), std::size_t(512)}) {
-    for (auto model : {aer::Model::kSyncRushing, aer::Model::kAsync}) {
-      std::size_t wrong = 0, stalled = 0, agreed = 0;
-      for (std::size_t seed = 1; seed <= seeds; ++seed) {
-        aer::AerConfig cfg;
-        cfg.n = n;
-        cfg.seed = seed;
-        cfg.model = model;
-        const aer::AerReport r =
-            run_aer(cfg, [](const aer::AerWorldView& view) {
-              return std::make_unique<adv::WrongAnswerStrategy>(view, 16);
-            });
-        wrong += r.decided_count - r.decided_gstring;
-        stalled += r.correct_count - r.decided_count;
-        agreed += r.agreement ? 1 : 0;
-      }
-      table.add_row({Table::num(static_cast<std::uint64_t>(n)),
-                     aer::model_name(model),
-                     Table::num(static_cast<std::uint64_t>(seeds)),
-                     Table::num(static_cast<std::uint64_t>(wrong)),
-                     Table::num(static_cast<std::uint64_t>(stalled)),
-                     Table::num(double(agreed) / double(seeds), 3)});
-    }
+  aer::AerConfig base;
+  base.seed = 20130722;
+
+  exp::Grid grid;
+  grid.ns = {128, 256, 512};
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies = {"wrong"};
+  exp::Sweep sweep(base, grid, trials);
+  sweep.set_threads(threads);
+  for (const exp::PointResult& r : sweep.run()) {
+    const exp::Aggregate& a = r.aggregate;
+    table.add_row({Table::num(static_cast<std::uint64_t>(r.point.n)),
+                   aer::model_name(r.point.model),
+                   Table::num(static_cast<std::uint64_t>(a.trials)),
+                   Table::num(a.wrong_decisions),
+                   Table::num(a.stalled_nodes),
+                   Table::num(a.agreement_rate(), 3)});
   }
 
   // Precondition violation: fewer than half of the nodes know gstring. The
   // protocol must stall, never fabricate agreement on the junk string.
-  Table violated({"n", "knowledgeable", "wrong decisions", "decided",
+  Table violated({"seed", "n", "knowledgeable", "wrong decisions", "decided",
                   "verdict"});
-  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    aer::AerConfig cfg;
-    cfg.n = 256;
-    cfg.seed = seed;
-    cfg.corrupt_fraction = 0.30;
-    cfg.knowledgeable_fraction = 0.60;  // 0.7 * 0.6 < 1/2 of all nodes
-    cfg.d_override = 24;  // d must scale with t/n: P[Bin(d,0.3) > d/2] small
-    cfg.max_rounds = 40;
-    const aer::AerReport r =
-        run_aer(cfg, [](const aer::AerWorldView& view) {
-          return std::make_unique<adv::WrongAnswerStrategy>(view, 16);
-        });
-    const std::size_t wrong = r.decided_count - r.decided_gstring;
-    violated.add_row(
-        {Table::num(static_cast<std::uint64_t>(r.n)),
-         Table::num(static_cast<std::uint64_t>(r.knowledgeable_count)),
-         Table::num(static_cast<std::uint64_t>(wrong)),
-         Table::num(static_cast<std::uint64_t>(r.decided_count)) + "/" +
-             Table::num(static_cast<std::uint64_t>(r.correct_count)),
-         wrong == 0 ? "stalls, never lies" : "poll-tail breach (d small)"});
+  aer::AerConfig vbase;
+  vbase.n = 256;
+  vbase.seed = 20130722;
+  vbase.corrupt_fraction = 0.30;
+  vbase.knowledgeable_fraction = 0.60;  // 0.7 * 0.6 < 1/2 of all nodes
+  vbase.d_override = 24;  // d must scale with t/n: P[Bin(d,0.3) > d/2] small
+  vbase.max_rounds = 40;
+  exp::Grid vgrid;
+  vgrid.strategies = {"wrong"};
+  exp::Sweep vsweep(vbase, vgrid, 5);
+  vsweep.set_threads(threads);
+  for (const exp::PointResult& r : vsweep.run()) {
+    for (const exp::TrialOutcome& o : r.outcomes) {
+      violated.add_row(
+          {Table::num(o.seed),
+           Table::num(static_cast<std::uint64_t>(r.point.n)),
+           Table::num(static_cast<std::uint64_t>(o.knowledgeable)),
+           Table::num(static_cast<std::uint64_t>(o.wrong_decisions)),
+           ratio(o.decided, o.correct),
+           o.wrong_decisions == 0 ? "stalls, never lies"
+                                  : "poll-tail breach (d small)"});
+    }
   }
 
   table.print(std::cout);
@@ -87,6 +79,7 @@ int main(int argc, char** argv) {
   std::printf("\npaper (Lemma 7): any node decides on gstring w.h.p. — the"
               " poll list J(x, r) has a correct majority because r is chosen"
               " after the adversary committed its corruptions.\n");
-  std::printf("[safety done in %.1fs]\n", watch.seconds());
+  std::printf("[safety done in %.1fs on %zu thread(s)]\n", watch.seconds(),
+              threads);
   return 0;
 }

@@ -1,16 +1,24 @@
-// Shared bench scaffolding: sweep-size selection and wall-clock timing.
+// Shared bench scaffolding: sweep-size selection, trial/thread flags and
+// wall-clock timing.
 //
 // Every bench binary regenerates one table or figure of the paper (see
 // DESIGN.md §4) and prints the corresponding rows. `--quick` shrinks sweeps
 // for smoke runs; `--large` extends them to the biggest sizes that still fit
-// a laptop-class machine.
+// a laptop-class machine. Trial replication and fan-out run through
+// exp::Sweep: `--trials=N` overrides the per-scale default, `--threads=N`
+// overrides the hardware default (`--threads=1` gives the serial reference
+// run for speedup measurements).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "exp/sweep.h"
 
 namespace fba::benchutil {
 
@@ -29,6 +37,37 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+/// Parses `--name=value` into a size_t; returns `fallback` when absent.
+inline std::size_t flag_value(int argc, char** argv, const char* name,
+                              std::size_t fallback) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::strtoull(argv[i] + len + 1, nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+/// Trials per grid point at each scale; `--trials=N` overrides.
+inline std::size_t trials_for(Scale scale, int argc, char** argv) {
+  std::size_t fallback = 10;
+  if (scale == Scale::kQuick) fallback = 3;
+  if (scale == Scale::kLarge) fallback = 30;
+  return std::max<std::size_t>(1, flag_value(argc, argv, "--trials", fallback));
+}
+
+/// Worker threads for exp::Sweep; `--threads=N` overrides the hardware
+/// default (`--threads=1` is the serial reference).
+inline std::size_t threads_for(int argc, char** argv) {
+  return std::max<std::size_t>(
+      1, flag_value(argc, argv, "--threads", exp::default_threads()));
+}
+
+inline std::string ratio(std::size_t num, std::size_t den) {
+  return std::to_string(num) + "/" + std::to_string(den);
 }
 
 /// Network sizes for full-protocol sweeps (pull phase included).

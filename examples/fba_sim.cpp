@@ -1,15 +1,19 @@
 // fba_sim: command-line driver for the whole library — run any protocol
 // under any timing model and adversary, from one binary.
 //
-//   fba_sim --protocol=aer --n=512 --model=async --attack=poll-stuff
+//   fba_sim --protocol=aer --n=512 --model=async --attack=stuff
+//   fba_sim --protocol=aer --n=512 --trials=100 --threads=8
 //   fba_sim --protocol=ba --n=1024 --reduction=aer
 //   fba_sim --protocol=flood|sqrt|snowball --n=256 --corrupt=0.1
 //   fba_sim --protocol=ae --n=512 --attack=equivocate
 //
 // Flags (all optional): --n, --seed, --corrupt (fraction), --know
 // (knowledgeable fraction), --d (quorum size), --budget (answer budget),
-// --model=sync|sync-nr|async, --attack=none|silent|junk|flood|stuff|wrong|
-// combo|skew, --reduction=aer|sqrt|flood, --quiet.
+// --model=sync|sync-nr|async, --attack=<exp::known_attacks()>,
+// --reduction=aer|sqrt|flood. With --trials=N > 1 the run becomes a
+// multi-trial exp::Sweep (deterministically seeded from --seed, fanned
+// across --threads worker threads) and prints the aggregate instead of a
+// single report.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +37,8 @@ struct Options {
   std::string model = "sync";
   std::string attack = "none";
   std::string reduction = "aer";
+  std::size_t trials = 1;
+  std::size_t threads = exp::default_threads();
 };
 
 bool parse_flag(const char* arg, const char* name, std::string& out) {
@@ -58,6 +64,8 @@ Options parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--model", value)) opt.model = value;
     else if (parse_flag(argv[i], "--attack", value)) opt.attack = value;
     else if (parse_flag(argv[i], "--reduction", value)) opt.reduction = value;
+    else if (parse_flag(argv[i], "--trials", value)) opt.trials = std::stoull(value);
+    else if (parse_flag(argv[i], "--threads", value)) opt.threads = std::stoull(value);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -75,48 +83,16 @@ aer::Model parse_model(const std::string& name) {
 }
 
 aer::StrategyFactory make_attack(const std::string& name) {
-  if (name == "none") return {};
-  if (name == "silent") {
-    return [](const aer::AerWorldView&) {
-      return std::make_unique<adv::SilentStrategy>();
-    };
+  try {
+    return exp::attack_factory(name);
+  } catch (const ConfigError&) {
+    std::fprintf(stderr, "unknown attack: %s (known:", name.c_str());
+    for (const std::string& known : exp::known_attacks()) {
+      std::fprintf(stderr, " %s", known.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    std::exit(2);
   }
-  if (name == "junk") {
-    return [](const aer::AerWorldView& view) {
-      return std::make_unique<adv::JunkPushStrategy>(view, 3, 32);
-    };
-  }
-  if (name == "flood") {
-    return [](const aer::AerWorldView& view) {
-      return std::make_unique<adv::PushFloodStrategy>(view, 64);
-    };
-  }
-  if (name == "stuff") {
-    return [](const aer::AerWorldView& view) {
-      return std::make_unique<adv::PollStuffStrategy>(view);
-    };
-  }
-  if (name == "wrong") {
-    return [](const aer::AerWorldView& view) {
-      return std::make_unique<adv::WrongAnswerStrategy>(view, 16);
-    };
-  }
-  if (name == "skew") {
-    return [](const aer::AerWorldView& view) {
-      return std::make_unique<adv::LoadSkewStrategy>(view, 0, 1024);
-    };
-  }
-  if (name == "combo") {
-    return [](const aer::AerWorldView& view) {
-      auto combo = std::make_unique<adv::ComboStrategy>();
-      combo->add(std::make_unique<adv::JunkPushStrategy>(view, 2, 16));
-      combo->add(std::make_unique<adv::WrongAnswerStrategy>(view, 8));
-      combo->add(std::make_unique<adv::PollStuffStrategy>(view));
-      return combo;
-    };
-  }
-  std::fprintf(stderr, "unknown attack: %s\n", name.c_str());
-  std::exit(2);
 }
 
 void print_report(const char* label, const aer::AerReport& r) {
@@ -135,6 +111,34 @@ void print_report(const char* label, const aer::AerReport& r) {
                 static_cast<unsigned long long>(msgs),
                 static_cast<unsigned long long>(r.bits_by_kind.at(kind)));
   }
+}
+
+void print_aggregate(const std::string& label, const exp::Aggregate& a,
+                     std::size_t threads) {
+  std::printf("%s: %zu trials on %zu thread(s)\n", label.c_str(), a.trials,
+              threads);
+  std::printf("  agreement    : rate %.3f (%zu/%zu), %llu wrong decisions,"
+              " %llu stalled nodes\n",
+              a.agreement_rate(), a.agreements, a.trials,
+              static_cast<unsigned long long>(a.wrong_decisions),
+              static_cast<unsigned long long>(a.stalled_nodes));
+  std::printf("  completion   : mean %.2f +- %.2f (95%% CI), p50 %.2f,"
+              " p99 %.2f, max %.2f\n",
+              a.completion_time.mean, a.completion_time.ci95,
+              a.completion_time.p50, a.completion_time.p99,
+              a.completion_time.max);
+  if (a.decision_time.count > 0) {
+    std::printf("  decision time: pooled per-node p50 %.2f, p99 %.2f over"
+                " %zu decisions\n",
+                a.decision_time.p50, a.decision_time.p99,
+                a.decision_time.count);
+  }
+  std::printf("  traffic      : mean %.0f bits/node (p99 %.0f), mean %.0f"
+              " msgs, imbalance %.2f\n",
+              a.amortized_bits.mean, a.amortized_bits.p99,
+              a.total_messages.mean, a.imbalance.mean);
+  std::printf("  fingerprint  : %016llx\n",
+              static_cast<unsigned long long>(a.fingerprint()));
 }
 
 }  // namespace
@@ -171,6 +175,29 @@ int main(int argc, char** argv) {
     ba::Reduction reduction = ba::Reduction::kAer;
     if (opt.reduction == "sqrt") reduction = ba::Reduction::kSqrtSample;
     if (opt.reduction == "flood") reduction = ba::Reduction::kFlood;
+    make_attack(opt.attack);  // validate the name before any sweep runs
+    if (opt.trials > 1) {
+      aer::AerConfig base;
+      base.n = opt.n;
+      base.seed = opt.seed;
+      base.corrupt_fraction = opt.corrupt;
+      exp::Grid grid;
+      grid.strategies = {opt.attack};
+      exp::Sweep sweep(base, grid, opt.trials);
+      sweep.set_threads(opt.threads);
+      sweep.set_trial([&cfg, reduction](const aer::AerConfig& trial_cfg,
+                                        const exp::GridPoint& point) {
+        ba::BaConfig run = cfg;
+        run.seed = trial_cfg.seed;
+        return exp::outcome_of(ba::run_ba(run, reduction, {},
+                                          exp::attack_factory(point.strategy)));
+      });
+      const exp::PointResult result = sweep.run().front();
+      print_aggregate(std::string("BA/") + ba::reduction_name(reduction) +
+                          " " + result.point.label(),
+                      result.aggregate, opt.threads);
+      return result.aggregate.agreements == result.aggregate.trials ? 0 : 1;
+    }
     const ba::BaReport r =
         ba::run_ba(cfg, reduction, {}, make_attack(opt.attack));
     std::printf("BA (%s reduction): total time %.1f, %.0f bits/node -> %s\n",
@@ -190,6 +217,32 @@ int main(int argc, char** argv) {
   cfg.d_override = opt.d;
   cfg.answer_budget = opt.budget;
 
+  exp::Sweep::Trial trial;
+  if (opt.protocol == "aer") {
+    trial = exp::run_aer_trial;
+  } else if (opt.protocol == "flood") {
+    trial = exp::run_flood_trial;
+  } else if (opt.protocol == "sqrt") {
+    trial = exp::run_sqrtsample_trial;
+  } else if (opt.protocol == "snowball") {
+    trial = exp::run_snowball_trial;
+  } else {
+    std::fprintf(stderr, "unknown protocol: %s\n", opt.protocol.c_str());
+    return 2;
+  }
+  make_attack(opt.attack);  // validate the name before running
+
+  if (opt.trials > 1) {
+    exp::Grid grid;
+    grid.strategies = {opt.attack};
+    exp::Sweep sweep(cfg, grid, opt.trials);
+    sweep.set_threads(opt.threads).set_trial(trial);
+    const exp::PointResult result = sweep.run().front();
+    print_aggregate(opt.protocol + " " + result.point.label(),
+                    result.aggregate, opt.threads);
+    return result.aggregate.agreements == result.aggregate.trials ? 0 : 1;
+  }
+
   aer::AerReport report;
   if (opt.protocol == "aer") {
     report = aer::run_aer(cfg, make_attack(opt.attack));
@@ -199,9 +252,6 @@ int main(int argc, char** argv) {
     report = baseline::run_sqrtsample(cfg, make_attack(opt.attack));
   } else if (opt.protocol == "snowball") {
     report = baseline::run_snowball(cfg, make_attack(opt.attack));
-  } else {
-    std::fprintf(stderr, "unknown protocol: %s\n", opt.protocol.c_str());
-    return 2;
   }
   print_report(opt.protocol.c_str(), report);
   return report.agreement ? 0 : 1;

@@ -178,7 +178,24 @@ void fill_aer_specific(AerReport& report, const AerWorld& world,
 AerReport run_aer(const AerConfig& config, const StrategyFactory& make_strategy,
                   const CorruptPicker& pick_corrupt) {
   AerWorld world = build_aer_world(config, pick_corrupt);
-  return run_aer_world(world, make_strategy);
+  // World-owning variant of run_aer_world: the whole run — world included —
+  // is self-contained, so concurrent run_aer calls (the experiment runner's
+  // trials) share nothing. Captures are by value because the world moves.
+  AerShared* shared = world.shared.get();
+  const std::vector<StringId> initial = world.view.initial;
+  auto nodes =
+      std::make_shared<std::vector<AerNode*>>(config.n, nullptr);
+  return run_world_protocol(
+      std::move(world),
+      [shared, initial, nodes](NodeId id) {
+        auto actor = std::make_unique<AerNode>(shared, id, initial[id]);
+        (*nodes)[id] = actor.get();
+        return actor;
+      },
+      make_strategy,
+      [nodes](AerReport& report, AerWorld& owned) {
+        fill_aer_specific(report, owned, *nodes);
+      });
 }
 
 AerReport run_aer_world(AerWorld& world, const StrategyFactory& make_strategy) {

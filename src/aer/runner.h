@@ -84,4 +84,26 @@ AerReport run_world_protocol(
   return report;
 }
 
+/// World-owning overload: takes the world by rvalue and keeps it alive for
+/// the duration of the run, so a trial can be packaged as a single
+/// self-contained callable and shipped to a worker thread (the experiment
+/// runner's pattern — nothing outside the call needs to outlive the world).
+/// `post_run` additionally receives the world, since the caller's copy has
+/// been moved from.
+template <typename ActorFactory>
+AerReport run_world_protocol(
+    AerWorld&& world, ActorFactory&& make_actor,
+    const StrategyFactory& make_strategy = {},
+    const std::function<void(AerReport&, AerWorld&)>& post_run = {}) {
+  AerWorld owned = std::move(world);
+  std::function<void(AerReport&)> harvest;
+  if (post_run) {
+    harvest = [&post_run, &owned](AerReport& report) {
+      post_run(report, owned);
+    };
+  }
+  return run_world_protocol(owned, std::forward<ActorFactory>(make_actor),
+                            make_strategy, harvest);
+}
+
 }  // namespace fba::aer

@@ -1,0 +1,174 @@
+#include "exp/aggregate.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "ba/ba.h"
+#include "support/siphash.h"
+
+namespace fba::exp {
+
+TrialOutcome outcome_of(const aer::AerReport& r) {
+  TrialOutcome o;
+  o.seed = 0;
+  o.correct = r.correct_count;
+  o.decided = r.decided_count;
+  o.wrong_decisions = r.decided_count - r.decided_gstring;
+  o.knowledgeable = r.knowledgeable_count;
+  o.agreement = r.agreement;
+  o.engine_completed = r.engine_completed;
+  o.completion_time = r.completion_time;
+  o.mean_decision_time = r.mean_decision_time;
+  o.engine_time = r.engine_time;
+  o.total_messages = static_cast<double>(r.total_messages);
+  o.amortized_bits = r.amortized_bits;
+  o.max_sent_bits = r.sent_bits.max;
+  o.mean_sent_bits = r.sent_bits.mean;
+  o.imbalance = r.sent_bits.imbalance();
+  o.push_bits_per_node = r.push_bits_per_node;
+  o.candidate_lists_per_node =
+      r.correct_count > 0 ? static_cast<double>(r.sum_candidate_lists) /
+                                static_cast<double>(r.correct_count)
+                          : 0;
+  o.max_candidate_list = r.max_candidate_list;
+  o.missing_gstring = r.nodes_missing_gstring;
+  o.max_deferred = r.max_deferred_answers;
+  const auto push_msgs = r.msgs_by_kind.find("push");
+  if (push_msgs != r.msgs_by_kind.end() && r.n > 0) {
+    o.push_msgs_per_node = static_cast<double>(push_msgs->second) /
+                           static_cast<double>(r.n);
+  }
+  return o;
+}
+
+TrialOutcome outcome_of(const aer::AerReport& report,
+                        const aer::AerWorld& world) {
+  TrialOutcome o = outcome_of(report);
+  o.decision_times.reserve(world.correct.size());
+  for (NodeId id : world.correct) {
+    if (world.decisions.has_decided(id)) {
+      o.decision_times.push_back(world.decisions.time(id));
+    }
+  }
+  return o;
+}
+
+TrialOutcome outcome_of(const ba::BaReport& r) {
+  TrialOutcome o = outcome_of(r.reduction);
+  // Whole-composition totals override the reduction-phase view.
+  o.agreement = r.agreement;
+  o.completion_time = r.total_time;
+  o.total_messages = static_cast<double>(r.total_messages);
+  o.amortized_bits = r.amortized_bits;
+  o.ae_rounds = static_cast<double>(r.ae.rounds);
+  o.reduction_time = r.reduction.completion_time;
+  o.ae_bits = r.ae.amortized_bits;
+  o.reduction_bits = r.reduction.amortized_bits;
+  return o;
+}
+
+namespace {
+
+std::vector<double> collect(const std::vector<TrialOutcome>& outcomes,
+                            double TrialOutcome::* field) {
+  std::vector<double> values;
+  values.reserve(outcomes.size());
+  for (const TrialOutcome& o : outcomes) values.push_back(o.*field);
+  return values;
+}
+
+void hash_doubles(std::uint64_t& h, std::initializer_list<double> values) {
+  for (double v : values) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = siphash_words(SipKey{h, 0x41676772u}, {bits});
+  }
+}
+
+void hash_stats(std::uint64_t& h, const SummaryStats& s) {
+  h = siphash_words(SipKey{h, 0x53746174u}, {s.count});
+  hash_doubles(h, {s.mean, s.stddev, s.min, s.max, s.p50, s.p90, s.p99,
+                   s.ci95});
+}
+
+}  // namespace
+
+std::uint64_t Aggregate::fingerprint() const {
+  std::uint64_t h = 0x666261206578700aull;
+  h = siphash_words(SipKey{h, 1},
+                    {trials, agreements, engine_incomplete, wrong_decisions,
+                     stalled_nodes, correct_nodes,
+                     static_cast<std::uint64_t>(max_candidate_list),
+                     missing_gstring,
+                     static_cast<std::uint64_t>(max_deferred)});
+  for (const SummaryStats* s :
+       {&completion_time, &mean_decision_time, &engine_time, &total_messages,
+        &amortized_bits, &max_sent_bits, &mean_sent_bits, &imbalance,
+        &decision_time}) {
+    hash_stats(h, *s);
+  }
+  hash_doubles(h, {push_bits_per_node, push_msgs_per_node,
+                   candidate_lists_per_node, ae_rounds, reduction_time,
+                   ae_bits, reduction_bits});
+  return h;
+}
+
+Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
+  Aggregate agg;
+  agg.trials = outcomes.size();
+
+  std::vector<double> pooled_times;
+  double push_bits = 0, push_msgs = 0, lists = 0;
+  double ae_rounds = 0, red_time = 0, ae_bits = 0, red_bits = 0;
+  for (const TrialOutcome& o : outcomes) {
+    agg.agreements += o.agreement ? 1 : 0;
+    agg.engine_incomplete += o.engine_completed ? 0 : 1;
+    agg.wrong_decisions += o.wrong_decisions;
+    agg.stalled_nodes += o.correct - o.decided;
+    agg.correct_nodes += o.correct;
+    agg.max_candidate_list =
+        std::max(agg.max_candidate_list, o.max_candidate_list);
+    agg.missing_gstring += o.missing_gstring;
+    agg.max_deferred = std::max(agg.max_deferred, o.max_deferred);
+    push_bits += o.push_bits_per_node;
+    push_msgs += o.push_msgs_per_node;
+    lists += o.candidate_lists_per_node;
+    ae_rounds += o.ae_rounds;
+    red_time += o.reduction_time;
+    ae_bits += o.ae_bits;
+    red_bits += o.reduction_bits;
+    pooled_times.insert(pooled_times.end(), o.decision_times.begin(),
+                        o.decision_times.end());
+  }
+  if (!outcomes.empty()) {
+    const auto count = static_cast<double>(outcomes.size());
+    agg.push_bits_per_node = push_bits / count;
+    agg.push_msgs_per_node = push_msgs / count;
+    agg.candidate_lists_per_node = lists / count;
+    agg.ae_rounds = ae_rounds / count;
+    agg.reduction_time = red_time / count;
+    agg.ae_bits = ae_bits / count;
+    agg.reduction_bits = red_bits / count;
+  }
+
+  agg.completion_time =
+      summarize_sample(collect(outcomes, &TrialOutcome::completion_time));
+  agg.mean_decision_time =
+      summarize_sample(collect(outcomes, &TrialOutcome::mean_decision_time));
+  agg.engine_time =
+      summarize_sample(collect(outcomes, &TrialOutcome::engine_time));
+  agg.total_messages =
+      summarize_sample(collect(outcomes, &TrialOutcome::total_messages));
+  agg.amortized_bits =
+      summarize_sample(collect(outcomes, &TrialOutcome::amortized_bits));
+  agg.max_sent_bits =
+      summarize_sample(collect(outcomes, &TrialOutcome::max_sent_bits));
+  agg.mean_sent_bits =
+      summarize_sample(collect(outcomes, &TrialOutcome::mean_sent_bits));
+  agg.imbalance = summarize_sample(collect(outcomes, &TrialOutcome::imbalance));
+  agg.decision_time = summarize_sample(std::move(pooled_times));
+  return agg;
+}
+
+}  // namespace fba::exp

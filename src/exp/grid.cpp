@@ -1,0 +1,65 @@
+#include "exp/grid.h"
+
+#include <cstdio>
+
+namespace fba::exp {
+
+namespace {
+
+template <typename T>
+std::vector<T> axis_or(const std::vector<T>& axis, const T& fallback) {
+  if (axis.empty()) return {fallback};
+  return axis;
+}
+
+}  // namespace
+
+std::size_t Grid::points() const {
+  auto dim = [](std::size_t v) { return v == 0 ? std::size_t{1} : v; };
+  return dim(ns.size()) * dim(models.size()) * dim(corrupt_fractions.size()) *
+         dim(strategies.size());
+}
+
+aer::AerConfig GridPoint::apply(aer::AerConfig base) const {
+  base.n = n;
+  base.model = model;
+  base.corrupt_fraction = corrupt_fraction;
+  return base;
+}
+
+std::string GridPoint::label() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "n=%zu model=%s corrupt=%.2f attack=%s", n,
+                aer::model_name(model), corrupt_fraction, strategy.c_str());
+  return buf;
+}
+
+std::vector<GridPoint> expand_grid(const aer::AerConfig& base,
+                                   const Grid& grid) {
+  const auto ns = axis_or(grid.ns, base.n);
+  const auto models = axis_or(grid.models, base.model);
+  const auto fractions = axis_or(grid.corrupt_fractions, base.corrupt_fraction);
+  const auto strategies = axis_or<std::string>(grid.strategies, "none");
+
+  std::vector<GridPoint> points;
+  points.reserve(ns.size() * models.size() * fractions.size() *
+                 strategies.size());
+  for (const std::string& strategy : strategies) {
+    for (double fraction : fractions) {
+      for (aer::Model model : models) {
+        for (std::size_t n : ns) {
+          GridPoint p;
+          p.index = points.size();
+          p.n = n;
+          p.model = model;
+          p.corrupt_fraction = fraction;
+          p.strategy = strategy;
+          points.push_back(std::move(p));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace fba::exp

@@ -1,0 +1,54 @@
+// Parameter grids for experiment sweeps.
+//
+// A Grid names the axes a sweep varies — network size, timing model,
+// corrupt fraction, adversary strategy — and expands against a base
+// AerConfig into the cross product of grid points. An empty axis means
+// "keep the base config's value", so a Grid{.ns = {128, 256}} is a plain
+// size sweep and Grid{} is a single point (pure trial replication).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "aer/config.h"
+
+namespace fba::exp {
+
+struct Grid {
+  std::vector<std::size_t> ns;
+  std::vector<aer::Model> models;
+  std::vector<double> corrupt_fractions;
+  /// Adversary strategy names resolved via exp::attack_factory (scenario.h);
+  /// "none" is the honest run.
+  std::vector<std::string> strategies;
+
+  /// Number of grid points after expansion (>= 1; empty axes count as 1).
+  std::size_t points() const;
+};
+
+/// One cell of the cross product. `index` is the point's position in the
+/// expansion order (strategy-major … n-minor, see expand_grid), which also
+/// keys the deterministic per-trial seed derivation.
+struct GridPoint {
+  std::size_t index = 0;
+  std::size_t n = 0;
+  aer::Model model = aer::Model::kSyncRushing;
+  double corrupt_fraction = 0;
+  std::string strategy = "none";
+
+  /// The base config with this point's axes applied. The seed is left
+  /// untouched: the sweep assigns per-trial seeds itself.
+  aer::AerConfig apply(aer::AerConfig base) const;
+
+  /// "n=256 model=async corrupt=0.08 attack=poll-stuff" — for table rows.
+  std::string label() const;
+};
+
+/// Cross-product expansion, axes fixed in the order
+/// strategy > corrupt_fraction > model > n (n varies fastest). Missing axes
+/// are filled from `base`.
+std::vector<GridPoint> expand_grid(const aer::AerConfig& base,
+                                   const Grid& grid);
+
+}  // namespace fba::exp

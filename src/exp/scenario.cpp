@@ -1,0 +1,128 @@
+#include "exp/scenario.h"
+
+#include "adversary/strategies.h"
+#include "baseline/flood.h"
+#include "baseline/snowball.h"
+#include "baseline/sqrtsample.h"
+
+namespace fba::exp {
+
+aer::StrategyFactory attack_factory(const std::string& name) {
+  if (name.empty() || name == "none") return {};
+  if (name == "silent") {
+    return [](const aer::AerWorldView&) {
+      return std::make_unique<adv::SilentStrategy>();
+    };
+  }
+  if (name == "junk") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::JunkPushStrategy>(view, 3, 32);
+    };
+  }
+  if (name == "junk-light") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::JunkPushStrategy>(view, 3, 16);
+    };
+  }
+  if (name == "flood") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::PushFloodStrategy>(view, 64);
+    };
+  }
+  if (name == "stuff") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::PollStuffStrategy>(view);
+    };
+  }
+  if (name == "overload") {
+    return [](const aer::AerWorldView& view) {
+      auto combo = std::make_unique<adv::ComboStrategy>();
+      combo->add(std::make_unique<adv::PollStuffStrategy>(view, 24, 512));
+      if (view.shared->config.model == aer::Model::kAsync) {
+        combo->set_delay_policy(
+            std::make_unique<adv::TargetedDelayStrategy>(view));
+      }
+      return combo;
+    };
+  }
+  if (name == "wrong") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::WrongAnswerStrategy>(view, 16);
+    };
+  }
+  if (name == "skew") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::LoadSkewStrategy>(view, 0, 1024);
+    };
+  }
+  if (name == "skew-heavy") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::LoadSkewStrategy>(view, 0, 2048);
+    };
+  }
+  if (name == "combo") {
+    return [](const aer::AerWorldView& view) {
+      auto combo = std::make_unique<adv::ComboStrategy>();
+      combo->add(std::make_unique<adv::JunkPushStrategy>(view, 2, 16));
+      combo->add(std::make_unique<adv::WrongAnswerStrategy>(view, 8));
+      combo->add(std::make_unique<adv::PollStuffStrategy>(view));
+      return combo;
+    };
+  }
+  throw ConfigError("unknown attack strategy: " + name);
+}
+
+std::vector<std::string> known_attacks() {
+  return {"none",     "silent", "junk", "junk-light", "flood",
+          "stuff",    "overload", "wrong", "skew",    "skew-heavy",
+          "combo"};
+}
+
+namespace {
+
+template <typename RunWorld>
+TrialOutcome world_trial(const aer::AerConfig& config, const GridPoint& point,
+                         RunWorld&& run_world) {
+  aer::AerWorld world = aer::build_aer_world(config);
+  const aer::AerReport report =
+      run_world(world, attack_factory(point.strategy));
+  TrialOutcome o = outcome_of(report, world);
+  o.seed = config.seed;
+  return o;
+}
+
+}  // namespace
+
+TrialOutcome run_aer_trial(const aer::AerConfig& config,
+                           const GridPoint& point) {
+  return world_trial(config, point,
+                     [](aer::AerWorld& world, const aer::StrategyFactory& f) {
+                       return aer::run_aer_world(world, f);
+                     });
+}
+
+TrialOutcome run_flood_trial(const aer::AerConfig& config,
+                             const GridPoint& point) {
+  return world_trial(config, point,
+                     [](aer::AerWorld& world, const aer::StrategyFactory& f) {
+                       return baseline::run_flood_world(world, f);
+                     });
+}
+
+TrialOutcome run_sqrtsample_trial(const aer::AerConfig& config,
+                                  const GridPoint& point) {
+  return world_trial(config, point,
+                     [](aer::AerWorld& world, const aer::StrategyFactory& f) {
+                       return baseline::run_sqrtsample_world(world, f);
+                     });
+}
+
+TrialOutcome run_snowball_trial(const aer::AerConfig& config,
+                                const GridPoint& point) {
+  return world_trial(config, point,
+                     [](aer::AerWorld& world, const aer::StrategyFactory& f) {
+                       return baseline::run_snowball_world(world, f);
+                     });
+}
+
+}  // namespace fba::exp

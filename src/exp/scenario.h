@@ -1,0 +1,51 @@
+// Named scenarios: the adversary-strategy registry and the per-protocol
+// trial runners the Sweep fans out.
+//
+// Attack names are the single vocabulary shared by benches, fba_sim and the
+// Grid's strategy axis, so "the poll-stuffing run at n=512" means the same
+// configuration everywhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aer/protocol.h"
+#include "exp/aggregate.h"
+#include "exp/grid.h"
+
+namespace fba::exp {
+
+/// Resolves an attack name to a strategy factory. Known names:
+///   none      — honest run (null factory);
+///   silent    — crash faults;
+///   junk      — coordinated junk-string diffusion (Lemma 4);
+///   junk-light— junk with the smaller search budget bench_push_phase uses;
+///   flood     — blind push flooding (Section 3.1.1);
+///   stuff     — poll stuffing / overload chain (Lemma 6);
+///   overload  — tight-budget poll stuffing + targeted delays under async,
+///               the Lemma 6/8 latency-stretch adversary;
+///   wrong     — wrong-answer safety attack (Lemma 7);
+///   skew      — load-skew quorum seizure against node 0 (Figure 1a);
+///   skew-heavy— skew with bench_fig1a's larger string-search budget;
+///   combo     — junk + wrong + stuff composed.
+/// Throws ConfigError on an unknown name.
+aer::StrategyFactory attack_factory(const std::string& name);
+
+/// Names accepted by attack_factory, for --help strings.
+std::vector<std::string> known_attacks();
+
+/// One full AER trial: builds a world for `config`, runs it under the
+/// point's attack, and harvests the outcome (including per-node decision
+/// times). This is Sweep's default trial.
+TrialOutcome run_aer_trial(const aer::AerConfig& config,
+                           const GridPoint& point);
+
+/// Baseline AE->E reductions on the same world construction.
+TrialOutcome run_flood_trial(const aer::AerConfig& config,
+                             const GridPoint& point);
+TrialOutcome run_sqrtsample_trial(const aer::AerConfig& config,
+                                  const GridPoint& point);
+TrialOutcome run_snowball_trial(const aer::AerConfig& config,
+                                const GridPoint& point);
+
+}  // namespace fba::exp

@@ -1,0 +1,44 @@
+#include "exp/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fba::exp {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+SummaryStats summarize_sample(std::vector<double> values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.p50 = quantile_sorted(values, 0.50);
+  s.p90 = quantile_sorted(values, 0.90);
+  s.p99 = quantile_sorted(values, 0.99);
+
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+
+  if (values.size() >= 2) {
+    double sq = 0;
+    for (double v : values) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+    s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(values.size()));
+  }
+  return s;
+}
+
+}  // namespace fba::exp

@@ -1,0 +1,43 @@
+// Summary statistics for multi-trial experiment results.
+//
+// The paper's headline claims (O(log n / log log n) async decision time,
+// O(1) expected sync rounds) are statements about distributions, so the
+// experiment runner reports distributional summaries — mean, median, tail
+// quantiles — plus a 95% confidence interval on the mean so sweeps can say
+// whether two configurations actually differ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fba::exp {
+
+/// Distribution summary over a sample of doubles. All fields are derived
+/// deterministically from the sample values (no RNG), so two runs that
+/// produce the same samples in the same order produce bit-identical stats.
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;  ///< sample standard deviation (n-1 denominator).
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  /// Half-width of the normal-approximation 95% CI on the mean
+  /// (1.96 * stddev / sqrt(count)); 0 for samples of size < 2.
+  double ci95 = 0;
+
+  double ci_lo() const { return mean - ci95; }
+  double ci_hi() const { return mean + ci95; }
+};
+
+/// Quantile by linear interpolation between order statistics; `sorted` must
+/// be ascending and non-empty, q in [0, 1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Summarizes a sample (copied and sorted internally; input order does not
+/// affect the result).
+SummaryStats summarize_sample(std::vector<double> values);
+
+}  // namespace fba::exp

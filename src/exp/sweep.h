@@ -1,0 +1,83 @@
+// Multi-threaded experiment runner.
+//
+// Sweep takes a base AerConfig, a parameter Grid and a trial count, fans
+// (point, trial) tasks across a std::thread pool, and reduces each point's
+// trial outcomes into an Aggregate. Reproducibility contract: every trial
+// runs with a seed derived purely from (base seed, point index, trial
+// index), and the reduction folds outcomes in trial-index order — so the
+// result is bit-identical whether the sweep runs on 1 thread or N, and
+// regardless of how the OS interleaves the workers.
+//
+//   exp::Sweep sweep(base, {.ns = {128, 256}, .models = {Model::kAsync}},
+//                    /*trials=*/100);
+//   sweep.set_threads(8);
+//   for (const exp::PointResult& r : sweep.run())
+//     printf("%s: p99 time %.2f\n", r.point.label().c_str(),
+//            r.aggregate.completion_time.p99);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exp/aggregate.h"
+#include "exp/grid.h"
+
+namespace fba::exp {
+
+/// Threads to use when the caller does not say: hardware concurrency,
+/// clamped to [1, 16].
+std::size_t default_threads();
+
+/// Deterministic per-trial seed: a keyed hash of (base_seed, point, trial),
+/// so neighbouring trials get uncorrelated streams and the mapping never
+/// depends on scheduling.
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t point_index,
+                         std::uint64_t trial_index);
+
+/// Runs fn(0..count-1) across `threads` workers pulling indices from a
+/// shared counter. Blocks until every index completed. The first exception
+/// thrown by any task is rethrown on the calling thread (remaining workers
+/// finish their current task and stop picking up new ones).
+void run_indexed(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t)>& fn);
+
+/// One grid point's reduced result plus the raw per-trial outcomes (in
+/// trial order) for benches that render distributions.
+struct PointResult {
+  GridPoint point;
+  Aggregate aggregate;
+  std::vector<TrialOutcome> outcomes;
+};
+
+class Sweep {
+ public:
+  /// A trial maps (config-with-derived-seed, grid point) to its outcome.
+  /// It must be self-contained: trials run concurrently, one world each.
+  using Trial =
+      std::function<TrialOutcome(const aer::AerConfig&, const GridPoint&)>;
+
+  /// `trials` > 0 runs of every grid point. The default trial runner is
+  /// exp::run_aer_trial (the paper's protocol under the point's attack).
+  Sweep(aer::AerConfig base, Grid grid, std::size_t trials);
+
+  Sweep& set_threads(std::size_t threads);
+  Sweep& set_trial(Trial trial);
+
+  std::size_t trials() const { return trials_; }
+  std::size_t threads() const { return threads_; }
+  std::size_t total_trials() const;
+
+  /// Executes the sweep. Points appear in expansion order; outcomes within
+  /// a point in trial order.
+  std::vector<PointResult> run() const;
+
+ private:
+  aer::AerConfig base_;
+  Grid grid_;
+  std::size_t trials_;
+  std::size_t threads_;
+  Trial trial_;
+};
+
+}  // namespace fba::exp

@@ -7,6 +7,7 @@
 //   fba::sampler — the I/H/J sampler machinery (Section 2.2)
 //   fba::sim     — the simulated network engines (sync / async)
 //   fba::adv     — the Byzantine adversary and its strategy gallery
+//   fba::exp     — the multi-threaded multi-trial experiment runner
 //
 // Quickstart (see examples/quickstart.cpp):
 //
@@ -30,6 +31,11 @@
 #include "baseline/flood.h"
 #include "baseline/snowball.h"
 #include "baseline/sqrtsample.h"
+#include "exp/aggregate.h"
+#include "exp/grid.h"
+#include "exp/scenario.h"
+#include "exp/stats.h"
+#include "exp/sweep.h"
 #include "net/async_engine.h"
 #include "net/sync_engine.h"
 #include "sampler/hash_sampler.h"

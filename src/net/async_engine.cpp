@@ -18,7 +18,10 @@ void AsyncEngine::queue_envelope(Envelope env) {
     // deliver into the past.
     delay = std::clamp(delay, 1e-9, 1.0);
   } else {
-    delay = strategy_rng_.uniform_positive();
+    // Same reliability clamp as the adversary path: the null strategy must
+    // honor the normalized-delay model too (uniform_positive() is already in
+    // (0, 1], but the clamp keeps both paths identical if that ever drifts).
+    delay = std::clamp(strategy_rng_.uniform_positive(), 1e-9, 1.0);
   }
   queue_.push(Pending{current_time_ + delay, std::move(env), false, 0, 0});
 }
@@ -53,11 +56,21 @@ AsyncResult AsyncEngine::run(const std::function<bool()>& done) {
     Pending next = queue_.top();
     queue_.pop();
     current_time_ = next.at;
-    ++result.deliveries;
+    const std::uint64_t decisions_before = decisions_reported();
     if (next.is_timer) {
+      ++result.timer_fires;
       fire_timer(next.timer_node, next.timer_token);
     } else {
+      ++result.deliveries;
       deliver(next.env);
+    }
+    // A delivery that fired a decision callback may have been the last one
+    // needed: re-check immediately instead of processing up to
+    // done_check_stride - 1 further events, which would overstate the
+    // reported completion time.
+    if (decisions_reported() != decisions_before && done()) {
+      result.completed = true;
+      break;
     }
   }
 

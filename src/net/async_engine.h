@@ -27,7 +27,8 @@ struct AsyncResult {
   SimTime time = 0;       ///< sim time when the run stopped.
   bool completed = false; ///< the done-predicate fired.
   bool quiescent = false; ///< event queue drained.
-  std::uint64_t deliveries = 0;
+  std::uint64_t deliveries = 0;   ///< message deliveries only.
+  std::uint64_t timer_fires = 0;  ///< timer callbacks, counted separately.
 };
 
 class AsyncEngine : public EngineBase {

@@ -70,6 +70,7 @@ void EngineBase::send_from(NodeId src, NodeId dst, PayloadPtr payload) {
 }
 
 void EngineBase::report_decision(NodeId node, StringId value) {
+  ++decisions_reported_;
   if (on_decide_) on_decide_(node, value, now());
 }
 

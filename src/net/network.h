@@ -61,6 +61,9 @@ class EngineBase {
   TrafficMetrics& metrics() { return metrics_; }
   const TrafficMetrics& metrics() const { return metrics_; }
   Rng& strategy_rng() { return strategy_rng_; }
+  /// Number of report_decision calls so far; lets engines notice that an
+  /// event they just processed produced a decision.
+  std::uint64_t decisions_reported() const { return decisions_reported_; }
   virtual double now() const = 0;
 
   // ----- used by Context / AdvContext --------------------------------------
@@ -100,6 +103,7 @@ class EngineBase {
   std::vector<Rng> node_rngs_;
   Rng strategy_rng_;
   std::uint64_t send_seq_ = 0;
+  std::uint64_t decisions_reported_ = 0;
 };
 
 inline std::size_t Context::n() const { return engine_.n(); }

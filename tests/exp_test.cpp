@@ -1,0 +1,299 @@
+// Tests for the exp/ experiment runner: deterministic seeding, grid
+// expansion, thread-count-independent aggregation, the statistics helpers,
+// and the async-engine accounting fixes that the runner's traffic numbers
+// rely on (timer/delivery separation, immediate done re-check).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "fba.h"
+
+namespace fba {
+namespace {
+
+// ----- stats -----------------------------------------------------------------
+
+TEST(StatsTest, SummarizeSampleBasics) {
+  const auto s = exp::summarize_sample({4, 1, 3, 2});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+  EXPECT_GT(s.stddev, 0);
+  EXPECT_GT(s.ci95, 0);
+  EXPECT_LT(s.ci_lo(), s.mean);
+  EXPECT_GT(s.ci_hi(), s.mean);
+}
+
+TEST(StatsTest, SummarizeIsOrderInvariant) {
+  const std::vector<double> a = {5, 1, 9, 2, 2, 7};
+  std::vector<double> b = a;
+  std::reverse(b.begin(), b.end());
+  const auto sa = exp::summarize_sample(a);
+  const auto sb = exp::summarize_sample(b);
+  EXPECT_DOUBLE_EQ(sa.mean, sb.mean);
+  EXPECT_DOUBLE_EQ(sa.p99, sb.p99);
+  EXPECT_DOUBLE_EQ(sa.stddev, sb.stddev);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> sorted = {0, 10};
+  EXPECT_DOUBLE_EQ(exp::quantile_sorted(sorted, 0.0), 0);
+  EXPECT_DOUBLE_EQ(exp::quantile_sorted(sorted, 0.5), 5);
+  EXPECT_DOUBLE_EQ(exp::quantile_sorted(sorted, 1.0), 10);
+  EXPECT_DOUBLE_EQ(exp::quantile_sorted({}, 0.5), 0);
+}
+
+TEST(StatsTest, EmptyAndSingletonSamples) {
+  EXPECT_EQ(exp::summarize_sample({}).count, 0u);
+  const auto s = exp::summarize_sample({7});
+  EXPECT_DOUBLE_EQ(s.mean, 7);
+  EXPECT_DOUBLE_EQ(s.ci95, 0);
+}
+
+// ----- seeds and grid --------------------------------------------------------
+
+TEST(SweepTest, TrialSeedsAreDeterministicAndDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    for (std::uint64_t t = 0; t < 64; ++t) {
+      const std::uint64_t s = exp::trial_seed(1, p, t);
+      EXPECT_EQ(s, exp::trial_seed(1, p, t));
+      EXPECT_NE(s, 0u);
+      seen.insert(s);
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 64u);  // no collisions across the sweep
+  EXPECT_NE(exp::trial_seed(1, 0, 0), exp::trial_seed(2, 0, 0));
+}
+
+TEST(SweepTest, GridExpansionCoversCrossProduct) {
+  aer::AerConfig base;
+  base.n = 64;
+  exp::Grid grid;
+  grid.ns = {64, 128};
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies = {"none", "wrong"};
+  EXPECT_EQ(grid.points(), 8u);
+  const auto points = exp::expand_grid(base, grid);
+  ASSERT_EQ(points.size(), 8u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_DOUBLE_EQ(points[i].corrupt_fraction, base.corrupt_fraction);
+  }
+  // n varies fastest; strategy slowest.
+  EXPECT_EQ(points[0].n, 64u);
+  EXPECT_EQ(points[1].n, 128u);
+  EXPECT_EQ(points[0].strategy, "none");
+  EXPECT_EQ(points[4].strategy, "wrong");
+}
+
+TEST(SweepTest, EmptyGridIsSinglePointFromBase) {
+  aer::AerConfig base;
+  base.n = 96;
+  base.model = aer::Model::kAsync;
+  const auto points = exp::expand_grid(base, exp::Grid{});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].n, 96u);
+  EXPECT_EQ(points[0].model, aer::Model::kAsync);
+  EXPECT_EQ(points[0].strategy, "none");
+}
+
+TEST(SweepTest, UnknownAttackThrows) {
+  EXPECT_THROW(exp::attack_factory("no-such-attack"), ConfigError);
+  for (const std::string& name : exp::known_attacks()) {
+    EXPECT_NO_THROW(exp::attack_factory(name));
+  }
+}
+
+// ----- run_indexed -----------------------------------------------------------
+
+TEST(SweepTest, RunIndexedCoversEveryIndexOnce) {
+  for (std::size_t threads : {1u, 4u}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    exp::run_indexed(hits.size(), threads,
+                     [&hits](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(SweepTest, RunIndexedPropagatesExceptions) {
+  EXPECT_THROW(
+      exp::run_indexed(64, 4,
+                       [](std::size_t i) {
+                         if (i == 13) throw ConfigError("boom");
+                       }),
+      ConfigError);
+}
+
+// ----- the determinism contract ---------------------------------------------
+
+TEST(SweepTest, AggregateBitIdenticalAcrossThreadCounts) {
+  aer::AerConfig base;
+  base.n = 64;
+  base.seed = 20130722;
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+
+  exp::Sweep serial(base, grid, 4);
+  serial.set_threads(1);
+  const auto serial_results = serial.run();
+
+  exp::Sweep parallel(base, grid, 4);
+  parallel.set_threads(4);
+  const auto parallel_results = parallel.run();
+
+  ASSERT_EQ(serial_results.size(), parallel_results.size());
+  for (std::size_t i = 0; i < serial_results.size(); ++i) {
+    const exp::Aggregate& a = serial_results[i].aggregate;
+    const exp::Aggregate& b = parallel_results[i].aggregate;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_DOUBLE_EQ(a.completion_time.mean, b.completion_time.mean);
+    EXPECT_DOUBLE_EQ(a.amortized_bits.p99, b.amortized_bits.p99);
+    EXPECT_EQ(a.agreements, b.agreements);
+    // Raw outcomes line up trial by trial, including derived seeds.
+    ASSERT_EQ(serial_results[i].outcomes.size(),
+              parallel_results[i].outcomes.size());
+    for (std::size_t t = 0; t < serial_results[i].outcomes.size(); ++t) {
+      EXPECT_EQ(serial_results[i].outcomes[t].seed,
+                parallel_results[i].outcomes[t].seed);
+      EXPECT_DOUBLE_EQ(serial_results[i].outcomes[t].completion_time,
+                       parallel_results[i].outcomes[t].completion_time);
+    }
+  }
+}
+
+TEST(SweepTest, ModelSweepReachesAgreementWithAllCorrectNodes) {
+  aer::AerConfig base;
+  base.seed = 7;
+  base.corrupt_fraction = 0.0;  // all-correct population
+  exp::Grid grid;
+  grid.ns = {64, 128};
+  grid.models = {aer::Model::kSyncNonRushing, aer::Model::kSyncRushing,
+                 aer::Model::kAsync};
+  exp::Sweep sweep(base, grid, 3);
+  sweep.set_threads(exp::default_threads());
+  const auto results = sweep.run();
+  ASSERT_EQ(results.size(), 6u);
+  for (const exp::PointResult& r : results) {
+    EXPECT_EQ(r.aggregate.trials, 3u) << r.point.label();
+    EXPECT_EQ(r.aggregate.agreements, 3u) << r.point.label();
+    EXPECT_EQ(r.aggregate.wrong_decisions, 0u) << r.point.label();
+    EXPECT_EQ(r.aggregate.stalled_nodes, 0u) << r.point.label();
+    EXPECT_EQ(r.aggregate.engine_incomplete, 0u) << r.point.label();
+    EXPECT_GT(r.aggregate.decision_time.count, 0u) << r.point.label();
+  }
+}
+
+TEST(SweepTest, CorruptedSweepNeverDecidesWrong) {
+  // With the default 8% corruption a correct node can stall (a liveness
+  // tail at laptop-scale d — see bench_endtoend's resilience curve), but
+  // safety must hold: no correct node ever decides on junk.
+  aer::AerConfig base;
+  base.seed = 7;
+  exp::Grid grid;
+  grid.ns = {64, 128};
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies = {"wrong"};
+  exp::Sweep sweep(base, grid, 3);
+  sweep.set_threads(exp::default_threads());
+  for (const exp::PointResult& r : sweep.run()) {
+    EXPECT_EQ(r.aggregate.wrong_decisions, 0u) << r.point.label();
+    EXPECT_GT(r.aggregate.agreement_rate(), 0.5) << r.point.label();
+  }
+}
+
+// ----- async engine accounting ----------------------------------------------
+
+struct CountWire final : sim::Wire {
+  std::size_t node_id_bits() const override { return 8; }
+  std::size_t label_bits() const override { return 16; }
+  std::size_t string_bits(StringId) const override { return 32; }
+};
+
+struct NoteMsg final : sim::Payload {
+  std::size_t bit_size(const sim::Wire&) const override { return 8; }
+  const char* kind() const override { return "note"; }
+};
+
+/// Sends `sends` messages to node 1 and schedules `timers` timers at start.
+struct SenderActor final : sim::Actor {
+  SenderActor(int sends, int timers) : sends(sends), timers(timers) {}
+  void on_start(sim::Context& ctx) override {
+    for (int i = 0; i < sends; ++i) ctx.send(1, std::make_shared<NoteMsg>());
+    for (int i = 0; i < timers; ++i) {
+      ctx.schedule_timer(0.25 * (i + 1), static_cast<std::uint64_t>(i));
+    }
+  }
+  void on_message(sim::Context&, const sim::Envelope&) override {}
+  int sends;
+  int timers;
+};
+
+struct SinkActor final : sim::Actor {
+  void on_start(sim::Context&) override {}
+  void on_message(sim::Context&, const sim::Envelope&) override { ++received; }
+  void on_timer(sim::Context&, std::uint64_t) override { ++timer_fires; }
+  int received = 0;
+  int timer_fires = 0;
+};
+
+TEST(AsyncAccountingTest, DeliveriesExcludeTimerFirings) {
+  sim::AsyncConfig cfg;
+  cfg.n = 2;
+  cfg.seed = 11;
+  sim::AsyncEngine engine(cfg);
+  CountWire wire;
+  engine.set_wire(&wire);
+  auto* sender = new SenderActor(/*sends=*/5, /*timers=*/3);
+  engine.set_actor(0, std::unique_ptr<sim::Actor>(sender));
+  engine.set_actor(1, std::make_unique<SinkActor>());
+  const auto result = engine.run([] { return false; });
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_EQ(result.deliveries, 5u);
+  EXPECT_EQ(result.timer_fires, 3u);
+  EXPECT_EQ(engine.metrics().total_messages(), 5u);
+}
+
+/// Decides on the first delivered message.
+struct DecideOnFirstActor final : sim::Actor {
+  void on_start(sim::Context&) override {}
+  void on_message(sim::Context& ctx, const sim::Envelope&) override {
+    if (!decided) {
+      decided = true;
+      ctx.decide(0);
+    }
+  }
+  bool decided = false;
+};
+
+TEST(AsyncAccountingTest, DoneRecheckedImmediatelyAfterDecision) {
+  sim::AsyncConfig cfg;
+  cfg.n = 2;
+  cfg.seed = 5;
+  cfg.done_check_stride = 64;
+  sim::AsyncEngine engine(cfg);
+  CountWire wire;
+  engine.set_wire(&wire);
+  // 40 in-flight messages; the first delivery decides. With the stride-only
+  // check the engine would chew through up to 39 more events before
+  // noticing; the decision-triggered re-check must stop it at exactly one.
+  engine.set_actor(0, std::make_unique<SenderActor>(/*sends=*/40,
+                                                    /*timers=*/0));
+  engine.set_actor(1, std::make_unique<DecideOnFirstActor>());
+  bool decided = false;
+  engine.set_decision_callback(
+      [&decided](NodeId, StringId, double) { decided = true; });
+  const auto result = engine.run([&decided] { return decided; });
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.deliveries, 1u);
+  EXPECT_LE(result.time, 1.0);
+}
+
+}  // namespace
+}  // namespace fba
