@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   grid.models = {aer::Model::kSyncNonRushing, aer::Model::kAsync};
   exp::Sweep sweep(base, grid, trials);
   sweep.set_threads(threads);
+  sweep.set_progress(progress_printer("endtoend"));
   for (const exp::PointResult& r : sweep.run()) {
     const exp::Aggregate& a = r.aggregate;
     aer::AerConfig cfg = base;

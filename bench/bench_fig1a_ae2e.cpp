@@ -93,6 +93,7 @@ int main(int argc, char** argv) {
                      aer::Model::kAsync};
   exp::Sweep aer_sweep(base, aer_grid, trials);
   aer_sweep.set_threads(threads);
+  aer_sweep.set_progress(progress_printer("fig1a AER"));
   const auto aer_results = aer_sweep.run();
 
   // Baselines under sync-rushing, same world construction.
@@ -101,9 +102,11 @@ int main(int argc, char** argv) {
   base_grid.models = {aer::Model::kSyncRushing};
   exp::Sweep sqrt_sweep(base, base_grid, trials);
   sqrt_sweep.set_threads(threads).set_trial(exp::run_sqrtsample_trial);
+  sqrt_sweep.set_progress(progress_printer("fig1a sqrt-sample"));
   const auto sqrt_results = sqrt_sweep.run();
   exp::Sweep flood_sweep(base, base_grid, trials);
   flood_sweep.set_threads(threads).set_trial(exp::run_flood_trial);
+  flood_sweep.set_progress(progress_printer("fig1a flood"));
   const auto flood_results = flood_sweep.run();
 
   add_rows(table, "AER", aer_results);

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
                          ba::Reduction::kFlood}) {
     exp::Sweep sweep(base, grid, trials);
     sweep.set_threads(threads);
+    sweep.set_progress(progress_printer(ba::reduction_name(reduction)));
     sweep.set_trial(
         [reduction](const aer::AerConfig& cfg, const exp::GridPoint&) {
           return exp::outcome_of(ba::run_ba(ba_config_for(cfg), reduction));

@@ -99,34 +99,45 @@ int main(int argc, char** argv) {
 
   // Now run the protocol and report the measured per-hop flow.
   const aer::AerReport report = aer::run_aer_world(world);
-  std::printf("\n-- measured message flow (whole network) --\n");
-  Table table({"hop", "kind", "messages", "bits", "role"});
-  const std::vector<std::pair<const char*, const char*>> hops = {
-      {"1", "push"},   {"2", "poll"}, {"2", "pull"},
-      {"3", "fw1"},    {"4", "fw2"},  {"5", "answer"},
-  };
-  const std::map<std::string, const char*> roles = {
-      {"push", "y -> x in I(s,.)"},      {"poll", "x -> J(x,r)"},
-      {"pull", "x -> H(s,x)"},           {"fw1", "H(s,x) -> H(s,w)"},
-      {"fw2", "H(s,w) -> w"},            {"answer", "w -> x"},
-  };
-  for (const auto& [hop, kind] : hops) {
-    table.add_row({hop, kind, Table::num(report.msgs_by_kind.at(kind)),
-                   Table::num(report.bits_by_kind.at(kind)),
-                   roles.at(kind)});
-  }
-  table.print(std::cout);
   std::printf("decided: %zu/%zu on gstring, %s in %.0f rounds\n",
               report.decided_gstring, report.correct_count,
               report.agreement ? "agreement" : "NO AGREEMENT",
               report.completion_time);
 
-  // The trace above is one seed; confirm it is typical with a quick
-  // multi-trial sweep of the same configuration.
+  // Multi-trial per-hop table: the Aggregate's per-kind traffic axes give
+  // every hop a mean and a 95% CI across seeded trials of this
+  // configuration (the single-seed trace above is just the illustration).
   const std::size_t trials = flag_value(argc, argv, "--trials", 25);
   exp::Sweep sweep(cfg, exp::Grid{}, trials);
   sweep.set_threads(threads_for(argc, argv));
+  sweep.set_progress(progress_printer("fig2 sweep"));
   const exp::Aggregate agg = sweep.run().front().aggregate;
+
+  std::printf("\n-- measured message flow (whole network, %zu trials) --\n",
+              agg.trials);
+  Table table({"hop", "kind", "msgs (mean)", "bits (mean +/- ci95)", "role"});
+  const std::vector<std::pair<const char*, sim::MessageKind>> hops = {
+      {"1", sim::MessageKind::kPush}, {"2", sim::MessageKind::kPoll},
+      {"2", sim::MessageKind::kPull}, {"3", sim::MessageKind::kFw1},
+      {"4", sim::MessageKind::kFw2},  {"5", sim::MessageKind::kAnswer},
+  };
+  const std::map<sim::MessageKind, const char*> roles = {
+      {sim::MessageKind::kPush, "y -> x in I(s,.)"},
+      {sim::MessageKind::kPoll, "x -> J(x,r)"},
+      {sim::MessageKind::kPull, "x -> H(s,x)"},
+      {sim::MessageKind::kFw1, "H(s,x) -> H(s,w)"},
+      {sim::MessageKind::kFw2, "H(s,w) -> w"},
+      {sim::MessageKind::kAnswer, "w -> x"},
+  };
+  for (const auto& [hop, kind] : hops) {
+    const std::size_t k = sim::kind_index(kind);
+    table.add_row({hop, sim::kind_name(kind),
+                   Table::num(agg.msgs_by_kind[k], 1),
+                   Table::num(agg.bits_by_kind[k].mean, 0) + " +/- " +
+                       Table::num(agg.bits_by_kind[k].ci95, 0),
+                   roles.at(kind)});
+  }
+  table.print(std::cout);
   std::printf("\nacross %zu seeded trials of this configuration: agreement"
               " rate %.2f, mean completion %.1f rounds (p99 %.1f), %.0f"
               " bits/node\n",

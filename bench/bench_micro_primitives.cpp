@@ -3,9 +3,74 @@
 // the memoizing caches, and raw engine message throughput. Not a paper
 // artifact; used to keep the simulator fast enough for the protocol sweeps
 // and to quantify the invertible-sampler design decision (DESIGN.md §6).
+//
+// The send->deliver benches also count heap allocations through an
+// instrumented global allocator: the flat-message transport must perform
+// ZERO steady-state allocations per send (BM_SteadyStateSendAllocations
+// fails the run otherwise). Track results over time with
+//   ./bench_micro_primitives --benchmark_out=BENCH_micro_primitives.json
+//       --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "fba.h"
+
+// ----- instrumented allocator ------------------------------------------------
+// Counts every global operator new while g_count_allocs is set. Replacing
+// the global allocator is per-binary, so this instruments the whole process
+// (engine, protocol state, benchmark framework) — the benches scope the flag
+// tightly around the measured region.
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+std::atomic<bool> g_count_allocs{false};
+
+inline void note_alloc() {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+}  // namespace
+
+// GCC pairs the replaced operator new (malloc-backed) with the free() in the
+// replaced operator delete at inlined call sites and flags the pair as a
+// new/free mismatch; the pairing is exactly the contract here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  note_alloc();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  note_alloc();
+  const auto align = static_cast<std::size_t>(al);
+  const std::size_t rounded = ((size ? size : 1) + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -86,32 +151,43 @@ void BM_PollListEval(benchmark::State& state) {
 }
 BENCHMARK(BM_PollListEval);
 
+// ----- engine send->deliver path ---------------------------------------------
+
+sim::Wire bench_wire() {
+  sim::Wire w;
+  w.node_id_bits = 12;
+  w.label_bits = 24;
+  w.fixed_string_bits = 48;
+  return w;
+}
+
+sim::Message bench_ping() {
+  sim::Message m;
+  m.kind = sim::MessageKind::kPing;
+  return m;
+}
+
+/// Replies to every delivery: an endless ping-pong pair.
+struct Bouncer final : sim::Actor {
+  void on_start(sim::Context& ctx) override {
+    ctx.send(1 - ctx.self(), bench_ping());
+  }
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override {
+    ctx.send(env.src, env.msg);
+  }
+};
+
 /// Raw engine throughput: one actor ping-pong pair, measured per delivery.
+/// This is the flat-message send->deliver cost the transport refactor
+/// targets (>= 2x the shared_ptr payload baseline).
 void BM_SyncEngineDelivery(benchmark::State& state) {
-  struct Wire final : sim::Wire {
-    std::size_t node_id_bits() const override { return 12; }
-    std::size_t label_bits() const override { return 24; }
-    std::size_t string_bits(StringId) const override { return 48; }
-  };
-  struct Ping final : sim::Payload {
-    std::size_t bit_size(const sim::Wire&) const override { return 8; }
-    const char* kind() const override { return "ping"; }
-  };
-  struct Bouncer final : sim::Actor {
-    void on_start(sim::Context& ctx) override {
-      ctx.send(1 - ctx.self(), std::make_shared<Ping>());
-    }
-    void on_message(sim::Context& ctx, const sim::Envelope& env) override {
-      ctx.send(env.src, env.payload);
-    }
-  };
+  const sim::Wire wire = bench_wire();
   for (auto _ : state) {
     state.PauseTiming();
     sim::SyncConfig cfg;
     cfg.n = 2;
     cfg.max_rounds = 1000;
     sim::SyncEngine engine(cfg);
-    Wire wire;
     engine.set_wire(&wire);
     engine.set_actor(0, std::make_unique<Bouncer>());
     engine.set_actor(1, std::make_unique<Bouncer>());
@@ -122,6 +198,65 @@ void BM_SyncEngineDelivery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_SyncEngineDelivery);
+
+/// Same shape under the asynchronous engine: EventQueue push/pop plus the
+/// per-message delay draw dominate.
+void BM_AsyncEngineDelivery(benchmark::State& state) {
+  const sim::Wire wire = bench_wire();
+  std::uint64_t deliveries = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::AsyncConfig cfg;
+    cfg.n = 2;
+    cfg.max_time = 500.0;
+    sim::AsyncEngine engine(cfg);
+    engine.set_wire(&wire);
+    engine.set_actor(0, std::make_unique<Bouncer>());
+    engine.set_actor(1, std::make_unique<Bouncer>());
+    state.ResumeTiming();
+    const sim::AsyncResult result = engine.run([] { return false; });
+    deliveries += result.deliveries;
+    benchmark::DoNotOptimize(result.time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(deliveries));
+}
+BENCHMARK(BM_AsyncEngineDelivery);
+
+/// The zero-allocation contract of the transport layer: once the event slab
+/// is warm (16 rounds), a full send->queue->deliver cycle must not touch the
+/// heap. Counted via the instrumented global allocator; a nonzero count
+/// fails the benchmark (and the CI smoke step with it).
+void BM_SteadyStateSendAllocations(benchmark::State& state) {
+  const sim::Wire wire = bench_wire();
+  std::size_t allocs = 0;
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    sim::SyncConfig cfg;
+    cfg.n = 2;
+    cfg.max_rounds = 1000;
+    sim::SyncEngine engine(cfg);
+    engine.set_wire(&wire);
+    engine.set_actor(0, std::make_unique<Bouncer>());
+    engine.set_actor(1, std::make_unique<Bouncer>());
+    engine.run([&engine] {
+      if (engine.current_round() == 16) {  // slab and scratch are warm now
+        g_alloc_count.store(0, std::memory_order_relaxed);
+        g_count_allocs.store(true, std::memory_order_relaxed);
+      }
+      return false;
+    });
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    allocs += g_alloc_count.load(std::memory_order_relaxed);
+    messages += engine.metrics().total_messages();
+  }
+  state.counters["steady_allocs"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
+  if (allocs != 0) {
+    state.SkipWithError("steady-state send path performed heap allocations");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+}
+BENCHMARK(BM_SteadyStateSendAllocations);
 
 void BM_BitStringDigest(benchmark::State& state) {
   Rng rng(1);

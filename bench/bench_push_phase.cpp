@@ -39,7 +39,7 @@ exp::TrialOutcome run_push_trial(const aer::AerConfig& base_cfg,
   ec.seed = cfg.seed;
   ec.max_rounds = 1;
   sim::SyncEngine engine(ec);
-  engine.set_wire(world.shared.get());
+  engine.set_wire(&world.shared->wire());
   engine.set_corrupt(world.view.corrupt);
   for (NodeId id = 0; id < n; ++id) {
     if (engine.is_corrupt(id)) continue;
@@ -56,12 +56,11 @@ exp::TrialOutcome run_push_trial(const aer::AerConfig& base_cfg,
 
   exp::TrialOutcome out;
   out.correct = world.correct.size();
-  const auto& bits = engine.metrics().bits_by_kind();
-  const auto& msgs = engine.metrics().messages_by_kind();
-  if (bits.count("push") > 0) {
-    out.push_bits_per_node = double(bits.at("push")) / double(n);
-    out.push_msgs_per_node = double(msgs.at("push")) / double(n);
-  }
+  out.push_bits_per_node =
+      double(engine.metrics().bits_of(sim::MessageKind::kPush)) / double(n);
+  out.push_msgs_per_node =
+      double(engine.metrics().messages_of(sim::MessageKind::kPush)) /
+      double(n);
   std::size_t sum_lists = 0;
   for (aer::AerNode* node : nodes) {
     if (node == nullptr) continue;
@@ -99,6 +98,7 @@ int main(int argc, char** argv) {
   grid.strategies = {"none", "junk-light", "flood"};
   exp::Sweep sweep(base, grid, trials);
   sweep.set_threads(threads).set_trial(run_push_trial);
+  sweep.set_progress(progress_printer("push-phase"));
 
   for (const exp::PointResult& r : sweep.run()) {
     const exp::Aggregate& a = r.aggregate;

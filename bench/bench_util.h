@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/progress.h"
 #include "exp/sweep.h"
 
 namespace fba::benchutil {
@@ -111,6 +112,11 @@ class Stopwatch {
 
 inline void print_banner(const char* artifact, const char* description) {
   std::printf("=== %s ===\n%s\n\n", artifact, description);
+}
+
+/// Live trials-completed / ETA line for long sweeps (exp::stderr_progress).
+inline exp::Sweep::Progress progress_printer(const char* label) {
+  return exp::stderr_progress(label);
 }
 
 }  // namespace fba::benchutil

@@ -20,11 +20,16 @@
 #include <iostream>
 #include <string>
 
+#include "exp/progress.h"
 #include "fba.h"
 
 namespace {
 
 using namespace fba;
+
+/// Live trials-completed / ETA line on stderr for multi-trial sweeps
+/// (enabled on a TTY or with FBA_PROGRESS=1).
+exp::Sweep::Progress sweep_progress() { return exp::stderr_progress("trials"); }
 
 struct Options {
   std::string protocol = "aer";
@@ -106,10 +111,12 @@ void print_report(const char* label, const aer::AerReport& r) {
               " imbalance %.2f)\n",
               static_cast<unsigned long long>(r.total_messages),
               r.amortized_bits, r.sent_bits.max, r.sent_bits.imbalance());
-  for (const auto& [kind, msgs] : r.msgs_by_kind) {
-    std::printf("  %-8s: %llu msgs, %llu bits\n", kind.c_str(),
-                static_cast<unsigned long long>(msgs),
-                static_cast<unsigned long long>(r.bits_by_kind.at(kind)));
+  for (std::size_t k = 0; k < sim::kNumMessageKinds; ++k) {
+    if (r.msgs_by_kind[k] == 0) continue;
+    std::printf("  %-8s: %llu msgs, %llu bits\n",
+                sim::kind_name(static_cast<sim::MessageKind>(k)),
+                static_cast<unsigned long long>(r.msgs_by_kind[k]),
+                static_cast<unsigned long long>(r.bits_by_kind[k]));
   }
 }
 
@@ -185,6 +192,7 @@ int main(int argc, char** argv) {
       grid.strategies = {opt.attack};
       exp::Sweep sweep(base, grid, opt.trials);
       sweep.set_threads(opt.threads);
+      sweep.set_progress(sweep_progress());
       sweep.set_trial([&cfg, reduction](const aer::AerConfig& trial_cfg,
                                         const exp::GridPoint& point) {
         ba::BaConfig run = cfg;
@@ -237,6 +245,7 @@ int main(int argc, char** argv) {
     grid.strategies = {opt.attack};
     exp::Sweep sweep(cfg, grid, opt.trials);
     sweep.set_threads(opt.threads).set_trial(trial);
+    sweep.set_progress(sweep_progress());
     const exp::PointResult result = sweep.run().front();
     print_aggregate(opt.protocol + " " + result.point.label(),
                     result.aggregate, opt.threads);

@@ -3,7 +3,7 @@
 // Model (Section 2.1): non-adaptive (corrupt set fixed before execution),
 // full information (observes all traffic, knows the public samplers and the
 // whole network), coordinated (one Strategy speaks for every corrupt node).
-// Corrupt nodes can deviate arbitrarily: the Strategy sends any payload from
+// Corrupt nodes can deviate arbitrarily: the Strategy sends any message from
 // any corrupt node to anyone; authenticated channels only guarantee it
 // cannot forge a *correct* sender identity.
 //
@@ -39,12 +39,14 @@ class AdvContext {
   }
   bool is_corrupt(NodeId id) const { return engine_.is_corrupt(id); }
 
-  /// Send an arbitrary payload from a corrupt node. Rejects correct senders:
-  /// channels are authenticated.
-  void send_from(NodeId corrupt_src, NodeId dst, sim::PayloadPtr payload) {
+  /// Send an arbitrary message from a corrupt node. Rejects correct senders:
+  /// channels are authenticated. Forged traffic is charged through the same
+  /// per-kind size table as correct traffic (EngineBase::send_from), so a
+  /// strategy cannot under-charge a forgery that shadows a real kind.
+  void send_from(NodeId corrupt_src, NodeId dst, const sim::Message& msg) {
     FBA_REQUIRE(engine_.is_corrupt(corrupt_src),
                 "adversary can only send from corrupt nodes");
-    engine_.send_from(corrupt_src, dst, std::move(payload));
+    engine_.send_from(corrupt_src, dst, msg);
   }
 
  private:

@@ -8,11 +8,6 @@ namespace fba::adv {
 
 namespace {
 
-using aer::AnswerMsg;
-using aer::PollMsg;
-using aer::PullMsg;
-using aer::PushMsg;
-
 std::vector<NodeId> distinct(const sampler::Quorum& q) {
   std::vector<NodeId> out;
   for (NodeId m : q.members) {
@@ -84,10 +79,10 @@ void JunkPushStrategy::on_setup(AdvContext& ctx) {
   // members, so targets(s, y) is the only send that can possibly count.
   for (StringId s : junk_) {
     const auto skey = shared_->key_of(s);
-    const auto payload = std::make_shared<PushMsg>(s);
+    const sim::Message msg = aer::push_msg(s);
     for (NodeId y : ctx.corrupt_nodes()) {
       for (NodeId target : shared_->samplers.push.targets(skey, y)) {
-        ctx.send_from(y, target, payload);
+        ctx.send_from(y, target, msg);
       }
     }
   }
@@ -105,8 +100,7 @@ void PushFloodStrategy::on_setup(AdvContext& ctx) {
     for (std::size_t i = 0; i < pushes_per_node_; ++i) {
       const StringId junk =
           shared_->table.intern(BitString::random(bits, ctx.rng()));
-      ctx.send_from(y, ctx.rng().node(ctx.n()),
-                    std::make_shared<PushMsg>(junk));
+      ctx.send_from(y, ctx.rng().node(ctx.n()), aer::push_msg(junk));
     }
   }
 }
@@ -145,7 +139,7 @@ void PollStuffStrategy::on_observe(AdvContext& ctx, const sim::Envelope& env) {
   // non-rushing schedule, immediately under rushing/async).
   if (launched_ || eager_) return;
   if (ctx.is_corrupt(env.src)) return;
-  if (sim::payload_cast<PollMsg>(env.payload.get()) == nullptr) return;
+  if (env.msg.kind != sim::MessageKind::kPoll) return;
   launch_all(ctx);
 }
 
@@ -186,14 +180,14 @@ void PollStuffStrategy::strike(AdvContext& ctx, NodeId attacker) {
   ++strikes_launched_;
 
   const auto list = shared_->samplers.poll.poll_list(attacker, best_r);
-  const auto poll = std::make_shared<PollMsg>(shared_->gstring, best_r);
+  const sim::Message poll = aer::poll_msg(shared_->gstring, best_r);
   for (NodeId member : distinct(list)) {
     if (ctx.is_corrupt(member)) continue;
     ++burned_[member];
     // The member needs (attacker, gstring) in Polled to answer (and pay).
     ctx.send_from(attacker, member, poll);
   }
-  const auto pull = std::make_shared<PullMsg>(shared_->gstring, best_r);
+  const sim::Message pull = aer::pull_msg(shared_->gstring, best_r);
   const auto skey = shared_->key_of(shared_->gstring);
   for (NodeId y : distinct(shared_->samplers.pull.quorum(skey, attacker))) {
     ctx.send_from(attacker, y, pull);
@@ -214,9 +208,9 @@ void WrongAnswerStrategy::on_deliver_to_corrupt(AdvContext& ctx,
                                                 const sim::Envelope& env) {
   // A corrupt poll-list member answers any poll for a non-gstring candidate,
   // trying to assemble a wrong majority at the requester.
-  const auto* poll = sim::payload_cast<PollMsg>(env.payload.get());
+  const auto* poll = env.msg.as(sim::MessageKind::kPoll);
   if (poll == nullptr || poll->s == gstring_) return;
-  ctx.send_from(env.dst, env.src, std::make_shared<AnswerMsg>(poll->s));
+  ctx.send_from(env.dst, env.src, aer::answer_msg(poll->s));
 }
 
 // ----- TargetedDelayStrategy -------------------------------------------------
@@ -235,11 +229,11 @@ SimTime TargetedDelayStrategy::choose_delay(AdvContext& ctx,
   (void)ctx;
   if (corrupt_[env.src]) return options_.fast_delay;
   if (options_.slow_everything_honest) return options_.slow_delay;
-  const char* kind = env.payload->kind();
+  const sim::MessageKind kind = env.msg.kind;
   const bool decisive =
-      (options_.slow_answers && std::string_view(kind) == "answer") ||
-      (options_.slow_forwards && (std::string_view(kind) == "fw1" ||
-                                  std::string_view(kind) == "fw2"));
+      (options_.slow_answers && kind == sim::MessageKind::kAnswer) ||
+      (options_.slow_forwards && (kind == sim::MessageKind::kFw1 ||
+                                  kind == sim::MessageKind::kFw2));
   return decisive ? options_.slow_delay : options_.fast_delay;
 }
 
@@ -309,14 +303,14 @@ LoadSkewStrategy::LoadSkewStrategy(const aer::AerWorldView& view,
 void LoadSkewStrategy::on_setup(AdvContext& ctx) {
   for (StringId s : planted_) {
     const auto skey = shared_->key_of(s);
-    const auto payload = std::make_shared<PushMsg>(s);
+    const sim::Message msg = aer::push_msg(s);
     // Push from exactly the corrupt members of I(s, victim): the receiver's
     // membership filter admits them, and their slot majority forces s into
     // the victim's candidate list.
     for (NodeId member :
          distinct(shared_->samplers.push.quorum(skey, victim_))) {
       if (ctx.is_corrupt(member)) {
-        ctx.send_from(member, victim_, payload);
+        ctx.send_from(member, victim_, msg);
       }
     }
   }

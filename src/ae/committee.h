@@ -30,7 +30,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "net/payload.h"
+#include "net/message.h"
 #include "support/intern.h"
 #include "support/random.h"
 #include "support/types.h"
@@ -111,25 +111,31 @@ struct AeSchedule {
   }
 };
 
-/// Shared state / wire format for the AE phase.
-class AeShared : public sim::Wire {
+/// Shared state / wire format for the AE phase. The wire charges the
+/// slice-index, phase-index and slice-value fields the tournament's
+/// messages carry (see the kind table in net/message.cpp).
+class AeShared {
  public:
   AeShared(const AeConfig& config)
       : config(config),
         layout(AeLayout::build(config)),
-        schedule(AeSchedule::from(config)),
-        id_bits_(fba::node_id_bits(config.n)) {}
-
-  std::size_t node_id_bits() const override { return id_bits_; }
-  std::size_t label_bits() const override { return 0; }
-  std::size_t string_bits(StringId id) const override {
-    return table.bits(id);
+        schedule(AeSchedule::from(config)) {
+    wire_.node_id_bits = fba::node_id_bits(config.n);
+    wire_.slice_bits = ceil_log2(config.resolved_root_size());
+    wire_.phase_bits = ceil_log2(schedule.phases + 1);
+    wire_.value_bits = config.slice_bits();
+    wire_.table = &table;
   }
 
-  std::size_t slice_index_bits() const {
-    return ceil_log2(config.resolved_root_size());
-  }
-  std::size_t phase_bits() const { return ceil_log2(schedule.phases + 1); }
+  // wire_ points at this object's string table; copying/moving would leave
+  // it dangling.
+  AeShared(const AeShared&) = delete;
+  AeShared& operator=(const AeShared&) = delete;
+
+  const sim::Wire& wire() const { return wire_; }
+
+  std::size_t slice_index_bits() const { return wire_.slice_bits; }
+  std::size_t phase_bits() const { return wire_.phase_bits; }
 
   AeConfig config;
   AeLayout layout;
@@ -137,7 +143,7 @@ class AeShared : public sim::Wire {
   StringTable table;  ///< assembled gstrings, interned at the final round.
 
  private:
-  std::size_t id_bits_;
+  sim::Wire wire_;
 };
 
 }  // namespace fba::ae

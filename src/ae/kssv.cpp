@@ -12,31 +12,7 @@ std::uint64_t slice_mask(std::size_t slice_bits) {
   return slice_bits >= 64 ? ~0ull : ((1ull << slice_bits) - 1);
 }
 
-const AeShared& ae_wire(const sim::Wire& w) {
-  return static_cast<const AeShared&>(w);
-}
-
 }  // namespace
-
-std::size_t ContribMsg::bit_size(const sim::Wire& w) const {
-  const AeShared& s = ae_wire(w);
-  return s.config.slice_bits() + s.slice_index_bits();
-}
-
-std::size_t PkValueMsg::bit_size(const sim::Wire& w) const {
-  const AeShared& s = ae_wire(w);
-  return s.config.slice_bits() + s.slice_index_bits() + s.phase_bits();
-}
-
-std::size_t PkKingMsg::bit_size(const sim::Wire& w) const {
-  const AeShared& s = ae_wire(w);
-  return s.config.slice_bits() + s.slice_index_bits() + s.phase_bits();
-}
-
-std::size_t FinalSliceMsg::bit_size(const sim::Wire& w) const {
-  const AeShared& s = ae_wire(w);
-  return s.config.slice_bits() + s.slice_index_bits();
-}
 
 // ----- AeNode ----------------------------------------------------------------
 
@@ -55,9 +31,9 @@ AeNode::AeNode(AeShared* shared, NodeId self) : shared_(shared), self_(self) {
 }
 
 void AeNode::broadcast_to_committee(sim::Context& ctx, std::size_t slice,
-                                    sim::PayloadPtr payload) {
+                                    const sim::Message& msg) {
   for (NodeId member : shared_->layout.committees[slice]) {
-    ctx.send(member, payload);
+    ctx.send(member, msg);
   }
 }
 
@@ -69,24 +45,30 @@ void AeNode::on_start(sim::Context& ctx) {
   const std::uint64_t value =
       ctx.rng().next() & slice_mask(shared_->config.slice_bits());
   broadcast_to_committee(ctx, *root_slice_,
-                         std::make_shared<ContribMsg>(*root_slice_, value));
+                         contrib_msg(*root_slice_, value));
 }
 
 void AeNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
-  const sim::Payload* p = env.payload.get();
-  if (const auto* m = sim::payload_cast<ContribMsg>(p)) {
-    handle_contrib(ctx, env.src, *m);
-  } else if (const auto* m = sim::payload_cast<PkValueMsg>(p)) {
-    handle_pk_value(ctx, env.src, *m);
-  } else if (const auto* m = sim::payload_cast<PkKingMsg>(p)) {
-    handle_pk_king(ctx, env.src, *m);
-  } else if (const auto* m = sim::payload_cast<FinalSliceMsg>(p)) {
-    handle_final(ctx, env.src, *m);
+  switch (env.msg.kind) {
+    case sim::MessageKind::kContrib:
+      handle_contrib(ctx, env.src, env.msg);
+      break;
+    case sim::MessageKind::kPkValue:
+      handle_pk_value(ctx, env.src, env.msg);
+      break;
+    case sim::MessageKind::kPkKing:
+      handle_pk_king(ctx, env.src, env.msg);
+      break;
+    case sim::MessageKind::kFinalSlice:
+      handle_final(ctx, env.src, env.msg);
+      break;
+    default:
+      break;  // other protocols' kinds (adversarial garbage) are ignored
   }
 }
 
 void AeNode::handle_contrib(sim::Context& ctx, NodeId from,
-                            const ContribMsg& m) {
+                            const sim::Message& m) {
   (void)ctx;
   const auto it = echo_.find(m.slice);
   if (it == echo_.end()) return;
@@ -96,7 +78,7 @@ void AeNode::handle_contrib(sim::Context& ctx, NodeId from,
 }
 
 void AeNode::handle_pk_value(sim::Context& ctx, NodeId from,
-                             const PkValueMsg& m) {
+                             const sim::Message& m) {
   const auto it = echo_.find(m.slice);
   if (it == echo_.end()) return;
   // Only the exchange of the phase currently being delivered counts; this
@@ -119,7 +101,7 @@ void AeNode::handle_pk_value(sim::Context& ctx, NodeId from,
 }
 
 void AeNode::handle_pk_king(sim::Context& ctx, NodeId from,
-                            const PkKingMsg& m) {
+                            const sim::Message& m) {
   const auto it = echo_.find(m.slice);
   if (it == echo_.end()) return;
   const long expected =
@@ -132,7 +114,7 @@ void AeNode::handle_pk_king(sim::Context& ctx, NodeId from,
 }
 
 void AeNode::handle_final(sim::Context& ctx, NodeId from,
-                          const FinalSliceMsg& m) {
+                          const sim::Message& m) {
   (void)ctx;
   if (m.slice >= shared_->layout.committees.size()) return;
   if (!shared_->layout.in_committee(m.slice, from)) return;
@@ -165,8 +147,7 @@ void AeNode::on_round(sim::Context& ctx, Round round) {
         role.mult = 0;
         role.king_seen = false;
       }
-      broadcast_to_committee(
-          ctx, slice, std::make_shared<PkValueMsg>(slice, p, role.value));
+      broadcast_to_committee(ctx, slice, pk_value_msg(slice, p, role.value));
     }
     return;
   }
@@ -184,9 +165,7 @@ void AeNode::on_round(sim::Context& ctx, Round round) {
       }
       broadcast_to_committee(
           ctx, slice,
-          std::make_shared<PkKingMsg>(slice,
-                                      static_cast<std::size_t>(king_phase),
-                                      role.maj));
+          pk_king_msg(slice, static_cast<std::size_t>(king_phase), role.maj));
     }
     return;
   }
@@ -201,8 +180,8 @@ void AeNode::on_round(sim::Context& ctx, Round round) {
       } else {
         role.value = role.maj;
       }
-      const auto payload = std::make_shared<FinalSliceMsg>(slice, role.value);
-      for (NodeId dst = 0; dst < ctx.n(); ++dst) ctx.send(dst, payload);
+      const sim::Message msg = final_slice_msg(slice, role.value);
+      for (NodeId dst = 0; dst < ctx.n(); ++dst) ctx.send(dst, msg);
     }
     return;
   }
@@ -252,8 +231,7 @@ void AeEquivocateStrategy::on_setup(adv::AdvContext& ctx) {
     const NodeId root = layout.root[i];
     if (!corrupt_[root]) continue;
     for (NodeId member : layout.committees[i]) {
-      ctx.send_from(root, member,
-                    std::make_shared<ContribMsg>(i, ctx.rng().next() & mask));
+      ctx.send_from(root, member, contrib_msg(i, ctx.rng().next() & mask));
     }
   }
 }
@@ -273,16 +251,12 @@ void AeEquivocateStrategy::on_round(adv::AdvContext& ctx, Round round,
       for (std::size_t p = 0; p < sched.phases; ++p) {
         if (round == sched.exchange_round(p)) {
           for (NodeId dst : members) {
-            ctx.send_from(z, dst,
-                          std::make_shared<PkValueMsg>(
-                              i, p, ctx.rng().next() & mask));
+            ctx.send_from(z, dst, pk_value_msg(i, p, ctx.rng().next() & mask));
           }
         }
         if (round == sched.king_round(p) && sched.king(members, p) == z) {
           for (NodeId dst : members) {
-            ctx.send_from(z, dst,
-                          std::make_shared<PkKingMsg>(
-                              i, p, ctx.rng().next() & mask));
+            ctx.send_from(z, dst, pk_king_msg(i, p, ctx.rng().next() & mask));
           }
         }
       }
@@ -290,8 +264,7 @@ void AeEquivocateStrategy::on_round(adv::AdvContext& ctx, Round round,
       if (round == sched.final_broadcast_round()) {
         for (NodeId dst = 0; dst < ctx.n(); ++dst) {
           ctx.send_from(z, dst,
-                        std::make_shared<FinalSliceMsg>(
-                            i, ctx.rng().next() & mask));
+                        final_slice_msg(i, ctx.rng().next() & mask));
         }
       }
     }
@@ -333,7 +306,7 @@ AeRunResult run_ae(const AeConfig& config, const AeStrategyFactory& make_strateg
   // the tournament is round-scheduled, so keep the clock running.
   ec.min_rounds = shared.schedule.assemble_round() + 1;
   sim::SyncEngine engine(ec);
-  engine.set_wire(&shared);
+  engine.set_wire(&shared.wire());
   engine.set_corrupt(result.corrupt);
   engine.set_strategy(strategy.get());
 

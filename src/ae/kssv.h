@@ -17,52 +17,48 @@
 namespace fba::ae {
 
 // ----- messages --------------------------------------------------------------
+// Flat message constructors; sizes come from the kind table (slice-index +
+// phase-index + slice-value fields, see net/message.cpp).
 
 /// Root member i hands its random slice to echo committee E_i.
-struct ContribMsg final : sim::Payload {
-  std::size_t slice;
-  std::uint64_t value;
-
-  ContribMsg(std::size_t slice, std::uint64_t value)
-      : slice(slice), value(value) {}
-  std::size_t bit_size(const sim::Wire& w) const override;
-  const char* kind() const override { return "contrib"; }
-};
+inline sim::Message contrib_msg(std::size_t slice, std::uint64_t value) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kContrib;
+  m.slice = static_cast<std::uint32_t>(slice);
+  m.value = value;
+  return m;
+}
 
 /// Phase-king universal exchange: member broadcasts its current value.
-struct PkValueMsg final : sim::Payload {
-  std::size_t slice;
-  std::size_t phase;
-  std::uint64_t value;
-
-  PkValueMsg(std::size_t slice, std::size_t phase, std::uint64_t value)
-      : slice(slice), phase(phase), value(value) {}
-  std::size_t bit_size(const sim::Wire& w) const override;
-  const char* kind() const override { return "pk-val"; }
-};
+inline sim::Message pk_value_msg(std::size_t slice, std::size_t phase,
+                                 std::uint64_t value) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kPkValue;
+  m.slice = static_cast<std::uint32_t>(slice);
+  m.phase = static_cast<std::uint32_t>(phase);
+  m.value = value;
+  return m;
+}
 
 /// Phase-king round 2: the phase's king broadcasts its majority value.
-struct PkKingMsg final : sim::Payload {
-  std::size_t slice;
-  std::size_t phase;
-  std::uint64_t value;
-
-  PkKingMsg(std::size_t slice, std::size_t phase, std::uint64_t value)
-      : slice(slice), phase(phase), value(value) {}
-  std::size_t bit_size(const sim::Wire& w) const override;
-  const char* kind() const override { return "pk-king"; }
-};
+inline sim::Message pk_king_msg(std::size_t slice, std::size_t phase,
+                                std::uint64_t value) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kPkKing;
+  m.slice = static_cast<std::uint32_t>(slice);
+  m.phase = static_cast<std::uint32_t>(phase);
+  m.value = value;
+  return m;
+}
 
 /// Echo committee member announces the agreed slice to the whole network.
-struct FinalSliceMsg final : sim::Payload {
-  std::size_t slice;
-  std::uint64_t value;
-
-  FinalSliceMsg(std::size_t slice, std::uint64_t value)
-      : slice(slice), value(value) {}
-  std::size_t bit_size(const sim::Wire& w) const override;
-  const char* kind() const override { return "final"; }
-};
+inline sim::Message final_slice_msg(std::size_t slice, std::uint64_t value) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kFinalSlice;
+  m.slice = static_cast<std::uint32_t>(slice);
+  m.value = value;
+  return m;
+}
 
 // ----- actor -----------------------------------------------------------------
 
@@ -91,11 +87,11 @@ class AeNode final : public sim::Actor {
   };
 
   void broadcast_to_committee(sim::Context& ctx, std::size_t slice,
-                              sim::PayloadPtr payload);
-  void handle_contrib(sim::Context& ctx, NodeId from, const ContribMsg& m);
-  void handle_pk_value(sim::Context& ctx, NodeId from, const PkValueMsg& m);
-  void handle_pk_king(sim::Context& ctx, NodeId from, const PkKingMsg& m);
-  void handle_final(sim::Context& ctx, NodeId from, const FinalSliceMsg& m);
+                              const sim::Message& msg);
+  void handle_contrib(sim::Context& ctx, NodeId from, const sim::Message& m);
+  void handle_pk_value(sim::Context& ctx, NodeId from, const sim::Message& m);
+  void handle_pk_king(sim::Context& ctx, NodeId from, const sim::Message& m);
+  void handle_final(sim::Context& ctx, NodeId from, const sim::Message& m);
   void assemble(sim::Context& ctx);
 
   AeShared* shared_;

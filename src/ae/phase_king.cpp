@@ -29,9 +29,9 @@ PhaseKingNode::PhaseKingNode(const PhaseKingConfig* config, NodeId self,
                              std::uint64_t input)
     : config_(config), self_(self), value_(input) {}
 
-void PhaseKingNode::broadcast(sim::Context& ctx, sim::PayloadPtr payload) {
+void PhaseKingNode::broadcast(sim::Context& ctx, const sim::Message& msg) {
   for (NodeId dst = 0; dst < ctx.n(); ++dst) {
-    if (dst != self_) ctx.send(dst, payload);
+    if (dst != self_) ctx.send(dst, msg);
   }
 }
 
@@ -41,12 +41,12 @@ void PhaseKingNode::on_start(sim::Context& ctx) {
   counts_[value_] = 1;
   maj_ = value_;
   mult_ = 1;
-  broadcast(ctx, std::make_shared<PkExchangeMsg>(0, value_));
+  broadcast(ctx, pk_exchange_msg(0, value_));
 }
 
 void PhaseKingNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
   const Round round = static_cast<Round>(ctx.now());
-  if (const auto* m = sim::payload_cast<PkExchangeMsg>(env.payload.get())) {
+  if (const auto* m = env.msg.as(sim::MessageKind::kPkExchange)) {
     // Accept only the exchange of the phase currently in flight.
     if (round != exchange_round(m->phase) + 1) return;
     if (std::find(seen_.begin(), seen_.end(), env.src) != seen_.end()) return;
@@ -58,7 +58,7 @@ void PhaseKingNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
     }
     return;
   }
-  if (const auto* m = sim::payload_cast<PkDecreeMsg>(env.payload.get())) {
+  if (const auto* m = env.msg.as(sim::MessageKind::kPkDecree)) {
     if (round != decree_round(m->phase) + 1) return;
     if (env.src != m->phase % ctx.n()) return;  // only the phase's king
     decree_seen_ = true;
@@ -87,7 +87,7 @@ void PhaseKingNode::on_round(sim::Context& ctx, Round round) {
         // The king obeys its own decree (no self-message is sent).
         decree_seen_ = true;
         decree_ = maj_;
-        broadcast(ctx, std::make_shared<PkDecreeMsg>(p, maj_));
+        broadcast(ctx, pk_decree_msg(p, maj_));
       }
       return;
     }
@@ -97,7 +97,7 @@ void PhaseKingNode::on_round(sim::Context& ctx, Round round) {
       counts_[value_] = 1;
       maj_ = value_;
       mult_ = 1;
-      broadcast(ctx, std::make_shared<PkExchangeMsg>(p, value_));
+      broadcast(ctx, pk_exchange_msg(p, value_));
       return;
     }
   }
@@ -122,8 +122,7 @@ void PhaseKingEquivocator::on_round(adv::AdvContext& ctx, Round round,
       for (NodeId z : corrupt_) {
         for (NodeId dst = 0; dst < ctx.n(); ++dst) {
           if (ctx.is_corrupt(dst)) continue;
-          ctx.send_from(z, dst,
-                        std::make_shared<PkExchangeMsg>(p, ctx.rng().next()));
+          ctx.send_from(z, dst, pk_exchange_msg(p, ctx.rng().next()));
         }
       }
     }
@@ -132,8 +131,7 @@ void PhaseKingEquivocator::on_round(adv::AdvContext& ctx, Round round,
       if (!ctx.is_corrupt(king)) continue;
       for (NodeId dst = 0; dst < ctx.n(); ++dst) {
         if (ctx.is_corrupt(dst)) continue;
-        ctx.send_from(king, dst,
-                      std::make_shared<PkDecreeMsg>(p, ctx.rng().next()));
+        ctx.send_from(king, dst, pk_decree_msg(p, ctx.rng().next()));
       }
     }
   }
@@ -142,17 +140,6 @@ void PhaseKingEquivocator::on_round(adv::AdvContext& ctx, Round round,
 // ----- harness -------------------------------------------------------------------
 
 namespace {
-
-class PkWire final : public sim::Wire {
- public:
-  explicit PkWire(std::size_t n) : bits_(fba::node_id_bits(n)) {}
-  std::size_t node_id_bits() const override { return bits_; }
-  std::size_t label_bits() const override { return 0; }
-  std::size_t string_bits(StringId) const override { return 64; }
-
- private:
-  std::size_t bits_;
-};
 
 }  // namespace
 
@@ -174,7 +161,8 @@ PhaseKingReport run_phase_king(const PhaseKingConfig& config,
   // clock must still advance through them.
   ec.min_rounds = static_cast<Round>(2 * config.phases() + 1);
   sim::SyncEngine engine(ec);
-  PkWire wire(config.n);
+  sim::Wire wire;
+  wire.node_id_bits = fba::node_id_bits(config.n);
   engine.set_wire(&wire);
   engine.set_corrupt(corrupt);
   engine.set_strategy(strategy);

@@ -41,27 +41,24 @@ struct PhaseKingConfig {
   std::size_t phases() const { return t + 1; }
 };
 
-/// Value broadcast in the exchange round.
-struct PkExchangeMsg final : sim::Payload {
-  std::size_t phase;
-  std::uint64_t value;
-
-  PkExchangeMsg(std::size_t phase, std::uint64_t value)
-      : phase(phase), value(value) {}
-  std::size_t bit_size(const sim::Wire&) const override { return 64 + 8; }
-  const char* kind() const override { return "pk-exchange"; }
-};
+/// Value broadcast in the exchange round (64 value bits + 8 framing bits,
+/// charged by the kind table).
+inline sim::Message pk_exchange_msg(std::size_t phase, std::uint64_t value) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kPkExchange;
+  m.phase = static_cast<std::uint32_t>(phase);
+  m.value = value;
+  return m;
+}
 
 /// King's tie-break broadcast.
-struct PkDecreeMsg final : sim::Payload {
-  std::size_t phase;
-  std::uint64_t value;
-
-  PkDecreeMsg(std::size_t phase, std::uint64_t value)
-      : phase(phase), value(value) {}
-  std::size_t bit_size(const sim::Wire&) const override { return 64 + 8; }
-  const char* kind() const override { return "pk-decree"; }
-};
+inline sim::Message pk_decree_msg(std::size_t phase, std::uint64_t value) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kPkDecree;
+  m.phase = static_cast<std::uint32_t>(phase);
+  m.value = value;
+  return m;
+}
 
 class PhaseKingNode final : public sim::Actor {
  public:
@@ -76,7 +73,7 @@ class PhaseKingNode final : public sim::Actor {
   std::uint64_t output() const { return value_; }
 
  private:
-  void broadcast(sim::Context& ctx, sim::PayloadPtr payload);
+  void broadcast(sim::Context& ctx, const sim::Message& msg);
   void adopt();
 
   const PhaseKingConfig* config_;

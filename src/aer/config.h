@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <memory>
 
-#include "net/payload.h"
+#include "net/message.h"
 #include "sampler/sampler.h"
 #include "support/intern.h"
 #include "support/types.h"
@@ -64,25 +64,27 @@ struct AerConfig {
 };
 
 /// Public setup shared by all nodes, plus the run-wide string table. Also
-/// implements the wire format (node ids cost log2 n bits, labels come from
+/// owns the wire format (node ids cost log2 n bits, labels come from
 /// R with |R| = n^2, strings carry their true length).
-class AerShared : public sim::Wire {
+class AerShared {
  public:
   AerShared(const AerConfig& config, const sampler::SamplerParams& sp)
       : config(config),
         samplers(sp),
         push_cache(samplers.push),
         pull_cache(samplers.pull),
-        poll_cache(samplers.poll),
-        id_bits_(fba::node_id_bits(config.n)) {}
+        poll_cache(samplers.poll) {
+    wire_.node_id_bits = fba::node_id_bits(config.n);
+    wire_.label_bits = samplers.params.label_bits;
+    wire_.table = &table;
+  }
 
-  std::size_t node_id_bits() const override { return id_bits_; }
-  std::size_t label_bits() const override {
-    return samplers.params.label_bits;
-  }
-  std::size_t string_bits(StringId id) const override {
-    return table.bits(id);
-  }
+  // wire_ points at this object's string table; copying/moving would leave
+  // it dangling.
+  AerShared(const AerShared&) = delete;
+  AerShared& operator=(const AerShared&) = delete;
+
+  const sim::Wire& wire() const { return wire_; }
 
   /// Sampler key for an interned string (functions of string content).
   sampler::StringKey key_of(StringId id) const { return table.digest(id); }
@@ -96,7 +98,7 @@ class AerShared : public sim::Wire {
   StringId gstring = kNoString;
 
  private:
-  std::size_t id_bits_;
+  sim::Wire wire_;
 };
 
 }  // namespace fba::aer

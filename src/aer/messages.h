@@ -1,90 +1,73 @@
-// AER message payloads (Sections 3.1.1-3.1.2, Algorithms 1-3).
+// AER message constructors (Sections 3.1.1-3.1.2, Algorithms 1-3).
 //
-// Messages carry interned StringIds in memory; bit_size() charges the true
-// encoded size (string length, label from R, node ids) so measured
-// communication matches a faithful wire format.
+// Messages carry interned StringIds in memory; the per-kind table in
+// net/message.cpp charges the true encoded size (string length, label from
+// R, node ids) so measured communication matches a faithful wire format.
+// All constructors return flat sim::Message values — sending allocates
+// nothing.
 #pragma once
 
-#include "net/payload.h"
+#include "net/message.h"
 #include "support/types.h"
 
 namespace fba::aer {
 
 /// Push phase: y diffuses its candidate to the nodes x with y in I(s, x).
-struct PushMsg final : sim::Payload {
-  StringId s;
-
-  explicit PushMsg(StringId s) : s(s) {}
-  std::size_t bit_size(const sim::Wire& w) const override {
-    return w.string_bits(s);
-  }
-  const char* kind() const override { return "push"; }
-};
+inline sim::Message push_msg(StringId s) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kPush;
+  m.s = s;
+  return m;
+}
 
 /// Pull phase, Algorithm 1: x polls its poll list J(x, r) about s.
-struct PollMsg final : sim::Payload {
-  StringId s;
-  PollLabel r;
-
-  PollMsg(StringId s, PollLabel r) : s(s), r(r) {}
-  std::size_t bit_size(const sim::Wire& w) const override {
-    return w.string_bits(s) + w.label_bits();
-  }
-  const char* kind() const override { return "poll"; }
-};
+inline sim::Message poll_msg(StringId s, PollLabel r) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kPoll;
+  m.s = s;
+  m.r = r;
+  return m;
+}
 
 /// Pull phase, Algorithm 1: x asks its Pull Quorum H(s, x) to route the
 /// verification request.
-struct PullMsg final : sim::Payload {
-  StringId s;
-  PollLabel r;
-
-  PullMsg(StringId s, PollLabel r) : s(s), r(r) {}
-  std::size_t bit_size(const sim::Wire& w) const override {
-    return w.string_bits(s) + w.label_bits();
-  }
-  const char* kind() const override { return "pull"; }
-};
+inline sim::Message pull_msg(StringId s, PollLabel r) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kPull;
+  m.s = s;
+  m.r = r;
+  return m;
+}
 
 /// Algorithm 2 hop 1: y in H(s, x) forwards x's request toward poll-list
-/// member w via w's Pull Quorum H(s, w).
-struct Fw1Msg final : sim::Payload {
-  NodeId x;
-  StringId s;
-  PollLabel r;
-  NodeId w;
-
-  Fw1Msg(NodeId x, StringId s, PollLabel r, NodeId w)
-      : x(x), s(s), r(r), w(w) {}
-  std::size_t bit_size(const sim::Wire& wire) const override {
-    return wire.string_bits(s) + wire.label_bits() + 2 * wire.node_id_bits();
-  }
-  const char* kind() const override { return "fw1"; }
-};
+/// member w via w's Pull Quorum H(s, w). `a` = x, `b` = w.
+inline sim::Message fw1_msg(NodeId x, StringId s, PollLabel r, NodeId w) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kFw1;
+  m.a = x;
+  m.s = s;
+  m.r = r;
+  m.b = w;
+  return m;
+}
 
 /// Algorithm 2 hop 2: z in H(s, w) delivers the request to w after a
-/// majority of H(s, x) vouched for it.
-struct Fw2Msg final : sim::Payload {
-  NodeId x;
-  StringId s;
-  PollLabel r;
-
-  Fw2Msg(NodeId x, StringId s, PollLabel r) : x(x), s(s), r(r) {}
-  std::size_t bit_size(const sim::Wire& wire) const override {
-    return wire.string_bits(s) + wire.label_bits() + wire.node_id_bits();
-  }
-  const char* kind() const override { return "fw2"; }
-};
+/// majority of H(s, x) vouched for it. `a` = x.
+inline sim::Message fw2_msg(NodeId x, StringId s, PollLabel r) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kFw2;
+  m.a = x;
+  m.s = s;
+  m.r = r;
+  return m;
+}
 
 /// Algorithm 3: poll-list member w answers x's verification of s.
-struct AnswerMsg final : sim::Payload {
-  StringId s;
-
-  explicit AnswerMsg(StringId s) : s(s) {}
-  std::size_t bit_size(const sim::Wire& w) const override {
-    return w.string_bits(s);
-  }
-  const char* kind() const override { return "answer"; }
-};
+inline sim::Message answer_msg(StringId s) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kAnswer;
+  m.s = s;
+  return m;
+}
 
 }  // namespace fba::aer

@@ -72,33 +72,40 @@ void AerNode::on_start(sim::Context& ctx) {
   // target set directly (Lemma 3: O(log n) messages per node).
   const auto skey = shared_->key_of(initial_);
   for (NodeId target : shared_->samplers.push.targets(skey, self_)) {
-    ctx.send(target, std::make_shared<PushMsg>(initial_));
+    ctx.send(target, push_msg(initial_));
   }
   // Algorithm 1 runs over L_x, which initially holds s_x.
   start_pull(ctx, initial_);
 }
 
 void AerNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
-  const sim::Payload* p = env.payload.get();
-  if (const auto* m = sim::payload_cast<PushMsg>(p)) {
-    handle_push(ctx, env.src, *m);
-  } else if (const auto* m = sim::payload_cast<PollMsg>(p)) {
-    handle_poll(ctx, env.src, *m);
-  } else if (const auto* m = sim::payload_cast<PullMsg>(p)) {
-    handle_pull(ctx, env.src, *m);
-  } else if (const auto* m = sim::payload_cast<Fw1Msg>(p)) {
-    handle_fw1(ctx, env.src, *m);
-  } else if (const auto* m = sim::payload_cast<Fw2Msg>(p)) {
-    handle_fw2(ctx, env.src, *m);
-  } else if (const auto* m = sim::payload_cast<AnswerMsg>(p)) {
-    handle_answer(ctx, env.src, *m);
+  switch (env.msg.kind) {
+    case sim::MessageKind::kPush:
+      handle_push(ctx, env.src, env.msg);
+      break;
+    case sim::MessageKind::kPoll:
+      handle_poll(ctx, env.src, env.msg);
+      break;
+    case sim::MessageKind::kPull:
+      handle_pull(ctx, env.src, env.msg);
+      break;
+    case sim::MessageKind::kFw1:
+      handle_fw1(ctx, env.src, env.msg);
+      break;
+    case sim::MessageKind::kFw2:
+      handle_fw2(ctx, env.src, env.msg);
+      break;
+    case sim::MessageKind::kAnswer:
+      handle_answer(ctx, env.src, env.msg);
+      break;
+    default:
+      break;  // other protocols' kinds (adversarial garbage) are ignored
   }
-  // Unknown payloads (adversarial garbage) are ignored.
 }
 
 // ----- push phase ----------------------------------------------------------
 
-void AerNode::handle_push(sim::Context& ctx, NodeId from, const PushMsg& m) {
+void AerNode::handle_push(sim::Context& ctx, NodeId from, const sim::Message& m) {
   if (in_list_.count(m.s) > 0) return;  // already a candidate
   // Filter: only members of I(s, self) may push s to us; each sender is
   // credited once, with its slot multiplicity.
@@ -128,19 +135,19 @@ void AerNode::start_pull(sim::Context& ctx, StringId s) {
   MyPull& pull = my_pulls_[s];
   pull.r = shared_->samplers.poll.random_label(ctx.rng());
 
-  const auto poll_payload = std::make_shared<PollMsg>(s, pull.r);
+  const sim::Message poll = poll_msg(s, pull.r);
   for (NodeId w : distinct_members(shared_->poll_cache.get(self_, pull.r))) {
-    ctx.send(w, poll_payload);
+    ctx.send(w, poll);
   }
-  const auto pull_payload = std::make_shared<PullMsg>(s, pull.r);
+  const sim::Message pull_req = pull_msg(s, pull.r);
   const auto& h = shared_->pull_cache.get(shared_->key_of(s), self_);
   for (NodeId y : distinct_members(h)) {
-    ctx.send(y, pull_payload);
+    ctx.send(y, pull_req);
   }
 }
 
 void AerNode::handle_answer(sim::Context& ctx, NodeId from,
-                            const AnswerMsg& m) {
+                            const sim::Message& m) {
   if (has_decided_) return;
   const auto it = my_pulls_.find(m.s);
   if (it == my_pulls_.end()) return;  // never asked about s
@@ -191,7 +198,7 @@ void AerNode::serve_retained(sim::Context& ctx) {
     for (auto& [w, tally] : per_w) {
       if (!tally.fired && tally.slots * 2 > h_x.size()) {
         tally.fired = true;
-        ctx.send(w, std::make_shared<Fw2Msg>(x, s, tally.r));
+        ctx.send(w, fw2_msg(x, s, tally.r));
       }
     }
   }
@@ -210,7 +217,7 @@ void AerNode::serve_retained(sim::Context& ctx) {
 
 // ----- pull phase: forwarder, first hop (Algorithm 2) -----------------------
 
-void AerNode::handle_pull(sim::Context& ctx, NodeId from, const PullMsg& m) {
+void AerNode::handle_pull(sim::Context& ctx, NodeId from, const sim::Message& m) {
   // Only members of the sender's Pull Quorum for s may route the request.
   const auto skey = shared_->key_of(m.s);
   if (!shared_->pull_cache.get(skey, from).contains(self_)) return;
@@ -229,41 +236,41 @@ void AerNode::forward_pull(sim::Context& ctx, NodeId x, StringId s,
   if (!forwarded_.insert(pack_xs(x, s)).second) return;
   const auto skey = shared_->key_of(s);
   for (NodeId w : distinct_members(shared_->poll_cache.get(x, r))) {
-    const auto payload = std::make_shared<Fw1Msg>(x, s, r, w);
+    const sim::Message fw1 = fw1_msg(x, s, r, w);
     for (NodeId z : distinct_members(shared_->pull_cache.get(skey, w))) {
-      ctx.send(z, payload);
+      ctx.send(z, fw1);
     }
   }
 }
 
 // ----- pull phase: relay, second hop (Algorithm 2) ---------------------------
 
-void AerNode::handle_fw1(sim::Context& ctx, NodeId from, const Fw1Msg& m) {
+void AerNode::handle_fw1(sim::Context& ctx, NodeId from, const sim::Message& m) {
   const auto skey = shared_->key_of(m.s);
-  const auto& h_w = shared_->pull_cache.get(skey, m.w);
+  const auto& h_w = shared_->pull_cache.get(skey, m.b);
   if (!h_w.contains(self_)) return;  // this in H(s, w)
-  const auto& h_x = shared_->pull_cache.get(skey, m.x);
+  const auto& h_x = shared_->pull_cache.get(skey, m.a);
   const std::size_t mult = h_x.multiplicity(from);
   if (mult == 0) return;  // y in H(s, x)
-  if (!shared_->poll_cache.get(m.x, m.r).contains(m.w)) return;  // w in J(x,r)
+  if (!shared_->poll_cache.get(m.a, m.r).contains(m.b)) return;  // w in J(x,r)
 
   // Vouching is tallied even when s is not (yet) our belief; the Fw2 is only
   // emitted while s = s_this (now or after deciding on s).
-  Fw1Tally& tally = fw1_tallies_[pack_xs(m.x, m.s)][m.w];
+  Fw1Tally& tally = fw1_tallies_[pack_xs(m.a, m.s)][m.b];
   if (tally.fired || already_counted(tally.counted, from)) return;
   if (tally.counted.empty()) tally.r = m.r;
   tally.counted.push_back(from);
   tally.slots += mult;
   if (m.s == current_ && tally.slots * 2 > h_x.size()) {
     tally.fired = true;  // forward only once
-    ctx.send(m.w, std::make_shared<Fw2Msg>(m.x, m.s, m.r));
+    ctx.send(m.b, fw2_msg(m.a, m.s, m.r));
   }
 }
 
 // ----- pull phase: responder (Algorithm 3) -----------------------------------
 
-void AerNode::handle_fw2(sim::Context& ctx, NodeId from, const Fw2Msg& m) {
-  if (!shared_->poll_cache.get(m.x, m.r).contains(self_)) return;  // in J(x,r)
+void AerNode::handle_fw2(sim::Context& ctx, NodeId from, const sim::Message& m) {
+  if (!shared_->poll_cache.get(m.a, m.r).contains(self_)) return;  // in J(x,r)
   const auto skey = shared_->key_of(m.s);
   const auto& h_self = shared_->pull_cache.get(skey, self_);
   const std::size_t mult = h_self.multiplicity(from);
@@ -271,17 +278,17 @@ void AerNode::handle_fw2(sim::Context& ctx, NodeId from, const Fw2Msg& m) {
 
   // Evidence is tallied regardless of current belief; answers require
   // s = s_this (initially our candidate, after deciding the decided value).
-  ResponderState& st = responder_[pack_xs(m.x, m.s)];
+  ResponderState& st = responder_[pack_xs(m.a, m.s)];
   if (st.answered || already_counted(st.counted, from)) return;
   st.counted.push_back(from);
   st.slots += mult;
   if (m.s == current_ && st.slots * 2 > h_self.size() && st.polled) {
     st.answered = true;
-    emit_answer(ctx, m.x, m.s);
+    emit_answer(ctx, m.a, m.s);
   }
 }
 
-void AerNode::handle_poll(sim::Context& ctx, NodeId from, const PollMsg& m) {
+void AerNode::handle_poll(sim::Context& ctx, NodeId from, const sim::Message& m) {
   if (!shared_->poll_cache.get(from, m.r).contains(self_)) return;
   ResponderState& st = responder_[pack_xs(from, m.s)];
   if (st.polled) return;
@@ -306,7 +313,7 @@ void AerNode::emit_answer(sim::Context& ctx, NodeId x, StringId s) {
     return;
   }
   ++answer_counts_[s];
-  ctx.send(x, std::make_shared<AnswerMsg>(s));
+  ctx.send(x, answer_msg(s));
 }
 
 }  // namespace fba::aer

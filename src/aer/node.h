@@ -69,12 +69,12 @@ class AerNode final : public sim::Actor {
 
  private:
   // -- handlers, one per message kind --
-  void handle_push(sim::Context& ctx, NodeId from, const PushMsg& m);
-  void handle_poll(sim::Context& ctx, NodeId from, const PollMsg& m);
-  void handle_pull(sim::Context& ctx, NodeId from, const PullMsg& m);
-  void handle_fw1(sim::Context& ctx, NodeId from, const Fw1Msg& m);
-  void handle_fw2(sim::Context& ctx, NodeId from, const Fw2Msg& m);
-  void handle_answer(sim::Context& ctx, NodeId from, const AnswerMsg& m);
+  void handle_push(sim::Context& ctx, NodeId from, const sim::Message& m);
+  void handle_poll(sim::Context& ctx, NodeId from, const sim::Message& m);
+  void handle_pull(sim::Context& ctx, NodeId from, const sim::Message& m);
+  void handle_fw1(sim::Context& ctx, NodeId from, const sim::Message& m);
+  void handle_fw2(sim::Context& ctx, NodeId from, const sim::Message& m);
+  void handle_answer(sim::Context& ctx, NodeId from, const sim::Message& m);
 
   /// Adds s to L_x (if new) and starts its verification pull (Algorithm 1).
   void accept_candidate(sim::Context& ctx, StringId s);

@@ -148,12 +148,11 @@ void fill_outcome_and_traffic(AerReport& report, const AerWorld& world,
   report.bits_by_kind = metrics.bits_by_kind();
   report.msgs_by_kind = metrics.messages_by_kind();
 
-  const auto push_it = report.bits_by_kind.find("push");
   report.push_bits_per_node =
-      push_it == report.bits_by_kind.end()
-          ? 0
-          : static_cast<double>(push_it->second) /
-                static_cast<double>(report.n);
+      report.n > 0
+          ? static_cast<double>(metrics.bits_of(sim::MessageKind::kPush)) /
+                static_cast<double>(report.n)
+          : 0;
 }
 
 namespace {

@@ -4,7 +4,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -78,8 +77,15 @@ struct AerReport {
   std::uint64_t total_bits = 0;
   double amortized_bits = 0;  ///< total bits / n (the paper's measure).
   LoadStats sent_bits;        ///< per-node sent-bits distribution.
-  std::map<std::string, std::uint64_t> bits_by_kind;
-  std::map<std::string, std::uint64_t> msgs_by_kind;
+  /// Per-kind traffic, indexed by sim::kind_index().
+  KindCounters bits_by_kind{};
+  KindCounters msgs_by_kind{};
+  std::uint64_t msgs_of(sim::MessageKind k) const {
+    return msgs_by_kind[sim::kind_index(k)];
+  }
+  std::uint64_t bits_of(sim::MessageKind k) const {
+    return bits_by_kind[sim::kind_index(k)];
+  }
 
   // Push phase (Lemmas 3-5).
   std::uint64_t sum_candidate_lists = 0;  ///< sum over correct x of |L_x|.

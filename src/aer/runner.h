@@ -45,7 +45,7 @@ AerReport run_world_protocol(
   auto done = [&] { return decided >= target; };
 
   auto wire_nodes = [&](auto& engine) {
-    engine.set_wire(world.shared.get());
+    engine.set_wire(&world.shared->wire());
     engine.set_corrupt(world.view.corrupt);
     for (NodeId id = 0; id < config.n; ++id) {
       if (engine.is_corrupt(id)) continue;

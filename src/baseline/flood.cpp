@@ -11,15 +11,15 @@ FloodNode::FloodNode(const aer::AerShared* shared, NodeId self,
     : shared_(shared), self_(self), initial_(initial) {}
 
 void FloodNode::on_start(sim::Context& ctx) {
-  const auto payload = std::make_shared<CandidateMsg>(initial_);
+  const sim::Message msg = candidate_msg(initial_);
   for (NodeId dst = 0; dst < ctx.n(); ++dst) {
-    if (dst != self_) ctx.send(dst, payload);
+    if (dst != self_) ctx.send(dst, msg);
   }
   credit(ctx, self_, initial_);  // own candidate counts as one vote
 }
 
 void FloodNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
-  const auto* m = sim::payload_cast<CandidateMsg>(env.payload.get());
+  const auto* m = env.msg.as(sim::MessageKind::kBcast);
   if (m == nullptr) return;
   credit(ctx, env.src, m->s);
 }

@@ -12,15 +12,12 @@
 namespace fba::baseline {
 
 /// Broadcast of the sender's candidate string.
-struct CandidateMsg final : sim::Payload {
-  StringId s;
-
-  explicit CandidateMsg(StringId s) : s(s) {}
-  std::size_t bit_size(const sim::Wire& w) const override {
-    return w.string_bits(s);
-  }
-  const char* kind() const override { return "bcast"; }
-};
+inline sim::Message candidate_msg(StringId s) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kBcast;
+  m.s = s;
+  return m;
+}
 
 class FloodNode final : public sim::Actor {
  public:

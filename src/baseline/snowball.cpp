@@ -33,7 +33,7 @@ void SnowballNode::sample(sim::Context& ctx) {
   auto picks = ctx.rng().sample_without_replacement(ctx.n(), params_.k);
   sampled_.assign(picks.begin(), picks.end());
   std::sort(sampled_.begin(), sampled_.end());
-  const auto query = std::make_shared<SnowQueryMsg>(round_tag_);
+  const sim::Message query = snow_query_msg(round_tag_);
   for (NodeId dst : sampled_) ctx.send(dst, query);
   // Query + reply is two delivery hops; corrupt peers may never reply, so a
   // timer closes the sample window (sync: 3 rounds; async: 2.05 units).
@@ -41,16 +41,16 @@ void SnowballNode::sample(sim::Context& ctx) {
 }
 
 void SnowballNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
-  if (const auto* q = sim::payload_cast<SnowQueryMsg>(env.payload.get())) {
+  if (const auto* q = env.msg.as(sim::MessageKind::kSnowQuery)) {
     // Load cap: a Byzantine query flood cannot skew this node's traffic.
     if (queries_answered_ >= params_.max_queries) return;
     ++queries_answered_;
-    ctx.send(env.src, std::make_shared<SnowReplyMsg>(preference_, q->round_tag));
+    ctx.send(env.src, snow_reply_msg(preference_, q->phase));
     return;
   }
-  const auto* reply = sim::payload_cast<SnowReplyMsg>(env.payload.get());
+  const auto* reply = env.msg.as(sim::MessageKind::kSnowReply);
   if (reply == nullptr || decided_) return;
-  if (reply->round_tag != round_tag_) return;  // stale round
+  if (reply->phase != round_tag_) return;  // stale round
   if (!std::binary_search(sampled_.begin(), sampled_.end(), env.src)) return;
   ++replies_[reply->s];
   ++reply_count_;

@@ -26,27 +26,22 @@
 
 namespace fba::baseline {
 
-/// Query for the recipient's current preference.
-struct SnowQueryMsg final : sim::Payload {
-  std::uint32_t round_tag;
-
-  explicit SnowQueryMsg(std::uint32_t round_tag) : round_tag(round_tag) {}
-  std::size_t bit_size(const sim::Wire&) const override { return 16; }
-  const char* kind() const override { return "snow-q"; }
-};
+/// Query for the recipient's current preference (`phase` = round tag).
+inline sim::Message snow_query_msg(std::uint32_t round_tag) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kSnowQuery;
+  m.phase = round_tag;
+  return m;
+}
 
 /// Reply carrying the responder's preference.
-struct SnowReplyMsg final : sim::Payload {
-  StringId s;
-  std::uint32_t round_tag;
-
-  SnowReplyMsg(StringId s, std::uint32_t round_tag)
-      : s(s), round_tag(round_tag) {}
-  std::size_t bit_size(const sim::Wire& w) const override {
-    return w.string_bits(s) + 16;
-  }
-  const char* kind() const override { return "snow-r"; }
-};
+inline sim::Message snow_reply_msg(StringId s, std::uint32_t round_tag) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kSnowReply;
+  m.s = s;
+  m.phase = round_tag;
+  return m;
+}
 
 struct SnowballParams {
   std::size_t k = 10;        ///< sample size per round.

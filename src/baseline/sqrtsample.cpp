@@ -28,20 +28,20 @@ void SqrtSampleNode::on_start(sim::Context& ctx) {
       ctx.rng().sample_without_replacement(ctx.n(), params_.sample_size);
   queried_.assign(sample.begin(), sample.end());
   std::sort(queried_.begin(), queried_.end());
-  const auto query = std::make_shared<SampleQueryMsg>();
+  const sim::Message query = sample_query_msg();
   for (NodeId dst : queried_) ctx.send(dst, query);
 }
 
 void SqrtSampleNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
-  if (sim::payload_cast<SampleQueryMsg>(env.payload.get()) != nullptr) {
+  if (env.msg.kind == sim::MessageKind::kQuery) {
     // Load-balance cap: answer at most reply_cap queries, so query flooding
     // cannot skew this node's outbound traffic past a constant factor.
     if (replies_sent_ >= params_.reply_cap) return;
     ++replies_sent_;
-    ctx.send(env.src, std::make_shared<SampleReplyMsg>(initial_));
+    ctx.send(env.src, sample_reply_msg(initial_));
     return;
   }
-  const auto* reply = sim::payload_cast<SampleReplyMsg>(env.payload.get());
+  const auto* reply = env.msg.as(sim::MessageKind::kReply);
   if (reply == nullptr || decided_) return;
   if (!std::binary_search(queried_.begin(), queried_.end(), env.src)) return;
   auto& voters = votes_[reply->s];
@@ -88,10 +88,8 @@ class SqrtJunkReplyStrategy final : public adv::Strategy {
 
   void on_deliver_to_corrupt(adv::AdvContext& ctx,
                              const sim::Envelope& env) override {
-    if (sim::payload_cast<SampleQueryMsg>(env.payload.get()) == nullptr) {
-      return;
-    }
-    ctx.send_from(env.dst, env.src, std::make_shared<SampleReplyMsg>(junk_));
+    if (env.msg.kind != sim::MessageKind::kQuery) return;
+    ctx.send_from(env.dst, env.src, sample_reply_msg(junk_));
   }
 
  private:

@@ -16,21 +16,19 @@
 namespace fba::baseline {
 
 /// Query for the recipient's candidate string (header-only on the wire).
-struct SampleQueryMsg final : sim::Payload {
-  std::size_t bit_size(const sim::Wire&) const override { return 0; }
-  const char* kind() const override { return "query"; }
-};
+inline sim::Message sample_query_msg() {
+  sim::Message m;
+  m.kind = sim::MessageKind::kQuery;
+  return m;
+}
 
 /// Reply carrying the responder's candidate.
-struct SampleReplyMsg final : sim::Payload {
-  StringId s;
-
-  explicit SampleReplyMsg(StringId s) : s(s) {}
-  std::size_t bit_size(const sim::Wire& w) const override {
-    return w.string_bits(s);
-  }
-  const char* kind() const override { return "reply"; }
-};
+inline sim::Message sample_reply_msg(StringId s) {
+  sim::Message m;
+  m.kind = sim::MessageKind::kReply;
+  m.s = s;
+  return m;
+}
 
 struct SqrtSampleParams {
   std::size_t sample_size = 0;  ///< k: queries per node.

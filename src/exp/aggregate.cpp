@@ -33,10 +33,15 @@ TrialOutcome outcome_of(const aer::AerReport& r) {
   o.max_candidate_list = r.max_candidate_list;
   o.missing_gstring = r.nodes_missing_gstring;
   o.max_deferred = r.max_deferred_answers;
-  const auto push_msgs = r.msgs_by_kind.find("push");
-  if (push_msgs != r.msgs_by_kind.end() && r.n > 0) {
-    o.push_msgs_per_node = static_cast<double>(push_msgs->second) /
-                           static_cast<double>(r.n);
+  for (std::size_t k = 0; k < sim::kNumMessageKinds; ++k) {
+    o.bits_by_kind[k] = static_cast<double>(r.bits_by_kind[k]);
+    o.msgs_by_kind[k] = static_cast<double>(r.msgs_by_kind[k]);
+  }
+  if (r.n > 0) {
+    o.push_msgs_per_node =
+        static_cast<double>(
+            r.msgs_by_kind[sim::kind_index(sim::MessageKind::kPush)]) /
+        static_cast<double>(r.n);
   }
   return o;
 }
@@ -111,6 +116,10 @@ std::uint64_t Aggregate::fingerprint() const {
   hash_doubles(h, {push_bits_per_node, push_msgs_per_node,
                    candidate_lists_per_node, ae_rounds, reduction_time,
                    ae_bits, reduction_bits});
+  for (std::size_t k = 0; k < sim::kNumMessageKinds; ++k) {
+    hash_stats(h, bits_by_kind[k]);
+    hash_doubles(h, {msgs_by_kind[k]});
+  }
   return h;
 }
 
@@ -168,6 +177,19 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
       summarize_sample(collect(outcomes, &TrialOutcome::mean_sent_bits));
   agg.imbalance = summarize_sample(collect(outcomes, &TrialOutcome::imbalance));
   agg.decision_time = summarize_sample(std::move(pooled_times));
+
+  std::vector<double> kind_values(outcomes.size());
+  for (std::size_t k = 0; k < sim::kNumMessageKinds; ++k) {
+    double msg_sum = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      kind_values[i] = outcomes[i].bits_by_kind[k];
+      msg_sum += outcomes[i].msgs_by_kind[k];
+    }
+    agg.bits_by_kind[k] = summarize_sample(kind_values);
+    if (!outcomes.empty()) {
+      agg.msgs_by_kind[k] = msg_sum / static_cast<double>(outcomes.size());
+    }
+  }
   return agg;
 }
 

@@ -9,6 +9,7 @@
 // how many threads ran the trials.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -44,6 +45,9 @@ struct TrialOutcome {
   double max_sent_bits = 0;
   double mean_sent_bits = 0;
   double imbalance = 0;  ///< max / mean per-node sent bits.
+  /// Per-kind traffic axes (whole-run totals, indexed by sim::kind_index()).
+  std::array<double, sim::kNumMessageKinds> bits_by_kind{};
+  std::array<double, sim::kNumMessageKinds> msgs_by_kind{};
 
   // Composed-BA phase split (zero for single-phase runs).
   double ae_rounds = 0;
@@ -92,6 +96,9 @@ struct Aggregate {
   SummaryStats imbalance;
   /// Pooled per-node decision times across all trials that recorded them.
   SummaryStats decision_time;
+  /// Per-kind traffic distributions across trials (mean/CI95 per kind).
+  std::array<SummaryStats, sim::kNumMessageKinds> bits_by_kind{};
+  std::array<double, sim::kNumMessageKinds> msgs_by_kind{};  ///< means.
 
   // Composed-BA phase-split means across trials.
   double ae_rounds = 0;

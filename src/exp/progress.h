@@ -1,0 +1,50 @@
+// Shared stderr progress reporter for long sweeps, pluggable into
+// exp::Sweep::set_progress. Prints "label: done/total trials (pct), ETA" at
+// ~1Hz; enabled when stderr is a terminal or FBA_PROGRESS=1, so CI logs and
+// piped runs stay clean. Sweep serializes the callback, so the state needs
+// no locking.
+#pragma once
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "exp/sweep.h"
+
+namespace fba::exp {
+
+inline Sweep::Progress stderr_progress(const std::string& label) {
+  const bool tty = isatty(fileno(stderr)) != 0;
+  const char* env = std::getenv("FBA_PROGRESS");
+  if (!tty && (env == nullptr || std::strcmp(env, "1") != 0)) return {};
+
+  struct State {
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    double last_print = 0;
+  };
+  auto state = std::make_shared<State>();
+  return [state, label, tty](std::size_t done, std::size_t total) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      state->start)
+            .count();
+    if (done < total && elapsed - state->last_print < 1.0) return;
+    state->last_print = elapsed;
+    const double rate = done > 0 ? elapsed / static_cast<double>(done) : 0;
+    const double eta = rate * static_cast<double>(total - done);
+    std::fprintf(stderr, "%s%s: %zu/%zu trials (%3.0f%%), ETA %.0fs%s",
+                 tty ? "\r" : "", label.c_str(), done, total,
+                 100.0 * static_cast<double>(done) /
+                     static_cast<double>(total == 0 ? 1 : total),
+                 eta, tty ? (done == total ? "\n" : "") : "\n");
+    std::fflush(stderr);
+  };
+}
+
+}  // namespace fba::exp

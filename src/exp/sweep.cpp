@@ -82,6 +82,11 @@ Sweep& Sweep::set_trial(Trial trial) {
   return *this;
 }
 
+Sweep& Sweep::set_progress(Progress progress) {
+  progress_ = std::move(progress);
+  return *this;
+}
+
 std::size_t Sweep::total_trials() const {
   return grid_.points() * trials_;
 }
@@ -94,7 +99,11 @@ std::vector<PointResult> Sweep::run() const {
   std::vector<std::vector<TrialOutcome>> slots(points.size());
   for (auto& point_slots : slots) point_slots.resize(trials_);
 
-  run_indexed(points.size() * trials_, threads_, [&](std::size_t task) {
+  const std::size_t total = points.size() * trials_;
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+
+  run_indexed(total, threads_, [&](std::size_t task) {
     const std::size_t point_idx = task / trials_;
     const std::size_t trial_idx = task % trials_;
     const GridPoint& point = points[point_idx];
@@ -103,6 +112,10 @@ std::vector<PointResult> Sweep::run() const {
     TrialOutcome outcome = trial_(config, point);
     outcome.seed = config.seed;
     slots[point_idx][trial_idx] = std::move(outcome);
+    if (progress_) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress_(++completed, total);
+    }
   });
 
   std::vector<PointResult> results;

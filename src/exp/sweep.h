@@ -57,12 +57,20 @@ class Sweep {
   using Trial =
       std::function<TrialOutcome(const aer::AerConfig&, const GridPoint&)>;
 
+  /// Invoked after every finished trial with (trials completed so far,
+  /// total trials). Calls are serialized (one at a time) but come from
+  /// worker threads; keep the callback cheap. Progress reporting does not
+  /// affect the result — the reduction stays bit-identical at any thread
+  /// count.
+  using Progress = std::function<void(std::size_t, std::size_t)>;
+
   /// `trials` > 0 runs of every grid point. The default trial runner is
   /// exp::run_aer_trial (the paper's protocol under the point's attack).
   Sweep(aer::AerConfig base, Grid grid, std::size_t trials);
 
   Sweep& set_threads(std::size_t threads);
   Sweep& set_trial(Trial trial);
+  Sweep& set_progress(Progress progress);
 
   std::size_t trials() const { return trials_; }
   std::size_t threads() const { return threads_; }
@@ -78,6 +86,7 @@ class Sweep {
   std::size_t trials_;
   std::size_t threads_;
   Trial trial_;
+  Progress progress_;
 };
 
 }  // namespace fba::exp

@@ -37,6 +37,8 @@
 #include "exp/stats.h"
 #include "exp/sweep.h"
 #include "net/async_engine.h"
+#include "net/event_queue.h"
+#include "net/message.h"
 #include "net/sync_engine.h"
 #include "sampler/hash_sampler.h"
 #include "sampler/properties.h"

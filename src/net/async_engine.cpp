@@ -7,7 +7,11 @@
 namespace fba::sim {
 
 AsyncEngine::AsyncEngine(const AsyncConfig& config)
-    : EngineBase(config.n, config.seed), config_(config) {}
+    : EngineBase(config.n, config.seed),
+      config_(config),
+      queue_(EventQueue::Mode::kHeap) {
+  queue_.reserve(config.n * 4);
+}
 
 void AsyncEngine::queue_envelope(Envelope env) {
   SimTime delay;
@@ -23,18 +27,22 @@ void AsyncEngine::queue_envelope(Envelope env) {
     // (0, 1], but the clamp keeps both paths identical if that ever drifts).
     delay = std::clamp(strategy_rng_.uniform_positive(), 1e-9, 1.0);
   }
-  queue_.push(Pending{current_time_ + delay, std::move(env), false, 0, 0});
+  const SimTime at = current_time_ + delay;
+  if (at > config_.max_time) {  // horizon culling: could never be processed
+    ++beyond_horizon_;
+    return;
+  }
+  queue_.push_message(at, 0, std::move(env));
 }
 
 void AsyncEngine::queue_timer(NodeId node, double delay, std::uint64_t token) {
   FBA_REQUIRE(delay > 0, "timer delay must be positive");
-  Pending pending;
-  pending.at = current_time_ + delay;
-  pending.env.seq = ++send_seq_;  // tie-break ordering with deliveries
-  pending.is_timer = true;
-  pending.timer_node = node;
-  pending.timer_token = token;
-  queue_.push(std::move(pending));
+  const SimTime at = current_time_ + delay;
+  if (at > config_.max_time) {
+    ++beyond_horizon_;
+    return;
+  }
+  queue_.push_timer(at, 0, node, token);
 }
 
 AsyncResult AsyncEngine::run(const std::function<bool()>& done) {
@@ -45,7 +53,7 @@ AsyncResult AsyncEngine::run(const std::function<bool()>& done) {
 
   std::size_t since_check = 0;
   while (!queue_.empty()) {
-    if (queue_.top().at > config_.max_time) break;
+    if (queue_.next_at() > config_.max_time) break;
     if (++since_check >= config_.done_check_stride) {
       since_check = 0;
       if (done()) {
@@ -53,8 +61,7 @@ AsyncResult AsyncEngine::run(const std::function<bool()>& done) {
         break;
       }
     }
-    Pending next = queue_.top();
-    queue_.pop();
+    const EventQueue::Event next = queue_.pop();
     current_time_ = next.at;
     const std::uint64_t decisions_before = decisions_reported();
     if (next.is_timer) {
@@ -74,7 +81,7 @@ AsyncResult AsyncEngine::run(const std::function<bool()>& done) {
     }
   }
 
-  if (queue_.empty()) result.quiescent = true;
+  if (queue_.empty() && beyond_horizon_ == 0) result.quiescent = true;
   if (!result.completed && done()) result.completed = true;
   result.time = current_time_;
   return result;

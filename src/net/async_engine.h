@@ -1,4 +1,4 @@
-// Asynchronous event-driven engine.
+// Asynchronous event-driven engine: a thin timing policy over EventQueue.
 //
 // Timing model: the adversary assigns every message a delay in (0, 1] —
 // delays are normalized so the maximum is one time unit, the standard
@@ -6,11 +6,14 @@
 // reliable: every message is eventually delivered (the delay bound enforces
 // it). The adversary is inherently rushing here: it observes each send
 // before choosing its delay and can have corrupt nodes react immediately.
+//
+// All pending events (deliveries and timers) share one priority class:
+// processing order is (time, push order), FIFO among equal timestamps.
 #pragma once
 
 #include <functional>
-#include <queue>
 
+#include "net/event_queue.h"
 #include "net/network.h"
 
 namespace fba::sim {
@@ -43,25 +46,15 @@ class AsyncEngine : public EngineBase {
   void queue_timer(NodeId node, double delay, std::uint64_t token) override;
 
  private:
-  struct Pending {
-    SimTime at = 0;
-    Envelope env;
-    bool is_timer = false;
-    NodeId timer_node = 0;
-    std::uint64_t timer_token = 0;
-  };
-  struct Later {
-    bool operator()(const Pending& a, const Pending& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.env.seq > b.env.seq;  // FIFO among equal timestamps
-    }
-  };
-
   void queue_envelope(Envelope env) override;
 
   AsyncConfig config_;
   SimTime current_time_ = 0;
-  std::priority_queue<Pending, std::vector<Pending>, Later> queue_;
+  EventQueue queue_;
+  /// Events culled because they would fire after max_time: charged (and the
+  /// adversary's delay draw consumed) but never queued. Nonzero culls keep
+  /// the run from reporting quiescence it would not otherwise reach.
+  std::uint64_t beyond_horizon_ = 0;
 };
 
 }  // namespace fba::sim

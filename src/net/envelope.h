@@ -1,9 +1,10 @@
 // An in-flight message. The simulator stamps the true sender (authenticated
-// channels): Byzantine nodes can send arbitrary payloads but cannot forge
-// `src`.
+// channels): Byzantine nodes can send arbitrary messages but cannot forge
+// `src`. The Message travels by value — queueing an envelope performs no
+// heap allocation.
 #pragma once
 
-#include "net/payload.h"
+#include "net/message.h"
 #include "support/types.h"
 
 namespace fba::sim {
@@ -11,9 +12,8 @@ namespace fba::sim {
 struct Envelope {
   NodeId src = 0;
   NodeId dst = 0;
-  PayloadPtr payload;
+  Message msg;
   double send_time = 0;  ///< round (sync) or sim time (async) when sent.
-  std::uint64_t seq = 0; ///< global send sequence, breaks ties deterministically.
 };
 
 }  // namespace fba::sim

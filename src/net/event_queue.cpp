@@ -1,0 +1,185 @@
+#include "net/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fba::sim {
+
+namespace {
+constexpr std::size_t kArity = 4;
+constexpr std::size_t kInitialRingSlots = 8;
+}  // namespace
+
+void EventQueue::reserve(std::size_t n) {
+  if (mode_ == Mode::kHeap) heap_.reserve(n);
+}
+
+void EventQueue::grow_ring(std::size_t min_slots) {
+  std::size_t slots = std::max<std::size_t>(ring_.size() * 2,
+                                            kInitialRingSlots);
+  while (slots < min_slots) slots *= 2;
+  std::vector<Bucket> bigger(slots);
+  // Re-seat existing buckets at their new positions (tick order preserved;
+  // base_tick_ maps to slot 0 of the new ring).
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    bigger[i] = std::move(ring_[(head_ + i) % ring_.size()]);
+  }
+  ring_ = std::move(bigger);
+  head_ = 0;
+}
+
+EventQueue::Bucket& EventQueue::bucket_at(std::uint64_t tick) {
+  FBA_ASSERT(tick >= base_tick_, "bucketed push into the past");
+  const std::uint64_t offset = tick - base_tick_;
+  if (offset >= ring_.size()) grow_ring(offset + 1);
+  return ring_[(head_ + offset) % ring_.size()];
+}
+
+void EventQueue::step_base() {
+  Bucket& bucket = ring_[head_];
+  for (auto& lane : bucket.lanes) lane.clear();  // keeps lane capacity
+  bucket.count = 0;
+  head_ = (head_ + 1) % ring_.size();
+  ++base_tick_;
+}
+
+void EventQueue::push(Event&& ev) {
+  ev.seq = next_seq_++;
+  ++size_;
+  if (mode_ == Mode::kHeap) {
+    heap_.push_back(std::move(ev));
+    heap_sift_up(heap_.size() - 1);
+    return;
+  }
+  FBA_ASSERT(ev.pri < kNumPriorities, "bucketed priority class out of range");
+  const auto tick = static_cast<std::uint64_t>(ev.at);
+  FBA_ASSERT(static_cast<SimTime>(tick) == ev.at,
+             "bucketed timestamps must be integral");
+  Bucket& bucket = bucket_at(tick);
+  const std::uint32_t pri = ev.pri;
+  bucket.lanes[pri].push_back(std::move(ev));
+  ++bucket.count;
+}
+
+void EventQueue::push_message(SimTime at, std::uint32_t pri, Envelope env) {
+  Event ev;
+  ev.at = at;
+  ev.pri = pri;
+  ev.env = std::move(env);
+  push(std::move(ev));
+}
+
+void EventQueue::push_timer(SimTime at, std::uint32_t pri, NodeId node,
+                            std::uint64_t token) {
+  Event ev;
+  ev.at = at;
+  ev.pri = pri;
+  ev.is_timer = true;
+  ev.timer_node = node;
+  ev.timer_token = token;
+  push(std::move(ev));
+}
+
+SimTime EventQueue::next_at() const {
+  FBA_ASSERT(size_ > 0, "next_at() on an empty event queue");
+  if (mode_ == Mode::kHeap) return heap_.front().at;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[(head_ + i) % ring_.size()].count > 0) {
+      return static_cast<SimTime>(base_tick_ + i);
+    }
+  }
+  return 0;  // unreachable: size_ > 0
+}
+
+EventQueue::Event EventQueue::pop() {
+  FBA_ASSERT(size_ > 0, "pop() on an empty event queue");
+  --size_;
+  if (mode_ == Mode::kHeap) {
+    Event out = std::move(heap_.front());
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      heap_sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return out;
+  }
+  while (front_bucket().count == 0) step_base();
+  Bucket& bucket = front_bucket();
+  // (at, pri, seq) order: the earliest tick's lowest-priority non-empty
+  // lane, whose front holds that lane's lowest seq (lanes are push-ordered).
+  // Front-erase is O(lane); single pops from buckets are rare (the sync
+  // engine drains whole rounds via pop_due), so correctness over speed here.
+  for (auto& lane : bucket.lanes) {
+    if (lane.empty()) continue;
+    Event out = std::move(lane.front());
+    lane.erase(lane.begin());
+    --bucket.count;
+    return out;
+  }
+  FBA_ASSERT(false, "non-empty bucket has empty lanes");
+  return Event{};
+}
+
+std::size_t EventQueue::pop_due(SimTime until, std::vector<Event>& out) {
+  out.clear();
+  if (mode_ == Mode::kHeap) {
+    while (size_ > 0 && heap_.front().at <= until) {
+      out.push_back(pop());
+    }
+    return out.size();
+  }
+  // Advance one tick at a time and never beyond `until`: base_tick_ must
+  // stay at most one past the drained range, since the engine's next round
+  // pushes at `until + 1`.
+  while (!ring_.empty() && static_cast<SimTime>(base_tick_) <= until) {
+    Bucket& bucket = front_bucket();
+    for (auto& lane : bucket.lanes) {
+      for (Event& ev : lane) out.push_back(std::move(ev));
+    }
+    size_ -= bucket.count;
+    step_base();
+  }
+  return out.size();
+}
+
+void EventQueue::heap_sift_up(std::size_t i) {
+  if (i == 0) return;
+  std::size_t parent = (i - 1) / kArity;
+  if (!before(heap_[i], heap_[parent])) return;  // common case: appended last
+  Event moving = std::move(heap_[i]);
+  while (true) {
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+    if (i == 0) break;
+    parent = (i - 1) / kArity;
+    if (!before(moving, heap_[parent])) break;
+  }
+  heap_[i] = std::move(moving);
+}
+
+void EventQueue::heap_sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  auto best_child = [&](std::size_t node) {
+    const std::size_t first = kArity * node + 1;
+    if (first >= n) return n;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    return best;
+  };
+  std::size_t child = best_child(i);
+  if (child >= n || !before(heap_[child], heap_[i])) return;  // already placed
+  Event moving = std::move(heap_[i]);
+  do {
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+    child = best_child(i);
+  } while (child < n && before(heap_[child], moving));
+  heap_[i] = std::move(moving);
+}
+
+}  // namespace fba::sim

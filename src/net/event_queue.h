@@ -1,0 +1,121 @@
+// EventQueue: the shared pending-event core under both engines.
+//
+// Events (message deliveries and timer firings) live by value in contiguous
+// slabs — no per-event heap allocation on the steady-state path (slabs grow
+// amortized and are then reused). Ordering key is (at, pri, seq):
+//   - `at`  — delivery time (sim time in the async engine, round number in
+//             the sync engine);
+//   - `pri` — same-timestamp delivery class, the engines' timing-policy
+//             lever (the sync engine delivers rushing-adversary traffic
+//             first and timers last within a round; the async engine uses a
+//             single class);
+//   - `seq` — push order, so delivery is FIFO among equal (at, pri).
+//
+// Two storage modes, chosen by the owning engine's timing model:
+//   - kHeap    — an implicit 4-ary min-heap; for continuous timestamps
+//                (async engine). O(log n) push/pop.
+//   - kBuckets — a calendar ring of per-timestamp buckets with one lane per
+//                priority class; for integral timestamps (sync rounds).
+//                O(1) push, O(1)-per-event batched pop, nothing is ever
+//                sifted — a round with a million pending messages drains at
+//                memcpy speed. Ring slots (and their lane capacity) are
+//                reused in place as time advances, so the steady state
+//                performs no allocation at all.
+//
+// The engines are thin timing policies over this core: they decide each
+// event's (at, pri) and consume the ordered stream via pop() or the batched
+// pop_due() (sync: one call drains a whole round into a reusable scratch
+// vector).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/envelope.h"
+#include "support/types.h"
+
+namespace fba::sim {
+
+class EventQueue {
+ public:
+  enum class Mode {
+    kHeap,     ///< continuous timestamps, 4-ary min-heap.
+    kBuckets,  ///< integral timestamps, per-round calendar buckets.
+  };
+
+  /// Priority classes supported in bucket mode (lanes per bucket).
+  static constexpr std::uint32_t kNumPriorities = 3;
+
+  struct Event {
+    SimTime at = 0;
+    std::uint32_t pri = 0;
+    std::uint64_t seq = 0;  ///< assigned by push; FIFO tie-break.
+    bool is_timer = false;
+    NodeId timer_node = 0;
+    std::uint64_t timer_token = 0;
+    Envelope env;  ///< valid when !is_timer.
+  };
+
+  explicit EventQueue(Mode mode = Mode::kHeap) : mode_(mode) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  void reserve(std::size_t n);
+
+  /// Earliest (at, pri, seq) pending event's timestamp. Queue must be
+  /// non-empty.
+  SimTime next_at() const;
+
+  /// Queues a message delivery at (at, pri).
+  void push_message(SimTime at, std::uint32_t pri, Envelope env);
+
+  /// Queues a timer firing at (at, pri).
+  void push_timer(SimTime at, std::uint32_t pri, NodeId node,
+                  std::uint64_t token);
+
+  /// Removes and returns the next event in (at, pri, seq) order.
+  Event pop();
+
+  /// Batched pop: drains every event with at <= until into `out` (cleared
+  /// first) in delivery order. Returns the number of events moved. `out`
+  /// keeps its capacity across calls, so a reused scratch vector makes the
+  /// steady-state round loop allocation-free.
+  std::size_t pop_due(SimTime until, std::vector<Event>& out);
+
+ private:
+  void push(Event&& ev);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  static bool before(const Event& x, const Event& y) {
+    if (x.at != y.at) return x.at < y.at;
+    if (x.pri != y.pri) return x.pri < y.pri;
+    return x.seq < y.seq;
+  }
+
+  /// One integral timestamp's pending events, one lane per priority class.
+  struct Bucket {
+    std::array<std::vector<Event>, kNumPriorities> lanes;
+    std::size_t count = 0;
+  };
+  Bucket& bucket_at(std::uint64_t tick);
+  Bucket& front_bucket() { return ring_[head_]; }
+  void step_base();  ///< recycle the base bucket in place, advance one tick.
+  void grow_ring(std::size_t min_slots);
+
+  Mode mode_;
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+
+  // kHeap state: implicit 4-ary min-heap over one slab.
+  std::vector<Event> heap_;
+
+  // kBuckets state: power-of-two ring of buckets covering ticks
+  // [base_tick_, base_tick_ + ring_.size()); head_ indexes base_tick_'s slot.
+  std::vector<Bucket> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t base_tick_ = 0;
+};
+
+}  // namespace fba::sim

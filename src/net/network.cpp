@@ -44,20 +44,19 @@ std::vector<NodeId> EngineBase::correct_nodes() const {
   return out;
 }
 
-void EngineBase::send_from(NodeId src, NodeId dst, PayloadPtr payload) {
+void EngineBase::send_from(NodeId src, NodeId dst, const Message& msg) {
   FBA_REQUIRE(src < n_ && dst < n_, "send endpoint out of range");
-  FBA_ASSERT(payload != nullptr, "cannot send a null payload");
+  FBA_ASSERT(msg.kind != MessageKind::kNone && msg.kind != MessageKind::kCount,
+             "cannot send a kind-less message");
   FBA_ASSERT(wire_ != nullptr, "engine has no wire format configured");
-  const std::size_t bits =
-      payload->bit_size(*wire_) + wire_->header_bits();
-  metrics_.on_message(src, dst, bits, payload->kind());
+  const std::size_t bits = message_bit_size(msg, *wire_) + wire_->header_bits();
+  metrics_.on_message(src, dst, bits, msg.kind);
 
   Envelope env;
   env.src = src;
   env.dst = dst;
-  env.payload = std::move(payload);
+  env.msg = msg;
   env.send_time = now();
-  env.seq = ++send_seq_;
 
   // Full-information adversary: it sees every message as soon as it is sent.
   // (Whether it can *react* within the same time step is the rushing /

@@ -14,7 +14,6 @@
 
 #include "net/envelope.h"
 #include "net/node.h"
-#include "net/payload.h"
 #include "support/metrics.h"
 #include "support/random.h"
 #include "support/types.h"
@@ -68,10 +67,12 @@ class EngineBase {
 
   // ----- used by Context / AdvContext --------------------------------------
 
-  /// Authenticated send: `src` is stamped by the engine. Charges metrics and
-  /// feeds the adversary's full-information tap, then hands the envelope to
-  /// the engine-specific queue via queue_envelope().
-  void send_from(NodeId src, NodeId dst, PayloadPtr payload);
+  /// Authenticated send: `src` is stamped by the engine. Charges metrics via
+  /// the per-kind size table (the same path for correct and forged traffic)
+  /// and feeds the adversary's full-information tap, then hands the envelope
+  /// to the engine-specific queue via queue_envelope(). Steady-state cost:
+  /// zero heap allocations.
+  void send_from(NodeId src, NodeId dst, const Message& msg);
 
   void report_decision(NodeId node, StringId value);
 
@@ -102,13 +103,12 @@ class EngineBase {
   DecisionCallback on_decide_;
   std::vector<Rng> node_rngs_;
   Rng strategy_rng_;
-  std::uint64_t send_seq_ = 0;
   std::uint64_t decisions_reported_ = 0;
 };
 
 inline std::size_t Context::n() const { return engine_.n(); }
-inline void Context::send(NodeId dst, PayloadPtr payload) {
-  engine_.send_from(self_, dst, std::move(payload));
+inline void Context::send(NodeId dst, const Message& msg) {
+  engine_.send_from(self_, dst, msg);
 }
 inline void Context::schedule_timer(double delay, std::uint64_t token) {
   engine_.queue_timer(self_, delay, token);

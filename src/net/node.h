@@ -27,8 +27,10 @@ class Context {
   /// The node's private random number generator (Section 2.1).
   Rng& rng() { return rng_; }
 
-  /// Queue a message; delivery obeys the engine's timing model.
-  void send(NodeId dst, PayloadPtr payload);
+  /// Queue a message; delivery obeys the engine's timing model. The message
+  /// is copied by value — sending the same message to many recipients
+  /// performs no allocation.
+  void send(NodeId dst, const Message& msg);
 
   /// Request an on_timer(token) callback after `delay` (rounds in the
   /// synchronous engine, rounded up; normalized time units in the

@@ -2,22 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
-#include <utility>
 
 #include "adversary/adversary.h"
 
 namespace fba::sim {
 
+namespace {
+
+// Same-round delivery classes (EventQueue pri). Messages before timers; a
+// rushing adversary's corrupt-origin traffic before correct traffic.
+constexpr std::uint32_t kPriCorruptSend = 0;
+constexpr std::uint32_t kPriSend = 1;
+constexpr std::uint32_t kPriTimer = 2;
+
+}  // namespace
+
 SyncEngine::SyncEngine(const SyncConfig& config)
-    : EngineBase(config.n, config.seed), config_(config) {}
+    : EngineBase(config.n, config.seed),
+      config_(config),
+      queue_(EventQueue::Mode::kBuckets) {}
 
 void SyncEngine::queue_envelope(Envelope env) {
-  next_round_.push_back(std::move(env));
+  // Sent during round r, delivered during round r+1. Horizon culling: a
+  // message sent during the last executable round can never be delivered,
+  // so it is charged but not queued.
+  if (current_round_ >= config_.max_rounds) {
+    ++beyond_horizon_;
+    return;
+  }
+  // The corrupt set is fixed before execution, so the rushing-adversary
+  // delivery class can be decided at send time.
+  const bool rushed = config_.rushing_adversary && corrupt_[env.src];
+  queue_.push_message(static_cast<SimTime>(current_round_ + 1),
+                      rushed ? kPriCorruptSend : kPriSend, std::move(env));
 }
 
 void SyncEngine::queue_timer(NodeId node, double delay, std::uint64_t token) {
   const auto rounds = static_cast<Round>(std::max(1.0, std::ceil(delay)));
-  timers_.push_back(Timer{current_round_ + rounds, node, token});
+  const Round at = current_round_ + rounds;
+  if (at > config_.max_rounds) {  // could only fire after the horizon
+    ++beyond_horizon_;
+    return;
+  }
+  queue_.push_timer(static_cast<SimTime>(at), kPriTimer, node, token);
 }
 
 SyncResult SyncEngine::run(const std::function<bool()>& done) {
@@ -42,31 +69,25 @@ SyncResult SyncEngine::run(const std::function<bool()>& done) {
       result.completed = true;
       break;
     }
-    if (next_round_.empty() && timers_.empty() &&
+    // Culled beyond-horizon events suppress the quiescence stop: an engine
+    // that queued them would keep its round clock running to max_rounds.
+    if (queue_.empty() && beyond_horizon_ == 0 &&
         current_round_ >= config_.min_rounds) {
       result.quiescent = true;
       break;
     }
     ++current_round_;
 
-    std::deque<Envelope> inbox = std::exchange(next_round_, {});
-    if (rushing && !corrupt_list_.empty()) {
-      // The rushing adversary wins same-round delivery races.
-      std::stable_partition(
-          inbox.begin(), inbox.end(),
-          [this](const Envelope& env) { return corrupt_[env.src]; });
-    }
-
     if (!rushing) adversary_turn(current_round_);
-    for (const Envelope& env : inbox) deliver(env);
-    if (!timers_.empty()) {
-      std::vector<Timer> due;
-      std::vector<Timer> later;
-      for (const Timer& timer : timers_) {
-        (timer.at <= current_round_ ? due : later).push_back(timer);
+    // One batched pop drains the whole round: corrupt-origin sends, correct
+    // sends, then due timers, each class in FIFO order.
+    queue_.pop_due(static_cast<SimTime>(current_round_), due_);
+    for (const EventQueue::Event& ev : due_) {
+      if (ev.is_timer) {
+        fire_timer(ev.timer_node, ev.timer_token);
+      } else {
+        deliver(ev.env);
       }
-      timers_ = std::move(later);
-      for (const Timer& timer : due) fire_timer(timer.node, timer.token);
     }
     for (NodeId id = 0; id < n_; ++id) {
       if (corrupt_[id]) continue;

@@ -1,4 +1,4 @@
-// Synchronous round-based engine.
+// Synchronous round-based engine: a thin timing policy over EventQueue.
 //
 // Timing model (Section 2.1): a message sent during round r is delivered
 // during round r+1. Each round:
@@ -9,14 +9,17 @@
 //   4. (rushing) the adversary acts now, having observed step 3's sends.
 // Everything queued in steps 2-4 forms the next round's deliveries.
 //
-// Against a rushing adversary, corrupt-origin messages are additionally
-// delivered first within their round: a rushing adversary wins same-round
-// delivery races (it controls when in the round its messages leave).
+// The round structure maps onto the shared EventQueue as priority classes
+// within a round timestamp: against a rushing adversary, corrupt-origin
+// messages delivered first (a rushing adversary wins same-round delivery
+// races — it controls when in the round its messages leave), then correct
+// traffic in send order, then due timers in schedule order.
 #pragma once
 
-#include <deque>
 #include <functional>
+#include <vector>
 
+#include "net/event_queue.h"
 #include "net/network.h"
 
 namespace fba::sim {
@@ -57,16 +60,15 @@ class SyncEngine : public EngineBase {
  private:
   void queue_envelope(Envelope env) override;
 
-  struct Timer {
-    Round at;
-    NodeId node;
-    std::uint64_t token;
-  };
-
   SyncConfig config_;
   Round current_round_ = 0;
-  std::deque<Envelope> next_round_;  // sent this round, delivered next round
-  std::vector<Timer> timers_;
+  EventQueue queue_;
+  std::vector<EventQueue::Event> due_;  ///< per-round scratch, reused.
+  /// Sends/timers culled because they could only fire after max_rounds.
+  /// They are fully charged (metrics, adversary tap) but never queued;
+  /// nonzero culls suppress the quiescence stop so round counts match an
+  /// engine that kept them.
+  std::uint64_t beyond_horizon_ = 0;
 };
 
 }  // namespace fba::sim

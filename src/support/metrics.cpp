@@ -34,19 +34,20 @@ void TrafficMetrics::reset(std::size_t n) {
   sent_bits_.assign(n, 0);
   received_bits_.assign(n, 0);
   sent_msgs_.assign(n, 0);
-  msgs_by_kind_.clear();
-  bits_by_kind_.clear();
+  msgs_by_kind_.fill(0);
+  bits_by_kind_.fill(0);
 }
 
 void TrafficMetrics::on_message(NodeId src, NodeId dst, std::size_t bits,
-                                const std::string& kind) {
+                                sim::MessageKind kind) {
   ++total_messages_;
   total_bits_ += bits;
-  sent_bits_.at(src) += bits;
-  received_bits_.at(dst) += bits;
-  ++sent_msgs_.at(src);
-  ++msgs_by_kind_[kind];
-  bits_by_kind_[kind] += bits;
+  sent_bits_[src] += bits;
+  received_bits_[dst] += bits;
+  ++sent_msgs_[src];
+  const std::size_t k = sim::kind_index(kind);
+  ++msgs_by_kind_[k];
+  bits_by_kind_[k] += bits;
 }
 
 double TrafficMetrics::amortized_bits() const {

@@ -6,14 +6,16 @@
 //     for non-load-balanced algorithms differs from the per-node maximum.
 // TrafficMetrics tracks both, per node and per message kind, so benches can
 // report amortized bits, the per-node maximum, and the load-balance ratio.
+// Per-kind counters are fixed-size arrays indexed by sim::MessageKind — one
+// add per send, no string hashing on the hot path.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
-#include <map>
-#include <string>
 #include <vector>
 
+#include "net/message.h"
 #include "support/types.h"
 
 namespace fba {
@@ -32,16 +34,18 @@ struct LoadStats {
 LoadStats summarize(const std::vector<double>& values);
 LoadStats summarize_u64(const std::vector<std::uint64_t>& values);
 
+/// Per-kind counter array, indexed by sim::kind_index().
+using KindCounters = std::array<std::uint64_t, sim::kNumMessageKinds>;
+
 class TrafficMetrics {
  public:
   explicit TrafficMetrics(std::size_t n = 0) { reset(n); }
 
   void reset(std::size_t n);
 
-  /// Records one message of `bits` payload+header bits from src to dst,
-  /// tagged with a protocol-level kind ("push", "fw1", ...).
+  /// Records one message of `bits` payload+header bits from src to dst.
   void on_message(NodeId src, NodeId dst, std::size_t bits,
-                  const std::string& kind);
+                  sim::MessageKind kind);
 
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t total_bits() const { return total_bits_; }
@@ -60,11 +64,13 @@ class TrafficMetrics {
     return sent_msgs_.at(node);
   }
 
-  const std::map<std::string, std::uint64_t>& messages_by_kind() const {
-    return msgs_by_kind_;
+  const KindCounters& messages_by_kind() const { return msgs_by_kind_; }
+  const KindCounters& bits_by_kind() const { return bits_by_kind_; }
+  std::uint64_t messages_of(sim::MessageKind k) const {
+    return msgs_by_kind_[sim::kind_index(k)];
   }
-  const std::map<std::string, std::uint64_t>& bits_by_kind() const {
-    return bits_by_kind_;
+  std::uint64_t bits_of(sim::MessageKind k) const {
+    return bits_by_kind_[sim::kind_index(k)];
   }
 
   std::size_t n() const { return sent_bits_.size(); }
@@ -75,8 +81,8 @@ class TrafficMetrics {
   std::vector<std::uint64_t> sent_bits_;
   std::vector<std::uint64_t> received_bits_;
   std::vector<std::uint64_t> sent_msgs_;
-  std::map<std::string, std::uint64_t> msgs_by_kind_;
-  std::map<std::string, std::uint64_t> bits_by_kind_;
+  KindCounters msgs_by_kind_{};
+  KindCounters bits_by_kind_{};
 };
 
 /// Decision bookkeeping: when each node decided and on what.

@@ -63,12 +63,16 @@ TEST(PullPhaseTest, DeterministicGivenSeed) {
 
 TEST(PullPhaseTest, MessageKindsAllAppear) {
   const AerReport report = run_aer(config_for(Model::kSyncRushing, 1));
-  for (const char* kind : {"push", "poll", "pull", "fw1", "fw2", "answer"}) {
-    EXPECT_GT(report.msgs_by_kind.at(kind), 0u) << kind;
+  using sim::MessageKind;
+  for (const MessageKind kind :
+       {MessageKind::kPush, MessageKind::kPoll, MessageKind::kPull,
+        MessageKind::kFw1, MessageKind::kFw2, MessageKind::kAnswer}) {
+    EXPECT_GT(report.msgs_of(kind), 0u) << sim::kind_name(kind);
   }
   // fw1 dominates: d^2 fan-out per forwarder (the paper's non-load-balanced
   // routing layer).
-  EXPECT_GT(report.msgs_by_kind.at("fw1"), report.msgs_by_kind.at("fw2"));
+  EXPECT_GT(report.msgs_of(MessageKind::kFw1),
+            report.msgs_of(MessageKind::kFw2));
 }
 
 TEST(PullPhaseTest, UnknowledgeableNodesAlsoDecide) {
@@ -112,7 +116,7 @@ TEST(PullPhaseTest, BudgetDeferralEngagesAndRecovers) {
   cfg.answer_budget = 8;
   const AerReport report = run_aer(cfg);
   EXPECT_TRUE(report.everyone_decided);
-  EXPECT_GT(report.msgs_by_kind.at("answer"), 0u);
+  EXPECT_GT(report.msgs_of(sim::MessageKind::kAnswer), 0u);
   EXPECT_GT(report.max_deferred_answers, 0u);
 }
 

@@ -99,7 +99,7 @@ TEST(PushPhaseTest, EachCorrectNodeSendsExactlyDPushes) {
   const AerReport report = run_aer(cfg);
   // n_correct nodes each push to exactly d targets (permutation sampler).
   const auto expected = report.correct_count * report.d;
-  EXPECT_EQ(report.msgs_by_kind.at("push"), expected);
+  EXPECT_EQ(report.msgs_of(sim::MessageKind::kPush), expected);
 }
 
 TEST(PushPhaseTest, PushBitsPerNodeAreLogarithmic) {

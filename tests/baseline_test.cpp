@@ -121,7 +121,8 @@ TEST(SqrtSampleTest, ParamsOverrideIsHonored) {
   const aer::AerReport r = run_sqrtsample_world(world, {}, &params);
   EXPECT_TRUE(r.agreement);
   // Query count: every correct node sends exactly sample_size queries.
-  EXPECT_EQ(r.msgs_by_kind.at("query"), r.correct_count * params.sample_size);
+  EXPECT_EQ(r.msgs_of(sim::MessageKind::kQuery),
+            r.correct_count * params.sample_size);
 }
 
 }  // namespace

@@ -168,6 +168,57 @@ TEST(SweepTest, AggregateBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(SweepTest, PerKindTrafficAxesArePopulatedAndConsistent) {
+  aer::AerConfig base;
+  base.n = 64;
+  base.seed = 20130722;
+  exp::Sweep sweep(base, exp::Grid{}, 3);
+  sweep.set_threads(1);
+  const exp::Aggregate agg = sweep.run().front().aggregate;
+
+  // All six AER hops carry traffic, and the per-kind means decompose the
+  // whole-run totals: sum over kinds == total messages, per trial.
+  using sim::MessageKind;
+  double msg_sum = 0;
+  double bits_mean_sum = 0;
+  for (std::size_t k = 0; k < sim::kNumMessageKinds; ++k) {
+    msg_sum += agg.msgs_by_kind[k];
+    bits_mean_sum += agg.bits_by_kind[k].mean;
+  }
+  EXPECT_NEAR(msg_sum, agg.total_messages.mean, 1e-6);
+  EXPECT_GT(bits_mean_sum, 0);
+  for (const MessageKind kind :
+       {MessageKind::kPush, MessageKind::kPoll, MessageKind::kPull,
+        MessageKind::kFw1, MessageKind::kFw2, MessageKind::kAnswer}) {
+    EXPECT_GT(agg.msgs_by_kind[sim::kind_index(kind)], 0)
+        << sim::kind_name(kind);
+    EXPECT_GT(agg.bits_by_kind[sim::kind_index(kind)].mean, 0)
+        << sim::kind_name(kind);
+  }
+  // Non-AER kinds stay zero in an AER sweep.
+  EXPECT_EQ(agg.msgs_by_kind[sim::kind_index(MessageKind::kSnowQuery)], 0);
+}
+
+TEST(SweepTest, ProgressCallbackCountsEveryTrial) {
+  aer::AerConfig base;
+  base.n = 64;
+  base.seed = 3;
+  for (std::size_t threads : {1u, 4u}) {
+    exp::Sweep sweep(base, exp::Grid{}, 6);
+    sweep.set_threads(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> calls;
+    sweep.set_progress([&calls](std::size_t done, std::size_t total) {
+      calls.emplace_back(done, total);  // serialized by the sweep
+    });
+    sweep.run();
+    ASSERT_EQ(calls.size(), 6u);
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      EXPECT_EQ(calls[i].first, i + 1);  // monotonically counted
+      EXPECT_EQ(calls[i].second, 6u);
+    }
+  }
+}
+
 TEST(SweepTest, ModelSweepReachesAgreementWithAllCorrectNodes) {
   aer::AerConfig base;
   base.seed = 7;
@@ -210,22 +261,25 @@ TEST(SweepTest, CorruptedSweepNeverDecidesWrong) {
 
 // ----- async engine accounting ----------------------------------------------
 
-struct CountWire final : sim::Wire {
-  std::size_t node_id_bits() const override { return 8; }
-  std::size_t label_bits() const override { return 16; }
-  std::size_t string_bits(StringId) const override { return 32; }
-};
+sim::Wire count_wire() {
+  sim::Wire w;
+  w.node_id_bits = 8;
+  w.label_bits = 16;
+  w.fixed_string_bits = 32;
+  return w;
+}
 
-struct NoteMsg final : sim::Payload {
-  std::size_t bit_size(const sim::Wire&) const override { return 8; }
-  const char* kind() const override { return "note"; }
-};
+sim::Message note_msg() {
+  sim::Message m;
+  m.kind = sim::MessageKind::kPing;
+  return m;
+}
 
 /// Sends `sends` messages to node 1 and schedules `timers` timers at start.
 struct SenderActor final : sim::Actor {
   SenderActor(int sends, int timers) : sends(sends), timers(timers) {}
   void on_start(sim::Context& ctx) override {
-    for (int i = 0; i < sends; ++i) ctx.send(1, std::make_shared<NoteMsg>());
+    for (int i = 0; i < sends; ++i) ctx.send(1, note_msg());
     for (int i = 0; i < timers; ++i) {
       ctx.schedule_timer(0.25 * (i + 1), static_cast<std::uint64_t>(i));
     }
@@ -248,7 +302,7 @@ TEST(AsyncAccountingTest, DeliveriesExcludeTimerFirings) {
   cfg.n = 2;
   cfg.seed = 11;
   sim::AsyncEngine engine(cfg);
-  CountWire wire;
+  const sim::Wire wire = count_wire();
   engine.set_wire(&wire);
   auto* sender = new SenderActor(/*sends=*/5, /*timers=*/3);
   engine.set_actor(0, std::unique_ptr<sim::Actor>(sender));
@@ -278,7 +332,7 @@ TEST(AsyncAccountingTest, DoneRecheckedImmediatelyAfterDecision) {
   cfg.seed = 5;
   cfg.done_check_stride = 64;
   sim::AsyncEngine engine(cfg);
-  CountWire wire;
+  const sim::Wire wire = count_wire();
   engine.set_wire(&wire);
   // 40 in-flight messages; the first delivery decides. With the stride-only
   // check the engine would chew through up to 39 more events before

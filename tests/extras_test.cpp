@@ -110,12 +110,12 @@ TEST(HistogramTest, RejectsBadConfig) {
 
 // ----- engine timers ---------------------------------------------------------------
 
-class TimerWire final : public sim::Wire {
- public:
-  std::size_t node_id_bits() const override { return 8; }
-  std::size_t label_bits() const override { return 0; }
-  std::size_t string_bits(StringId) const override { return 8; }
-};
+sim::Wire timer_wire() {
+  sim::Wire w;
+  w.node_id_bits = 8;
+  w.fixed_string_bits = 8;
+  return w;
+}
 
 class TimerActor final : public sim::Actor {
  public:
@@ -134,7 +134,7 @@ TEST(TimerTest, SyncTimersFireAtCeilRounds) {
   sim::SyncConfig cfg;
   cfg.n = 2;
   sim::SyncEngine engine(cfg);
-  TimerWire wire;
+  const sim::Wire wire = timer_wire();
   engine.set_wire(&wire);
   auto* actor = new TimerActor();
   engine.set_actor(0, std::unique_ptr<sim::Actor>(actor));
@@ -151,7 +151,7 @@ TEST(TimerTest, AsyncTimersFireAtExactTime) {
   sim::AsyncConfig cfg;
   cfg.n = 2;
   sim::AsyncEngine engine(cfg);
-  TimerWire wire;
+  const sim::Wire wire = timer_wire();
   engine.set_wire(&wire);
   auto* actor = new TimerActor();
   engine.set_actor(0, std::unique_ptr<sim::Actor>(actor));
@@ -216,12 +216,9 @@ class SnowJunkReplyStrategy final : public adv::Strategy {
 
   void on_deliver_to_corrupt(adv::AdvContext& ctx,
                              const sim::Envelope& env) override {
-    const auto* q =
-        sim::payload_cast<baseline::SnowQueryMsg>(env.payload.get());
+    const auto* q = env.msg.as(sim::MessageKind::kSnowQuery);
     if (q == nullptr) return;
-    ctx.send_from(env.dst, env.src,
-                  std::make_shared<baseline::SnowReplyMsg>(junk_,
-                                                           q->round_tag));
+    ctx.send_from(env.dst, env.src, baseline::snow_reply_msg(junk_, q->phase));
   }
 
  private:

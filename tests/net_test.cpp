@@ -11,35 +11,34 @@
 namespace fba::sim {
 namespace {
 
-// Minimal test fixtures: a ping payload and simple actors.
+// Minimal test fixtures: a ping message and simple actors.
 
-struct PingMsg final : Payload {
-  int tag;
-  explicit PingMsg(int tag) : tag(tag) {}
-  std::size_t bit_size(const Wire&) const override { return 16; }
-  const char* kind() const override { return "ping"; }
-};
+Message ping_msg(std::uint32_t tag) {
+  Message m;
+  m.kind = MessageKind::kPing;  // 16 fixed payload bits (kind table)
+  m.phase = tag;
+  return m;
+}
 
-class TestWire final : public Wire {
- public:
-  std::size_t node_id_bits() const override { return 10; }
-  std::size_t label_bits() const override { return 20; }
-  std::size_t string_bits(StringId) const override { return 40; }
-};
+Wire test_wire() {
+  Wire w;
+  w.node_id_bits = 10;
+  w.label_bits = 20;
+  w.fixed_string_bits = 40;
+  return w;
+}
 
 /// Sends one ping to a fixed destination at start, records deliveries.
 class PingActor final : public Actor {
  public:
   PingActor(NodeId target, bool reply) : target_(target), reply_(reply) {}
 
-  void on_start(Context& ctx) override {
-    ctx.send(target_, std::make_shared<PingMsg>(1));
-  }
+  void on_start(Context& ctx) override { ctx.send(target_, ping_msg(1)); }
   void on_message(Context& ctx, const Envelope& env) override {
     deliveries.push_back(env);
     delivery_times.push_back(ctx.now());
     if (reply_ && env.src != ctx.self()) {
-      ctx.send(env.src, std::make_shared<PingMsg>(2));
+      ctx.send(env.src, ping_msg(2));
     }
   }
 
@@ -65,7 +64,7 @@ TEST(SyncEngineTest, DeliversNextRound) {
   cfg.n = 4;
   cfg.seed = 1;
   SyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   auto* a = new PingActor(1, false);
   auto* b = new IdleActor();
@@ -86,7 +85,7 @@ TEST(SyncEngineTest, StopsWhenQuiescent) {
   SyncConfig cfg;
   cfg.n = 2;
   SyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   engine.set_actor(0, std::make_unique<IdleActor>());
   engine.set_actor(1, std::make_unique<IdleActor>());
@@ -100,7 +99,7 @@ TEST(SyncEngineTest, PingPongAlternatesRounds) {
   cfg.n = 2;
   cfg.max_rounds = 10;
   SyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   auto* a = new PingActor(1, true);
   auto* b = new PingActor(0, true);
@@ -116,7 +115,7 @@ TEST(SyncEngineTest, MetricsChargeHeaderPlusPayload) {
   SyncConfig cfg;
   cfg.n = 2;
   SyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   engine.set_actor(0, std::make_unique<PingActor>(1, false));
   engine.set_actor(1, std::make_unique<IdleActor>());
@@ -124,14 +123,14 @@ TEST(SyncEngineTest, MetricsChargeHeaderPlusPayload) {
   // 16 payload + (4 kind tag + 10 node id) header.
   EXPECT_EQ(engine.metrics().total_bits(), 30u);
   EXPECT_EQ(engine.metrics().total_messages(), 1u);
-  EXPECT_EQ(engine.metrics().messages_by_kind().at("ping"), 1u);
+  EXPECT_EQ(engine.metrics().messages_of(MessageKind::kPing), 1u);
 }
 
 TEST(SyncEngineTest, RejectsOutOfRangeSend) {
   SyncConfig cfg;
   cfg.n = 2;
   SyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   engine.set_actor(0, std::make_unique<PingActor>(5, false));  // bad target
   engine.set_actor(1, std::make_unique<IdleActor>());
@@ -143,7 +142,7 @@ TEST(AsyncEngineTest, DeliversWithinDelayBound) {
   cfg.n = 3;
   cfg.seed = 2;
   AsyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   auto* b = new IdleActor();
   engine.set_actor(0, std::make_unique<PingActor>(1, false));
@@ -161,7 +160,7 @@ TEST(AsyncEngineTest, TimeAdvancesMonotonically) {
   cfg.n = 2;
   cfg.seed = 3;
   AsyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   auto* a = new PingActor(1, true);
   auto* b = new PingActor(0, true);
@@ -186,7 +185,7 @@ class SpyStrategy final : public adv::Strategy {
                              const Envelope& env) override {
     delivered_to_corrupt.push_back(env);
     if (reply_from_corrupt) {
-      ctx.send_from(env.dst, env.src, std::make_shared<PingMsg>(99));
+      ctx.send_from(env.dst, env.src, ping_msg(99));
     }
   }
   void on_round(adv::AdvContext& ctx, Round round, bool rushing) override {
@@ -206,7 +205,7 @@ TEST(AdversaryTest, ObservesEveryMessage) {
   SyncConfig cfg;
   cfg.n = 3;
   SyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   SpyStrategy spy;
   engine.set_strategy(&spy);
@@ -221,7 +220,7 @@ TEST(AdversaryTest, CorruptNodesRouteToStrategy) {
   SyncConfig cfg;
   cfg.n = 3;
   SyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   SpyStrategy spy;
   spy.reply_from_corrupt = true;
@@ -237,23 +236,22 @@ TEST(AdversaryTest, CorruptNodesRouteToStrategy) {
   // The corrupt reply reached node 0's actor.
   ASSERT_EQ(a->deliveries.size(), 1u);
   EXPECT_EQ(a->deliveries[0].src, 1u);
-  const auto* ping = payload_cast<PingMsg>(a->deliveries[0].payload.get());
+  const Message* ping = a->deliveries[0].msg.as(MessageKind::kPing);
   ASSERT_NE(ping, nullptr);
-  EXPECT_EQ(ping->tag, 99);
+  EXPECT_EQ(ping->phase, 99u);
 }
 
 TEST(AdversaryTest, CannotForgeCorrectSender) {
   SyncConfig cfg;
   cfg.n = 3;
   SyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   engine.set_corrupt({1});
   engine.set_actor(0, std::make_unique<IdleActor>());
   engine.set_actor(2, std::make_unique<IdleActor>());
   adv::AdvContext ctx(engine);
-  EXPECT_THROW(ctx.send_from(0, 2, std::make_shared<PingMsg>(1)),
-               ConfigError);
+  EXPECT_THROW(ctx.send_from(0, 2, ping_msg(1)), ConfigError);
 }
 
 TEST(AdversaryTest, RushingOrderingSeesSameRoundTraffic) {
@@ -265,7 +263,7 @@ TEST(AdversaryTest, RushingOrderingSeesSameRoundTraffic) {
     cfg.rushing_adversary = rushing;
     cfg.max_rounds = 3;
     SyncEngine engine(cfg);
-    TestWire wire;
+    const Wire wire = test_wire();
     engine.set_wire(&wire);
     SpyStrategy spy;
     engine.set_strategy(&spy);
@@ -292,7 +290,7 @@ TEST(AdversaryTest, AsyncDelayIsClampedToReliabilityBound) {
   AsyncConfig cfg;
   cfg.n = 2;
   AsyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   MaxDelayStrategy delays;
   engine.set_strategy(&delays);
@@ -323,7 +321,7 @@ TEST(EngineTest, DecisionCallbackFires) {
   SyncConfig cfg;
   cfg.n = 2;
   SyncEngine engine(cfg);
-  TestWire wire;
+  const Wire wire = test_wire();
   engine.set_wire(&wire);
   engine.set_actor(0, std::make_unique<Decider>());
   engine.set_actor(1, std::make_unique<IdleActor>());

@@ -300,23 +300,23 @@ TEST(StringTableTest, ManyDistinctStrings) {
 
 TEST(MetricsTest, TracksTotalsAndPerNode) {
   TrafficMetrics m(4);
-  m.on_message(0, 1, 100, "a");
-  m.on_message(0, 2, 50, "a");
-  m.on_message(3, 0, 25, "b");
+  m.on_message(0, 1, 100, sim::MessageKind::kPush);
+  m.on_message(0, 2, 50, sim::MessageKind::kPush);
+  m.on_message(3, 0, 25, sim::MessageKind::kAnswer);
   EXPECT_EQ(m.total_messages(), 3u);
   EXPECT_EQ(m.total_bits(), 175u);
   EXPECT_EQ(m.sent_bits(0), 150u);
   EXPECT_EQ(m.received_bits(0), 25u);
   EXPECT_EQ(m.sent_messages(3), 1u);
   EXPECT_DOUBLE_EQ(m.amortized_bits(), 175.0 / 4);
-  EXPECT_EQ(m.messages_by_kind().at("a"), 2u);
-  EXPECT_EQ(m.bits_by_kind().at("b"), 25u);
+  EXPECT_EQ(m.messages_of(sim::MessageKind::kPush), 2u);
+  EXPECT_EQ(m.bits_of(sim::MessageKind::kAnswer), 25u);
 }
 
 TEST(MetricsTest, LoadStatsImbalance) {
   TrafficMetrics m(4);
-  m.on_message(0, 1, 300, "x");
-  m.on_message(1, 0, 100, "x");
+  m.on_message(0, 1, 300, sim::MessageKind::kPing);
+  m.on_message(1, 0, 100, sim::MessageKind::kPing);
   const LoadStats s = m.sent_bits_stats();
   EXPECT_DOUBLE_EQ(s.max, 300);
   EXPECT_DOUBLE_EQ(s.mean, 100);
