@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
   grid.ns = {128, 256, 512};
   grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
   grid.strategies = {"wrong"};
+  // --fault=<preset> composes the wrong-answer attack with loss /
+  // partitions / churn: safety must hold even on faulty channels.
+  grid.faults = {fault_for(argc, argv)};
   exp::Sweep sweep(base, grid, trials);
   sweep.set_threads(threads);
   for (const exp::PointResult& r : sweep.run()) {

@@ -40,16 +40,29 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
-/// Parses `--name=value` into a size_t; returns `fallback` when absent.
-inline std::size_t flag_value(int argc, char** argv, const char* name,
-                              std::size_t fallback) {
+/// Parses `--name=value` into a string; returns `fallback` when absent.
+inline std::string string_flag(int argc, char** argv, const char* name,
+                               const char* fallback) {
   const std::size_t len = std::strlen(name);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
-      return std::strtoull(argv[i] + len + 1, nullptr, 10);
+      return argv[i] + len + 1;
     }
   }
   return fallback;
+}
+
+/// Parses `--name=value` into a size_t; returns `fallback` when absent.
+inline std::size_t flag_value(int argc, char** argv, const char* name,
+                              std::size_t fallback) {
+  const std::string value = string_flag(argc, argv, name, "");
+  return value.empty() ? fallback : std::strtoull(value.c_str(), nullptr, 10);
+}
+
+/// The `--fault=<preset>` axis shared with fba_sim and exp::Grid
+/// (exp::known_faults()); "none" keeps the paper's reliable channels.
+inline std::string fault_for(int argc, char** argv) {
+  return string_flag(argc, argv, "--fault", "none");
 }
 
 /// Trials per grid point at each scale; `--trials=N` overrides.

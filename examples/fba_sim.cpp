@@ -2,6 +2,7 @@
 // under any timing model and adversary, from one binary.
 //
 //   fba_sim --protocol=aer --n=512 --model=async --attack=stuff
+//   fba_sim --protocol=aer --n=512 --model=async --fault=lossy-5pct
 //   fba_sim --protocol=aer --n=512 --trials=100 --threads=8
 //   fba_sim --protocol=ba --n=1024 --reduction=aer
 //   fba_sim --protocol=flood|sqrt|snowball --n=256 --corrupt=0.1
@@ -10,10 +11,11 @@
 // Flags (all optional): --n, --seed, --corrupt (fraction), --know
 // (knowledgeable fraction), --d (quorum size), --budget (answer budget),
 // --model=sync|sync-nr|async, --attack=<exp::known_attacks()>,
-// --reduction=aer|sqrt|flood. With --trials=N > 1 the run becomes a
-// multi-trial exp::Sweep (deterministically seeded from --seed, fanned
-// across --threads worker threads) and prints the aggregate instead of a
-// single report.
+// --fault=<exp::known_faults()> (loss / partition / churn presets,
+// composable with any attack), --reduction=aer|sqrt|flood. With
+// --trials=N > 1 the run becomes a multi-trial exp::Sweep
+// (deterministically seeded from --seed, fanned across --threads worker
+// threads) and prints the aggregate instead of a single report.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +43,7 @@ struct Options {
   std::size_t budget = 0;
   std::string model = "sync";
   std::string attack = "none";
+  std::string fault = "none";
   std::string reduction = "aer";
   std::size_t trials = 1;
   std::size_t threads = exp::default_threads();
@@ -68,6 +71,7 @@ Options parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--budget", value)) opt.budget = std::stoull(value);
     else if (parse_flag(argv[i], "--model", value)) opt.model = value;
     else if (parse_flag(argv[i], "--attack", value)) opt.attack = value;
+    else if (parse_flag(argv[i], "--fault", value)) opt.fault = value;
     else if (parse_flag(argv[i], "--reduction", value)) opt.reduction = value;
     else if (parse_flag(argv[i], "--trials", value)) opt.trials = std::stoull(value);
     else if (parse_flag(argv[i], "--threads", value)) opt.threads = std::stoull(value);
@@ -90,12 +94,17 @@ aer::Model parse_model(const std::string& name) {
 aer::StrategyFactory make_attack(const std::string& name) {
   try {
     return exp::attack_factory(name);
-  } catch (const ConfigError&) {
-    std::fprintf(stderr, "unknown attack: %s (known:", name.c_str());
-    for (const std::string& known : exp::known_attacks()) {
-      std::fprintf(stderr, " %s", known.c_str());
-    }
-    std::fprintf(stderr, ")\n");
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+sim::FaultPlan make_fault(const std::string& name) {
+  try {
+    return exp::fault_plan_factory(name);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     std::exit(2);
   }
 }
@@ -117,6 +126,17 @@ void print_report(const char* label, const aer::AerReport& r) {
                 sim::kind_name(static_cast<sim::MessageKind>(k)),
                 static_cast<unsigned long long>(r.msgs_by_kind[k]),
                 static_cast<unsigned long long>(r.bits_by_kind[k]));
+  }
+  if (r.fault_dropped_msgs > 0 || r.fault_delayed_msgs > 0) {
+    std::printf("  faults  : %llu msgs dropped (",
+                static_cast<unsigned long long>(r.fault_dropped_msgs));
+    for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
+      std::printf("%s%s %llu", c > 0 ? ", " : "",
+                  sim::fault_cause_name(static_cast<sim::FaultCause>(c)),
+                  static_cast<unsigned long long>(r.fault_drops_by_cause[c]));
+    }
+    std::printf("), %llu delayed\n",
+                static_cast<unsigned long long>(r.fault_delayed_msgs));
   }
 }
 
@@ -144,6 +164,18 @@ void print_aggregate(const std::string& label, const exp::Aggregate& a,
               " msgs, imbalance %.2f\n",
               a.amortized_bits.mean, a.amortized_bits.p99,
               a.total_messages.mean, a.imbalance.mean);
+  if (a.fault_dropped_msgs.mean > 0 || a.fault_delayed_msgs > 0) {
+    std::printf("  faults       : mean %.1f msgs dropped/trial (churn %.1f,"
+                " partition %.1f, loss %.1f), %.1f delayed\n",
+                a.fault_dropped_msgs.mean,
+                a.drops_by_cause[sim::fault_cause_index(
+                    sim::FaultCause::kChurn)],
+                a.drops_by_cause[sim::fault_cause_index(
+                    sim::FaultCause::kPartition)],
+                a.drops_by_cause[sim::fault_cause_index(
+                    sim::FaultCause::kLoss)],
+                a.fault_delayed_msgs);
+  }
   std::printf("  fingerprint  : %016llx\n",
               static_cast<unsigned long long>(a.fingerprint()));
 }
@@ -154,6 +186,12 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
 
   if (opt.protocol == "ae") {
+    if (opt.fault != "none") {
+      std::fprintf(stderr,
+                   "--fault applies to the AER/baseline/BA-reduction engines;"
+                   " the AE tournament keeps reliable channels\n");
+      return 2;
+    }
     ae::AeConfig cfg;
     cfg.n = opt.n;
     cfg.seed = opt.seed;
@@ -179,6 +217,7 @@ int main(int argc, char** argv) {
     cfg.corrupt_fraction = opt.corrupt;
     cfg.reduction_model = parse_model(opt.model);
     cfg.d_override = opt.d;
+    cfg.fault_plan = make_fault(opt.fault);
     ba::Reduction reduction = ba::Reduction::kAer;
     if (opt.reduction == "sqrt") reduction = ba::Reduction::kSqrtSample;
     if (opt.reduction == "flood") reduction = ba::Reduction::kFlood;
@@ -190,6 +229,7 @@ int main(int argc, char** argv) {
       base.corrupt_fraction = opt.corrupt;
       exp::Grid grid;
       grid.strategies = {opt.attack};
+      grid.faults = {opt.fault};  // BaConfig carries the resolved plan.
       exp::Sweep sweep(base, grid, opt.trials);
       sweep.set_threads(opt.threads);
       sweep.set_progress(sweep_progress());
@@ -224,6 +264,7 @@ int main(int argc, char** argv) {
   cfg.knowledgeable_fraction = opt.know;
   cfg.d_override = opt.d;
   cfg.answer_budget = opt.budget;
+  cfg.fault_plan = make_fault(opt.fault);
 
   exp::Sweep::Trial trial;
   if (opt.protocol == "aer") {
@@ -243,6 +284,7 @@ int main(int argc, char** argv) {
   if (opt.trials > 1) {
     exp::Grid grid;
     grid.strategies = {opt.attack};
+    grid.faults = {opt.fault};
     exp::Sweep sweep(cfg, grid, opt.trials);
     sweep.set_threads(opt.threads).set_trial(trial);
     sweep.set_progress(sweep_progress());

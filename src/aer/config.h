@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "net/fault.h"
 #include "net/message.h"
 #include "sampler/sampler.h"
 #include "support/intern.h"
@@ -56,6 +57,13 @@ struct AerConfig {
 
   Round max_rounds = 300;
   double max_time = 300.0;
+
+  /// Fault conditions applied at the engines' delivery boundary (loss /
+  /// partitions / churn, net/fault.h). Empty (the default) keeps the
+  /// paper's reliable-channel model. Named presets live in exp/scenario.h
+  /// (exp::fault_plan_factory) so benches, fba_sim and Grid sweeps share
+  /// one vocabulary.
+  sim::FaultPlan fault_plan;
 
   std::size_t resolved_t() const;
   std::size_t resolved_d() const;

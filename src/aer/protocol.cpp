@@ -147,6 +147,10 @@ void fill_outcome_and_traffic(AerReport& report, const AerWorld& world,
   report.sent_bits = metrics.sent_bits_stats();
   report.bits_by_kind = metrics.bits_by_kind();
   report.msgs_by_kind = metrics.messages_by_kind();
+  report.fault_dropped_msgs = metrics.fault_dropped_messages();
+  report.fault_dropped_bits = metrics.fault_dropped_bits();
+  report.fault_delayed_msgs = metrics.fault_delayed_messages();
+  report.fault_drops_by_cause = metrics.drops_by_cause();
 
   report.push_bits_per_node =
       report.n > 0

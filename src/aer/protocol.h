@@ -80,6 +80,11 @@ struct AerReport {
   /// Per-kind traffic, indexed by sim::kind_index().
   KindCounters bits_by_kind{};
   KindCounters msgs_by_kind{};
+  /// Fault-layer activity (zero under the reliable-channel default).
+  std::uint64_t fault_dropped_msgs = 0;
+  std::uint64_t fault_dropped_bits = 0;
+  std::uint64_t fault_delayed_msgs = 0;
+  FaultCounters fault_drops_by_cause{};
   std::uint64_t msgs_of(sim::MessageKind k) const {
     return msgs_by_kind[sim::kind_index(k)];
   }

@@ -44,6 +44,10 @@ struct BaConfig {
 
   Round max_rounds = 500;
   double max_time = 500.0;
+
+  /// Fault conditions for the reduction phase (net/fault.h); the AE
+  /// tournament keeps the paper's synchronous reliable channels.
+  sim::FaultPlan fault_plan;
 };
 
 struct BaReport {

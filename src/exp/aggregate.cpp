@@ -37,6 +37,12 @@ TrialOutcome outcome_of(const aer::AerReport& r) {
     o.bits_by_kind[k] = static_cast<double>(r.bits_by_kind[k]);
     o.msgs_by_kind[k] = static_cast<double>(r.msgs_by_kind[k]);
   }
+  o.fault_dropped_msgs = static_cast<double>(r.fault_dropped_msgs);
+  o.fault_dropped_bits = static_cast<double>(r.fault_dropped_bits);
+  o.fault_delayed_msgs = static_cast<double>(r.fault_delayed_msgs);
+  for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
+    o.drops_by_cause[c] = static_cast<double>(r.fault_drops_by_cause[c]);
+  }
   if (r.n > 0) {
     o.push_msgs_per_node =
         static_cast<double>(
@@ -120,6 +126,12 @@ std::uint64_t Aggregate::fingerprint() const {
     hash_stats(h, bits_by_kind[k]);
     hash_doubles(h, {msgs_by_kind[k]});
   }
+  hash_stats(h, fault_dropped_msgs);
+  hash_stats(h, fault_dropped_bits);
+  hash_doubles(h, {fault_delayed_msgs});
+  for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
+    hash_doubles(h, {drops_by_cause[c]});
+  }
   return h;
 }
 
@@ -130,6 +142,8 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
   std::vector<double> pooled_times;
   double push_bits = 0, push_msgs = 0, lists = 0;
   double ae_rounds = 0, red_time = 0, ae_bits = 0, red_bits = 0;
+  double delayed = 0;
+  std::array<double, sim::kNumFaultCauses> cause_sums{};
   for (const TrialOutcome& o : outcomes) {
     agg.agreements += o.agreement ? 1 : 0;
     agg.engine_incomplete += o.engine_completed ? 0 : 1;
@@ -147,6 +161,10 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
     red_time += o.reduction_time;
     ae_bits += o.ae_bits;
     red_bits += o.reduction_bits;
+    delayed += o.fault_delayed_msgs;
+    for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
+      cause_sums[c] += o.drops_by_cause[c];
+    }
     pooled_times.insert(pooled_times.end(), o.decision_times.begin(),
                         o.decision_times.end());
   }
@@ -159,6 +177,10 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
     agg.reduction_time = red_time / count;
     agg.ae_bits = ae_bits / count;
     agg.reduction_bits = red_bits / count;
+    agg.fault_delayed_msgs = delayed / count;
+    for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
+      agg.drops_by_cause[c] = cause_sums[c] / count;
+    }
   }
 
   agg.completion_time =
@@ -176,6 +198,10 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
   agg.mean_sent_bits =
       summarize_sample(collect(outcomes, &TrialOutcome::mean_sent_bits));
   agg.imbalance = summarize_sample(collect(outcomes, &TrialOutcome::imbalance));
+  agg.fault_dropped_msgs =
+      summarize_sample(collect(outcomes, &TrialOutcome::fault_dropped_msgs));
+  agg.fault_dropped_bits =
+      summarize_sample(collect(outcomes, &TrialOutcome::fault_dropped_bits));
   agg.decision_time = summarize_sample(std::move(pooled_times));
 
   std::vector<double> kind_values(outcomes.size());

@@ -48,6 +48,11 @@ struct TrialOutcome {
   /// Per-kind traffic axes (whole-run totals, indexed by sim::kind_index()).
   std::array<double, sim::kNumMessageKinds> bits_by_kind{};
   std::array<double, sim::kNumMessageKinds> msgs_by_kind{};
+  /// Fault-layer activity (net/fault.h; all zero on reliable channels).
+  double fault_dropped_msgs = 0;
+  double fault_dropped_bits = 0;
+  double fault_delayed_msgs = 0;
+  std::array<double, sim::kNumFaultCauses> drops_by_cause{};
 
   // Composed-BA phase split (zero for single-phase runs).
   double ae_rounds = 0;
@@ -99,6 +104,12 @@ struct Aggregate {
   /// Per-kind traffic distributions across trials (mean/CI95 per kind).
   std::array<SummaryStats, sim::kNumMessageKinds> bits_by_kind{};
   std::array<double, sim::kNumMessageKinds> msgs_by_kind{};  ///< means.
+
+  /// Fault-layer activity across trials.
+  SummaryStats fault_dropped_msgs;
+  SummaryStats fault_dropped_bits;
+  double fault_delayed_msgs = 0;  ///< mean per trial.
+  std::array<double, sim::kNumFaultCauses> drops_by_cause{};  ///< means.
 
   // Composed-BA phase-split means across trials.
   double ae_rounds = 0;

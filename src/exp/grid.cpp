@@ -17,7 +17,7 @@ std::vector<T> axis_or(const std::vector<T>& axis, const T& fallback) {
 std::size_t Grid::points() const {
   auto dim = [](std::size_t v) { return v == 0 ? std::size_t{1} : v; };
   return dim(ns.size()) * dim(models.size()) * dim(corrupt_fractions.size()) *
-         dim(strategies.size());
+         dim(strategies.size()) * dim(faults.size());
 }
 
 aer::AerConfig GridPoint::apply(aer::AerConfig base) const {
@@ -28,10 +28,15 @@ aer::AerConfig GridPoint::apply(aer::AerConfig base) const {
 }
 
 std::string GridPoint::label() const {
-  char buf[128];
+  char buf[160];
   std::snprintf(buf, sizeof(buf), "n=%zu model=%s corrupt=%.2f attack=%s", n,
                 aer::model_name(model), corrupt_fraction, strategy.c_str());
-  return buf;
+  std::string out = buf;
+  if (!fault.empty()) {
+    out += " fault=";
+    out += fault;
+  }
+  return out;
 }
 
 std::vector<GridPoint> expand_grid(const aer::AerConfig& base,
@@ -40,21 +45,27 @@ std::vector<GridPoint> expand_grid(const aer::AerConfig& base,
   const auto models = axis_or(grid.models, base.model);
   const auto fractions = axis_or(grid.corrupt_fractions, base.corrupt_fraction);
   const auto strategies = axis_or<std::string>(grid.strategies, "none");
+  // Empty fault string = "keep the base config's fault plan", so an
+  // unset axis leaves non-sweep callers untouched.
+  const auto faults = axis_or<std::string>(grid.faults, "");
 
   std::vector<GridPoint> points;
   points.reserve(ns.size() * models.size() * fractions.size() *
-                 strategies.size());
-  for (const std::string& strategy : strategies) {
-    for (double fraction : fractions) {
-      for (aer::Model model : models) {
-        for (std::size_t n : ns) {
-          GridPoint p;
-          p.index = points.size();
-          p.n = n;
-          p.model = model;
-          p.corrupt_fraction = fraction;
-          p.strategy = strategy;
-          points.push_back(std::move(p));
+                 strategies.size() * faults.size());
+  for (const std::string& fault : faults) {
+    for (const std::string& strategy : strategies) {
+      for (double fraction : fractions) {
+        for (aer::Model model : models) {
+          for (std::size_t n : ns) {
+            GridPoint p;
+            p.index = points.size();
+            p.n = n;
+            p.model = model;
+            p.corrupt_fraction = fraction;
+            p.strategy = strategy;
+            p.fault = fault;
+            points.push_back(std::move(p));
+          }
         }
       }
     }

@@ -22,6 +22,10 @@ struct Grid {
   /// Adversary strategy names resolved via exp::attack_factory (scenario.h);
   /// "none" is the honest run.
   std::vector<std::string> strategies;
+  /// Fault-preset names resolved via exp::fault_plan_factory (scenario.h);
+  /// "none" is the paper's reliable-channel model. An empty axis keeps the
+  /// base config's fault plan.
+  std::vector<std::string> faults;
 
   /// Number of grid points after expansion (>= 1; empty axes count as 1).
   std::size_t points() const;
@@ -36,18 +40,24 @@ struct GridPoint {
   aer::Model model = aer::Model::kSyncRushing;
   double corrupt_fraction = 0;
   std::string strategy = "none";
+  /// Fault-preset name. Empty means "keep the base config's fault plan";
+  /// the name is resolved onto the trial config by the scenario trial
+  /// runners (exp::fault_plan_factory), keeping grid.cpp registry-free.
+  std::string fault;
 
-  /// The base config with this point's axes applied. The seed is left
+  /// The base config with this point's axes applied (the fault axis is a
+  /// name; the trial runners resolve it — see `fault`). The seed is left
   /// untouched: the sweep assigns per-trial seeds itself.
   aer::AerConfig apply(aer::AerConfig base) const;
 
-  /// "n=256 model=async corrupt=0.08 attack=poll-stuff" — for table rows.
+  /// "n=256 model=async corrupt=0.08 attack=poll-stuff fault=lossy-1pct" —
+  /// for table rows. The fault field appears only when the axis is set.
   std::string label() const;
 };
 
 /// Cross-product expansion, axes fixed in the order
-/// strategy > corrupt_fraction > model > n (n varies fastest). Missing axes
-/// are filled from `base`.
+/// fault > strategy > corrupt_fraction > model > n (n varies fastest).
+/// Missing axes are filled from `base`.
 std::vector<GridPoint> expand_grid(const aer::AerConfig& base,
                                    const Grid& grid);
 

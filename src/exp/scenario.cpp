@@ -7,6 +7,19 @@
 
 namespace fba::exp {
 
+namespace {
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
 aer::StrategyFactory attack_factory(const std::string& name) {
   if (name.empty() || name == "none") return {};
   if (name == "silent") {
@@ -69,7 +82,10 @@ aer::StrategyFactory attack_factory(const std::string& name) {
       return combo;
     };
   }
-  throw ConfigError("unknown attack strategy: " + name);
+  throw ConfigError("unknown attack strategy: " + name + " (known attacks: " +
+                    join(known_attacks()) +
+                    "; fault presets go on the fault axis: " +
+                    join(known_faults()) + ")");
 }
 
 std::vector<std::string> known_attacks() {
@@ -78,16 +94,72 @@ std::vector<std::string> known_attacks() {
           "combo"};
 }
 
+sim::FaultPlan fault_plan_factory(const std::string& name) {
+  sim::FaultPlan plan;
+  if (name.empty() || name == "none") return plan;
+  if (name == "lossy-1pct") {
+    plan.loss = 0.01;
+    return plan;
+  }
+  if (name == "lossy-5pct") {
+    plan.loss = 0.05;
+    return plan;
+  }
+  if (name == "lossy-20pct") {
+    plan.loss = 0.20;
+    return plan;
+  }
+  if (name == "jitter") {
+    plan.jitter_prob = 0.25;
+    plan.jitter = 2.0;
+    return plan;
+  }
+  if (name == "flaky") {
+    plan.loss = 0.02;
+    plan.jitter_prob = 0.10;
+    plan.jitter = 1.0;
+    return plan;
+  }
+  if (name == "split-heal") {
+    plan.partitions.push_back({.start = 2, .heal = 6, .cut_fraction = 0.5});
+    return plan;
+  }
+  if (name == "split-minority") {
+    plan.partitions.push_back({.start = 1, .heal = 5, .cut_fraction = 0.2});
+    return plan;
+  }
+  if (name == "churn-10pct") {
+    plan.churns.push_back({.down = 1, .up = 5, .fraction = 0.10});
+    return plan;
+  }
+  if (name == "churn-heavy") {
+    plan.churns.push_back({.down = 1, .up = 8, .fraction = 0.25});
+    return plan;
+  }
+  throw ConfigError("unknown fault preset: " + name +
+                    " (known presets: " + join(known_faults()) + ")");
+}
+
+std::vector<std::string> known_faults() {
+  return {"none",        "lossy-1pct",     "lossy-5pct", "lossy-20pct",
+          "jitter",      "flaky",          "split-heal", "split-minority",
+          "churn-10pct", "churn-heavy"};
+}
+
 namespace {
 
 template <typename RunWorld>
 TrialOutcome world_trial(const aer::AerConfig& config, const GridPoint& point,
                          RunWorld&& run_world) {
-  aer::AerWorld world = aer::build_aer_world(config);
+  aer::AerConfig cfg = config;
+  // The grid's fault axis carries a preset name; an empty name keeps the
+  // base config's (possibly hand-built) plan.
+  if (!point.fault.empty()) cfg.fault_plan = fault_plan_factory(point.fault);
+  aer::AerWorld world = aer::build_aer_world(cfg);
   const aer::AerReport report =
       run_world(world, attack_factory(point.strategy));
   TrialOutcome o = outcome_of(report, world);
-  o.seed = config.seed;
+  o.seed = cfg.seed;
   return o;
 }
 

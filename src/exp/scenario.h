@@ -28,11 +28,31 @@ namespace fba::exp {
 ///   skew      — load-skew quorum seizure against node 0 (Figure 1a);
 ///   skew-heavy— skew with bench_fig1a's larger string-search budget;
 ///   combo     — junk + wrong + stuff composed.
-/// Throws ConfigError on an unknown name.
+/// Throws ConfigError on an unknown name; the message lists every known
+/// attack (and the fault presets, the usual confusion).
 aer::StrategyFactory attack_factory(const std::string& name);
 
 /// Names accepted by attack_factory, for --help strings.
 std::vector<std::string> known_attacks();
+
+/// Resolves a fault-preset name to a sim::FaultPlan (net/fault.h) — the
+/// second half of the scenario vocabulary, composable with every attack.
+/// Known names:
+///   none        — reliable channels (empty plan; "" is accepted too);
+///   lossy-1pct  — 1% i.i.d. per-message loss on every link;
+///   lossy-5pct  — 5% loss;
+///   lossy-20pct — 20% loss, near the liveness breaking point;
+///   jitter      — 25% of messages delayed 2 extra rounds / time units;
+///   flaky       — 2% loss + 10% jitter of 1, the "bad datacenter" mix;
+///   split-heal  — even partition active over [2, 6), then heals;
+///   split-minority — 20% of nodes cut off over [1, 5);
+///   churn-10pct — 10% of nodes dark over [1, 5), then back;
+///   churn-heavy — 25% of nodes dark over [1, 8).
+/// Throws ConfigError on an unknown name, listing the known presets.
+sim::FaultPlan fault_plan_factory(const std::string& name);
+
+/// Names accepted by fault_plan_factory, for --help strings.
+std::vector<std::string> known_faults();
 
 /// One full AER trial: builds a world for `config`, runs it under the
 /// point's attack, and harvests the outcome (including per-node decision

@@ -27,7 +27,10 @@ void AsyncEngine::queue_envelope(Envelope env) {
     // (0, 1], but the clamp keeps both paths identical if that ever drifts).
     delay = std::clamp(strategy_rng_.uniform_positive(), 1e-9, 1.0);
   }
-  const SimTime at = current_time_ + delay;
+  // Fault-layer jitter stacks on top of the adversary's delay and may
+  // exceed the normalized 1.0 bound — faulty links break the reliability
+  // assumption by design.
+  const SimTime at = current_time_ + delay + env.fault_delay;
   if (at > config_.max_time) {  // horizon culling: could never be processed
     ++beyond_horizon_;
     return;

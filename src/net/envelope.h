@@ -14,6 +14,10 @@ struct Envelope {
   NodeId dst = 0;
   Message msg;
   double send_time = 0;  ///< round (sync) or sim time (async) when sent.
+  /// Transport metadata stamped by the fault layer (net/fault.h): extra
+  /// delivery delay beyond the engine's natural schedule — rounds under the
+  /// sync engines, time units under the async engine. Actors ignore it.
+  double fault_delay = 0;
 };
 
 }  // namespace fba::sim

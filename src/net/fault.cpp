@@ -1,0 +1,118 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fba::sim {
+
+namespace {
+
+constexpr std::uint64_t kFaultSetupTag = 0xfa0175e7ull;
+constexpr std::uint64_t kFaultDrawTag = 0xfa01d4a3ull;
+
+/// Nodes on side A of a cut: the lowest ceil(f * n) ranks.
+std::size_t side_a_size(double cut_fraction, std::size_t n) {
+  const double f = std::clamp(cut_fraction, 0.0, 1.0);
+  return std::min<std::size_t>(
+      n, static_cast<std::size_t>(std::ceil(f * static_cast<double>(n))));
+}
+
+bool window_active(double start, double end, double at) {
+  return at >= start && at < end;
+}
+
+}  // namespace
+
+const char* fault_cause_name(FaultCause c) {
+  switch (c) {
+    case FaultCause::kChurn:
+      return "churn";
+    case FaultCause::kPartition:
+      return "partition";
+    case FaultCause::kLoss:
+      return "loss";
+    case FaultCause::kCount:
+      break;
+  }
+  return "?";
+}
+
+FaultState::FaultState(const FaultPlan& plan, std::size_t n,
+                       std::uint64_t seed)
+    : plan_(plan), n_(n), rng_(Rng(seed).split(kFaultDrawTag)) {
+  // Setup draws come from their own substream so the per-send stream is
+  // independent of how many windows the plan declares.
+  Rng setup = Rng(seed).split(kFaultSetupTag);
+
+  if (!plan_.partitions.empty()) {
+    std::vector<std::uint32_t> order(n_);
+    std::iota(order.begin(), order.end(), 0u);
+    setup.shuffle(order);
+    rank_.resize(n_);
+    for (std::size_t pos = 0; pos < n_; ++pos) {
+      rank_[order[pos]] = static_cast<std::uint32_t>(pos);
+    }
+    partition_k_.reserve(plan_.partitions.size());
+    for (const PartitionWindow& w : plan_.partitions) {
+      partition_k_.push_back(
+          static_cast<std::uint32_t>(side_a_size(w.cut_fraction, n_)));
+    }
+  }
+
+  churn_hit_.reserve(plan_.churns.size());
+  for (const ChurnWindow& w : plan_.churns) {
+    std::vector<bool> hit(n_, false);
+    const double f = std::clamp(w.fraction, 0.0, 1.0);
+    const auto k = std::min<std::size_t>(
+        n_, static_cast<std::size_t>(
+                std::llround(f * static_cast<double>(n_))));
+    for (std::uint32_t id : setup.sample_without_replacement(n_, k)) {
+      hit[id] = true;
+    }
+    churn_hit_.push_back(std::move(hit));
+  }
+}
+
+bool FaultState::is_down(NodeId node, double at) const {
+  for (std::size_t w = 0; w < plan_.churns.size(); ++w) {
+    const ChurnWindow& cw = plan_.churns[w];
+    if (churn_hit_[w][node] && window_active(cw.down, cw.up, at)) return true;
+  }
+  return false;
+}
+
+bool FaultState::is_cut(NodeId a, NodeId b, double at) const {
+  for (std::size_t w = 0; w < plan_.partitions.size(); ++w) {
+    const PartitionWindow& pw = plan_.partitions[w];
+    if (!window_active(pw.start, pw.heal, at)) continue;
+    const std::uint32_t k = partition_k_[w];
+    if ((rank_[a] < k) != (rank_[b] < k)) return true;
+  }
+  return false;
+}
+
+FaultState::Action FaultState::on_send(NodeId src, NodeId dst, double at) {
+  Action act;
+  if (is_down(src, at) || is_down(dst, at)) {
+    act.drop = true;
+    act.cause = FaultCause::kChurn;
+    return act;
+  }
+  if (is_cut(src, dst, at)) {
+    act.drop = true;
+    act.cause = FaultCause::kPartition;
+    return act;
+  }
+  if (plan_.loss > 0 && rng_.chance(plan_.loss)) {
+    act.drop = true;
+    act.cause = FaultCause::kLoss;
+    return act;
+  }
+  if (plan_.jitter_prob > 0 && rng_.chance(plan_.jitter_prob)) {
+    act.extra_delay = plan_.jitter;
+  }
+  return act;
+}
+
+}  // namespace fba::sim

@@ -1,0 +1,135 @@
+// Fault conditions: message loss, timed network partitions, crash-recovery
+// churn. The paper's model (Section 2.1) assumes reliable authenticated
+// channels; this layer deliberately breaks that assumption so experiments can
+// probe how far the protocols degrade before safety or liveness gives out.
+//
+// A FaultPlan is pure configuration (copyable, engine-agnostic): a per-link
+// loss probability, jitter (extra delivery delay with some probability),
+// partition windows that cut the node set in two for a span of sim time, and
+// churn windows during which a sampled fraction of nodes goes dark and later
+// returns. FaultState is the per-run applied form: it owns the trial's fault
+// RNG substream and the sampled partition sides / churn rosters, and is
+// consulted once per send on the engines' one shared send path
+// (EngineBase::send_from), so both engines see identical fault semantics and
+// determinism (bit-identical sweeps at any thread count) is preserved.
+//
+// Semantics, shared by both engines ("at" is the engine clock — round number
+// under the sync engines, normalized sim time under the async engine):
+//   - churn: a node affected by a window is dark during [down, up): every
+//     message it sends or is sent is dropped. Its timers still fire and its
+//     local state survives — omission-style crash-recovery, not amnesia.
+//   - partition: while [start, heal) is active, messages crossing the cut
+//     are dropped. Sides are a per-trial random split: the lowest
+//     ceil(cut_fraction * n) ranks of a seeded permutation form side A.
+//   - loss: every remaining message is dropped i.i.d. with probability
+//     `loss`.
+//   - jitter: surviving messages gain `jitter` extra delivery delay with
+//     probability `jitter_prob` (rounds under sync, time units under async —
+//     fault-induced delay may exceed the async model's normalized 1.0
+//     bound, which is exactly the point).
+// Cause precedence for the drop counters: churn > partition > loss.
+//
+// Dropped traffic is still charged to TrafficMetrics (the bits left the
+// sender) and additionally recorded in the per-cause fault counters; it is
+// invisible to the adversary's full-information tap — a message nobody
+// receives is as if never sent, except for the bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/random.h"
+#include "support/types.h"
+
+namespace fba::sim {
+
+/// Why a message was dropped at the fault layer.
+enum class FaultCause : std::uint8_t {
+  kChurn = 0,   ///< sender or receiver dark in a churn window.
+  kPartition,   ///< endpoints on opposite sides of an active cut.
+  kLoss,        ///< i.i.d. per-message loss.
+  kCount,
+};
+
+inline constexpr std::size_t kNumFaultCauses =
+    static_cast<std::size_t>(FaultCause::kCount);
+
+constexpr std::size_t fault_cause_index(FaultCause c) {
+  return static_cast<std::size_t>(c);
+}
+
+/// Stable short name ("churn", "partition", "loss") for tables and logs.
+const char* fault_cause_name(FaultCause c);
+
+/// The network splits in two during [start, heal); cross-cut messages drop.
+struct PartitionWindow {
+  double start = 0;
+  double heal = 0;            ///< exclusive: the cut is gone at `heal`.
+  double cut_fraction = 0.5;  ///< fraction of nodes on side A.
+};
+
+/// A sampled `fraction` of nodes is dark during [down, up).
+struct ChurnWindow {
+  double down = 0;
+  double up = 0;  ///< exclusive: affected nodes are back at `up`.
+  double fraction = 0;
+};
+
+struct FaultPlan {
+  /// i.i.d. per-message drop probability on every link.
+  double loss = 0;
+  /// With probability jitter_prob a surviving message is delayed by an
+  /// extra `jitter` (rounds / time units) beyond its normal delivery.
+  double jitter_prob = 0;
+  double jitter = 0;
+  std::vector<PartitionWindow> partitions;
+  std::vector<ChurnWindow> churns;
+
+  /// True when the plan perturbs nothing — engines skip the layer entirely.
+  bool empty() const {
+    return loss <= 0 && jitter_prob <= 0 && partitions.empty() &&
+           churns.empty();
+  }
+};
+
+/// A FaultPlan applied to one run: the sampled partition ranks and churn
+/// rosters plus the trial's dedicated fault RNG substream. Deterministic:
+/// everything derives from (plan, n, seed) and the send order, which the
+/// engines already keep deterministic per trial.
+class FaultState {
+ public:
+  struct Action {
+    bool drop = false;
+    FaultCause cause = FaultCause::kLoss;  ///< valid when drop.
+    double extra_delay = 0;                ///< valid when !drop.
+  };
+
+  FaultState(const FaultPlan& plan, std::size_t n, std::uint64_t seed);
+
+  /// Decides the fate of one message sent at engine time `at`. Consumes
+  /// fault-RNG draws only for the features the plan enables, in a fixed
+  /// order, so the stream stays aligned across identical runs.
+  Action on_send(NodeId src, NodeId dst, double at);
+
+  /// Node dark in some churn window at time `at`?
+  bool is_down(NodeId node, double at) const;
+
+  /// Endpoints separated by an active partition at time `at`?
+  bool is_cut(NodeId a, NodeId b, double at) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::size_t n_;
+  Rng rng_;  ///< per-send draws (loss, jitter).
+  /// Per-trial random rank of each node; window w puts ranks <
+  /// partition_k_[w] on side A (ceil(cut_fraction * n), precomputed — the
+  /// per-send check is a plain integer compare).
+  std::vector<std::uint32_t> rank_;
+  std::vector<std::uint32_t> partition_k_;
+  /// churn_hit_[w][node]: node is in window w's sampled roster.
+  std::vector<std::vector<bool>> churn_hit_;
+};
+
+}  // namespace fba::sim

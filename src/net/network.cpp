@@ -6,6 +6,7 @@ namespace fba::sim {
 
 EngineBase::EngineBase(std::size_t n, std::uint64_t seed)
     : n_(n),
+      seed_(seed),
       actors_(n),
       corrupt_(n, false),
       metrics_(n),
@@ -35,6 +36,14 @@ void EngineBase::set_corrupt(const std::vector<NodeId>& nodes) {
   }
 }
 
+void EngineBase::set_fault_plan(const FaultPlan* plan) {
+  if (plan == nullptr || plan->empty()) {
+    fault_.reset();
+    return;
+  }
+  fault_.emplace(*plan, n_, seed_);
+}
+
 std::vector<NodeId> EngineBase::correct_nodes() const {
   std::vector<NodeId> out;
   out.reserve(n_ - corrupt_list_.size());
@@ -57,6 +66,22 @@ void EngineBase::send_from(NodeId src, NodeId dst, const Message& msg) {
   env.dst = dst;
   env.msg = msg;
   env.send_time = now();
+
+  // Fault layer (net/fault.h): one shared code path for both engines.
+  // Dropped sends stay charged (the bits left the sender) but never reach
+  // the queue or the adversary's tap — traffic nobody receives is as if
+  // never sent, except for the bandwidth.
+  if (fault_) {
+    const FaultState::Action act = fault_->on_send(src, dst, now());
+    if (act.drop) {
+      metrics_.on_fault_drop(bits, act.cause);
+      return;
+    }
+    if (act.extra_delay > 0) {
+      env.fault_delay = act.extra_delay;
+      metrics_.on_fault_delay();
+    }
+  }
 
   // Full-information adversary: it sees every message as soon as it is sent.
   // (Whether it can *react* within the same time step is the rushing /

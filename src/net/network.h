@@ -6,13 +6,20 @@
 // reliable delivery. The adversary is non-adaptive (corrupt set fixed before
 // execution), has full information (observes every send), and coordinates
 // all corrupt nodes through a single Strategy object.
+//
+// Delivery is reliable *unless* a FaultPlan (net/fault.h) is installed:
+// the fault layer sits on the one shared send path (send_from) and may drop
+// or delay any message — the experiment axis for probing the protocols
+// beyond the paper's model.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "net/envelope.h"
+#include "net/fault.h"
 #include "net/node.h"
 #include "support/metrics.h"
 #include "support/random.h"
@@ -49,11 +56,20 @@ class EngineBase {
 
   void set_wire(const Wire* wire) { wire_ = wire; }
 
+  /// Installs the fault layer (loss / partitions / churn, net/fault.h).
+  /// A null or empty plan disables it. The applied FaultState is built here
+  /// from the engine's n and seed, so identical (plan, seed) runs fault
+  /// identically on either engine. Call before run().
+  void set_fault_plan(const FaultPlan* plan);
+
   void set_decision_callback(DecisionCallback cb) { on_decide_ = std::move(cb); }
 
   // ----- introspection -----------------------------------------------------
 
   std::size_t n() const { return n_; }
+  const FaultState* fault_state() const {
+    return fault_ ? &*fault_ : nullptr;
+  }
   bool is_corrupt(NodeId id) const { return corrupt_.at(id); }
   const std::vector<NodeId>& corrupt_nodes() const { return corrupt_list_; }
   std::vector<NodeId> correct_nodes() const;
@@ -94,7 +110,9 @@ class EngineBase {
   Rng& node_rng(NodeId id) { return node_rngs_.at(id); }
 
   std::size_t n_;
+  std::uint64_t seed_;
   std::vector<std::unique_ptr<Actor>> actors_;
+  std::optional<FaultState> fault_;
   std::vector<bool> corrupt_;
   std::vector<NodeId> corrupt_list_;
   adv::Strategy* strategy_ = nullptr;

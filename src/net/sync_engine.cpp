@@ -23,17 +23,21 @@ SyncEngine::SyncEngine(const SyncConfig& config)
       queue_(EventQueue::Mode::kBuckets) {}
 
 void SyncEngine::queue_envelope(Envelope env) {
-  // Sent during round r, delivered during round r+1. Horizon culling: a
-  // message sent during the last executable round can never be delivered,
-  // so it is charged but not queued.
-  if (current_round_ >= config_.max_rounds) {
+  // Sent during round r, delivered during round r+1 — plus any whole rounds
+  // of fault-layer jitter. Horizon culling: a message that could only be
+  // delivered after the last executable round is charged but not queued.
+  const auto extra = env.fault_delay > 0
+                         ? static_cast<Round>(std::ceil(env.fault_delay))
+                         : Round{0};
+  const Round at = current_round_ + 1 + extra;
+  if (at > config_.max_rounds) {
     ++beyond_horizon_;
     return;
   }
   // The corrupt set is fixed before execution, so the rushing-adversary
   // delivery class can be decided at send time.
   const bool rushed = config_.rushing_adversary && corrupt_[env.src];
-  queue_.push_message(static_cast<SimTime>(current_round_ + 1),
+  queue_.push_message(static_cast<SimTime>(at),
                       rushed ? kPriCorruptSend : kPriSend, std::move(env));
 }
 

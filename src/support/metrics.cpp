@@ -36,6 +36,16 @@ void TrafficMetrics::reset(std::size_t n) {
   sent_msgs_.assign(n, 0);
   msgs_by_kind_.fill(0);
   bits_by_kind_.fill(0);
+  fault_dropped_msgs_ = 0;
+  fault_dropped_bits_ = 0;
+  fault_delayed_msgs_ = 0;
+  drops_by_cause_.fill(0);
+}
+
+void TrafficMetrics::on_fault_drop(std::size_t bits, sim::FaultCause cause) {
+  ++fault_dropped_msgs_;
+  fault_dropped_bits_ += bits;
+  ++drops_by_cause_[sim::fault_cause_index(cause)];
 }
 
 void TrafficMetrics::on_message(NodeId src, NodeId dst, std::size_t bits,
@@ -69,11 +79,15 @@ void DecisionLog::reset(std::size_t n) {
   decided_.assign(n, false);
   values_.assign(n, kNoString);
   times_.assign(n, 0.0);
+  repeat_decisions_ = 0;
 }
 
 void DecisionLog::record(NodeId node, StringId value, double time) {
   FBA_ASSERT(node < decided_.size(), "decision for unknown node");
-  if (decided_[node]) return;  // first decision wins; nodes decide once
+  if (decided_[node]) {  // first decision wins; nodes decide once
+    ++repeat_decisions_;
+    return;
+  }
   decided_[node] = true;
   values_[node] = value;
   times_[node] = time;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/message.h"
 #include "support/types.h"
 
@@ -37,6 +38,9 @@ LoadStats summarize_u64(const std::vector<std::uint64_t>& values);
 /// Per-kind counter array, indexed by sim::kind_index().
 using KindCounters = std::array<std::uint64_t, sim::kNumMessageKinds>;
 
+/// Per-fault-cause counter array, indexed by sim::fault_cause_index().
+using FaultCounters = std::array<std::uint64_t, sim::kNumFaultCauses>;
+
 class TrafficMetrics {
  public:
   explicit TrafficMetrics(std::size_t n = 0) { reset(n); }
@@ -46,6 +50,13 @@ class TrafficMetrics {
   /// Records one message of `bits` payload+header bits from src to dst.
   void on_message(NodeId src, NodeId dst, std::size_t bits,
                   sim::MessageKind kind);
+
+  /// Records a send the fault layer dropped (already charged via
+  /// on_message — drops are bandwidth spent on traffic nobody receives).
+  void on_fault_drop(std::size_t bits, sim::FaultCause cause);
+
+  /// Records a send the fault layer delayed past its natural delivery.
+  void on_fault_delay() { ++fault_delayed_msgs_; }
 
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t total_bits() const { return total_bits_; }
@@ -66,6 +77,15 @@ class TrafficMetrics {
 
   const KindCounters& messages_by_kind() const { return msgs_by_kind_; }
   const KindCounters& bits_by_kind() const { return bits_by_kind_; }
+
+  /// Fault-layer drop totals, whole-run and per cause.
+  std::uint64_t fault_dropped_messages() const { return fault_dropped_msgs_; }
+  std::uint64_t fault_dropped_bits() const { return fault_dropped_bits_; }
+  std::uint64_t fault_delayed_messages() const { return fault_delayed_msgs_; }
+  const FaultCounters& drops_by_cause() const { return drops_by_cause_; }
+  std::uint64_t drops_of(sim::FaultCause cause) const {
+    return drops_by_cause_[sim::fault_cause_index(cause)];
+  }
   std::uint64_t messages_of(sim::MessageKind k) const {
     return msgs_by_kind_[sim::kind_index(k)];
   }
@@ -83,6 +103,10 @@ class TrafficMetrics {
   std::vector<std::uint64_t> sent_msgs_;
   KindCounters msgs_by_kind_{};
   KindCounters bits_by_kind_{};
+  std::uint64_t fault_dropped_msgs_ = 0;
+  std::uint64_t fault_dropped_bits_ = 0;
+  std::uint64_t fault_delayed_msgs_ = 0;
+  FaultCounters drops_by_cause_{};
 };
 
 /// Decision bookkeeping: when each node decided and on what.
@@ -98,6 +122,10 @@ class DecisionLog {
   StringId value(NodeId node) const { return values_.at(node); }
   double time(NodeId node) const { return times_.at(node); }
 
+  /// record() calls for nodes that had already decided. "No correct node
+  /// decides twice" is a protocol invariant the property suite asserts.
+  std::uint64_t repeat_decisions() const { return repeat_decisions_; }
+
   /// Count of nodes (from `relevant`) that decided `expected`.
   std::size_t count_correct_decisions(const std::vector<NodeId>& relevant,
                                       StringId expected) const;
@@ -110,6 +138,7 @@ class DecisionLog {
   std::vector<bool> decided_;
   std::vector<StringId> values_;
   std::vector<double> times_;
+  std::uint64_t repeat_decisions_ = 0;
 };
 
 }  // namespace fba

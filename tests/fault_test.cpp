@@ -1,0 +1,387 @@
+// Tests for the fault-condition layer (net/fault.h): plan/state semantics,
+// the engines' shared drop/delay path, per-cause metrics accounting, the
+// scenario fault-preset registry and the Grid fault axis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fba.h"
+
+namespace fba {
+namespace {
+
+using sim::FaultCause;
+using sim::FaultPlan;
+using sim::FaultState;
+
+// ----- FaultPlan / FaultState unit tests -------------------------------------
+
+TEST(FaultPlanTest, EmptyDetectsAnyPerturbation) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.loss = 0.1;
+  EXPECT_FALSE(plan.empty());
+  plan = FaultPlan{};
+  plan.jitter_prob = 0.5;
+  EXPECT_FALSE(plan.empty());
+  plan = FaultPlan{};
+  plan.partitions.push_back({.start = 0, .heal = 1, .cut_fraction = 0.5});
+  EXPECT_FALSE(plan.empty());
+  plan = FaultPlan{};
+  plan.churns.push_back({.down = 0, .up = 1, .fraction = 0.1});
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultStateTest, LossIsSeedDeterministicAndNearTheConfiguredRate) {
+  FaultPlan plan;
+  plan.loss = 0.10;
+  FaultState a(plan, 16, 42);
+  FaultState b(plan, 16, 42);
+  int drops = 0;
+  const int kSends = 20000;
+  for (int i = 0; i < kSends; ++i) {
+    const auto act_a = a.on_send(0, 1, 0.0);
+    const auto act_b = b.on_send(0, 1, 0.0);
+    EXPECT_EQ(act_a.drop, act_b.drop);  // same seed, same stream
+    if (act_a.drop) {
+      EXPECT_EQ(act_a.cause, FaultCause::kLoss);
+      ++drops;
+    }
+  }
+  const double rate = static_cast<double>(drops) / kSends;
+  EXPECT_NEAR(rate, 0.10, 0.01);
+
+  // A different seed gives a different stream.
+  FaultState c(plan, 16, 43);
+  int disagreements = 0;
+  FaultState a2(plan, 16, 42);
+  for (int i = 0; i < 1000; ++i) {
+    if (a2.on_send(0, 1, 0.0).drop != c.on_send(0, 1, 0.0).drop) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultStateTest, PartitionCutsOnlyDuringWindowAndAcrossSides) {
+  FaultPlan plan;
+  plan.partitions.push_back({.start = 2, .heal = 6, .cut_fraction = 0.5});
+  const std::size_t n = 64;
+  FaultState state(plan, n, 7);
+
+  // Sides are a random even split: exactly n/2 nodes on side A, so across
+  // all pairs some are cut and none are cut to themselves.
+  std::size_t cut_pairs = 0, total_pairs = 0;
+  for (NodeId a = 0; a < n; ++a) {
+    EXPECT_FALSE(state.is_cut(a, a, 3.0));
+    for (NodeId b = a + 1; b < n; ++b) {
+      ++total_pairs;
+      if (state.is_cut(a, b, 3.0)) ++cut_pairs;
+      // Symmetric and inactive outside [start, heal).
+      EXPECT_EQ(state.is_cut(a, b, 3.0), state.is_cut(b, a, 3.0));
+      EXPECT_FALSE(state.is_cut(a, b, 1.0));
+      EXPECT_FALSE(state.is_cut(a, b, 6.0));  // heal instant is exclusive
+    }
+  }
+  // An even cut separates (n/2)^2 of the n(n-1)/2 unordered pairs.
+  EXPECT_EQ(cut_pairs, (n / 2) * (n / 2));
+  EXPECT_EQ(total_pairs, n * (n - 1) / 2);
+  // Boundary instants: active at start, gone at heal.
+  bool any_at_start = false;
+  for (NodeId b = 1; b < n; ++b) any_at_start |= state.is_cut(0, b, 2.0);
+  EXPECT_TRUE(any_at_start);
+}
+
+TEST(FaultStateTest, ChurnRosterMatchesFractionAndWindow) {
+  FaultPlan plan;
+  plan.churns.push_back({.down = 1, .up = 5, .fraction = 0.25});
+  const std::size_t n = 64;
+  FaultState state(plan, n, 11);
+
+  std::size_t down_in_window = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    if (state.is_down(id, 2.0)) ++down_in_window;
+    EXPECT_FALSE(state.is_down(id, 0.5));  // before the window
+    EXPECT_FALSE(state.is_down(id, 5.0));  // `up` instant is exclusive
+  }
+  EXPECT_EQ(down_in_window, n / 4);
+
+  // Dropping any message touching a down node, both directions.
+  NodeId down_node = 0, up_node = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    if (state.is_down(id, 2.0)) down_node = id;
+    else up_node = id;
+  }
+  EXPECT_TRUE(state.on_send(down_node, up_node, 2.0).drop);
+  EXPECT_TRUE(state.on_send(up_node, down_node, 2.0).drop);
+  EXPECT_EQ(state.on_send(up_node, down_node, 2.0).cause, FaultCause::kChurn);
+  EXPECT_FALSE(state.on_send(up_node, down_node, 6.0).drop);
+}
+
+TEST(FaultStateTest, JitterDelaysWithoutDropping) {
+  FaultPlan plan;
+  plan.jitter_prob = 0.5;
+  plan.jitter = 2.0;
+  FaultState state(plan, 8, 5);
+  int delayed = 0;
+  const int kSends = 4000;
+  for (int i = 0; i < kSends; ++i) {
+    const auto act = state.on_send(0, 1, 0.0);
+    EXPECT_FALSE(act.drop);
+    if (act.extra_delay > 0) {
+      EXPECT_DOUBLE_EQ(act.extra_delay, 2.0);
+      ++delayed;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(delayed) / kSends, 0.5, 0.05);
+}
+
+// ----- engine integration ----------------------------------------------------
+
+sim::Wire flat_wire() {
+  sim::Wire w;
+  w.node_id_bits = 8;
+  w.label_bits = 16;
+  w.fixed_string_bits = 32;
+  return w;
+}
+
+sim::Message ping() {
+  sim::Message m;
+  m.kind = sim::MessageKind::kPing;
+  return m;
+}
+
+/// Sends `count` pings to node 1 at start.
+class BurstActor final : public sim::Actor {
+ public:
+  explicit BurstActor(int count) : count_(count) {}
+  void on_start(sim::Context& ctx) override {
+    for (int i = 0; i < count_; ++i) ctx.send(1, ping());
+  }
+  void on_message(sim::Context&, const sim::Envelope&) override {}
+
+ private:
+  int count_;
+};
+
+class CountingActor final : public sim::Actor {
+ public:
+  void on_start(sim::Context&) override {}
+  void on_message(sim::Context&, const sim::Envelope&) override {
+    ++received;
+  }
+  int received = 0;
+};
+
+TEST(FaultEngineTest, TotalLossDropsEverythingOnBothEngines) {
+  FaultPlan plan;
+  plan.loss = 1.0;
+
+  sim::SyncConfig scfg;
+  scfg.n = 2;
+  scfg.seed = 9;
+  sim::SyncEngine sync_engine(scfg);
+  const sim::Wire wire = flat_wire();
+  sync_engine.set_wire(&wire);
+  sync_engine.set_fault_plan(&plan);
+  sync_engine.set_actor(0, std::make_unique<BurstActor>(10));
+  auto* sync_sink = new CountingActor();
+  sync_engine.set_actor(1, std::unique_ptr<sim::Actor>(sync_sink));
+  sync_engine.run([] { return false; });
+  EXPECT_EQ(sync_sink->received, 0);
+  EXPECT_EQ(sync_engine.metrics().fault_dropped_messages(), 10u);
+  EXPECT_EQ(sync_engine.metrics().drops_of(FaultCause::kLoss), 10u);
+  // Dropped traffic stays charged: the bits left the sender.
+  EXPECT_EQ(sync_engine.metrics().total_messages(), 10u);
+  EXPECT_GT(sync_engine.metrics().fault_dropped_bits(), 0u);
+
+  sim::AsyncConfig acfg;
+  acfg.n = 2;
+  acfg.seed = 9;
+  sim::AsyncEngine async_engine(acfg);
+  async_engine.set_wire(&wire);
+  async_engine.set_fault_plan(&plan);
+  async_engine.set_actor(0, std::make_unique<BurstActor>(10));
+  auto* async_sink = new CountingActor();
+  async_engine.set_actor(1, std::unique_ptr<sim::Actor>(async_sink));
+  const auto result = async_engine.run([] { return false; });
+  EXPECT_EQ(async_sink->received, 0);
+  EXPECT_EQ(result.deliveries, 0u);
+  EXPECT_EQ(async_engine.metrics().fault_dropped_messages(), 10u);
+}
+
+TEST(FaultEngineTest, EmptyOrNullPlanIsDisabled) {
+  FaultPlan empty;
+  sim::SyncConfig cfg;
+  cfg.n = 2;
+  sim::SyncEngine engine(cfg);
+  const sim::Wire wire = flat_wire();
+  engine.set_wire(&wire);
+  engine.set_fault_plan(&empty);
+  EXPECT_EQ(engine.fault_state(), nullptr);
+  engine.set_fault_plan(nullptr);
+  EXPECT_EQ(engine.fault_state(), nullptr);
+  engine.set_actor(0, std::make_unique<BurstActor>(5));
+  auto* sink = new CountingActor();
+  engine.set_actor(1, std::unique_ptr<sim::Actor>(sink));
+  engine.run([] { return false; });
+  EXPECT_EQ(sink->received, 5);
+  EXPECT_EQ(engine.metrics().fault_dropped_messages(), 0u);
+}
+
+TEST(FaultEngineTest, SyncJitterDefersDeliveryByWholeRounds) {
+  FaultPlan plan;
+  plan.jitter_prob = 1.0;
+  plan.jitter = 2.0;
+  sim::SyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_rounds = 10;
+  sim::SyncEngine engine(cfg);
+  const sim::Wire wire = flat_wire();
+  engine.set_wire(&wire);
+  engine.set_fault_plan(&plan);
+  engine.set_actor(0, std::make_unique<BurstActor>(1));
+  auto* sink = new CountingActor();
+  engine.set_actor(1, std::unique_ptr<sim::Actor>(sink));
+  bool delivered = false;
+  // Sent in round 0: natural delivery round 1, +2 rounds jitter = round 3.
+  const auto result = engine.run([&] {
+    if (sink->received > 0 && !delivered) delivered = true;
+    return delivered;
+  });
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 3u);
+  EXPECT_EQ(engine.metrics().fault_delayed_messages(), 1u);
+}
+
+// Identical (plan, seed, protocol config) => identical run, on either
+// engine: the fault layer must not perturb determinism.
+TEST(FaultEngineTest, FaultedAerRunsAreReproducible) {
+  for (const aer::Model model :
+       {aer::Model::kSyncRushing, aer::Model::kAsync}) {
+    aer::AerConfig cfg;
+    cfg.n = 64;
+    cfg.seed = 20260728;
+    cfg.model = model;
+    cfg.fault_plan = exp::fault_plan_factory("flaky");
+    const aer::AerReport a = aer::run_aer(cfg);
+    const aer::AerReport b = aer::run_aer(cfg);
+    EXPECT_EQ(a.total_messages, b.total_messages);
+    EXPECT_EQ(a.total_bits, b.total_bits);
+    EXPECT_EQ(a.fault_dropped_msgs, b.fault_dropped_msgs);
+    EXPECT_EQ(a.fault_delayed_msgs, b.fault_delayed_msgs);
+    EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
+    EXPECT_EQ(a.decided_count, b.decided_count);
+    EXPECT_GT(a.fault_dropped_msgs + a.fault_delayed_msgs, 0u);
+  }
+}
+
+// A healed partition must not break safety: nodes that decide, decide on
+// gstring (liveness may degrade; safety must not).
+TEST(FaultEngineTest, SplitHealKeepsSafetyOnBothEngines) {
+  for (const aer::Model model :
+       {aer::Model::kSyncRushing, aer::Model::kAsync}) {
+    aer::AerConfig cfg;
+    cfg.n = 96;
+    cfg.seed = 5;
+    cfg.model = model;
+    cfg.fault_plan = exp::fault_plan_factory("split-heal");
+    const aer::AerReport report = aer::run_aer(cfg);
+    EXPECT_EQ(report.decided_count, report.decided_gstring)
+        << aer::model_name(model);
+    EXPECT_GT(report.fault_drops_by_cause[sim::fault_cause_index(
+                  FaultCause::kPartition)],
+              0u)
+        << aer::model_name(model);
+  }
+}
+
+// ----- scenario registry and grid axis ---------------------------------------
+
+TEST(FaultScenarioTest, EveryKnownPresetResolvesAndUnknownThrows) {
+  for (const std::string& name : exp::known_faults()) {
+    EXPECT_NO_THROW(exp::fault_plan_factory(name)) << name;
+  }
+  EXPECT_TRUE(exp::fault_plan_factory("none").empty());
+  EXPECT_TRUE(exp::fault_plan_factory("").empty());
+  EXPECT_FALSE(exp::fault_plan_factory("lossy-1pct").empty());
+  try {
+    exp::fault_plan_factory("no-such-fault");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-fault"), std::string::npos);
+    for (const std::string& name : exp::known_faults()) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(FaultScenarioTest, AttackFactoryErrorListsAttacksAndFaultPresets) {
+  try {
+    exp::attack_factory("lossy-1pct");  // a fault name on the attack axis
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    for (const std::string& name : exp::known_attacks()) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+    for (const std::string& name : exp::known_faults()) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(FaultScenarioTest, GridFaultAxisExpandsOutermost) {
+  aer::AerConfig base;
+  base.n = 64;
+  exp::Grid grid;
+  grid.ns = {64, 128};
+  grid.strategies = {"none", "wrong"};
+  grid.faults = {"none", "lossy-1pct"};
+  EXPECT_EQ(grid.points(), 8u);
+  const auto points = exp::expand_grid(base, grid);
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_EQ(points[0].fault, "none");
+  EXPECT_EQ(points[4].fault, "lossy-1pct");  // fault varies slowest
+  EXPECT_EQ(points[4].strategy, "none");
+  EXPECT_NE(points[4].label().find("fault=lossy-1pct"), std::string::npos);
+  // An unset fault axis keeps labels identical to the pre-fault format.
+  const auto plain = exp::expand_grid(base, exp::Grid{});
+  EXPECT_EQ(plain[0].label().find("fault="), std::string::npos);
+}
+
+TEST(FaultScenarioTest, SweepFaultAxisIsDeterministicAcrossThreads) {
+  aer::AerConfig base;
+  base.n = 64;
+  base.seed = 20130722;
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.faults = {"lossy-5pct", "churn-10pct"};
+
+  exp::Sweep serial(base, grid, 3);
+  serial.set_threads(1);
+  const auto serial_results = serial.run();
+
+  exp::Sweep parallel(base, grid, 3);
+  parallel.set_threads(4);
+  const auto parallel_results = parallel.run();
+
+  ASSERT_EQ(serial_results.size(), 4u);
+  ASSERT_EQ(parallel_results.size(), 4u);
+  for (std::size_t i = 0; i < serial_results.size(); ++i) {
+    EXPECT_EQ(serial_results[i].aggregate.fingerprint(),
+              parallel_results[i].aggregate.fingerprint())
+        << serial_results[i].point.label();
+    // Faults actually engaged on every point.
+    EXPECT_GT(serial_results[i].aggregate.fault_dropped_msgs.mean, 0)
+        << serial_results[i].point.label();
+  }
+}
+
+}  // namespace
+}  // namespace fba

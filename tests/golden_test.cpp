@@ -1,0 +1,96 @@
+// Golden-fingerprint regression corpus: a small fixed sweep (both engines x
+// three attacks x two fault presets) whose Aggregate::fingerprint() values
+// are committed below. Any change to simulation behavior — engine
+// scheduling, RNG consumption, wire accounting, fault semantics, aggregate
+// math — shifts a fingerprint and fails this suite loudly, instead of
+// silently drifting every published number.
+//
+// When a change is INTENTIONAL, regenerate the table: run this binary and
+// copy the "expected golden table" block it prints on failure (or run with
+// FBA_PRINT_GOLDEN=1 to print it unconditionally).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fba.h"
+
+namespace fba {
+namespace {
+
+// The corpus configuration. Do not tweak casually: every value below is
+// part of what the fingerprints pin down.
+exp::Sweep golden_sweep(std::size_t threads) {
+  aer::AerConfig base;
+  base.n = 48;
+  base.seed = 20130722;
+  base.corrupt_fraction = 0.08;
+  base.max_rounds = 150;
+  base.max_time = 150.0;
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies = {"none", "wrong", "stuff"};
+  grid.faults = {"none", "lossy-1pct"};
+  exp::Sweep sweep(base, grid, /*trials=*/3);
+  sweep.set_threads(threads);
+  return sweep;
+}
+
+// 12 points in expansion order (fault > strategy > model; n fixed).
+constexpr std::uint64_t kGolden[] = {
+    0x02170775fb6c9662ull,  // n=48 sync-rushing attack=none fault=none
+    0xf1bbdf4d53767b2full,  // n=48 async attack=none fault=none
+    0x0845003858fd12e2ull,  // n=48 sync-rushing attack=wrong fault=none
+    0x459c570b394610ceull,  // n=48 async attack=wrong fault=none
+    0xfe2aab916bbcf9b5ull,  // n=48 sync-rushing attack=stuff fault=none
+    0x980ff32870fabf0bull,  // n=48 async attack=stuff fault=none
+    0xb03a200b06788285ull,  // n=48 sync-rushing attack=none fault=lossy-1pct
+    0xd1a6c6aa23658795ull,  // n=48 async attack=none fault=lossy-1pct
+    0xe7d06f282aca6de1ull,  // n=48 sync-rushing attack=wrong fault=lossy-1pct
+    0x62983c12514affe4ull,  // n=48 async attack=wrong fault=lossy-1pct
+    0x525653d266fc08e4ull,  // n=48 sync-rushing attack=stuff fault=lossy-1pct
+    0xca578d3496c770d8ull,  // n=48 async attack=stuff fault=lossy-1pct
+};
+
+void print_golden_table(const std::vector<exp::PointResult>& results) {
+  std::printf("expected golden table (paste into kGolden):\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("    0x%016llxull,  // %s\n",
+                static_cast<unsigned long long>(
+                    results[i].aggregate.fingerprint()),
+                results[i].point.label().c_str());
+  }
+}
+
+TEST(GoldenTest, SweepFingerprintsMatchCommittedCorpus) {
+  const auto results = golden_sweep(/*threads=*/1).run();
+  ASSERT_EQ(results.size(), std::size(kGolden));
+  if (std::getenv("FBA_PRINT_GOLDEN") != nullptr) {
+    print_golden_table(results);
+  }
+  bool mismatch = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::uint64_t actual = results[i].aggregate.fingerprint();
+    EXPECT_EQ(actual, kGolden[i]) << results[i].point.label();
+    mismatch |= actual != kGolden[i];
+  }
+  if (mismatch && std::getenv("FBA_PRINT_GOLDEN") == nullptr) {
+    print_golden_table(results);
+  }
+}
+
+// The corpus is also the thread-count determinism contract for the fault
+// axis: the parallel sweep must reproduce the committed serial values.
+TEST(GoldenTest, ParallelSweepReproducesGoldenCorpus) {
+  const auto results = golden_sweep(/*threads=*/4).run();
+  ASSERT_EQ(results.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].aggregate.fingerprint(), kGolden[i])
+        << results[i].point.label();
+  }
+}
+
+}  // namespace
+}  // namespace fba

@@ -335,5 +335,165 @@ TEST(EngineTest, DecisionCallbackFires) {
   EXPECT_EQ(std::get<1>(decisions[0]), 7u);
 }
 
+// ----- horizon culling edge cases -------------------------------------------
+//
+// Events landing exactly ON the horizon (at == max_rounds / max_time) must
+// run; events strictly beyond it are charged-but-culled, and the culls
+// suppress the quiescence stop so reported round/time counts match an
+// engine that had kept them queued.
+
+/// Schedules one timer with a fixed delay at start; counts fires.
+class OneTimerActor final : public Actor {
+ public:
+  explicit OneTimerActor(double delay) : delay_(delay) {}
+  void on_start(Context& ctx) override { ctx.schedule_timer(delay_, 7); }
+  void on_message(Context&, const Envelope&) override {}
+  void on_timer(Context&, std::uint64_t) override { ++fires; }
+  int fires = 0;
+
+ private:
+  double delay_;
+};
+
+/// Sends one ping to node 1 during a chosen round's on_round step.
+class RoundSenderActor final : public Actor {
+ public:
+  explicit RoundSenderActor(Round send_round) : send_round_(send_round) {}
+  void on_start(Context&) override {}
+  void on_message(Context&, const Envelope&) override {}
+  void on_round(Context& ctx, Round round) override {
+    if (round == send_round_) ctx.send(1, ping_msg(9));
+  }
+
+ private:
+  Round send_round_;
+};
+
+TEST(HorizonTest, SyncTimerExactlyAtMaxRoundsFires) {
+  SyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_rounds = 3;
+  SyncEngine engine(cfg);
+  const Wire wire = test_wire();
+  engine.set_wire(&wire);
+  auto* timer = new OneTimerActor(3.0);  // fires at round 3 == max_rounds
+  engine.set_actor(0, std::unique_ptr<Actor>(timer));
+  engine.set_actor(1, std::make_unique<IdleActor>());
+  const auto result = engine.run([] { return false; });
+  EXPECT_EQ(timer->fires, 1);
+  EXPECT_EQ(result.rounds, 3u);
+}
+
+TEST(HorizonTest, SyncTimerBeyondMaxRoundsIsCulledAndSuppressesQuiescence) {
+  SyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_rounds = 3;
+  SyncEngine engine(cfg);
+  const Wire wire = test_wire();
+  engine.set_wire(&wire);
+  auto* timer = new OneTimerActor(4.0);  // could only fire at round 4
+  engine.set_actor(0, std::unique_ptr<Actor>(timer));
+  engine.set_actor(1, std::make_unique<IdleActor>());
+  const auto result = engine.run([] { return false; });
+  EXPECT_EQ(timer->fires, 0);
+  // An engine that had queued the timer would run its round clock out to
+  // the horizon; the cull compensation must report the same.
+  EXPECT_FALSE(result.quiescent);
+  EXPECT_EQ(result.rounds, 3u);
+}
+
+TEST(HorizonTest, SyncMessageDeliveredExactlyAtMaxRounds) {
+  SyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_rounds = 3;
+  cfg.min_rounds = 3;  // round-scheduled sender: no traffic until round 2
+  SyncEngine engine(cfg);
+  const Wire wire = test_wire();
+  engine.set_wire(&wire);
+  // Sent during round 2, delivered during round 3 == max_rounds.
+  engine.set_actor(0, std::make_unique<RoundSenderActor>(2));
+  auto* sink = new IdleActor();
+  engine.set_actor(1, std::unique_ptr<Actor>(sink));
+  engine.run([] { return false; });
+  EXPECT_EQ(sink->received.size(), 1u);
+}
+
+TEST(HorizonTest, SyncSendDuringFinalRoundIsCulled) {
+  SyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_rounds = 3;
+  cfg.min_rounds = 3;  // keep the round clock running to the final round
+  SyncEngine engine(cfg);
+  const Wire wire = test_wire();
+  engine.set_wire(&wire);
+  // Sent during round 3 == max_rounds: delivery round 4 is past the horizon.
+  engine.set_actor(0, std::make_unique<RoundSenderActor>(3));
+  auto* sink = new IdleActor();
+  engine.set_actor(1, std::unique_ptr<Actor>(sink));
+  const auto result = engine.run([] { return false; });
+  EXPECT_EQ(sink->received.size(), 0u);
+  // Charged, never delivered: the bits are on the books...
+  EXPECT_EQ(engine.metrics().total_messages(), 1u);
+  // ...and the cull suppresses the quiescence report.
+  EXPECT_FALSE(result.quiescent);
+}
+
+// MaxDelayStrategy (defined above) also makes async delivery times exact,
+// which the horizon tests below rely on.
+
+TEST(HorizonTest, AsyncEventExactlyAtMaxTimeIsProcessed) {
+  AsyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_time = 1.0;
+  AsyncEngine engine(cfg);
+  const Wire wire = test_wire();
+  engine.set_wire(&wire);
+  engine.set_actor(0, std::make_unique<PingActor>(1, false));
+  auto* sink = new IdleActor();
+  engine.set_actor(1, std::unique_ptr<Actor>(sink));
+  MaxDelayStrategy strategy;
+  engine.set_strategy(&strategy);
+  const auto result = engine.run([] { return false; });
+  // Delivery at exactly max_time still runs (cull is strictly-beyond).
+  EXPECT_EQ(sink->received.size(), 1u);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_DOUBLE_EQ(result.time, 1.0);
+}
+
+TEST(HorizonTest, AsyncEventBeyondMaxTimeIsCulledAndSuppressesQuiescence) {
+  AsyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_time = 0.5;
+  AsyncEngine engine(cfg);
+  const Wire wire = test_wire();
+  engine.set_wire(&wire);
+  engine.set_actor(0, std::make_unique<PingActor>(1, false));
+  auto* sink = new IdleActor();
+  engine.set_actor(1, std::unique_ptr<Actor>(sink));
+  MaxDelayStrategy strategy;  // delivery would land at 1.0 > max_time
+  engine.set_strategy(&strategy);
+  const auto result = engine.run([] { return false; });
+  EXPECT_EQ(sink->received.size(), 0u);
+  EXPECT_EQ(engine.metrics().total_messages(), 1u);  // charged anyway
+  EXPECT_FALSE(result.quiescent);
+  EXPECT_EQ(result.deliveries, 0u);
+}
+
+TEST(HorizonTest, AsyncTimerExactlyAtMaxTimeFires) {
+  AsyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_time = 2.0;
+  AsyncEngine engine(cfg);
+  const Wire wire = test_wire();
+  engine.set_wire(&wire);
+  auto* timer = new OneTimerActor(2.0);  // fires at exactly max_time
+  engine.set_actor(0, std::unique_ptr<Actor>(timer));
+  engine.set_actor(1, std::make_unique<IdleActor>());
+  const auto result = engine.run([] { return false; });
+  EXPECT_EQ(timer->fires, 1);
+  EXPECT_EQ(result.timer_fires, 1u);
+  EXPECT_TRUE(result.quiescent);
+}
+
 }  // namespace
 }  // namespace fba::sim

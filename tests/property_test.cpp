@@ -1,0 +1,155 @@
+// Property-based randomized invariant suite: many seeded-random trials
+// across (n, model, corrupt fraction, attack, fault preset), each asserting
+// the protocol invariants that must hold under ANY composition of adversary
+// and fault condition:
+//   - agreement : no two correct nodes decide differently (and any correct
+//                 decision is the common string — safety);
+//   - uniqueness: no correct node decides twice;
+//   - validity  : with no attack and no faults, every correct node decides
+//                 the common string;
+//   - accounting: per-kind and per-cause counters decompose the totals,
+//                 and nothing is negative or inconsistent.
+//
+// The base seed is FBA_PROPERTY_SEED when set (CI derives it from the run
+// id for soak coverage), else a fixed default so local runs are
+// deterministic. FBA_PROPERTY_TRIALS overrides the trial count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fba.h"
+
+namespace fba {
+namespace {
+
+std::uint64_t property_seed() {
+  if (const char* env = std::getenv("FBA_PROPERTY_SEED")) {
+    const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+    if (seed != 0) return seed;
+  }
+  return 20130722;  // deterministic local default
+}
+
+std::size_t property_trials() {
+  if (const char* env = std::getenv("FBA_PROPERTY_TRIALS")) {
+    const std::size_t trials = std::strtoull(env, nullptr, 10);
+    if (trials > 0) return trials;
+  }
+  return 220;  // the ISSUE floor is 200; leave headroom
+}
+
+template <typename T>
+const T& pick(Rng& rng, const std::vector<T>& axis) {
+  return axis[static_cast<std::size_t>(rng.below(axis.size()))];
+}
+
+TEST(PropertyTest, RandomizedTrialsPreserveProtocolInvariants) {
+  const std::uint64_t base_seed = property_seed();
+  const std::size_t trials = property_trials();
+  Rng axis_rng(base_seed);
+
+  const std::vector<std::size_t> ns = {32, 48, 64};
+  const std::vector<aer::Model> models = {aer::Model::kSyncNonRushing,
+                                          aer::Model::kSyncRushing,
+                                          aer::Model::kAsync};
+  const std::vector<double> fractions = {0.0, 0.04, 0.08};
+  // junk/skew variants with big string-search budgets are excluded to keep
+  // the 200+ trial suite inside its CI time budget.
+  const std::vector<std::string> attacks = {
+      "none", "silent", "junk-light", "flood", "stuff", "wrong", "combo"};
+  const std::vector<std::string> faults = {
+      "none",       "lossy-1pct",     "lossy-5pct",  "lossy-20pct",
+      "jitter",     "flaky",          "split-heal",  "split-minority",
+      "churn-10pct", "churn-heavy"};
+
+  std::size_t clean_runs = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    aer::AerConfig cfg;
+    cfg.n = pick(axis_rng, ns);
+    cfg.model = pick(axis_rng, models);
+    cfg.corrupt_fraction = pick(axis_rng, fractions);
+    // Trial 0 always runs the clean combination so the validity invariant
+    // is exercised no matter what the axis RNG draws.
+    const std::string attack = trial == 0 ? "none" : pick(axis_rng, attacks);
+    const std::string fault = trial == 0 ? "none" : pick(axis_rng, faults);
+    if (trial == 0) cfg.corrupt_fraction = 0.0;
+    cfg.seed = exp::trial_seed(base_seed, /*point_index=*/0, trial);
+    cfg.max_rounds = 120;
+    cfg.max_time = 120.0;
+    cfg.fault_plan = exp::fault_plan_factory(fault);
+
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": n=" +
+                 std::to_string(cfg.n) + " model=" +
+                 aer::model_name(cfg.model) + " corrupt=" +
+                 std::to_string(cfg.corrupt_fraction) + " attack=" + attack +
+                 " fault=" + fault + " seed=" + std::to_string(cfg.seed));
+
+    aer::AerWorld world = aer::build_aer_world(cfg);
+    const aer::AerReport report =
+        aer::run_aer_world(world, exp::attack_factory(attack));
+
+    // --- agreement: no two correct nodes decide differently, and any
+    // correct decision is the common string.
+    std::set<StringId> decided_values;
+    for (NodeId id : world.correct) {
+      if (world.decisions.has_decided(id)) {
+        decided_values.insert(world.decisions.value(id));
+      }
+    }
+    EXPECT_LE(decided_values.size(), 1u);
+    if (!decided_values.empty()) {
+      EXPECT_EQ(*decided_values.begin(), world.shared->gstring);
+    }
+    EXPECT_EQ(report.decided_count, report.decided_gstring);
+
+    // --- uniqueness: no correct node decides twice.
+    EXPECT_EQ(world.decisions.repeat_decisions(), 0u);
+
+    // --- validity: clean all-correct runs terminate with full agreement.
+    // (With corrupt nodes present, liveness has a known whp tail at
+    // laptop-scale d — stalls are tolerated there, wrong decisions never.)
+    if (attack == "none" && fault == "none" && cfg.corrupt_fraction == 0.0) {
+      ++clean_runs;
+      EXPECT_TRUE(report.agreement);
+      EXPECT_TRUE(report.everyone_decided);
+      EXPECT_EQ(report.decided_count, report.correct_count);
+    }
+
+    // --- accounting sanity.
+    EXPECT_LE(report.decided_count, report.correct_count);
+    EXPECT_LE(report.correct_count, cfg.n);
+    std::uint64_t msg_sum = 0, bit_sum = 0;
+    for (std::size_t k = 0; k < sim::kNumMessageKinds; ++k) {
+      msg_sum += report.msgs_by_kind[k];
+      bit_sum += report.bits_by_kind[k];
+    }
+    EXPECT_EQ(msg_sum, report.total_messages);
+    EXPECT_EQ(bit_sum, report.total_bits);
+    EXPECT_NEAR(report.amortized_bits,
+                static_cast<double>(report.total_bits) /
+                    static_cast<double>(cfg.n),
+                1e-6);
+    std::uint64_t cause_sum = 0;
+    for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
+      cause_sum += report.fault_drops_by_cause[c];
+    }
+    EXPECT_EQ(cause_sum, report.fault_dropped_msgs);
+    EXPECT_LE(report.fault_dropped_msgs, report.total_messages);
+    if (fault == "none") {
+      EXPECT_EQ(report.fault_dropped_msgs, 0u);
+      EXPECT_EQ(report.fault_delayed_msgs, 0u);
+    }
+    if (report.decided_count > 0) {
+      EXPECT_LE(report.completion_time, report.engine_time + 1e-9);
+      EXPECT_LE(report.mean_decision_time, report.completion_time + 1e-9);
+    }
+  }
+  EXPECT_GE(clean_runs, 1u);
+}
+
+}  // namespace
+}  // namespace fba
