@@ -30,6 +30,16 @@
 int main(int argc, char** argv) {
   using namespace fba;
   using namespace fba::benchutil;
+  if (handle_help(argc, argv, "bench_endtoend",
+                  "Lemmas 9/10: end-to-end AER vs n, the resilience curve"
+                  " (t/n sweep) and the fault-degradation matrix",
+                  "  --attack=<name>    compose an adversary into the"
+                  " fault-degradation matrix\n"
+                  "  --fault=<preset>   apply one preset to the first"
+                  " table's n-sweep\n",
+                  exp::UsageSections{.attacks = true, .faults = true})) {
+    return 0;
+  }
   const Scale scale = parse_scale(argc, argv);
   const std::size_t trials = trials_for(scale, argc, argv);
   const std::size_t threads = threads_for(argc, argv);
@@ -43,6 +53,15 @@ int main(int argc, char** argv) {
   aer::AerConfig base;
   base.seed = 20130722;
 
+  exp::Report report = make_report(
+      "bench_endtoend", "endtoend",
+      "Lemmas 9/10: end-to-end AER, resilience and fault degradation",
+      base.seed, trials, scale);
+  // The three tables vary different axes (n, corrupt fraction, fault
+  // preset); index-x keeps the md/gnuplot renderings of a parsed report
+  // from collapsing the non-n series onto one x position.
+  report.meta().x_axis = "index";
+
   exp::Grid grid;
   grid.ns = protocol_sizes(scale);
   grid.models = {aer::Model::kSyncNonRushing, aer::Model::kAsync};
@@ -50,7 +69,12 @@ int main(int argc, char** argv) {
   exp::Sweep sweep(base, grid, trials);
   sweep.set_threads(threads);
   sweep.set_progress(progress_printer("endtoend"));
-  for (const exp::PointResult& r : sweep.run()) {
+  const auto endtoend_results = sweep.run();
+  add_split_series(report, base, endtoend_results,
+                   [](const exp::GridPoint& p) {
+                     return std::string("AER/") + aer::model_name(p.model);
+                   });
+  for (const exp::PointResult& r : endtoend_results) {
     const exp::Aggregate& a = r.aggregate;
     aer::AerConfig cfg = base;
     cfg.n = r.point.n;
@@ -84,7 +108,9 @@ int main(int argc, char** argv) {
   rgrid.corrupt_fractions = {0.00, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
   exp::Sweep rsweep(rbase, rgrid, trials);
   rsweep.set_threads(threads);
-  for (const exp::PointResult& r : rsweep.run()) {
+  const auto resilience_results = rsweep.run();
+  report.add_points("resilience (n=128, d=24)", rbase, resilience_results);
+  for (const exp::PointResult& r : resilience_results) {
     const exp::Aggregate& a = r.aggregate;
     resilience.add_row(
         {Table::num(r.point.corrupt_fraction, 2),
@@ -120,7 +146,11 @@ int main(int argc, char** argv) {
   exp::Sweep fsweep(fbase, fgrid, trials);
   fsweep.set_threads(threads);
   fsweep.set_progress(progress_printer("faults"));
-  for (const exp::PointResult& r : fsweep.run()) {
+  const auto fault_results = fsweep.run();
+  add_split_series(report, fbase, fault_results, [](const exp::GridPoint& p) {
+    return std::string("faults/") + aer::model_name(p.model);
+  });
+  for (const exp::PointResult& r : fault_results) {
     const exp::Aggregate& a = r.aggregate;
     faults.add_row({r.point.fault, aer::model_name(r.point.model),
                     Table::num(a.agreement_rate(), 2),
@@ -137,5 +167,6 @@ int main(int argc, char** argv) {
       " (wrong = 0) to hold throughout.\n");
   std::printf("[endtoend done in %.1fs on %zu thread(s)]\n", watch.seconds(),
               threads);
+  write_json_if_requested(report, argc, argv);
   return 0;
 }

@@ -69,6 +69,12 @@ void add_rows(Table& table, const char* protocol,
 
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
+  if (handle_help(argc, argv, "bench_fig1a_ae2e",
+                  "Figure 1(a): AER vs SQRT-SAMPLE vs FLOOD-ALL — time,"
+                  " amortized bits, load balance vs n",
+                  nullptr)) {
+    return 0;
+  }
   const Scale scale = parse_scale(argc, argv);
   const std::size_t trials = trials_for(scale, argc, argv);
   const std::size_t threads = threads_for(argc, argv);
@@ -114,6 +120,18 @@ int main(int argc, char** argv) {
   add_rows(table, "FLOOD-ALL", flood_results);
   table.print(std::cout);
 
+  exp::Report report = make_report(
+      "bench_fig1a_ae2e", "fig1a",
+      "Figure 1(a): almost-everywhere to everywhere comparison", base.seed,
+      trials, scale);
+  report.meta().y_metric = "amortized_bits.mean";
+  report.meta().y_label = "amortized bits per node";
+  add_split_series(report, base, aer_results, [](const exp::GridPoint& p) {
+    return std::string("AER/") + aer::model_name(p.model);
+  });
+  report.add_points("SQRT-SAMPLE", base, sqrt_results);
+  report.add_points("FLOOD-ALL", base, flood_results);
+
   // Slope series from the sync-rushing rows (mean bits per point).
   std::vector<Series> series = {{"AER", {}},
                                 {"SQRT-SAMPLE", {}},
@@ -148,7 +166,9 @@ int main(int argc, char** argv) {
   skew_grid.strategies = {"skew-heavy"};
   exp::Sweep skew_sweep(skew_base, skew_grid, trials);
   skew_sweep.set_threads(threads);
-  for (const exp::PointResult& r : skew_sweep.run()) {
+  const auto skew_results = skew_sweep.run();
+  report.add_points("AER skew-heavy", skew_base, skew_results);
+  for (const exp::PointResult& r : skew_results) {
     const exp::Aggregate& a = r.aggregate;
     skew.add_row({"AER", Table::num(static_cast<std::uint64_t>(r.point.n)),
                   Table::num(static_cast<std::uint64_t>(a.max_candidate_list)),
@@ -158,7 +178,9 @@ int main(int argc, char** argv) {
   }
   exp::Sweep skew_sqrt(skew_base, skew_grid, trials);
   skew_sqrt.set_threads(threads).set_trial(exp::run_sqrtsample_trial);
-  for (const exp::PointResult& r : skew_sqrt.run()) {
+  const auto skew_sqrt_results = skew_sqrt.run();
+  report.add_points("SQRT-SAMPLE skew-heavy", skew_base, skew_sqrt_results);
+  for (const exp::PointResult& r : skew_sqrt_results) {
     const exp::Aggregate& a = r.aggregate;
     skew.add_row({"SQRT-SAMPLE",
                   Table::num(static_cast<std::uint64_t>(r.point.n)),
@@ -175,5 +197,6 @@ int main(int argc, char** argv) {
               " search keeps paying) but capped for SQRT-SAMPLE.\n");
   std::printf("[fig1a done in %.1fs on %zu thread(s)]\n", watch.seconds(),
               threads);
+  write_json_if_requested(report, argc, argv);
   return 0;
 }

@@ -23,6 +23,7 @@ ba::BaConfig ba_config_for(const aer::AerConfig& cfg) {
   ba::BaConfig out;
   out.n = cfg.n;
   out.seed = cfg.seed;
+  out.corrupt_fraction = cfg.corrupt_fraction;
   return out;
 }
 
@@ -30,6 +31,12 @@ ba::BaConfig ba_config_for(const aer::AerConfig& cfg) {
 
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
+  if (handle_help(argc, argv, "bench_fig1b_ba",
+                  "Figure 1(b): BA = AE tournament + {AER, SQRT-SAMPLE,"
+                  " FLOOD-ALL} reduction vs n",
+                  nullptr)) {
+    return 0;
+  }
   const Scale scale = parse_scale(argc, argv);
   const std::size_t trials = trials_for(scale, argc, argv);
   const std::size_t threads = threads_for(argc, argv);
@@ -43,8 +50,18 @@ int main(int argc, char** argv) {
 
   aer::AerConfig base;
   base.seed = 20130722;  // PODC'13, July 22
+  // BA's corruption operating point (BaConfig's default), recorded on the
+  // base so report axes/provenance match the trials (see DESIGN note below).
+  base.corrupt_fraction = 0.05;
   exp::Grid grid;
   grid.ns = protocol_sizes(scale);
+
+  exp::Report report =
+      make_report("bench_fig1b_ba", "fig1b",
+                  "Figure 1(b): Byzantine Agreement comparison", base.seed,
+                  trials, scale);
+  report.meta().y_metric = "completion_time.mean";
+  report.meta().y_label = "end-to-end time (AE rounds + reduction)";
 
   for (auto reduction : {ba::Reduction::kAer, ba::Reduction::kSqrtSample,
                          ba::Reduction::kFlood}) {
@@ -55,7 +72,10 @@ int main(int argc, char** argv) {
         [reduction](const aer::AerConfig& cfg, const exp::GridPoint&) {
           return exp::outcome_of(ba::run_ba(ba_config_for(cfg), reduction));
         });
-    for (const exp::PointResult& r : sweep.run()) {
+    const auto results = sweep.run();
+    report.add_points(std::string("BA/") + ba::reduction_name(reduction),
+                      base, results);
+    for (const exp::PointResult& r : results) {
       const exp::Aggregate& a = r.aggregate;
       table.add_row(
           {std::string("BA/") + ba::reduction_name(reduction),
@@ -83,5 +103,6 @@ int main(int argc, char** argv) {
   std::printf("[fig1b done in %.1fs: %zu trials/point x %zu points on %zu"
               " thread(s)]\n",
               watch.seconds(), trials, grid.points() * 3, threads);
+  write_json_if_requested(report, argc, argv);
   return 0;
 }

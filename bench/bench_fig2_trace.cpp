@@ -31,6 +31,12 @@ std::string show_members(const sampler::Quorum& q,
 
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
+  if (handle_help(argc, argv, "bench_fig2_trace",
+                  "Figure 2: a concrete push/pull trace (n = 64) plus the"
+                  " multi-trial per-hop message-flow table",
+                  nullptr)) {
+    return 0;
+  }
   (void)parse_scale(argc, argv);
   print_banner("Figure 2: push and pull message flow",
                "a concrete trace of the Figure 2 structure (n = 64);"
@@ -111,7 +117,17 @@ int main(int argc, char** argv) {
   exp::Sweep sweep(cfg, exp::Grid{}, trials);
   sweep.set_threads(threads_for(argc, argv));
   sweep.set_progress(progress_printer("fig2 sweep"));
-  const exp::Aggregate agg = sweep.run().front().aggregate;
+  const auto results = sweep.run();
+  const exp::Aggregate agg = results.front().aggregate;
+
+  exp::Report flow_report =
+      make_report("bench_fig2_trace", "fig2",
+                  "Figure 2: push and pull message flow (per-kind traffic)",
+                  cfg.seed, trials, Scale::kDefault);
+  flow_report.meta().x_axis = "kind";
+  flow_report.meta().y_metric = "amortized_bits.mean";
+  flow_report.meta().y_label = "amortized bits per node";
+  flow_report.add_points("AER n=64", cfg, results);
 
   std::printf("\n-- measured message flow (whole network, %zu trials) --\n",
               agg.trials);
@@ -143,5 +159,6 @@ int main(int argc, char** argv) {
               " bits/node\n",
               agg.trials, agg.agreement_rate(), agg.completion_time.mean,
               agg.completion_time.p99, agg.amortized_bits.mean);
+  write_json_if_requested(flow_report, argc, argv);
   return 0;
 }

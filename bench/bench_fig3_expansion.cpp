@@ -18,10 +18,17 @@
 
 #include "bench_util.h"
 #include "fba.h"
+#include "fig3_common.h"
 
 int main(int argc, char** argv) {
   using namespace fba;
   using namespace fba::benchutil;
+  if (handle_help(argc, argv, "bench_fig3_expansion",
+                  "Figure 3 / Lemma 2: Monte-Carlo border expansion of the"
+                  " poll sampler J",
+                  nullptr)) {
+    return 0;
+  }
   const Scale scale = parse_scale(argc, argv);
   const std::size_t trials = std::max<std::size_t>(
       1, flag_value(argc, argv, "--trials", scale == Scale::kQuick ? 3 : 10));
@@ -35,36 +42,37 @@ int main(int argc, char** argv) {
   Table p1_table({"n", "good frac", "bad-label frac", "samples"});
   Stopwatch watch;
 
+  exp::Report report = make_report(
+      "bench_fig3_expansion", "fig3",
+      "Figure 3 / Lemma 2: sampler border expansion", 20130722, trials, scale);
+  // The border ratio rides in the completion_time stat slot; y_metric names
+  // the meaning (docs/output-schema.md, "figure metrics").
+  report.meta().y_metric = "completion_time.min";
+  report.meta().y_label = "min border ratio |dL| / (d |L|)";
+
+  // The Monte-Carlo points run through benchutil::run_fig3_point — the
+  // same code path fba_repro's fig3 driver uses, so both tools derive the
+  // same per-trial seeds and fingerprints.
   std::size_t grid_point = 0;
   for (std::size_t n : light_sizes(scale)) {
     const auto params = sampler::SamplerParams::defaults(n, 1);
     const sampler::PollSampler sampler(params, 0x4a20706f6c6c0000ull);
     const std::uint64_t base_seed = 20130722 + n;
 
-    const std::size_t log2n =
-        static_cast<std::size_t>(std::ceil(std::log2(double(n))));
-    const std::size_t set_size = std::max<std::size_t>(4, n / log2n);
-
     for (const bool adversarial : {false, true}) {
       ++grid_point;
-      // The sampler is a const keyed hash, so trials share it and fan out;
-      // each trial derives its own Rng stream.
-      std::vector<double> ratios(trials, 0);
-      exp::run_indexed(trials, threads, [&](std::size_t trial) {
-        Rng rng(exp::trial_seed(base_seed, grid_point, trial));
-        const sampler::BorderReport r =
-            adversarial
-                ? sampler::greedy_adversarial_border(sampler, set_size, 8, rng)
-                : sampler::random_border(sampler, set_size, rng);
-        ratios[trial] = r.ratio;
-      });
-      const exp::SummaryStats stats = exp::summarize_sample(ratios);
+      Fig3Point point =
+          run_fig3_point(n, adversarial, grid_point, 20130722, trials,
+                         threads);
+      const exp::SummaryStats stats = exp::summarize_sample(point.ratios);
       table.add_row({Table::num(static_cast<std::uint64_t>(n)),
-                     Table::num(static_cast<std::uint64_t>(params.d)),
-                     Table::num(static_cast<std::uint64_t>(set_size)),
+                     Table::num(static_cast<std::uint64_t>(point.d)),
+                     Table::num(static_cast<std::uint64_t>(point.set_size)),
                      adversarial ? "greedy-adversarial" : "uniform",
                      Table::num(stats.min, 3), Table::num(stats.mean, 3),
                      "0.667", stats.min > 2.0 / 3.0 ? "yes" : "NO"});
+      const std::string series = point.report_point.point.strategy;
+      report.add_point(series, std::move(point.report_point));
     }
 
     // Property 1: bad-label fraction under a (1/2 + eps) good population.
@@ -99,5 +107,6 @@ int main(int argc, char** argv) {
               " (P(u,s) = o(2^-n)); measured instance satisfies them.\n");
   std::printf("[fig3 done in %.1fs on %zu thread(s)]\n", watch.seconds(),
               threads);
+  write_json_if_requested(report, argc, argv);
   return 0;
 }

@@ -21,6 +21,13 @@
 int main(int argc, char** argv) {
   using namespace fba;
   using namespace fba::benchutil;
+  if (handle_help(argc, argv, "bench_pull_latency",
+                  "Lemmas 6/8: pull-phase decision latency vs n under the"
+                  " overload-chain adversary",
+                  "  --no-defer         ablation: disable Algorithm 3's"
+                  " deferred answering\n")) {
+    return 0;
+  }
   const Scale scale = parse_scale(argc, argv);
   const std::size_t trials = trials_for(scale, argc, argv);
   const std::size_t threads = threads_for(argc, argv);
@@ -52,6 +59,16 @@ int main(int argc, char** argv) {
   exp::Sweep sweep(base, grid, trials);
   sweep.set_threads(threads);
   const auto results = sweep.run();
+
+  exp::Report report = make_report(
+      "bench_pull_latency", no_defer ? "pull-latency-nodefer" : "pull-latency",
+      "Lemmas 6/8: pull latency under overload attacks", base.seed, trials,
+      scale);
+  report.meta().y_metric = "mean_decision_time.mean";
+  report.meta().y_label = "mean decision time";
+  add_split_series(report, base, results, [](const exp::GridPoint& p) {
+    return std::string(aer::model_name(p.model)) + "/" + p.strategy;
+  });
 
   std::vector<std::pair<std::string, std::string>> histograms;
   for (const exp::PointResult& r : results) {
@@ -92,5 +109,6 @@ int main(int argc, char** argv) {
       " attacked runs live; rerun with --no-defer for the ablation.\n");
   std::printf("[pull-latency done in %.1fs on %zu thread(s)]\n",
               watch.seconds(), threads);
+  write_json_if_requested(report, argc, argv);
   return 0;
 }

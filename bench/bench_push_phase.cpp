@@ -78,6 +78,12 @@ exp::TrialOutcome run_push_trial(const aer::AerConfig& base_cfg,
 
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
+  if (handle_help(argc, argv, "bench_push_phase",
+                  "Lemmas 3-5: push-phase traffic, candidate-list growth and"
+                  " gstring coverage vs n",
+                  nullptr)) {
+    return 0;
+  }
   const Scale scale = parse_scale(argc, argv);
   const std::size_t trials = trials_for(scale, argc, argv);
   const std::size_t threads = threads_for(argc, argv);
@@ -100,7 +106,18 @@ int main(int argc, char** argv) {
   sweep.set_threads(threads).set_trial(run_push_trial);
   sweep.set_progress(progress_printer("push-phase"));
 
-  for (const exp::PointResult& r : sweep.run()) {
+  exp::Report report =
+      make_report("bench_push_phase", "push-phase",
+                  "Lemmas 3-5: push-phase traffic and candidate lists",
+                  base.seed, trials, scale);
+  report.meta().y_metric = "push_bits_per_node";
+  report.meta().y_label = "push bits per node";
+  const auto results = sweep.run();
+  add_split_series(report, base, results, [](const exp::GridPoint& p) {
+    return std::string("push/") + p.strategy;
+  });
+
+  for (const exp::PointResult& r : results) {
     const exp::Aggregate& a = r.aggregate;
     const double log2n = std::log2(double(r.point.n));
     aer::AerConfig cfg = r.point.apply(base);
@@ -125,5 +142,6 @@ int main(int argc, char** argv) {
       " pushes fail the I(s,x) membership filter.\n");
   std::printf("[push-phase done in %.1fs on %zu thread(s)]\n", watch.seconds(),
               threads);
+  write_json_if_requested(report, argc, argv);
   return 0;
 }

@@ -14,6 +14,15 @@
 int main(int argc, char** argv) {
   using namespace fba;
   using namespace fba::benchutil;
+  if (handle_help(argc, argv, "bench_safety",
+                  "Lemma 7: wrong decisions under the wrong-answer attack"
+                  " (expect zero), plus the precondition-violated failure"
+                  " mode",
+                  "  --fault=<preset>   compose the wrong-answer attack"
+                  " with a channel fault\n",
+                  exp::UsageSections{.faults = true})) {
+    return 0;
+  }
   const Scale scale = parse_scale(argc, argv);
   const std::size_t trials = std::max<std::size_t>(
       1, flag_value(argc, argv, "--trials", scale == Scale::kQuick ? 5 : 25));
@@ -36,9 +45,20 @@ int main(int argc, char** argv) {
   // --fault=<preset> composes the wrong-answer attack with loss /
   // partitions / churn: safety must hold even on faulty channels.
   grid.faults = {fault_for(argc, argv)};
+  exp::Report report = make_report(
+      "bench_safety", "safety",
+      "Lemma 7: decision safety under wrong-answer attacks", base.seed,
+      trials, scale);
+  report.meta().y_metric = "wrong_decisions";
+  report.meta().y_label = "wrong decisions (summed over trials)";
+
   exp::Sweep sweep(base, grid, trials);
   sweep.set_threads(threads);
-  for (const exp::PointResult& r : sweep.run()) {
+  const auto results = sweep.run();
+  add_split_series(report, base, results, [](const exp::GridPoint& p) {
+    return std::string("wrong/") + aer::model_name(p.model);
+  });
+  for (const exp::PointResult& r : results) {
     const exp::Aggregate& a = r.aggregate;
     table.add_row({Table::num(static_cast<std::uint64_t>(r.point.n)),
                    aer::model_name(r.point.model),
@@ -63,7 +83,9 @@ int main(int argc, char** argv) {
   vgrid.strategies = {"wrong"};
   exp::Sweep vsweep(vbase, vgrid, 5);
   vsweep.set_threads(threads);
-  for (const exp::PointResult& r : vsweep.run()) {
+  const auto vresults = vsweep.run();
+  report.add_points("precondition-violated", vbase, vresults);
+  for (const exp::PointResult& r : vresults) {
     for (const exp::TrialOutcome& o : r.outcomes) {
       violated.add_row(
           {Table::num(o.seed),
@@ -84,5 +106,6 @@ int main(int argc, char** argv) {
               " after the adversary committed its corruptions.\n");
   std::printf("[safety done in %.1fs on %zu thread(s)]\n", watch.seconds(),
               threads);
+  write_json_if_requested(report, argc, argv);
   return 0;
 }

@@ -1,13 +1,15 @@
-// Shared bench scaffolding: sweep-size selection, trial/thread flags and
-// wall-clock timing.
+// Shared bench scaffolding: sweep-size selection, trial/thread flags,
+// wall-clock timing, `--help` and the `--json` report writer.
 //
-// Every bench binary regenerates one table or figure of the paper (see
-// DESIGN.md §4) and prints the corresponding rows. `--quick` shrinks sweeps
-// for smoke runs; `--large` extends them to the biggest sizes that still fit
-// a laptop-class machine. Trial replication and fan-out run through
-// exp::Sweep: `--trials=N` overrides the per-scale default, `--threads=N`
-// overrides the hardware default (`--threads=1` gives the serial reference
-// run for speedup measurements).
+// Every bench binary regenerates one table or figure of the paper and
+// prints the corresponding rows. `--quick` shrinks sweeps for smoke runs;
+// `--large` extends them to the biggest sizes that still fit a laptop-class
+// machine. Trial replication and fan-out run through exp::Sweep:
+// `--trials=N` overrides the per-scale default, `--threads=N` overrides the
+// hardware default (`--threads=1` gives the serial reference run for
+// speedup measurements). `--json=FILE` additionally writes the sweep
+// aggregates as an fba.report JSON document (exp/report.h,
+// docs/output-schema.md) — the same schema fba_repro's figure files use.
 #pragma once
 
 #include <algorithm>
@@ -19,6 +21,8 @@
 #include <vector>
 
 #include "exp/progress.h"
+#include "exp/report.h"
+#include "exp/scenario.h"
 #include "exp/sweep.h"
 
 namespace fba::benchutil {
@@ -125,6 +129,84 @@ class Stopwatch {
 
 inline void print_banner(const char* artifact, const char* description) {
   std::printf("=== %s ===\n%s\n\n", artifact, description);
+}
+
+/// Handles `--help`: prints the one generated usage block (bench-specific
+/// lines + the shared scenario vocabulary from exp::scenario_usage()) and
+/// returns true, in which case main should exit 0. `extra` lines (may be
+/// nullptr) document flags specific to this binary; `sections` restricts
+/// the shared block to the flags this binary actually parses (attacks and
+/// faults default to off — most benches pin their own adversary axes).
+inline bool handle_help(int argc, char** argv, const char* binary,
+                        const char* description, const char* extra,
+                        const exp::UsageSections& sections = {}) {
+  if (!has_flag(argc, argv, "--help") && !has_flag(argc, argv, "-h")) {
+    return false;
+  }
+  std::printf("%s — %s\n\nusage: %s [--quick|--large] [flags]\n", binary,
+              description, binary);
+  std::printf("  --quick / --large  shrink / extend the sweep sizes\n");
+  if (extra != nullptr) std::printf("%s", extra);
+  std::printf("%s", exp::scenario_usage(sections).c_str());
+  return true;
+}
+
+/// Writes `report` to the file named by `--json=FILE` (if given). Every
+/// bench funnels its sweep results through this one writer so bench output
+/// and fba_repro figure output share the fba.report schema
+/// (docs/output-schema.md). An unwritable path exits 1 with a clean error
+/// instead of an uncaught throw — the table already went to stdout, only
+/// the artifact is lost.
+inline void write_json_if_requested(const exp::Report& report, int argc,
+                                    char** argv) {
+  const std::string path = string_flag(argc, argv, "--json", "");
+  if (path.empty()) return;
+  try {
+    report.write_json(path);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "wrote %s (%zu series, %zu points)\n", path.c_str(),
+               report.series().size(), report.total_points());
+}
+
+inline const char* scale_name(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick: return "quick";
+    case Scale::kDefault: return "default";
+    case Scale::kLarge: return "large";
+  }
+  return "?";
+}
+
+/// Report skeleton with the meta every bench fills the same way.
+inline exp::Report make_report(const char* tool, const char* figure,
+                               const char* title, std::uint64_t base_seed,
+                               std::size_t trials, Scale scale) {
+  exp::ReportMeta meta;
+  meta.tool = tool;
+  meta.figure = figure;
+  meta.title = title;
+  meta.base_seed = base_seed;
+  meta.trials = trials;
+  meta.scale = scale_name(scale);
+  return exp::Report(std::move(meta));
+}
+
+/// Splits one sweep's results into report series named by `name_of(point)`
+/// (e.g. per model, per strategy); point order within a series follows the
+/// expansion order.
+template <typename NameFn>
+inline void add_split_series(exp::Report& report, const aer::AerConfig& base,
+                             const std::vector<exp::PointResult>& results,
+                             NameFn&& name_of) {
+  for (const exp::PointResult& r : results) {
+    report.add_point(name_of(r.point),
+                     exp::ReportPoint{r.point,
+                                      exp::point_provenance(base, r.point),
+                                      r.aggregate});
+  }
 }
 
 /// Live trials-completed / ETA line for long sweeps (exp::stderr_progress).

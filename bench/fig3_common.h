@@ -1,0 +1,74 @@
+// The Figure 3 Monte-Carlo point driver shared by bench_fig3_expansion and
+// fba_repro — one code path, so both tools derive the same per-trial seeds
+// and, at equal trial counts, fingerprint-identical fig3 report points.
+// Kept out of bench_util.h so the sampler dependency stays confined to the
+// two binaries that use it.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "exp/report.h"
+#include "sampler/properties.h"
+#include "sampler/sampler.h"
+#include "support/random.h"
+
+namespace fba::benchutil {
+
+/// One (n, set-type) Monte-Carlo point of the Figure 3 sampler-expansion
+/// sweep. The border ratio rides in the completion_time stat slot
+/// (docs/output-schema.md, "figure metrics"); `ratios` keeps the raw draws
+/// for table rendering.
+struct Fig3Point {
+  exp::ReportPoint report_point;
+  std::vector<double> ratios;
+  std::size_t d = 0;         ///< poll-list size of the sampler instance.
+  std::size_t set_size = 0;  ///< |L| = max(4, n / ceil(log2 n)).
+};
+
+inline Fig3Point run_fig3_point(std::size_t n, bool adversarial,
+                                std::size_t grid_point,
+                                std::uint64_t seed_root, std::size_t trials,
+                                std::size_t threads) {
+  const auto params = sampler::SamplerParams::defaults(n, 1);
+  const sampler::PollSampler sampler(params, 0x4a20706f6c6c0000ull);
+  const std::uint64_t base_seed = seed_root + n;
+  const auto log2n =
+      static_cast<std::size_t>(std::ceil(std::log2(double(n))));
+
+  Fig3Point out;
+  out.d = params.d;
+  out.set_size = std::max<std::size_t>(4, n / log2n);
+  out.ratios.assign(trials, 0);
+  std::vector<exp::TrialOutcome> outcomes(trials);
+  // The sampler is a const keyed hash, so trials share it and fan out;
+  // each trial derives its own Rng stream.
+  exp::run_indexed(trials, threads, [&](std::size_t trial) {
+    Rng rng(exp::trial_seed(base_seed, grid_point, trial));
+    const sampler::BorderReport r =
+        adversarial
+            ? sampler::greedy_adversarial_border(sampler, out.set_size, 8,
+                                                 rng)
+            : sampler::random_border(sampler, out.set_size, rng);
+    out.ratios[trial] = r.ratio;
+    exp::TrialOutcome& o = outcomes[trial];
+    o.seed = exp::trial_seed(base_seed, grid_point, trial);
+    o.completion_time = r.ratio;
+    o.agreement = r.ratio > 2.0 / 3.0;
+    o.engine_completed = true;
+    o.correct = n;
+    o.decided = n;
+  });
+  out.report_point.point.index = grid_point - 1;
+  out.report_point.point.n = n;
+  out.report_point.point.strategy =
+      adversarial ? "greedy-adversarial" : "uniform";
+  out.report_point.provenance.d = params.d;
+  out.report_point.provenance.node_id_bits = node_id_bits(n);
+  out.report_point.aggregate = exp::aggregate_outcomes(outcomes);
+  return out;
+}
+
+}  // namespace fba::benchutil

@@ -1,0 +1,387 @@
+// fba_repro: the figure-reproduction pipeline — run a named figure's sweep
+// end to end and emit machine-readable results plus a rendered curve.
+//
+//   fba_repro --figure=fig1b --large --trials=100 --out=results/
+//   fba_repro --figure=fig1b --quick --trials=20 --out=results/
+//             --baseline=baselines/BENCH_fig1b.json  (one command line)
+//   fba_repro --validate=results/BENCH_fig1b.json
+//
+// Figures (docs/paper-map.md maps each back to the paper):
+//   fig1a        — almost-everywhere-to-everywhere comparison: amortized
+//                  bits/node vs n for AER (three timing models),
+//                  SQRT-SAMPLE and FLOOD-ALL.
+//   fig1b        — Byzantine Agreement comparison: end-to-end time vs n for
+//                  BA = AE tournament + {AER, SQRT-SAMPLE, FLOOD-ALL}.
+//   fig2         — the push/pull message-flow structure: per-kind traffic
+//                  of one n=64 configuration across trials.
+//   fig3         — sampler expansion (Lemma 2): min border ratio
+//                  |dL|/(d|L|) vs n for uniform and greedy-adversarial
+//                  label sets (must stay above 2/3).
+//   fault-matrix — beyond-the-model degradation: decided fraction per
+//                  fault preset for both engines at n=128 (composable with
+//                  --attack).
+//
+// Every figure writes BENCH_<figure>.{json,csv,md,gp} under --out (JSON/CSV
+// per docs/output-schema.md; .md embeds an ASCII rendering, .gp is a
+// self-contained gnuplot script). --baseline=FILE runs Report::diff against
+// a previously committed JSON and exits 1 on regressions beyond CI bounds.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/fig3_common.h"
+#include "fba.h"
+
+namespace {
+
+using namespace fba;
+using benchutil::Scale;
+
+struct Options {
+  std::string figure;
+  std::string out = "results";
+  std::string baseline;
+  std::string validate;
+  std::string attack = "none";
+  std::string fault = "none";
+  std::uint64_t seed = 20130722;  // PODC'13, July 22
+  bool seed_set = false;          // --seed was passed explicitly
+  std::size_t trials = 0;         // 0 = per-scale default
+  std::size_t threads = exp::default_threads();
+  Scale scale = Scale::kDefault;
+};
+
+constexpr const char* kUsageExtra =
+    "  --figure=NAME      fig1a | fig1b | fig2 | fig3 | fault-matrix\n"
+    "  --out=DIR          output directory (default results/); writes\n"
+    "                     BENCH_<figure>.{json,csv,md,gp}\n"
+    "  --baseline=FILE    diff this run against a committed fba.report JSON;\n"
+    "                     exit 1 on regressions beyond CI bounds\n"
+    "  --validate=FILE    parse FILE against the report schema (fingerprint\n"
+    "                     revalidation included) and exit; no sweep runs\n"
+    "  --seed=N           base seed (default 20130722)\n"
+    "  --attack applies to fault-matrix; --fault applies one preset to the\n"
+    "  fig1a/fig1b/fig2 sweeps (fig3 is sampler-only and ignores both).\n";
+
+std::size_t default_trials(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick: return 5;
+    case Scale::kDefault: return 30;
+    case Scale::kLarge: return 100;  // the ROADMAP's >=100 trials/point bar
+  }
+  return 30;
+}
+
+exp::Sweep::Progress progress(const char* label) {
+  return exp::stderr_progress(label);
+}
+
+/// Report skeleton shared by all figures: bench_util's meta filling plus
+/// the figure's headline-curve axes.
+exp::Report figure_report(const Options& opt, const char* figure,
+                          const char* title, const char* x_axis,
+                          const char* y_metric, const char* y_label,
+                          std::size_t trials) {
+  exp::Report report = benchutil::make_report("fba_repro", figure, title,
+                                              opt.seed, trials, opt.scale);
+  report.meta().x_axis = x_axis;
+  report.meta().y_metric = y_metric;
+  report.meta().y_label = y_label;
+  return report;
+}
+
+/// Splits one multi-model sweep into per-model series named
+/// "<prefix><model>".
+void add_by_model(exp::Report& report, const std::string& prefix,
+                  const aer::AerConfig& base,
+                  const std::vector<exp::PointResult>& results) {
+  benchutil::add_split_series(report, base, results,
+                              [&prefix](const exp::GridPoint& p) {
+                                return prefix + aer::model_name(p.model);
+                              });
+}
+
+// ---- fig1a: a-e to everywhere comparison ------------------------------------
+
+exp::Report run_fig1a(const Options& opt, std::size_t trials) {
+  exp::Report report = figure_report(
+      opt, "fig1a", "Figure 1(a): almost-everywhere to everywhere comparison",
+      "n", "amortized_bits.mean", "amortized bits per node", trials);
+
+  aer::AerConfig base;
+  base.seed = opt.seed;
+  const std::vector<std::size_t> sizes = benchutil::protocol_sizes(opt.scale);
+
+  exp::Grid aer_grid;
+  aer_grid.ns = sizes;
+  aer_grid.models = {aer::Model::kSyncNonRushing, aer::Model::kSyncRushing,
+                     aer::Model::kAsync};
+  if (opt.fault != "none") aer_grid.faults = {opt.fault};
+  exp::Sweep aer_sweep(base, aer_grid, trials);
+  aer_sweep.set_threads(opt.threads);
+  aer_sweep.set_progress(progress("fig1a AER"));
+  add_by_model(report, "AER/", base, aer_sweep.run());
+
+  exp::Grid base_grid;
+  base_grid.ns = sizes;
+  base_grid.models = {aer::Model::kSyncRushing};
+  if (opt.fault != "none") base_grid.faults = {opt.fault};
+  exp::Sweep sqrt_sweep(base, base_grid, trials);
+  sqrt_sweep.set_threads(opt.threads).set_trial(exp::run_sqrtsample_trial);
+  sqrt_sweep.set_progress(progress("fig1a sqrt-sample"));
+  report.add_points("SQRT-SAMPLE", base, sqrt_sweep.run());
+
+  exp::Sweep flood_sweep(base, base_grid, trials);
+  flood_sweep.set_threads(opt.threads).set_trial(exp::run_flood_trial);
+  flood_sweep.set_progress(progress("fig1a flood"));
+  report.add_points("FLOOD-ALL", base, flood_sweep.run());
+  return report;
+}
+
+// ---- fig1b: BA comparison ---------------------------------------------------
+
+exp::Report run_fig1b(const Options& opt, std::size_t trials) {
+  exp::Report report = figure_report(
+      opt, "fig1b", "Figure 1(b): Byzantine Agreement comparison", "n",
+      "completion_time.mean", "end-to-end time (AE rounds + reduction)",
+      trials);
+
+  aer::AerConfig base;
+  base.seed = opt.seed;
+  // BA's corruption operating point (BaConfig's default) — recorded on the
+  // sweep base so the report's axes/provenance match what the trials run.
+  base.corrupt_fraction = 0.05;
+  exp::Grid grid;
+  grid.ns = benchutil::protocol_sizes(opt.scale);
+  if (opt.fault != "none") grid.faults = {opt.fault};
+
+  for (const ba::Reduction reduction :
+       {ba::Reduction::kAer, ba::Reduction::kSqrtSample,
+        ba::Reduction::kFlood}) {
+    exp::Sweep sweep(base, grid, trials);
+    sweep.set_threads(opt.threads);
+    sweep.set_progress(progress(ba::reduction_name(reduction)));
+    sweep.set_trial(
+        [reduction](const aer::AerConfig& cfg, const exp::GridPoint& point) {
+          ba::BaConfig run;
+          run.n = cfg.n;
+          run.seed = cfg.seed;
+          run.corrupt_fraction = cfg.corrupt_fraction;
+          if (!point.fault.empty()) {
+            run.fault_plan = exp::fault_plan_factory(point.fault);
+          }
+          return exp::outcome_of(ba::run_ba(run, reduction));
+        });
+    report.add_points(std::string("BA/") + ba::reduction_name(reduction),
+                      base, sweep.run());
+  }
+  return report;
+}
+
+// ---- fig2: push/pull message flow -------------------------------------------
+
+exp::Report run_fig2(const Options& opt, std::size_t trials) {
+  exp::Report report = figure_report(
+      opt, "fig2", "Figure 2: push and pull message flow (per-kind traffic)",
+      "kind", "amortized_bits.mean", "amortized bits per node", trials);
+
+  aer::AerConfig cfg;
+  cfg.n = 64;
+  // Default seed 13 = the exact configuration bench_fig2_trace traces
+  // (their reports are then fingerprint-identical); an explicit --seed
+  // overrides it. Either way meta.base_seed records the seed actually run.
+  cfg.seed = opt.seed_set ? opt.seed : 13;
+  cfg.model = aer::Model::kSyncRushing;
+  cfg.d_override = 11;
+  report.meta().base_seed = cfg.seed;
+  // The fault rides the grid axis (not cfg.fault_plan) so the report's
+  // point axes record it.
+  exp::Grid grid;
+  if (opt.fault != "none") grid.faults = {opt.fault};
+
+  exp::Sweep sweep(cfg, grid, trials);
+  sweep.set_threads(opt.threads);
+  sweep.set_progress(progress("fig2"));
+  report.add_points("AER n=64", cfg, sweep.run());
+  return report;
+}
+
+// ---- fig3: sampler expansion ------------------------------------------------
+
+exp::Report run_fig3(const Options& opt, std::size_t trials) {
+  exp::Report report = figure_report(
+      opt, "fig3", "Figure 3 / Lemma 2: sampler border expansion", "n",
+      "completion_time.min", "min border ratio |dL| / (d |L|)", trials);
+
+  // The shared benchutil::run_fig3_point driver (also behind
+  // bench_fig3_expansion) keeps seed derivation identical across both
+  // tools — at equal --trials their fig3 points are
+  // fingerprint-identical.
+  std::size_t grid_point = 0;
+  for (const std::size_t n : benchutil::light_sizes(opt.scale)) {
+    for (const bool adversarial : {false, true}) {
+      ++grid_point;
+      benchutil::Fig3Point point = benchutil::run_fig3_point(
+          n, adversarial, grid_point, opt.seed, trials, opt.threads);
+      const std::string series = point.report_point.point.strategy;
+      report.add_point(series, std::move(point.report_point));
+    }
+  }
+  return report;
+}
+
+// ---- fault-matrix: degradation beyond the paper's model ---------------------
+
+exp::Report run_fault_matrix(const Options& opt, std::size_t trials) {
+  exp::Report report = figure_report(
+      opt, "fault-matrix",
+      "Fault degradation matrix: liveness under loss / partitions / churn",
+      "fault", "decided_fraction", "decided fraction of correct nodes",
+      trials);
+
+  aer::AerConfig base;
+  base.n = 128;
+  base.seed = opt.seed;
+  base.max_rounds = 60;
+  base.max_time = 60.0;
+
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies = {opt.attack};
+  grid.faults = exp::known_faults();
+  exp::Sweep sweep(base, grid, trials);
+  sweep.set_threads(opt.threads);
+  sweep.set_progress(progress("fault-matrix"));
+  add_by_model(report, "AER/", base, sweep.run());
+  return report;
+}
+
+// ---- driver -----------------------------------------------------------------
+
+Options parse(int argc, char** argv) {
+  // Strict flag vocabulary: a typoed --baseline must not silently skip the
+  // regression gate.
+  static constexpr const char* kBareFlags[] = {"--quick", "--large", "--help",
+                                               "-h"};
+  static constexpr const char* kValueFlags[] = {
+      "--figure=", "--out=",   "--baseline=", "--validate=", "--attack=",
+      "--fault=",  "--seed=",  "--trials=",   "--threads="};
+  for (int i = 1; i < argc; ++i) {
+    bool known = false;
+    for (const char* flag : kBareFlags) {
+      known |= std::strcmp(argv[i], flag) == 0;
+    }
+    for (const char* flag : kValueFlags) {
+      known |= std::strncmp(argv[i], flag, std::strlen(flag)) == 0;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown flag: %s (--help lists flags)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+
+  Options opt;
+  opt.scale = benchutil::parse_scale(argc, argv);
+  opt.figure = benchutil::string_flag(argc, argv, "--figure", "");
+  opt.out = benchutil::string_flag(argc, argv, "--out", "results");
+  opt.baseline = benchutil::string_flag(argc, argv, "--baseline", "");
+  opt.validate = benchutil::string_flag(argc, argv, "--validate", "");
+  opt.attack = benchutil::string_flag(argc, argv, "--attack", "none");
+  opt.fault = benchutil::string_flag(argc, argv, "--fault", "none");
+  const std::string seed = benchutil::string_flag(argc, argv, "--seed", "");
+  if (!seed.empty()) {
+    char* end = nullptr;
+    opt.seed = std::strtoull(seed.c_str(), &end, 10);
+    if (end == seed.c_str() || *end != '\0') {
+      std::fprintf(stderr, "malformed --seed=%s (expected a decimal integer)\n",
+                   seed.c_str());
+      std::exit(2);
+    }
+    opt.seed_set = true;
+  }
+  opt.trials = benchutil::flag_value(argc, argv, "--trials", 0);
+  opt.threads = benchutil::threads_for(argc, argv);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (benchutil::handle_help(
+          argc, argv, "fba_repro",
+          "figure-reproduction pipeline (JSON/CSV/gnuplot/markdown per"
+          " figure)",
+          kUsageExtra,
+          exp::UsageSections{.attacks = true, .faults = true,
+                             .json = false})) {  // reports go via --out
+    return 0;
+  }
+  const Options opt = parse(argc, argv);
+
+  try {
+    if (!opt.validate.empty()) {
+      const exp::Report r = exp::Report::from_json_file(opt.validate);
+      std::printf("%s: valid fba.report (schema v%llu), figure %s, %zu"
+                  " series, %zu points, fingerprints verified\n",
+                  opt.validate.c_str(),
+                  static_cast<unsigned long long>(exp::kReportSchemaVersion),
+                  r.meta().figure.c_str(), r.series().size(),
+                  r.total_points());
+      return 0;
+    }
+
+    // Validate scenario names before any sweep runs.
+    exp::attack_factory(opt.attack);
+    exp::fault_plan_factory(opt.fault);
+
+    const std::size_t trials =
+        opt.trials > 0 ? opt.trials : default_trials(opt.scale);
+    benchutil::Stopwatch watch;
+
+    exp::Report report;
+    if (opt.figure == "fig1a") {
+      report = run_fig1a(opt, trials);
+    } else if (opt.figure == "fig1b") {
+      report = run_fig1b(opt, trials);
+    } else if (opt.figure == "fig2") {
+      report = run_fig2(opt, trials);
+    } else if (opt.figure == "fig3") {
+      report = run_fig3(opt, trials);
+    } else if (opt.figure == "fault-matrix") {
+      report = run_fault_matrix(opt, trials);
+    } else {
+      std::fprintf(stderr,
+                   "%s --figure=%s: unknown figure (known: fig1a, fig1b,"
+                   " fig2, fig3, fault-matrix; --help for details)\n",
+                   argv[0], opt.figure.c_str());
+      return 2;
+    }
+
+    // The rendered curve + per-series tables, then the artifact files.
+    std::fputs(report.to_markdown().c_str(), stdout);
+    for (const std::string& path : report.write_all(opt.out)) {
+      std::printf("wrote %s\n", path.c_str());
+    }
+    std::printf("[%s done in %.1fs: %zu trials/point x %zu points on %zu"
+                " thread(s)]\n",
+                opt.figure.c_str(), watch.seconds(), trials,
+                report.total_points(), opt.threads);
+
+    if (!opt.baseline.empty()) {
+      const exp::Report baseline =
+          exp::Report::from_json_file(opt.baseline);
+      const exp::DiffResult diff = report.diff(baseline);
+      std::printf("\n--- diff vs %s ---\n%s", opt.baseline.c_str(),
+                  diff.summary().c_str());
+      if (!diff.ok()) return 1;
+    }
+    return 0;
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}

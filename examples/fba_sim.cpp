@@ -16,6 +16,9 @@
 // --trials=N > 1 the run becomes a multi-trial exp::Sweep
 // (deterministically seeded from --seed, fanned across --threads worker
 // threads) and prints the aggregate instead of a single report.
+// --json=FILE writes the run as an fba.report document (exp/report.h,
+// docs/output-schema.md); --help prints the generated usage block
+// (exp::scenario_usage()).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,9 +48,31 @@ struct Options {
   std::string attack = "none";
   std::string fault = "none";
   std::string reduction = "aer";
+  std::string json;  ///< --json=FILE: write an fba.report document.
   std::size_t trials = 1;
   std::size_t threads = exp::default_threads();
 };
+
+void print_usage() {
+  std::printf(
+      "fba_sim — run any protocol under any timing model and adversary\n\n"
+      "usage: fba_sim [flags]\n"
+      "  --protocol=NAME    aer | ba | ae | flood | sqrt | snowball"
+      " (default aer)\n"
+      "  --n=N              network size (default 256)\n"
+      "  --seed=N           base seed (default 1)\n"
+      "  --corrupt=F        corrupt fraction t/n (default 0.08)\n"
+      "  --know=F           knowledgeable fraction of correct nodes"
+      " (default 0.95)\n"
+      "  --d=N              quorum/poll-list size override\n"
+      "  --budget=N         Algorithm 3 answer-budget override\n"
+      "  --model=NAME       sync | sync-nr | async (default sync)\n"
+      "  --reduction=NAME   aer | sqrt | flood (BA composition only)\n"
+      "  --attack=equivocate  AE-tournament-only attack (--protocol=ae;\n"
+      "                     the registry below drives the other protocols)\n"
+      "%s",
+      exp::scenario_usage().c_str());
+}
 
 bool parse_flag(const char* arg, const char* name, std::string& out) {
   const std::size_t len = std::strlen(name);
@@ -62,6 +87,11 @@ Options parse(int argc, char** argv) {
   Options opt;
   std::string value;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_usage();
+      std::exit(0);
+    }
     if (parse_flag(argv[i], "--protocol", value)) opt.protocol = value;
     else if (parse_flag(argv[i], "--n", value)) opt.n = std::stoull(value);
     else if (parse_flag(argv[i], "--seed", value)) opt.seed = std::stoull(value);
@@ -73,10 +103,11 @@ Options parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--attack", value)) opt.attack = value;
     else if (parse_flag(argv[i], "--fault", value)) opt.fault = value;
     else if (parse_flag(argv[i], "--reduction", value)) opt.reduction = value;
+    else if (parse_flag(argv[i], "--json", value)) opt.json = value;
     else if (parse_flag(argv[i], "--trials", value)) opt.trials = std::stoull(value);
     else if (parse_flag(argv[i], "--threads", value)) opt.threads = std::stoull(value);
     else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::fprintf(stderr, "unknown flag: %s (--help lists flags)\n", argv[i]);
       std::exit(2);
     }
   }
@@ -180,12 +211,71 @@ void print_aggregate(const std::string& label, const exp::Aggregate& a,
               static_cast<unsigned long long>(a.fingerprint()));
 }
 
+/// --json=FILE: the run's aggregate as a one-point fba.report document
+/// (exp/report.h) — the same schema the benches and fba_repro write.
+void write_json_report(const Options& opt, const std::string& series,
+                       const exp::GridPoint& point, const exp::Aggregate& agg,
+                       const aer::AerConfig& base) {
+  if (opt.json.empty()) return;
+  exp::ReportMeta meta;
+  meta.tool = "fba_sim";
+  meta.figure = "sim-" + opt.protocol;
+  meta.title = "fba_sim " + series;
+  meta.base_seed = opt.seed;
+  meta.trials = opt.trials;
+  meta.x_axis = "index";
+  meta.y_metric = "completion_time.mean";
+  meta.y_label = "completion time";
+  exp::Report report{std::move(meta)};
+  report.add_point(series,
+                   exp::ReportPoint{point, exp::point_provenance(base, point),
+                                    agg});
+  try {
+    report.write_json(opt.json);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+  std::fprintf(stderr, "wrote %s\n", opt.json.c_str());
+}
+
+/// The AerConfig base both BA report paths derive provenance from — one
+/// place, so the recorded d/t/model cannot diverge between the single-run
+/// and multi-trial branches.
+aer::AerConfig ba_report_base(const Options& opt, aer::Model reduction_model) {
+  aer::AerConfig base;
+  base.n = opt.n;
+  base.seed = opt.seed;
+  base.corrupt_fraction = opt.corrupt;
+  base.d_override = opt.d;
+  base.model = reduction_model;
+  return base;
+}
+
+/// The single-run (--trials=1) grid point for report labeling.
+exp::GridPoint single_point(const Options& opt, aer::Model model) {
+  exp::GridPoint p;
+  p.n = opt.n;
+  p.model = model;
+  p.corrupt_fraction = opt.corrupt;
+  p.strategy = opt.attack;
+  p.fault = opt.fault;
+  return p;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
 
   if (opt.protocol == "ae") {
+    if (!opt.json.empty()) {
+      std::fprintf(stderr,
+                   "--json is not supported for the AE tournament (its report"
+                   " shape differs); it applies to aer/ba/flood/sqrt/"
+                   "snowball\n");
+      return 2;
+    }
     if (opt.fault != "none") {
       std::fprintf(stderr,
                    "--fault applies to the AER/baseline/BA-reduction engines;"
@@ -223,10 +313,7 @@ int main(int argc, char** argv) {
     if (opt.reduction == "flood") reduction = ba::Reduction::kFlood;
     make_attack(opt.attack);  // validate the name before any sweep runs
     if (opt.trials > 1) {
-      aer::AerConfig base;
-      base.n = opt.n;
-      base.seed = opt.seed;
-      base.corrupt_fraction = opt.corrupt;
+      const aer::AerConfig base = ba_report_base(opt, cfg.reduction_model);
       exp::Grid grid;
       grid.strategies = {opt.attack};
       grid.faults = {opt.fault};  // BaConfig carries the resolved plan.
@@ -244,6 +331,8 @@ int main(int argc, char** argv) {
       print_aggregate(std::string("BA/") + ba::reduction_name(reduction) +
                           " " + result.point.label(),
                       result.aggregate, opt.threads);
+      write_json_report(opt, std::string("BA/") + ba::reduction_name(reduction),
+                        result.point, result.aggregate, base);
       return result.aggregate.agreements == result.aggregate.trials ? 0 : 1;
     }
     const ba::BaReport r =
@@ -252,6 +341,14 @@ int main(int argc, char** argv) {
                 ba::reduction_name(reduction), r.total_time, r.amortized_bits,
                 r.agreement ? "AGREEMENT" : "no agreement");
     print_report("  reduction phase", r.reduction);
+    if (!opt.json.empty()) {
+      exp::TrialOutcome o = exp::outcome_of(r);
+      o.seed = opt.seed;
+      write_json_report(opt, std::string("BA/") + ba::reduction_name(reduction),
+                        single_point(opt, cfg.reduction_model),
+                        exp::aggregate_outcomes({o}),
+                        ba_report_base(opt, cfg.reduction_model));
+    }
     return r.agreement ? 0 : 1;
   }
 
@@ -291,6 +388,7 @@ int main(int argc, char** argv) {
     const exp::PointResult result = sweep.run().front();
     print_aggregate(opt.protocol + " " + result.point.label(),
                     result.aggregate, opt.threads);
+    write_json_report(opt, opt.protocol, result.point, result.aggregate, cfg);
     return result.aggregate.agreements == result.aggregate.trials ? 0 : 1;
   }
 
@@ -305,5 +403,11 @@ int main(int argc, char** argv) {
     report = baseline::run_snowball(cfg, make_attack(opt.attack));
   }
   print_report(opt.protocol.c_str(), report);
+  if (!opt.json.empty()) {
+    exp::TrialOutcome o = exp::outcome_of(report);
+    o.seed = opt.seed;
+    write_json_report(opt, opt.protocol, single_point(opt, cfg.model),
+                      exp::aggregate_outcomes({o}), cfg);
+  }
   return report.agreement ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "exp/scenario.h"
 
+#include <cstdio>
+
 #include "adversary/strategies.h"
 #include "baseline/flood.h"
 #include "baseline/snowball.h"
@@ -18,7 +20,91 @@ std::string join(const std::vector<std::string>& names) {
   return out;
 }
 
+std::string format_registry(const std::vector<ScenarioEntry>& entries) {
+  std::string out;
+  char line[160];
+  for (const ScenarioEntry& e : entries) {
+    std::snprintf(line, sizeof(line), "      %-15s %s\n", e.name,
+                  e.description);
+    out += line;
+  }
+  return out;
+}
+
 }  // namespace
+
+const std::vector<ScenarioEntry>& attack_registry() {
+  static const std::vector<ScenarioEntry> kAttacks = {
+      {"none", "honest run (no adversary strategy)"},
+      {"silent", "crash faults: corrupt nodes send nothing"},
+      {"junk", "coordinated junk-string diffusion (Lemma 4)"},
+      {"junk-light", "junk with bench_push_phase's smaller search budget"},
+      {"flood", "blind push flooding (Section 3.1.1)"},
+      {"stuff", "poll stuffing / overload chain (Lemma 6)"},
+      {"overload",
+       "tight-budget poll stuffing + targeted delays under async (Lemmas 6/8)"},
+      {"wrong", "wrong-answer safety attack (Lemma 7)"},
+      {"skew", "load-skew quorum seizure against node 0 (Figure 1a)"},
+      {"skew-heavy", "skew with bench_fig1a's larger string-search budget"},
+      {"combo", "junk + wrong + stuff composed"},
+  };
+  return kAttacks;
+}
+
+const std::vector<ScenarioEntry>& fault_registry() {
+  static const std::vector<ScenarioEntry> kFaults = {
+      {"none", "reliable channels (the paper's model)"},
+      {"lossy-1pct", "1% i.i.d. per-message loss on every link"},
+      {"lossy-5pct", "5% i.i.d. loss"},
+      {"lossy-20pct", "20% i.i.d. loss, near the liveness breaking point"},
+      {"jitter", "25% of messages delayed 2 extra rounds / time units"},
+      {"flaky", "2% loss + 10% jitter of 1, the \"bad datacenter\" mix"},
+      {"split-heal", "even partition active over [2, 6), then heals"},
+      {"split-minority", "20% of nodes cut off over [1, 5)"},
+      {"churn-10pct", "10% of nodes dark over [1, 5), then back"},
+      {"churn-heavy", "25% of nodes dark over [1, 8)"},
+  };
+  return kFaults;
+}
+
+std::string scenario_usage(const UsageSections& sections) {
+  std::string out;
+  if (sections.attacks || sections.faults) {
+    out += "scenario vocabulary (shared by fba_sim, the benches, fba_repro"
+           " and the exp::Grid axes):\n";
+  }
+  if (sections.attacks) {
+    out += "  --attack=<name>    adversary strategy:\n";
+    out += format_registry(attack_registry());
+  }
+  if (sections.faults) {
+    out += "  --fault=<preset>   channel-fault preset, composable with any"
+           " attack:\n";
+    out += format_registry(fault_registry());
+  }
+  if (sections.sweep) {
+    out += "common sweep flags:\n"
+           "  --trials=N         trials per grid point (multi-trial sweep"
+           " when N > 1)\n"
+           "  --threads=N        exp::Sweep worker threads; results are"
+           " bit-identical\n"
+           "                     at any thread count (--threads=1 = serial"
+           " reference)\n";
+  }
+  if (sections.json) {
+    out += "report output (docs/output-schema.md):\n"
+           "  --json=FILE        write the run's aggregates as a versioned"
+           " fba.report\n"
+           "                     JSON document (schema v1)\n";
+  }
+  return out;
+}
+
+std::string scenario_usage() {
+  return scenario_usage(
+      UsageSections{.attacks = true, .faults = true, .sweep = true,
+                    .json = true});
+}
 
 aer::StrategyFactory attack_factory(const std::string& name) {
   if (name.empty() || name == "none") return {};
@@ -89,9 +175,10 @@ aer::StrategyFactory attack_factory(const std::string& name) {
 }
 
 std::vector<std::string> known_attacks() {
-  return {"none",     "silent", "junk", "junk-light", "flood",
-          "stuff",    "overload", "wrong", "skew",    "skew-heavy",
-          "combo"};
+  std::vector<std::string> names;
+  names.reserve(attack_registry().size());
+  for (const ScenarioEntry& e : attack_registry()) names.push_back(e.name);
+  return names;
 }
 
 sim::FaultPlan fault_plan_factory(const std::string& name) {
@@ -141,9 +228,10 @@ sim::FaultPlan fault_plan_factory(const std::string& name) {
 }
 
 std::vector<std::string> known_faults() {
-  return {"none",        "lossy-1pct",     "lossy-5pct", "lossy-20pct",
-          "jitter",      "flaky",          "split-heal", "split-minority",
-          "churn-10pct", "churn-heavy"};
+  std::vector<std::string> names;
+  names.reserve(fault_registry().size());
+  for (const ScenarioEntry& e : fault_registry()) names.push_back(e.name);
+  return names;
 }
 
 namespace {

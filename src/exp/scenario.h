@@ -15,39 +15,49 @@
 
 namespace fba::exp {
 
-/// Resolves an attack name to a strategy factory. Known names:
-///   none      — honest run (null factory);
-///   silent    — crash faults;
-///   junk      — coordinated junk-string diffusion (Lemma 4);
-///   junk-light— junk with the smaller search budget bench_push_phase uses;
-///   flood     — blind push flooding (Section 3.1.1);
-///   stuff     — poll stuffing / overload chain (Lemma 6);
-///   overload  — tight-budget poll stuffing + targeted delays under async,
-///               the Lemma 6/8 latency-stretch adversary;
-///   wrong     — wrong-answer safety attack (Lemma 7);
-///   skew      — load-skew quorum seizure against node 0 (Figure 1a);
-///   skew-heavy— skew with bench_fig1a's larger string-search budget;
-///   combo     — junk + wrong + stuff composed.
-/// Throws ConfigError on an unknown name; the message lists every known
-/// attack (and the fault presets, the usual confusion).
+/// One entry of the scenario vocabulary: a name plus the one-line
+/// description --help blocks print. The registries below are the single
+/// source of truth behind known_attacks() / known_faults(),
+/// attack_factory() / fault_plan_factory() error messages, and
+/// scenario_usage().
+struct ScenarioEntry {
+  const char* name;
+  const char* description;
+};
+
+/// Every attack strategy attack_factory() accepts, with descriptions.
+const std::vector<ScenarioEntry>& attack_registry();
+/// Every fault preset fault_plan_factory() accepts, with descriptions.
+const std::vector<ScenarioEntry>& fault_registry();
+
+/// Which sections of the generated usage block a binary's --help prints.
+/// Only advertise flags the binary actually parses: attacks/faults are off
+/// by default because most benches pin their own adversary/fault axes.
+struct UsageSections {
+  bool attacks = false;  ///< the binary accepts --attack=<name>.
+  bool faults = false;   ///< the binary accepts --fault=<preset>.
+  bool sweep = true;     ///< --trials / --threads.
+  bool json = true;      ///< the --json=FILE report flag.
+};
+
+/// The generated usage block shared by fba_sim, the benches and fba_repro:
+/// the attack and fault vocabularies with descriptions plus the common
+/// sweep/report flags, restricted to the sections the caller supports.
+std::string scenario_usage(const UsageSections& sections);
+/// All sections — what fba_sim (which parses everything) prints.
+std::string scenario_usage();
+
+/// Resolves an attack name to a strategy factory (names and descriptions:
+/// attack_registry()). Throws ConfigError on an unknown name; the message
+/// lists every known attack (and the fault presets, the usual confusion).
 aer::StrategyFactory attack_factory(const std::string& name);
 
 /// Names accepted by attack_factory, for --help strings.
 std::vector<std::string> known_attacks();
 
 /// Resolves a fault-preset name to a sim::FaultPlan (net/fault.h) — the
-/// second half of the scenario vocabulary, composable with every attack.
-/// Known names:
-///   none        — reliable channels (empty plan; "" is accepted too);
-///   lossy-1pct  — 1% i.i.d. per-message loss on every link;
-///   lossy-5pct  — 5% loss;
-///   lossy-20pct — 20% loss, near the liveness breaking point;
-///   jitter      — 25% of messages delayed 2 extra rounds / time units;
-///   flaky       — 2% loss + 10% jitter of 1, the "bad datacenter" mix;
-///   split-heal  — even partition active over [2, 6), then heals;
-///   split-minority — 20% of nodes cut off over [1, 5);
-///   churn-10pct — 10% of nodes dark over [1, 5), then back;
-///   churn-heavy — 25% of nodes dark over [1, 8).
+/// second half of the scenario vocabulary, composable with every attack
+/// (names and descriptions: fault_registry(); "" is accepted as "none").
 /// Throws ConfigError on an unknown name, listing the known presets.
 sim::FaultPlan fault_plan_factory(const std::string& name);
 

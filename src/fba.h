@@ -33,6 +33,7 @@
 #include "baseline/sqrtsample.h"
 #include "exp/aggregate.h"
 #include "exp/grid.h"
+#include "exp/report.h"
 #include "exp/scenario.h"
 #include "exp/stats.h"
 #include "exp/sweep.h"
@@ -46,6 +47,7 @@
 #include "support/bitstring.h"
 #include "support/histogram.h"
 #include "support/intern.h"
+#include "support/json.h"
 #include "support/metrics.h"
 #include "support/permutation.h"
 #include "support/random.h"
