@@ -8,6 +8,7 @@
 // the per-hop message counts of their verification pulls.
 #include <algorithm>
 #include <iostream>
+#include <map>
 
 #include "bench_util.h"
 #include "fba.h"

@@ -130,16 +130,50 @@ void BM_QuorumTargets(benchmark::State& state) {
 }
 BENCHMARK(BM_QuorumTargets)->Arg(1024)->Arg(16384);
 
-void BM_QuorumCacheHit(benchmark::State& state) {
-  sampler::QuorumSampler sampler(sampler::SamplerParams::defaults(4096, 1),
-                                 0x11);
-  sampler::QuorumCache cache(sampler);
-  cache.get(7, 3);
+/// Warm-row lookup through the dense tables: the per-delivery hot path
+/// (one dense index, no hashing — what replaced the unordered_map cache).
+void BM_QuorumLookupWarm(benchmark::State& state) {
+  sampler::SamplerSuite suite(sampler::SamplerParams::defaults(4096, 1));
+  sampler::SharedTables tables;
+  tables.reset(suite, 4096);
+  tables.push.row(0, 7, 3);  // build once
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.contains(7, 3, 1));
+    const sampler::QuorumView view = tables.push.row(0, 7, 3);
+    benchmark::DoNotOptimize(view.contains(1));
   }
 }
-BENCHMARK(BM_QuorumCacheHit);
+BENCHMARK(BM_QuorumLookupWarm);
+
+/// Cold-row build: table reset (re-key) plus first touch of d rows — the
+/// per-trial setup cost the precomputed slot permutations amortize.
+void BM_QuorumLookupCold(benchmark::State& state) {
+  sampler::SamplerSuite suite(sampler::SamplerParams::defaults(4096, 1));
+  sampler::SharedTables tables;
+  NodeId x = 0;
+  for (auto _ : state) {
+    tables.reset(suite, 4096);
+    for (std::size_t k = 0; k < suite.params.d; ++k) {
+      benchmark::DoNotOptimize(tables.push.row(0, 7, x));
+      x = (x + 1) % 4096;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(suite.params.d));
+}
+BENCHMARK(BM_QuorumLookupCold);
+
+/// Warm poll-row lookup: one open-addressed probe on the packed (x, r) key.
+void BM_PollLookupWarm(benchmark::State& state) {
+  sampler::SamplerSuite suite(sampler::SamplerParams::defaults(4096, 1));
+  sampler::SharedTables tables;
+  tables.reset(suite, 4096);
+  tables.poll.row(3, 777);
+  for (auto _ : state) {
+    const sampler::QuorumView view = tables.poll.row(3, 777);
+    benchmark::DoNotOptimize(view.contains(1));
+  }
+}
+BENCHMARK(BM_PollLookupWarm);
 
 void BM_PollListEval(benchmark::State& state) {
   sampler::PollSampler sampler(sampler::SamplerParams::defaults(4096, 1),
@@ -257,6 +291,69 @@ void BM_SteadyStateSendAllocations(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(messages));
 }
 BENCHMARK(BM_SteadyStateSendAllocations);
+
+/// Full world construction through the trial arena: what exp::Sweep pays
+/// per trial before the engine runs (samplers re-keyed, string table and
+/// vectors reused in place).
+void BM_TrialSetup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  exp::TrialArena arena;
+  aer::AerConfig cfg;
+  cfg.n = n;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = ++seed;  // fresh setup randomness every trial, as in a sweep
+    aer::build_aer_world_into(arena.world, cfg);
+    benchmark::DoNotOptimize(arena.world.correct.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrialSetup)->Arg(256)->Arg(2048);
+
+/// The trial-arena zero-allocation contract: once the arena is warm, a full
+/// AER trial (world rebuild + engine run + outcome harvest) must not touch
+/// the heap. Counted via the instrumented global allocator; any allocation
+/// fails the benchmark (and the CI smoke step with it). Mirrors
+/// BM_SteadyStateSendAllocations, one level up.
+void BM_WarmTrialAllocations(benchmark::State& state) {
+  exp::TrialArena arena;
+  exp::GridPoint point;
+  point.n = 64;
+  point.model = aer::Model::kSyncRushing;
+  point.strategy = "none";
+  aer::AerConfig cfg;
+  cfg.n = 64;
+  cfg.model = aer::Model::kSyncRushing;
+  exp::TrialOutcome out;
+  // Warm-up: grow every pool/slab/table to these trials' working-set size.
+  // The measured loop re-runs the same seeds: the zero-allocation contract
+  // is that a trial whose working set the arena has already accommodated
+  // performs no heap allocation (a *new* seed may legitimately push a
+  // capacity high-water mark once, then joins the warm set).
+  constexpr std::uint64_t kSeeds = 4;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    cfg.seed = seed;
+    exp::run_aer_trial(cfg, point, arena, out);
+  }
+  std::size_t allocs = 0;
+  std::uint64_t trials = 0;
+  for (auto _ : state) {
+    cfg.seed = 1 + trials % kSeeds;
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    exp::run_aer_trial(cfg, point, arena, out);
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    allocs += g_alloc_count.load(std::memory_order_relaxed);
+    ++trials;
+  }
+  state.counters["warm_trial_allocs"] =
+      static_cast<double>(allocs) / static_cast<double>(trials);
+  if (allocs != 0) {
+    state.SkipWithError("warm-arena trial performed heap allocations");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(trials));
+}
+BENCHMARK(BM_WarmTrialAllocations);
 
 void BM_BitStringDigest(benchmark::State& state) {
   Rng rng(1);

@@ -24,37 +24,35 @@ using namespace fba;
 
 /// Runs only the diffusion and harvests the candidate-list shape directly
 /// from the actors (the full-run report sections never get filled because
-/// the engine stops after round 1).
-exp::TrialOutcome run_push_trial(const aer::AerConfig& base_cfg,
-                                 const exp::GridPoint& point) {
+/// the engine stops after round 1). Runs through the worker's TrialArena:
+/// world, engine and actor storage are reused across the sweep's trials.
+void run_push_trial(const aer::AerConfig& base_cfg,
+                    const exp::GridPoint& point, exp::TrialArena& arena,
+                    exp::TrialOutcome& out) {
   aer::AerConfig cfg = base_cfg;
   cfg.max_rounds = 1;
 
-  aer::AerWorld world = aer::build_aer_world(cfg);
+  aer::build_aer_world_into(arena.world, cfg);
+  aer::AerWorld& world = arena.world;
   const std::size_t n = cfg.n;
-  std::vector<aer::AerNode*> nodes(n, nullptr);
 
   sim::SyncConfig ec;
   ec.n = n;
   ec.seed = cfg.seed;
   ec.max_rounds = 1;
-  sim::SyncEngine engine(ec);
+  if (arena.run.sync.has_value()) arena.run.sync->reset(ec);
+  else arena.run.sync.emplace(ec);
+  sim::SyncEngine& engine = *arena.run.sync;
   engine.set_wire(&world.shared->wire());
   engine.set_corrupt(world.view.corrupt);
-  for (NodeId id = 0; id < n; ++id) {
-    if (engine.is_corrupt(id)) continue;
-    auto actor = std::make_unique<aer::AerNode>(world.shared.get(), id,
-                                                world.view.initial[id]);
-    nodes[id] = actor.get();
-    engine.set_actor(id, std::move(actor));
-  }
+  arena.run.wire_actors(engine, world);
   std::unique_ptr<adv::Strategy> strategy;
   const aer::StrategyFactory factory = exp::attack_factory(point.strategy);
   if (factory) strategy = factory(world.view);
   engine.set_strategy(strategy.get());
   engine.run([] { return false; });
 
-  exp::TrialOutcome out;
+  out = exp::TrialOutcome{};
   out.correct = world.correct.size();
   out.push_bits_per_node =
       double(engine.metrics().bits_of(sim::MessageKind::kPush)) / double(n);
@@ -62,7 +60,7 @@ exp::TrialOutcome run_push_trial(const aer::AerConfig& base_cfg,
       double(engine.metrics().messages_of(sim::MessageKind::kPush)) /
       double(n);
   std::size_t sum_lists = 0;
-  for (aer::AerNode* node : nodes) {
+  for (aer::AerNode* node : arena.run.active) {
     if (node == nullptr) continue;
     sum_lists += node->candidate_list().size();
     out.max_candidate_list =
@@ -71,7 +69,6 @@ exp::TrialOutcome run_push_trial(const aer::AerConfig& base_cfg,
   }
   out.candidate_lists_per_node =
       double(sum_lists) / double(world.correct.size());
-  return out;
 }
 
 }  // namespace
@@ -103,7 +100,7 @@ int main(int argc, char** argv) {
   grid.ns = light_sizes(scale);
   grid.strategies = {"none", "junk-light", "flood"};
   exp::Sweep sweep(base, grid, trials);
-  sweep.set_threads(threads).set_trial(run_push_trial);
+  sweep.set_threads(threads).set_arena_trial(run_push_trial);
   sweep.set_progress(progress_printer("push-phase"));
 
   exp::Report report =

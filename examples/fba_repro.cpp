@@ -52,6 +52,7 @@ struct Options {
   std::size_t trials = 0;         // 0 = per-scale default
   std::size_t threads = exp::default_threads();
   Scale scale = Scale::kDefault;
+  bool timing = false;  ///< --timing: print the setup-vs-run split on exit.
 };
 
 constexpr const char* kUsageExtra =
@@ -63,6 +64,8 @@ constexpr const char* kUsageExtra =
     "  --validate=FILE    parse FILE against the report schema (fingerprint\n"
     "                     revalidation included) and exit; no sweep runs\n"
     "  --seed=N           base seed (default 20130722)\n"
+    "  --timing           print the figure's accumulated setup-vs-run\n"
+    "                     wall-time split (sampler/world setup vs engine)\n"
     "  --attack applies to fault-matrix; --fault applies one preset to the\n"
     "  fig1a/fig1b/fig2 sweeps (fig3 is sampler-only and ignores both).\n";
 
@@ -264,8 +267,8 @@ exp::Report run_fault_matrix(const Options& opt, std::size_t trials) {
 Options parse(int argc, char** argv) {
   // Strict flag vocabulary: a typoed --baseline must not silently skip the
   // regression gate.
-  static constexpr const char* kBareFlags[] = {"--quick", "--large", "--help",
-                                               "-h"};
+  static constexpr const char* kBareFlags[] = {"--quick", "--large",
+                                               "--timing", "--help", "-h"};
   static constexpr const char* kValueFlags[] = {
       "--figure=", "--out=",   "--baseline=", "--validate=", "--attack=",
       "--fault=",  "--seed=",  "--trials=",   "--threads="};
@@ -291,6 +294,7 @@ Options parse(int argc, char** argv) {
   opt.baseline = benchutil::string_flag(argc, argv, "--baseline", "");
   opt.validate = benchutil::string_flag(argc, argv, "--validate", "");
   opt.attack = benchutil::string_flag(argc, argv, "--attack", "none");
+  opt.timing = benchutil::has_flag(argc, argv, "--timing");
   opt.fault = benchutil::string_flag(argc, argv, "--fault", "none");
   const std::string seed = benchutil::string_flag(argc, argv, "--seed", "");
   if (!seed.empty()) {
@@ -370,6 +374,19 @@ int main(int argc, char** argv) {
                 " thread(s)]\n",
                 opt.figure.c_str(), watch.seconds(), trials,
                 report.total_points(), opt.threads);
+
+    if (opt.timing) {
+      // One-line setup-vs-run split accumulated across this figure's
+      // sweeps: how much wall time went into world/sampler setup (what the
+      // shared tables + trial arenas amortize) vs engine execution.
+      const std::string line = exp::format_timing(exp::process_timing());
+      if (line.empty()) {
+        std::fprintf(stderr, "[timing] unavailable: this figure runs no"
+                             " arena-trial sweeps\n");
+      } else {
+        std::fprintf(stderr, "[timing] %s\n", line.c_str());
+      }
+    }
 
     if (!opt.baseline.empty()) {
       const exp::Report baseline =

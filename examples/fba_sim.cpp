@@ -51,6 +51,23 @@ struct Options {
   std::string json;  ///< --json=FILE: write an fba.report document.
   std::size_t trials = 1;
   std::size_t threads = exp::default_threads();
+  bool timing = false;  ///< --timing: print the setup-vs-run split on exit.
+};
+
+/// Prints the one-line setup-vs-run wall-time split on scope exit (the
+/// sweeps accumulate it into exp::process_timing()); makes the sampler
+/// precompute / trial-arena win visible without a profiler.
+struct TimingPrinter {
+  bool enabled = false;
+  ~TimingPrinter() {
+    if (!enabled) return;
+    const std::string line = exp::format_timing(exp::process_timing());
+    if (line.empty()) {
+      std::fprintf(stderr, "[timing] unavailable: no arena-trial sweep ran\n");
+    } else {
+      std::fprintf(stderr, "[timing] %s\n", line.c_str());
+    }
+  }
 };
 
 void print_usage() {
@@ -68,6 +85,8 @@ void print_usage() {
       "  --budget=N         Algorithm 3 answer-budget override\n"
       "  --model=NAME       sync | sync-nr | async (default sync)\n"
       "  --reduction=NAME   aer | sqrt | flood (BA composition only)\n"
+      "  --timing           print the setup-vs-run wall-time split of the\n"
+      "                     sweep's trials (sampler precompute vs engine)\n"
       "  --attack=equivocate  AE-tournament-only attack (--protocol=ae;\n"
       "                     the registry below drives the other protocols)\n"
       "%s",
@@ -106,6 +125,7 @@ Options parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--json", value)) opt.json = value;
     else if (parse_flag(argv[i], "--trials", value)) opt.trials = std::stoull(value);
     else if (parse_flag(argv[i], "--threads", value)) opt.threads = std::stoull(value);
+    else if (std::strcmp(argv[i], "--timing") == 0) opt.timing = true;
     else {
       std::fprintf(stderr, "unknown flag: %s (--help lists flags)\n", argv[i]);
       std::exit(2);
@@ -267,6 +287,7 @@ exp::GridPoint single_point(const Options& opt, aer::Model model) {
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  TimingPrinter timing_printer{opt.timing};
 
   if (opt.protocol == "ae") {
     if (!opt.json.empty()) {
@@ -365,7 +386,7 @@ int main(int argc, char** argv) {
 
   exp::Sweep::Trial trial;
   if (opt.protocol == "aer") {
-    trial = exp::run_aer_trial;
+    // Left null: Sweep's default trial is the arena-reusing AER runner.
   } else if (opt.protocol == "flood") {
     trial = exp::run_flood_trial;
   } else if (opt.protocol == "sqrt") {
@@ -383,7 +404,8 @@ int main(int argc, char** argv) {
     grid.strategies = {opt.attack};
     grid.faults = {opt.fault};
     exp::Sweep sweep(cfg, grid, opt.trials);
-    sweep.set_threads(opt.threads).set_trial(trial);
+    sweep.set_threads(opt.threads);
+    if (trial) sweep.set_trial(std::move(trial));
     sweep.set_progress(sweep_progress());
     const exp::PointResult result = sweep.run().front();
     print_aggregate(opt.protocol + " " + result.point.label(),

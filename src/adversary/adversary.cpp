@@ -10,9 +10,15 @@ SimTime Strategy::choose_delay(AdvContext& ctx, const sim::Envelope& env) {
 }
 
 std::vector<NodeId> random_corruption(std::size_t n, std::size_t t, Rng& rng) {
+  std::vector<NodeId> out;
+  random_corruption_into(n, t, rng, out);
+  return out;
+}
+
+void random_corruption_into(std::size_t n, std::size_t t, Rng& rng,
+                            std::vector<NodeId>& out) {
   FBA_REQUIRE(t <= n, "cannot corrupt more nodes than exist");
-  auto picked = rng.sample_without_replacement(n, t);
-  return {picked.begin(), picked.end()};
+  rng.sample_without_replacement_into(n, t, out);
 }
 
 std::size_t max_corrupt(std::size_t n, double eps) {

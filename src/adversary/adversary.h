@@ -95,6 +95,10 @@ class Strategy {
 /// Quorums) is done by the strategies in strategies.h.
 std::vector<NodeId> random_corruption(std::size_t n, std::size_t t, Rng& rng);
 
+/// In-place variant (identical picks; `out`'s capacity is reused).
+void random_corruption_into(std::size_t n, std::size_t t, Rng& rng,
+                            std::vector<NodeId>& out);
+
 /// Largest t allowed by the paper's resilience bound t < (1/3 - eps) n.
 std::size_t max_corrupt(std::size_t n, double eps = 0.02);
 

@@ -18,15 +18,18 @@ std::vector<NodeId> distinct(const sampler::Quorum& q) {
 
 /// How many quorums I(s, .) the corrupt coalition wins for string s — the
 /// adversary's yardstick when searching the string domain (Lemma 4 / 5).
-std::size_t quorums_won(const aer::AerShared& shared, sampler::StringKey skey,
+/// Reads the dense sampler tables (the string is interned): slot keys are
+/// derived once per string instead of once per (slot, x), and no quorum
+/// vectors are allocated.
+std::size_t quorums_won(const aer::AerShared& shared, StringId s,
                         const std::vector<bool>& is_corrupt) {
   std::size_t won = 0;
   const std::size_t n = shared.config.n;
   for (NodeId x = 0; x < n; ++x) {
-    const auto q = shared.samplers.push.quorum(skey, x);
+    const sampler::QuorumView q = shared.push_quorum(s, x);
     std::size_t corrupt_slots = 0;
-    for (NodeId member : q.members) {
-      if (is_corrupt[member]) ++corrupt_slots;
+    for (std::uint32_t k = 0; k < q.d; ++k) {
+      if (is_corrupt[q.slots[k]]) ++corrupt_slots;
     }
     if (corrupt_slots * 2 > q.size()) ++won;
   }
@@ -63,8 +66,7 @@ JunkPushStrategy::JunkPushStrategy(const aer::AerWorldView& view,
   std::vector<std::pair<std::size_t, StringId>> scored;
   for (std::size_t trial = 0; trial < search_trials; ++trial) {
     const StringId id = shared_->table.intern(BitString::random(bits, rng));
-    const std::size_t won =
-        quorums_won(*shared_, shared_->key_of(id), is_corrupt);
+    const std::size_t won = quorums_won(*shared_, id, is_corrupt);
     scored.emplace_back(won, id);
   }
   std::sort(scored.begin(), scored.end(),
@@ -77,11 +79,12 @@ JunkPushStrategy::JunkPushStrategy(const aer::AerWorldView& view,
 void JunkPushStrategy::on_setup(AdvContext& ctx) {
   // Push through the legitimate channels: receivers only credit quorum
   // members, so targets(s, y) is the only send that can possibly count.
+  std::vector<NodeId> targets;
   for (StringId s : junk_) {
-    const auto skey = shared_->key_of(s);
     const sim::Message msg = aer::push_msg(s);
     for (NodeId y : ctx.corrupt_nodes()) {
-      for (NodeId target : shared_->samplers.push.targets(skey, y)) {
+      shared_->push_targets(s, y, targets);
+      for (NodeId target : targets) {
         ctx.send_from(y, target, msg);
       }
     }

@@ -28,6 +28,7 @@ AeNode::AeNode(AeShared* shared, NodeId self) : shared_(shared), self_(self) {
       echo_.emplace(i, std::move(role));
     }
   }
+  final_votes_.resize(layout.committees.size());
 }
 
 void AeNode::broadcast_to_committee(sim::Context& ctx, std::size_t slice,
@@ -93,7 +94,7 @@ void AeNode::handle_pk_value(sim::Context& ctx, NodeId from,
     return;
   }
   role.exchange_seen.push_back(from);
-  const std::size_t count = ++role.exchange_counts[m.value];
+  const std::size_t count = role.exchange_counts.increment(m.value);
   if (count > role.mult) {
     role.mult = count;
     role.maj = m.value;
@@ -118,7 +119,7 @@ void AeNode::handle_final(sim::Context& ctx, NodeId from,
   (void)ctx;
   if (m.slice >= shared_->layout.committees.size()) return;
   if (!shared_->layout.in_committee(m.slice, from)) return;
-  auto& voters = final_votes_[m.slice][m.value];
+  auto& voters = final_votes_[m.slice].voters(m.value);
   if (std::find(voters.begin(), voters.end(), from) != voters.end()) return;
   voters.push_back(from);
 }
@@ -199,11 +200,11 @@ void AeNode::assemble(sim::Context& ctx) {
   BitString gstring(r * bits);
   for (std::size_t slice = 0; slice < r; ++slice) {
     std::uint64_t value = 0;  // deterministic default for failed slices
-    const auto it = final_votes_.find(slice);
-    if (it != final_votes_.end()) {
-      for (const auto& [candidate, voters] : it->second) {
-        if (voters.size() * 2 > g) {
-          value = candidate;
+    if (slice < final_votes_.size()) {
+      // Ascending value order — the first majority wins, as with std::map.
+      for (const auto& entry : final_votes_[slice].entries()) {
+        if (entry.voters.size() * 2 > g) {
+          value = entry.value;
           break;
         }
       }

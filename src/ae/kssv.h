@@ -3,7 +3,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -12,6 +11,7 @@
 #include "adversary/adversary.h"
 #include "ae/committee.h"
 #include "net/node.h"
+#include "support/flat_counter.h"
 #include "support/metrics.h"
 
 namespace fba::ae {
@@ -77,9 +77,11 @@ class AeNode final : public sim::Actor {
   struct EchoRole {
     std::size_t slice = 0;
     std::uint64_t value = 0;
-    // Tally of the currently delivered phase (reset on adopt).
+    // Tally of the currently delivered phase (reset on adopt). Flat sorted
+    // counter: same semantics as the old std::map tally, no per-value node
+    // allocation (support/flat_counter.h).
     std::vector<NodeId> exchange_seen;
-    std::map<std::uint64_t, std::size_t> exchange_counts;
+    support::TallyCounter exchange_counts;
     std::uint64_t maj = 0;
     std::size_t mult = 0;
     bool king_seen = false;
@@ -97,11 +99,13 @@ class AeNode final : public sim::Actor {
   AeShared* shared_;
   NodeId self_;
   std::optional<std::size_t> root_slice_;  ///< my root slot, if any.
-  std::unordered_map<std::size_t, EchoRole> echo_;  ///< slice -> my role.
-  /// slice -> value -> distinct announcing committee members.
-  std::unordered_map<std::size_t,
-                     std::map<std::uint64_t, std::vector<NodeId>>>
-      final_votes_;
+  /// slice -> my role. NOTE: iterated by on_round to *send* — its
+  /// unordered_map iteration order is pinned behavior; do not flatten.
+  std::unordered_map<std::size_t, EchoRole> echo_;
+  /// Per slice: value -> distinct announcing committee members, iterated in
+  /// ascending value order exactly as the old std::map (assemble picks the
+  /// first majority value). Indexed densely by slice.
+  std::vector<support::VoteSet> final_votes_;
   bool completed_ = false;
   StringId assembled_ = kNoString;
 };

@@ -38,7 +38,7 @@ void PhaseKingNode::broadcast(sim::Context& ctx, const sim::Message& msg) {
 void PhaseKingNode::on_start(sim::Context& ctx) {
   // Phase 0 exchange; own vote counts without a self-message.
   seen_.push_back(self_);
-  counts_[value_] = 1;
+  counts_.increment(value_);
   maj_ = value_;
   mult_ = 1;
   broadcast(ctx, pk_exchange_msg(0, value_));
@@ -51,7 +51,7 @@ void PhaseKingNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
     if (round != exchange_round(m->phase) + 1) return;
     if (std::find(seen_.begin(), seen_.end(), env.src) != seen_.end()) return;
     seen_.push_back(env.src);
-    const std::size_t count = ++counts_[m->value];
+    const std::size_t count = counts_.increment(m->value);
     if (count > mult_) {
       mult_ = count;
       maj_ = m->value;
@@ -94,7 +94,7 @@ void PhaseKingNode::on_round(sim::Context& ctx, Round round) {
     if (p > 0 && round == exchange_round(p)) {
       adopt();  // phase p-1 concluded
       seen_.push_back(self_);
-      counts_[value_] = 1;
+      counts_.increment(value_);
       maj_ = value_;
       mult_ = 1;
       broadcast(ctx, pk_exchange_msg(p, value_));

@@ -22,11 +22,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "adversary/adversary.h"
 #include "net/node.h"
+#include "support/flat_counter.h"
 #include "support/metrics.h"
 
 namespace fba::ae {
@@ -81,9 +81,11 @@ class PhaseKingNode final : public sim::Actor {
   std::uint64_t value_;
   bool done_ = false;
 
-  // Tally of the phase currently being delivered.
+  // Tally of the phase currently being delivered. The counter is a flat
+  // sorted vector (support/flat_counter.h): same increment-and-read
+  // semantics as the old std::map tally, no node allocation per value.
   std::vector<NodeId> seen_;
-  std::map<std::uint64_t, std::size_t> counts_;
+  support::TallyCounter counts_;
   std::uint64_t maj_ = 0;
   std::size_t mult_ = 0;
   bool decree_seen_ = false;

@@ -4,10 +4,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "net/fault.h"
 #include "net/message.h"
 #include "sampler/sampler.h"
+#include "sampler/tables.h"
 #include "support/intern.h"
 #include "support/types.h"
 
@@ -73,15 +75,13 @@ struct AerConfig {
 
 /// Public setup shared by all nodes, plus the run-wide string table. Also
 /// owns the wire format (node ids cost log2 n bits, labels come from
-/// R with |R| = n^2, strings carry their true length).
+/// R with |R| = n^2, strings carry their true length) and the dense sampler
+/// tables (sampler/tables.h) every protocol hot path reads quorums through.
 class AerShared {
  public:
   AerShared(const AerConfig& config, const sampler::SamplerParams& sp)
-      : config(config),
-        samplers(sp),
-        push_cache(samplers.push),
-        pull_cache(samplers.pull),
-        poll_cache(samplers.poll) {
+      : config(config), samplers(sp) {
+    tables.reset(samplers, config.n);
     wire_.node_id_bits = fba::node_id_bits(config.n);
     wire_.label_bits = samplers.params.label_bits;
     wire_.table = &table;
@@ -92,16 +92,52 @@ class AerShared {
   AerShared(const AerShared&) = delete;
   AerShared& operator=(const AerShared&) = delete;
 
+  /// Rebuilds this setup in place for a fresh trial (trial-arena reuse):
+  /// re-keys the samplers, empties the string table, and re-binds the dense
+  /// tables — all storage (table slots, quorum slabs, poll rows) is kept.
+  void reset(const AerConfig& new_config, const sampler::SamplerParams& sp) {
+    config = new_config;
+    samplers.reset(sp);
+    table.reset();
+    tables.reset(samplers, new_config.n);
+    gstring = kNoString;
+    wire_.node_id_bits = fba::node_id_bits(new_config.n);
+    wire_.label_bits = samplers.params.label_bits;
+    wire_.table = &table;
+  }
+
   const sim::Wire& wire() const { return wire_; }
 
   /// Sampler key for an interned string (functions of string content).
   sampler::StringKey key_of(StringId id) const { return table.digest(id); }
 
+  // ----- dense sampler front-ends (hot path) -------------------------------
+  // Quorums are functions of string *content*; the dense tables additionally
+  // key on the run-local StringId so a lookup is an array index. Views stay
+  // valid for the rest of the trial.
+
+  /// I(s, x): who may push/route string s to x.
+  sampler::QuorumView push_quorum(StringId s, NodeId x) const {
+    return tables.push.row(s, key_of(s), x);
+  }
+  /// H(s, x): the Pull Quorum of x for s.
+  sampler::QuorumView pull_quorum(StringId s, NodeId x) const {
+    return tables.pull.row(s, key_of(s), x);
+  }
+  /// J(x, r): the poll list of x under label r.
+  sampler::QuorumView poll_list(NodeId x, PollLabel r) const {
+    return tables.poll.row(x, r);
+  }
+  /// { x : y in I(s, x) }, written into `out` (capacity reuse).
+  void push_targets(StringId s, NodeId y, std::vector<NodeId>& out) const {
+    tables.push.targets(s, key_of(s), y, out);
+  }
+
   AerConfig config;
   sampler::SamplerSuite samplers;
-  sampler::QuorumCache push_cache;  ///< memoized I
-  sampler::QuorumCache pull_cache;  ///< memoized H
-  sampler::PollCache poll_cache;    ///< memoized J
+  /// Dense memoized I / H / J (lazily filled; a trial is single-threaded,
+  /// so the mutation is invisible to callers — see sampler/tables.h).
+  mutable sampler::SharedTables tables;
   StringTable table;
   StringId gstring = kNoString;
 

@@ -6,47 +6,85 @@
 
 namespace fba::aer {
 
-namespace {
-
-/// Distinct values of a quorum's member multiset, preserving first-seen
-/// order. Duplicate slots get one message; thresholds still count slots.
-std::vector<NodeId> distinct_members(const sampler::Quorum& q) {
-  std::vector<NodeId> out;
-  out.reserve(q.members.size());
-  for (NodeId m : q.members) {
-    if (std::find(out.begin(), out.end(), m) == out.end()) out.push_back(m);
-  }
-  return out;
-}
-
-bool already_counted(const std::vector<NodeId>& counted, NodeId who) {
-  return std::find(counted.begin(), counted.end(), who) != counted.end();
-}
-
-}  // namespace
+// The send loops iterate each quorum's precomputed first-seen-order distinct
+// member list (duplicate slots get one message; thresholds still count
+// slots) straight out of the dense sampler tables — what used to be a
+// freshly allocated distinct_members() vector per send batch.
 
 AerNode::AerNode(const AerShared* shared, NodeId self,
                  StringId initial_candidate)
     : shared_(shared),
-      self_(self),
-      initial_(initial_candidate),
-      current_(initial_candidate) {
+      pending_pulls_(
+          support::PoolAllocator<std::pair<const std::uint64_t, PollLabel>>(
+              &pool_)),
+      fw1_tallies_(support::PoolAllocator<
+                   std::pair<const std::uint64_t, RetainedMap<NodeId, Fw1Tally>>>(
+          &pool_)),
+      responder_(
+          support::PoolAllocator<std::pair<const std::uint64_t, ResponderState>>(
+              &pool_)) {
+  reset(shared, self, initial_candidate);
+}
+
+void AerNode::reset(const AerShared* shared, NodeId self,
+                    StringId initial_candidate) {
+  shared_ = shared;
+  self_ = self;
+  initial_ = initial_candidate;
+  current_ = initial_candidate;
+  has_decided_ = false;
+  decided_ = kNoString;
+  d_ = static_cast<std::uint32_t>(shared->config.resolved_d());
+
+  push_tallies_.clear();
+  candidates_.clear();
+  in_list_.clear();
+  my_pulls_.clear();
+  answer_counts_.clear();
+  forwarded_.clear();
+  // The retained maps are *reconstructed*, not cleared: a cleared
+  // unordered_map keeps its grown bucket array, which would give trial k+1
+  // a different bucket-growth (and thus iteration) history than a freshly
+  // built node — and serve_retained's send order must be bit-identical
+  // whether or not this node came out of an arena. Move-assigning a fresh
+  // map returns the old nodes to the pool's free lists.
+  pending_pulls_ = decltype(pending_pulls_)(pending_pulls_.get_allocator());
+  fw1_tallies_ = decltype(fw1_tallies_)(fw1_tallies_.get_allocator());
+  responder_ = decltype(responder_)(responder_.get_allocator());
+  deferred_.clear();
+  deferred_peak_ = 0;
+  counted_arena_.clear();
+
   candidates_.push_back(initial_);
   in_list_.insert(initial_);
 }
 
+std::uint32_t AerNode::new_counted_span() {
+  const auto off = static_cast<std::uint32_t>(counted_arena_.size());
+  counted_arena_.resize(counted_arena_.size() + d_);
+  return off;
+}
+
+bool AerNode::already_counted(const NodeId* counted, std::uint32_t count,
+                              NodeId who) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (counted[i] == who) return true;
+  }
+  return false;
+}
+
 std::size_t AerNode::answers_sent(StringId s) const {
-  const auto it = answer_counts_.find(s);
-  return it == answer_counts_.end() ? 0 : it->second;
+  const std::uint32_t* count = answer_counts_.find(s);
+  return count == nullptr ? 0 : *count;
 }
 
 std::optional<AerNode::PullStatus> AerNode::pull_status(StringId s) const {
-  const auto it = my_pulls_.find(s);
-  if (it == my_pulls_.end()) return std::nullopt;
+  const MyPull* pull = my_pulls_.find(s);
+  if (pull == nullptr) return std::nullopt;
   PullStatus status;
-  status.r = it->second.r;
-  status.answered_members = it->second.answered.size();
-  status.answered_slots = it->second.slots;
+  status.r = pull->r;
+  status.answered_members = pull->answered;
+  status.answered_slots = pull->slots;
   return status;
 }
 
@@ -70,8 +108,8 @@ void AerNode::on_start(sim::Context& ctx) {
   // Push phase: diffuse the initial candidate to the d nodes whose Push
   // Quorum for it contains us. The permutation-based sampler gives the
   // target set directly (Lemma 3: O(log n) messages per node).
-  const auto skey = shared_->key_of(initial_);
-  for (NodeId target : shared_->samplers.push.targets(skey, self_)) {
+  shared_->push_targets(initial_, self_, targets_scratch_);
+  for (NodeId target : targets_scratch_) {
     ctx.send(target, push_msg(initial_));
   }
   // Algorithm 1 runs over L_x, which initially holds s_x.
@@ -106,24 +144,28 @@ void AerNode::on_message(sim::Context& ctx, const sim::Envelope& env) {
 // ----- push phase ----------------------------------------------------------
 
 void AerNode::handle_push(sim::Context& ctx, NodeId from, const sim::Message& m) {
-  if (in_list_.count(m.s) > 0) return;  // already a candidate
+  if (in_list_.contains(m.s)) return;  // already a candidate
   // Filter: only members of I(s, self) may push s to us; each sender is
   // credited once, with its slot multiplicity.
-  const auto& quorum = shared_->push_cache.get(shared_->key_of(m.s), self_);
+  const sampler::QuorumView quorum = shared_->push_quorum(m.s, self_);
   const std::size_t mult = quorum.multiplicity(from);
   if (mult == 0) return;  // not in our Push Quorum for s: ignore silently
-  PushTally& tally = push_tallies_[m.s];
-  if (already_counted(tally.counted, from)) return;
-  tally.counted.push_back(from);
-  tally.slots += mult;
+  bool created = false;
+  PushTally& tally = push_tallies_.get_or_create(m.s, created);
+  if (created) tally.counted_off = new_counted_span();
+  NodeId* counted = counted_at(tally.counted_off);
+  if (already_counted(counted, tally.counted, from)) return;
+  counted[tally.counted++] = from;
+  tally.slots += static_cast<std::uint32_t>(mult);
   if (tally.slots * 2 > quorum.size()) {
+    // The tally is no longer needed: membership in L_x short-circuits every
+    // later push for s at the top of this handler.
     accept_candidate(ctx, m.s);
-    push_tallies_.erase(m.s);  // tally no longer needed
   }
 }
 
 void AerNode::accept_candidate(sim::Context& ctx, StringId s) {
-  if (!in_list_.insert(s).second) return;
+  if (!in_list_.insert(s)) return;
   candidates_.push_back(s);
   if (!has_decided_) start_pull(ctx, s);
 }
@@ -131,34 +173,37 @@ void AerNode::accept_candidate(sim::Context& ctx, StringId s) {
 // ----- pull phase: requester (Algorithm 1) ---------------------------------
 
 void AerNode::start_pull(sim::Context& ctx, StringId s) {
-  if (my_pulls_.count(s) > 0) return;
-  MyPull& pull = my_pulls_[s];
+  if (my_pulls_.contains(s)) return;
+  bool created = false;
+  MyPull& pull = my_pulls_.get_or_create(s, created);
+  pull.answered_off = new_counted_span();
   pull.r = shared_->samplers.poll.random_label(ctx.rng());
 
   const sim::Message poll = poll_msg(s, pull.r);
-  for (NodeId w : distinct_members(shared_->poll_cache.get(self_, pull.r))) {
-    ctx.send(w, poll);
+  const sampler::QuorumView poll_view = shared_->poll_list(self_, pull.r);
+  for (std::uint32_t i = 0; i < poll_view.distinct_count; ++i) {
+    ctx.send(poll_view.distinct[i], poll);
   }
   const sim::Message pull_req = pull_msg(s, pull.r);
-  const auto& h = shared_->pull_cache.get(shared_->key_of(s), self_);
-  for (NodeId y : distinct_members(h)) {
-    ctx.send(y, pull_req);
+  const sampler::QuorumView h = shared_->pull_quorum(s, self_);
+  for (std::uint32_t i = 0; i < h.distinct_count; ++i) {
+    ctx.send(h.distinct[i], pull_req);
   }
 }
 
 void AerNode::handle_answer(sim::Context& ctx, NodeId from,
                             const sim::Message& m) {
   if (has_decided_) return;
-  const auto it = my_pulls_.find(m.s);
-  if (it == my_pulls_.end()) return;  // never asked about s
-  MyPull& pull = it->second;
-  const auto& poll_list = shared_->poll_cache.get(self_, pull.r);
+  MyPull* pull = my_pulls_.find(m.s);
+  if (pull == nullptr) return;  // never asked about s
+  const sampler::QuorumView poll_list = shared_->poll_list(self_, pull->r);
   const std::size_t mult = poll_list.multiplicity(from);
   if (mult == 0) return;  // answer from outside J(x, r_{x,s})
-  if (already_counted(pull.answered, from)) return;  // one answer per member
-  pull.answered.push_back(from);
-  pull.slots += mult;
-  if (pull.slots * 2 > poll_list.size()) decide(ctx, m.s);
+  NodeId* answered = counted_at(pull->answered_off);
+  if (already_counted(answered, pull->answered, from)) return;  // one per member
+  answered[pull->answered++] = from;
+  pull->slots += static_cast<std::uint32_t>(mult);
+  if (pull->slots * 2 > poll_list.size()) decide(ctx, m.s);
 }
 
 void AerNode::decide(sim::Context& ctx, StringId s) {
@@ -168,12 +213,13 @@ void AerNode::decide(sim::Context& ctx, StringId s) {
   current_ = s;  // s_this is updated accordingly (Algorithm 3's data note)
   ctx.decide(s);
   // "Wait for has_decided" resolves now: serve the deferred requests whose
-  // string matches our decided belief.
-  auto pending = std::move(deferred_);
-  deferred_.clear();
-  for (const auto& [x, str] : pending) {
+  // string matches our decided belief. (emit_answer never re-defers once
+  // has_decided_ is set, so indexed iteration is safe.)
+  for (std::size_t i = 0; i < deferred_.size(); ++i) {
+    const auto [x, str] = deferred_[i];
     if (str == current_) emit_answer(ctx, x, str);
   }
+  deferred_.clear();
   serve_retained(ctx);
 }
 
@@ -194,7 +240,7 @@ void AerNode::serve_retained(sim::Context& ctx) {
     const StringId s = static_cast<StringId>(key & 0xffffffffu);
     if (s != current_) continue;
     const NodeId x = static_cast<NodeId>(key >> 32);
-    const auto& h_x = shared_->pull_cache.get(shared_->key_of(s), x);
+    const sampler::QuorumView h_x = shared_->pull_quorum(s, x);
     for (auto& [w, tally] : per_w) {
       if (!tally.fired && tally.slots * 2 > h_x.size()) {
         tally.fired = true;
@@ -203,7 +249,7 @@ void AerNode::serve_retained(sim::Context& ctx) {
     }
   }
 
-  const auto& h_self = shared_->pull_cache.get(shared_->key_of(current_), self_);
+  const sampler::QuorumView h_self = shared_->pull_quorum(current_, self_);
   for (auto& [key, st] : responder_) {
     const StringId s = static_cast<StringId>(key & 0xffffffffu);
     if (s != current_) continue;
@@ -219,8 +265,7 @@ void AerNode::serve_retained(sim::Context& ctx) {
 
 void AerNode::handle_pull(sim::Context& ctx, NodeId from, const sim::Message& m) {
   // Only members of the sender's Pull Quorum for s may route the request.
-  const auto skey = shared_->key_of(m.s);
-  if (!shared_->pull_cache.get(skey, from).contains(self_)) return;
+  if (!shared_->pull_quorum(m.s, from).contains(self_)) return;
   if (m.s != current_) {
     // Not (yet) our belief. Retain it: if we later decide on s, we serve it
     // (post-decision answering, Algorithm 3). One slot per (x, s).
@@ -233,12 +278,14 @@ void AerNode::handle_pull(sim::Context& ctx, NodeId from, const sim::Message& m)
 void AerNode::forward_pull(sim::Context& ctx, NodeId x, StringId s,
                            PollLabel r) {
   // Flooding guard ("keep track of senders"): one forward per (x, s).
-  if (!forwarded_.insert(pack_xs(x, s)).second) return;
-  const auto skey = shared_->key_of(s);
-  for (NodeId w : distinct_members(shared_->poll_cache.get(x, r))) {
+  if (!forwarded_.insert(pack_xs(x, s))) return;
+  const sampler::QuorumView poll_view = shared_->poll_list(x, r);
+  for (std::uint32_t i = 0; i < poll_view.distinct_count; ++i) {
+    const NodeId w = poll_view.distinct[i];
     const sim::Message fw1 = fw1_msg(x, s, r, w);
-    for (NodeId z : distinct_members(shared_->pull_cache.get(skey, w))) {
-      ctx.send(z, fw1);
+    const sampler::QuorumView h_w = shared_->pull_quorum(s, w);
+    for (std::uint32_t j = 0; j < h_w.distinct_count; ++j) {
+      ctx.send(h_w.distinct[j], fw1);
     }
   }
 }
@@ -246,21 +293,25 @@ void AerNode::forward_pull(sim::Context& ctx, NodeId x, StringId s,
 // ----- pull phase: relay, second hop (Algorithm 2) ---------------------------
 
 void AerNode::handle_fw1(sim::Context& ctx, NodeId from, const sim::Message& m) {
-  const auto skey = shared_->key_of(m.s);
-  const auto& h_w = shared_->pull_cache.get(skey, m.b);
+  const sampler::QuorumView h_w = shared_->pull_quorum(m.s, m.b);
   if (!h_w.contains(self_)) return;  // this in H(s, w)
-  const auto& h_x = shared_->pull_cache.get(skey, m.a);
+  const sampler::QuorumView h_x = shared_->pull_quorum(m.s, m.a);
   const std::size_t mult = h_x.multiplicity(from);
   if (mult == 0) return;  // y in H(s, x)
-  if (!shared_->poll_cache.get(m.a, m.r).contains(m.b)) return;  // w in J(x,r)
+  if (!shared_->poll_list(m.a, m.r).contains(m.b)) return;  // w in J(x,r)
 
   // Vouching is tallied even when s is not (yet) our belief; the Fw2 is only
   // emitted while s = s_this (now or after deciding on s).
-  Fw1Tally& tally = fw1_tallies_[pack_xs(m.a, m.s)][m.b];
-  if (tally.fired || already_counted(tally.counted, from)) return;
-  if (tally.counted.empty()) tally.r = m.r;
-  tally.counted.push_back(from);
-  tally.slots += mult;
+  const auto outer = fw1_tallies_.try_emplace(
+      pack_xs(m.a, m.s), fw1_tallies_.get_allocator());
+  const auto inner = outer.first->second.try_emplace(m.b);
+  Fw1Tally& tally = inner.first->second;
+  if (inner.second) tally.counted_off = new_counted_span();
+  NodeId* counted = counted_at(tally.counted_off);
+  if (tally.fired || already_counted(counted, tally.counted, from)) return;
+  if (tally.counted == 0) tally.r = m.r;
+  counted[tally.counted++] = from;
+  tally.slots += static_cast<std::uint32_t>(mult);
   if (m.s == current_ && tally.slots * 2 > h_x.size()) {
     tally.fired = true;  // forward only once
     ctx.send(m.b, fw2_msg(m.a, m.s, m.r));
@@ -270,18 +321,20 @@ void AerNode::handle_fw1(sim::Context& ctx, NodeId from, const sim::Message& m) 
 // ----- pull phase: responder (Algorithm 3) -----------------------------------
 
 void AerNode::handle_fw2(sim::Context& ctx, NodeId from, const sim::Message& m) {
-  if (!shared_->poll_cache.get(m.a, m.r).contains(self_)) return;  // in J(x,r)
-  const auto skey = shared_->key_of(m.s);
-  const auto& h_self = shared_->pull_cache.get(skey, self_);
+  if (!shared_->poll_list(m.a, m.r).contains(self_)) return;  // in J(x,r)
+  const sampler::QuorumView h_self = shared_->pull_quorum(m.s, self_);
   const std::size_t mult = h_self.multiplicity(from);
   if (mult == 0) return;  // z in H(s, this)
 
   // Evidence is tallied regardless of current belief; answers require
   // s = s_this (initially our candidate, after deciding the decided value).
-  ResponderState& st = responder_[pack_xs(m.a, m.s)];
-  if (st.answered || already_counted(st.counted, from)) return;
-  st.counted.push_back(from);
-  st.slots += mult;
+  const auto emplaced = responder_.try_emplace(pack_xs(m.a, m.s));
+  ResponderState& st = emplaced.first->second;
+  if (emplaced.second) st.counted_off = new_counted_span();
+  NodeId* counted = counted_at(st.counted_off);
+  if (st.answered || already_counted(counted, st.counted, from)) return;
+  counted[st.counted++] = from;
+  st.slots += static_cast<std::uint32_t>(mult);
   if (m.s == current_ && st.slots * 2 > h_self.size() && st.polled) {
     st.answered = true;
     emit_answer(ctx, m.a, m.s);
@@ -289,13 +342,15 @@ void AerNode::handle_fw2(sim::Context& ctx, NodeId from, const sim::Message& m) 
 }
 
 void AerNode::handle_poll(sim::Context& ctx, NodeId from, const sim::Message& m) {
-  if (!shared_->poll_cache.get(from, m.r).contains(self_)) return;
-  ResponderState& st = responder_[pack_xs(from, m.s)];
+  if (!shared_->poll_list(from, m.r).contains(self_)) return;
+  const auto emplaced = responder_.try_emplace(pack_xs(from, m.s));
+  ResponderState& st = emplaced.first->second;
+  if (emplaced.second) st.counted_off = new_counted_span();
   if (st.polled) return;
   st.polled = true;
   // Necessary in the asynchronous case: the Fw2 majority may have formed
   // before the Poll arrived.
-  const auto& h_self = shared_->pull_cache.get(shared_->key_of(m.s), self_);
+  const sampler::QuorumView h_self = shared_->pull_quorum(m.s, self_);
   if (m.s == current_ && !st.answered && st.slots * 2 > h_self.size()) {
     st.answered = true;
     emit_answer(ctx, from, m.s);
@@ -312,7 +367,7 @@ void AerNode::emit_answer(sim::Context& ctx, NodeId x, StringId s) {
     }
     return;
   }
-  ++answer_counts_[s];
+  ++answer_counts_.get_or_create(s);
   ctx.send(x, answer_msg(s));
 }
 

@@ -16,24 +16,45 @@
 // poll-list members answer subject to the log^2 n budget, deferring excess
 // work until they have decided. Deciding requires answers from a majority of
 // the poll list.
+//
+// State layout (the per-delivery hot path touches no node-based container):
+//   - per-string tallies (push, my pulls, answer counts, L_x membership)
+//     sit behind open-addressed FlatMap64s keyed by the dense StringId;
+//     per-tally "who already counted" lists are fixed-capacity spans in one
+//     bump arena (a tally credits at most d distinct members).
+//   - quorum membership/multiplicity checks read the dense sampler tables
+//     through AerShared (no hashing, no allocation).
+//   - the three *retained* maps (pending pulls, Fw1 tallies, responder
+//     state) stay std::unordered_map: serve_retained() iterates them to
+//     emit messages, and simulation behavior depends on send order — their
+//     libstdc++ iteration order is part of the pinned golden-fingerprint
+//     behavior. They draw nodes/buckets from a per-node Pool, so warm
+//     arena-reused trials still allocate nothing, and reset() reconstructs
+//     them so bucket-growth history (and thus iteration order) is identical
+//     to a freshly built node's.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "aer/config.h"
 #include "aer/messages.h"
 #include "net/node.h"
+#include "support/flat_map.h"
+#include "support/pool.h"
 
 namespace fba::aer {
 
 class AerNode final : public sim::Actor {
  public:
   AerNode(const AerShared* shared, NodeId self, StringId initial_candidate);
+
+  /// Re-initializes this node for a fresh trial, keeping every container's
+  /// capacity and the retained maps' memory pool (trial-arena reuse). A
+  /// reset node behaves bit-identically to a freshly constructed one.
+  void reset(const AerShared* shared, NodeId self, StringId initial_candidate);
 
   void on_start(sim::Context& ctx) override;
   void on_message(sim::Context& ctx, const sim::Envelope& env) override;
@@ -45,7 +66,7 @@ class AerNode final : public sim::Actor {
   StringId initial_candidate() const { return initial_; }
   /// L_x, including the initial candidate.
   const std::vector<StringId>& candidate_list() const { return candidates_; }
-  bool has_candidate(StringId s) const { return in_list_.count(s) > 0; }
+  bool has_candidate(StringId s) const { return in_list_.contains(s); }
   /// Answers emitted for each string (Algorithm 3's Counts).
   std::size_t answers_sent(StringId s) const;
   std::size_t deferred_peak() const { return deferred_peak_; }
@@ -94,60 +115,90 @@ class AerNode final : public sim::Actor {
     return (static_cast<std::uint64_t>(x) << 32) | s;
   }
 
+  // -- credited-sender spans: fixed d-capacity slices of counted_arena_ --
+  NodeId* counted_at(std::uint32_t off) { return counted_arena_.data() + off; }
+  const NodeId* counted_at(std::uint32_t off) const {
+    return counted_arena_.data() + off;
+  }
+  std::uint32_t new_counted_span();
+  static bool already_counted(const NodeId* counted, std::uint32_t count,
+                              NodeId who);
+
   const AerShared* shared_;
-  NodeId self_;
-  StringId initial_;   ///< s_x: forwarding filter for the pull phase.
-  StringId current_;   ///< s_this: initial candidate until decision.
+  NodeId self_ = 0;
+  std::uint32_t d_ = 0;  ///< resolved quorum size (counted-span stride).
+  StringId initial_ = kNoString;  ///< s_x: forwarding filter for the pull phase.
+  StringId current_ = kNoString;  ///< s_this: initial candidate until decision.
   bool has_decided_ = false;
   StringId decided_ = kNoString;
 
+  /// Memory pool behind the three retained maps. Declared before them so it
+  /// outlives their destructors.
+  support::Pool pool_;
+
   // -- push-phase state --
   struct PushTally {
-    std::vector<NodeId> counted;  ///< distinct senders already credited.
-    std::size_t slots = 0;        ///< quorum slots of I(s, self) that pushed.
+    std::uint32_t slots = 0;        ///< quorum slots of I(s, self) that pushed.
+    std::uint32_t counted = 0;      ///< distinct senders already credited.
+    std::uint32_t counted_off = 0;  ///< span in counted_arena_.
   };
-  std::unordered_map<StringId, PushTally> push_tallies_;
+  support::FlatMap64<PushTally> push_tallies_;  ///< keyed by StringId
   std::vector<StringId> candidates_;
-  std::unordered_set<StringId> in_list_;
+  support::FlatSet64 in_list_;
 
   // -- requester state (Algorithm 1) --
   struct MyPull {
     PollLabel r = 0;
-    std::vector<NodeId> answered;  ///< distinct poll-list members that replied.
-    std::size_t slots = 0;         ///< poll-list slots covered by answers.
+    std::uint32_t slots = 0;    ///< poll-list slots covered by answers.
+    std::uint32_t answered = 0; ///< distinct poll-list members that replied.
+    std::uint32_t answered_off = 0;
   };
-  std::unordered_map<StringId, MyPull> my_pulls_;
+  support::FlatMap64<MyPull> my_pulls_;  ///< keyed by StringId
+  support::FlatMap64<std::uint32_t> answer_counts_;  ///< Counts, by StringId
 
   // -- forwarder state (Algorithm 2, first hop) --
   /// Flooding guard: forward at most one request per (x, s).
-  std::unordered_set<std::uint64_t> forwarded_;
+  support::FlatSet64 forwarded_;
   /// Pull requests for strings we do not (yet) believe in. If we later
   /// decide on that string, we serve them — the post-decision answering of
   /// Algorithm 3 applied to the forwarding role. Keyed by (x, s).
-  std::unordered_map<std::uint64_t, PollLabel> pending_pulls_;
+  /// ORDER-CRITICAL: iterated by serve_retained() to send messages.
+  template <typename K, typename V>
+  using RetainedMap =
+      std::unordered_map<K, V, std::hash<K>, std::equal_to<K>,
+                         support::PoolAllocator<std::pair<const K, V>>>;
+  RetainedMap<std::uint64_t, PollLabel> pending_pulls_;
 
   // -- relay state (Algorithm 2, second hop): z in H(s, w) --
   struct Fw1Tally {
-    std::vector<NodeId> counted;  ///< distinct vouching y in H(s, x).
-    std::size_t slots = 0;        ///< slots of H(s, x) vouching.
-    bool fired = false;           ///< Fw2 already sent ("forward only once").
-    PollLabel r = 0;              ///< label from the vouched request.
+    PollLabel r = 0;            ///< label from the vouched request.
+    std::uint32_t slots = 0;    ///< slots of H(s, x) vouching.
+    std::uint32_t counted = 0;  ///< distinct vouching y in H(s, x).
+    std::uint32_t counted_off = 0;
+    bool fired = false;         ///< Fw2 already sent ("forward only once").
   };
   /// Keyed by (x, s) then by w: z may serve several poll-list members.
-  std::unordered_map<std::uint64_t, std::unordered_map<NodeId, Fw1Tally>>
-      fw1_tallies_;
+  /// ORDER-CRITICAL (iterated by serve_retained, outer and inner).
+  RetainedMap<std::uint64_t, RetainedMap<NodeId, Fw1Tally>> fw1_tallies_;
 
   // -- responder state (Algorithm 3): this in J(x, r) --
   struct ResponderState {
-    std::vector<NodeId> counted;  ///< distinct vouching z in H(s, this).
-    std::size_t slots = 0;        ///< slots of H(s, this) vouching.
-    bool polled = false;          ///< Poll(s, r) received from x.
-    bool answered = false;        ///< Answer sent ("forward once").
+    std::uint32_t slots = 0;    ///< slots of H(s, this) vouching.
+    std::uint32_t counted = 0;  ///< distinct vouching z in H(s, this).
+    std::uint32_t counted_off = 0;
+    bool polled = false;        ///< Poll(s, r) received from x.
+    bool answered = false;      ///< Answer sent ("forward once").
   };
-  std::unordered_map<std::uint64_t, ResponderState> responder_;
-  std::unordered_map<StringId, std::size_t> answer_counts_;  ///< Counts
-  std::deque<std::pair<NodeId, StringId>> deferred_;  ///< over-budget answers
+  /// Keyed by (x, s). ORDER-CRITICAL (iterated by serve_retained).
+  RetainedMap<std::uint64_t, ResponderState> responder_;
+
+  std::vector<std::pair<NodeId, StringId>> deferred_;  ///< over-budget answers
   std::size_t deferred_peak_ = 0;
+
+  /// Backing store for all credited-sender spans (d entries per tally).
+  std::vector<NodeId> counted_arena_;
+  /// Scratch for push-target evaluation (on_start).
+  std::vector<NodeId> targets_scratch_;
 };
 
 }  // namespace fba::aer

@@ -45,6 +45,13 @@ std::size_t AerConfig::resolved_gstring_bits() const {
 
 AerWorld build_aer_world(const AerConfig& config,
                          const CorruptPicker& pick_corrupt) {
+  AerWorld world;
+  build_aer_world_into(world, config, pick_corrupt);
+  return world;
+}
+
+void build_aer_world_into(AerWorld& world, const AerConfig& config,
+                          const CorruptPicker& pick_corrupt) {
   FBA_REQUIRE(config.n >= 8, "AER needs at least 8 nodes");
   const std::size_t n = config.n;
   const std::size_t t = config.resolved_t();
@@ -54,9 +61,13 @@ AerWorld build_aer_world(const AerConfig& config,
       sampler::SamplerParams::defaults(n, config.seed, config.c_d);
   sp.d = config.resolved_d();
 
-  AerWorld world;
-  world.shared = std::make_unique<AerShared>(config, sp);
+  if (world.shared == nullptr) {
+    world.shared = std::make_unique<AerShared>(config, sp);
+  } else {
+    world.shared->reset(config, sp);
+  }
   AerShared& shared = *world.shared;
+  world.correct.clear();
 
   Rng setup_rng = Rng(config.seed).split(0x5e7u);
 
@@ -67,20 +78,25 @@ AerWorld build_aer_world(const AerConfig& config,
   GstringSpec gspec;
   gspec.length_bits = config.resolved_gstring_bits();
   gspec.random_fraction = config.gstring_random_fraction;
-  BitString adversary_bits(gspec.length_bits);
+  world.scratch.adversary_bits.reset_zero(gspec.length_bits);
   Rng gstring_rng = setup_rng.split(0x65u);
-  shared.gstring = shared.table.intern(
-      make_gstring(gspec, adversary_bits, gstring_rng));
+  make_gstring_into(gspec, world.scratch.adversary_bits, gstring_rng,
+                    world.scratch.gstring);
+  shared.gstring = shared.table.intern(world.scratch.gstring);
 
   // Non-adaptive corruption, before any protocol activity.
   Rng corrupt_rng = setup_rng.split(0xc0u);
-  std::vector<NodeId> corrupt =
-      pick_corrupt ? pick_corrupt(n, t, corrupt_rng, shared)
-                   : adv::random_corruption(n, t, corrupt_rng);
-  FBA_REQUIRE(corrupt.size() <= t, "corrupt picker exceeded its budget");
+  if (pick_corrupt) {
+    world.view.corrupt = pick_corrupt(n, t, corrupt_rng, shared);
+  } else {
+    adv::random_corruption_into(n, t, corrupt_rng, world.view.corrupt);
+  }
+  FBA_REQUIRE(world.view.corrupt.size() <= t,
+              "corrupt picker exceeded its budget");
 
-  std::vector<bool> is_corrupt(n, false);
-  for (NodeId id : corrupt) is_corrupt.at(id) = true;
+  std::vector<bool>& is_corrupt = world.scratch.is_corrupt;
+  is_corrupt.assign(n, false);
+  for (NodeId id : world.view.corrupt) is_corrupt.at(id) = true;
 
   for (NodeId id = 0; id < n; ++id) {
     if (!is_corrupt[id]) world.correct.push_back(id);
@@ -93,12 +109,12 @@ AerWorld build_aer_world(const AerConfig& config,
       std::floor(config.knowledgeable_fraction *
                  static_cast<double>(world.correct.size())));
   Rng know_rng = setup_rng.split(0x4bu);
-  std::vector<NodeId> shuffled = world.correct;
+  world.scratch.shuffled = world.correct;
+  std::vector<NodeId>& shuffled = world.scratch.shuffled;
   know_rng.shuffle(shuffled);
 
   world.view.shared = &shared;
   world.view.gstring = shared.gstring;
-  world.view.corrupt = corrupt;
   world.view.initial.assign(n, kNoString);
   world.view.knowledgeable.assign(n, false);
   for (std::size_t i = 0; i < shuffled.size(); ++i) {
@@ -107,12 +123,11 @@ AerWorld build_aer_world(const AerConfig& config,
       world.view.initial[id] = shared.gstring;
       world.view.knowledgeable[id] = true;
     } else {
-      world.view.initial[id] = shared.table.intern(
-          BitString::random(gspec.length_bits, know_rng));
+      world.scratch.candidate.randomize(gspec.length_bits, know_rng);
+      world.view.initial[id] = shared.table.intern(world.scratch.candidate);
     }
   }
   world.decisions.reset(n);
-  return world;
 }
 
 void fill_outcome_and_traffic(AerReport& report, const AerWorld& world,
@@ -199,6 +214,73 @@ AerReport run_aer(const AerConfig& config, const StrategyFactory& make_strategy,
       [nodes](AerReport& report, AerWorld& owned) {
         fill_aer_specific(report, owned, *nodes);
       });
+}
+
+AerReport run_aer_world_arena(AerWorld& world, RunArena& arena,
+                              const StrategyFactory& make_strategy) {
+  // Mirrors run_world_protocol step for step (order included — the golden
+  // fingerprints pin it), substituting engine reset and pooled actors for
+  // fresh construction.
+  const AerConfig& config = world.shared->config;
+  world.decisions.reset(config.n);
+
+  AerReport report;
+  report.n = config.n;
+  report.t = world.view.corrupt.size();
+  report.d = config.resolved_d();
+  report.model = config.model;
+
+  std::unique_ptr<adv::Strategy> strategy;
+  if (make_strategy) strategy = make_strategy(world.view);
+
+  std::size_t decided = 0;
+  const std::size_t target = world.correct.size();
+  auto on_decide = [&world, &decided](NodeId node, StringId value,
+                                      double time) {
+    if (!world.decisions.has_decided(node)) ++decided;
+    world.decisions.record(node, value, time);
+  };
+  auto done = [&] { return decided >= target; };
+
+  auto wire_nodes = [&](auto& engine) {
+    engine.set_wire(&world.shared->wire());
+    engine.set_fault_plan(&config.fault_plan);
+    engine.set_corrupt(world.view.corrupt);
+    arena.wire_actors(engine, world);
+    engine.set_strategy(strategy.get());
+    engine.set_decision_callback(on_decide);
+  };
+
+  if (config.model == Model::kAsync) {
+    sim::AsyncConfig ec;
+    ec.n = config.n;
+    ec.seed = config.seed;
+    ec.max_time = config.max_time;
+    if (arena.async.has_value()) arena.async->reset(ec);
+    else arena.async.emplace(ec);
+    sim::AsyncEngine& engine = *arena.async;
+    wire_nodes(engine);
+    const auto result = engine.run(done);
+    report.engine_time = result.time;
+    report.engine_completed = result.completed;
+    fill_outcome_and_traffic(report, world, engine.metrics());
+  } else {
+    sim::SyncConfig ec;
+    ec.n = config.n;
+    ec.seed = config.seed;
+    ec.rushing_adversary = config.model == Model::kSyncRushing;
+    ec.max_rounds = config.max_rounds;
+    if (arena.sync.has_value()) arena.sync->reset(ec);
+    else arena.sync.emplace(ec);
+    sim::SyncEngine& engine = *arena.sync;
+    wire_nodes(engine);
+    const auto result = engine.run(done);
+    report.engine_time = static_cast<double>(result.rounds);
+    report.engine_completed = result.completed;
+    fill_outcome_and_traffic(report, world, engine.metrics());
+  }
+  fill_aer_specific(report, world, arena.active);
+  return report;
 }
 
 AerReport run_aer_world(AerWorld& world, const StrategyFactory& make_strategy) {

@@ -45,12 +45,31 @@ struct AerWorld {
   AerWorldView view;
   std::vector<NodeId> correct;
   DecisionLog decisions;
+
+  /// Build-time scratch buffers, kept so that rebuilding this world for the
+  /// next trial (build_aer_world_into) reuses their capacity.
+  struct Scratch {
+    BitString gstring;
+    BitString adversary_bits;
+    BitString candidate;
+    std::vector<NodeId> shuffled;
+    std::vector<bool> is_corrupt;
+  };
+  Scratch scratch;
 };
 
 /// Builds samplers, gstring, the corrupt set and the knowledgeable
 /// assignment per `config`.
 AerWorld build_aer_world(const AerConfig& config,
                          const CorruptPicker& pick_corrupt = {});
+
+/// In-place variant: rebuilds `world` for a fresh trial with identical
+/// semantics (same RNG draws, same results), reusing the world's storage —
+/// shared setup, string table, sampler tables, vectors. The trial-arena
+/// path; a warm world rebuild performs no heap allocation under the default
+/// corruption picker.
+void build_aer_world_into(AerWorld& world, const AerConfig& config,
+                          const CorruptPicker& pick_corrupt = {});
 
 struct AerReport {
   std::size_t n = 0;

@@ -7,12 +7,56 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "aer/protocol.h"
 #include "net/async_engine.h"
 #include "net/sync_engine.h"
 
 namespace fba::aer {
+
+/// Reusable run machinery for back-to-back trials (the trial-arena path):
+/// one engine of each flavor, reset per trial instead of reconstructed, and
+/// a pool of AerNode actors whose container storage survives across trials.
+/// A warm arena executes a whole trial without heap allocation; results are
+/// bit-identical to the fresh-construction path (reset() replicates
+/// construction semantics — golden_test and exp_test enforce it).
+struct RunArena {
+  std::optional<sim::SyncEngine> sync;
+  std::optional<sim::AsyncEngine> async;
+  std::vector<std::unique_ptr<AerNode>> node_pool;
+  /// Per-trial dispatch view: active[id] is the pooled actor of correct
+  /// node id (nullptr for corrupt ids), valid until the next trial.
+  std::vector<AerNode*> active;
+
+  /// Resets `count` pooled nodes for a fresh trial and registers them with
+  /// `engine` (non-owning) for every correct node; fills `active`.
+  template <typename Engine>
+  void wire_actors(Engine& engine, const AerWorld& world) {
+    const std::size_t n = world.shared->config.n;
+    active.assign(n, nullptr);
+    std::size_t used = 0;
+    for (NodeId id = 0; id < n; ++id) {
+      if (engine.is_corrupt(id)) continue;
+      if (used == node_pool.size()) {
+        node_pool.push_back(std::make_unique<AerNode>(
+            world.shared.get(), id, world.view.initial[id]));
+      } else {
+        node_pool[used]->reset(world.shared.get(), id,
+                               world.view.initial[id]);
+      }
+      AerNode* node = node_pool[used++].get();
+      active[id] = node;
+      engine.set_actor(id, static_cast<sim::Actor*>(node));
+    }
+  }
+};
+
+/// Runs AER on a prebuilt world through `arena` (engines reset in place,
+/// pooled actors). Behavior-identical to run_aer_world.
+AerReport run_aer_world_arena(AerWorld& world, RunArena& arena,
+                              const StrategyFactory& make_strategy = {});
 
 /// ActorFactory: NodeId -> std::unique_ptr<sim::Actor> (correct nodes only).
 /// `post_run`, if given, runs after the report's common sections are filled

@@ -64,6 +64,20 @@ TrialOutcome outcome_of(const aer::AerReport& report,
   return o;
 }
 
+void outcome_into(const aer::AerReport& report, const aer::AerWorld& world,
+                  TrialOutcome& out) {
+  std::vector<double> times = std::move(out.decision_times);
+  out = outcome_of(report);
+  times.clear();
+  times.reserve(world.correct.size());
+  for (NodeId id : world.correct) {
+    if (world.decisions.has_decided(id)) {
+      times.push_back(world.decisions.time(id));
+    }
+  }
+  out.decision_times = std::move(times);
+}
+
 TrialOutcome outcome_of(const ba::BaReport& r) {
   TrialOutcome o = outcome_of(r.reduction);
   // Whole-composition totals override the reduction-phase view.

@@ -78,6 +78,10 @@ struct TrialOutcome {
 TrialOutcome outcome_of(const aer::AerReport& report);
 TrialOutcome outcome_of(const aer::AerReport& report,
                         const aer::AerWorld& world);
+/// In-place variant of the world-aware overload: identical result, but
+/// `out`'s decision-times capacity is reused (the trial-arena path).
+void outcome_into(const aer::AerReport& report, const aer::AerWorld& world,
+                  TrialOutcome& out);
 /// Flattens a composed-BA run: time/traffic totals cover both phases,
 /// AER-specific fields come from the reduction phase.
 TrialOutcome outcome_of(const ba::BaReport& report);

@@ -1,11 +1,13 @@
 #include "exp/scenario.h"
 
+#include <chrono>
 #include <cstdio>
 
 #include "adversary/strategies.h"
 #include "baseline/flood.h"
 #include "baseline/snowball.h"
 #include "baseline/sqrtsample.h"
+#include "exp/arena.h"
 
 namespace fba::exp {
 
@@ -259,6 +261,24 @@ TrialOutcome run_aer_trial(const aer::AerConfig& config,
                      [](aer::AerWorld& world, const aer::StrategyFactory& f) {
                        return aer::run_aer_world(world, f);
                      });
+}
+
+void run_aer_trial(const aer::AerConfig& config, const GridPoint& point,
+                   TrialArena& arena, TrialOutcome& out) {
+  using clock = std::chrono::steady_clock;
+  aer::AerConfig cfg = config;
+  if (!point.fault.empty()) cfg.fault_plan = fault_plan_factory(point.fault);
+  const auto t0 = clock::now();
+  aer::build_aer_world_into(arena.world, cfg);
+  const auto t1 = clock::now();
+  const aer::AerReport report = aer::run_aer_world_arena(
+      arena.world, arena.run, attack_factory(point.strategy));
+  outcome_into(report, arena.world, out);
+  out.seed = cfg.seed;
+  const auto t2 = clock::now();
+  arena.timing.setup_seconds += std::chrono::duration<double>(t1 - t0).count();
+  arena.timing.run_seconds += std::chrono::duration<double>(t2 - t1).count();
+  ++arena.timing.trials;
 }
 
 TrialOutcome run_flood_trial(const aer::AerConfig& config,

@@ -64,11 +64,20 @@ sim::FaultPlan fault_plan_factory(const std::string& name);
 /// Names accepted by fault_plan_factory, for --help strings.
 std::vector<std::string> known_faults();
 
+class TrialArena;
+
 /// One full AER trial: builds a world for `config`, runs it under the
 /// point's attack, and harvests the outcome (including per-node decision
-/// times). This is Sweep's default trial.
+/// times). This is Sweep's default trial (via the arena overload below).
 TrialOutcome run_aer_trial(const aer::AerConfig& config,
                            const GridPoint& point);
+
+/// Arena variant: same trial, same results, but the world/engine/actor
+/// storage comes from `arena` (exp/arena.h) and the outcome is written into
+/// `out` (capacity reuse) — zero heap allocations once the arena is warm.
+/// Also accumulates the setup-vs-run wall-time split into arena.timing.
+void run_aer_trial(const aer::AerConfig& config, const GridPoint& point,
+                   TrialArena& arena, TrialOutcome& out);
 
 /// Baseline AE->E reductions on the same world construction.
 TrialOutcome run_flood_trial(const aer::AerConfig& config,

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "exp/arena.h"
 #include "exp/scenario.h"
 #include "support/siphash.h"
 #include "support/types.h"
@@ -29,9 +32,17 @@ std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t point_index,
 void run_indexed(std::size_t count, std::size_t threads,
                  const std::function<void(std::size_t)>& fn) {
   FBA_REQUIRE(static_cast<bool>(fn), "run_indexed needs a task function");
+  run_indexed_workers(count, threads,
+                      [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void run_indexed_workers(
+    std::size_t count, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  FBA_REQUIRE(static_cast<bool>(fn), "run_indexed needs a task function");
   threads = std::clamp<std::size_t>(threads, 1, count == 0 ? 1 : count);
   if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
 
@@ -40,12 +51,12 @@ void run_indexed(std::size_t count, std::size_t threads,
   std::mutex error_mutex;
   std::atomic<bool> abort{false};
 
-  auto worker = [&] {
+  auto worker = [&](std::size_t worker_id) {
     while (!abort.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
-        fn(i);
+        fn(worker_id, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -57,9 +68,35 @@ void run_indexed(std::size_t count, std::size_t threads,
 
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker, i);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+namespace {
+
+SweepTiming& mutable_process_timing() {
+  static SweepTiming totals;
+  return totals;
+}
+
+}  // namespace
+
+const SweepTiming& process_timing() { return mutable_process_timing(); }
+
+std::string format_timing(const SweepTiming& t) {
+  if (!t.available || t.trials == 0) return {};
+  const double total = t.setup_seconds + t.run_seconds;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%llu trials: setup %.2fs (%.0f%%) | run %.2fs (%.0f%%) |"
+                " %.2f ms/trial",
+                static_cast<unsigned long long>(t.trials), t.setup_seconds,
+                total > 0 ? 100.0 * t.setup_seconds / total : 0.0,
+                t.run_seconds,
+                total > 0 ? 100.0 * t.run_seconds / total : 0.0,
+                1e3 * total / static_cast<double>(t.trials));
+  return line;
 }
 
 Sweep::Sweep(aer::AerConfig base, Grid grid, std::size_t trials)
@@ -67,7 +104,10 @@ Sweep::Sweep(aer::AerConfig base, Grid grid, std::size_t trials)
       grid_(std::move(grid)),
       trials_(trials),
       threads_(default_threads()),
-      trial_(run_aer_trial) {
+      arena_trial_([](const aer::AerConfig& cfg, const GridPoint& point,
+                      TrialArena& arena, TrialOutcome& out) {
+        run_aer_trial(cfg, point, arena, out);
+      }) {
   FBA_REQUIRE(trials_ > 0, "a sweep needs at least one trial per point");
 }
 
@@ -79,6 +119,14 @@ Sweep& Sweep::set_threads(std::size_t threads) {
 Sweep& Sweep::set_trial(Trial trial) {
   FBA_REQUIRE(static_cast<bool>(trial), "null trial function");
   trial_ = std::move(trial);
+  arena_trial_ = nullptr;
+  return *this;
+}
+
+Sweep& Sweep::set_arena_trial(ArenaTrial trial) {
+  FBA_REQUIRE(static_cast<bool>(trial), "null trial function");
+  arena_trial_ = std::move(trial);
+  trial_ = nullptr;
   return *this;
 }
 
@@ -103,20 +151,56 @@ std::vector<PointResult> Sweep::run() const {
   std::mutex progress_mutex;
   std::size_t completed = 0;
 
-  run_indexed(total, threads_, [&](std::size_t task) {
+  // Per-worker trial arenas (arena path): a worker runs its trials serially,
+  // so its arena's world/engine/actor storage is reused back to back.
+  // Results never depend on which worker (or arena history) ran a trial —
+  // the cross-thread-count fingerprint tests pin that.
+  const std::size_t workers =
+      std::clamp<std::size_t>(threads_, 1, total == 0 ? 1 : total);
+  std::vector<std::unique_ptr<TrialArena>> arenas;
+  if (arena_trial_) {
+    arenas.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      arenas.push_back(std::make_unique<TrialArena>());
+    }
+  }
+
+  run_indexed_workers(total, threads_, [&](std::size_t worker,
+                                           std::size_t task) {
     const std::size_t point_idx = task / trials_;
     const std::size_t trial_idx = task % trials_;
     const GridPoint& point = points[point_idx];
     aer::AerConfig config = point.apply(base_);
     config.seed = trial_seed(base_.seed, point.index, trial_idx);
-    TrialOutcome outcome = trial_(config, point);
-    outcome.seed = config.seed;
-    slots[point_idx][trial_idx] = std::move(outcome);
+    TrialOutcome& slot = slots[point_idx][trial_idx];
+    if (arena_trial_) {
+      arena_trial_(config, point, *arenas[worker], slot);
+      slot.seed = config.seed;
+    } else {
+      TrialOutcome outcome = trial_(config, point);
+      outcome.seed = config.seed;
+      slot = std::move(outcome);
+    }
     if (progress_) {
       std::lock_guard<std::mutex> lock(progress_mutex);
       progress_(++completed, total);
     }
   });
+
+  timing_ = SweepTiming{};
+  if (arena_trial_) {
+    timing_.available = true;
+    for (const auto& arena : arenas) {
+      timing_.setup_seconds += arena->timing.setup_seconds;
+      timing_.run_seconds += arena->timing.run_seconds;
+      timing_.trials += arena->timing.trials;
+    }
+    SweepTiming& totals = mutable_process_timing();
+    totals.available = true;
+    totals.setup_seconds += timing_.setup_seconds;
+    totals.run_seconds += timing_.run_seconds;
+    totals.trials += timing_.trials;
+  }
 
   std::vector<PointResult> results;
   results.reserve(points.size());

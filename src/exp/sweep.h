@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "exp/aggregate.h"
@@ -42,6 +43,12 @@ std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t point_index,
 void run_indexed(std::size_t count, std::size_t threads,
                  const std::function<void(std::size_t)>& fn);
 
+/// Worker-aware variant: fn(worker, index) with worker in [0, threads) —
+/// what per-worker trial arenas key on (a worker runs its tasks serially).
+void run_indexed_workers(
+    std::size_t count, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
 /// One grid point's reduced result plus the raw per-trial outcomes (in
 /// trial order) for benches that render distributions.
 struct PointResult {
@@ -50,12 +57,39 @@ struct PointResult {
   std::vector<TrialOutcome> outcomes;
 };
 
+class TrialArena;
+
+/// Accumulated setup-vs-run wall-time split of a sweep's trials (available
+/// when the sweep ran arena trials; fba_sim / fba_repro --timing print it).
+struct SweepTiming {
+  double setup_seconds = 0;
+  double run_seconds = 0;
+  std::uint64_t trials = 0;
+  bool available = false;
+};
+
+/// Process-wide accumulation across every Sweep::run() so far (a figure
+/// reproduction runs several sweeps; --timing reports their sum).
+const SweepTiming& process_timing();
+
+/// The one-line rendering fba_sim / fba_repro print for --timing:
+/// "N trials: setup Xs (P%) | run Ys (Q%) | Z ms/trial".
+/// Empty when `t` holds no arena-trial data.
+std::string format_timing(const SweepTiming& t);
+
 class Sweep {
  public:
   /// A trial maps (config-with-derived-seed, grid point) to its outcome.
   /// It must be self-contained: trials run concurrently, one world each.
   using Trial =
       std::function<TrialOutcome(const aer::AerConfig&, const GridPoint&)>;
+
+  /// Arena-aware trial: reuses the worker's TrialArena (exp/arena.h) and
+  /// writes the outcome in place. The default trial (exp::run_aer_trial's
+  /// arena overload) has this shape; custom trials may use either form.
+  using ArenaTrial = std::function<void(const aer::AerConfig&,
+                                        const GridPoint&, TrialArena&,
+                                        TrialOutcome&)>;
 
   /// Invoked after every finished trial with (trials completed so far,
   /// total trials). Calls are serialized (one at a time) but come from
@@ -69,12 +103,19 @@ class Sweep {
   Sweep(aer::AerConfig base, Grid grid, std::size_t trials);
 
   Sweep& set_threads(std::size_t threads);
+  /// Installs a legacy self-contained trial (disables the arena path).
   Sweep& set_trial(Trial trial);
+  /// Installs an arena-aware trial (the default runner is one).
+  Sweep& set_arena_trial(ArenaTrial trial);
   Sweep& set_progress(Progress progress);
 
   std::size_t trials() const { return trials_; }
   std::size_t threads() const { return threads_; }
   std::size_t total_trials() const;
+
+  /// Setup-vs-run split of the last run() (available iff it ran arena
+  /// trials).
+  const SweepTiming& timing() const { return timing_; }
 
   /// Executes the sweep. Points appear in expansion order; outcomes within
   /// a point in trial order.
@@ -86,7 +127,9 @@ class Sweep {
   std::size_t trials_;
   std::size_t threads_;
   Trial trial_;
+  ArenaTrial arena_trial_;
   Progress progress_;
+  mutable SweepTiming timing_;
 };
 
 }  // namespace fba::exp

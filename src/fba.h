@@ -32,6 +32,7 @@
 #include "baseline/snowball.h"
 #include "baseline/sqrtsample.h"
 #include "exp/aggregate.h"
+#include "exp/arena.h"
 #include "exp/grid.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
@@ -44,9 +45,13 @@
 #include "sampler/hash_sampler.h"
 #include "sampler/properties.h"
 #include "sampler/sampler.h"
+#include "sampler/tables.h"
 #include "support/bitstring.h"
+#include "support/flat_counter.h"
+#include "support/flat_map.h"
 #include "support/histogram.h"
 #include "support/intern.h"
+#include "support/pool.h"
 #include "support/json.h"
 #include "support/metrics.h"
 #include "support/permutation.h"

@@ -13,7 +13,16 @@ AsyncEngine::AsyncEngine(const AsyncConfig& config)
   queue_.reserve(config.n * 4);
 }
 
-void AsyncEngine::queue_envelope(Envelope env) {
+void AsyncEngine::reset(const AsyncConfig& config) {
+  reset_base(config.n, config.seed);
+  config_ = config;
+  current_time_ = 0;
+  queue_.clear();
+  queue_.reserve(config.n * 4);
+  beyond_horizon_ = 0;
+}
+
+void AsyncEngine::queue_envelope(const Envelope& env) {
   SimTime delay;
   if (strategy_ != nullptr) {
     adv::AdvContext actx(*this);
@@ -35,7 +44,7 @@ void AsyncEngine::queue_envelope(Envelope env) {
     ++beyond_horizon_;
     return;
   }
-  queue_.push_message(at, 0, std::move(env));
+  queue_.push_message(at, 0, env);
 }
 
 void AsyncEngine::queue_timer(NodeId node, double delay, std::uint64_t token) {

@@ -38,6 +38,10 @@ class AsyncEngine : public EngineBase {
  public:
   explicit AsyncEngine(const AsyncConfig& config);
 
+  /// Re-initializes for a fresh run with construction semantics, keeping
+  /// the event slab / metrics storage (trial-arena reuse).
+  void reset(const AsyncConfig& config);
+
   double now() const override { return current_time_; }
 
   AsyncResult run(const std::function<bool()>& done);
@@ -46,7 +50,7 @@ class AsyncEngine : public EngineBase {
   void queue_timer(NodeId node, double delay, std::uint64_t token) override;
 
  private:
-  void queue_envelope(Envelope env) override;
+  void queue_envelope(const Envelope& env) override;
 
   AsyncConfig config_;
   SimTime current_time_ = 0;

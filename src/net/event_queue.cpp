@@ -14,6 +14,18 @@ void EventQueue::reserve(std::size_t n) {
   if (mode_ == Mode::kHeap) heap_.reserve(n);
 }
 
+void EventQueue::clear() {
+  size_ = 0;
+  next_seq_ = 0;
+  heap_.clear();
+  for (Bucket& bucket : ring_) {
+    for (auto& lane : bucket.lanes) lane.clear();  // keeps lane capacity
+    bucket.count = 0;
+  }
+  head_ = 0;
+  base_tick_ = 0;
+}
+
 void EventQueue::grow_ring(std::size_t min_slots) {
   std::size_t slots = std::max<std::size_t>(ring_.size() * 2,
                                             kInitialRingSlots);
@@ -61,11 +73,12 @@ void EventQueue::push(Event&& ev) {
   ++bucket.count;
 }
 
-void EventQueue::push_message(SimTime at, std::uint32_t pri, Envelope env) {
+void EventQueue::push_message(SimTime at, std::uint32_t pri,
+                              const Envelope& env) {
   Event ev;
   ev.at = at;
   ev.pri = pri;
-  ev.env = std::move(env);
+  ev.env = env;
   push(std::move(ev));
 }
 

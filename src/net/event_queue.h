@@ -64,12 +64,16 @@ class EventQueue {
   std::size_t size() const { return size_; }
   void reserve(std::size_t n);
 
+  /// Empties the queue and rewinds the clock to tick 0, keeping the heap
+  /// slab / ring buckets and their lane capacity (trial-arena reuse).
+  void clear();
+
   /// Earliest (at, pri, seq) pending event's timestamp. Queue must be
   /// non-empty.
   SimTime next_at() const;
 
   /// Queues a message delivery at (at, pri).
-  void push_message(SimTime at, std::uint32_t pri, Envelope env);
+  void push_message(SimTime at, std::uint32_t pri, const Envelope& env);
 
   /// Queues a timer firing at (at, pri).
   void push_timer(SimTime at, std::uint32_t pri, NodeId node,

@@ -2,40 +2,6 @@
 
 namespace fba::sim {
 
-namespace {
-
-// Golden sizes (see tests/message_test.cpp): each row reproduces the old
-// per-payload bit_size() formula for that kind.
-constexpr std::array<KindInfo, kNumMessageKinds> kKindTable = {{
-    // name          ids lab str sli pha val fixed
-    {"none", 0, 0, 0, 0, 0, 0, 0},
-    {"push", 0, 0, 1, 0, 0, 0, 0},
-    {"poll", 0, 1, 1, 0, 0, 0, 0},
-    {"pull", 0, 1, 1, 0, 0, 0, 0},
-    {"fw1", 2, 1, 1, 0, 0, 0, 0},
-    {"fw2", 1, 1, 1, 0, 0, 0, 0},
-    {"answer", 0, 0, 1, 0, 0, 0, 0},
-    {"contrib", 0, 0, 0, 1, 0, 1, 0},
-    {"pk-val", 0, 0, 0, 1, 1, 1, 0},
-    {"pk-king", 0, 0, 0, 1, 1, 1, 0},
-    {"final", 0, 0, 0, 1, 0, 1, 0},
-    {"pk-exchange", 0, 0, 0, 0, 0, 0, 64 + 8},
-    {"pk-decree", 0, 0, 0, 0, 0, 0, 64 + 8},
-    {"bcast", 0, 0, 1, 0, 0, 0, 0},
-    {"query", 0, 0, 0, 0, 0, 0, 0},
-    {"reply", 0, 0, 1, 0, 0, 0, 0},
-    {"snow-q", 0, 0, 0, 0, 0, 0, 16},
-    {"snow-r", 0, 0, 1, 0, 0, 0, 16},
-    {"ping", 0, 0, 0, 0, 0, 0, 16},
-}};
-
-}  // namespace
-
-const KindInfo& kind_info(MessageKind k) {
-  const std::size_t i = kind_index(k);
-  return kKindTable[i < kNumMessageKinds ? i : 0];
-}
-
 const char* kind_name(MessageKind k) { return kind_info(k).name; }
 
 }  // namespace fba::sim

@@ -4,15 +4,27 @@
 
 namespace fba::sim {
 
-EngineBase::EngineBase(std::size_t n, std::uint64_t seed)
-    : n_(n),
-      seed_(seed),
-      actors_(n),
-      corrupt_(n, false),
-      metrics_(n),
-      strategy_rng_(Rng(seed).split(0xadull)) {
+EngineBase::EngineBase(std::size_t n, std::uint64_t seed) {
+  reset_base(n, seed);
+}
+
+void EngineBase::reset_base(std::size_t n, std::uint64_t seed) {
   FBA_REQUIRE(n >= 2, "a network needs at least two nodes");
+  n_ = n;
+  seed_ = seed;
+  actors_.assign(n, nullptr);
+  owned_actors_.clear();
+  fault_.reset();
+  corrupt_.assign(n, false);
+  corrupt_list_.clear();
+  strategy_ = nullptr;
+  wire_ = nullptr;
+  metrics_.reset(n);
+  on_decide_ = nullptr;
+  strategy_rng_ = Rng(seed).split(0xadull);
+  decisions_reported_ = 0;
   Rng master(seed);
+  node_rngs_.clear();
   node_rngs_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     node_rngs_.push_back(master.split(0x1000 + i));
@@ -23,7 +35,13 @@ EngineBase::~EngineBase() = default;
 
 void EngineBase::set_actor(NodeId id, std::unique_ptr<Actor> actor) {
   FBA_REQUIRE(id < n_, "actor id out of range");
-  actors_[id] = std::move(actor);
+  actors_[id] = actor.get();
+  owned_actors_.push_back(std::move(actor));
+}
+
+void EngineBase::set_actor(NodeId id, Actor* actor) {
+  FBA_REQUIRE(id < n_, "actor id out of range");
+  actors_[id] = actor;
 }
 
 void EngineBase::set_corrupt(const std::vector<NodeId>& nodes) {
@@ -61,18 +79,19 @@ void EngineBase::send_from(NodeId src, NodeId dst, const Message& msg) {
   const std::size_t bits = message_bit_size(msg, *wire_) + wire_->header_bits();
   metrics_.on_message(src, dst, bits, msg.kind);
 
+  const double send_time = now();  // one virtual dispatch per send
   Envelope env;
   env.src = src;
   env.dst = dst;
   env.msg = msg;
-  env.send_time = now();
+  env.send_time = send_time;
 
   // Fault layer (net/fault.h): one shared code path for both engines.
   // Dropped sends stay charged (the bits left the sender) but never reach
   // the queue or the adversary's tap — traffic nobody receives is as if
   // never sent, except for the bandwidth.
   if (fault_) {
-    const FaultState::Action act = fault_->on_send(src, dst, now());
+    const FaultState::Action act = fault_->on_send(src, dst, send_time);
     if (act.drop) {
       metrics_.on_fault_drop(bits, act.cause);
       return;
@@ -90,7 +109,7 @@ void EngineBase::send_from(NodeId src, NodeId dst, const Message& msg) {
     adv::AdvContext actx(*this);
     strategy_->on_observe(actx, env);
   }
-  queue_envelope(std::move(env));
+  queue_envelope(env);
 }
 
 void EngineBase::report_decision(NodeId node, StringId value) {
@@ -106,7 +125,7 @@ void EngineBase::deliver(const Envelope& env) {
     }
     return;
   }
-  Actor* actor = actors_[env.dst].get();
+  Actor* actor = actors_[env.dst];
   FBA_ASSERT(actor != nullptr, "correct node has no actor");
   Context ctx(*this, env.dst, now(), node_rngs_[env.dst]);
   actor->on_message(ctx, env);
@@ -114,7 +133,7 @@ void EngineBase::deliver(const Envelope& env) {
 
 void EngineBase::fire_timer(NodeId node, std::uint64_t token) {
   if (corrupt_[node]) return;
-  Actor* actor = actors_[node].get();
+  Actor* actor = actors_[node];
   FBA_ASSERT(actor != nullptr, "correct node has no actor");
   Context ctx(*this, node, now(), node_rngs_[node]);
   actor->on_timer(ctx, token);
@@ -122,7 +141,7 @@ void EngineBase::fire_timer(NodeId node, std::uint64_t token) {
 
 void EngineBase::start_actor(NodeId id) {
   if (corrupt_[id]) return;
-  Actor* actor = actors_[id].get();
+  Actor* actor = actors_[id];
   FBA_ASSERT(actor != nullptr, "correct node has no actor");
   Context ctx(*this, id, now(), node_rngs_[id]);
   actor->on_start(ctx);

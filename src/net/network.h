@@ -48,6 +48,10 @@ class EngineBase {
   /// (corrupt nodes' actors are simply never invoked).
   void set_actor(NodeId id, std::unique_ptr<Actor> actor);
 
+  /// Non-owning registration: the caller keeps the actor alive for the run
+  /// (trial arenas pool their actors across trials).
+  void set_actor(NodeId id, Actor* actor);
+
   /// Marks `nodes` as Byzantine. Must be called before run().
   void set_corrupt(const std::vector<NodeId>& nodes);
 
@@ -96,7 +100,16 @@ class EngineBase {
   virtual void queue_timer(NodeId node, double delay, std::uint64_t token) = 0;
 
  protected:
-  virtual void queue_envelope(Envelope env) = 0;
+  /// Hands a charged, observed envelope to the engine's queue. Taking a
+  /// reference lets the horizon-cull path (common in short bounded runs)
+  /// discard without copying; implementations copy only what they keep.
+  virtual void queue_envelope(const Envelope& env) = 0;
+
+  /// Re-initializes the base for a fresh run with the same construction
+  /// semantics (node RNG derivation included), keeping vector capacity and
+  /// dropping owned actors. Engine subclasses expose a reset(config) that
+  /// calls this (trial-arena reuse).
+  void reset_base(std::size_t n, std::uint64_t seed);
 
   void fire_timer(NodeId node, std::uint64_t token);
 
@@ -111,7 +124,9 @@ class EngineBase {
 
   std::size_t n_;
   std::uint64_t seed_;
-  std::vector<std::unique_ptr<Actor>> actors_;
+  /// Dispatch table; entries may be owned (owned_actors_) or borrowed.
+  std::vector<Actor*> actors_;
+  std::vector<std::unique_ptr<Actor>> owned_actors_;
   std::optional<FaultState> fault_;
   std::vector<bool> corrupt_;
   std::vector<NodeId> corrupt_list_;

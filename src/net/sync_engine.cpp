@@ -22,7 +22,16 @@ SyncEngine::SyncEngine(const SyncConfig& config)
       config_(config),
       queue_(EventQueue::Mode::kBuckets) {}
 
-void SyncEngine::queue_envelope(Envelope env) {
+void SyncEngine::reset(const SyncConfig& config) {
+  reset_base(config.n, config.seed);
+  config_ = config;
+  current_round_ = 0;
+  queue_.clear();
+  due_.clear();
+  beyond_horizon_ = 0;
+}
+
+void SyncEngine::queue_envelope(const Envelope& env) {
   // Sent during round r, delivered during round r+1 — plus any whole rounds
   // of fault-layer jitter. Horizon culling: a message that could only be
   // delivered after the last executable round is charged but not queued.

@@ -45,6 +45,10 @@ class SyncEngine : public EngineBase {
  public:
   explicit SyncEngine(const SyncConfig& config);
 
+  /// Re-initializes for a fresh run with construction semantics, keeping
+  /// the event ring / scratch / metrics storage (trial-arena reuse).
+  void reset(const SyncConfig& config);
+
   double now() const override {
     return static_cast<double>(current_round_);
   }
@@ -58,7 +62,7 @@ class SyncEngine : public EngineBase {
   void queue_timer(NodeId node, double delay, std::uint64_t token) override;
 
  private:
-  void queue_envelope(Envelope env) override;
+  void queue_envelope(const Envelope& env) override;
 
   SyncConfig config_;
   Round current_round_ = 0;

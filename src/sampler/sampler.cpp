@@ -84,33 +84,19 @@ Quorum PollSampler::poll_list(NodeId x, PollLabel r) const {
   std::vector<NodeId> members;
   members.reserve(params_.d);
   for (std::size_t k = 0; k < params_.d; ++k) {
-    const std::uint64_t h = siphash_words(
-        key_, {static_cast<std::uint64_t>(x), r, static_cast<std::uint64_t>(k)});
-    members.push_back(static_cast<NodeId>(h % params_.n));
+    members.push_back(member(x, r, k));
   }
   return make_quorum(std::move(members));
 }
 
+NodeId PollSampler::member(NodeId x, PollLabel r, std::size_t k) const {
+  const std::uint64_t h = siphash_words(
+      key_, {static_cast<std::uint64_t>(x), r, static_cast<std::uint64_t>(k)});
+  return static_cast<NodeId>(h % params_.n);
+}
+
 PollLabel PollSampler::random_label(Rng& rng) const {
   return rng.next() & ((1ull << params_.label_bits) - 1);
-}
-
-const Quorum& QuorumCache::get(StringKey s, NodeId x) const {
-  const auto key = std::make_pair(s, x);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, sampler_.quorum(s, x)).first;
-  }
-  return it->second;
-}
-
-const Quorum& PollCache::get(NodeId x, PollLabel r) const {
-  const auto key = std::make_pair(x, r);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, sampler_.poll_list(x, r)).first;
-  }
-  return it->second;
 }
 
 namespace {
@@ -125,5 +111,12 @@ SamplerSuite::SamplerSuite(const SamplerParams& p)
       push(p, kPushTag),
       pull(p, kPullTag),
       poll(p, kPollTag) {}
+
+void SamplerSuite::reset(const SamplerParams& p) {
+  params = p;
+  push = QuorumSampler(p, kPushTag);
+  pull = QuorumSampler(p, kPullTag);
+  poll = PollSampler(p, kPollTag);
+}
 
 }  // namespace fba::sampler

@@ -24,7 +24,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "support/permutation.h"
@@ -78,9 +77,12 @@ class QuorumSampler {
   /// { x : y in I(s, x) }: the d nodes y must contact when diffusing s.
   std::vector<NodeId> targets(StringKey s, NodeId y) const;
 
- private:
+  /// The keyed bijection sigma_{s,slot}. Deriving it costs two SipHash
+  /// evaluations; sampler::SharedTables caches all d of them per string so
+  /// bulk quorum evaluation pays the derivation once, not once per lookup.
   FeistelPermutation slot_permutation(StringKey s, std::size_t slot) const;
 
+ private:
   SamplerParams params_;
   SipKey key_;
 };
@@ -98,6 +100,10 @@ class PollSampler {
   /// J(x, r): the poll list of node x under label r.
   Quorum poll_list(NodeId x, PollLabel r) const;
 
+  /// Slot k of J(x, r) — the raw keyed-hash draw, for bulk evaluation into
+  /// preallocated rows (sampler::SharedTables).
+  NodeId member(NodeId x, PollLabel r, std::size_t k) const;
+
   /// Uniform label from R (each node draws one per candidate string).
   PollLabel random_label(Rng& rng) const;
 
@@ -106,57 +112,17 @@ class PollSampler {
   SipKey key_;
 };
 
-/// Memoizing wrapper: protocol hot paths (Fw1/Fw2 membership checks) ask for
-/// the same quorums repeatedly; single-threaded simulation makes a plain
-/// hash-map cache safe and effective.
-class QuorumCache {
- public:
-  explicit QuorumCache(const QuorumSampler& sampler) : sampler_(sampler) {}
-
-  const Quorum& get(StringKey s, NodeId x) const;
-  bool contains(StringKey s, NodeId x, NodeId member) const {
-    return get(s, x).contains(member);
-  }
-  std::size_t size() const { return cache_.size(); }
-
- private:
-  struct KeyHash {
-    std::size_t operator()(const std::pair<StringKey, NodeId>& k) const {
-      return std::hash<std::uint64_t>()(k.first * 0x9e3779b97f4a7c15ull +
-                                        k.second);
-    }
-  };
-  const QuorumSampler& sampler_;
-  mutable std::unordered_map<std::pair<StringKey, NodeId>, Quorum, KeyHash>
-      cache_;
-};
-
-class PollCache {
- public:
-  explicit PollCache(const PollSampler& sampler) : sampler_(sampler) {}
-
-  const Quorum& get(NodeId x, PollLabel r) const;
-  bool contains(NodeId x, PollLabel r, NodeId member) const {
-    return get(x, r).contains(member);
-  }
-  std::size_t size() const { return cache_.size(); }
-
- private:
-  struct KeyHash {
-    std::size_t operator()(const std::pair<NodeId, PollLabel>& k) const {
-      return std::hash<std::uint64_t>()(k.second * 0x9e3779b97f4a7c15ull +
-                                        k.first);
-    }
-  };
-  const PollSampler& sampler_;
-  mutable std::unordered_map<std::pair<NodeId, PollLabel>, Quorum, KeyHash>
-      cache_;
-};
-
 /// The three shared sampling functions, bundled (every node knows all
-/// three; they are public setup).
+/// three; they are public setup). The memoized dense-table front-end the
+/// protocol hot paths read through lives in sampler/tables.h
+/// (sampler::SharedTables); the samplers themselves stay cheap value
+/// objects — constructing a suite derives three keys and nothing else.
 struct SamplerSuite {
   SamplerSuite(const SamplerParams& params);
+
+  /// Re-keys the suite in place (trial-arena reuse: a fresh trial's setup
+  /// randomness without reconstructing the owning AerShared).
+  void reset(const SamplerParams& params);
 
   SamplerParams params;
   QuorumSampler push;   ///< I

@@ -7,9 +7,14 @@
 namespace fba {
 
 BitString BitString::random(std::size_t bit_count, Rng& rng) {
-  BitString s(bit_count);
-  for (std::size_t i = 0; i < bit_count; ++i) s.bits_[i] = rng.chance(0.5);
+  BitString s;
+  s.randomize(bit_count, rng);
   return s;
+}
+
+void BitString::randomize(std::size_t bit_count, Rng& rng) {
+  reset_zero(bit_count);
+  for (std::size_t i = 0; i < bit_count; ++i) bits_[i] = rng.chance(0.5);
 }
 
 void BitString::append(const BitString& other) {
@@ -18,16 +23,27 @@ void BitString::append(const BitString& other) {
 
 std::uint64_t BitString::digest() const {
   // Pack into bytes, then SipHash with a fixed public key: digests only need
-  // to be stable and well-distributed, not secret.
-  std::vector<unsigned char> bytes((bits_.size() + 7) / 8, 0);
+  // to be stable and well-distributed, not secret. Candidate strings are
+  // c * log2(n) bits, so a stack buffer covers every realistic length; the
+  // heap fallback keeps pathological inputs correct (identical bytes ->
+  // identical digest either way).
+  static constexpr SipKey kDigestKey{0x6662612d64696765ull,
+                                     0x73742d6b65792121ull};
+  const std::size_t byte_count = (bits_.size() + 7) / 8;
+  unsigned char stack_bytes[256];
+  std::vector<unsigned char> heap_bytes;
+  unsigned char* bytes = stack_bytes;
+  if (byte_count > sizeof(stack_bytes)) {
+    heap_bytes.resize(byte_count);
+    bytes = heap_bytes.data();
+  }
+  std::fill(bytes, bytes + byte_count, 0);
   for (std::size_t i = 0; i < bits_.size(); ++i) {
     if (bits_[i]) bytes[i / 8] |= static_cast<unsigned char>(1u << (i % 8));
   }
-  static constexpr SipKey kDigestKey{0x6662612d64696765ull,
-                                     0x73742d6b65792121ull};
   std::uint64_t len_tag = static_cast<std::uint64_t>(bits_.size());
   std::uint64_t body =
-      bytes.empty() ? 0 : siphash24(kDigestKey, bytes.data(), bytes.size());
+      byte_count == 0 ? 0 : siphash24(kDigestKey, bytes, byte_count);
   return siphash_words(kDigestKey, {body, len_tag});
 }
 
@@ -41,21 +57,27 @@ std::string BitString::to_string(std::size_t max_bits) const {
 
 BitString make_gstring(const GstringSpec& spec, const BitString& adversary_bits,
                        Rng& rng) {
+  BitString s;
+  make_gstring_into(spec, adversary_bits, rng, s);
+  return s;
+}
+
+void make_gstring_into(const GstringSpec& spec, const BitString& adversary_bits,
+                       Rng& rng, BitString& out) {
   FBA_REQUIRE(spec.length_bits > 0, "gstring length must be positive");
   FBA_REQUIRE(spec.random_fraction >= 0.0 && spec.random_fraction <= 1.0,
               "random_fraction must lie in [0, 1]");
   const auto adversarial =
       static_cast<std::size_t>(static_cast<double>(spec.length_bits) *
                                (1.0 - spec.random_fraction));
-  BitString s(spec.length_bits);
+  out.reset_zero(spec.length_bits);
   for (std::size_t i = 0; i < adversarial; ++i) {
     const bool v = i < adversary_bits.size() ? adversary_bits.bit(i) : false;
-    s.set_bit(i, v);
+    out.set_bit(i, v);
   }
   for (std::size_t i = adversarial; i < spec.length_bits; ++i) {
-    s.set_bit(i, rng.chance(0.5));
+    out.set_bit(i, rng.chance(0.5));
   }
-  return s;
 }
 
 std::size_t default_gstring_bits(std::size_t n, std::size_t c) {

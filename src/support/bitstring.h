@@ -24,6 +24,13 @@ class BitString {
 
   static BitString random(std::size_t bit_count, Rng& rng);
 
+  /// In-place variant of random(): same draws, reuses this string's
+  /// storage (trial-arena paths rebuild scratch strings every trial).
+  void randomize(std::size_t bit_count, Rng& rng);
+
+  /// Resets to `bit_count` zero bits, keeping storage.
+  void reset_zero(std::size_t bit_count) { bits_.assign(bit_count, false); }
+
   std::size_t size() const { return bits_.size(); }
   bool empty() const { return bits_.empty(); }
 
@@ -58,6 +65,10 @@ struct GstringSpec {
 /// need to be random.
 BitString make_gstring(const GstringSpec& spec, const BitString& adversary_bits,
                        Rng& rng);
+
+/// In-place variant (same draws as make_gstring, storage reused via `out`).
+void make_gstring_into(const GstringSpec& spec, const BitString& adversary_bits,
+                       Rng& rng, BitString& out);
 
 /// Default gstring length for an n-node system: c * ceil(log2 n) bits.
 std::size_t default_gstring_bits(std::size_t n, std::size_t c = 4);

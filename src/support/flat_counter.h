@@ -1,0 +1,103 @@
+// Flat sorted-vector replacements for the std::map tallies in the ae/
+// protocols (phase-king exchange counts, echo-committee vote sets).
+//
+// The tallies are tiny (distinct values <= committee size) and touched once
+// per delivered message; a sorted vector beats a red-black tree on both the
+// increment and the lookup while keeping *identical iteration order*
+// (ascending by value — the order std::map iterated in, which
+// ae::AeNode::assemble depends on when picking the first majority
+// candidate). clear() keeps capacity so arena-reused actors stay
+// allocation-free once warm.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/types.h"
+
+namespace fba::support {
+
+/// value -> count multiset tally. Drop-in for the `++counts[value]` pattern.
+class TallyCounter {
+ public:
+  using Entry = std::pair<std::uint64_t, std::size_t>;
+
+  /// ++count for `value`; returns the new count.
+  std::size_t increment(std::uint64_t value) {
+    const auto it = lower_bound(value);
+    if (it != entries_.end() && it->first == value) return ++it->second;
+    entries_.insert(it, {value, 1});
+    return 1;
+  }
+
+  std::size_t count(std::uint64_t value) const {
+    const auto it = lower_bound(value);
+    return it != entries_.end() && it->first == value ? it->second : 0;
+  }
+
+  void clear() { entries_.clear(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t distinct() const { return entries_.size(); }
+
+  /// Entries in ascending value order (the std::map iteration order).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry>::iterator lower_bound(std::uint64_t value) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), value,
+        [](const Entry& e, std::uint64_t v) { return e.first < v; });
+  }
+  std::vector<Entry>::const_iterator lower_bound(std::uint64_t value) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), value,
+        [](const Entry& e, std::uint64_t v) { return e.first < v; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// value -> voter-list map, iterated in ascending value order. Replaces
+/// std::map<std::uint64_t, std::vector<NodeId>> in the final-slice vote
+/// tally; voter lists keep their capacity across clear().
+class VoteSet {
+ public:
+  struct Entry {
+    std::uint64_t value = 0;
+    std::vector<NodeId> voters;
+  };
+
+  /// The voter list for `value`, created empty on first sight.
+  std::vector<NodeId>& voters(std::uint64_t value) {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), value,
+        [](const Entry& e, std::uint64_t v) { return e.value < v; });
+    if (it != entries_.end() && it->value == value) return it->voters;
+    // Reuse a spare entry's capacity when one is available (from clear()).
+    if (spare_.empty()) {
+      return entries_.insert(it, Entry{value, {}})->voters;
+    }
+    Entry e = std::move(spare_.back());
+    spare_.pop_back();
+    e.value = value;
+    e.voters.clear();
+    return entries_.insert(it, std::move(e))->voters;
+  }
+
+  void clear() {
+    for (Entry& e : entries_) spare_.push_back(std::move(e));
+    entries_.clear();
+  }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries in ascending value order (the std::map iteration order).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<Entry> spare_;
+};
+
+}  // namespace fba::support

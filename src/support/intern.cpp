@@ -2,39 +2,76 @@
 
 namespace fba {
 
+namespace {
+// FlatMap64 reserves the all-ones key as its empty sentinel; remap that one
+// digest to an arbitrary fixed key. Two digests sharing a map key is fine —
+// the per-id chain compares true digests and contents.
+std::uint64_t digest_key(std::uint64_t digest) {
+  return digest == support::FlatMap64<StringId>::kEmptyKey
+             ? 0x66626120646967ull
+             : digest;
+}
+}  // namespace
+
+void StringTable::reset() {
+  // next_ is a slot array parallel to strings_; its entries are overwritten
+  // as slots are re-filled, so only the index and the live count reset.
+  live_ = 0;
+  by_digest_.clear();
+}
+
+StringId StringTable::chase(std::uint64_t digest, const BitString& s) const {
+  const StringId* head = by_digest_.find(digest_key(digest));
+  if (head == nullptr) return kNoString;
+  for (StringId id = *head; id != kNoString; id = next_[id]) {
+    if (digests_[id] == digest && strings_[id] == s) return id;
+  }
+  return kNoString;
+}
+
 StringId StringTable::intern(const BitString& s) {
   const std::uint64_t d = s.digest();
-  auto& bucket = by_digest_[d];
-  for (StringId id : bucket) {
-    if (strings_[id] == s) return id;
+  bool created = false;
+  StringId& head = by_digest_.get_or_create(digest_key(d), created);
+  if (!created) {
+    for (StringId id = head; id != kNoString; id = next_[id]) {
+      if (digests_[id] == d && strings_[id] == s) return id;
+    }
   }
-  const auto id = static_cast<StringId>(strings_.size());
+  const auto id = static_cast<StringId>(live_);
   FBA_ASSERT(id != kNoString, "string table overflow");
-  strings_.push_back(s);
-  digests_.push_back(d);
-  bucket.push_back(id);
+  // Reuse a warm slot when one exists (BitString copy-assignment reuses the
+  // slot's bit storage); grow otherwise.
+  if (live_ < strings_.size()) {
+    strings_[live_] = s;
+    digests_[live_] = d;
+    lengths_[live_] = static_cast<std::uint32_t>(s.size());
+    next_[live_] = created ? kNoString : head;
+  } else {
+    strings_.push_back(s);
+    digests_.push_back(d);
+    lengths_.push_back(static_cast<std::uint32_t>(s.size()));
+    next_.push_back(created ? kNoString : head);
+  }
+  ++live_;
+  head = id;
   return id;
 }
 
 std::optional<StringId> StringTable::find(const BitString& s) const {
-  const auto it = by_digest_.find(s.digest());
-  if (it == by_digest_.end()) return std::nullopt;
-  for (StringId id : it->second) {
-    if (strings_[id] == s) return id;
-  }
-  return std::nullopt;
+  const StringId id = chase(s.digest(), s);
+  if (id == kNoString) return std::nullopt;
+  return id;
 }
 
 const BitString& StringTable::get(StringId id) const {
-  FBA_ASSERT(id < strings_.size(), "unknown string id");
+  FBA_ASSERT(id < live_, "unknown string id");
   return strings_[id];
 }
 
 std::uint64_t StringTable::digest(StringId id) const {
-  FBA_ASSERT(id < digests_.size(), "unknown string id");
+  FBA_ASSERT(id < live_, "unknown string id");
   return digests_[id];
 }
-
-std::size_t StringTable::bits(StringId id) const { return get(id).size(); }
 
 }  // namespace fba

@@ -2,13 +2,19 @@
 // messages carry 32-bit StringIds while bit accounting uses the true encoded
 // length. This keeps the O(n * d^3) pull-phase message volume cheap in
 // memory without distorting the measured communication complexity.
+//
+// The table is built for trial-arena reuse: reset() keeps every BitString
+// slot and the digest index's capacity, so re-interning a fresh trial's
+// strings into a warm table performs no heap allocation. Ids are dense and
+// assigned in interning order — the sampler tables (sampler/tables.h) use
+// them directly as slab indices.
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "support/bitstring.h"
+#include "support/flat_map.h"
 #include "support/types.h"
 
 namespace fba {
@@ -27,15 +33,32 @@ class StringTable {
   std::uint64_t digest(StringId id) const;
 
   /// Encoded size in bits of the string behind `id` (what a real wire
-  /// message would carry).
-  std::size_t bits(StringId id) const;
+  /// message would carry). Called once per sent message (wire accounting):
+  /// reads a flat length cache, not the string itself.
+  std::size_t bits(StringId id) const {
+    FBA_ASSERT(id < live_, "unknown string id");
+    return lengths_[id];
+  }
 
-  std::size_t size() const { return strings_.size(); }
+  std::size_t size() const { return live_; }
+
+  /// Empties the table, keeping all storage (slots, index, chains) for
+  /// reuse by the next trial.
+  void reset();
 
  private:
+  StringId chase(std::uint64_t digest, const BitString& s) const;
+
+  /// Interned strings; only the first `live_` slots are valid. Slots past
+  /// live_ keep their capacity for reuse across reset().
   std::vector<BitString> strings_;
   std::vector<std::uint64_t> digests_;
-  std::unordered_map<std::uint64_t, std::vector<StringId>> by_digest_;
+  std::vector<std::uint32_t> lengths_;  ///< bit lengths, wire-accounting hot
+  std::size_t live_ = 0;
+  /// digest -> first id with that digest; same-digest ids are chained via
+  /// next_ (kNoString terminates). Open-addressed: no per-entry allocation.
+  support::FlatMap64<StringId> by_digest_;
+  std::vector<StringId> next_;
 };
 
 }  // namespace fba

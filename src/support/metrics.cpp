@@ -4,10 +4,12 @@
 
 namespace fba {
 
-LoadStats summarize(const std::vector<double>& values) {
+namespace {
+
+/// `sorted` must already hold the (unsorted) sample; sorted in place.
+LoadStats summarize_sorting(std::vector<double>& sorted) {
   LoadStats s;
-  if (values.empty()) return s;
-  std::vector<double> sorted = values;
+  if (sorted.empty()) return s;
   std::sort(sorted.begin(), sorted.end());
   double sum = 0;
   for (double v : sorted) sum += v;
@@ -20,12 +22,24 @@ LoadStats summarize(const std::vector<double>& values) {
   return s;
 }
 
+}  // namespace
+
+LoadStats summarize(const std::vector<double>& values) {
+  std::vector<double> sorted = values;
+  return summarize_sorting(sorted);
+}
+
 LoadStats summarize_u64(const std::vector<std::uint64_t>& values) {
-  std::vector<double> d(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    d[i] = static_cast<double>(values[i]);
-  }
-  return summarize(d);
+  std::vector<double> scratch;
+  return summarize_u64_into(values, scratch);
+}
+
+LoadStats summarize_u64_into(const std::vector<std::uint64_t>& values,
+                             std::vector<double>& scratch) {
+  scratch.clear();
+  scratch.reserve(values.size());
+  for (std::uint64_t v : values) scratch.push_back(static_cast<double>(v));
+  return summarize_sorting(scratch);
 }
 
 void TrafficMetrics::reset(std::size_t n) {
@@ -68,11 +82,11 @@ double TrafficMetrics::amortized_bits() const {
 }
 
 LoadStats TrafficMetrics::sent_bits_stats() const {
-  return summarize_u64(sent_bits_);
+  return summarize_u64_into(sent_bits_, stats_scratch_);
 }
 
 LoadStats TrafficMetrics::received_bits_stats() const {
-  return summarize_u64(received_bits_);
+  return summarize_u64_into(received_bits_, stats_scratch_);
 }
 
 void DecisionLog::reset(std::size_t n) {

@@ -35,6 +35,11 @@ struct LoadStats {
 LoadStats summarize(const std::vector<double>& values);
 LoadStats summarize_u64(const std::vector<std::uint64_t>& values);
 
+/// Scratch-reusing variant: sorts into `scratch` instead of allocating
+/// (the per-trial stats harvest on the trial-arena zero-allocation path).
+LoadStats summarize_u64_into(const std::vector<std::uint64_t>& values,
+                             std::vector<double>& scratch);
+
 /// Per-kind counter array, indexed by sim::kind_index().
 using KindCounters = std::array<std::uint64_t, sim::kNumMessageKinds>;
 
@@ -107,6 +112,8 @@ class TrafficMetrics {
   std::uint64_t fault_dropped_bits_ = 0;
   std::uint64_t fault_delayed_msgs_ = 0;
   FaultCounters drops_by_cause_{};
+  /// Sort scratch for the *_stats() harvest (capacity reused across trials).
+  mutable std::vector<double> stats_scratch_;
 };
 
 /// Decision bookkeeping: when each node decided and on what.

@@ -1,0 +1,145 @@
+// Size-classed memory pool for per-trial container state.
+//
+// The experiment runner executes thousands of trials back to back; each
+// trial's node-local hash maps would otherwise malloc/free every map node
+// and bucket array. Pool recycles that memory: allocations are served from
+// power-of-two size-class free lists backed by chunked slabs, deallocations
+// push onto the free list, and nothing is returned to the system until the
+// pool dies. After a warm-up trial has grown the free lists to the
+// working-set size, a trial allocates nothing from the heap — the
+// "zero allocations per trial" contract checked by
+// bench_micro_primitives' BM_WarmTrialAllocations.
+//
+// PoolAllocator adapts a Pool to the std::allocator interface so standard
+// containers can draw from it. Allocator identity does not affect
+// unordered_map iteration order (bucket growth and hashing are unchanged),
+// which the golden-fingerprint suite relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "support/types.h"
+
+namespace fba::support {
+
+class Pool {
+ public:
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls >= kNumClasses) {  // oversized: plain heap, not recycled
+      return ::operator new(bytes);
+    }
+    if (FreeBlock* head = free_[cls]) {
+      free_[cls] = head->next;
+      return head;
+    }
+    return carve(cls);
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls >= kNumClasses) {
+      ::operator delete(p);
+      return;
+    }
+    // Intrusive free list: the link lives in the freed block itself (the
+    // minimum class is 16 bytes), so recycling never touches the heap.
+    auto* block = static_cast<FreeBlock*>(p);
+    block->next = free_[cls];
+    free_[cls] = block;
+  }
+
+  /// Bytes held in chunks (diagnostics).
+  std::size_t reserved_bytes() const { return reserved_; }
+
+ private:
+  // Classes are powers of two from 16 bytes (covers one map node of a small
+  // value) up to 16 MiB (a large trial's bucket array / row slab).
+  static constexpr std::size_t kMinShift = 4;
+  static constexpr std::size_t kNumClasses = 21;  // 16 B .. 16 MiB
+  static constexpr std::size_t kChunkBytes = 1 << 18;  // 256 KiB slabs
+
+  static std::size_t size_class(std::size_t bytes) {
+    std::size_t cls = 0;
+    std::size_t cap = std::size_t{1} << kMinShift;
+    while (cap < bytes) {
+      cap <<= 1;
+      ++cls;
+    }
+    return cls;
+  }
+
+  void* carve(std::size_t cls) {
+    const std::size_t bytes = std::size_t{1} << (kMinShift + cls);
+    if (bytes >= kChunkBytes) {  // one allocation per block at large sizes
+      chunks_.emplace_back(static_cast<char*>(::operator new(bytes)));
+      reserved_ += bytes;
+      return chunks_.back().get();
+    }
+    if (bump_ == nullptr || bump_left_ < bytes) {
+      chunks_.emplace_back(static_cast<char*>(::operator new(kChunkBytes)));
+      reserved_ += kChunkBytes;
+      bump_ = chunks_.back().get();
+      bump_left_ = kChunkBytes;
+    }
+    void* p = bump_;
+    bump_ += bytes;
+    bump_left_ -= bytes;
+    return p;
+  }
+
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+  struct OpDelete {
+    void operator()(char* p) const { ::operator delete(p); }
+  };
+  std::vector<std::unique_ptr<char[], OpDelete>> chunks_;
+  char* bump_ = nullptr;
+  std::size_t bump_left_ = 0;
+  std::size_t reserved_ = 0;
+  FreeBlock* free_[kNumClasses] = {};
+};
+
+/// std::allocator adapter over a Pool. The pool must outlive every container
+/// bound to it.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(Pool* pool) : pool_(pool) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_->allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    pool_->deallocate(p, n * sizeof(T));
+  }
+
+  Pool* pool() const { return pool_; }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const {
+    return pool_ == other.pool();
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>& other) const {
+    return pool_ != other.pool();
+  }
+
+ private:
+  Pool* pool_;
+};
+
+}  // namespace fba::support

@@ -1,7 +1,5 @@
 #include "support/random.h"
 
-#include <unordered_set>
-
 namespace fba {
 
 std::uint64_t splitmix64(std::uint64_t& state) {
@@ -64,8 +62,15 @@ Rng Rng::split(std::uint64_t tag) const {
 
 std::vector<std::uint32_t> Rng::sample_without_replacement(std::size_t n,
                                                            std::size_t k) {
-  FBA_REQUIRE(k <= n, "cannot sample more values than the domain holds");
   std::vector<std::uint32_t> out;
+  sample_without_replacement_into(n, k, out);
+  return out;
+}
+
+void Rng::sample_without_replacement_into(std::size_t n, std::size_t k,
+                                          std::vector<std::uint32_t>& out) {
+  FBA_REQUIRE(k <= n, "cannot sample more values than the domain holds");
+  out.clear();
   out.reserve(k);
   if (k * 3 >= n) {
     // Dense case: partial Fisher-Yates over the full domain.
@@ -76,15 +81,21 @@ std::vector<std::uint32_t> Rng::sample_without_replacement(std::size_t n,
       std::swap(all[i], all[j]);
       out.push_back(all[i]);
     }
-    return out;
+    return;
   }
-  std::unordered_set<std::uint32_t> seen;
-  seen.reserve(k * 2);
+  // Sparse case: rejection sampling. Duplicate checks scan the picked list
+  // (k is small here; same draw sequence as the old hash-set membership).
   while (out.size() < k) {
     auto v = static_cast<std::uint32_t>(below(n));
-    if (seen.insert(v).second) out.push_back(v);
+    bool dup = false;
+    for (std::uint32_t p : out) {
+      if (p == v) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(v);
   }
-  return out;
 }
 
 }  // namespace fba

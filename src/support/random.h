@@ -48,6 +48,11 @@ class Rng {
   std::vector<std::uint32_t> sample_without_replacement(std::size_t n,
                                                         std::size_t k);
 
+  /// In-place variant: identical draws and results, reusing `out`'s
+  /// capacity (trial-arena paths re-sample every trial).
+  void sample_without_replacement_into(std::size_t n, std::size_t k,
+                                       std::vector<std::uint32_t>& out);
+
   /// In-place Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

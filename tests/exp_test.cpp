@@ -168,6 +168,68 @@ TEST(SweepTest, AggregateBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(SweepTest, ArenaTrialsMatchFreshConstructionBitForBit) {
+  // The trial-arena path (Sweep's default: world/engine/actor storage
+  // reused across a worker's trials) must reproduce the legacy
+  // fresh-construction path exactly — no dependence on arena history.
+  aer::AerConfig base;
+  base.n = 64;
+  base.seed = 20130722;
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies = {"none", "junk-light"};
+
+  exp::Sweep arena_sweep(base, grid, 3);
+  arena_sweep.set_threads(1);  // one arena, maximally reused
+  const auto arena_results = arena_sweep.run();
+  EXPECT_TRUE(arena_sweep.timing().available);
+  EXPECT_EQ(arena_sweep.timing().trials, arena_sweep.total_trials());
+  EXPECT_GT(arena_sweep.timing().setup_seconds, 0.0);
+  EXPECT_GT(arena_sweep.timing().run_seconds, 0.0);
+
+  exp::Sweep fresh_sweep(base, grid, 3);
+  fresh_sweep.set_threads(1);
+  fresh_sweep.set_trial(
+      static_cast<exp::TrialOutcome (*)(const aer::AerConfig&,
+                                        const exp::GridPoint&)>(
+          exp::run_aer_trial));
+  const auto fresh_results = fresh_sweep.run();
+  EXPECT_FALSE(fresh_sweep.timing().available);
+
+  ASSERT_EQ(arena_results.size(), fresh_results.size());
+  for (std::size_t i = 0; i < arena_results.size(); ++i) {
+    EXPECT_EQ(arena_results[i].aggregate.fingerprint(),
+              fresh_results[i].aggregate.fingerprint())
+        << arena_results[i].point.label();
+  }
+}
+
+TEST(SweepTest, ArenaReusedAcrossGridShapesStaysCorrect) {
+  // One arena serves trials of different n / model back to back (grid
+  // points resize the world, engines and tables in place).
+  aer::AerConfig base;
+  base.seed = 7;
+  exp::Grid grid;
+  grid.ns = {64, 32, 96};
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  exp::Sweep sweep(base, grid, 2);
+  sweep.set_threads(1);
+  const auto results = sweep.run();
+  ASSERT_EQ(results.size(), 6u);
+  for (const exp::PointResult& r : results) {
+    EXPECT_EQ(r.aggregate.agreements, r.aggregate.trials) << r.point.label();
+  }
+  // And the same sweep through four workers (four arenas, different trial
+  // interleavings) folds to identical fingerprints.
+  exp::Sweep parallel(base, grid, 2);
+  parallel.set_threads(4);
+  const auto parallel_results = parallel.run();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].aggregate.fingerprint(),
+              parallel_results[i].aggregate.fingerprint());
+  }
+}
+
 TEST(SweepTest, PerKindTrafficAxesArePopulatedAndConsistent) {
   aer::AerConfig base;
   base.n = 64;

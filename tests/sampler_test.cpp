@@ -3,10 +3,13 @@
 // Lemma 2 properties (bad labels, border expansion) checked empirically.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "sampler/hash_sampler.h"
 #include "sampler/properties.h"
 #include "sampler/sampler.h"
+#include "sampler/tables.h"
 
 namespace fba::sampler {
 namespace {
@@ -231,27 +234,163 @@ TEST(BorderTest, RejectsOversizedSets) {
   EXPECT_THROW(random_border(sampler, 65, rng), ConfigError);
 }
 
-// ----- caches -------------------------------------------------------------------
+// ----- dense shared tables (sampler/tables.h) -----------------------------------
 
-TEST(CacheTest, QuorumCacheIsConsistentWithSampler) {
-  QuorumSampler sampler(params_for(256), 0x11);
-  QuorumCache cache(sampler);
-  const Quorum& q1 = cache.get(5, 10);
-  EXPECT_EQ(q1.members, sampler.quorum(5, 10).members);
-  EXPECT_TRUE(cache.contains(5, 10, q1.members[0]));
-  const Quorum& q2 = cache.get(5, 10);
-  EXPECT_EQ(&q1, &q2);  // memoized: same object
-  EXPECT_EQ(cache.size(), 1u);
+namespace {
+
+/// First-seen-order distinct members of a quorum — the reference for the
+/// precomputed distinct list (what aer/node.cpp's send loops iterate).
+std::vector<NodeId> reference_distinct(const Quorum& q) {
+  std::vector<NodeId> out;
+  for (NodeId m : q.members) {
+    if (std::find(out.begin(), out.end(), m) == out.end()) out.push_back(m);
+  }
+  return out;
 }
 
-TEST(CacheTest, PollCacheIsConsistentWithSampler) {
-  PollSampler sampler(params_for(256), 0x44);
-  PollCache cache(sampler);
-  const Quorum& q = cache.get(3, 777);
-  EXPECT_EQ(q.members, sampler.poll_list(3, 777).members);
-  EXPECT_EQ(cache.size(), 1u);
-  cache.get(3, 778);
-  EXPECT_EQ(cache.size(), 2u);
+void expect_view_matches(const QuorumView& view, const Quorum& reference) {
+  ASSERT_EQ(view.size(), reference.size());
+  for (std::size_t k = 0; k < reference.members.size(); ++k) {
+    EXPECT_EQ(view.slots[k], reference.members[k]);
+  }
+  for (std::size_t k = 0; k < reference.sorted.size(); ++k) {
+    EXPECT_EQ(view.sorted[k], reference.sorted[k]);
+  }
+  const std::vector<NodeId> distinct = reference_distinct(reference);
+  ASSERT_EQ(view.distinct_count, distinct.size());
+  for (std::size_t k = 0; k < distinct.size(); ++k) {
+    EXPECT_EQ(view.distinct[k], distinct[k]);
+  }
+  // Query semantics: membership and multiplicity agree for members and
+  // non-members alike.
+  for (NodeId m : reference.members) {
+    EXPECT_TRUE(view.contains(m));
+    EXPECT_EQ(view.multiplicity(m), reference.multiplicity(m));
+  }
+  for (NodeId probe = 0; probe < 8; ++probe) {
+    EXPECT_EQ(view.contains(probe), reference.contains(probe));
+    EXPECT_EQ(view.multiplicity(probe), reference.multiplicity(probe));
+  }
+}
+
+}  // namespace
+
+TEST(SharedTablesTest, QuorumRowsMatchOnDemandSamplerAcrossSeedsAndShapes) {
+  // The tentpole equivalence contract: SharedTables answers are
+  // element-identical to the on-demand samplers, across setup seeds and
+  // (n, d) shapes (d default and overridden).
+  for (const std::uint64_t seed : {1ull, 7ull, 20130722ull}) {
+    for (const std::size_t n : {16, 64, 256}) {
+      for (const std::size_t d_override : {std::size_t{0}, std::size_t{5}}) {
+        SamplerParams p = params_for(n, seed);
+        if (d_override > 0) p.d = d_override;
+        SamplerSuite suite(p);
+        SharedTables tables;
+        tables.reset(suite, n);
+        std::uint32_t sid = 0;
+        for (StringKey s : {7ull, 0xdeadbeefull}) {
+          for (NodeId x = 0; x < std::min<std::size_t>(n, 24); ++x) {
+            expect_view_matches(tables.push.row(sid, s, x),
+                                suite.push.quorum(s, x));
+            expect_view_matches(tables.pull.row(sid, s, x),
+                                suite.pull.quorum(s, x));
+          }
+          std::vector<NodeId> targets;
+          for (NodeId y = 0; y < std::min<std::size_t>(n, 16); ++y) {
+            tables.push.targets(sid, s, y, targets);
+            EXPECT_EQ(targets, suite.push.targets(s, y));
+          }
+          ++sid;
+        }
+      }
+    }
+  }
+}
+
+TEST(SharedTablesTest, PollRowsMatchOnDemandSampler) {
+  const auto p = params_for(256, 99);
+  SamplerSuite suite(p);
+  SharedTables tables;
+  tables.reset(suite, 256);
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    const NodeId x = rng.node(256);
+    const PollLabel r = suite.poll.random_label(rng);
+    expect_view_matches(tables.poll.row(x, r), suite.poll.poll_list(x, r));
+    // Second lookup hits the memoized row.
+    expect_view_matches(tables.poll.row(x, r), suite.poll.poll_list(x, r));
+  }
+  // Adversarial labels outside R must still resolve correctly (the packed
+  // (x, r) key is not injective; the chain header disambiguates).
+  for (const PollLabel r : {~0ull, 0ull, 0x8000000000000000ull}) {
+    expect_view_matches(tables.poll.row(3, r), suite.poll.poll_list(3, r));
+  }
+}
+
+TEST(SharedTablesTest, PollRowSurvivesSentinelCollidingLabel) {
+  // (x=3, r=0xc5a6bea14025aa14) packs to 2^64-1 — FlatMap64's empty-key
+  // sentinel. A forged label can reach any 64-bit value, so the table must
+  // remap it; the regression was a phantom entry that leaked the previous
+  // trial's row across a reset.
+  const NodeId x = 3;
+  const PollLabel r = 0xc5a6bea14025aa14ull;
+  SharedTables tables;
+  SamplerSuite first(params_for(64, 1));
+  tables.reset(first, 64);
+  for (NodeId y = 0; y < 64; ++y) tables.poll.row(y, 100 + y);  // fill rows
+  expect_view_matches(tables.poll.row(x, r), first.poll.poll_list(x, r));
+
+  SamplerSuite second(params_for(64, 2));  // re-keyed, as a fresh trial
+  tables.reset(second, 64);
+  expect_view_matches(tables.poll.row(x, r), second.poll.poll_list(x, r));
+}
+
+TEST(SharedTablesTest, RowsAreMemoizedAndStableAcrossLaterBuilds) {
+  const auto p = params_for(128, 3);
+  SamplerSuite suite(p);
+  SharedTables tables;
+  tables.reset(suite, 128);
+  const QuorumView first = tables.pull.row(0, 42, 5);
+  const std::size_t rows_after_first = tables.pull.rows_built();
+  // Build many more rows; the first view's pointers must stay valid
+  // (chunked storage) and the original row must not be rebuilt.
+  for (NodeId x = 0; x < 128; ++x) tables.pull.row(0, 42, x);
+  for (NodeId x = 0; x < 128; ++x) tables.pull.row(1, 43, x);
+  EXPECT_EQ(tables.pull.rows_built(), 256u);
+  EXPECT_GE(rows_after_first, 1u);
+  expect_view_matches(first, suite.pull.quorum(42, 5));
+}
+
+TEST(SharedTablesTest, ResetRebindsToFreshSuite) {
+  // Trial-arena reuse: after reset to a re-keyed suite (new seed, new n),
+  // the same (sid, x) coordinates must answer per the *new* suite.
+  SharedTables tables;
+  SamplerSuite first(params_for(64, 1));
+  tables.reset(first, 64);
+  expect_view_matches(tables.push.row(0, 9, 4), first.push.quorum(9, 4));
+  tables.poll.row(2, 17);
+
+  SamplerSuite second(params_for(128, 2));
+  tables.reset(second, 128);
+  expect_view_matches(tables.push.row(0, 9, 4), second.push.quorum(9, 4));
+  expect_view_matches(tables.push.row(0, 9, 100), second.push.quorum(9, 100));
+  expect_view_matches(tables.poll.row(2, 17), second.poll.poll_list(2, 17));
+}
+
+TEST(SharedTablesTest, HashQuorumSamplerAblationIsUnaffected) {
+  // The ablation sampler bypasses the dense tables entirely; pin a few of
+  // its quorums so the table refactor provably left it untouched.
+  HashQuorumSampler hash(params_for(256, 7), 0x11);
+  const Quorum before = hash.quorum(0x5eed, 3);
+  EXPECT_EQ(before.size(), hash.d());
+  for (NodeId m : before.members) EXPECT_LT(m, 256u);
+  // Deterministic across instances (same params, same tag).
+  HashQuorumSampler again(params_for(256, 7), 0x11);
+  EXPECT_EQ(again.quorum(0x5eed, 3).members, before.members);
+  // Exhaustive inversion still matches membership.
+  const NodeId y = before.members[0];
+  const auto targets = hash.targets(0x5eed, y);
+  EXPECT_TRUE(std::find(targets.begin(), targets.end(), 3u) != targets.end());
 }
 
 TEST(SamplerSuiteTest, BundlesThreeDecorrelatedSamplers) {

@@ -3,14 +3,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "support/bitstring.h"
+#include "support/flat_counter.h"
+#include "support/flat_map.h"
 #include "support/intern.h"
 #include "support/metrics.h"
 #include "support/permutation.h"
+#include "support/pool.h"
 #include "support/random.h"
 #include "support/siphash.h"
 #include "support/table.h"
@@ -390,6 +395,148 @@ TEST(TypesTest, NodeIdBits) {
   EXPECT_EQ(node_id_bits(2), 1u);
   EXPECT_EQ(node_id_bits(1024), 10u);
   EXPECT_EQ(node_id_bits(1), 1u);
+}
+
+// ----- flat tally containers (support/flat_counter.h) ------------------------
+// Drop-in behavior for the std::map tallies they replaced in ae/ (phase-king
+// exchange counts, final-slice votes): identical counts for any interleaving
+// of inserts and lookups, identical ascending iteration order.
+
+TEST(TallyCounterTest, MixedInsertAndLookupOrdersProduceIdenticalTallies) {
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    support::TallyCounter counter;
+    std::map<std::uint64_t, std::size_t> reference;
+    for (int op = 0; op < 200; ++op) {
+      const std::uint64_t value = rng.below(12);  // collisions guaranteed
+      if (rng.chance(0.7)) {
+        const std::size_t got = counter.increment(value);
+        EXPECT_EQ(got, ++reference[value]);
+      } else {
+        const auto it = reference.find(value);
+        EXPECT_EQ(counter.count(value), it == reference.end() ? 0 : it->second);
+      }
+    }
+    // Iteration order and contents equal std::map's (ascending by value).
+    ASSERT_EQ(counter.distinct(), reference.size());
+    auto ref_it = reference.begin();
+    for (const auto& [value, count] : counter.entries()) {
+      EXPECT_EQ(value, ref_it->first);
+      EXPECT_EQ(count, ref_it->second);
+      ++ref_it;
+    }
+    // clear() keeps capacity but empties the tally.
+    counter.clear();
+    EXPECT_TRUE(counter.empty());
+    EXPECT_EQ(counter.count(3), 0u);
+    EXPECT_EQ(counter.increment(3), 1u);
+  }
+}
+
+TEST(VoteSetTest, MatchesStdMapOfVoterListsInAnyOrder) {
+  Rng rng(23);
+  support::VoteSet votes;
+  for (int round = 0; round < 20; ++round) {
+    votes.clear();  // reuses entry storage across rounds
+    std::map<std::uint64_t, std::vector<NodeId>> reference;
+    for (int op = 0; op < 100; ++op) {
+      const std::uint64_t value = rng.below(8);
+      const NodeId voter = rng.node(16);
+      auto& flat = votes.voters(value);
+      auto& ref = reference[value];
+      if (std::find(ref.begin(), ref.end(), voter) == ref.end()) {
+        ref.push_back(voter);
+        flat.push_back(voter);
+      }
+      EXPECT_EQ(flat, ref);
+    }
+    auto ref_it = reference.begin();
+    ASSERT_EQ(votes.entries().size(), reference.size());
+    for (const auto& entry : votes.entries()) {
+      EXPECT_EQ(entry.value, ref_it->first);
+      EXPECT_EQ(entry.voters, ref_it->second);
+      ++ref_it;
+    }
+  }
+}
+
+// ----- open-addressed flat maps (support/flat_map.h) -------------------------
+
+TEST(FlatMap64Test, MatchesUnorderedMapUnderRandomOps) {
+  Rng rng(5);
+  support::FlatMap64<std::uint32_t> map;
+  std::unordered_map<std::uint64_t, std::uint32_t> reference;
+  for (int op = 0; op < 5000; ++op) {
+    const std::uint64_t key = rng.below(512);
+    if (rng.chance(0.5)) {
+      bool created = false;
+      std::uint32_t& v = map.get_or_create(key, created);
+      EXPECT_EQ(created, reference.find(key) == reference.end());
+      v += 1;
+      reference[key] += 1;
+    } else {
+      const std::uint32_t* v = map.find(key);
+      const auto it = reference.find(key);
+      ASSERT_EQ(v != nullptr, it != reference.end());
+      if (v != nullptr) {
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(1), nullptr);
+}
+
+TEST(FlatSet64Test, InsertReportsNovelty) {
+  support::FlatSet64 set;
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_FALSE(set.insert(7));
+  EXPECT_TRUE(set.insert(8));
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(9));
+  set.clear();
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_TRUE(set.insert(7));
+}
+
+// ----- pool allocator (support/pool.h) ---------------------------------------
+
+TEST(PoolTest, RecyclesBlocksBySizeClass) {
+  support::Pool pool;
+  void* a = pool.allocate(24);
+  void* b = pool.allocate(24);
+  EXPECT_NE(a, b);
+  pool.deallocate(a, 24);
+  void* c = pool.allocate(20);  // same 32-byte class: reuses a's block
+  EXPECT_EQ(c, a);
+  pool.deallocate(b, 24);
+  pool.deallocate(c, 20);
+  const std::size_t reserved = pool.reserved_bytes();
+  for (int i = 0; i < 100; ++i) {
+    void* p = pool.allocate(24);
+    pool.deallocate(p, 24);
+  }
+  EXPECT_EQ(pool.reserved_bytes(), reserved);  // steady state: no growth
+}
+
+TEST(PoolTest, BacksUnorderedMapAcrossReconstruction) {
+  support::Pool pool;
+  using Alloc = support::PoolAllocator<std::pair<const std::uint64_t, int>>;
+  using Map = std::unordered_map<std::uint64_t, int, std::hash<std::uint64_t>,
+                                 std::equal_to<std::uint64_t>, Alloc>;
+  Map map{Alloc(&pool)};
+  for (std::uint64_t i = 0; i < 100; ++i) map[i] = static_cast<int>(i);
+  EXPECT_EQ(map.size(), 100u);
+  // Reconstruct fresh (the per-trial reset pattern): old nodes return to the
+  // pool's free lists; refilling reuses them without growing the pool.
+  map = Map(map.get_allocator());
+  EXPECT_TRUE(map.empty());
+  const std::size_t reserved = pool.reserved_bytes();
+  for (std::uint64_t i = 0; i < 100; ++i) map[i] = static_cast<int>(i);
+  EXPECT_EQ(map.at(42), 42);
+  EXPECT_EQ(pool.reserved_bytes(), reserved);
 }
 
 }  // namespace
