@@ -17,6 +17,10 @@
 //   fig3         — sampler expansion (Lemma 2): min border ratio
 //                  |dL|/(d|L|) vs n for uniform and greedy-adversarial
 //                  label sets (must stay above 2/3).
+//   fig3-scale   — million-node scale mode: AER completion rounds and the
+//                  deterministic bytes/node account vs n (10^3..10^6, the
+//                  structure-of-arrays runner; docs/perf.md "scale mode").
+//                  --quick stops at n=10^5 — the CI smoke configuration.
 //   fault-matrix — beyond-the-model degradation: decided fraction per
 //                  fault preset for both engines at n=128 (composable with
 //                  --attack).
@@ -56,7 +60,8 @@ struct Options {
 };
 
 constexpr const char* kUsageExtra =
-    "  --figure=NAME      fig1a | fig1b | fig2 | fig3 | fault-matrix\n"
+    "  --figure=NAME      fig1a | fig1b | fig2 | fig3 | fig3-scale |\n"
+    "                     fault-matrix\n"
     "  --out=DIR          output directory (default results/); writes\n"
     "                     BENCH_<figure>.{json,csv,md,gp}\n"
     "  --baseline=FILE    diff this run against a committed fba.report JSON;\n"
@@ -66,8 +71,9 @@ constexpr const char* kUsageExtra =
     "  --seed=N           base seed (default 20130722)\n"
     "  --timing           print the figure's accumulated setup-vs-run\n"
     "                     wall-time split (sampler/world setup vs engine)\n"
-    "  --attack applies to fault-matrix; --fault applies one preset to the\n"
-    "  fig1a/fig1b/fig2 sweeps (fig3 is sampler-only and ignores both).\n";
+    "  --attack applies to fault-matrix and fig3-scale; --fault applies one\n"
+    "  preset to the fig1a/fig1b/fig2/fig3-scale sweeps (fig3 is\n"
+    "  sampler-only and ignores both).\n";
 
 std::size_t default_trials(Scale scale) {
   switch (scale) {
@@ -236,6 +242,112 @@ exp::Report run_fig3(const Options& opt, std::size_t trials) {
   return report;
 }
 
+// ---- fig3-scale: million-node scale mode ------------------------------------
+
+/// Per-point trial cap: a scale trial is seconds at n=10^4 but minutes (and
+/// tens of GB) at n=10^6, so the largest points run fewer trials than the
+/// --trials request.
+std::size_t scale_trials(std::size_t trials, std::size_t n) {
+  if (n >= 1000000) return 1;
+  if (n >= 100000) return std::min<std::size_t>(trials, 3);
+  return trials;
+}
+
+/// In-trial round progress for the minutes-long scale points: with one
+/// trial per point, per-trial sweep progress is too coarse, so the SoA
+/// runner reports (round just finished, events still pending) after every
+/// simulated round. Gated and throttled exactly like exp::stderr_progress.
+exp::ScaleTrialOptions::RoundProgress scale_round_progress(
+    const std::string& label) {
+  const bool tty = isatty(fileno(stderr)) != 0;
+  const char* env = std::getenv("FBA_PROGRESS");
+  if (!tty && (env == nullptr || std::strcmp(env, "1") != 0)) return {};
+
+  struct State {
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    double last_print = 0;
+  };
+  auto state = std::make_shared<State>();
+  return [state, label, tty](Round round, std::size_t pending) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      state->start)
+            .count();
+    if (elapsed - state->last_print < 1.0) return;
+    state->last_print = elapsed;
+    std::fprintf(stderr, "%s%s: round %u, %zu events pending, %.0fs%s",
+                 tty ? "\r" : "", label.c_str(), round, pending, elapsed,
+                 tty ? "" : "\n");
+    std::fflush(stderr);
+  };
+}
+
+exp::Report run_fig3_scale(const Options& opt, std::size_t trials) {
+  exp::Report report = figure_report(
+      opt, "fig3-scale",
+      "Scale mode: AER completion rounds and bytes/node up to n = 10^6", "n",
+      "completion_time.mean", "completion time (rounds)", trials);
+
+  aer::AerConfig base;
+  base.seed = opt.seed;
+  base.model = aer::Model::kSyncRushing;
+  // Pin d at the n=256 floor instead of the 1.5*log2(n) default: the curve
+  // isolates how state and traffic grow with n at fixed quorum degree (and
+  // keeps the n=10^6 point's d^2 fan-outs tractable). Recorded in every
+  // point's resolved provenance.
+  base.d_override = 8;
+
+  // Decades of n; --quick stops at 10^5 (the CI smoke), the full run adds
+  // the million-node point.
+  std::vector<std::size_t> sizes = {1000, 10000, 100000};
+  if (opt.scale != Scale::kQuick) sizes.push_back(1000000);
+
+  exp::Grid grid;
+  grid.ns = sizes;
+  grid.models = {aer::Model::kSyncRushing};
+  if (opt.attack != "none") grid.strategies = {opt.attack};
+  if (opt.fault != "none") grid.faults = {opt.fault};
+
+  const std::vector<exp::GridPoint> points = exp::expand_grid(base, grid);
+  std::size_t total = 0;
+  for (const exp::GridPoint& p : points) total += scale_trials(trials, p.n);
+
+  // Serial manual loop instead of exp::Sweep: the per-point trial caps are
+  // non-uniform, and one ScaleArena (reused across all trials) bounds the
+  // figure's memory to the largest point. Seeds derive exactly as Sweep's
+  // (trial_seed over point.index/trial), so results match any runner that
+  // executes the same (point, trial) set.
+  exp::ScaleArena arena;
+  const exp::Sweep::Progress trial_progress = progress("fig3-scale");
+  std::size_t completed = 0;
+  for (const exp::GridPoint& point : points) {
+    const std::size_t point_trials = scale_trials(trials, point.n);
+    std::vector<exp::TrialOutcome> outcomes(point_trials);
+    exp::ScaleTrialOptions trial_opts;
+    trial_opts.round_progress =
+        scale_round_progress("fig3-scale " + point.label());
+    for (std::size_t t = 0; t < point_trials; ++t) {
+      aer::AerConfig cfg = point.apply(base);
+      cfg.seed = exp::trial_seed(opt.seed, point.index, t);
+      exp::run_aer_scale_trial(cfg, point, arena, outcomes[t], trial_opts);
+      outcomes[t].seed = cfg.seed;
+      if (trial_progress) trial_progress(++completed, total);
+    }
+    report.add_point(
+        "AER/soa", exp::ReportPoint{point, exp::point_provenance(base, point),
+                                    exp::aggregate_outcomes(outcomes)});
+  }
+
+  exp::SweepTiming timing;
+  timing.setup_seconds = arena.timing.setup_seconds;
+  timing.run_seconds = arena.timing.run_seconds;
+  timing.trials = arena.timing.trials;
+  timing.available = true;
+  exp::accumulate_process_timing(timing);
+  return report;
+}
+
 // ---- fault-matrix: degradation beyond the paper's model ---------------------
 
 exp::Report run_fault_matrix(const Options& opt, std::size_t trials) {
@@ -355,12 +467,15 @@ int main(int argc, char** argv) {
       report = run_fig2(opt, trials);
     } else if (opt.figure == "fig3") {
       report = run_fig3(opt, trials);
+    } else if (opt.figure == "fig3-scale") {
+      report = run_fig3_scale(opt, trials);
     } else if (opt.figure == "fault-matrix") {
       report = run_fault_matrix(opt, trials);
     } else {
       std::fprintf(stderr,
                    "%s --figure=%s: unknown figure (known: fig1a, fig1b,"
-                   " fig2, fig3, fault-matrix; --help for details)\n",
+                   " fig2, fig3, fig3-scale, fault-matrix; --help for"
+                   " details)\n",
                    argv[0], opt.figure.c_str());
       return 2;
     }
@@ -385,6 +500,13 @@ int main(int argc, char** argv) {
                              " arena-trial sweeps\n");
       } else {
         std::fprintf(stderr, "[timing] %s\n", line.c_str());
+      }
+      // OS-side cross-check on the MemBudget accounting (diagnostic only —
+      // RSS is environment-dependent, never serialized into reports).
+      const std::uint64_t rss = support::peak_rss_bytes();
+      if (rss > 0) {
+        std::fprintf(stderr, "[timing] peak RSS %.1f MiB\n",
+                     static_cast<double>(rss) / (1024.0 * 1024.0));
       }
     }
 

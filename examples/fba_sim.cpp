@@ -67,6 +67,13 @@ struct TimingPrinter {
     } else {
       std::fprintf(stderr, "[timing] %s\n", line.c_str());
     }
+    // OS-side cross-check on the MemBudget accounting: the process peak RSS
+    // (diagnostic only — RSS is environment-dependent, never serialized).
+    const std::uint64_t rss = support::peak_rss_bytes();
+    if (rss > 0) {
+      std::fprintf(stderr, "[timing] peak RSS %.1f MiB\n",
+                   static_cast<double>(rss) / (1024.0 * 1024.0));
+    }
   }
 };
 

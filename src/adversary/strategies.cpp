@@ -153,23 +153,30 @@ void PollStuffStrategy::on_round(AdvContext& ctx, Round round, bool rushing) {
 }
 
 void PollStuffStrategy::launch_all(AdvContext& ctx) {
+  // launched_ makes this single-shot; every corrupt node strikes exactly
+  // once (Lemma 6's "at most once per node it controls").
   launched_ = true;
   for (NodeId attacker : ctx.corrupt_nodes()) {
-    if (spent_attackers_.insert(attacker).second) strike(ctx, attacker);
+    strike(ctx, attacker);
   }
 }
 
 void PollStuffStrategy::strike(AdvContext& ctx, NodeId attacker) {
   // One properly routed pull per attacker (forwarders dedupe per (x, s)).
   // Full-information search: pick the label whose poll list covers the most
-  // not-yet-saturated victims.
+  // not-yet-saturated victims. Candidate lists are scored straight off the
+  // keyed hash (PollSampler::member, same slot order as poll_list) — no
+  // quorum materialization per candidate label, which at large n used to
+  // cost t * label_search_budget vector pairs per trial.
+  const sampler::PollSampler& poll_sampler = shared_->samplers.poll;
+  const std::size_t d = poll_sampler.d();
   PollLabel best_r = 0;
   long best_score = -1;
   for (std::size_t trial = 0; trial < label_search_budget_; ++trial) {
-    const PollLabel r = shared_->samplers.poll.random_label(ctx.rng());
-    const auto list = shared_->samplers.poll.poll_list(attacker, r);
+    const PollLabel r = poll_sampler.random_label(ctx.rng());
     long score = 0;
-    for (NodeId member : list.members) {
+    for (std::size_t k = 0; k < d; ++k) {
+      const NodeId member = poll_sampler.member(attacker, r, k);
       if (!ctx.is_corrupt(member) && burned_[member] < budget_estimate_) {
         ++score;
       }
@@ -182,18 +189,28 @@ void PollStuffStrategy::strike(AdvContext& ctx, NodeId attacker) {
   if (best_score <= 0) return;
   ++strikes_launched_;
 
-  const auto list = shared_->samplers.poll.poll_list(attacker, best_r);
+  // Re-evaluate the winning list into the reused scratch, first-seen
+  // distinct order (exactly what dedup over Quorum::members yields).
+  poll_scratch_.clear();
+  for (std::size_t k = 0; k < d; ++k) {
+    const NodeId member = poll_sampler.member(attacker, best_r, k);
+    if (std::find(poll_scratch_.begin(), poll_scratch_.end(), member) ==
+        poll_scratch_.end()) {
+      poll_scratch_.push_back(member);
+    }
+  }
   const sim::Message poll = aer::poll_msg(shared_->gstring, best_r);
-  for (NodeId member : distinct(list)) {
+  for (NodeId member : poll_scratch_) {
     if (ctx.is_corrupt(member)) continue;
     ++burned_[member];
     // The member needs (attacker, gstring) in Polled to answer (and pay).
     ctx.send_from(attacker, member, poll);
   }
   const sim::Message pull = aer::pull_msg(shared_->gstring, best_r);
-  const auto skey = shared_->key_of(shared_->gstring);
-  for (NodeId y : distinct(shared_->samplers.pull.quorum(skey, attacker))) {
-    ctx.send_from(attacker, y, pull);
+  const sampler::QuorumView h =
+      shared_->pull_quorum(shared_->gstring, attacker);
+  for (std::uint32_t i = 0; i < h.distinct_count; ++i) {
+    ctx.send_from(attacker, h.distinct[i], pull);
   }
 }
 

@@ -24,8 +24,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "adversary/adversary.h"
@@ -105,7 +103,7 @@ class PollStuffStrategy final : public Strategy {
   aer::AerWorldView view_;
   aer::AerShared* shared_;
   std::vector<std::size_t> burned_;  ///< budget units burned per node.
-  std::unordered_set<NodeId> spent_attackers_;
+  std::vector<NodeId> poll_scratch_;  ///< reused distinct-member list.
   std::size_t budget_estimate_;
   std::size_t label_search_budget_;
   std::size_t strikes_launched_ = 0;

@@ -119,6 +119,13 @@ struct AerReport {
 
   // Responder pressure (Lemma 6 attack surface).
   std::size_t max_deferred_answers = 0;
+
+  // Memory (filled by the SoA scale runner only; 0 on the pointer path).
+  // A deterministic logical account of the trial's working set — actor
+  // state, event-core high-water mark, sampler tables, metrics — NOT a
+  // measured RSS (support/mem.h documents the accounting contract).
+  std::uint64_t mem_bytes = 0;
+  double mem_bytes_per_node = 0;
 };
 
 AerReport run_aer(const AerConfig& config,

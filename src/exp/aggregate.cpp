@@ -33,6 +33,7 @@ TrialOutcome outcome_of(const aer::AerReport& r) {
   o.max_candidate_list = r.max_candidate_list;
   o.missing_gstring = r.nodes_missing_gstring;
   o.max_deferred = r.max_deferred_answers;
+  o.mem_bytes_per_node = r.mem_bytes_per_node;
   for (std::size_t k = 0; k < sim::kNumMessageKinds; ++k) {
     o.bits_by_kind[k] = static_cast<double>(r.bits_by_kind[k]);
     o.msgs_by_kind[k] = static_cast<double>(r.msgs_by_kind[k]);
@@ -146,6 +147,7 @@ std::uint64_t Aggregate::fingerprint() const {
   for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
     hash_doubles(h, {drops_by_cause[c]});
   }
+  // mem_bytes_per_node is deliberately NOT hashed — see its declaration.
   return h;
 }
 
@@ -212,6 +214,8 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
   agg.mean_sent_bits =
       summarize_sample(collect(outcomes, &TrialOutcome::mean_sent_bits));
   agg.imbalance = summarize_sample(collect(outcomes, &TrialOutcome::imbalance));
+  agg.mem_bytes_per_node =
+      summarize_sample(collect(outcomes, &TrialOutcome::mem_bytes_per_node));
   agg.fault_dropped_msgs =
       summarize_sample(collect(outcomes, &TrialOutcome::fault_dropped_msgs));
   agg.fault_dropped_bits =

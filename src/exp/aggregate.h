@@ -68,6 +68,10 @@ struct TrialOutcome {
   std::size_t missing_gstring = 0;
   std::size_t max_deferred = 0;
 
+  /// Deterministic per-node memory account (AerReport::mem_bytes_per_node;
+  /// the SoA scale runner fills it, every other runner leaves 0).
+  double mem_bytes_per_node = 0;
+
   /// Per-node decision times, when the trial runner harvested them (the
   /// world-owning runners do); pooled across trials for latency quantiles.
   std::vector<double> decision_times;
@@ -128,6 +132,14 @@ struct Aggregate {
   std::size_t max_candidate_list = 0;
   std::uint64_t missing_gstring = 0;
   std::size_t max_deferred = 0;
+
+  /// Memory distribution across trials (bytes/node; all-zero on runners
+  /// that do not account memory). Deliberately OUTSIDE fingerprint(): the
+  /// pinned golden fingerprints predate the memory metric, and pointer-path
+  /// and SoA-path runs of the same point must keep matching fingerprints
+  /// while only one of them fills this field. Report::diff compares it
+  /// explicitly instead (exp/report.cpp kDiffMetrics).
+  SummaryStats mem_bytes_per_node;
 
   double agreement_rate() const {
     return trials > 0 ? static_cast<double>(agreements) /

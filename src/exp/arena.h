@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "aer/runner.h"
+#include "aer/soa.h"
 
 namespace fba::exp {
 
@@ -42,6 +43,17 @@ class TrialArena {
  public:
   aer::AerWorld world;
   aer::RunArena run;
+  TrialTiming timing;
+};
+
+/// Scale-mode counterpart: the world plus the structure-of-arrays actor
+/// state and engines (aer/soa.h) reused across the trials one worker runs.
+/// Same determinism contract as TrialArena — a trial's result depends only
+/// on its config, never on what the arena ran before.
+class ScaleArena {
+ public:
+  aer::AerWorld world;
+  aer::SoaArena run;
   TrialTiming timing;
 };
 

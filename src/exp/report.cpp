@@ -82,6 +82,9 @@ const StatField kStatFields[] = {
     {"decision_time", &Aggregate::decision_time},
     {"fault_dropped_msgs", &Aggregate::fault_dropped_msgs},
     {"fault_dropped_bits", &Aggregate::fault_dropped_bits},
+    // Schema v2: absent from v1 files, so point_from_json must tolerate a
+    // missing stats entry (defaults to all-zero).
+    {"mem_bytes_per_node", &Aggregate::mem_bytes_per_node},
 };
 
 struct ScalarField {
@@ -151,21 +154,32 @@ const SummaryStats* stat_by_name(const Aggregate& a, std::string_view name) {
 }
 
 /// The metrics `Report::diff` compares, each with its worse-direction.
+/// `fingerprint_covered` says whether Aggregate::fingerprint() hashes the
+/// metric: covered metrics are provably equal when fingerprints match and
+/// are skipped then; uncovered ones (the memory account) must be compared
+/// either way.
 struct DiffMetric {
   const char* name;
   bool higher_is_worse;
+  bool fingerprint_covered;
 };
 
 const DiffMetric kDiffMetrics[] = {
-    {"completion_time.mean", true},
-    {"amortized_bits.mean", true},
-    {"total_messages.mean", true},
-    {"agreement_rate", false},
-    {"decided_fraction", false},
+    {"completion_time.mean", true, true},
+    {"amortized_bits.mean", true, true},
+    {"total_messages.mean", true, true},
+    {"agreement_rate", false, true},
+    {"decided_fraction", false, true},
     // The per-trial rate (not the summed counter): comparable across
     // reports with different trial counts; zero tolerance, so any new
     // safety-violation rate regresses.
-    {"wrong_decisions_per_trial", true},
+    {"wrong_decisions_per_trial", true, true},
+    // Deliberately outside the fingerprint (exp/aggregate.h) — compared
+    // even on fingerprint-identical points. A zero baseline means the
+    // baseline never accounted memory (v1 file or pointer-path run); the
+    // comparison is skipped then rather than flagging any positive value
+    // as a regression.
+    {"mem_bytes_per_node.mean", true, false},
 };
 
 // ---- JSON (de)serialization -------------------------------------------------
@@ -305,7 +319,10 @@ ReportPoint point_from_json(const json::Value& v) {
 
   const json::Value& stats = v.at("stats");
   for (const StatField& f : kStatFields) {
-    a.*(f.stat) = stats_from_json(stats.at(f.name));
+    // v1 files predate mem_bytes_per_node: a missing stat loads as
+    // all-zero, which is exactly what a v1 writer would have summarized.
+    const json::Value* stat = stats.find(f.name);
+    a.*(f.stat) = stat != nullptr ? stats_from_json(*stat) : SummaryStats{};
   }
 
   const json::Value& scalars = v.at("scalars");
@@ -637,9 +654,11 @@ Report Report::from_json(std::string_view text) {
                   root.at("schema").as_string() == "fba.report",
               "report: not an fba.report document");
   const std::uint64_t version = root.at("schema_version").as_uint64();
-  FBA_REQUIRE(version == kReportSchemaVersion,
+  // v1 is a strict subset of v2 (no stats.mem_bytes_per_node entry), so
+  // both parse with the same code path.
+  FBA_REQUIRE(version == 1 || version == kReportSchemaVersion,
               "report: schema version " + std::to_string(version) +
-                  " unsupported (this build reads version " +
+                  " unsupported (this build reads versions 1-" +
                   std::to_string(kReportSchemaVersion) +
                   "; see docs/output-schema.md)");
 
@@ -682,7 +701,7 @@ Report Report::from_json_file(const std::string& path) {
 std::string Report::to_csv() const {
   std::string out;
   // Header: identity, axes, provenance, counts, then the stat columns and
-  // per-kind traffic. One row per point, stable column order (schema v1).
+  // per-kind traffic. One row per point, stable column order (schema v2).
   out += "figure,series,label,index,n,model,corrupt_fraction,attack,fault"
          ",d,t,gstring_bits,node_id_bits,answer_budget"
          ",trials,agreements,agreement_rate,decided_fraction"
@@ -967,17 +986,21 @@ DiffResult Report::diff(const Report& baseline) const {
         continue;
       }
       ++result.points_compared;
-      if (cur_point->aggregate.fingerprint() ==
-          base_point.aggregate.fingerprint()) {
-        ++result.points_identical;
-        continue;
-      }
+      const bool fingerprints_match = cur_point->aggregate.fingerprint() ==
+                                      base_point.aggregate.fingerprint();
+      if (fingerprints_match) ++result.points_identical;
       for (const DiffMetric& m : kDiffMetrics) {
+        // A fingerprint match proves covered metrics equal; uncovered
+        // ones (the memory account) still need an explicit comparison.
+        if (fingerprints_match && m.fingerprint_covered) continue;
         DiffEntry e;
         e.series = base_series.name;
         e.label = label;
         e.metric = m.name;
         e.baseline = metric_value(base_point.aggregate, m.name);
+        // No baseline data for an uncovered metric (v1 file, or a run
+        // that never accounted memory): nothing to gate against.
+        if (!m.fingerprint_covered && e.baseline == 0) continue;
         e.current = metric_value(cur_point->aggregate, m.name);
         e.tolerance = metric_ci(base_point.aggregate, m.name) +
                       metric_ci(cur_point->aggregate, m.name);

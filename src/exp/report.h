@@ -37,10 +37,11 @@
 
 namespace fba::exp {
 
-/// Bumped whenever the JSON layout changes incompatibly; readers reject
-/// files written with any other version (docs/output-schema.md tracks the
-/// history).
-inline constexpr std::uint64_t kReportSchemaVersion = 1;
+/// Bumped whenever the JSON layout changes; readers accept the versions
+/// they can parse (docs/output-schema.md tracks the history). v2 added the
+/// mem_bytes_per_node stat; v1 files (which lack it) still load, with the
+/// stat defaulting to all-zero.
+inline constexpr std::uint64_t kReportSchemaVersion = 2;
 
 /// Quantities the config resolves per point (functions of n and the base
 /// config), recorded so a report is interpretable without the binary.
@@ -91,7 +92,8 @@ struct ReportMeta {
 /// "decision_time.p99", ... (stats: completion_time, mean_decision_time,
 /// engine_time, total_messages, amortized_bits, max_sent_bits,
 /// mean_sent_bits, imbalance, decision_time, fault_dropped_msgs,
-/// fault_dropped_bits; fields: count, mean, stddev, min, max, p50, p90,
+/// fault_dropped_bits, mem_bytes_per_node;
+/// fields: count, mean, stddev, min, max, p50, p90,
 /// p99, ci95) — or a scalar: agreement_rate, decided_fraction, trials,
 /// agreements, engine_incomplete, wrong_decisions,
 /// wrong_decisions_per_trial, stalled_nodes,
@@ -183,13 +185,16 @@ class Report {
   void write_csv(const std::string& path) const;
 
   /// Compares this report's points against `baseline` by series name and
-  /// point label: fingerprint-identical points short-circuit; otherwise
-  /// the headline metrics (completion_time.mean, amortized_bits.mean,
-  /// total_messages.mean, agreement_rate, decided_fraction,
-  /// wrong_decisions_per_trial) are compared with the summed CI95s as
-  /// tolerance, each with its own worse-direction. Missing series/points
-  /// regress; added ones are reported but pass. Meta (including
-  /// git_version) is never compared.
+  /// point label: fingerprint-identical points short-circuit the
+  /// fingerprint-covered metrics; otherwise the headline metrics
+  /// (completion_time.mean, amortized_bits.mean, total_messages.mean,
+  /// agreement_rate, decided_fraction, wrong_decisions_per_trial) are
+  /// compared with the summed CI95s as tolerance, each with its own
+  /// worse-direction. mem_bytes_per_node.mean (higher is worse) sits
+  /// outside the fingerprint, so it is compared even when fingerprints
+  /// match — skipped only when the baseline recorded no memory data.
+  /// Missing series/points regress; added ones are reported but pass.
+  /// Meta (including git_version) is never compared.
   DiffResult diff(const Report& baseline) const;
 
   /// `git describe` captured at configure time ("unknown" outside a git

@@ -84,6 +84,14 @@ SweepTiming& mutable_process_timing() {
 
 const SweepTiming& process_timing() { return mutable_process_timing(); }
 
+void accumulate_process_timing(const SweepTiming& t) {
+  SweepTiming& totals = mutable_process_timing();
+  totals.available = true;
+  totals.setup_seconds += t.setup_seconds;
+  totals.run_seconds += t.run_seconds;
+  totals.trials += t.trials;
+}
+
 std::string format_timing(const SweepTiming& t) {
   if (!t.available || t.trials == 0) return {};
   const double total = t.setup_seconds + t.run_seconds;

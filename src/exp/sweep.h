@@ -72,6 +72,11 @@ struct SweepTiming {
 /// reproduction runs several sweeps; --timing reports their sum).
 const SweepTiming& process_timing();
 
+/// Folds externally-run arena-trial timing into process_timing() — for
+/// drivers (the scale figure) that loop trials by hand instead of through
+/// Sweep::run().
+void accumulate_process_timing(const SweepTiming& t);
+
 /// The one-line rendering fba_sim / fba_repro print for --timing:
 /// "N trials: setup Xs (P%) | run Ys (Q%) | Z ms/trial".
 /// Empty when `t` holds no arena-trial data.

@@ -27,6 +27,7 @@
 #include "aer/node.h"
 #include "aer/protocol.h"
 #include "aer/runner.h"
+#include "aer/soa.h"
 #include "ba/ba.h"
 #include "baseline/flood.h"
 #include "baseline/snowball.h"
@@ -51,6 +52,7 @@
 #include "support/flat_map.h"
 #include "support/histogram.h"
 #include "support/intern.h"
+#include "support/mem.h"
 #include "support/pool.h"
 #include "support/json.h"
 #include "support/metrics.h"

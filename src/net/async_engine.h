@@ -43,6 +43,8 @@ class AsyncEngine : public EngineBase {
   void reset(const AsyncConfig& config);
 
   double now() const override { return current_time_; }
+  /// Pending-event high-water mark since the last reset (memory accounting).
+  std::size_t queue_peak() const { return queue_.peak_size(); }
 
   AsyncResult run(const std::function<bool()>& done);
 

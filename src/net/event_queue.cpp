@@ -16,6 +16,7 @@ void EventQueue::reserve(std::size_t n) {
 
 void EventQueue::clear() {
   size_ = 0;
+  peak_size_ = 0;
   next_seq_ = 0;
   heap_.clear();
   for (Bucket& bucket : ring_) {
@@ -58,6 +59,7 @@ void EventQueue::step_base() {
 void EventQueue::push(Event&& ev) {
   ev.seq = next_seq_++;
   ++size_;
+  if (size_ > peak_size_) peak_size_ = size_;
   if (mode_ == Mode::kHeap) {
     heap_.push_back(std::move(ev));
     heap_sift_up(heap_.size() - 1);
@@ -90,6 +92,16 @@ void EventQueue::push_timer(SimTime at, std::uint32_t pri, NodeId node,
   ev.is_timer = true;
   ev.timer_node = node;
   ev.timer_token = token;
+  push(std::move(ev));
+}
+
+void EventQueue::push_burst(SimTime at, std::uint32_t pri,
+                            const Envelope& env) {
+  Event ev;
+  ev.at = at;
+  ev.pri = pri;
+  ev.is_burst = true;
+  ev.env = env;
   push(std::move(ev));
 }
 

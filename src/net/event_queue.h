@@ -53,6 +53,7 @@ class EventQueue {
     std::uint32_t pri = 0;
     std::uint64_t seq = 0;  ///< assigned by push; FIFO tie-break.
     bool is_timer = false;
+    bool is_burst = false;  ///< env is a burst descriptor (push_burst).
     NodeId timer_node = 0;
     std::uint64_t timer_token = 0;
     Envelope env;  ///< valid when !is_timer.
@@ -79,6 +80,15 @@ class EventQueue {
   void push_timer(SimTime at, std::uint32_t pri, NodeId node,
                   std::uint64_t token);
 
+  /// Queues a burst descriptor: one event standing for a batch of same-kind
+  /// deliveries the consumer re-expands at delivery time (the scale path's
+  /// replacement for the Fw1 d^2 fan-out — n*d burst events instead of
+  /// n*d^3 queued envelopes). `env` carries the template message; dst is
+  /// ignored. Ordering is a single (at, pri, seq) slot, which matches the
+  /// per-send path exactly because the expanded sends were consecutive
+  /// seqs there too.
+  void push_burst(SimTime at, std::uint32_t pri, const Envelope& env);
+
   /// Removes and returns the next event in (at, pri, seq) order.
   Event pop();
 
@@ -87,6 +97,57 @@ class EventQueue {
   /// keeps its capacity across calls, so a reused scratch vector makes the
   /// steady-state round loop allocation-free.
   std::size_t pop_due(SimTime until, std::vector<Event>& out);
+
+  /// In-place drain: visits every event with at <= until in delivery order
+  /// without copying the round into a scratch vector — the scale path's
+  /// round loop, where a round can hold tens of millions of events. The
+  /// visitor may push new events, but only at timestamps strictly beyond
+  /// the tick being drained (the sync engine's round discipline; asserted
+  /// in bucket mode). Visited events are invalidated after the call.
+  template <typename Visitor>
+  void drain_due(SimTime until, Visitor&& visit) {
+    if (mode_ == Mode::kHeap) {
+      while (size_ > 0 && heap_.front().at <= until) {
+        Event ev = pop();
+        visit(ev);
+      }
+      return;
+    }
+    while (!ring_.empty() && static_cast<SimTime>(base_tick_) <= until) {
+      {
+        Bucket& bucket = front_bucket();
+        if (bucket.count == 0) {
+          step_base();
+          continue;
+        }
+        // Claim the tick's lanes by swapping them out: visitor pushes may
+        // grow the ring and re-seat every bucket, so no reference into
+        // ring_ survives the visit loop.
+        size_ -= bucket.count;
+        bucket.count = 0;
+        for (std::uint32_t p = 0; p < kNumPriorities; ++p) {
+          drain_scratch_[p].swap(bucket.lanes[p]);
+        }
+      }
+      for (std::uint32_t p = 0; p < kNumPriorities; ++p) {
+        for (Event& ev : drain_scratch_[p]) visit(ev);
+      }
+      // Re-fetch: grow_ring during the visits moves buckets (head_ resets
+      // to 0), but the front bucket still maps to the tick just drained.
+      Bucket& bucket = front_bucket();
+      FBA_ASSERT(bucket.count == 0,
+                 "drain_due visitor pushed into the tick being drained");
+      for (std::uint32_t p = 0; p < kNumPriorities; ++p) {
+        drain_scratch_[p].clear();
+        drain_scratch_[p].swap(bucket.lanes[p]);  // hand capacity back
+      }
+      step_base();
+    }
+  }
+
+  /// High-water mark of pending events since the last clear() — the event
+  /// core's contribution to a trial's deterministic memory accounting.
+  std::size_t peak_size() const { return peak_size_; }
 
  private:
   void push(Event&& ev);
@@ -110,6 +171,7 @@ class EventQueue {
 
   Mode mode_;
   std::size_t size_ = 0;
+  std::size_t peak_size_ = 0;
   std::uint64_t next_seq_ = 0;
 
   // kHeap state: implicit 4-ary min-heap over one slab.
@@ -120,6 +182,8 @@ class EventQueue {
   std::vector<Bucket> ring_;
   std::size_t head_ = 0;
   std::uint64_t base_tick_ = 0;
+  /// drain_due's per-tick lane holder (capacity is handed back per tick).
+  std::array<std::vector<Event>, kNumPriorities> drain_scratch_;
 };
 
 }  // namespace fba::sim

@@ -29,6 +29,8 @@ void SyncEngine::reset(const SyncConfig& config) {
   queue_.clear();
   due_.clear();
   beyond_horizon_ = 0;
+  burst_source_ = nullptr;
+  round_progress_ = nullptr;
 }
 
 void SyncEngine::queue_envelope(const Envelope& env) {
@@ -48,6 +50,22 @@ void SyncEngine::queue_envelope(const Envelope& env) {
   const bool rushed = config_.rushing_adversary && corrupt_[env.src];
   queue_.push_message(static_cast<SimTime>(at),
                       rushed ? kPriCorruptSend : kPriSend, std::move(env));
+}
+
+void SyncEngine::queue_burst(const Envelope& env) {
+  FBA_ASSERT(burst_source_ != nullptr, "queue_burst without a burst source");
+  // Bursts carry no fault-layer jitter (the scale path runs fault-free), so
+  // delivery is plain next-round. Same horizon cull as queue_envelope: the
+  // caller already charged the expanded sends, and one suppressed descriptor
+  // is enough to keep the quiescence stop honest.
+  const Round at = current_round_ + 1;
+  if (at > config_.max_rounds) {
+    ++beyond_horizon_;
+    return;
+  }
+  const bool rushed = config_.rushing_adversary && corrupt_[env.src];
+  queue_.push_burst(static_cast<SimTime>(at),
+                    rushed ? kPriCorruptSend : kPriSend, env);
 }
 
 void SyncEngine::queue_timer(NodeId node, double delay, std::uint64_t token) {
@@ -92,15 +110,24 @@ SyncResult SyncEngine::run(const std::function<bool()>& done) {
     ++current_round_;
 
     if (!rushing) adversary_turn(current_round_);
-    // One batched pop drains the whole round: corrupt-origin sends, correct
-    // sends, then due timers, each class in FIFO order.
-    queue_.pop_due(static_cast<SimTime>(current_round_), due_);
-    for (const EventQueue::Event& ev : due_) {
+    // Drain the whole round: corrupt-origin sends, correct sends, then due
+    // timers, each class in FIFO order. The default path batches into the
+    // reusable scratch vector; round_drain visits the round in place (and
+    // re-expands burst descriptors at delivery time).
+    auto dispatch = [&](const EventQueue::Event& ev) {
       if (ev.is_timer) {
         fire_timer(ev.timer_node, ev.timer_token);
+      } else if (ev.is_burst) {
+        burst_source_->expand(ev.env, *this);
       } else {
         deliver(ev.env);
       }
+    };
+    if (config_.round_drain) {
+      queue_.drain_due(static_cast<SimTime>(current_round_), dispatch);
+    } else {
+      queue_.pop_due(static_cast<SimTime>(current_round_), due_);
+      for (const EventQueue::Event& ev : due_) dispatch(ev);
     }
     for (NodeId id = 0; id < n_; ++id) {
       if (corrupt_[id]) continue;
@@ -108,6 +135,7 @@ SyncResult SyncEngine::run(const std::function<bool()>& done) {
       actors_[id]->on_round(ctx, current_round_);
     }
     if (rushing) adversary_turn(current_round_);
+    if (round_progress_) round_progress_(current_round_, queue_.size());
   }
 
   if (!result.completed && done()) result.completed = true;

@@ -33,12 +33,28 @@ struct SyncConfig {
   /// the round clock even through silent rounds (e.g. a corrupt king says
   /// nothing): quiescence only stops the run after this many rounds.
   Round min_rounds = 0;
+  /// Scale mode: drain each round in place (EventQueue::drain_due) instead
+  /// of copying it into the per-round scratch vector. Delivery order is
+  /// identical; a million-node round avoids holding the round twice.
+  bool round_drain = false;
 };
 
 struct SyncResult {
   Round rounds = 0;       ///< rounds executed before stopping.
   bool completed = false; ///< the done-predicate fired.
   bool quiescent = false; ///< stopped because no messages were in flight.
+};
+
+class SyncEngine;
+
+/// Re-expands burst descriptors (EventQueue::push_burst) at delivery time.
+/// The producer that queued the burst knows how to enumerate its individual
+/// deliveries in the exact order the per-send path would have queued them;
+/// it hands each one to SyncEngine::deliver_expanded.
+class BurstSource {
+ public:
+  virtual ~BurstSource() = default;
+  virtual void expand(const Envelope& burst, SyncEngine& engine) = 0;
 };
 
 class SyncEngine : public EngineBase {
@@ -53,6 +69,8 @@ class SyncEngine : public EngineBase {
     return static_cast<double>(current_round_);
   }
   Round current_round() const { return current_round_; }
+  /// Pending-event high-water mark since the last reset (memory accounting).
+  std::size_t queue_peak() const { return queue_.peak_size(); }
 
   /// Runs rounds until `done` returns true, the network goes quiescent, or
   /// max_rounds elapse. `done` is evaluated at the end of every round.
@@ -60,6 +78,27 @@ class SyncEngine : public EngineBase {
 
   /// Timers fire at round current + ceil(delay), before on_round.
   void queue_timer(NodeId node, double delay, std::uint64_t token) override;
+
+  /// Installs the expander for burst descriptors (non-owning; reset()
+  /// clears it). Required before any queue_burst call.
+  void set_burst_source(BurstSource* source) { burst_source_ = source; }
+
+  /// Queues one burst descriptor for next-round delivery, with the same
+  /// horizon cull as queue_envelope. The caller charges metrics for the
+  /// expanded sends itself (send-time charging, like EngineBase::send_from);
+  /// this only schedules the descriptor. env.src picks the priority lane.
+  void queue_burst(const Envelope& env);
+
+  /// Delivery entry point for BurstSource::expand: routes one expanded
+  /// envelope through the normal delivery path (corrupt-destination tap or
+  /// actor on_message).
+  void deliver_expanded(const Envelope& env) { deliver(env); }
+
+  /// Per-round progress hook (round just executed, events still pending) —
+  /// lets long single-point scale trials report in-trial progress instead
+  /// of going silent for minutes. Cleared by reset().
+  using RoundProgress = std::function<void(Round, std::size_t)>;
+  void set_round_progress(RoundProgress cb) { round_progress_ = std::move(cb); }
 
  private:
   void queue_envelope(const Envelope& env) override;
@@ -73,6 +112,8 @@ class SyncEngine : public EngineBase {
   /// nonzero culls suppress the quiescence stop so round counts match an
   /// engine that kept them.
   std::uint64_t beyond_horizon_ = 0;
+  BurstSource* burst_source_ = nullptr;  ///< non-owning.
+  RoundProgress round_progress_;
 };
 
 }  // namespace fba::sim

@@ -91,6 +91,7 @@ void QuorumTable::reset(const QuorumSampler* sampler, std::size_t n) {
   sampler_ = sampler;
   n_ = n;
   ++epoch_;
+  index_.clear();
   arena_.reset(quorum_stride(sampler->d()));
 }
 
@@ -107,16 +108,18 @@ QuorumTable::Slab& QuorumTable::activate(std::uint32_t sid,
     for (std::size_t k = 0; k < d; ++k) {
       slab.perms.push_back(sampler_->slot_permutation(key, k));
     }
-    slab.row_of.assign(n_, kUnbuilt);
   }
   return slab;
 }
 
 QuorumView QuorumTable::row(std::uint32_t sid, StringKey key, NodeId x) const {
   Slab& slab = activate(sid, key);
-  std::uint32_t& idx = slab.row_of[x];
-  if (idx == kUnbuilt) {
-    idx = arena_.make_row();
+  // Dense StringIds stay far below 2^32 - 1, so the packed key can never
+  // collide with FlatMap64's all-ones empty sentinel.
+  std::uint32_t& entry =
+      index_.get_or_create(static_cast<std::uint64_t>(sid) << 32 | x);
+  if (entry == 0) {  // get_or_create zero-initializes: 0 = not built.
+    const std::uint32_t idx = arena_.make_row();
     NodeId* data = arena_.row(idx);
     const std::size_t d = sampler_->d();
     for (std::size_t k = 0; k < d; ++k) {
@@ -124,8 +127,9 @@ QuorumView QuorumTable::row(std::uint32_t sid, StringKey key, NodeId x) const {
       data[1 + k] = static_cast<NodeId>(slab.perms[k].inverse(x));
     }
     finish_row(data, d);
+    entry = idx + 1;
   }
-  return view_of_row(arena_.row(idx), sampler_->d());
+  return view_of_row(arena_.row(entry - 1), sampler_->d());
 }
 
 void QuorumTable::targets(std::uint32_t sid, StringKey key, NodeId y,

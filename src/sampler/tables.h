@@ -125,15 +125,14 @@ class QuorumTable {
 
   /// Rows materialized so far (tests / diagnostics).
   std::size_t rows_built() const { return arena_.rows(); }
+  /// String slabs ever activated (memory accounting).
+  std::size_t slab_count() const { return slabs_.size(); }
 
  private:
-  static constexpr std::uint32_t kUnbuilt = 0xffffffffu;
-
   struct Slab {
     std::uint64_t trial_epoch = 0;            ///< activation marker
     StringKey key = 0;
     std::vector<FeistelPermutation> perms;    ///< d cached sigma_{s,k}
-    std::vector<std::uint32_t> row_of;        ///< x -> arena row index
   };
 
   Slab& activate(std::uint32_t sid, StringKey key) const;
@@ -142,6 +141,12 @@ class QuorumTable {
   std::size_t n_ = 0;
   std::uint64_t epoch_ = 0;
   mutable std::vector<Slab> slabs_;  ///< indexed by dense StringId
+  /// packed (sid, x) -> arena row index + 1 (0 = not built yet). One shared
+  /// probe table sized to the rows actually touched — a dense per-slab
+  /// x -> row vector would cost 4n bytes PER ACTIVATED STRING, which is
+  /// O(n^2) for the adversary's Theta(n) junk strings and dominated every
+  /// other allocation at n >= 10^5 (docs/perf.md "scale mode").
+  mutable support::FlatMap64<std::uint32_t> index_;
   mutable RowArena arena_;
 };
 

@@ -1,0 +1,29 @@
+#include "support/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace fba::support {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // "VmHWM:    123456 kB" — the resident high-water mark.
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + 6, "%llu", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace fba::support

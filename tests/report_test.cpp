@@ -95,7 +95,7 @@ TEST(ReportTest, SerializedOutputIsByteIdenticalAcrossThreadCounts) {
 
 TEST(ReportTest, SchemaVersionGuardRejectsOtherVersions) {
   std::string doc = small_report(1).to_json();
-  const std::string needle = "\"schema_version\": 1";
+  const std::string needle = "\"schema_version\": 2";
   const std::size_t pos = doc.find(needle);
   ASSERT_NE(pos, std::string::npos);
   doc.replace(pos, needle.size(), "\"schema_version\": 999");
@@ -107,6 +107,47 @@ TEST(ReportTest, SchemaVersionGuardRejectsOtherVersions) {
               std::string::npos)
         << e.what();
   }
+}
+
+// Backward compatibility: a v1 document — no stats.mem_bytes_per_node
+// entry — still loads, with the missing stat defaulting to all-zero
+// (docs/output-schema.md version history).
+TEST(ReportTest, SchemaV1DocumentsStillParse) {
+  std::string doc = small_report(1).to_json();
+  const std::string version_needle = "\"schema_version\": 2";
+  const std::size_t version_pos = doc.find(version_needle);
+  ASSERT_NE(version_pos, std::string::npos);
+  doc.replace(version_pos, version_needle.size(), "\"schema_version\": 1");
+  // Strip every mem_bytes_per_node stats object, as a v1 writer would
+  // never have emitted one.
+  const std::string stat_needle = "\"mem_bytes_per_node\": {";
+  std::size_t pos;
+  while ((pos = doc.find(stat_needle)) != std::string::npos) {
+    // The stat is the last entry of "stats": erase back through the
+    // preceding comma so the object stays well-formed.
+    std::size_t start = pos;
+    while (start > 0 && (doc[start - 1] == '\n' || doc[start - 1] == ' ')) {
+      --start;
+    }
+    ASSERT_GT(start, 0u);
+    ASSERT_EQ(doc[start - 1], ',');
+    --start;
+    const std::size_t end = doc.find('}', pos);  // flat object, no nesting
+    ASSERT_NE(end, std::string::npos);
+    doc.erase(start, end + 1 - start);
+  }
+  const exp::Report parsed = exp::Report::from_json(doc);
+  EXPECT_EQ(parsed.total_points(), 2u);
+  for (const exp::ReportSeries& s : parsed.series()) {
+    for (const exp::ReportPoint& rp : s.points) {
+      EXPECT_EQ(rp.aggregate.mem_bytes_per_node.count, 0u);
+      EXPECT_EQ(rp.aggregate.mem_bytes_per_node.mean, 0.0);
+    }
+  }
+  // And a v1 baseline never gates the memory metric: diff against a
+  // current (v2) report with memory data stays clean.
+  const exp::Report current = exp::Report::from_json(small_report(1).to_json());
+  EXPECT_TRUE(current.diff(parsed).ok());
 }
 
 TEST(ReportTest, FingerprintGuardRejectsTamperedData) {
