@@ -30,19 +30,21 @@
 int main(int argc, char** argv) {
   using namespace fba;
   using namespace fba::benchutil;
-  if (handle_help(argc, argv, "bench_endtoend",
-                  "Lemmas 9/10: end-to-end AER vs n, the resilience curve"
-                  " (t/n sweep) and the fault-degradation matrix",
-                  "  --attack=<name>    compose an adversary into the"
-                  " fault-degradation matrix\n"
-                  "  --fault=<preset>   apply one preset to the first"
-                  " table's n-sweep\n",
-                  exp::UsageSections{.attacks = true, .faults = true})) {
-    return 0;
-  }
-  const Scale scale = parse_scale(argc, argv);
-  const std::size_t trials = trials_for(scale, argc, argv);
-  const std::size_t threads = threads_for(argc, argv);
+  const CommonOptions opt = parse_common_flags(
+      argc, argv,
+      CommonSpec{.binary = "bench_endtoend",
+                 .description =
+                     "Lemmas 9/10: end-to-end AER vs n, the resilience curve"
+                     " (t/n sweep) and the fault-degradation matrix",
+                 .extra_usage =
+                     "  --attack=<name>    compose an adversary into the"
+                     " fault-degradation matrix\n"
+                     "  --fault=<preset>   apply one preset to the first"
+                     " table's n-sweep\n",
+                 .sections = {.attacks = true, .faults = true}});
+  const Scale scale = opt.scale;
+  const std::size_t trials = opt.trials();
+  const std::size_t threads = opt.threads;
   print_banner("Lemmas 9/10: end-to-end AER + resilience curve",
                "completion time and total messages vs n; success vs t/n");
 
@@ -65,7 +67,7 @@ int main(int argc, char** argv) {
   exp::Grid grid;
   grid.ns = protocol_sizes(scale);
   grid.models = {aer::Model::kSyncNonRushing, aer::Model::kAsync};
-  grid.faults = {fault_for(argc, argv)};
+  grid.faults = {opt.fault};
   exp::Sweep sweep(base, grid, trials);
   sweep.set_threads(threads);
   sweep.set_progress(progress_printer("endtoend"));
@@ -128,8 +130,7 @@ int main(int argc, char** argv) {
       " decisions) holds everywhere.\n");
 
   // Fault degradation: every preset against both engines at n = 128.
-  const std::string attack =
-      string_flag(argc, argv, "--attack", "none");
+  const std::string& attack = opt.attack;
   std::printf("\nfault degradation (n=128, attack=%s, %zu trials/point):\n",
               attack.c_str(), trials);
   Table faults({"fault", "model", "agree rate", "decided", "wrong",
@@ -167,6 +168,6 @@ int main(int argc, char** argv) {
       " (wrong = 0) to hold throughout.\n");
   std::printf("[endtoend done in %.1fs on %zu thread(s)]\n", watch.seconds(),
               threads);
-  write_json_if_requested(report, argc, argv);
+  write_json_if_requested(report, opt.json);
   return 0;
 }

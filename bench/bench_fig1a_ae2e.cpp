@@ -69,15 +69,15 @@ void add_rows(Table& table, const char* protocol,
 
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
-  if (handle_help(argc, argv, "bench_fig1a_ae2e",
-                  "Figure 1(a): AER vs SQRT-SAMPLE vs FLOOD-ALL — time,"
-                  " amortized bits, load balance vs n",
-                  nullptr)) {
-    return 0;
-  }
-  const Scale scale = parse_scale(argc, argv);
-  const std::size_t trials = trials_for(scale, argc, argv);
-  const std::size_t threads = threads_for(argc, argv);
+  const CommonOptions opt = parse_common_flags(
+      argc, argv,
+      CommonSpec{.binary = "bench_fig1a_ae2e",
+                 .description =
+                     "Figure 1(a): AER vs SQRT-SAMPLE vs FLOOD-ALL — time,"
+                     " amortized bits, load balance vs n"});
+  const Scale scale = opt.scale;
+  const std::size_t trials = opt.trials();
+  const std::size_t threads = opt.threads;
   print_banner("Figure 1(a): almost-everywhere to everywhere comparison",
                "time / amortized bits / load balance across reductions;"
                " cells are means over seeded trials");
@@ -197,6 +197,6 @@ int main(int argc, char** argv) {
               " search keeps paying) but capped for SQRT-SAMPLE.\n");
   std::printf("[fig1a done in %.1fs on %zu thread(s)]\n", watch.seconds(),
               threads);
-  write_json_if_requested(report, argc, argv);
+  write_json_if_requested(report, opt.json);
   return 0;
 }

@@ -31,15 +31,15 @@ ba::BaConfig ba_config_for(const aer::AerConfig& cfg) {
 
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
-  if (handle_help(argc, argv, "bench_fig1b_ba",
-                  "Figure 1(b): BA = AE tournament + {AER, SQRT-SAMPLE,"
-                  " FLOOD-ALL} reduction vs n",
-                  nullptr)) {
-    return 0;
-  }
-  const Scale scale = parse_scale(argc, argv);
-  const std::size_t trials = trials_for(scale, argc, argv);
-  const std::size_t threads = threads_for(argc, argv);
+  const CommonOptions opt = parse_common_flags(
+      argc, argv,
+      CommonSpec{.binary = "bench_fig1b_ba",
+                 .description =
+                     "Figure 1(b): BA = AE tournament + {AER, SQRT-SAMPLE,"
+                     " FLOOD-ALL} reduction vs n"});
+  const Scale scale = opt.scale;
+  const std::size_t trials = opt.trials();
+  const std::size_t threads = opt.threads;
   print_banner("Figure 1(b): Byzantine Agreement comparison",
                "BA = AE tournament + reduction; per-row reduction varies;"
                " cells are means over seeded trials");
@@ -103,6 +103,6 @@ int main(int argc, char** argv) {
   std::printf("[fig1b done in %.1fs: %zu trials/point x %zu points on %zu"
               " thread(s)]\n",
               watch.seconds(), trials, grid.points() * 3, threads);
-  write_json_if_requested(report, argc, argv);
+  write_json_if_requested(report, opt.json);
   return 0;
 }

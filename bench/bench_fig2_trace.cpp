@@ -32,13 +32,12 @@ std::string show_members(const sampler::Quorum& q,
 
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
-  if (handle_help(argc, argv, "bench_fig2_trace",
-                  "Figure 2: a concrete push/pull trace (n = 64) plus the"
-                  " multi-trial per-hop message-flow table",
-                  nullptr)) {
-    return 0;
-  }
-  (void)parse_scale(argc, argv);
+  const CommonOptions opt = parse_common_flags(
+      argc, argv,
+      CommonSpec{.binary = "bench_fig2_trace",
+                 .description =
+                     "Figure 2: a concrete push/pull trace (n = 64) plus the"
+                     " multi-trial per-hop message-flow table"});
   print_banner("Figure 2: push and pull message flow",
                "a concrete trace of the Figure 2 structure (n = 64);"
                " '*' marks Byzantine nodes");
@@ -114,9 +113,9 @@ int main(int argc, char** argv) {
   // Multi-trial per-hop table: the Aggregate's per-kind traffic axes give
   // every hop a mean and a 95% CI across seeded trials of this
   // configuration (the single-seed trace above is just the illustration).
-  const std::size_t trials = flag_value(argc, argv, "--trials", 25);
+  const std::size_t trials = opt.trials(25, 25, 25);
   exp::Sweep sweep(cfg, exp::Grid{}, trials);
-  sweep.set_threads(threads_for(argc, argv));
+  sweep.set_threads(opt.threads);
   sweep.set_progress(progress_printer("fig2 sweep"));
   const auto results = sweep.run();
   const exp::Aggregate agg = results.front().aggregate;
@@ -160,6 +159,6 @@ int main(int argc, char** argv) {
               " bits/node\n",
               agg.trials, agg.agreement_rate(), agg.completion_time.mean,
               agg.completion_time.p99, agg.amortized_bits.mean);
-  write_json_if_requested(flow_report, argc, argv);
+  write_json_if_requested(flow_report, opt.json);
   return 0;
 }

@@ -23,16 +23,15 @@
 int main(int argc, char** argv) {
   using namespace fba;
   using namespace fba::benchutil;
-  if (handle_help(argc, argv, "bench_fig3_expansion",
-                  "Figure 3 / Lemma 2: Monte-Carlo border expansion of the"
-                  " poll sampler J",
-                  nullptr)) {
-    return 0;
-  }
-  const Scale scale = parse_scale(argc, argv);
-  const std::size_t trials = std::max<std::size_t>(
-      1, flag_value(argc, argv, "--trials", scale == Scale::kQuick ? 3 : 10));
-  const std::size_t threads = threads_for(argc, argv);
+  const CommonOptions opt = parse_common_flags(
+      argc, argv,
+      CommonSpec{.binary = "bench_fig3_expansion",
+                 .description =
+                     "Figure 3 / Lemma 2: Monte-Carlo border expansion of"
+                     " the poll sampler J"});
+  const Scale scale = opt.scale;
+  const std::size_t trials = opt.trials(3, 10, 10);
+  const std::size_t threads = opt.threads;
   print_banner("Figure 3 / Section 4.1.2: sampler expansion (Lemma 2)",
                "border ratio |dL| / (d|L|) must exceed 2/3 for all L with"
                " |L| <= n/log n");
@@ -107,6 +106,6 @@ int main(int argc, char** argv) {
               " (P(u,s) = o(2^-n)); measured instance satisfies them.\n");
   std::printf("[fig3 done in %.1fs on %zu thread(s)]\n", watch.seconds(),
               threads);
-  write_json_if_requested(report, argc, argv);
+  write_json_if_requested(report, opt.json);
   return 0;
 }

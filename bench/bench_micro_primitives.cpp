@@ -355,6 +355,46 @@ void BM_WarmTrialAllocations(benchmark::State& state) {
 }
 BENCHMARK(BM_WarmTrialAllocations);
 
+/// The service-mode zero-allocation contract, one level above
+/// BM_WarmTrialAllocations: once a pipeline worker's arena is warm, a full
+/// service *instance* — ServicePlan::configure re-key, world rebuild, engine
+/// run, outcome harvest — must not touch the heap. This is the
+/// cross-instance amortization exp::Service is built on; any allocation
+/// fails the benchmark (and the CI perf-smoke gate with it).
+void BM_WarmInstanceAllocations(benchmark::State& state) {
+  exp::ServiceConfig config;
+  config.base.n = 64;
+  config.base.model = aer::Model::kSyncRushing;
+  const exp::ServicePlan plan(config);
+  exp::TrialArena arena;
+  aer::AerConfig cfg;
+  exp::TrialOutcome out;
+  // Warm-up over a small instance window, then re-run the same instances
+  // measured — identical contract to BM_WarmTrialAllocations: a working set
+  // the arena has already accommodated allocates nothing.
+  constexpr std::uint64_t kInstances = 4;
+  for (std::uint64_t i = 0; i < kInstances; ++i) {
+    plan.run_instance(i, cfg, arena, out);
+  }
+  std::size_t allocs = 0;
+  std::uint64_t instances = 0;
+  for (auto _ : state) {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    plan.run_instance(instances % kInstances, cfg, arena, out);
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    allocs += g_alloc_count.load(std::memory_order_relaxed);
+    ++instances;
+  }
+  state.counters["warm_instance_allocs"] =
+      static_cast<double>(allocs) / static_cast<double>(instances);
+  if (allocs != 0) {
+    state.SkipWithError("warm service instance performed heap allocations");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instances));
+}
+BENCHMARK(BM_WarmInstanceAllocations);
+
 void BM_BitStringDigest(benchmark::State& state) {
   Rng rng(1);
   const BitString s = BitString::random(64, rng);

@@ -21,16 +21,19 @@
 int main(int argc, char** argv) {
   using namespace fba;
   using namespace fba::benchutil;
-  if (handle_help(argc, argv, "bench_pull_latency",
-                  "Lemmas 6/8: pull-phase decision latency vs n under the"
-                  " overload-chain adversary",
-                  "  --no-defer         ablation: disable Algorithm 3's"
-                  " deferred answering\n")) {
-    return 0;
-  }
-  const Scale scale = parse_scale(argc, argv);
-  const std::size_t trials = trials_for(scale, argc, argv);
-  const std::size_t threads = threads_for(argc, argv);
+  const CommonOptions opt = parse_common_flags(
+      argc, argv,
+      CommonSpec{.binary = "bench_pull_latency",
+                 .description =
+                     "Lemmas 6/8: pull-phase decision latency vs n under the"
+                     " overload-chain adversary",
+                 .extra_usage =
+                     "  --no-defer         ablation: disable Algorithm 3's"
+                     " deferred answering\n",
+                 .extra_flags = {"--no-defer"}});
+  const Scale scale = opt.scale;
+  const std::size_t trials = opt.trials();
+  const std::size_t threads = opt.threads;
   const bool no_defer = has_flag(argc, argv, "--no-defer");
   print_banner("Lemmas 6/8: pull latency under overload attacks",
                no_defer ? "ABLATION: deferred answering disabled"
@@ -109,6 +112,6 @@ int main(int argc, char** argv) {
       " attacked runs live; rerun with --no-defer for the ablation.\n");
   std::printf("[pull-latency done in %.1fs on %zu thread(s)]\n",
               watch.seconds(), threads);
-  write_json_if_requested(report, argc, argv);
+  write_json_if_requested(report, opt.json);
   return 0;
 }

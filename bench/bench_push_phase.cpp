@@ -75,15 +75,15 @@ void run_push_trial(const aer::AerConfig& base_cfg,
 
 int main(int argc, char** argv) {
   using namespace fba::benchutil;
-  if (handle_help(argc, argv, "bench_push_phase",
-                  "Lemmas 3-5: push-phase traffic, candidate-list growth and"
-                  " gstring coverage vs n",
-                  nullptr)) {
-    return 0;
-  }
-  const Scale scale = parse_scale(argc, argv);
-  const std::size_t trials = trials_for(scale, argc, argv);
-  const std::size_t threads = threads_for(argc, argv);
+  const CommonOptions opt = parse_common_flags(
+      argc, argv,
+      CommonSpec{.binary = "bench_push_phase",
+                 .description =
+                     "Lemmas 3-5: push-phase traffic, candidate-list growth"
+                     " and gstring coverage vs n"});
+  const Scale scale = opt.scale;
+  const std::size_t trials = opt.trials();
+  const std::size_t threads = opt.threads;
   print_banner("Lemmas 3-5: push phase",
                "push bits per node (L3), candidate-list growth (L4),"
                " gstring coverage (L5); means over seeded trials");
@@ -139,6 +139,6 @@ int main(int argc, char** argv) {
       " pushes fail the I(s,x) membership filter.\n");
   std::printf("[push-phase done in %.1fs on %zu thread(s)]\n", watch.seconds(),
               threads);
-  write_json_if_requested(report, argc, argv);
+  write_json_if_requested(report, opt.json);
   return 0;
 }

@@ -14,19 +14,20 @@
 int main(int argc, char** argv) {
   using namespace fba;
   using namespace fba::benchutil;
-  if (handle_help(argc, argv, "bench_safety",
-                  "Lemma 7: wrong decisions under the wrong-answer attack"
-                  " (expect zero), plus the precondition-violated failure"
-                  " mode",
-                  "  --fault=<preset>   compose the wrong-answer attack"
-                  " with a channel fault\n",
-                  exp::UsageSections{.faults = true})) {
-    return 0;
-  }
-  const Scale scale = parse_scale(argc, argv);
-  const std::size_t trials = std::max<std::size_t>(
-      1, flag_value(argc, argv, "--trials", scale == Scale::kQuick ? 5 : 25));
-  const std::size_t threads = threads_for(argc, argv);
+  const CommonOptions opt = parse_common_flags(
+      argc, argv,
+      CommonSpec{.binary = "bench_safety",
+                 .description =
+                     "Lemma 7: wrong decisions under the wrong-answer attack"
+                     " (expect zero), plus the precondition-violated failure"
+                     " mode",
+                 .extra_usage =
+                     "  --fault=<preset>   compose the wrong-answer attack"
+                     " with a channel fault\n",
+                 .sections = {.faults = true}});
+  const Scale scale = opt.scale;
+  const std::size_t trials = opt.trials(5, 25, 25);
+  const std::size_t threads = opt.threads;
   print_banner("Lemma 7: decision safety under wrong-answer attacks",
                "wrong decisions across seeded trials (expect zero), plus the"
                " honest failure mode when the precondition breaks");
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
   grid.strategies = {"wrong"};
   // --fault=<preset> composes the wrong-answer attack with loss /
   // partitions / churn: safety must hold even on faulty channels.
-  grid.faults = {fault_for(argc, argv)};
+  grid.faults = {opt.fault};
   exp::Report report = make_report(
       "bench_safety", "safety",
       "Lemma 7: decision safety under wrong-answer attacks", base.seed,
@@ -106,6 +107,6 @@ int main(int argc, char** argv) {
               " after the adversary committed its corruptions.\n");
   std::printf("[safety done in %.1fs on %zu thread(s)]\n", watch.seconds(),
               threads);
-  write_json_if_requested(report, argc, argv);
+  write_json_if_requested(report, opt.json);
   return 0;
 }

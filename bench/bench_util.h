@@ -23,6 +23,7 @@
 #include "exp/progress.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
+#include "exp/service.h"
 #include "exp/sweep.h"
 
 namespace fba::benchutil {
@@ -151,15 +152,160 @@ inline bool handle_help(int argc, char** argv, const char* binary,
   return true;
 }
 
+/// Everything parse_common_flags needs to validate a command line and
+/// print the one generated usage block — --help and unknown-flag errors
+/// share it, so the error path always shows the flags that *would* have
+/// worked.
+struct CommonSpec {
+  const char* binary = "";
+  const char* description = "";
+  /// Preformatted usage lines for binary-specific flags (nullptr for
+  /// none); list each such flag in extra_flags too or it is rejected.
+  const char* extra_usage = nullptr;
+  /// Binary-specific flags to accept: names ending in '=' take a value
+  /// (prefix match, e.g. "--n="), the rest are booleans (exact match).
+  /// parse_common_flags only accepts them — the binary still reads their
+  /// values with string_flag/flag_value/has_flag.
+  std::vector<const char*> extra_flags{};
+  /// Shared-vocabulary sections this binary supports. Doubles as the
+  /// accept-list: --attack / --fault / --trials / --threads / --json are
+  /// unknown-flag errors when their section is off.
+  exp::UsageSections sections{};
+  /// The binary supports --timing (the setup-vs-run wall split printer).
+  bool accept_timing = false;
+  /// The binary supports --quick/--large sweep scaling (benches do;
+  /// fba_sim, which sizes runs with --n/--trials directly, does not).
+  bool accept_scale = true;
+};
+
+/// The flag set every bench and example shares (--quick/--large, --trials,
+/// --threads, --attack, --fault, --json, --timing), parsed and validated in
+/// one place by parse_common_flags.
+struct CommonOptions {
+  Scale scale = Scale::kDefault;
+  std::size_t trials_override = 0;  ///< --trials=N; 0 = use scale default.
+  std::size_t threads = 1;
+  std::string attack = "none";
+  std::string fault = "none";
+  std::string json;     ///< --json=FILE target; empty = not requested.
+  bool timing = false;  ///< --timing: print the wall split on exit.
+
+  /// Trials per point: the --trials override if given, else the fallback
+  /// for the parsed scale. Benches with non-standard defaults pass their
+  /// own numbers (e.g. fig2's flat 25).
+  std::size_t trials(std::size_t quick_fallback = 3,
+                     std::size_t default_fallback = 10,
+                     std::size_t large_fallback = 30) const {
+    if (trials_override > 0) return trials_override;
+    if (scale == Scale::kQuick) return quick_fallback;
+    if (scale == Scale::kLarge) return large_fallback;
+    return default_fallback;
+  }
+};
+
+inline void print_common_usage(const CommonSpec& spec, std::FILE* out) {
+  std::fprintf(out, "%s — %s\n\nusage: %s %s[flags]\n", spec.binary,
+               spec.description, spec.binary,
+               spec.accept_scale ? "[--quick|--large] " : "");
+  if (spec.accept_scale) {
+    std::fprintf(out,
+                 "  --quick / --large  shrink / extend the sweep sizes\n");
+  }
+  if (spec.accept_timing) {
+    std::fprintf(out,
+                 "  --timing           print the setup-vs-run wall-time"
+                 " split (and peak RSS) on exit\n");
+  }
+  if (spec.extra_usage != nullptr) std::fprintf(out, "%s", spec.extra_usage);
+  std::fprintf(out, "%s", exp::scenario_usage(spec.sections).c_str());
+}
+
+/// Parses (and validates) the shared flag set. --help/-h prints the usage
+/// block and exits 0; an unknown flag prints it to stderr and exits 2 —
+/// previously benches silently ignored typos like --trails=50 and ran the
+/// default sweep instead. Binary-specific flags pass through via
+/// spec.extra_flags.
+inline CommonOptions parse_common_flags(int argc, char** argv,
+                                        const CommonSpec& spec) {
+  CommonOptions opt;
+  opt.threads = exp::default_threads();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value_of = [arg](const char* name) -> const char* {
+      const std::size_t len = std::strlen(name);
+      if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        return arg + len + 1;
+      }
+      return nullptr;
+    };
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_common_usage(spec, stdout);
+      std::exit(0);
+    }
+    if (spec.accept_scale && std::strcmp(arg, "--quick") == 0) {
+      opt.scale = Scale::kQuick;
+      continue;
+    }
+    if (spec.accept_scale && std::strcmp(arg, "--large") == 0) {
+      opt.scale = Scale::kLarge;
+      continue;
+    }
+    if (spec.accept_timing && std::strcmp(arg, "--timing") == 0) {
+      opt.timing = true;
+      continue;
+    }
+    const char* value = nullptr;
+    if (spec.sections.sweep && (value = value_of("--trials")) != nullptr) {
+      opt.trials_override =
+          std::max<std::size_t>(1, std::strtoull(value, nullptr, 10));
+      continue;
+    }
+    if (spec.sections.sweep && (value = value_of("--threads")) != nullptr) {
+      opt.threads =
+          std::max<std::size_t>(1, std::strtoull(value, nullptr, 10));
+      continue;
+    }
+    if (spec.sections.attacks && (value = value_of("--attack")) != nullptr) {
+      opt.attack = value;
+      continue;
+    }
+    if (spec.sections.faults && (value = value_of("--fault")) != nullptr) {
+      opt.fault = value;
+      continue;
+    }
+    if (spec.sections.json && (value = value_of("--json")) != nullptr) {
+      opt.json = value;
+      continue;
+    }
+    bool matched = false;
+    for (const char* extra : spec.extra_flags) {
+      const std::size_t len = std::strlen(extra);
+      if (len > 0 && extra[len - 1] == '=') {
+        if (std::strncmp(arg, extra, len) == 0) {
+          matched = true;
+          break;
+        }
+      } else if (std::strcmp(arg, extra) == 0) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    std::fprintf(stderr, "%s: unknown flag \"%s\"\n\n", spec.binary, arg);
+    print_common_usage(spec, stderr);
+    std::exit(2);
+  }
+  return opt;
+}
+
 /// Writes `report` to the file named by `--json=FILE` (if given). Every
 /// bench funnels its sweep results through this one writer so bench output
 /// and fba_repro figure output share the fba.report schema
 /// (docs/output-schema.md). An unwritable path exits 1 with a clean error
 /// instead of an uncaught throw — the table already went to stdout, only
 /// the artifact is lost.
-inline void write_json_if_requested(const exp::Report& report, int argc,
-                                    char** argv) {
-  const std::string path = string_flag(argc, argv, "--json", "");
+inline void write_json_if_requested(const exp::Report& report,
+                                    const std::string& path) {
   if (path.empty()) return;
   try {
     report.write_json(path);
@@ -212,6 +358,35 @@ inline void add_split_series(exp::Report& report, const aer::AerConfig& base,
 /// Live trials-completed / ETA line for long sweeps (exp::stderr_progress).
 inline exp::Sweep::Progress progress_printer(const char* label) {
   return exp::stderr_progress(label);
+}
+
+/// Bridges one service run into the report machinery (bench_service and
+/// fba_repro --figure=service): deterministic stats through
+/// ServiceStats::to_aggregate (fingerprinted, diffable), wall-clock load
+/// into the informational schema-v3 `load` block (never fingerprinted or
+/// diffed — docs/output-schema.md).
+inline exp::ReportPoint service_report_point(std::size_t index,
+                                             const exp::ServiceConfig& config,
+                                             const exp::ServiceResult& r) {
+  exp::ReportPoint rp;
+  rp.point.index = index;
+  rp.point.n = config.base.n;
+  rp.point.model = config.base.model;
+  rp.point.strategy = config.attack;
+  rp.point.fault = config.fault.empty() ? "none" : config.fault;
+  rp.provenance = exp::point_provenance(config.base, rp.point);
+  rp.aggregate = r.stats.to_aggregate();
+  rp.has_load = true;
+  rp.load.wall_seconds = r.load.wall_seconds;
+  rp.load.instances_per_sec = r.load.instances_per_sec;
+  rp.load.wall_ms_p50 = r.load.instance_wall_ms.quantile(0.50);
+  rp.load.wall_ms_p99 = r.load.instance_wall_ms.quantile(0.99);
+  rp.load.wall_ms_p999 = r.load.instance_wall_ms.quantile(0.999);
+  rp.load.queue_depth_mean = r.load.jobs.mean_depth();
+  rp.load.queue_depth_max = r.load.jobs.depth_max;
+  rp.load.push_blocks = r.load.jobs.push_blocks + r.load.done.push_blocks;
+  rp.load.pop_blocks = r.load.jobs.pop_blocks + r.load.done.pop_blocks;
+  return rp;
 }
 
 }  // namespace fba::benchutil

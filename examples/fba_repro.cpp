@@ -61,7 +61,7 @@ struct Options {
 
 constexpr const char* kUsageExtra =
     "  --figure=NAME      fig1a | fig1b | fig2 | fig3 | fig3-scale |\n"
-    "                     fault-matrix\n"
+    "                     fault-matrix | service\n"
     "  --out=DIR          output directory (default results/); writes\n"
     "                     BENCH_<figure>.{json,csv,md,gp}\n"
     "  --baseline=FILE    diff this run against a committed fba.report JSON;\n"
@@ -69,11 +69,26 @@ constexpr const char* kUsageExtra =
     "  --validate=FILE    parse FILE against the report schema (fingerprint\n"
     "                     revalidation included) and exit; no sweep runs\n"
     "  --seed=N           base seed (default 20130722)\n"
-    "  --timing           print the figure's accumulated setup-vs-run\n"
-    "                     wall-time split (sampler/world setup vs engine)\n"
     "  --attack applies to fault-matrix and fig3-scale; --fault applies one\n"
     "  preset to the fig1a/fig1b/fig2/fig3-scale sweeps (fig3 is\n"
-    "  sampler-only and ignores both).\n";
+    "  sampler-only and ignores both; service pins its own plan matrix).\n";
+
+/// The flag vocabulary, shared with every bench through
+/// benchutil::parse_common_flags — a typoed --baseline must not silently
+/// skip the regression gate.
+benchutil::CommonSpec repro_spec() {
+  benchutil::CommonSpec spec;
+  spec.binary = "fba_repro";
+  spec.description =
+      "figure-reproduction pipeline (JSON/CSV/gnuplot/markdown per figure)";
+  spec.extra_usage = kUsageExtra;
+  spec.extra_flags = {"--figure=", "--out=", "--baseline=", "--validate=",
+                      "--seed="};
+  spec.sections = {.attacks = true, .faults = true,
+                   .json = false};  // reports go via --out
+  spec.accept_timing = true;
+  return spec;
+}
 
 std::size_t default_trials(Scale scale) {
   switch (scale) {
@@ -374,40 +389,74 @@ exp::Report run_fault_matrix(const Options& opt, std::size_t trials) {
   return report;
 }
 
+// ---- service: heavy-traffic streaming mode ----------------------------------
+
+exp::Report run_service_figure(const Options& opt, std::size_t trials) {
+  exp::Report report = figure_report(
+      opt, "service",
+      "Service mode: streaming repeated consensus under persistent"
+      " adversaries",
+      "index", "decision_time.p99", "p99 decision latency", trials);
+
+  // The plan matrix is pinned (not --attack/--fault driven): a steady
+  // honest stream, the two grudge rosters, and the slow-burn churn ramp —
+  // the persistent-adversary shapes a one-shot sweep cannot express. One
+  // stream per plan; deterministic stats only (counts + latency/traffic
+  // histograms), so the committed baseline diffs bit-identically at any
+  // worker count. The stream length scales with --trials so --quick stays
+  // CI-cheap.
+  struct Plan {
+    const char* attack;
+    const char* fault;
+  };
+  constexpr Plan kPlans[] = {{"none", ""},
+                             {"grudge-wrong", ""},
+                             {"grudge-stuff", ""},
+                             {"none", "slow-burn-churn"}};
+  const auto instances = static_cast<std::uint64_t>(trials) * 8;
+
+  exp::SweepTiming timing;
+  std::size_t index = 0;
+  for (const Plan& plan : kPlans) {
+    exp::ServiceConfig config;
+    config.base.n = opt.scale == Scale::kQuick ? 64 : 128;
+    config.base.model = aer::Model::kSyncRushing;
+    config.base_seed = opt.seed;
+    config.attack = plan.attack;
+    config.fault = plan.fault;
+    config.instances = instances;
+    config.workers = opt.threads;
+    const exp::ServiceResult r = exp::run_service(config);
+    report.add_point("service",
+                     benchutil::service_report_point(index++, config, r));
+    timing.setup_seconds += r.timing.setup_seconds;
+    timing.run_seconds += r.timing.run_seconds;
+    timing.trials += r.timing.trials;
+  }
+  timing.available = true;
+  exp::accumulate_process_timing(timing);
+  return report;
+}
+
 // ---- driver -----------------------------------------------------------------
 
 Options parse(int argc, char** argv) {
-  // Strict flag vocabulary: a typoed --baseline must not silently skip the
-  // regression gate.
-  static constexpr const char* kBareFlags[] = {"--quick", "--large",
-                                               "--timing", "--help", "-h"};
-  static constexpr const char* kValueFlags[] = {
-      "--figure=", "--out=",   "--baseline=", "--validate=", "--attack=",
-      "--fault=",  "--seed=",  "--trials=",   "--threads="};
-  for (int i = 1; i < argc; ++i) {
-    bool known = false;
-    for (const char* flag : kBareFlags) {
-      known |= std::strcmp(argv[i], flag) == 0;
-    }
-    for (const char* flag : kValueFlags) {
-      known |= std::strncmp(argv[i], flag, std::strlen(flag)) == 0;
-    }
-    if (!known) {
-      std::fprintf(stderr, "unknown flag: %s (--help lists flags)\n",
-                   argv[i]);
-      std::exit(2);
-    }
-  }
+  // parse_common_flags handles --help (exit 0) and unknown flags (usage +
+  // exit 2); only the fba_repro-specific values are read out here.
+  const benchutil::CommonOptions common =
+      benchutil::parse_common_flags(argc, argv, repro_spec());
 
   Options opt;
-  opt.scale = benchutil::parse_scale(argc, argv);
+  opt.scale = common.scale;
+  opt.attack = common.attack;
+  opt.fault = common.fault;
+  opt.timing = common.timing;
+  opt.trials = common.trials_override;
+  opt.threads = common.threads;
   opt.figure = benchutil::string_flag(argc, argv, "--figure", "");
   opt.out = benchutil::string_flag(argc, argv, "--out", "results");
   opt.baseline = benchutil::string_flag(argc, argv, "--baseline", "");
   opt.validate = benchutil::string_flag(argc, argv, "--validate", "");
-  opt.attack = benchutil::string_flag(argc, argv, "--attack", "none");
-  opt.timing = benchutil::has_flag(argc, argv, "--timing");
-  opt.fault = benchutil::string_flag(argc, argv, "--fault", "none");
   const std::string seed = benchutil::string_flag(argc, argv, "--seed", "");
   if (!seed.empty()) {
     char* end = nullptr;
@@ -419,23 +468,12 @@ Options parse(int argc, char** argv) {
     }
     opt.seed_set = true;
   }
-  opt.trials = benchutil::flag_value(argc, argv, "--trials", 0);
-  opt.threads = benchutil::threads_for(argc, argv);
   return opt;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (benchutil::handle_help(
-          argc, argv, "fba_repro",
-          "figure-reproduction pipeline (JSON/CSV/gnuplot/markdown per"
-          " figure)",
-          kUsageExtra,
-          exp::UsageSections{.attacks = true, .faults = true,
-                             .json = false})) {  // reports go via --out
-    return 0;
-  }
   const Options opt = parse(argc, argv);
 
   try {
@@ -471,11 +509,13 @@ int main(int argc, char** argv) {
       report = run_fig3_scale(opt, trials);
     } else if (opt.figure == "fault-matrix") {
       report = run_fault_matrix(opt, trials);
+    } else if (opt.figure == "service") {
+      report = run_service_figure(opt, trials);
     } else {
       std::fprintf(stderr,
                    "%s --figure=%s: unknown figure (known: fig1a, fig1b,"
-                   " fig2, fig3, fig3-scale, fault-matrix; --help for"
-                   " details)\n",
+                   " fig2, fig3, fig3-scale, fault-matrix, service; --help"
+                   " for details)\n",
                    argv[0], opt.figure.c_str());
       return 2;
     }
@@ -502,11 +542,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "[timing] %s\n", line.c_str());
       }
       // OS-side cross-check on the MemBudget accounting (diagnostic only —
-      // RSS is environment-dependent, never serialized into reports).
+      // RSS is environment-dependent, never serialized into reports). An
+      // explicit n/a beats silently omitting the line: the reader can tell
+      // "not measured on this platform" from "forgot to look".
       const std::uint64_t rss = support::peak_rss_bytes();
       if (rss > 0) {
         std::fprintf(stderr, "[timing] peak RSS %.1f MiB\n",
                      static_cast<double>(rss) / (1024.0 * 1024.0));
+      } else {
+        std::fprintf(stderr,
+                     "[timing] peak RSS n/a (not measurable on this"
+                     " platform)\n");
       }
     }
 

@@ -25,6 +25,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "exp/progress.h"
 #include "fba.h"
 
@@ -69,18 +70,29 @@ struct TimingPrinter {
     }
     // OS-side cross-check on the MemBudget accounting: the process peak RSS
     // (diagnostic only — RSS is environment-dependent, never serialized).
+    // An explicit n/a beats silently omitting the line: the reader can tell
+    // "not measured on this platform" from "forgot to look".
     const std::uint64_t rss = support::peak_rss_bytes();
     if (rss > 0) {
       std::fprintf(stderr, "[timing] peak RSS %.1f MiB\n",
                    static_cast<double>(rss) / (1024.0 * 1024.0));
+    } else {
+      std::fprintf(stderr,
+                   "[timing] peak RSS n/a (not measurable on this"
+                   " platform)\n");
     }
   }
 };
 
-void print_usage() {
-  std::printf(
-      "fba_sim — run any protocol under any timing model and adversary\n\n"
-      "usage: fba_sim [flags]\n"
+/// The flag vocabulary, shared with every bench through
+/// benchutil::parse_common_flags (--help and unknown-flag errors print the
+/// same generated usage block).
+benchutil::CommonSpec sim_spec() {
+  benchutil::CommonSpec spec;
+  spec.binary = "fba_sim";
+  spec.description =
+      "run any protocol under any timing model and adversary";
+  spec.extra_usage =
       "  --protocol=NAME    aer | ba | ae | flood | sqrt | snowball"
       " (default aer)\n"
       "  --n=N              network size (default 256)\n"
@@ -92,52 +104,44 @@ void print_usage() {
       "  --budget=N         Algorithm 3 answer-budget override\n"
       "  --model=NAME       sync | sync-nr | async (default sync)\n"
       "  --reduction=NAME   aer | sqrt | flood (BA composition only)\n"
-      "  --timing           print the setup-vs-run wall-time split of the\n"
-      "                     sweep's trials (sampler precompute vs engine)\n"
       "  --attack=equivocate  AE-tournament-only attack (--protocol=ae;\n"
-      "                     the registry below drives the other protocols)\n"
-      "%s",
-      exp::scenario_usage().c_str());
-}
-
-bool parse_flag(const char* arg, const char* name, std::string& out) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    out = arg + len + 1;
-    return true;
-  }
-  return false;
+      "                     the registry below drives the other protocols)\n";
+  spec.extra_flags = {"--protocol=", "--n=",     "--seed=",
+                      "--corrupt=",  "--know=",  "--d=",
+                      "--budget=",   "--model=", "--reduction="};
+  spec.sections = {.attacks = true, .faults = true};
+  spec.accept_timing = true;
+  spec.accept_scale = false;  // runs are sized with --n/--trials directly.
+  return spec;
 }
 
 Options parse(int argc, char** argv) {
+  // parse_common_flags owns --help, the shared flags and unknown-flag
+  // rejection; the fba_sim-specific values are read out afterwards.
+  const benchutil::CommonOptions common =
+      benchutil::parse_common_flags(argc, argv, sim_spec());
+
   Options opt;
-  std::string value;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--help") == 0 ||
-        std::strcmp(argv[i], "-h") == 0) {
-      print_usage();
-      std::exit(0);
-    }
-    if (parse_flag(argv[i], "--protocol", value)) opt.protocol = value;
-    else if (parse_flag(argv[i], "--n", value)) opt.n = std::stoull(value);
-    else if (parse_flag(argv[i], "--seed", value)) opt.seed = std::stoull(value);
-    else if (parse_flag(argv[i], "--corrupt", value)) opt.corrupt = std::stod(value);
-    else if (parse_flag(argv[i], "--know", value)) opt.know = std::stod(value);
-    else if (parse_flag(argv[i], "--d", value)) opt.d = std::stoull(value);
-    else if (parse_flag(argv[i], "--budget", value)) opt.budget = std::stoull(value);
-    else if (parse_flag(argv[i], "--model", value)) opt.model = value;
-    else if (parse_flag(argv[i], "--attack", value)) opt.attack = value;
-    else if (parse_flag(argv[i], "--fault", value)) opt.fault = value;
-    else if (parse_flag(argv[i], "--reduction", value)) opt.reduction = value;
-    else if (parse_flag(argv[i], "--json", value)) opt.json = value;
-    else if (parse_flag(argv[i], "--trials", value)) opt.trials = std::stoull(value);
-    else if (parse_flag(argv[i], "--threads", value)) opt.threads = std::stoull(value);
-    else if (std::strcmp(argv[i], "--timing") == 0) opt.timing = true;
-    else {
-      std::fprintf(stderr, "unknown flag: %s (--help lists flags)\n", argv[i]);
-      std::exit(2);
-    }
-  }
+  opt.attack = common.attack;
+  opt.fault = common.fault;
+  opt.json = common.json;
+  opt.timing = common.timing;
+  if (common.trials_override > 0) opt.trials = common.trials_override;
+  opt.threads = common.threads;
+
+  using benchutil::flag_value;
+  using benchutil::string_flag;
+  opt.protocol = string_flag(argc, argv, "--protocol", opt.protocol.c_str());
+  opt.n = flag_value(argc, argv, "--n", opt.n);
+  opt.seed = flag_value(argc, argv, "--seed", opt.seed);
+  opt.model = string_flag(argc, argv, "--model", opt.model.c_str());
+  opt.reduction = string_flag(argc, argv, "--reduction", opt.reduction.c_str());
+  opt.d = flag_value(argc, argv, "--d", opt.d);
+  opt.budget = flag_value(argc, argv, "--budget", opt.budget);
+  const std::string corrupt = string_flag(argc, argv, "--corrupt", "");
+  if (!corrupt.empty()) opt.corrupt = std::stod(corrupt);
+  const std::string know = string_flag(argc, argv, "--know", "");
+  if (!know.empty()) opt.know = std::stod(know);
   return opt;
 }
 

@@ -50,8 +50,13 @@ AerWorld build_aer_world(const AerConfig& config,
   return world;
 }
 
-void build_aer_world_into(AerWorld& world, const AerConfig& config,
-                          const CorruptPicker& pick_corrupt) {
+namespace {
+
+/// Shared body of the two build_aer_world_into overloads: `fixed_corrupt`
+/// (when non-null) bypasses both the picker and the random draw.
+void build_world_impl(AerWorld& world, const AerConfig& config,
+                      const CorruptPicker& pick_corrupt,
+                      const std::vector<NodeId>* fixed_corrupt) {
   FBA_REQUIRE(config.n >= 8, "AER needs at least 8 nodes");
   const std::size_t n = config.n;
   const std::size_t t = config.resolved_t();
@@ -86,7 +91,9 @@ void build_aer_world_into(AerWorld& world, const AerConfig& config,
 
   // Non-adaptive corruption, before any protocol activity.
   Rng corrupt_rng = setup_rng.split(0xc0u);
-  if (pick_corrupt) {
+  if (fixed_corrupt != nullptr) {
+    world.view.corrupt.assign(fixed_corrupt->begin(), fixed_corrupt->end());
+  } else if (pick_corrupt) {
     world.view.corrupt = pick_corrupt(n, t, corrupt_rng, shared);
   } else {
     adv::random_corruption_into(n, t, corrupt_rng, world.view.corrupt);
@@ -128,6 +135,18 @@ void build_aer_world_into(AerWorld& world, const AerConfig& config,
     }
   }
   world.decisions.reset(n);
+}
+
+}  // namespace
+
+void build_aer_world_into(AerWorld& world, const AerConfig& config,
+                          const CorruptPicker& pick_corrupt) {
+  build_world_impl(world, config, pick_corrupt, nullptr);
+}
+
+void build_aer_world_into(AerWorld& world, const AerConfig& config,
+                          const std::vector<NodeId>& fixed_corrupt) {
+  build_world_impl(world, config, {}, &fixed_corrupt);
 }
 
 void fill_outcome_and_traffic(AerReport& report, const AerWorld& world,

@@ -71,6 +71,15 @@ AerWorld build_aer_world(const AerConfig& config,
 void build_aer_world_into(AerWorld& world, const AerConfig& config,
                           const CorruptPicker& pick_corrupt = {});
 
+/// Fixed-roster variant (the exp::Service grudge path): rebuilds with the
+/// given corrupt set instead of drawing one. The corrupt-set RNG split is
+/// still taken, so pinning a roster changes nothing else about the build's
+/// randomness (gstring, knowledgeable assignment). The roster is copied into
+/// view.corrupt with capacity reuse — no allocation once the world is warm,
+/// so a service can hold a grudge across thousands of instances for free.
+void build_aer_world_into(AerWorld& world, const AerConfig& config,
+                          const std::vector<NodeId>& fixed_corrupt);
+
 struct AerReport {
   std::size_t n = 0;
   std::size_t t = 0;

@@ -44,6 +44,21 @@ class TrialArena {
   aer::AerWorld world;
   aer::RunArena run;
   TrialTiming timing;
+
+  /// Discards every pool, slab and table: the next trial rebuilds from
+  /// nothing, exactly like a first-ever trial. This is the cold baseline of
+  /// the service-mode A/B (ServiceConfig::warm = false / bench_service's
+  /// cold lap) — the warm path's speedup is measured against it. Timing is
+  /// kept: it accounts the run, not the storage.
+  void clear() {
+    world = aer::AerWorld();
+    run.sync.reset();
+    run.async.reset();
+    run.node_pool.clear();
+    run.node_pool.shrink_to_fit();
+    run.active.clear();
+    run.active.shrink_to_fit();
+  }
 };
 
 /// Scale-mode counterpart: the world plus the structure-of-arrays actor

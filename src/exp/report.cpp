@@ -143,6 +143,10 @@ const StatComponent kStatComponents[] = {
     {"p50", [](const SummaryStats& s) { return s.p50; }},
     {"p90", [](const SummaryStats& s) { return s.p90; }},
     {"p99", [](const SummaryStats& s) { return s.p99; }},
+    // Schema v3: absent from v1/v2 files, so stats_from_json must tolerate
+    // a missing component (defaults to 0). Deliberately outside
+    // Aggregate::fingerprint(), so adding it changed no golden values.
+    {"p999", [](const SummaryStats& s) { return s.p999; }},
     {"ci95", [](const SummaryStats& s) { return s.ci95; }},
 };
 
@@ -200,6 +204,10 @@ SummaryStats stats_from_json(const json::Value& v) {
   s.p50 = v.at("p50").as_double();
   s.p90 = v.at("p90").as_double();
   s.p99 = v.at("p99").as_double();
+  // v1/v2 files predate p999: load it as 0, matching what those writers
+  // would have summarized for an untracked quantile.
+  const json::Value* p999 = v.find("p999");
+  s.p999 = p999 != nullptr ? p999->as_double() : 0;
   s.ci95 = v.at("ci95").as_double();
   return s;
 }
@@ -278,6 +286,24 @@ json::Value point_json(const ReportPoint& rp) {
   }
   out.set("traffic_by_kind", std::move(traffic));
 
+  // Service-mode wall-clock load (schema v3). Environment-dependent by
+  // definition — the one block outside the determinism contract besides
+  // meta.git_version: not fingerprinted, not diffed, absent from the CSV.
+  if (rp.has_load) {
+    const PointLoad& l = rp.load;
+    json::Value load = json::Value::object();
+    load.set("wall_seconds", l.wall_seconds);
+    load.set("instances_per_sec", l.instances_per_sec);
+    load.set("wall_ms_p50", l.wall_ms_p50);
+    load.set("wall_ms_p99", l.wall_ms_p99);
+    load.set("wall_ms_p999", l.wall_ms_p999);
+    load.set("queue_depth_mean", l.queue_depth_mean);
+    load.set("queue_depth_max", std::uint64_t{l.queue_depth_max});
+    load.set("push_blocks", std::uint64_t{l.push_blocks});
+    load.set("pop_blocks", std::uint64_t{l.pop_blocks});
+    out.set("load", std::move(load));
+  }
+
   out.set("fingerprint", hex_u64(a.fingerprint()));
   return out;
 }
@@ -353,6 +379,20 @@ ReportPoint point_from_json(const json::Value& v) {
                 "report: traffic_by_kind out of kind order");
     a.msgs_by_kind[k] = entry.at("msgs_mean").as_double();
     a.bits_by_kind[k] = stats_from_json(entry.at("bits"));
+  }
+
+  const json::Value* load = v.find("load");
+  if (load != nullptr) {
+    rp.has_load = true;
+    rp.load.wall_seconds = load->at("wall_seconds").as_double();
+    rp.load.instances_per_sec = load->at("instances_per_sec").as_double();
+    rp.load.wall_ms_p50 = load->at("wall_ms_p50").as_double();
+    rp.load.wall_ms_p99 = load->at("wall_ms_p99").as_double();
+    rp.load.wall_ms_p999 = load->at("wall_ms_p999").as_double();
+    rp.load.queue_depth_mean = load->at("queue_depth_mean").as_double();
+    rp.load.queue_depth_max = load->at("queue_depth_max").as_uint64();
+    rp.load.push_blocks = load->at("push_blocks").as_uint64();
+    rp.load.pop_blocks = load->at("pop_blocks").as_uint64();
   }
 
   const std::string stored = v.at("fingerprint").as_string();
@@ -545,7 +585,7 @@ double metric_value(const Aggregate& aggregate, std::string_view name) {
   }
   throw ConfigError("report: unknown metric \"" + std::string(name) +
                     "\" (stats — suffix with .count/.mean/.stddev/.min/.max/"
-                    ".p50/.p90/.p99/.ci95: " + stats +
+                    ".p50/.p90/.p99/.p999/.ci95: " + stats +
                     "; scalars: " + scalars + ")");
 }
 
@@ -654,9 +694,10 @@ Report Report::from_json(std::string_view text) {
                   root.at("schema").as_string() == "fba.report",
               "report: not an fba.report document");
   const std::uint64_t version = root.at("schema_version").as_uint64();
-  // v1 is a strict subset of v2 (no stats.mem_bytes_per_node entry), so
-  // both parse with the same code path.
-  FBA_REQUIRE(version == 1 || version == kReportSchemaVersion,
+  // Each version is a strict subset of the next (v2 added the
+  // stats.mem_bytes_per_node entry, v3 the p999 component and the optional
+  // load block), so all of them parse with the same tolerant code path.
+  FBA_REQUIRE(version >= 1 && version <= kReportSchemaVersion,
               "report: schema version " + std::to_string(version) +
                   " unsupported (this build reads versions 1-" +
                   std::to_string(kReportSchemaVersion) +
@@ -701,7 +742,9 @@ Report Report::from_json_file(const std::string& path) {
 std::string Report::to_csv() const {
   std::string out;
   // Header: identity, axes, provenance, counts, then the stat columns and
-  // per-kind traffic. One row per point, stable column order (schema v2).
+  // per-kind traffic. One row per point, stable column order (schema v3).
+  // The per-point load block is JSON-only: wall-clock cells would make the
+  // CSV environment-dependent.
   out += "figure,series,label,index,n,model,corrupt_fraction,attack,fault"
          ",d,t,gstring_bits,node_id_bits,answer_budget"
          ",trials,agreements,agreement_rate,decided_fraction"

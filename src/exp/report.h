@@ -39,9 +39,11 @@ namespace fba::exp {
 
 /// Bumped whenever the JSON layout changes; readers accept the versions
 /// they can parse (docs/output-schema.md tracks the history). v2 added the
-/// mem_bytes_per_node stat; v1 files (which lack it) still load, with the
-/// stat defaulting to all-zero.
-inline constexpr std::uint64_t kReportSchemaVersion = 2;
+/// mem_bytes_per_node stat; v3 added the p999 stat component and the
+/// optional per-point `load` block (service mode). Older files still load:
+/// missing stats/components default to zero, a missing load block to
+/// "absent".
+inline constexpr std::uint64_t kReportSchemaVersion = 3;
 
 /// Quantities the config resolves per point (functions of n and the base
 /// config), recorded so a report is interpretable without the binary.
@@ -57,11 +59,30 @@ struct PointProvenance {
 PointProvenance point_provenance(const aer::AerConfig& base,
                                  const GridPoint& point);
 
-/// One serialized grid point: axes + provenance + the full Aggregate.
+/// Wall-clock load figures of a service-mode point (schema v3). By nature
+/// environment-dependent, so this block sits OUTSIDE the determinism
+/// contract: never fingerprinted, never compared by Report::diff, absent
+/// from the CSV — serialized to JSON purely as information for the reader.
+struct PointLoad {
+  double wall_seconds = 0;
+  double instances_per_sec = 0;  ///< sustained stream throughput.
+  double wall_ms_p50 = 0;        ///< per-instance wall latency quantiles.
+  double wall_ms_p99 = 0;
+  double wall_ms_p999 = 0;
+  double queue_depth_mean = 0;  ///< generate->execute queue occupancy.
+  std::uint64_t queue_depth_max = 0;
+  std::uint64_t push_blocks = 0;  ///< backpressure events (queue full).
+  std::uint64_t pop_blocks = 0;   ///< starvation events (queue empty).
+};
+
+/// One serialized grid point: axes + provenance + the full Aggregate, plus
+/// an optional wall-clock load block (service-mode points only).
 struct ReportPoint {
   GridPoint point;
   PointProvenance provenance;
   Aggregate aggregate;
+  bool has_load = false;  ///< true iff `load` carries data (service mode).
+  PointLoad load{};
 };
 
 struct ReportSeries {
@@ -94,7 +115,7 @@ struct ReportMeta {
 /// mean_sent_bits, imbalance, decision_time, fault_dropped_msgs,
 /// fault_dropped_bits, mem_bytes_per_node;
 /// fields: count, mean, stddev, min, max, p50, p90,
-/// p99, ci95) — or a scalar: agreement_rate, decided_fraction, trials,
+/// p99, p999, ci95) — or a scalar: agreement_rate, decided_fraction, trials,
 /// agreements, engine_incomplete, wrong_decisions,
 /// wrong_decisions_per_trial, stalled_nodes,
 /// ae_rounds, reduction_time, ae_bits, reduction_bits, push_bits_per_node,

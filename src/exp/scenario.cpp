@@ -49,6 +49,12 @@ const std::vector<ScenarioEntry>& attack_registry() {
       {"skew", "load-skew quorum seizure against node 0 (Figure 1a)"},
       {"skew-heavy", "skew with bench_fig1a's larger string-search budget"},
       {"combo", "junk + wrong + stuff composed"},
+      {"grudge-silent",
+       "silent from ONE corrupt roster held across service instances"},
+      {"grudge-wrong",
+       "wrong-answer grudge: a fixed roster attacks every instance"},
+      {"grudge-stuff",
+       "poll-stuffing grudge: a fixed roster attacks every instance"},
   };
   return kAttacks;
 }
@@ -65,6 +71,8 @@ const std::vector<ScenarioEntry>& fault_registry() {
       {"split-minority", "20% of nodes cut off over [1, 5)"},
       {"churn-10pct", "10% of nodes dark over [1, 5), then back"},
       {"churn-heavy", "25% of nodes dark over [1, 8)"},
+      {"slow-burn-churn",
+       "churn ramping 5%->25% across a service stream (10% standalone)"},
   };
   return kFaults;
 }
@@ -97,7 +105,7 @@ std::string scenario_usage(const UsageSections& sections) {
     out += "report output (docs/output-schema.md):\n"
            "  --json=FILE        write the run's aggregates as a versioned"
            " fba.report\n"
-           "                     JSON document (schema v2)\n";
+           "                     JSON document (schema v3)\n";
   }
   return out;
 }
@@ -108,8 +116,29 @@ std::string scenario_usage() {
                     .json = true});
 }
 
+bool is_grudge_attack(const std::string& name) {
+  return name.rfind("grudge-", 0) == 0;
+}
+
+std::string attack_base(const std::string& name) {
+  if (!is_grudge_attack(name)) return name;
+  const std::string base = name.substr(7);
+  // Only the registered grudge variants are valid; reject e.g.
+  // "grudge-bogus" through the same unknown-attack path as any other typo.
+  for (const ScenarioEntry& e : attack_registry()) {
+    if (name == e.name) return base;
+  }
+  return name;
+}
+
 aer::StrategyFactory attack_factory(const std::string& name) {
   if (name.empty() || name == "none") return {};
+  if (is_grudge_attack(name) && attack_base(name) != name) {
+    // The grudge part (one corrupt roster pinned across instances) lives in
+    // exp::Service; standalone runs degrade to the base strategy with the
+    // usual per-trial roster.
+    return attack_factory(attack_base(name));
+  }
   if (name == "silent") {
     return [](const aer::AerWorldView&) {
       return std::make_unique<adv::SilentStrategy>();
@@ -223,6 +252,12 @@ sim::FaultPlan fault_plan_factory(const std::string& name) {
   }
   if (name == "churn-heavy") {
     plan.churns.push_back({.down = 1, .up = 8, .fraction = 0.25});
+    return plan;
+  }
+  if (name == "slow-burn-churn") {
+    // Standalone fixed point of the ramp; exp::Service re-derives the
+    // per-instance fraction (service_fault_plan in exp/service.cpp).
+    plan.churns.push_back({.down = 1, .up = 6, .fraction = 0.10});
     return plan;
   }
   throw ConfigError("unknown fault preset: " + name +

@@ -56,6 +56,16 @@ aer::StrategyFactory attack_factory(const std::string& name);
 /// Names accepted by attack_factory, for --help strings.
 std::vector<std::string> known_attacks();
 
+/// True when `name` has the grudge- prefix of the persistent attacks: under
+/// exp::Service one corrupt roster (drawn once from the service seed) is
+/// pinned across every instance; standalone runs degrade to the base
+/// strategy with the usual per-trial roster.
+bool is_grudge_attack(const std::string& name);
+/// "grudge-wrong" -> "wrong" for the registered grudge variants; returns
+/// `name` unchanged otherwise (including unknown grudge-* typos, which then
+/// fail attack_factory's unknown-attack path).
+std::string attack_base(const std::string& name);
+
 /// Resolves a fault-preset name to a sim::FaultPlan (net/fault.h) — the
 /// second half of the scenario vocabulary, composable with every attack
 /// (names and descriptions: fault_registry(); "" is accepted as "none").

@@ -37,6 +37,7 @@
 #include "exp/grid.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
+#include "exp/service.h"
 #include "exp/stats.h"
 #include "exp/sweep.h"
 #include "net/async_engine.h"
@@ -61,3 +62,5 @@
 #include "support/siphash.h"
 #include "support/table.h"
 #include "support/types.h"
+#include "svc/pipeline.h"
+#include "svc/queue.h"

@@ -1,0 +1,77 @@
+// Stage-worker pool for the service pipeline: spawn N threads running
+// fn(worker_index), join them all, rethrow the first failure.
+//
+// Unlike exp::run_indexed_workers (which fans a counted task list out and
+// joins), pipeline stages are long-lived loops that terminate by queue
+// close(); the pool's job is only lifetime + exception plumbing. on_error
+// runs on the *failing* thread before the exception is stored — the service
+// uses it to close the queues so every other stage unblocks and the join
+// cannot deadlock on a dead producer.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fba::svc {
+
+class StagePool {
+ public:
+  StagePool() = default;
+  StagePool(const StagePool&) = delete;
+  StagePool& operator=(const StagePool&) = delete;
+  ~StagePool() { join_all_noexcept(); }
+
+  /// Unblocks the other stages when any worker throws (typically: close the
+  /// pipeline's queues). May be invoked from several failing threads; must
+  /// be idempotent.
+  void set_on_error(std::function<void()> fn) { on_error_ = std::move(fn); }
+
+  /// Spawns `count` threads running fn(0..count-1).
+  template <typename Fn>
+  void spawn(std::size_t count, Fn fn) {
+    for (std::size_t i = 0; i < count; ++i) {
+      threads_.emplace_back([this, fn, i]() mutable {
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_) error_ = std::current_exception();
+          }
+          if (on_error_) on_error_();
+        }
+      });
+    }
+  }
+
+  /// Joins every spawned thread, then rethrows the first stored exception.
+  void join() {
+    join_all_noexcept();
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::swap(error, error_);
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  void join_all_noexcept() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  std::vector<std::thread> threads_;
+  std::function<void()> on_error_;
+  std::mutex mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace fba::svc

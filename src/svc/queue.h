@@ -1,0 +1,116 @@
+// Bounded blocking queue for the service pipeline (exp/service.h).
+//
+// The instance stream flows generate -> execute -> reduce through these:
+// fixed capacity (preallocated ring, no allocation after construction),
+// close() semantics for clean drain on shutdown or failure, and depth /
+// block counters so the service can report backpressure. Capacity doubles
+// as the pipeline's flow control: the generator blocks once `capacity`
+// instances are in flight, which is exactly the arena-pool bound.
+//
+// Plain mutex + condvar, MPMC. The pipeline moves a handful of small slot
+// descriptors per instance — an instance is milliseconds of protocol work —
+// so queue overhead is noise; simplicity and correct blocking beat a
+// lock-free ring here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/types.h"
+
+namespace fba::svc {
+
+/// Contention/backpressure counters one queue accumulates over its life;
+/// harvested single-threaded after the pipeline joins.
+struct QueueStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t depth_sum = 0;    ///< depth observed at each push (after it).
+  std::uint64_t depth_max = 0;
+  std::uint64_t push_blocks = 0;  ///< pushes that found the queue full.
+  std::uint64_t pop_blocks = 0;   ///< pops that found the queue empty.
+
+  double mean_depth() const {
+    return pushes ? static_cast<double>(depth_sum) / static_cast<double>(pushes)
+                  : 0;
+  }
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : ring_(capacity ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns false (drops `value`) iff the queue was
+  /// closed before space freed up.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == ring_.size()) {
+      ++stats_.push_blocks;
+      not_full_.wait(lock, [this] { return size_ < ring_.size() || closed_; });
+    }
+    if (closed_) return false;
+    ring_[(head_ + size_) % ring_.size()] = std::move(value);
+    ++size_;
+    ++stats_.pushes;
+    stats_.depth_sum += size_;
+    if (size_ > stats_.depth_max) stats_.depth_max = size_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns false iff the queue is closed AND drained —
+  /// items pushed before close() are always delivered.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == 0) {
+      ++stats_.pop_blocks;
+      not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
+    }
+    if (size_ == 0) return false;  // closed and drained.
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    ++stats_.pops;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wakes every blocked producer/consumer; subsequent pushes are refused,
+  /// pops drain what remains. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Only meaningful once all producers/consumers have stopped.
+  const QueueStats& stats() const { return stats_; }
+
+ private:
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  QueueStats stats_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+};
+
+}  // namespace fba::svc

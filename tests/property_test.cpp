@@ -151,5 +151,66 @@ TEST(PropertyTest, RandomizedTrialsPreserveProtocolInvariants) {
   EXPECT_GE(clean_runs, 1u);
 }
 
+// Service-mode invariant: across a randomized stream of repeated-consensus
+// instances — persistent grudge rosters, churn that spans instance
+// boundaries and ramps as the stream ages — safety must hold for EVERY
+// instance (wrong_decisions stays 0 over the whole stream; liveness may
+// degrade, agreement_rate may drop), and the deterministic results must be
+// independent of how the pipeline is parallelized.
+TEST(PropertyTest, ServiceStreamsPreserveSafetyUnderPersistentAdversaries) {
+  const std::uint64_t base_seed = property_seed();
+  Rng axis_rng(base_seed ^ 0x73767063ull);  // "svpc": distinct axis draws
+
+  const std::vector<std::size_t> ns = {32, 48, 64};
+  const std::vector<std::string> attacks = {"none", "grudge-silent",
+                                            "grudge-wrong", "grudge-stuff"};
+  const std::vector<std::string> faults = {"", "churn-10pct",
+                                           "slow-burn-churn"};
+
+  // A handful of short streams rather than one long one: the per-stream
+  // cost is ~instances full protocol runs, so the axis coverage comes from
+  // stream variety.
+  const std::size_t streams = std::min<std::size_t>(6, property_trials());
+  for (std::size_t s = 0; s < streams; ++s) {
+    exp::ServiceConfig config;
+    config.base.n = pick(axis_rng, ns);
+    config.base.model = aer::Model::kSyncRushing;
+    config.base_seed = exp::trial_seed(base_seed, /*point_index=*/1, s);
+    config.instances = 8;
+    // Stream 0 always exercises the headline combination: a pinned grudge
+    // roster under churn that ramps across instance boundaries.
+    config.attack = s == 0 ? "grudge-wrong" : pick(axis_rng, attacks);
+    config.fault = s == 0 ? "slow-burn-churn" : pick(axis_rng, faults);
+
+    SCOPED_TRACE("stream " + std::to_string(s) + ": n=" +
+                 std::to_string(config.base.n) + " attack=" + config.attack +
+                 " fault=" + (config.fault.empty() ? "none" : config.fault) +
+                 " seed=" + std::to_string(config.base_seed));
+
+    const exp::ServiceResult serial = exp::run_service(config);
+    const exp::ServiceStats& stats = serial.stats;
+
+    // --- safety across the stream: no instance ever decides wrong.
+    EXPECT_EQ(stats.wrong_decisions, 0u);
+    EXPECT_EQ(stats.instances, config.instances);
+    EXPECT_LE(stats.agreements, stats.instances);
+    EXPECT_LE(stats.stalled_nodes, stats.correct_nodes);
+
+    // --- the memoryless honest stream must stay fully live.
+    if (config.attack == "none" && config.fault.empty()) {
+      EXPECT_EQ(stats.agreements, stats.instances);
+      EXPECT_EQ(stats.stalled_nodes, 0u);
+    }
+
+    // --- parallelization independence: a pipelined run with cold arenas
+    // must reproduce the serial warm run bit for bit.
+    exp::ServiceConfig pipelined = config;
+    pipelined.workers = 2;
+    pipelined.warm = (s % 2 == 0);
+    EXPECT_EQ(exp::run_service(pipelined).stats.fingerprint(),
+              stats.fingerprint());
+  }
+}
+
 }  // namespace
 }  // namespace fba

@@ -95,7 +95,7 @@ TEST(ReportTest, SerializedOutputIsByteIdenticalAcrossThreadCounts) {
 
 TEST(ReportTest, SchemaVersionGuardRejectsOtherVersions) {
   std::string doc = small_report(1).to_json();
-  const std::string needle = "\"schema_version\": 2";
+  const std::string needle = "\"schema_version\": 3";
   const std::size_t pos = doc.find(needle);
   ASSERT_NE(pos, std::string::npos);
   doc.replace(pos, needle.size(), "\"schema_version\": 999");
@@ -110,14 +110,28 @@ TEST(ReportTest, SchemaVersionGuardRejectsOtherVersions) {
 }
 
 // Backward compatibility: a v1 document — no stats.mem_bytes_per_node
-// entry — still loads, with the missing stat defaulting to all-zero
-// (docs/output-schema.md version history).
+// entry (v2) and no p999 components (v3) — still loads, with the missing
+// stat defaulting to all-zero and p999 to 0 (docs/output-schema.md
+// version history).
 TEST(ReportTest, SchemaV1DocumentsStillParse) {
   std::string doc = small_report(1).to_json();
-  const std::string version_needle = "\"schema_version\": 2";
+  const std::string version_needle = "\"schema_version\": 3";
   const std::size_t version_pos = doc.find(version_needle);
   ASSERT_NE(version_pos, std::string::npos);
   doc.replace(version_pos, version_needle.size(), "\"schema_version\": 1");
+  // Strip every p999 component, which only v3 writers emit. It sits
+  // between p99 and ci95, so erase through its trailing comma.
+  const std::string p999_needle = "\"p999\": ";
+  std::size_t p999_pos;
+  while ((p999_pos = doc.find(p999_needle)) != std::string::npos) {
+    std::size_t comma = doc.find(',', p999_pos);
+    ASSERT_NE(comma, std::string::npos);
+    std::size_t start = p999_pos;
+    while (start > 0 && (doc[start - 1] == '\n' || doc[start - 1] == ' ')) {
+      --start;
+    }
+    doc.erase(start, comma + 1 - start);
+  }
   // Strip every mem_bytes_per_node stats object, as a v1 writer would
   // never have emitted one.
   const std::string stat_needle = "\"mem_bytes_per_node\": {";
