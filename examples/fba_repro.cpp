@@ -24,6 +24,10 @@
 //   fault-matrix — beyond-the-model degradation: decided fraction per
 //                  fault preset for both engines at n=128 (composable with
 //                  --attack).
+//   adaptive     — resilience boundary vs an adaptive adversary: agreement
+//                  rate as the runtime corruption budget grows, for every
+//                  adaptive-* attack under both engines (composable with
+//                  --fault; --attack pins a single strategy).
 //
 // Every figure writes BENCH_<figure>.{json,csv,md,gp} under --out (JSON/CSV
 // per docs/output-schema.md; .md embeds an ASCII rendering, .gp is a
@@ -61,7 +65,7 @@ struct Options {
 
 constexpr const char* kUsageExtra =
     "  --figure=NAME      fig1a | fig1b | fig2 | fig3 | fig3-scale |\n"
-    "                     fault-matrix | service\n"
+    "                     fault-matrix | adaptive | service\n"
     "  --out=DIR          output directory (default results/); writes\n"
     "                     BENCH_<figure>.{json,csv,md,gp}\n"
     "  --baseline=FILE    diff this run against a committed fba.report JSON;\n"
@@ -69,9 +73,10 @@ constexpr const char* kUsageExtra =
     "  --validate=FILE    parse FILE against the report schema (fingerprint\n"
     "                     revalidation included) and exit; no sweep runs\n"
     "  --seed=N           base seed (default 20130722)\n"
-    "  --attack applies to fault-matrix and fig3-scale; --fault applies one\n"
-    "  preset to the fig1a/fig1b/fig2/fig3-scale sweeps (fig3 is\n"
-    "  sampler-only and ignores both; service pins its own plan matrix).\n";
+    "  --attack applies to fault-matrix, adaptive and fig3-scale; --fault\n"
+    "  applies one preset to the fig1a/fig1b/fig2/fig3-scale/adaptive sweeps\n"
+    "  (fig3 is sampler-only and ignores both; service pins its own plan\n"
+    "  matrix).\n";
 
 /// The flag vocabulary, shared with every bench through
 /// benchutil::parse_common_flags — a typoed --baseline must not silently
@@ -389,6 +394,46 @@ exp::Report run_fault_matrix(const Options& opt, std::size_t trials) {
   return report;
 }
 
+// ---- adaptive: resilience boundary under runtime corruptions ----------------
+
+exp::Report run_adaptive(const Options& opt, std::size_t trials) {
+  exp::Report report = figure_report(
+      opt, "adaptive",
+      "Adaptive adversary: agreement vs runtime corruption budget", "budget",
+      "agreement_rate", "agreement rate", trials);
+
+  aer::AerConfig base;
+  base.n = opt.scale == Scale::kQuick ? 64 : 128;
+  base.seed = opt.seed;
+  base.max_rounds = 60;
+  base.max_time = 60.0;
+  // First flip only after round/time 2: the tap needs a little traffic
+  // before the degree/quorum/king scores distinguish anybody.
+  base.adaptive_from = 2.0;
+
+  // Budget 0 anchors each curve at the static baseline; the rest doubles
+  // through the liveness knee (around budget 8 at n=64) to the full
+  // collapse past the paper's t < (1/3 - eps) n resilience boundary.
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies =
+      opt.attack == "none"
+          ? std::vector<std::string>{"adaptive-degree", "adaptive-quorum",
+                                     "adaptive-king", "adaptive-random"}
+          : std::vector<std::string>{opt.attack};
+  if (opt.fault != "none") grid.faults = {opt.fault};
+  grid.budgets = {0, 2, 4, 8, 16};
+
+  exp::Sweep sweep(base, grid, trials);
+  sweep.set_threads(opt.threads);
+  sweep.set_progress(progress("adaptive"));
+  benchutil::add_split_series(
+      report, base, sweep.run(), [](const exp::GridPoint& p) {
+        return p.strategy + "/" + aer::model_name(p.model);
+      });
+  return report;
+}
+
 // ---- service: heavy-traffic streaming mode ----------------------------------
 
 exp::Report run_service_figure(const Options& opt, std::size_t trials) {
@@ -509,13 +554,15 @@ int main(int argc, char** argv) {
       report = run_fig3_scale(opt, trials);
     } else if (opt.figure == "fault-matrix") {
       report = run_fault_matrix(opt, trials);
+    } else if (opt.figure == "adaptive") {
+      report = run_adaptive(opt, trials);
     } else if (opt.figure == "service") {
       report = run_service_figure(opt, trials);
     } else {
       std::fprintf(stderr,
                    "%s --figure=%s: unknown figure (known: fig1a, fig1b,"
-                   " fig2, fig3, fig3-scale, fault-matrix, service; --help"
-                   " for details)\n",
+                   " fig2, fig3, fig3-scale, fault-matrix, adaptive, service;"
+                   " --help for details)\n",
                    argv[0], opt.figure.c_str());
       return 2;
     }

@@ -10,6 +10,8 @@
 //
 // Flags (all optional): --n, --seed, --corrupt (fraction), --know
 // (knowledgeable fraction), --d (quorum size), --budget (answer budget),
+// --adaptive-budget (runtime corruptions the adversary may spend mid-run),
+// --adaptive-from (round/time of the earliest runtime corruption),
 // --model=sync|sync-nr|async, --attack=<exp::known_attacks()>,
 // --fault=<exp::known_faults()> (loss / partition / churn presets,
 // composable with any attack), --reduction=aer|sqrt|flood. With
@@ -45,6 +47,8 @@ struct Options {
   double know = 0.95;
   std::size_t d = 0;
   std::size_t budget = 0;
+  std::size_t adaptive_budget = 0;
+  double adaptive_from = 1.0;
   std::string model = "sync";
   std::string attack = "none";
   std::string fault = "none";
@@ -102,17 +106,40 @@ benchutil::CommonSpec sim_spec() {
       " (default 0.95)\n"
       "  --d=N              quorum/poll-list size override\n"
       "  --budget=N         Algorithm 3 answer-budget override\n"
+      "  --adaptive-budget=N  runtime corruptions an adaptive-* attack may\n"
+      "                     spend mid-run (default 0 = the paper's static"
+      " model)\n"
+      "  --adaptive-from=F  earliest round (sync) / time (async) of a runtime\n"
+      "                     corruption (default 1)\n"
       "  --model=NAME       sync | sync-nr | async (default sync)\n"
       "  --reduction=NAME   aer | sqrt | flood (BA composition only)\n"
       "  --attack=equivocate  AE-tournament-only attack (--protocol=ae;\n"
       "                     the registry below drives the other protocols)\n";
   spec.extra_flags = {"--protocol=", "--n=",     "--seed=",
                       "--corrupt=",  "--know=",  "--d=",
-                      "--budget=",   "--model=", "--reduction="};
+                      "--budget=",   "--model=", "--reduction=",
+                      "--adaptive-budget=", "--adaptive-from="};
   spec.sections = {.attacks = true, .faults = true};
   spec.accept_timing = true;
   spec.accept_scale = false;  // runs are sized with --n/--trials directly.
   return spec;
+}
+
+/// Defensive numeric flag parsing: a bare std::stod would escape as an
+/// uncaught std::invalid_argument on e.g. --corrupt=abc (and silently
+/// accept trailing junk like --corrupt=0.1x); reject both with the usage
+/// convention every other malformed flag follows — one line, exit 2.
+double double_flag(int argc, char** argv, const char* flag, double fallback) {
+  const std::string text = benchutil::string_flag(argc, argv, flag, "");
+  if (text.empty()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "malformed %s=%s (expected a number)\n", flag,
+                 text.c_str());
+    std::exit(2);
+  }
+  return value;
 }
 
 Options parse(int argc, char** argv) {
@@ -138,10 +165,12 @@ Options parse(int argc, char** argv) {
   opt.reduction = string_flag(argc, argv, "--reduction", opt.reduction.c_str());
   opt.d = flag_value(argc, argv, "--d", opt.d);
   opt.budget = flag_value(argc, argv, "--budget", opt.budget);
-  const std::string corrupt = string_flag(argc, argv, "--corrupt", "");
-  if (!corrupt.empty()) opt.corrupt = std::stod(corrupt);
-  const std::string know = string_flag(argc, argv, "--know", "");
-  if (!know.empty()) opt.know = std::stod(know);
+  opt.adaptive_budget =
+      flag_value(argc, argv, "--adaptive-budget", opt.adaptive_budget);
+  opt.adaptive_from =
+      double_flag(argc, argv, "--adaptive-from", opt.adaptive_from);
+  opt.corrupt = double_flag(argc, argv, "--corrupt", opt.corrupt);
+  opt.know = double_flag(argc, argv, "--know", opt.know);
   return opt;
 }
 
@@ -393,6 +422,8 @@ int main(int argc, char** argv) {
   cfg.knowledgeable_fraction = opt.know;
   cfg.d_override = opt.d;
   cfg.answer_budget = opt.budget;
+  cfg.adaptive_budget = opt.adaptive_budget;
+  cfg.adaptive_from = opt.adaptive_from;
   cfg.fault_plan = make_fault(opt.fault);
 
   exp::Sweep::Trial trial;

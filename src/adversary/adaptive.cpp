@@ -1,0 +1,123 @@
+#include "adversary/adaptive.h"
+
+namespace fba::adv {
+
+AdaptiveStrategy::AdaptiveStrategy(const aer::AerWorldView& view)
+    : async_(view.shared->config.model == aer::Model::kAsync),
+      from_(view.shared->config.adaptive_from),
+      next_spend_at_(view.shared->config.adaptive_from) {}
+
+void AdaptiveStrategy::on_round(AdvContext& ctx, Round round, bool rushing) {
+  (void)rushing;
+  if (async_) return;
+  if (static_cast<double>(round) < from_) return;
+  maybe_spend(ctx);
+}
+
+void AdaptiveStrategy::on_observe(AdvContext& ctx, const sim::Envelope& env) {
+  observe(env);
+  // The async engine has no rounds; spend off the tap instead, at most one
+  // corruption per unit of sim time.
+  if (!async_) return;
+  if (ctx.now() < next_spend_at_) return;
+  maybe_spend(ctx);
+}
+
+void AdaptiveStrategy::maybe_spend(AdvContext& ctx) {
+  // Greedy spend: flip victims until the budget runs out or no still-correct
+  // victim is picked. Scores were accumulated since the run began, so by the
+  // first opportunity (adaptive_from) the heuristics have real signal; an
+  // un-spent remainder (pick declined) is retried at the next opportunity.
+  while (ctx.budget_left()) {
+    const NodeId victim = pick_victim(ctx);
+    if (victim >= ctx.n()) return;
+    if (!ctx.corrupt_now(victim)) return;
+    victims_.push_back(victim);
+    next_spend_at_ = ctx.now() + 1.0;
+  }
+}
+
+NodeId AdaptiveStrategy::best_correct(
+    AdvContext& ctx, const std::vector<std::uint64_t>& scores) const {
+  const auto n = static_cast<NodeId>(ctx.n());
+  NodeId best = n;
+  std::uint64_t best_score = 0;
+  for (NodeId id = 0; id < n && id < scores.size(); ++id) {
+    if (ctx.is_corrupt(id)) continue;
+    if (best == n || scores[id] > best_score) {
+      best = id;
+      best_score = scores[id];
+    }
+  }
+  return best;
+}
+
+// ----- degree ----------------------------------------------------------------
+
+AdaptiveDegreeStrategy::AdaptiveDegreeStrategy(const aer::AerWorldView& view)
+    : AdaptiveStrategy(view), sends_by_src_(view.initial.size(), 0) {}
+
+void AdaptiveDegreeStrategy::observe(const sim::Envelope& env) {
+  if (env.src < sends_by_src_.size()) ++sends_by_src_[env.src];
+}
+
+NodeId AdaptiveDegreeStrategy::pick_victim(AdvContext& ctx) {
+  return best_correct(ctx, sends_by_src_);
+}
+
+// ----- quorum ----------------------------------------------------------------
+
+AdaptiveQuorumStrategy::AdaptiveQuorumStrategy(const aer::AerWorldView& view)
+    : AdaptiveStrategy(view), answers_in_(view.initial.size(), 0) {}
+
+void AdaptiveQuorumStrategy::observe(const sim::Envelope& env) {
+  if (env.msg.kind == sim::MessageKind::kAnswer &&
+      env.dst < answers_in_.size()) {
+    ++answers_in_[env.dst];
+  }
+}
+
+NodeId AdaptiveQuorumStrategy::pick_victim(AdvContext& ctx) {
+  return best_correct(ctx, answers_in_);
+}
+
+// ----- king ------------------------------------------------------------------
+
+AdaptiveKingStrategy::AdaptiveKingStrategy(const aer::AerWorldView& view)
+    : AdaptiveStrategy(view), routed_in_(view.initial.size(), 0) {}
+
+void AdaptiveKingStrategy::observe(const sim::Envelope& env) {
+  const sim::MessageKind k = env.msg.kind;
+  if ((k == sim::MessageKind::kPoll || k == sim::MessageKind::kPull ||
+       k == sim::MessageKind::kFw2) &&
+      env.dst < routed_in_.size()) {
+    ++routed_in_[env.dst];
+  }
+}
+
+NodeId AdaptiveKingStrategy::pick_victim(AdvContext& ctx) {
+  return best_correct(ctx, routed_in_);
+}
+
+// ----- random ----------------------------------------------------------------
+
+AdaptiveRandomStrategy::AdaptiveRandomStrategy(const aer::AerWorldView& view)
+    : AdaptiveStrategy(view) {}
+
+NodeId AdaptiveRandomStrategy::pick_victim(AdvContext& ctx) {
+  const auto n = static_cast<NodeId>(ctx.n());
+  std::size_t correct = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    if (!ctx.is_corrupt(id)) ++correct;
+  }
+  if (correct == 0) return n;
+  std::uint64_t k = ctx.adaptive_rng().below(correct);
+  for (NodeId id = 0; id < n; ++id) {
+    if (ctx.is_corrupt(id)) continue;
+    if (k == 0) return id;
+    --k;
+  }
+  return n;
+}
+
+}  // namespace fba::adv

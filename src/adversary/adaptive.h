@@ -1,0 +1,128 @@
+// Adaptive adversary strategies: spend a runtime corruption budget *during*
+// the run (AdvContext::corrupt_now), probing the one assumption the paper's
+// proofs never relax — that the corrupt set is fixed before execution
+// (Section 2.1). Dufoulon–Pandurangan 2025 show adaptivity is exactly where
+// such protocols' bounds move; this family measures how far.
+//
+// Spend cadence: the whole remaining budget is spent greedily at each
+// opportunity — once per synchronous round (on_round) from round >=
+// AerConfig::adaptive_from, or once per unit of sim time under the
+// asynchronous engine (driven off the full-information tap, since async
+// runs have no rounds). By the first opportunity the tap has already fed
+// the scores, so the heuristics pick informed victims; this is the
+// standard adaptive model (corrupt up to t' nodes at chosen moments), and
+// it lets a budget beyond the paper's t < (1/3 - eps) n bound actually
+// cross the resilience boundary before the run completes. The budget
+// itself is enforced engine-side (EngineBase::set_corruption_budget, wired
+// from AerConfig::adaptive_budget by the runners), so a strategy can never
+// overspend.
+//
+// Victim choice is what varies:
+//   - AdaptiveDegreeStrategy : the highest-degree sampler — the correct
+//     node that traffic reveals as the busiest sender.
+//   - AdaptiveQuorumStrategy : the node closest to quorum — the correct
+//     node that has accumulated the most poll answers (about to decide).
+//   - AdaptiveKingStrategy   : the emerging "king" — the correct node most
+//     polled/pulled by others (the pull phase's de-facto coordinator).
+//   - AdaptiveRandomStrategy : a uniform still-correct node (the ablation
+//     baseline: adaptivity without information).
+//
+// All observation state is fed purely by the deterministic message stream,
+// and random picks draw from the dedicated adaptive RNG substream
+// (AdvContext::adaptive_rng), so sweep results stay bit-identical at any
+// thread count — and static-strategy runs are untouched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "aer/protocol.h"
+
+namespace fba::adv {
+
+/// Shared machinery: cadence, budget discipline and the still-correct
+/// argmax scan. Subclasses implement score-keeping + victim choice.
+class AdaptiveStrategy : public Strategy {
+ public:
+  explicit AdaptiveStrategy(const aer::AerWorldView& view);
+
+  void on_round(AdvContext& ctx, Round round, bool rushing) override;
+  void on_observe(AdvContext& ctx, const sim::Envelope& env) override;
+
+  /// Nodes this strategy has flipped so far (in order).
+  const std::vector<NodeId>& victims() const { return victims_; }
+
+ protected:
+  /// Next victim among still-correct nodes; return ctx.n() to skip this
+  /// spend opportunity.
+  virtual NodeId pick_victim(AdvContext& ctx) = 0;
+  /// Per-message score-keeping hook (the full-information tap).
+  virtual void observe(const sim::Envelope& env) { (void)env; }
+
+  /// Highest-scoring still-correct node, lowest id on ties; ctx.n() when
+  /// `scores` is empty.
+  NodeId best_correct(AdvContext& ctx,
+                      const std::vector<std::uint64_t>& scores) const;
+
+  void maybe_spend(AdvContext& ctx);
+
+  bool async_;
+  double from_;           ///< AerConfig::adaptive_from.
+  double next_spend_at_;  ///< async cadence: one corruption per time unit.
+  std::vector<NodeId> victims_;
+};
+
+/// Corrupt the busiest sender: per-source send counts over all observed
+/// traffic.
+class AdaptiveDegreeStrategy final : public AdaptiveStrategy {
+ public:
+  explicit AdaptiveDegreeStrategy(const aer::AerWorldView& view);
+
+ protected:
+  void observe(const sim::Envelope& env) override;
+  NodeId pick_victim(AdvContext& ctx) override;
+
+ private:
+  std::vector<std::uint64_t> sends_by_src_;
+};
+
+/// Corrupt the node closest to quorum: per-destination kAnswer in-degree
+/// (Algorithm 3 answers are what a requester tallies toward its decision
+/// majority).
+class AdaptiveQuorumStrategy final : public AdaptiveStrategy {
+ public:
+  explicit AdaptiveQuorumStrategy(const aer::AerWorldView& view);
+
+ protected:
+  void observe(const sim::Envelope& env) override;
+  NodeId pick_victim(AdvContext& ctx) override;
+
+ private:
+  std::vector<std::uint64_t> answers_in_;
+};
+
+/// Corrupt the emerging coordinator: per-destination kPoll/kPull/kFw2
+/// in-degree — the node the pull phase is routing through.
+class AdaptiveKingStrategy final : public AdaptiveStrategy {
+ public:
+  explicit AdaptiveKingStrategy(const aer::AerWorldView& view);
+
+ protected:
+  void observe(const sim::Envelope& env) override;
+  NodeId pick_victim(AdvContext& ctx) override;
+
+ private:
+  std::vector<std::uint64_t> routed_in_;
+};
+
+/// Corrupt a uniform still-correct node (information-free ablation).
+class AdaptiveRandomStrategy final : public AdaptiveStrategy {
+ public:
+  explicit AdaptiveRandomStrategy(const aer::AerWorldView& view);
+
+ protected:
+  NodeId pick_victim(AdvContext& ctx) override;
+};
+
+}  // namespace fba::adv

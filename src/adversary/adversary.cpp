@@ -23,7 +23,10 @@ void random_corruption_into(std::size_t n, std::size_t t, Rng& rng,
 
 std::size_t max_corrupt(std::size_t n, double eps) {
   const double bound = (1.0 / 3.0 - eps) * static_cast<double>(n);
-  const auto t = static_cast<std::size_t>(std::floor(bound));
+  auto t = static_cast<std::size_t>(std::floor(bound));
+  // The paper's bound is strict: t < (1/3 - eps) n. When the bound is
+  // exactly integral, floor() lands ON it — step down one.
+  if (t > 0 && static_cast<double>(t) == bound) --t;
   return t >= n ? n - 1 : t;
 }
 

@@ -3,6 +3,10 @@
 // Model (Section 2.1): non-adaptive (corrupt set fixed before execution),
 // full information (observes all traffic, knows the public samplers and the
 // whole network), coordinated (one Strategy speaks for every corrupt node).
+// The harness can additionally grant a strategy a *runtime corruption
+// budget* (AdvContext::corrupt_now / adversary/adaptive.h) — the adaptive
+// adversary the paper's proofs exclude; the budget defaults to zero so the
+// paper's model is the default.
 // Corrupt nodes can deviate arbitrarily: the Strategy sends any message from
 // any corrupt node to anyone; authenticated channels only guarantee it
 // cannot forge a *correct* sender identity.
@@ -38,6 +42,25 @@ class AdvContext {
     return engine_.corrupt_nodes();
   }
   bool is_corrupt(NodeId id) const { return engine_.is_corrupt(id); }
+
+  /// Dedicated substream for adaptive corruption choices — draws here never
+  /// perturb rng()'s strategy/delay stream, so enabling adaptivity leaves
+  /// static-strategy runs bit-identical.
+  Rng& adaptive_rng() { return engine_.adaptive_rng(); }
+
+  /// Runtime corruption budget granted to this run (0: the paper's
+  /// non-adaptive model) and how much of it is already spent.
+  std::size_t corruption_budget() const { return engine_.corruption_budget(); }
+  std::size_t corruptions_spent() const { return engine_.corruptions_spent(); }
+  bool budget_left() const {
+    return engine_.corruptions_spent() < engine_.corruption_budget();
+  }
+
+  /// Adaptive corruption: flips `node` mid-run if it is still correct and
+  /// budget remains; returns whether the corruption landed. Honored
+  /// identically by both engines and both actor paths (the flipped node's
+  /// actor is silenced everywhere from this instant on).
+  bool corrupt_now(NodeId node) { return engine_.corrupt_now(node); }
 
   /// Send an arbitrary message from a corrupt node. Rejects correct senders:
   /// channels are authenticated. Forged traffic is charged through the same

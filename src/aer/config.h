@@ -60,6 +60,16 @@ struct AerConfig {
   Round max_rounds = 300;
   double max_time = 300.0;
 
+  /// Runtime corruption budget for adaptive-* strategies (adversary/
+  /// adaptive.h): how many additional nodes the adversary may flip *during*
+  /// the run, on top of the t pre-execution corruptions. 0 (the default)
+  /// keeps the paper's non-adaptive model; static strategies ignore it.
+  std::size_t adaptive_budget = 0;
+  /// Earliest time (sync: round; async: sim time) the adaptive adversary
+  /// may start spending the budget — lets sweeps separate "corrupt early"
+  /// from "corrupt after observing traffic".
+  double adaptive_from = 1.0;
+
   /// Fault conditions applied at the engines' delivery boundary (loss /
   /// partitions / churn, net/fault.h). Empty (the default) keeps the
   /// paper's reliable-channel model. Named presets live in exp/scenario.h

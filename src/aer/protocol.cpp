@@ -1,5 +1,6 @@
 #include "aer/protocol.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "aer/runner.h"
@@ -73,6 +74,7 @@ void build_world_impl(AerWorld& world, const AerConfig& config,
   }
   AerShared& shared = *world.shared;
   world.correct.clear();
+  world.runtime_corrupt.clear();
 
   Rng setup_rng = Rng(config.seed).split(0x5e7u);
 
@@ -149,6 +151,15 @@ void build_aer_world_into(AerWorld& world, const AerConfig& config,
   build_world_impl(world, config, {}, &fixed_corrupt);
 }
 
+bool note_runtime_corruption(AerWorld& world, NodeId node) {
+  world.runtime_corrupt.push_back(node);
+  if (world.decisions.has_decided(node)) return false;
+  auto it = std::find(world.correct.begin(), world.correct.end(), node);
+  if (it == world.correct.end()) return false;
+  world.correct.erase(it);
+  return true;
+}
+
 void fill_outcome_and_traffic(AerReport& report, const AerWorld& world,
                               const TrafficMetrics& metrics) {
   const AerShared& shared = *world.shared;
@@ -196,10 +207,15 @@ void fill_outcome_and_traffic(AerReport& report, const AerWorld& world,
 namespace {
 
 /// AER-specific report sections (candidate lists, deferred-answer peaks).
+/// Walks world.correct (not the dense actor table) so nodes flipped by a
+/// runtime corruption drop out of the harvest, matching the SoA path —
+/// identical to the old whole-table walk for static runs, where `correct`
+/// and the non-null entries of `nodes` coincide.
 void fill_aer_specific(AerReport& report, const AerWorld& world,
                        const std::vector<AerNode*>& nodes) {
   const AerShared& shared = *world.shared;
-  for (AerNode* node : nodes) {
+  for (NodeId id : world.correct) {
+    AerNode* node = nodes[id];
     if (node == nullptr) continue;
     report.sum_candidate_lists += node->candidate_list().size();
     report.max_candidate_list =
@@ -253,13 +269,16 @@ AerReport run_aer_world_arena(AerWorld& world, RunArena& arena,
   if (make_strategy) strategy = make_strategy(world.view);
 
   std::size_t decided = 0;
-  const std::size_t target = world.correct.size();
+  std::size_t target = world.correct.size();
   auto on_decide = [&world, &decided](NodeId node, StringId value,
                                       double time) {
     if (!world.decisions.has_decided(node)) ++decided;
     world.decisions.record(node, value, time);
   };
   auto done = [&] { return decided >= target; };
+  auto on_corrupt = [&world, &target](NodeId node, double /*time*/) {
+    if (note_runtime_corruption(world, node)) --target;
+  };
 
   auto wire_nodes = [&](auto& engine) {
     engine.set_wire(&world.shared->wire());
@@ -268,6 +287,13 @@ AerReport run_aer_world_arena(AerWorld& world, RunArena& arena,
     arena.wire_actors(engine, world);
     engine.set_strategy(strategy.get());
     engine.set_decision_callback(on_decide);
+    engine.set_corruption_budget(config.adaptive_budget);
+    engine.set_corruption_callback(on_corrupt);
+  };
+  auto harvest_adaptive = [&report](auto& engine) {
+    report.runtime_corruptions = engine.corruptions_spent();
+    report.first_corruption_time = engine.first_corruption_time();
+    report.last_corruption_time = engine.last_corruption_time();
   };
 
   if (config.model == Model::kAsync) {
@@ -282,6 +308,7 @@ AerReport run_aer_world_arena(AerWorld& world, RunArena& arena,
     const auto result = engine.run(done);
     report.engine_time = result.time;
     report.engine_completed = result.completed;
+    harvest_adaptive(engine);
     fill_outcome_and_traffic(report, world, engine.metrics());
   } else {
     sim::SyncConfig ec;
@@ -296,6 +323,7 @@ AerReport run_aer_world_arena(AerWorld& world, RunArena& arena,
     const auto result = engine.run(done);
     report.engine_time = static_cast<double>(result.rounds);
     report.engine_completed = result.completed;
+    harvest_adaptive(engine);
     fill_outcome_and_traffic(report, world, engine.metrics());
   }
   fill_aer_specific(report, world, arena.active);

@@ -44,6 +44,11 @@ struct AerWorld {
   std::unique_ptr<AerShared> shared;
   AerWorldView view;
   std::vector<NodeId> correct;
+  /// Nodes flipped *during* the run by an adaptive strategy (corrupt_now),
+  /// in corruption order. Empty under the paper's non-adaptive model.
+  /// Undecided victims are removed from `correct` at corruption time; a
+  /// victim that had already decided stays (its decision stands).
+  std::vector<NodeId> runtime_corrupt;
   DecisionLog decisions;
 
   /// Build-time scratch buffers, kept so that rebuilding this world for the
@@ -129,6 +134,13 @@ struct AerReport {
   // Responder pressure (Lemma 6 attack surface).
   std::size_t max_deferred_answers = 0;
 
+  // Adaptive-adversary corruption timeline (zero under the paper's
+  // non-adaptive model). `t` above stays the *initial* corruption count;
+  // runtime flips are accounted here.
+  std::size_t runtime_corruptions = 0;
+  double first_corruption_time = 0;
+  double last_corruption_time = 0;
+
   // Memory (filled by the SoA scale runner only; 0 on the pointer path).
   // A deterministic logical account of the trial's working set — actor
   // state, event-core high-water mark, sampler tables, metrics — NOT a
@@ -144,6 +156,15 @@ AerReport run_aer(const AerConfig& config,
 /// Runs AER on a prebuilt (possibly externally mutated) world; used by the
 /// BA composition where the AE phase dictates initial candidates.
 AerReport run_aer_world(AerWorld& world, const StrategyFactory& make_strategy = {});
+
+/// Harness bookkeeping for one runtime corruption (the engines'
+/// CorruptionCallback): appends the victim to world.runtime_corrupt; if it
+/// had not yet decided it leaves world.correct (it can never decide, so the
+/// all-decided stop must not wait for it) and the call returns true — the
+/// caller shrinks its decision target by one. A victim that already decided
+/// stays in world.correct: its decision stands. Shared by the pointer-path
+/// and SoA runners so both account corruption identically.
+bool note_runtime_corruption(AerWorld& world, NodeId node);
 
 /// Fills the outcome (decisions vs gstring) and traffic sections of a
 /// report from a finished run. Shared with the baseline AE->E protocols so

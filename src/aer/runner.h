@@ -80,13 +80,16 @@ AerReport run_world_protocol(
   if (make_strategy) strategy = make_strategy(world.view);
 
   std::size_t decided = 0;
-  const std::size_t target = world.correct.size();
+  std::size_t target = world.correct.size();
   auto on_decide = [&world, &decided](NodeId node, StringId value,
                                       double time) {
     if (!world.decisions.has_decided(node)) ++decided;
     world.decisions.record(node, value, time);
   };
   auto done = [&] { return decided >= target; };
+  auto on_corrupt = [&world, &target](NodeId node, double /*time*/) {
+    if (note_runtime_corruption(world, node)) --target;
+  };
 
   auto wire_nodes = [&](auto& engine) {
     engine.set_wire(&world.shared->wire());
@@ -98,6 +101,13 @@ AerReport run_world_protocol(
     }
     engine.set_strategy(strategy.get());
     engine.set_decision_callback(on_decide);
+    engine.set_corruption_budget(config.adaptive_budget);
+    engine.set_corruption_callback(on_corrupt);
+  };
+  auto harvest_adaptive = [&report](auto& engine) {
+    report.runtime_corruptions = engine.corruptions_spent();
+    report.first_corruption_time = engine.first_corruption_time();
+    report.last_corruption_time = engine.last_corruption_time();
   };
 
   if (config.model == Model::kAsync) {
@@ -110,6 +120,7 @@ AerReport run_world_protocol(
     const auto result = engine.run(done);
     report.engine_time = result.time;
     report.engine_completed = result.completed;
+    harvest_adaptive(engine);
     fill_outcome_and_traffic(report, world, engine.metrics());
     if (post_run) post_run(report);
   } else {
@@ -123,6 +134,7 @@ AerReport run_world_protocol(
     const auto result = engine.run(done);
     report.engine_time = static_cast<double>(result.rounds);
     report.engine_completed = result.completed;
+    harvest_adaptive(engine);
     fill_outcome_and_traffic(report, world, engine.metrics());
     if (post_run) post_run(report);
   }

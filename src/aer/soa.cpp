@@ -513,13 +513,16 @@ AerReport run_aer_world_soa(AerWorld& world, SoaArena& arena,
   if (make_strategy) strategy = make_strategy(world.view);
 
   std::size_t decided = 0;
-  const std::size_t target = world.correct.size();
+  std::size_t target = world.correct.size();
   auto on_decide = [&world, &decided](NodeId node, StringId value,
                                       double time) {
     if (!world.decisions.has_decided(node)) ++decided;
     world.decisions.record(node, value, time);
   };
   auto done = [&] { return decided >= target; };
+  auto on_corrupt = [&world, &target](NodeId node, double /*time*/) {
+    if (note_runtime_corruption(world, node)) --target;
+  };
 
   auto wire_nodes = [&](auto& engine) {
     engine.set_wire(&world.shared->wire());
@@ -528,6 +531,13 @@ AerReport run_aer_world_soa(AerWorld& world, SoaArena& arena,
     arena.state.reset(world.shared.get(), world.view.initial, engine);
     engine.set_strategy(strategy.get());
     engine.set_decision_callback(on_decide);
+    engine.set_corruption_budget(config.adaptive_budget);
+    engine.set_corruption_callback(on_corrupt);
+  };
+  auto harvest_adaptive = [&report](auto& engine) {
+    report.runtime_corruptions = engine.corruptions_spent();
+    report.first_corruption_time = engine.first_corruption_time();
+    report.last_corruption_time = engine.last_corruption_time();
   };
 
   support::MemBudget mem;
@@ -543,6 +553,7 @@ AerReport run_aer_world_soa(AerWorld& world, SoaArena& arena,
     const auto result = engine.run(done);
     report.engine_time = result.time;
     report.engine_completed = result.completed;
+    harvest_adaptive(engine);
     fill_outcome_and_traffic(report, world, engine.metrics());
     fill_aer_specific_soa(report, world, arena.state);
     charge_trial_mem(mem, world, arena.state, engine.queue_peak());
@@ -567,6 +578,7 @@ AerReport run_aer_world_soa(AerWorld& world, SoaArena& arena,
     const auto result = engine.run(done);
     report.engine_time = static_cast<double>(result.rounds);
     report.engine_completed = result.completed;
+    harvest_adaptive(engine);
     fill_outcome_and_traffic(report, world, engine.metrics());
     fill_aer_specific_soa(report, world, arena.state);
     charge_trial_mem(mem, world, arena.state, engine.queue_peak());

@@ -34,6 +34,9 @@ TrialOutcome outcome_of(const aer::AerReport& r) {
   o.missing_gstring = r.nodes_missing_gstring;
   o.max_deferred = r.max_deferred_answers;
   o.mem_bytes_per_node = r.mem_bytes_per_node;
+  o.runtime_corruptions = static_cast<double>(r.runtime_corruptions);
+  o.first_corruption_time = r.first_corruption_time;
+  o.last_corruption_time = r.last_corruption_time;
   for (std::size_t k = 0; k < sim::kNumMessageKinds; ++k) {
     o.bits_by_kind[k] = static_cast<double>(r.bits_by_kind[k]);
     o.msgs_by_kind[k] = static_cast<double>(r.msgs_by_kind[k]);
@@ -148,6 +151,8 @@ std::uint64_t Aggregate::fingerprint() const {
     hash_doubles(h, {drops_by_cause[c]});
   }
   // mem_bytes_per_node is deliberately NOT hashed — see its declaration.
+  // Likewise the corruption-timeline fields (runtime_corruptions,
+  // first/last_corruption_time): zero on every pinned golden.
   return h;
 }
 
@@ -159,6 +164,8 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
   double push_bits = 0, push_msgs = 0, lists = 0;
   double ae_rounds = 0, red_time = 0, ae_bits = 0, red_bits = 0;
   double delayed = 0;
+  double first_sum = 0, last_sum = 0;
+  std::size_t corrupted_trials = 0;
   std::array<double, sim::kNumFaultCauses> cause_sums{};
   for (const TrialOutcome& o : outcomes) {
     agg.agreements += o.agreement ? 1 : 0;
@@ -178,6 +185,12 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
     ae_bits += o.ae_bits;
     red_bits += o.reduction_bits;
     delayed += o.fault_delayed_msgs;
+    agg.runtime_corruptions += static_cast<std::uint64_t>(o.runtime_corruptions);
+    if (o.runtime_corruptions > 0) {
+      ++corrupted_trials;
+      first_sum += o.first_corruption_time;
+      last_sum += o.last_corruption_time;
+    }
     for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
       cause_sums[c] += o.drops_by_cause[c];
     }
@@ -197,6 +210,11 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
     for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
       agg.drops_by_cause[c] = cause_sums[c] / count;
     }
+  }
+  if (corrupted_trials > 0) {
+    agg.first_corruption_time =
+        first_sum / static_cast<double>(corrupted_trials);
+    agg.last_corruption_time = last_sum / static_cast<double>(corrupted_trials);
   }
 
   agg.completion_time =

@@ -72,6 +72,12 @@ struct TrialOutcome {
   /// the SoA scale runner fills it, every other runner leaves 0).
   double mem_bytes_per_node = 0;
 
+  // Adaptive-adversary corruption timeline (all zero under the paper's
+  // non-adaptive model).
+  double runtime_corruptions = 0;
+  double first_corruption_time = 0;
+  double last_corruption_time = 0;
+
   /// Per-node decision times, when the trial runner harvested them (the
   /// world-owning runners do); pooled across trials for latency quantiles.
   std::vector<double> decision_times;
@@ -140,6 +146,14 @@ struct Aggregate {
   /// while only one of them fills this field. Report::diff compares it
   /// explicitly instead (exp/report.cpp kDiffMetrics).
   SummaryStats mem_bytes_per_node;
+
+  /// Adaptive-adversary corruption timeline across trials. Same placement
+  /// rule as mem_bytes_per_node: deliberately OUTSIDE fingerprint(), so the
+  /// pinned goldens (all recorded with budget 0) stay valid and a budget-0
+  /// adaptive run fingerprints identically to its static twin.
+  std::uint64_t runtime_corruptions = 0;  ///< summed over trials.
+  double first_corruption_time = 0;  ///< mean over trials that corrupted.
+  double last_corruption_time = 0;   ///< mean over trials that corrupted.
 
   double agreement_rate() const {
     return trials > 0 ? static_cast<double>(agreements) /

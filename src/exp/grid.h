@@ -27,6 +27,13 @@ struct Grid {
   /// base config's fault plan.
   std::vector<std::string> faults;
 
+  /// Runtime corruption budgets for adaptive-* strategies
+  /// (AerConfig::adaptive_budget). An empty axis keeps the base config's
+  /// budget — every non-adaptive sweep expands exactly as before.
+  std::vector<std::size_t> budgets;
+  /// Earliest spend times (AerConfig::adaptive_from). Same empty-axis rule.
+  std::vector<double> adaptive_froms;
+
   /// Number of grid points after expansion (>= 1; empty axes count as 1).
   std::size_t points() const;
 };
@@ -44,20 +51,27 @@ struct GridPoint {
   /// the name is resolved onto the trial config by the scenario trial
   /// runners (exp::fault_plan_factory), keeping grid.cpp registry-free.
   std::string fault;
+  /// Runtime corruption budget (adaptive-* strategies). -1 means "keep the
+  /// base config's adaptive_budget" — and keeps the label unchanged, so
+  /// non-adaptive baselines diff cleanly against old files.
+  long budget = -1;
+  /// Earliest adaptive spend time; -1 keeps the base config's value.
+  double adaptive_from = -1;
 
   /// The base config with this point's axes applied (the fault axis is a
   /// name; the trial runners resolve it — see `fault`). The seed is left
   /// untouched: the sweep assigns per-trial seeds itself.
   aer::AerConfig apply(aer::AerConfig base) const;
 
-  /// "n=256 model=async corrupt=0.08 attack=poll-stuff fault=lossy-1pct" —
-  /// for table rows. The fault field appears only when the axis is set.
+  /// "n=256 model=async corrupt=0.08 attack=poll-stuff fault=lossy-1pct
+  /// budget=4" — for table rows. The fault / budget / from fields appear
+  /// only when their axis is set.
   std::string label() const;
 };
 
 /// Cross-product expansion, axes fixed in the order
-/// fault > strategy > corrupt_fraction > model > n (n varies fastest).
-/// Missing axes are filled from `base`.
+/// adaptive_from > budget > fault > strategy > corrupt_fraction > model > n
+/// (n varies fastest). Missing axes are filled from `base`.
 std::vector<GridPoint> expand_grid(const aer::AerConfig& base,
                                    const Grid& grid);
 

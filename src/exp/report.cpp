@@ -127,6 +127,19 @@ const ScalarField kScalarFields[] = {
     {"max_deferred", [](const Aggregate& a) { return double(a.max_deferred); }},
     {"fault_delayed_msgs",
      [](const Aggregate& a) { return a.fault_delayed_msgs; }},
+    // Schema v4: the adaptive-adversary corruption timeline. All zero on
+    // static runs, and deliberately outside Aggregate::fingerprint().
+    {"runtime_corruptions",
+     [](const Aggregate& a) { return double(a.runtime_corruptions); }},
+    {"runtime_corruptions_per_trial",
+     [](const Aggregate& a) {
+       return a.trials > 0 ? double(a.runtime_corruptions) / double(a.trials)
+                           : 0;
+     }},
+    {"first_corruption_time",
+     [](const Aggregate& a) { return a.first_corruption_time; }},
+    {"last_corruption_time",
+     [](const Aggregate& a) { return a.last_corruption_time; }},
 };
 
 struct StatComponent {
@@ -224,6 +237,14 @@ json::Value point_json(const ReportPoint& rp) {
   axes.set("corrupt_fraction", rp.point.corrupt_fraction);
   axes.set("attack", rp.point.strategy);
   axes.set("fault", rp.point.fault);
+  // Adaptive axes (schema v4), written only when the sweep set them, so a
+  // non-adaptive report carries the same axes block as a v3 writer's.
+  if (rp.point.budget >= 0) {
+    axes.set("budget", std::uint64_t(rp.point.budget));
+  }
+  if (rp.point.adaptive_from >= 0) {
+    axes.set("adaptive_from", rp.point.adaptive_from);
+  }
   out.set("axes", std::move(axes));
 
   json::Value resolved = json::Value::object();
@@ -265,6 +286,9 @@ json::Value point_json(const ReportPoint& rp) {
   scalars.set("push_msgs_per_node", a.push_msgs_per_node);
   scalars.set("candidate_lists_per_node", a.candidate_lists_per_node);
   scalars.set("fault_delayed_msgs", a.fault_delayed_msgs);
+  scalars.set("runtime_corruptions", std::uint64_t{a.runtime_corruptions});
+  scalars.set("first_corruption_time", a.first_corruption_time);
+  scalars.set("last_corruption_time", a.last_corruption_time);
   out.set("scalars", std::move(scalars));
 
   json::Value causes = json::Value::object();
@@ -317,6 +341,11 @@ ReportPoint point_from_json(const json::Value& v) {
   rp.point.corrupt_fraction = axes.at("corrupt_fraction").as_double();
   rp.point.strategy = axes.at("attack").as_string();
   rp.point.fault = axes.at("fault").as_string();
+  // Absent in pre-v4 files and in non-adaptive v4 reports: -1 = unset.
+  const json::Value* budget = axes.find("budget");
+  rp.point.budget = budget != nullptr ? long(budget->as_uint64()) : -1;
+  const json::Value* from = axes.find("adaptive_from");
+  rp.point.adaptive_from = from != nullptr ? from->as_double() : -1;
 
   const json::Value& resolved = v.at("resolved");
   rp.provenance.d = static_cast<std::size_t>(resolved.at("d").as_uint64());
@@ -361,6 +390,14 @@ ReportPoint point_from_json(const json::Value& v) {
   a.candidate_lists_per_node =
       scalars.at("candidate_lists_per_node").as_double();
   a.fault_delayed_msgs = scalars.at("fault_delayed_msgs").as_double();
+  // Pre-v4 files predate the corruption timeline: load as zero, which is
+  // what those (budget-less) runs would have recorded.
+  const json::Value* rc = scalars.find("runtime_corruptions");
+  a.runtime_corruptions = rc != nullptr ? rc->as_uint64() : 0;
+  const json::Value* fct = scalars.find("first_corruption_time");
+  a.first_corruption_time = fct != nullptr ? fct->as_double() : 0;
+  const json::Value* lct = scalars.find("last_corruption_time");
+  a.last_corruption_time = lct != nullptr ? lct->as_double() : 0;
 
   const json::Value& causes = v.at("drops_by_cause");
   for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
@@ -430,6 +467,10 @@ std::vector<CurvePoint> curve_of(const ReportMeta& meta,
     } else if (meta.x_axis == "fault") {
       c.x = double(i);
       c.tic = rp.point.fault.empty() ? "none" : rp.point.fault;
+    } else if (meta.x_axis == "budget") {
+      const double b = rp.point.budget >= 0 ? double(rp.point.budget) : 0;
+      c.x = b;
+      c.tic = pretty_num(b);
     } else {  // "index" (and the single-point "kind" reports)
       c.x = double(i);
       c.tic = rp.point.label();
@@ -696,7 +737,8 @@ Report Report::from_json(std::string_view text) {
   const std::uint64_t version = root.at("schema_version").as_uint64();
   // Each version is a strict subset of the next (v2 added the
   // stats.mem_bytes_per_node entry, v3 the p999 component and the optional
-  // load block), so all of them parse with the same tolerant code path.
+  // load block, v4 the optional adaptive axes and corruption-timeline
+  // scalars), so all of them parse with the same tolerant code path.
   FBA_REQUIRE(version >= 1 && version <= kReportSchemaVersion,
               "report: schema version " + std::to_string(version) +
                   " unsupported (this build reads versions 1-" +
@@ -742,10 +784,11 @@ Report Report::from_json_file(const std::string& path) {
 std::string Report::to_csv() const {
   std::string out;
   // Header: identity, axes, provenance, counts, then the stat columns and
-  // per-kind traffic. One row per point, stable column order (schema v3).
+  // per-kind traffic. One row per point, stable column order (schema v4).
   // The per-point load block is JSON-only: wall-clock cells would make the
-  // CSV environment-dependent.
+  // CSV environment-dependent. Unset adaptive axes serialize as -1.
   out += "figure,series,label,index,n,model,corrupt_fraction,attack,fault"
+         ",budget,adaptive_from"
          ",d,t,gstring_bits,node_id_bits,answer_budget"
          ",trials,agreements,agreement_rate,decided_fraction"
          ",engine_incomplete,wrong_decisions,stalled_nodes,correct_nodes"
@@ -760,7 +803,8 @@ std::string Report::to_csv() const {
   }
   out += ",ae_rounds,reduction_time,ae_bits,reduction_bits"
          ",push_bits_per_node,push_msgs_per_node,candidate_lists_per_node"
-         ",fault_delayed_msgs";
+         ",fault_delayed_msgs"
+         ",runtime_corruptions,first_corruption_time,last_corruption_time";
   for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
     out += ",drops_";
     out += sim::fault_cause_name(static_cast<sim::FaultCause>(c));
@@ -788,6 +832,8 @@ std::string Report::to_csv() const {
           canonical_num(rp.point.corrupt_fraction),
           rp.point.strategy,
           rp.point.fault,
+          std::to_string(rp.point.budget),
+          canonical_num(rp.point.adaptive_from),
           dec_u64(rp.provenance.d),
           dec_u64(rp.provenance.t),
           dec_u64(rp.provenance.gstring_bits),
@@ -815,7 +861,10 @@ std::string Report::to_csv() const {
       for (const double v : {a.ae_rounds, a.reduction_time, a.ae_bits,
                              a.reduction_bits, a.push_bits_per_node,
                              a.push_msgs_per_node, a.candidate_lists_per_node,
-                             a.fault_delayed_msgs}) {
+                             a.fault_delayed_msgs,
+                             double(a.runtime_corruptions),
+                             a.first_corruption_time,
+                             a.last_corruption_time}) {
         cells.push_back(canonical_num(v));
       }
       for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {

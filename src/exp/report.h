@@ -40,10 +40,12 @@ namespace fba::exp {
 /// Bumped whenever the JSON layout changes; readers accept the versions
 /// they can parse (docs/output-schema.md tracks the history). v2 added the
 /// mem_bytes_per_node stat; v3 added the p999 stat component and the
-/// optional per-point `load` block (service mode). Older files still load:
-/// missing stats/components default to zero, a missing load block to
-/// "absent".
-inline constexpr std::uint64_t kReportSchemaVersion = 3;
+/// optional per-point `load` block (service mode); v4 added the adaptive
+/// axes (budget / adaptive_from, written only when set) and the
+/// corruption-timeline scalars. Older files still load: missing
+/// stats/components default to zero, a missing load block to "absent",
+/// missing adaptive axes to "unset".
+inline constexpr std::uint64_t kReportSchemaVersion = 4;
 
 /// Quantities the config resolves per point (functions of n and the base
 /// config), recorded so a report is interpretable without the binary.
@@ -98,8 +100,9 @@ struct ReportMeta {
   std::size_t trials = 0;  ///< trials per point.
   std::string scale;       ///< "quick" / "default" / "large" / "".
   /// Headline-curve axes for the markdown/gnuplot renderings: x_axis names
-  /// a grid axis ("n", "corrupt", "fault", "index") or "kind" (per-kind
-  /// traffic of a single-point report); y_metric is a metric_value() name.
+  /// a grid axis ("n", "corrupt", "fault", "budget", "index") or "kind"
+  /// (per-kind traffic of a single-point report); y_metric is a
+  /// metric_value() name.
   std::string x_axis = "n";
   std::string y_metric = "completion_time.mean";
   std::string y_label = "completion time";
@@ -120,8 +123,9 @@ struct ReportMeta {
 /// wrong_decisions_per_trial, stalled_nodes,
 /// ae_rounds, reduction_time, ae_bits, reduction_bits, push_bits_per_node,
 /// push_msgs_per_node, candidate_lists_per_node, max_candidate_list,
-/// missing_gstring, max_deferred, fault_delayed_msgs. Throws ConfigError
-/// on an unknown name.
+/// missing_gstring, max_deferred, fault_delayed_msgs, runtime_corruptions,
+/// runtime_corruptions_per_trial, first_corruption_time,
+/// last_corruption_time. Throws ConfigError on an unknown name.
 double metric_value(const Aggregate& aggregate, std::string_view name);
 
 /// 95%-CI half-width companion of a metric: the stat's ci95 for

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "adversary/adaptive.h"
 #include "adversary/strategies.h"
 #include "baseline/flood.h"
 #include "baseline/snowball.h"
@@ -55,6 +56,14 @@ const std::vector<ScenarioEntry>& attack_registry() {
        "wrong-answer grudge: a fixed roster attacks every instance"},
       {"grudge-stuff",
        "poll-stuffing grudge: a fixed roster attacks every instance"},
+      {"adaptive-degree",
+       "adaptive: corrupt the busiest sender mid-run (needs --adaptive-budget)"},
+      {"adaptive-quorum",
+       "adaptive: corrupt the node closest to answer quorum mid-run"},
+      {"adaptive-king",
+       "adaptive: corrupt the most polled/pulled (coordinator) node mid-run"},
+      {"adaptive-random",
+       "adaptive: corrupt uniform random correct nodes mid-run (ablation)"},
   };
   return kAttacks;
 }
@@ -105,7 +114,7 @@ std::string scenario_usage(const UsageSections& sections) {
     out += "report output (docs/output-schema.md):\n"
            "  --json=FILE        write the run's aggregates as a versioned"
            " fba.report\n"
-           "                     JSON document (schema v3)\n";
+           "                     JSON document (schema v4)\n";
   }
   return out;
 }
@@ -197,6 +206,28 @@ aer::StrategyFactory attack_factory(const std::string& name) {
       combo->add(std::make_unique<adv::WrongAnswerStrategy>(view, 8));
       combo->add(std::make_unique<adv::PollStuffStrategy>(view));
       return combo;
+    };
+  }
+  // Adaptive family (adversary/adaptive.h): spends the runtime corruption
+  // budget (AerConfig::adaptive_budget; 0 degrades to a no-op adversary).
+  if (name == "adaptive-degree") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::AdaptiveDegreeStrategy>(view);
+    };
+  }
+  if (name == "adaptive-quorum") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::AdaptiveQuorumStrategy>(view);
+    };
+  }
+  if (name == "adaptive-king") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::AdaptiveKingStrategy>(view);
+    };
+  }
+  if (name == "adaptive-random") {
+    return [](const aer::AerWorldView& view) {
+      return std::make_unique<adv::AdaptiveRandomStrategy>(view);
     };
   }
   throw ConfigError("unknown attack strategy: " + name + " (known attacks: " +

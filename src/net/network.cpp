@@ -22,7 +22,13 @@ void EngineBase::reset_base(std::size_t n, std::uint64_t seed) {
   metrics_.reset(n);
   on_decide_ = nullptr;
   strategy_rng_ = Rng(seed).split(0xadull);
+  adaptive_rng_ = Rng(seed).split(0x4adaull);
   decisions_reported_ = 0;
+  corruption_budget_ = 0;
+  corruptions_spent_ = 0;
+  first_corruption_time_ = 0;
+  last_corruption_time_ = 0;
+  on_corrupt_ = nullptr;
   Rng master(seed);
   node_rngs_.clear();
   node_rngs_.reserve(n);
@@ -110,6 +116,21 @@ void EngineBase::send_from(NodeId src, NodeId dst, const Message& msg) {
     strategy_->on_observe(actx, env);
   }
   queue_envelope(env);
+}
+
+bool EngineBase::corrupt_now(NodeId node) {
+  if (node >= n_ || corrupt_[node] ||
+      corruptions_spent_ >= corruption_budget_) {
+    return false;
+  }
+  corrupt_[node] = true;
+  corrupt_list_.push_back(node);
+  const double time = now();
+  if (corruptions_spent_ == 0) first_corruption_time_ = time;
+  last_corruption_time_ = time;
+  ++corruptions_spent_;
+  if (on_corrupt_) on_corrupt_(node, time);
+  return true;
 }
 
 void EngineBase::report_decision(NodeId node, StringId value) {

@@ -3,9 +3,17 @@
 // and the authenticated send path.
 //
 // Model (Section 2.1): fully-connected network, authenticated channels,
-// reliable delivery. The adversary is non-adaptive (corrupt set fixed before
-// execution), has full information (observes every send), and coordinates
-// all corrupt nodes through a single Strategy object.
+// reliable delivery. The paper's adversary is non-adaptive (corrupt set fixed
+// before execution), has full information (observes every send), and
+// coordinates all corrupt nodes through a single Strategy object.
+//
+// Beyond the paper's model, strategies may spend a *runtime corruption
+// budget* (set_corruption_budget / corrupt_now): flipping a node mid-run adds
+// it to the corrupt set from that instant on — its actor is never invoked
+// again and subsequent deliveries route to the strategy — which is exactly
+// the adaptive adversary of Dufoulon–Pandurangan 2025 that the paper's
+// proofs exclude. The budget defaults to zero, so the paper's model is the
+// default and every static-strategy run is bit-unchanged.
 //
 // Delivery is reliable *unless* a FaultPlan (net/fault.h) is installed:
 // the fault layer sits on the one shared send path (send_from) and may drop
@@ -34,6 +42,10 @@ namespace fba::sim {
 /// Invoked when a correct node decides: (node, value, time).
 using DecisionCallback = std::function<void(NodeId, StringId, double)>;
 
+/// Invoked when a runtime corruption lands: (node, time). Fires after the
+/// node has been flipped, so is_corrupt(node) is already true inside it.
+using CorruptionCallback = std::function<void(NodeId, double)>;
+
 class EngineBase {
  public:
   EngineBase(std::size_t n, std::uint64_t seed);
@@ -54,6 +66,18 @@ class EngineBase {
 
   /// Marks `nodes` as Byzantine. Must be called before run().
   void set_corrupt(const std::vector<NodeId>& nodes);
+
+  /// Grants the strategy `budget` runtime corruptions (default 0: the
+  /// paper's non-adaptive model). Call before run().
+  void set_corruption_budget(std::size_t budget) {
+    corruption_budget_ = budget;
+  }
+
+  /// Observer for runtime corruptions (harness accounting). Call before
+  /// run().
+  void set_corruption_callback(CorruptionCallback cb) {
+    on_corrupt_ = std::move(cb);
+  }
 
   /// Installs the adversary brain; may be null (corrupt nodes stay silent).
   void set_strategy(adv::Strategy* strategy) { strategy_ = strategy; }
@@ -80,6 +104,14 @@ class EngineBase {
   TrafficMetrics& metrics() { return metrics_; }
   const TrafficMetrics& metrics() const { return metrics_; }
   Rng& strategy_rng() { return strategy_rng_; }
+  /// Dedicated substream for runtime-corruption choices: adaptive draws must
+  /// not perturb the strategy/delay stream, so static-strategy runs (and
+  /// cross-thread sweep fingerprints) stay bit-identical.
+  Rng& adaptive_rng() { return adaptive_rng_; }
+  std::size_t corruption_budget() const { return corruption_budget_; }
+  std::size_t corruptions_spent() const { return corruptions_spent_; }
+  double first_corruption_time() const { return first_corruption_time_; }
+  double last_corruption_time() const { return last_corruption_time_; }
   /// Number of report_decision calls so far; lets engines notice that an
   /// event they just processed produced a decision.
   std::uint64_t decisions_reported() const { return decisions_reported_; }
@@ -95,6 +127,15 @@ class EngineBase {
   void send_from(NodeId src, NodeId dst, const Message& msg);
 
   void report_decision(NodeId node, StringId value);
+
+  /// Runtime (adaptive) corruption: flips `node` mid-run if it is not
+  /// already corrupt and budget remains. Returns whether the corruption
+  /// landed. From this instant the node behaves exactly like a
+  /// pre-execution corruption — its actor is silenced on every engine path
+  /// (deliver / fire_timer / start_actor / sync per-round steps) and
+  /// deliveries route to the strategy — but messages it sent while still
+  /// correct keep their original delivery class.
+  bool corrupt_now(NodeId node);
 
   /// Requests an Actor::on_timer callback for `node` after `delay`.
   virtual void queue_timer(NodeId node, double delay, std::uint64_t token) = 0;
@@ -136,7 +177,13 @@ class EngineBase {
   DecisionCallback on_decide_;
   std::vector<Rng> node_rngs_;
   Rng strategy_rng_;
+  Rng adaptive_rng_;
   std::uint64_t decisions_reported_ = 0;
+  std::size_t corruption_budget_ = 0;
+  std::size_t corruptions_spent_ = 0;
+  double first_corruption_time_ = 0;
+  double last_corruption_time_ = 0;
+  CorruptionCallback on_corrupt_;
 };
 
 inline std::size_t Context::n() const { return engine_.n(); }

@@ -45,8 +45,9 @@ void SyncEngine::queue_envelope(const Envelope& env) {
     ++beyond_horizon_;
     return;
   }
-  // The corrupt set is fixed before execution, so the rushing-adversary
-  // delivery class can be decided at send time.
+  // The delivery class is decided at send time: a runtime corruption
+  // (corrupt_now) upgrades only the victim's *future* sends — messages it
+  // sent while still correct keep the correct-traffic lane.
   const bool rushed = config_.rushing_adversary && corrupt_[env.src];
   queue_.push_message(static_cast<SimTime>(at),
                       rushed ? kPriCorruptSend : kPriSend, std::move(env));

@@ -54,8 +54,52 @@ constexpr std::uint64_t kGolden[] = {
     0xca578d3496c770d8ull,  // n=48 async attack=stuff fault=lossy-1pct
 };
 
-void print_golden_table(const std::vector<exp::PointResult>& results) {
-  std::printf("expected golden table (paste into kGolden):\n");
+// The adaptive corpus: the same base world, but the adversary spends a
+// runtime corruption budget mid-run (adaptive-* strategies, budget axis).
+// Pins the whole runtime-corruption path — the corrupt_now silencing on
+// both engines, the adaptive RNG substream, greedy spend cadence and the
+// correct-set bookkeeping — at two budgets per strategy.
+exp::Sweep adaptive_golden_sweep(std::size_t threads) {
+  aer::AerConfig base;
+  base.n = 48;
+  base.seed = 20130722;
+  base.corrupt_fraction = 0.08;
+  base.max_rounds = 150;
+  base.max_time = 150.0;
+  base.adaptive_from = 2.0;
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies = {"adaptive-degree", "adaptive-quorum", "adaptive-king",
+                     "adaptive-random"};
+  grid.budgets = {2, 8};
+  exp::Sweep sweep(base, grid, /*trials=*/3);
+  sweep.set_threads(threads);
+  return sweep;
+}
+
+// 16 points in expansion order (budget > strategy > model; n fixed).
+constexpr std::uint64_t kAdaptiveGolden[] = {
+    0x590334e103e0a0f6ull,  // sync-rushing attack=adaptive-degree budget=2
+    0x91cbd9b39a07fbe7ull,  // async attack=adaptive-degree budget=2
+    0x4bef02ab20a36516ull,  // sync-rushing attack=adaptive-quorum budget=2
+    0xc913078cf006281dull,  // async attack=adaptive-quorum budget=2
+    0xb41c011ea0ab5d28ull,  // sync-rushing attack=adaptive-king budget=2
+    0xe16ef5c1a9913148ull,  // async attack=adaptive-king budget=2
+    0x1e38b2cd185f0b32ull,  // sync-rushing attack=adaptive-random budget=2
+    0x341bf5cf53baea18ull,  // async attack=adaptive-random budget=2
+    0x34cf34e0a07e1351ull,  // sync-rushing attack=adaptive-degree budget=8
+    0x1383d00e2dd129e5ull,  // async attack=adaptive-degree budget=8
+    0xe54998431a35e200ull,  // sync-rushing attack=adaptive-quorum budget=8
+    0x2b9877767960a436ull,  // async attack=adaptive-quorum budget=8
+    0x2e656c0151c8f313ull,  // sync-rushing attack=adaptive-king budget=8
+    0xbf648db38035d553ull,  // async attack=adaptive-king budget=8
+    0x9b82d00a9648744eull,  // sync-rushing attack=adaptive-random budget=8
+    0x227db3e849126105ull,  // async attack=adaptive-random budget=8
+};
+
+void print_golden_table(const std::vector<exp::PointResult>& results,
+                        const char* table) {
+  std::printf("expected golden table (paste into %s):\n", table);
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::printf("    0x%016llxull,  // %s\n",
                 static_cast<unsigned long long>(
@@ -64,21 +108,27 @@ void print_golden_table(const std::vector<exp::PointResult>& results) {
   }
 }
 
-TEST(GoldenTest, SweepFingerprintsMatchCommittedCorpus) {
-  const auto results = golden_sweep(/*threads=*/1).run();
-  ASSERT_EQ(results.size(), std::size(kGolden));
+void expect_matches(const std::vector<exp::PointResult>& results,
+                    const std::uint64_t* golden, std::size_t count,
+                    const char* table) {
   if (std::getenv("FBA_PRINT_GOLDEN") != nullptr) {
-    print_golden_table(results);
+    print_golden_table(results, table);
   }
+  ASSERT_EQ(results.size(), count);
   bool mismatch = false;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const std::uint64_t actual = results[i].aggregate.fingerprint();
-    EXPECT_EQ(actual, kGolden[i]) << results[i].point.label();
-    mismatch |= actual != kGolden[i];
+    EXPECT_EQ(actual, golden[i]) << results[i].point.label();
+    mismatch |= actual != golden[i];
   }
   if (mismatch && std::getenv("FBA_PRINT_GOLDEN") == nullptr) {
-    print_golden_table(results);
+    print_golden_table(results, table);
   }
+}
+
+TEST(GoldenTest, SweepFingerprintsMatchCommittedCorpus) {
+  expect_matches(golden_sweep(/*threads=*/1).run(), kGolden,
+                 std::size(kGolden), "kGolden");
 }
 
 // The corpus is also the thread-count determinism contract for the fault
@@ -88,6 +138,23 @@ TEST(GoldenTest, ParallelSweepReproducesGoldenCorpus) {
   ASSERT_EQ(results.size(), std::size(kGolden));
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].aggregate.fingerprint(), kGolden[i])
+        << results[i].point.label();
+  }
+}
+
+TEST(GoldenTest, AdaptiveSweepFingerprintsMatchCommittedCorpus) {
+  expect_matches(adaptive_golden_sweep(/*threads=*/1).run(), kAdaptiveGolden,
+                 std::size(kAdaptiveGolden), "kAdaptiveGolden");
+}
+
+// Runtime corruptions draw from their own RNG substream and are spent at
+// deterministic points of the event order, so the 4-thread sweep must
+// reproduce the serial corpus bit for bit.
+TEST(GoldenTest, ParallelAdaptiveSweepReproducesGoldenCorpus) {
+  const auto results = adaptive_golden_sweep(/*threads=*/4).run();
+  ASSERT_EQ(results.size(), std::size(kAdaptiveGolden));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].aggregate.fingerprint(), kAdaptiveGolden[i])
         << results[i].point.label();
   }
 }

@@ -305,11 +305,75 @@ TEST(AdversaryTest, AsyncDelayIsClampedToReliabilityBound) {
 TEST(AdversaryTest, MaxCorruptRespectsBound) {
   EXPECT_EQ(adv::max_corrupt(100, 0.02), 31u);
   EXPECT_LT(adv::max_corrupt(3000), 1000u);
+  // The paper's bound is STRICT (t < (1/3 - eps) n): when (1/3 - eps) n is
+  // exactly integral, floor() lands on the bound itself, and the previous
+  // implementation returned it. These products are FP-exact (1/3 - 1/12 =
+  // 1/4 after rounding twice the same way), pinning the step-down fix.
+  EXPECT_EQ(adv::max_corrupt(8, 1.0 / 3.0 - 0.25), 1u);   // bound = 2.0
+  EXPECT_EQ(adv::max_corrupt(4, 1.0 / 3.0 - 0.25), 0u);   // bound = 1.0
+  EXPECT_EQ(adv::max_corrupt(12, 1.0 / 3.0 - 0.25), 2u);  // bound = 3.0
   Rng rng(1);
   auto corrupt = adv::random_corruption(100, 31, rng);
   EXPECT_EQ(corrupt.size(), 31u);
   std::set<NodeId> uniq(corrupt.begin(), corrupt.end());
   EXPECT_EQ(uniq.size(), 31u);
+}
+
+// The runtime-corruption primitive itself: corrupt_now lands exactly once
+// per still-correct node, refuses to overspend the budget, stamps the
+// timeline, and silences the victim's actor from that instant on.
+TEST(AdversaryTest, CorruptNowEnforcesBudgetAndSilencesVictim) {
+  class FlipAtRound final : public adv::Strategy {
+   public:
+    void on_round(adv::AdvContext& ctx, Round round, bool) override {
+      if (round != 3) return;
+      landed = ctx.corrupt_now(1);              // budget 1: lands
+      relanded = ctx.corrupt_now(1);            // already corrupt: refused
+      overspent = ctx.corrupt_now(2);           // budget exhausted: refused
+      out_of_range = ctx.corrupt_now(99);       // no such node: refused
+      spent = ctx.corruptions_spent();
+    }
+    void on_deliver_to_corrupt(adv::AdvContext&,
+                               const sim::Envelope&) override {
+      ++rerouted;
+    }
+    bool landed = false, relanded = true, overspent = true,
+         out_of_range = true;
+    std::size_t spent = 0, rerouted = 0;
+  };
+
+  SyncConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 1;
+  cfg.max_rounds = 8;
+  SyncEngine engine(cfg);
+  const Wire wire = test_wire();
+  engine.set_wire(&wire);
+  FlipAtRound strategy;
+  engine.set_strategy(&strategy);
+  engine.set_corruption_budget(1);
+  // 0 and 1 ping-pong forever; 2 idles.
+  auto* a = new PingActor(1, true);
+  auto* b = new PingActor(0, true);
+  engine.set_actor(0, std::unique_ptr<Actor>(a));
+  engine.set_actor(1, std::unique_ptr<Actor>(b));
+  engine.set_actor(2, std::make_unique<IdleActor>());
+  engine.run([] { return false; });
+
+  EXPECT_TRUE(strategy.landed);
+  EXPECT_FALSE(strategy.relanded);
+  EXPECT_FALSE(strategy.overspent);
+  EXPECT_FALSE(strategy.out_of_range);
+  EXPECT_EQ(strategy.spent, 1u);
+  EXPECT_EQ(engine.corruptions_spent(), 1u);
+  EXPECT_TRUE(engine.is_corrupt(1));
+  EXPECT_FALSE(engine.is_corrupt(0));
+  EXPECT_DOUBLE_EQ(engine.first_corruption_time(), engine.last_corruption_time());
+  EXPECT_GT(engine.first_corruption_time(), 0.0);
+  // Node 1's actor went silent at the flip: deliveries to it stop growing
+  // (they reroute to the strategy instead), so node 0 stops hearing echoes.
+  EXPECT_LT(b->deliveries.size(), 6u);
+  EXPECT_GT(strategy.rerouted, 0u);
 }
 
 TEST(EngineTest, DecisionCallbackFires) {

@@ -95,7 +95,7 @@ TEST(ReportTest, SerializedOutputIsByteIdenticalAcrossThreadCounts) {
 
 TEST(ReportTest, SchemaVersionGuardRejectsOtherVersions) {
   std::string doc = small_report(1).to_json();
-  const std::string needle = "\"schema_version\": 3";
+  const std::string needle = "\"schema_version\": 4";
   const std::size_t pos = doc.find(needle);
   ASSERT_NE(pos, std::string::npos);
   doc.replace(pos, needle.size(), "\"schema_version\": 999");
@@ -115,7 +115,7 @@ TEST(ReportTest, SchemaVersionGuardRejectsOtherVersions) {
 // version history).
 TEST(ReportTest, SchemaV1DocumentsStillParse) {
   std::string doc = small_report(1).to_json();
-  const std::string version_needle = "\"schema_version\": 3";
+  const std::string version_needle = "\"schema_version\": 4";
   const std::size_t version_pos = doc.find(version_needle);
   ASSERT_NE(version_pos, std::string::npos);
   doc.replace(version_pos, version_needle.size(), "\"schema_version\": 1");

@@ -96,6 +96,44 @@ TEST(ScaleEquivalenceTest, SoaMatchesPointerPathAcrossModelsAttacksFaults) {
   }
 }
 
+// Runtime corruptions ride the same equivalence contract: for every
+// adaptive-* strategy x engine x budget, the SoA path must observe, pick,
+// silence and account victims exactly as the pointer path does — same
+// fingerprints AND the same corruption timeline (which sits outside the
+// fingerprint, so it is compared explicitly).
+TEST(ScaleEquivalenceTest, SoaMatchesPointerPathUnderAdaptiveAttacks) {
+  const std::vector<std::string> attacks = {
+      "adaptive-degree", "adaptive-quorum", "adaptive-king",
+      "adaptive-random"};
+  const std::vector<aer::Model> models = {aer::Model::kSyncRushing,
+                                          aer::Model::kAsync};
+  exp::ScaleArena arena;
+  std::size_t index = 0;
+  for (const aer::Model model : models) {
+    for (const std::string& attack : attacks) {
+      for (const long budget : {2L, 8L}) {
+        exp::GridPoint point = grid_point(model, attack, "", index++);
+        point.budget = budget;
+        point.adaptive_from = 2.0;
+        const exp::Aggregate pointer =
+            exp::aggregate_outcomes(pointer_outcomes(point, 2));
+        const exp::Aggregate soa =
+            exp::aggregate_outcomes(soa_outcomes(point, 2, arena));
+        EXPECT_EQ(pointer.fingerprint(), soa.fingerprint())
+            << "model=" << aer::model_name(model) << " attack=" << attack
+            << " budget=" << budget;
+        EXPECT_EQ(pointer.runtime_corruptions, soa.runtime_corruptions)
+            << "model=" << aer::model_name(model) << " attack=" << attack;
+        EXPECT_EQ(pointer.first_corruption_time, soa.first_corruption_time);
+        EXPECT_EQ(pointer.last_corruption_time, soa.last_corruption_time);
+        // The budget was actually spent (the cell is not vacuously equal).
+        EXPECT_GT(soa.runtime_corruptions, 0u)
+            << "model=" << aer::model_name(model) << " attack=" << attack;
+      }
+    }
+  }
+}
+
 // Burst descriptors are a pure queue-layout change: collapsing the d^2
 // Fw1 fan-out into one expanded-at-delivery event must not move a single
 // protocol observable.
