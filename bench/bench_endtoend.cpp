@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   grid.models = {aer::Model::kSyncNonRushing, aer::Model::kAsync};
   grid.faults = {opt.fault};
   exp::Sweep sweep(base, grid, trials);
-  sweep.set_threads(threads);
+  sweep.set_threads(threads).set_procs(opt.procs);
   sweep.set_progress(progress_printer("endtoend"));
   const auto endtoend_results = sweep.run();
   add_split_series(report, base, endtoend_results,
@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
   exp::Grid rgrid;
   rgrid.corrupt_fractions = {0.00, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
   exp::Sweep rsweep(rbase, rgrid, trials);
-  rsweep.set_threads(threads);
+  rsweep.set_threads(threads).set_procs(opt.procs);
   const auto resilience_results = rsweep.run();
   report.add_points("resilience (n=128, d=24)", rbase, resilience_results);
   for (const exp::PointResult& r : resilience_results) {
@@ -145,7 +145,7 @@ int main(int argc, char** argv) {
   fgrid.strategies = {attack};
   fgrid.faults = exp::known_faults();
   exp::Sweep fsweep(fbase, fgrid, trials);
-  fsweep.set_threads(threads);
+  fsweep.set_threads(threads).set_procs(opt.procs);
   fsweep.set_progress(progress_printer("faults"));
   const auto fault_results = fsweep.run();
   add_split_series(report, fbase, fault_results, [](const exp::GridPoint& p) {

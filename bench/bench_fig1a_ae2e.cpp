@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
   aer_grid.models = {aer::Model::kSyncNonRushing, aer::Model::kSyncRushing,
                      aer::Model::kAsync};
   exp::Sweep aer_sweep(base, aer_grid, trials);
-  aer_sweep.set_threads(threads);
+  aer_sweep.set_threads(threads).set_procs(opt.procs);
   aer_sweep.set_progress(progress_printer("fig1a AER"));
   const auto aer_results = aer_sweep.run();
 
@@ -107,11 +107,13 @@ int main(int argc, char** argv) {
   base_grid.ns = sizes;
   base_grid.models = {aer::Model::kSyncRushing};
   exp::Sweep sqrt_sweep(base, base_grid, trials);
-  sqrt_sweep.set_threads(threads).set_trial(exp::run_sqrtsample_trial);
+  sqrt_sweep.set_threads(threads).set_procs(opt.procs);
+  sqrt_sweep.set_trial(exp::run_sqrtsample_trial);
   sqrt_sweep.set_progress(progress_printer("fig1a sqrt-sample"));
   const auto sqrt_results = sqrt_sweep.run();
   exp::Sweep flood_sweep(base, base_grid, trials);
-  flood_sweep.set_threads(threads).set_trial(exp::run_flood_trial);
+  flood_sweep.set_threads(threads).set_procs(opt.procs);
+  flood_sweep.set_trial(exp::run_flood_trial);
   flood_sweep.set_progress(progress_printer("fig1a flood"));
   const auto flood_results = flood_sweep.run();
 
@@ -165,7 +167,7 @@ int main(int argc, char** argv) {
   skew_grid.corrupt_fractions = {0.30};
   skew_grid.strategies = {"skew-heavy"};
   exp::Sweep skew_sweep(skew_base, skew_grid, trials);
-  skew_sweep.set_threads(threads);
+  skew_sweep.set_threads(threads).set_procs(opt.procs);
   const auto skew_results = skew_sweep.run();
   report.add_points("AER skew-heavy", skew_base, skew_results);
   for (const exp::PointResult& r : skew_results) {
@@ -177,7 +179,8 @@ int main(int argc, char** argv) {
                   Table::num(a.imbalance.mean, 2)});
   }
   exp::Sweep skew_sqrt(skew_base, skew_grid, trials);
-  skew_sqrt.set_threads(threads).set_trial(exp::run_sqrtsample_trial);
+  skew_sqrt.set_threads(threads).set_procs(opt.procs);
+  skew_sqrt.set_trial(exp::run_sqrtsample_trial);
   const auto skew_sqrt_results = skew_sqrt.run();
   report.add_points("SQRT-SAMPLE skew-heavy", skew_base, skew_sqrt_results);
   for (const exp::PointResult& r : skew_sqrt_results) {

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   for (auto reduction : {ba::Reduction::kAer, ba::Reduction::kSqrtSample,
                          ba::Reduction::kFlood}) {
     exp::Sweep sweep(base, grid, trials);
-    sweep.set_threads(threads);
+    sweep.set_threads(threads).set_procs(opt.procs);
     sweep.set_progress(progress_printer(ba::reduction_name(reduction)));
     sweep.set_trial(
         [reduction](const aer::AerConfig& cfg, const exp::GridPoint&) {

@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
   // configuration (the single-seed trace above is just the illustration).
   const std::size_t trials = opt.trials(25, 25, 25);
   exp::Sweep sweep(cfg, exp::Grid{}, trials);
-  sweep.set_threads(opt.threads);
+  sweep.set_threads(opt.threads).set_procs(opt.procs);
   sweep.set_progress(progress_printer("fig2 sweep"));
   const auto results = sweep.run();
   const exp::Aggregate agg = results.front().aggregate;

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
                  aer::Model::kAsync};
   grid.strategies = {"none", "overload"};
   exp::Sweep sweep(base, grid, trials);
-  sweep.set_threads(threads);
+  sweep.set_threads(threads).set_procs(opt.procs);
   const auto results = sweep.run();
 
   exp::Report report = make_report(

@@ -100,7 +100,8 @@ int main(int argc, char** argv) {
   grid.ns = light_sizes(scale);
   grid.strategies = {"none", "junk-light", "flood"};
   exp::Sweep sweep(base, grid, trials);
-  sweep.set_threads(threads).set_arena_trial(run_push_trial);
+  sweep.set_threads(threads).set_procs(opt.procs);
+  sweep.set_arena_trial(run_push_trial);
   sweep.set_progress(progress_printer("push-phase"));
 
   exp::Report report =

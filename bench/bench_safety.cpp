@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   report.meta().y_label = "wrong decisions (summed over trials)";
 
   exp::Sweep sweep(base, grid, trials);
-  sweep.set_threads(threads);
+  sweep.set_threads(threads).set_procs(opt.procs);
   const auto results = sweep.run();
   add_split_series(report, base, results, [](const exp::GridPoint& p) {
     return std::string("wrong/") + aer::model_name(p.model);
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
   exp::Grid vgrid;
   vgrid.strategies = {"wrong"};
   exp::Sweep vsweep(vbase, vgrid, 5);
-  vsweep.set_threads(threads);
+  vsweep.set_threads(threads).set_procs(opt.procs);
   const auto vresults = vsweep.run();
   report.add_points("precondition-violated", vbase, vresults);
   for (const exp::PointResult& r : vresults) {

@@ -7,7 +7,9 @@
 // machine. Trial replication and fan-out run through exp::Sweep:
 // `--trials=N` overrides the per-scale default, `--threads=N` overrides the
 // hardware default (`--threads=1` gives the serial reference run for
-// speedup measurements). `--json=FILE` additionally writes the sweep
+// speedup measurements), `--procs=N` switches to forked worker processes
+// (byte-identical results — exp/procpool.h). `--json=FILE` additionally
+// writes the sweep
 // aggregates as an fba.report JSON document (exp/report.h,
 // docs/output-schema.md) — the same schema fba_repro's figure files use.
 #pragma once
@@ -70,19 +72,25 @@ inline std::string fault_for(int argc, char** argv) {
   return string_flag(argc, argv, "--fault", "none");
 }
 
-/// Trials per grid point at each scale; `--trials=N` overrides.
-inline std::size_t trials_for(Scale scale, int argc, char** argv) {
-  std::size_t fallback = 10;
-  if (scale == Scale::kQuick) fallback = 3;
-  if (scale == Scale::kLarge) fallback = 30;
-  return std::max<std::size_t>(1, flag_value(argc, argv, "--trials", fallback));
-}
-
-/// Worker threads for exp::Sweep; `--threads=N` overrides the hardware
-/// default (`--threads=1` is the serial reference).
-inline std::size_t threads_for(int argc, char** argv) {
-  return std::max<std::size_t>(
-      1, flag_value(argc, argv, "--threads", exp::default_threads()));
+/// Strict positive-integer flag value: every character a digit and the
+/// number > 0. Zero, negatives, and garbage get a one-line error and
+/// exit 2 — the same contract --corrupt=/--know= follow in fba_sim
+/// (previously --trials=abc silently became the scale default and
+/// --threads=0 silently became 1).
+inline std::size_t positive_flag(const char* binary, const char* name,
+                                 const char* value) {
+  bool digits = *value != '\0';
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') digits = false;
+  }
+  const unsigned long long v =
+      digits ? std::strtoull(value, nullptr, 10) : 0;
+  if (!digits || v == 0) {
+    std::fprintf(stderr, "%s: invalid %s=%s (expected a positive integer)\n",
+                 binary, name, value);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
 }
 
 inline std::string ratio(std::size_t num, std::size_t den) {
@@ -185,6 +193,7 @@ struct CommonOptions {
   Scale scale = Scale::kDefault;
   std::size_t trials_override = 0;  ///< --trials=N; 0 = use scale default.
   std::size_t threads = 1;
+  std::size_t procs = 1;  ///< --procs=N: forked sweep workers (1 = off).
   std::string attack = "none";
   std::string fault = "none";
   std::string json;     ///< --json=FILE target; empty = not requested.
@@ -256,13 +265,15 @@ inline CommonOptions parse_common_flags(int argc, char** argv,
     }
     const char* value = nullptr;
     if (spec.sections.sweep && (value = value_of("--trials")) != nullptr) {
-      opt.trials_override =
-          std::max<std::size_t>(1, std::strtoull(value, nullptr, 10));
+      opt.trials_override = positive_flag(spec.binary, "--trials", value);
       continue;
     }
     if (spec.sections.sweep && (value = value_of("--threads")) != nullptr) {
-      opt.threads =
-          std::max<std::size_t>(1, std::strtoull(value, nullptr, 10));
+      opt.threads = positive_flag(spec.binary, "--threads", value);
+      continue;
+    }
+    if (spec.sections.sweep && (value = value_of("--procs")) != nullptr) {
+      opt.procs = positive_flag(spec.binary, "--procs", value);
       continue;
     }
     if (spec.sections.attacks && (value = value_of("--attack")) != nullptr) {

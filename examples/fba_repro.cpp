@@ -36,7 +36,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -59,6 +61,10 @@ struct Options {
   bool seed_set = false;          // --seed was passed explicitly
   std::size_t trials = 0;         // 0 = per-scale default
   std::size_t threads = exp::default_threads();
+  std::size_t procs = 1;  ///< --procs=N: forked sweep workers (1 = off).
+  std::string shard;      ///< --shard=i/N: record slice i of N and exit.
+  bool merge = false;     ///< --merge file...: replay merged shard files.
+  std::vector<std::string> merge_files;
   Scale scale = Scale::kDefault;
   bool timing = false;  ///< --timing: print the setup-vs-run split on exit.
 };
@@ -73,6 +79,13 @@ constexpr const char* kUsageExtra =
     "  --validate=FILE    parse FILE against the report schema (fingerprint\n"
     "                     revalidation included) and exit; no sweep runs\n"
     "  --seed=N           base seed (default 20130722)\n"
+    "  --shard=I/N        run only slice I of N of the figure's (point,\n"
+    "                     trial) cells and write BENCH_<figure>.shardIofN\n"
+    "                     .json instead of the report (manual fan-out\n"
+    "                     across machines; docs/perf.md)\n"
+    "  --merge FILE...    merge independently recorded shard files, verify\n"
+    "                     full coverage + fingerprints, and emit the exact\n"
+    "                     report a serial run of the same flags would\n"
     "  --attack applies to fault-matrix, adaptive and fig3-scale; --fault\n"
     "  applies one preset to the fig1a/fig1b/fig2/fig3-scale/adaptive sweeps\n"
     "  (fig3 is sampler-only and ignores both; service pins its own plan\n"
@@ -88,7 +101,7 @@ benchutil::CommonSpec repro_spec() {
       "figure-reproduction pipeline (JSON/CSV/gnuplot/markdown per figure)";
   spec.extra_usage = kUsageExtra;
   spec.extra_flags = {"--figure=", "--out=", "--baseline=", "--validate=",
-                      "--seed="};
+                      "--seed=", "--shard="};
   spec.sections = {.attacks = true, .faults = true,
                    .json = false};  // reports go via --out
   spec.accept_timing = true;
@@ -150,7 +163,7 @@ exp::Report run_fig1a(const Options& opt, std::size_t trials) {
                      aer::Model::kAsync};
   if (opt.fault != "none") aer_grid.faults = {opt.fault};
   exp::Sweep aer_sweep(base, aer_grid, trials);
-  aer_sweep.set_threads(opt.threads);
+  aer_sweep.set_threads(opt.threads).set_procs(opt.procs);
   aer_sweep.set_progress(progress("fig1a AER"));
   add_by_model(report, "AER/", base, aer_sweep.run());
 
@@ -159,12 +172,14 @@ exp::Report run_fig1a(const Options& opt, std::size_t trials) {
   base_grid.models = {aer::Model::kSyncRushing};
   if (opt.fault != "none") base_grid.faults = {opt.fault};
   exp::Sweep sqrt_sweep(base, base_grid, trials);
-  sqrt_sweep.set_threads(opt.threads).set_trial(exp::run_sqrtsample_trial);
+  sqrt_sweep.set_threads(opt.threads).set_procs(opt.procs);
+  sqrt_sweep.set_trial(exp::run_sqrtsample_trial);
   sqrt_sweep.set_progress(progress("fig1a sqrt-sample"));
   report.add_points("SQRT-SAMPLE", base, sqrt_sweep.run());
 
   exp::Sweep flood_sweep(base, base_grid, trials);
-  flood_sweep.set_threads(opt.threads).set_trial(exp::run_flood_trial);
+  flood_sweep.set_threads(opt.threads).set_procs(opt.procs);
+  flood_sweep.set_trial(exp::run_flood_trial);
   flood_sweep.set_progress(progress("fig1a flood"));
   report.add_points("FLOOD-ALL", base, flood_sweep.run());
   return report;
@@ -191,7 +206,7 @@ exp::Report run_fig1b(const Options& opt, std::size_t trials) {
        {ba::Reduction::kAer, ba::Reduction::kSqrtSample,
         ba::Reduction::kFlood}) {
     exp::Sweep sweep(base, grid, trials);
-    sweep.set_threads(opt.threads);
+    sweep.set_threads(opt.threads).set_procs(opt.procs);
     sweep.set_progress(progress(ba::reduction_name(reduction)));
     sweep.set_trial(
         [reduction](const aer::AerConfig& cfg, const exp::GridPoint& point) {
@@ -232,7 +247,7 @@ exp::Report run_fig2(const Options& opt, std::size_t trials) {
   if (opt.fault != "none") grid.faults = {opt.fault};
 
   exp::Sweep sweep(cfg, grid, trials);
-  sweep.set_threads(opt.threads);
+  sweep.set_threads(opt.threads).set_procs(opt.procs);
   sweep.set_progress(progress("fig2"));
   report.add_points("AER n=64", cfg, sweep.run());
   return report;
@@ -388,7 +403,7 @@ exp::Report run_fault_matrix(const Options& opt, std::size_t trials) {
   grid.strategies = {opt.attack};
   grid.faults = exp::known_faults();
   exp::Sweep sweep(base, grid, trials);
-  sweep.set_threads(opt.threads);
+  sweep.set_threads(opt.threads).set_procs(opt.procs);
   sweep.set_progress(progress("fault-matrix"));
   add_by_model(report, "AER/", base, sweep.run());
   return report;
@@ -425,7 +440,7 @@ exp::Report run_adaptive(const Options& opt, std::size_t trials) {
   grid.budgets = {0, 2, 4, 8, 16};
 
   exp::Sweep sweep(base, grid, trials);
-  sweep.set_threads(opt.threads);
+  sweep.set_threads(opt.threads).set_procs(opt.procs);
   sweep.set_progress(progress("adaptive"));
   benchutil::add_split_series(
       report, base, sweep.run(), [](const exp::GridPoint& p) {
@@ -485,23 +500,67 @@ exp::Report run_service_figure(const Options& opt, std::size_t trials) {
 
 // ---- driver -----------------------------------------------------------------
 
+/// The figures --shard/--merge can split: exactly those whose trials run
+/// through exp::Sweep (fig3 drives exp::run_indexed directly; fig3-scale
+/// and service loop by hand with non-uniform trial counts).
+bool shardable_figure(const std::string& figure) {
+  return figure == "fig1a" || figure == "fig1b" || figure == "fig2" ||
+         figure == "fault-matrix" || figure == "adaptive";
+}
+
+Scale scale_from_name(const std::string& name) {
+  if (name == "quick") return Scale::kQuick;
+  if (name == "large") return Scale::kLarge;
+  return Scale::kDefault;
+}
+
+/// fig2 pins seed 13 unless --seed was given (see run_fig2); the shard
+/// meta must record the seed the figure actually runs so --merge replays
+/// the exact configuration.
+std::uint64_t effective_seed(const Options& opt) {
+  if (opt.figure == "fig2" && !opt.seed_set) return 13;
+  return opt.seed;
+}
+
 Options parse(int argc, char** argv) {
+  Options opt;
+
+  // --merge consumes every following non-flag argument as a shard file;
+  // pull those out before the shared flag validation (which rejects
+  // anything it does not know).
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--merge") == 0) {
+      opt.merge = true;
+      continue;
+    }
+    if (opt.merge && std::strncmp(argv[i], "--", 2) != 0) {
+      opt.merge_files.push_back(argv[i]);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   // parse_common_flags handles --help (exit 0) and unknown flags (usage +
   // exit 2); only the fba_repro-specific values are read out here.
   const benchutil::CommonOptions common =
       benchutil::parse_common_flags(argc, argv, repro_spec());
 
-  Options opt;
   opt.scale = common.scale;
   opt.attack = common.attack;
   opt.fault = common.fault;
   opt.timing = common.timing;
   opt.trials = common.trials_override;
   opt.threads = common.threads;
+  opt.procs = common.procs;
   opt.figure = benchutil::string_flag(argc, argv, "--figure", "");
   opt.out = benchutil::string_flag(argc, argv, "--out", "results");
   opt.baseline = benchutil::string_flag(argc, argv, "--baseline", "");
   opt.validate = benchutil::string_flag(argc, argv, "--validate", "");
+  opt.shard = benchutil::string_flag(argc, argv, "--shard", "");
   const std::string seed = benchutil::string_flag(argc, argv, "--seed", "");
   if (!seed.empty()) {
     char* end = nullptr;
@@ -519,7 +578,7 @@ Options parse(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
+  Options opt = parse(argc, argv);
 
   try {
     if (!opt.validate.empty()) {
@@ -533,6 +592,69 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    std::size_t shard_index = 0;
+    std::size_t shard_count = 1;
+    if (!opt.shard.empty() && opt.merge) {
+      std::fprintf(stderr,
+                   "fba_repro: --shard and --merge are mutually exclusive\n");
+      return 2;
+    }
+    if (!opt.shard.empty()) {
+      if (std::sscanf(opt.shard.c_str(), "%zu/%zu", &shard_index,
+                      &shard_count) != 2 ||
+          shard_count < 1 || shard_index >= shard_count) {
+        std::fprintf(stderr,
+                     "fba_repro: malformed --shard=%s (expected I/N with"
+                     " 0 <= I < N)\n",
+                     opt.shard.c_str());
+        return 2;
+      }
+      if (!shardable_figure(opt.figure)) {
+        std::fprintf(stderr,
+                     "fba_repro: --shard/--merge support only the"
+                     " Sweep-driven figures (fig1a, fig1b, fig2,"
+                     " fault-matrix, adaptive), not \"%s\"\n",
+                     opt.figure.c_str());
+        return 2;
+      }
+    }
+    if (opt.merge) {
+      if (opt.merge_files.empty()) {
+        std::fprintf(stderr,
+                     "fba_repro: --merge needs at least one shard file\n");
+        return 2;
+      }
+      std::vector<exp::ShardDoc> docs;
+      docs.reserve(opt.merge_files.size());
+      for (const std::string& file : opt.merge_files) {
+        docs.push_back(exp::ShardDoc::from_json_file(file));
+      }
+      exp::ShardDoc merged = exp::merge_shards(docs);
+      if (!shardable_figure(merged.meta.figure)) {
+        std::fprintf(stderr,
+                     "fba_repro: shard files name figure \"%s\", which is"
+                     " not a sharded figure\n",
+                     merged.meta.figure.c_str());
+        return 2;
+      }
+      // Replay under exactly the recorded configuration: the meta, not the
+      // command line, decides figure/seed/trials/scale/attack/fault.
+      opt.figure = merged.meta.figure;
+      opt.seed = merged.meta.base_seed;
+      opt.seed_set = true;
+      opt.trials = merged.meta.trials;
+      opt.scale = scale_from_name(merged.meta.scale);
+      opt.attack = merged.meta.attack;
+      opt.fault = merged.meta.fault;
+      opt.procs = 1;  // cells come from the shards, nothing runs
+      std::fprintf(stderr,
+                   "fba_repro: replaying %zu cells from %zu shard file(s)"
+                   " (figure %s)\n",
+                   merged.total_cells(), opt.merge_files.size(),
+                   opt.figure.c_str());
+      exp::ShardIo::instance().start_replay(std::move(merged));
+    }
+
     // Validate scenario names before any sweep runs.
     exp::attack_factory(opt.attack);
     exp::fault_plan_factory(opt.fault);
@@ -540,6 +662,20 @@ int main(int argc, char** argv) {
     const std::size_t trials =
         opt.trials > 0 ? opt.trials : default_trials(opt.scale);
     benchutil::Stopwatch watch;
+
+    if (!opt.shard.empty()) {
+      exp::ShardMeta meta;
+      meta.tool = "fba_repro";
+      meta.figure = opt.figure;
+      meta.scale = benchutil::scale_name(opt.scale);
+      meta.attack = opt.attack;
+      meta.fault = opt.fault;
+      meta.base_seed = effective_seed(opt);
+      meta.trials = trials;
+      meta.shard_index = shard_index;
+      meta.shard_count = shard_count;
+      exp::ShardIo::instance().start_record(meta);
+    }
 
     exp::Report report;
     if (opt.figure == "fig1a") {
@@ -567,15 +703,55 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    const bool interrupted = exp::interrupt_requested();
+
+    if (exp::ShardIo::instance().mode() == exp::ShardIo::Mode::kRecord) {
+      if (interrupted) {
+        std::fprintf(stderr, "fba_repro: interrupted — shard incomplete,"
+                             " nothing written\n");
+        return 130;
+      }
+      std::error_code ec;
+      std::filesystem::create_directories(opt.out, ec);
+      const std::string path = opt.out + "/BENCH_" + opt.figure + ".shard" +
+                               std::to_string(shard_index) + "of" +
+                               std::to_string(shard_count) + ".json";
+      exp::ShardIo::instance().doc().write(path);
+      std::printf("wrote %s (%zu of the figure's cells)\n", path.c_str(),
+                  exp::ShardIo::instance().doc().total_cells());
+      std::printf("[%s shard %zu/%zu done in %.1fs]\n", opt.figure.c_str(),
+                  shard_index, shard_count, watch.seconds());
+      return 0;
+    }
+
+    if (interrupted) {
+      // SIGINT drained the process pool: the report holds every point that
+      // fully completed — still a valid, fingerprinted fba.report — but
+      // the baseline gate would compare apples to a partial crate.
+      std::fprintf(stderr,
+                   "fba_repro: interrupted — writing the %zu point(s) that"
+                   " completed; skipping the baseline gate\n",
+                   report.total_points());
+      if (report.total_points() > 0) {
+        std::fputs(report.to_markdown().c_str(), stdout);
+        for (const std::string& path : report.write_all(opt.out)) {
+          std::printf("wrote %s\n", path.c_str());
+        }
+      }
+      return 130;
+    }
+
     // The rendered curve + per-series tables, then the artifact files.
     std::fputs(report.to_markdown().c_str(), stdout);
     for (const std::string& path : report.write_all(opt.out)) {
       std::printf("wrote %s\n", path.c_str());
     }
     std::printf("[%s done in %.1fs: %zu trials/point x %zu points on %zu"
-                " thread(s)]\n",
+                " %s]\n",
                 opt.figure.c_str(), watch.seconds(), trials,
-                report.total_points(), opt.threads);
+                report.total_points(),
+                opt.procs > 1 ? opt.procs : opt.threads,
+                opt.procs > 1 ? "process(es)" : "thread(s)");
 
     if (opt.timing) {
       // One-line setup-vs-run split accumulated across this figure's

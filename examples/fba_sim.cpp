@@ -56,6 +56,7 @@ struct Options {
   std::string json;  ///< --json=FILE: write an fba.report document.
   std::size_t trials = 1;
   std::size_t threads = exp::default_threads();
+  std::size_t procs = 1;  ///< --procs=N: forked sweep workers (1 = off).
   bool timing = false;  ///< --timing: print the setup-vs-run split on exit.
 };
 
@@ -155,6 +156,7 @@ Options parse(int argc, char** argv) {
   opt.timing = common.timing;
   if (common.trials_override > 0) opt.trials = common.trials_override;
   opt.threads = common.threads;
+  opt.procs = common.procs;
 
   using benchutil::flag_value;
   using benchutil::string_flag;
@@ -323,9 +325,7 @@ exp::GridPoint single_point(const Options& opt, aer::Model model) {
   return p;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_sim(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   TimingPrinter timing_printer{opt.timing};
 
@@ -379,7 +379,7 @@ int main(int argc, char** argv) {
       grid.strategies = {opt.attack};
       grid.faults = {opt.fault};  // BaConfig carries the resolved plan.
       exp::Sweep sweep(base, grid, opt.trials);
-      sweep.set_threads(opt.threads);
+      sweep.set_threads(opt.threads).set_procs(opt.procs);
       sweep.set_progress(sweep_progress());
       sweep.set_trial([&cfg, reduction](const aer::AerConfig& trial_cfg,
                                         const exp::GridPoint& point) {
@@ -388,7 +388,13 @@ int main(int argc, char** argv) {
         return exp::outcome_of(ba::run_ba(run, reduction, {},
                                           exp::attack_factory(point.strategy)));
       });
-      const exp::PointResult result = sweep.run().front();
+      const std::vector<exp::PointResult> results = sweep.run();
+      if (sweep.proc_stats().interrupted) {
+        std::fprintf(stderr,
+                     "fba_sim: interrupted — sweep incomplete, no result\n");
+        return 130;
+      }
+      const exp::PointResult result = results.front();
       print_aggregate(std::string("BA/") + ba::reduction_name(reduction) +
                           " " + result.point.label(),
                       result.aggregate, opt.threads);
@@ -446,10 +452,16 @@ int main(int argc, char** argv) {
     grid.strategies = {opt.attack};
     grid.faults = {opt.fault};
     exp::Sweep sweep(cfg, grid, opt.trials);
-    sweep.set_threads(opt.threads);
+    sweep.set_threads(opt.threads).set_procs(opt.procs);
     if (trial) sweep.set_trial(std::move(trial));
     sweep.set_progress(sweep_progress());
-    const exp::PointResult result = sweep.run().front();
+    const std::vector<exp::PointResult> results = sweep.run();
+    if (sweep.proc_stats().interrupted) {
+      std::fprintf(stderr,
+                   "fba_sim: interrupted — sweep incomplete, no result\n");
+      return 130;
+    }
+    const exp::PointResult result = results.front();
     print_aggregate(opt.protocol + " " + result.point.label(),
                     result.aggregate, opt.threads);
     write_json_report(opt, opt.protocol, result.point, result.aggregate, cfg);
@@ -474,4 +486,17 @@ int main(int argc, char** argv) {
                       exp::aggregate_outcomes({o}), cfg);
   }
   return report.agreement ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_sim(argc, argv);
+  } catch (const fba::ConfigError& e) {
+    // Covers mid-run failures too — e.g. the process pool giving up after
+    // its retry budget (a clean partial-result error, not a crash).
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 }

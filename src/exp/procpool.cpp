@@ -1,0 +1,370 @@
+#include "exp/procpool.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+
+#include "support/subprocess.h"
+#include "support/types.h"
+
+namespace fba::exp {
+
+namespace {
+
+volatile sig_atomic_t g_interrupted = 0;
+
+void on_sigint(int) { g_interrupted = 1; }
+
+/// Installed without SA_RESTART so a Ctrl-C breaks the parent out of
+/// poll() with EINTR and the drain logic runs immediately.
+void install_sigint_handler() {
+  static bool installed = false;
+  if (installed) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = on_sigint;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  installed = true;
+}
+
+double now_seconds() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+bool hook_matches(const char* value, std::size_t worker) {
+  if (value == nullptr || *value == '\0') return false;
+  if (std::strcmp(value, "all") == 0) return true;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  return end != value && *end == '\0' && v == worker;
+}
+
+/// The forked worker's main loop: read task lines, compute, stream the
+/// result back. Never returns into the caller's stack (spawn_child _exits
+/// with the return value).
+int worker_main(int fd, std::size_t worker, const ProcCompute& compute) {
+  const char* crash_hook = std::getenv("FBA_TEST_WORKER_CRASH");
+  const char* hang_hook = std::getenv("FBA_TEST_WORKER_HANG");
+  bool first_task = true;
+
+  std::string buf;
+  while (true) {
+    const std::size_t nl = buf.find('\n');
+    if (nl == std::string::npos) {
+      if (support::read_some(fd, buf, 4096) <= 0) return 1;  // parent died
+      continue;
+    }
+    const std::string line = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+
+    if (line == "Q") return 0;
+
+    std::size_t begin = 0, end = 0;
+    if (std::sscanf(line.c_str(), "T %zu %zu", &begin, &end) != 2) return 1;
+
+    if (first_task) {
+      first_task = false;
+      if (hook_matches(crash_hook, worker)) _exit(1);
+      if (hook_matches(hang_hook, worker)) {
+        while (true) pause();  // no heartbeats: the parent must time us out
+      }
+    }
+
+    const auto beat = [fd] {
+      if (!support::write_all(fd, "B\n", 2)) _exit(1);
+    };
+    std::string payload;
+    try {
+      payload = compute(begin, end, beat);
+    } catch (const std::exception& e) {
+      const std::string msg = e.what();
+      char header[64];
+      std::snprintf(header, sizeof(header), "E %zu\n", msg.size());
+      std::string out = header;
+      out += msg;
+      support::write_all(fd, out.data(), out.size());
+      continue;  // parent aborts the run; keep the pipe open meanwhile
+    }
+    char header[96];
+    std::snprintf(header, sizeof(header), "R %zu %zu %zu\n", begin, end,
+                  payload.size());
+    std::string out = header;
+    out += payload;
+    if (!support::write_all(fd, out.data(), out.size())) return 1;
+  }
+}
+
+/// Parent-side view of one worker: its process, read buffer, in-flight
+/// task, and the message-framing state machine.
+struct WorkerSlot {
+  support::ChildProc proc;
+  std::string buf;
+  long task = -1;  ///< index into tasks, -1 when idle/quitting
+  double deadline = 0;
+  bool quitting = false;
+  // Framing: after an R/E header, how many body bytes are still owed.
+  enum class Frame { kLine, kResult, kError } frame = Frame::kLine;
+  std::size_t body_len = 0;
+  std::size_t r_begin = 0, r_end = 0;
+};
+
+std::size_t task_cells(const std::vector<ProcTask>& tasks) {
+  std::size_t n = 0;
+  for (const ProcTask& t : tasks) n += t.end - t.begin;
+  return n;
+}
+
+}  // namespace
+
+bool interrupt_requested() { return g_interrupted != 0; }
+
+void clear_interrupt() { g_interrupted = 0; }
+
+ProcStats run_proc_tasks(const std::vector<ProcTask>& tasks,
+                         std::size_t procs, const ProcOptions& options,
+                         const ProcCompute& compute,
+                         const ProcAccept& accept) {
+  FBA_REQUIRE(procs >= 1, "process pool needs at least one worker");
+  ProcStats stats;
+  stats.tasks = tasks.size();
+  if (tasks.empty() || interrupt_requested()) {
+    stats.interrupted = interrupt_requested();
+    return stats;
+  }
+
+  ProcOptions opts = options;
+  if (const char* env = std::getenv("FBA_PROC_TIMEOUT")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && v > 0) opts.heartbeat_timeout = v;
+  }
+
+  install_sigint_handler();
+  support::ScopedSigpipeIgnore sigpipe_guard;
+
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < tasks.size(); ++i) pending.push_back(i);
+  std::vector<std::size_t> retries(tasks.size(), 0);
+  std::size_t done = 0;
+  std::size_t done_cells = 0;
+
+  const std::size_t n_workers = procs < tasks.size() ? procs : tasks.size();
+  stats.workers = n_workers;
+  std::vector<WorkerSlot> workers(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    workers[w].proc = support::spawn_child(
+        [w, &compute](int fd) { return worker_main(fd, w, compute); });
+  }
+
+  const auto abort_run = [&](const std::string& reason) {
+    for (WorkerSlot& slot : workers) {
+      if (slot.proc.alive()) support::kill_and_reap(slot.proc, SIGKILL);
+    }
+    throw ConfigError("process sweep failed: " + reason + " (completed " +
+                      std::to_string(done) + " of " +
+                      std::to_string(tasks.size()) + " tasks, " +
+                      std::to_string(done_cells) + " of " +
+                      std::to_string(task_cells(tasks)) + " cells)");
+  };
+
+  const auto deal = [&](WorkerSlot& slot) -> bool {
+    if (pending.empty() || interrupt_requested()) return false;
+    const std::size_t t = pending.front();
+    pending.pop_front();
+    char line[96];
+    std::snprintf(line, sizeof(line), "T %zu %zu\n", tasks[t].begin,
+                  tasks[t].end);
+    if (!support::write_all(slot.proc.fd, line, std::strlen(line))) {
+      pending.push_front(t);
+      return false;  // broken pipe: the poll loop reaps this worker
+    }
+    slot.task = static_cast<long>(t);
+    slot.deadline = now_seconds() + opts.heartbeat_timeout;
+    return true;
+  };
+
+  const auto quit_worker = [&](WorkerSlot& slot) {
+    slot.quitting = true;
+    slot.task = -1;
+    support::write_all(slot.proc.fd, "Q\n", 2);
+    support::reap_with_grace(slot.proc, 5.0);
+  };
+
+  // A task comes back to the queue after its worker crashed, hung, or
+  // returned a corrupt payload.
+  const auto redeal = [&](WorkerSlot& slot, const char* why) {
+    const long t = slot.task;
+    slot.task = -1;
+    if (t < 0) return;
+    ++stats.tasks_redealt;
+    if (++retries[static_cast<std::size_t>(t)] > opts.max_retries) {
+      abort_run("task [" + std::to_string(tasks[t].begin) + ", " +
+                std::to_string(tasks[t].end) + ") exceeded " +
+                std::to_string(opts.max_retries) + " re-deals (" + why + ")");
+    }
+    std::fprintf(stderr,
+                 "fba: worker %s; re-dealing task [%zu, %zu) (retry %zu)\n",
+                 why, tasks[t].begin, tasks[t].end,
+                 retries[static_cast<std::size_t>(t)]);
+    pending.push_front(static_cast<std::size_t>(t));
+  };
+
+  for (WorkerSlot& slot : workers) deal(slot);
+
+  while (true) {
+    // Drained? Every task accepted, or SIGINT dropped the pending ones and
+    // no worker still holds an in-flight task.
+    bool in_flight = false;
+    for (WorkerSlot& slot : workers) {
+      if (slot.proc.alive() && slot.task >= 0) in_flight = true;
+    }
+    const bool drained =
+        done == tasks.size() ||
+        (interrupt_requested() && !in_flight) ||
+        (pending.empty() && !in_flight);
+    if (drained) break;
+
+    if (!in_flight) {
+      // Tasks pending but nobody working on them: hand them out, or admit
+      // defeat when every worker is gone.
+      bool dealt = false;
+      for (WorkerSlot& slot : workers) {
+        if (slot.proc.alive() && !slot.quitting && slot.task < 0) {
+          if (deal(slot)) dealt = true;
+        }
+      }
+      if (!dealt) abort_run("all workers died");
+      continue;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_owner;
+    double min_deadline = -1;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      WorkerSlot& slot = workers[w];
+      if (!slot.proc.alive() || slot.task < 0) continue;
+      fds.push_back(pollfd{slot.proc.fd, POLLIN, 0});
+      fd_owner.push_back(w);
+      if (min_deadline < 0 || slot.deadline < min_deadline) {
+        min_deadline = slot.deadline;
+      }
+    }
+
+    int timeout_ms = 1000;
+    if (min_deadline >= 0) {
+      const double remain = min_deadline - now_seconds();
+      timeout_ms = remain <= 0 ? 0
+                               : static_cast<int>(remain * 1000.0) + 10;
+      if (timeout_ms > 1000) timeout_ms = 1000;
+    }
+    const int ready = poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      abort_run(std::string("poll failed: ") + std::strerror(errno));
+    }
+
+    const double now = now_seconds();
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      WorkerSlot& slot = workers[fd_owner[i]];
+      if (!slot.proc.alive() || slot.task < 0) continue;
+
+      if (ready > 0 && (fds[i].revents & (POLLIN | POLLHUP | POLLERR))) {
+        const long n = support::read_some(slot.proc.fd, slot.buf, 4096);
+        if (n <= 0) {
+          ++stats.worker_crashes;
+          support::kill_and_reap(slot.proc, SIGKILL);
+          redeal(slot, "crashed");
+          continue;
+        }
+        slot.deadline = now + opts.heartbeat_timeout;
+
+        // Consume every complete message in the buffer.
+        bool worker_gone = false;
+        while (!worker_gone) {
+          if (slot.frame == WorkerSlot::Frame::kLine) {
+            const std::size_t nl = slot.buf.find('\n');
+            if (nl == std::string::npos) break;
+            const std::string line = slot.buf.substr(0, nl);
+            slot.buf.erase(0, nl + 1);
+            if (line == "B") continue;
+            std::size_t b = 0, e = 0, len = 0;
+            if (std::sscanf(line.c_str(), "R %zu %zu %zu", &b, &e, &len) ==
+                3) {
+              slot.frame = WorkerSlot::Frame::kResult;
+              slot.body_len = len;
+              slot.r_begin = b;
+              slot.r_end = e;
+            } else if (std::sscanf(line.c_str(), "E %zu", &len) == 1) {
+              slot.frame = WorkerSlot::Frame::kError;
+              slot.body_len = len;
+            } else {
+              ++stats.worker_crashes;
+              support::kill_and_reap(slot.proc, SIGKILL);
+              redeal(slot, "sent a malformed message");
+              worker_gone = true;
+            }
+          } else if (slot.buf.size() < slot.body_len) {
+            break;  // body still streaming in
+          } else {
+            const std::string body = slot.buf.substr(0, slot.body_len);
+            slot.buf.erase(0, slot.body_len);
+            const WorkerSlot::Frame frame = slot.frame;
+            slot.frame = WorkerSlot::Frame::kLine;
+            if (frame == WorkerSlot::Frame::kError) {
+              // Deterministic task failure: any worker would hit it too.
+              abort_run("trial failed: " + body);
+            }
+            const long t = slot.task;
+            try {
+              accept(fd_owner[i], slot.r_begin, slot.r_end, body);
+            } catch (const ConfigError& err) {
+              std::fprintf(stderr, "fba: worker payload rejected: %s\n",
+                           err.what());
+              ++stats.worker_crashes;
+              support::kill_and_reap(slot.proc, SIGKILL);
+              redeal(slot, "returned a corrupt payload");
+              worker_gone = true;
+              continue;
+            }
+            ++done;
+            if (t >= 0) {
+              done_cells +=
+                  tasks[static_cast<std::size_t>(t)].end -
+                  tasks[static_cast<std::size_t>(t)].begin;
+            }
+            slot.task = -1;
+            // No more pending work: stay alive but idle — a crashed peer's
+            // task may still be re-dealt here. The final cleanup quits us.
+            if (!deal(slot)) worker_gone = true;
+          }
+        }
+        continue;
+      }
+
+      if (now >= slot.deadline) {
+        ++stats.worker_timeouts;
+        support::kill_and_reap(slot.proc, SIGKILL);
+        redeal(slot, "stopped heartbeating (timed out)");
+      }
+    }
+  }
+
+  for (WorkerSlot& slot : workers) {
+    if (slot.proc.alive() && !slot.quitting) quit_worker(slot);
+  }
+  stats.interrupted = interrupt_requested() && done < tasks.size();
+  return stats;
+}
+
+}  // namespace fba::exp

@@ -1,0 +1,100 @@
+// Forked-worker task pool behind exp::Sweep's --procs=N mode.
+//
+// The parent deals contiguous task ranges to N forked workers over a
+// socketpair protocol and folds each returned payload back in the order
+// the caller's accept function chooses — the pool itself is payload-
+// agnostic (Sweep ships exp::ShardPayload JSON through it).
+//
+// Wire protocol (newline-framed headers, length-prefixed bodies):
+//
+//   parent -> child   "T <begin> <end>\n"        run task range [begin,end)
+//                     "Q\n"                      no more work, exit 0
+//   child  -> parent  "B\n"                      heartbeat (one per cell)
+//                     "R <begin> <end> <len>\n"  + len payload bytes
+//                     "E <len>\n"                + len error-message bytes
+//
+// Robustness contract:
+//   - A worker that exits, is killed, or whose pipe breaks mid-task is
+//     detected by EOF/poll; its in-flight task is re-dealt to a survivor.
+//   - A worker that stops heartbeating for longer than
+//     ProcOptions::heartbeat_timeout is SIGKILLed and its task re-dealt.
+//   - An accept function throwing ConfigError (corrupt payload) kills the
+//     worker and re-deals, same as a crash.
+//   - Each task is re-dealt at most max_retries times; exceeding that, or
+//     running out of live workers, aborts with a ConfigError stating how
+//     many tasks/cells completed. Workers are never respawned.
+//   - "E" means the task itself threw (a deterministic failure that would
+//     recur on any worker): the pool kills everything and rethrows the
+//     message as a ConfigError, no re-deal.
+//   - SIGINT stops dealing: in-flight tasks drain into accepted results,
+//     pending ones are dropped, and the pool returns with
+//     ProcStats::interrupted set so the caller can emit a valid partial
+//     report. interrupt_requested() stays latched for later pool runs.
+//
+// Test hooks (read by the forked child from its environment):
+//   FBA_TEST_WORKER_CRASH=<index|all>  _exit(1) on first task receipt.
+//   FBA_TEST_WORKER_HANG=<index|all>   sleep forever on first task receipt
+//                                      (no heartbeats -> parent timeout).
+//   FBA_PROC_TIMEOUT=<seconds>         overrides heartbeat_timeout.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fba::exp {
+
+struct ProcOptions {
+  /// Seconds without a heartbeat before a worker is declared hung.
+  double heartbeat_timeout = 120.0;
+  /// How many times one task may be re-dealt before the pool gives up.
+  std::size_t max_retries = 3;
+};
+
+/// What happened during one pool run, surfaced via Sweep::proc_stats() and
+/// asserted on by the crash-injection tests.
+struct ProcStats {
+  std::size_t workers = 0;          ///< workers forked.
+  std::size_t tasks = 0;            ///< tasks dealt at least once.
+  std::size_t tasks_redealt = 0;    ///< re-deals after crash/timeout.
+  std::size_t worker_crashes = 0;   ///< exits/broken pipes/corrupt payloads.
+  std::size_t worker_timeouts = 0;  ///< heartbeat-timeout SIGKILLs.
+  bool interrupted = false;         ///< SIGINT drained to a partial result.
+};
+
+/// One contiguous task range [begin, end) in the caller's index space
+/// (Sweep: indices into its owned-cell list, cut at point boundaries).
+struct ProcTask {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Runs in the forked child: computes [begin, end) and returns the payload
+/// to ship back. Must call `beat` after each unit of progress (Sweep: each
+/// cell) — that is the liveness signal the parent's timeout watches.
+using ProcCompute = std::function<std::string(
+    std::size_t begin, std::size_t end, const std::function<void()>& beat)>;
+
+/// Runs in the parent when a task's payload arrives. `worker` identifies
+/// the worker (0-based fork order) for per-worker timing attribution.
+/// Throwing ConfigError marks the payload corrupt: the worker is killed
+/// and the task re-dealt.
+using ProcAccept =
+    std::function<void(std::size_t worker, std::size_t begin,
+                       std::size_t end, const std::string& payload)>;
+
+/// True once SIGINT arrived during a pool run (latched; survives across
+/// subsequent sweeps so a multi-sweep figure stops as a whole).
+bool interrupt_requested();
+/// Unlatches the interrupt flag (tests only).
+void clear_interrupt();
+
+/// Deals `tasks` over min(procs, tasks.size()) forked workers and blocks
+/// until every task is accepted, the run is interrupted, or it aborts with
+/// a ConfigError per the robustness contract above.
+ProcStats run_proc_tasks(const std::vector<ProcTask>& tasks,
+                         std::size_t procs, const ProcOptions& options,
+                         const ProcCompute& compute, const ProcAccept& accept);
+
+}  // namespace fba::exp

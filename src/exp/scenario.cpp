@@ -108,7 +108,11 @@ std::string scenario_usage(const UsageSections& sections) {
            "  --threads=N        exp::Sweep worker threads; results are"
            " bit-identical\n"
            "                     at any thread count (--threads=1 = serial"
-           " reference)\n";
+           " reference)\n"
+           "  --procs=N          fork N worker processes instead of threads;"
+           " results stay\n"
+           "                     byte-identical (crashed/hung workers are"
+           " re-dealt)\n";
   }
   if (sections.json) {
     out += "report output (docs/output-schema.md):\n"

@@ -10,6 +10,7 @@
 
 #include "exp/arena.h"
 #include "exp/scenario.h"
+#include "exp/shard.h"
 #include "support/siphash.h"
 #include "support/types.h"
 
@@ -104,7 +105,17 @@ std::string format_timing(const SweepTiming& t) {
                 t.run_seconds,
                 total > 0 ? 100.0 * t.run_seconds / total : 0.0,
                 1e3 * total / static_cast<double>(t.trials));
-  return line;
+  std::string out = line;
+  for (std::size_t w = 0; w < t.worker_shares.size(); ++w) {
+    const SweepTiming::WorkerShare& share = t.worker_shares[w];
+    std::snprintf(line, sizeof(line),
+                  "\n  proc worker %zu: %llu trials | setup %.2fs |"
+                  " run %.2fs",
+                  w, static_cast<unsigned long long>(share.trials),
+                  share.setup_seconds, share.run_seconds);
+    out += line;
+  }
+  return out;
 }
 
 Sweep::Sweep(aer::AerConfig base, Grid grid, std::size_t trials)
@@ -121,6 +132,16 @@ Sweep::Sweep(aer::AerConfig base, Grid grid, std::size_t trials)
 
 Sweep& Sweep::set_threads(std::size_t threads) {
   threads_ = std::max<std::size_t>(1, threads);
+  return *this;
+}
+
+Sweep& Sweep::set_procs(std::size_t procs) {
+  procs_ = std::max<std::size_t>(1, procs);
+  return *this;
+}
+
+Sweep& Sweep::set_proc_options(ProcOptions options) {
+  proc_options_ = options;
   return *this;
 }
 
@@ -147,62 +168,199 @@ std::size_t Sweep::total_trials() const {
   return grid_.points() * trials_;
 }
 
+namespace {
+
+/// One cell of a sweep's (point, trial) matrix, in the owned-cell index
+/// space the thread pool and the process pool both deal over.
+struct SweepCell {
+  std::size_t point = 0;
+  std::size_t trial = 0;
+};
+
+}  // namespace
+
 std::vector<PointResult> Sweep::run() const {
   const std::vector<GridPoint> points = expand_grid(base_, grid_);
+
+  ShardIo& shard_io = ShardIo::instance();
+  const bool record = shard_io.mode() == ShardIo::Mode::kRecord;
+  const bool replay = shard_io.mode() == ShardIo::Mode::kReplay;
+  std::size_t sweep_id = 0;
+  if (record || replay) {
+    sweep_id = shard_io.begin_sweep(base_.seed, trials_, points);
+  }
 
   // Slot matrix written by the workers: task index -> fixed slot, so the
   // final reduction never sees scheduling order.
   std::vector<std::vector<TrialOutcome>> slots(points.size());
   for (auto& point_slots : slots) point_slots.resize(trials_);
 
-  const std::size_t total = points.size() * trials_;
-  std::mutex progress_mutex;
-  std::size_t completed = 0;
+  // Which cells hold a real outcome: everything in replay mode, the shard's
+  // slice in record mode, and in an interrupted process run only the cells
+  // that drained — points with gaps are dropped from the result.
+  std::vector<char> cell_done(points.size() * trials_, replay ? 1 : 0);
 
-  // Per-worker trial arenas (arena path): a worker runs its trials serially,
-  // so its arena's world/engine/actor storage is reused back to back.
-  // Results never depend on which worker (or arena history) ran a trial —
-  // the cross-thread-count fingerprint tests pin that.
-  const std::size_t workers =
-      std::clamp<std::size_t>(threads_, 1, total == 0 ? 1 : total);
-  std::vector<std::unique_ptr<TrialArena>> arenas;
-  if (arena_trial_) {
-    arenas.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      arenas.push_back(std::make_unique<TrialArena>());
+  timing_ = SweepTiming{};
+  proc_stats_ = ProcStats{};
+
+  if (replay) {
+    for (const ShardCell& cell : shard_io.replay_cells(sweep_id)) {
+      slots[cell.point][cell.trial] = cell.outcome;
+    }
+  } else {
+    // The cells this run executes, in (point, trial) reduction order.
+    std::vector<SweepCell> owned;
+    owned.reserve(points.size() * trials_);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      for (std::size_t t = 0; t < trials_; ++t) {
+        if (!record || shard_io.owns_cell(sweep_id, p, t, trials_)) {
+          owned.push_back(SweepCell{p, t});
+        }
+      }
+    }
+
+    const auto run_cell = [&](const SweepCell& cell, TrialArena* arena,
+                              TrialOutcome& out) {
+      const GridPoint& point = points[cell.point];
+      aer::AerConfig config = point.apply(base_);
+      config.seed = trial_seed(base_.seed, point.index, cell.trial);
+      if (arena_trial_) {
+        arena_trial_(config, point, *arena, out);
+      } else {
+        out = trial_(config, point);
+      }
+      out.seed = config.seed;
+    };
+
+    if (procs_ <= 1) {
+      const std::size_t total = owned.size();
+      std::mutex progress_mutex;
+      std::size_t completed = 0;
+
+      // Per-worker trial arenas (arena path): a worker runs its trials
+      // serially, so its arena's world/engine/actor storage is reused back
+      // to back. Results never depend on which worker (or arena history)
+      // ran a trial — the cross-thread-count fingerprint tests pin that.
+      const std::size_t workers =
+          std::clamp<std::size_t>(threads_, 1, total == 0 ? 1 : total);
+      std::vector<std::unique_ptr<TrialArena>> arenas;
+      if (arena_trial_) {
+        arenas.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+          arenas.push_back(std::make_unique<TrialArena>());
+        }
+      }
+
+      run_indexed_workers(total, threads_, [&](std::size_t worker,
+                                               std::size_t task) {
+        const SweepCell& cell = owned[task];
+        run_cell(cell, arena_trial_ ? arenas[worker].get() : nullptr,
+                 slots[cell.point][cell.trial]);
+        if (progress_) {
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          progress_(++completed, total);
+        }
+      });
+      for (const SweepCell& cell : owned) {
+        cell_done[cell.point * trials_ + cell.trial] = 1;
+      }
+
+      if (arena_trial_) {
+        timing_.available = true;
+        for (const auto& arena : arenas) {
+          timing_.setup_seconds += arena->timing.setup_seconds;
+          timing_.run_seconds += arena->timing.run_seconds;
+          timing_.trials += arena->timing.trials;
+        }
+      }
+    } else {
+      // Process mode: deal contiguous owned-cell ranges to forked workers;
+      // each payload lands in the same slots a thread worker would have
+      // written, so the fixed-order reduction below is untouched.
+      const std::size_t total = owned.size();
+      const std::size_t chunk =
+          std::max<std::size_t>(1, total / (procs_ * 4));
+      std::vector<ProcTask> tasks;
+      for (std::size_t b = 0; b < total; b += chunk) {
+        tasks.push_back(ProcTask{b, std::min(b + chunk, total)});
+      }
+
+      const ProcCompute compute = [&](std::size_t begin, std::size_t end,
+                                      const std::function<void()>& beat) {
+        ShardPayload payload;
+        payload.cells.reserve(end - begin);
+        std::unique_ptr<TrialArena> arena;
+        if (arena_trial_) arena = std::make_unique<TrialArena>();
+        for (std::size_t i = begin; i < end; ++i) {
+          ShardCell cell;
+          cell.point = owned[i].point;
+          cell.trial = owned[i].trial;
+          run_cell(owned[i], arena.get(), cell.outcome);
+          payload.cells.push_back(std::move(cell));
+          beat();
+        }
+        if (arena) {
+          payload.setup_seconds = arena->timing.setup_seconds;
+          payload.run_seconds = arena->timing.run_seconds;
+          payload.timed_trials = arena->timing.trials;
+        } else {
+          payload.timed_trials = end - begin;
+        }
+        return payload.to_json();
+      };
+
+      timing_.worker_shares.assign(std::min(procs_, tasks.size()),
+                                   SweepTiming::WorkerShare{});
+      std::size_t completed = 0;
+      const ProcAccept accept = [&](std::size_t worker, std::size_t begin,
+                                    std::size_t end,
+                                    const std::string& body) {
+        const ShardPayload payload = ShardPayload::from_json(body);
+        FBA_REQUIRE(payload.cells.size() == end - begin,
+                    "worker returned " +
+                        std::to_string(payload.cells.size()) +
+                        " cells for a task of " +
+                        std::to_string(end - begin));
+        for (std::size_t k = 0; k < payload.cells.size(); ++k) {
+          const ShardCell& cell = payload.cells[k];
+          FBA_REQUIRE(cell.point == owned[begin + k].point &&
+                          cell.trial == owned[begin + k].trial,
+                      "worker returned cells for the wrong task range");
+          slots[cell.point][cell.trial] = cell.outcome;
+          cell_done[cell.point * trials_ + cell.trial] = 1;
+        }
+        SweepTiming::WorkerShare& share = timing_.worker_shares[worker];
+        share.trials += payload.timed_trials;
+        share.setup_seconds += payload.setup_seconds;
+        share.run_seconds += payload.run_seconds;
+        completed += end - begin;
+        if (progress_) progress_(completed, total);
+      };
+
+      proc_stats_ =
+          run_proc_tasks(tasks, procs_, proc_options_, compute, accept);
+
+      if (arena_trial_) {
+        timing_.available = true;
+        for (const SweepTiming::WorkerShare& share : timing_.worker_shares) {
+          timing_.setup_seconds += share.setup_seconds;
+          timing_.run_seconds += share.run_seconds;
+          timing_.trials += share.trials;
+        }
+      }
+    }
+
+    if (record) {
+      for (const SweepCell& cell : owned) {
+        if (cell_done[cell.point * trials_ + cell.trial]) {
+          shard_io.record_cell(sweep_id, cell.point, cell.trial,
+                               slots[cell.point][cell.trial]);
+        }
+      }
     }
   }
 
-  run_indexed_workers(total, threads_, [&](std::size_t worker,
-                                           std::size_t task) {
-    const std::size_t point_idx = task / trials_;
-    const std::size_t trial_idx = task % trials_;
-    const GridPoint& point = points[point_idx];
-    aer::AerConfig config = point.apply(base_);
-    config.seed = trial_seed(base_.seed, point.index, trial_idx);
-    TrialOutcome& slot = slots[point_idx][trial_idx];
-    if (arena_trial_) {
-      arena_trial_(config, point, *arenas[worker], slot);
-      slot.seed = config.seed;
-    } else {
-      TrialOutcome outcome = trial_(config, point);
-      outcome.seed = config.seed;
-      slot = std::move(outcome);
-    }
-    if (progress_) {
-      std::lock_guard<std::mutex> lock(progress_mutex);
-      progress_(++completed, total);
-    }
-  });
-
-  timing_ = SweepTiming{};
-  if (arena_trial_) {
-    timing_.available = true;
-    for (const auto& arena : arenas) {
-      timing_.setup_seconds += arena->timing.setup_seconds;
-      timing_.run_seconds += arena->timing.run_seconds;
-      timing_.trials += arena->timing.trials;
-    }
+  if (timing_.available) {
     SweepTiming& totals = mutable_process_timing();
     totals.available = true;
     totals.setup_seconds += timing_.setup_seconds;
@@ -213,6 +371,11 @@ std::vector<PointResult> Sweep::run() const {
   std::vector<PointResult> results;
   results.reserve(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
+    bool complete = true;
+    for (std::size_t t = 0; t < trials_; ++t) {
+      if (!cell_done[p * trials_ + t]) complete = false;
+    }
+    if (!complete) continue;  // shard slice or interrupted: drop the point
     PointResult r;
     r.point = points[p];
     r.aggregate = aggregate_outcomes(slots[p]);

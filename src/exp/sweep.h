@@ -23,6 +23,7 @@
 
 #include "exp/aggregate.h"
 #include "exp/grid.h"
+#include "exp/procpool.h"
 
 namespace fba::exp {
 
@@ -62,10 +63,21 @@ class TrialArena;
 /// Accumulated setup-vs-run wall-time split of a sweep's trials (available
 /// when the sweep ran arena trials; fba_sim / fba_repro --timing print it).
 struct SweepTiming {
+  /// One forked worker's slice of a process-mode sweep (trial count plus
+  /// its setup/run seconds), indexed by worker in fork order.
+  struct WorkerShare {
+    std::uint64_t trials = 0;
+    double setup_seconds = 0;
+    double run_seconds = 0;
+  };
+
   double setup_seconds = 0;
   double run_seconds = 0;
   std::uint64_t trials = 0;
   bool available = false;
+  /// Per-worker shares of the last process-mode run; empty in thread mode.
+  /// Not folded into process_timing() (worker counts differ across sweeps).
+  std::vector<WorkerShare> worker_shares;
 };
 
 /// Process-wide accumulation across every Sweep::run() so far (a figure
@@ -108,6 +120,13 @@ class Sweep {
   Sweep(aer::AerConfig base, Grid grid, std::size_t trials);
 
   Sweep& set_threads(std::size_t threads);
+  /// procs > 1 switches run() to the forked-worker pool (exp/procpool.h):
+  /// the parent deals (point, trial-range) tasks to N processes and folds
+  /// the returned shard payloads into the same fixed-order reduction, so
+  /// the result stays byte-identical to thread mode and procs=1.
+  Sweep& set_procs(std::size_t procs);
+  /// Heartbeat-timeout / retry knobs for process mode (tests shorten them).
+  Sweep& set_proc_options(ProcOptions options);
   /// Installs a legacy self-contained trial (disables the arena path).
   Sweep& set_trial(Trial trial);
   /// Installs an arena-aware trial (the default runner is one).
@@ -116,14 +135,22 @@ class Sweep {
 
   std::size_t trials() const { return trials_; }
   std::size_t threads() const { return threads_; }
+  std::size_t procs() const { return procs_; }
   std::size_t total_trials() const;
+
+  /// What the last process-mode run() went through (crashes, timeouts,
+  /// re-deals, interrupt). Zeroed by thread-mode runs.
+  const ProcStats& proc_stats() const { return proc_stats_; }
 
   /// Setup-vs-run split of the last run() (available iff it ran arena
   /// trials).
   const SweepTiming& timing() const { return timing_; }
 
   /// Executes the sweep. Points appear in expansion order; outcomes within
-  /// a point in trial order.
+  /// a point in trial order. Under an active ShardIo (exp/shard.h) the
+  /// sweep records/replays its slice instead of running everything; after
+  /// a SIGINT-drained process run only fully-complete points are returned
+  /// (proc_stats().interrupted tells the caller the report is partial).
   std::vector<PointResult> run() const;
 
  private:
@@ -131,10 +158,13 @@ class Sweep {
   Grid grid_;
   std::size_t trials_;
   std::size_t threads_;
+  std::size_t procs_ = 1;
+  ProcOptions proc_options_;
   Trial trial_;
   ArenaTrial arena_trial_;
   Progress progress_;
   mutable SweepTiming timing_;
+  mutable ProcStats proc_stats_;
 };
 
 }  // namespace fba::exp

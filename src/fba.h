@@ -35,9 +35,11 @@
 #include "exp/aggregate.h"
 #include "exp/arena.h"
 #include "exp/grid.h"
+#include "exp/procpool.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
 #include "exp/service.h"
+#include "exp/shard.h"
 #include "exp/stats.h"
 #include "exp/sweep.h"
 #include "net/async_engine.h"

@@ -142,6 +142,20 @@ TEST(GoldenTest, ParallelSweepReproducesGoldenCorpus) {
   }
 }
 
+// And the process-count determinism contract: two forked workers splitting
+// the same corpus (faulted lossy-1pct points included) must merge back to
+// the committed serial fingerprints.
+TEST(GoldenTest, ProcessSweepReproducesGoldenCorpus) {
+  exp::Sweep sweep = golden_sweep(/*threads=*/1);
+  sweep.set_procs(2);
+  const auto results = sweep.run();
+  ASSERT_EQ(results.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].aggregate.fingerprint(), kGolden[i])
+        << results[i].point.label();
+  }
+}
+
 TEST(GoldenTest, AdaptiveSweepFingerprintsMatchCommittedCorpus) {
   expect_matches(adaptive_golden_sweep(/*threads=*/1).run(), kAdaptiveGolden,
                  std::size(kAdaptiveGolden), "kAdaptiveGolden");
@@ -152,6 +166,19 @@ TEST(GoldenTest, AdaptiveSweepFingerprintsMatchCommittedCorpus) {
 // reproduce the serial corpus bit for bit.
 TEST(GoldenTest, ParallelAdaptiveSweepReproducesGoldenCorpus) {
   const auto results = adaptive_golden_sweep(/*threads=*/4).run();
+  ASSERT_EQ(results.size(), std::size(kAdaptiveGolden));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].aggregate.fingerprint(), kAdaptiveGolden[i])
+        << results[i].point.label();
+  }
+}
+
+// Adaptive-budget points exercise the runtime-corruption path; pin that it
+// survives the shard round-trip through forked workers too.
+TEST(GoldenTest, ProcessAdaptiveSweepReproducesGoldenCorpus) {
+  exp::Sweep sweep = adaptive_golden_sweep(/*threads=*/1);
+  sweep.set_procs(2);
+  const auto results = sweep.run();
   ASSERT_EQ(results.size(), std::size(kAdaptiveGolden));
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].aggregate.fingerprint(), kAdaptiveGolden[i])

@@ -1,0 +1,200 @@
+// Crash/restart robustness suite for the forked-worker sweep pool
+// (exp/procpool.h). The contract under test: --procs=N produces exactly
+// the thread-mode fingerprints, and a worker that crashes, hangs, or
+// returns garbage mid-sweep costs a re-deal — never a wrong result.
+//
+// The injection hooks (FBA_TEST_WORKER_CRASH / FBA_TEST_WORKER_HANG) are
+// read by the forked child from its environment, so setenv() in the test
+// process is inherited at fork time; each test unsets on exit.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "fba.h"
+
+namespace fba {
+namespace {
+
+// RAII around the child-side injection env vars so a failing assertion
+// can't leak a crash hook into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+exp::Sweep small_sweep() {
+  aer::AerConfig base;
+  base.n = 64;
+  base.seed = 20130722;
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies = {"none", "wrong"};
+  exp::Sweep sweep(base, grid, /*trials=*/3);
+  sweep.set_threads(1);
+  return sweep;
+}
+
+std::vector<std::uint64_t> fingerprints(
+    const std::vector<exp::PointResult>& results) {
+  std::vector<std::uint64_t> fps;
+  fps.reserve(results.size());
+  for (const exp::PointResult& r : results) {
+    fps.push_back(r.aggregate.fingerprint());
+  }
+  return fps;
+}
+
+TEST(ProcPoolTest, ProcessSweepMatchesThreadSweepBitForBit) {
+  const auto serial = small_sweep().run();
+
+  exp::Sweep procs = small_sweep();
+  procs.set_procs(3);
+  const auto forked = procs.run();
+
+  ASSERT_EQ(serial.size(), forked.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].aggregate.fingerprint(),
+              forked[i].aggregate.fingerprint())
+        << serial[i].point.label();
+    // Raw outcomes round-trip through the shard payload exactly,
+    // including derived seeds and timing doubles.
+    ASSERT_EQ(serial[i].outcomes.size(), forked[i].outcomes.size());
+    for (std::size_t t = 0; t < serial[i].outcomes.size(); ++t) {
+      EXPECT_EQ(serial[i].outcomes[t].seed, forked[i].outcomes[t].seed);
+      EXPECT_DOUBLE_EQ(serial[i].outcomes[t].completion_time,
+                       forked[i].outcomes[t].completion_time);
+      EXPECT_DOUBLE_EQ(serial[i].outcomes[t].amortized_bits,
+                       forked[i].outcomes[t].amortized_bits);
+    }
+  }
+
+  const exp::ProcStats& stats = procs.proc_stats();
+  EXPECT_GE(stats.workers, 1u);
+  EXPECT_LE(stats.workers, 3u);
+  EXPECT_GT(stats.tasks, 0u);
+  EXPECT_EQ(stats.tasks_redealt, 0u);
+  EXPECT_EQ(stats.worker_crashes, 0u);
+  EXPECT_EQ(stats.worker_timeouts, 0u);
+  EXPECT_FALSE(stats.interrupted);
+
+  // Per-worker timing attribution covers every trial exactly once.
+  EXPECT_TRUE(procs.timing().available);
+  std::uint64_t share_trials = 0;
+  for (const exp::SweepTiming::WorkerShare& share :
+       procs.timing().worker_shares) {
+    share_trials += share.trials;
+  }
+  EXPECT_EQ(share_trials, procs.total_trials());
+}
+
+TEST(ProcPoolTest, LegacyTrialPathMatchesAcrossProcessCounts) {
+  // The non-arena Trial path ships through the same shard payload; only
+  // the timing block differs (no per-trial arena clocks in the child).
+  auto legacy = [](exp::Sweep& sweep) {
+    sweep.set_trial(
+        static_cast<exp::TrialOutcome (*)(const aer::AerConfig&,
+                                          const exp::GridPoint&)>(
+            exp::run_aer_trial));
+  };
+  exp::Sweep serial = small_sweep();
+  legacy(serial);
+  exp::Sweep procs = small_sweep();
+  legacy(procs);
+  procs.set_procs(2);
+  EXPECT_EQ(fingerprints(serial.run()), fingerprints(procs.run()));
+}
+
+TEST(ProcPoolTest, CrashedWorkerIsRedealtAndResultIsUnchanged) {
+  const auto undisturbed = fingerprints(small_sweep().run());
+
+  exp::Sweep sweep = small_sweep();
+  sweep.set_procs(3);
+  std::vector<std::uint64_t> fps;
+  {
+    ScopedEnv crash("FBA_TEST_WORKER_CRASH", "1");  // worker 1 _exit(1)s
+    fps = fingerprints(sweep.run());
+  }
+  EXPECT_EQ(fps, undisturbed);
+
+  const exp::ProcStats& stats = sweep.proc_stats();
+  EXPECT_GE(stats.worker_crashes, 1u);
+  EXPECT_GE(stats.tasks_redealt, 1u);
+  EXPECT_EQ(stats.worker_timeouts, 0u);
+  EXPECT_FALSE(stats.interrupted);
+}
+
+TEST(ProcPoolTest, HungWorkerTimesOutAndResultIsUnchanged) {
+  const auto undisturbed = fingerprints(small_sweep().run());
+
+  exp::Sweep sweep = small_sweep();
+  sweep.set_procs(2);
+  exp::ProcOptions options;
+  options.heartbeat_timeout = 1.0;  // don't wait two minutes in a test
+  sweep.set_proc_options(options);
+  std::vector<std::uint64_t> fps;
+  {
+    ScopedEnv hang("FBA_TEST_WORKER_HANG", "0");  // worker 0 sleeps forever
+    fps = fingerprints(sweep.run());
+  }
+  EXPECT_EQ(fps, undisturbed);
+
+  const exp::ProcStats& stats = sweep.proc_stats();
+  EXPECT_GE(stats.worker_timeouts, 1u);
+  EXPECT_GE(stats.tasks_redealt, 1u);
+  EXPECT_FALSE(stats.interrupted);
+}
+
+TEST(ProcPoolTest, AllWorkersCrashingFailsWithCleanDiagnostic) {
+  exp::Sweep sweep = small_sweep();
+  sweep.set_procs(2);
+  ScopedEnv crash("FBA_TEST_WORKER_CRASH", "all");
+  try {
+    sweep.run();
+    FAIL() << "expected ConfigError when every worker dies";
+  } catch (const ConfigError& e) {
+    // The abort message reports partial progress so a long sweep that
+    // dies half-way tells the operator exactly what it finished.
+    EXPECT_NE(std::string(e.what()).find("process sweep failed"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("completed"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProcPoolTest, ProgressReportsEveryCellAcceptedInOrder) {
+  exp::Sweep sweep = small_sweep();
+  sweep.set_procs(2);
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  sweep.set_progress([&calls](std::size_t done, std::size_t total) {
+    calls.emplace_back(done, total);  // accept runs in the parent, serially
+  });
+  sweep.run();
+  ASSERT_FALSE(calls.empty());
+  const std::size_t total = sweep.total_trials();
+  std::size_t previous = 0;
+  for (const auto& [done, reported_total] : calls) {
+    EXPECT_GT(done, previous);  // strictly monotonic, one call per task
+    EXPECT_EQ(reported_total, total);
+    previous = done;
+  }
+  EXPECT_EQ(previous, total);  // last call announces completion
+}
+
+TEST(ProcPoolTest, InterruptFlagIsClearable) {
+  // The SIGINT latch is process-global state; tests that exercise it must
+  // leave it unlatched for whatever sweep runs next in this binary.
+  exp::clear_interrupt();
+  EXPECT_FALSE(exp::interrupt_requested());
+}
+
+}  // namespace
+}  // namespace fba

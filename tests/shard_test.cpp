@@ -1,0 +1,276 @@
+// Shard-merge property suite (exp/shard.h): any partition of a sweep's
+// (point, trial) cells — round-robin slices or random hand-built ones —
+// must merge and replay to results byte-identical to the serial run, and
+// every malformed, overlapping, or incomplete shard set must fail with a
+// clean ConfigError instead of a silent wrong merge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fba.h"
+
+namespace fba {
+namespace {
+
+// ShardIo is a process-global switchboard; make sure no test leaves it
+// latched in record/replay for the rest of this binary.
+class ShardIoGuard {
+ public:
+  ~ShardIoGuard() { exp::ShardIo::instance().reset(); }
+};
+
+exp::Sweep reference_sweep(std::uint64_t seed) {
+  aer::AerConfig base;
+  base.n = 64;
+  base.seed = seed;
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies = {"none", "wrong"};
+  exp::Sweep sweep(base, grid, /*trials=*/3);
+  sweep.set_threads(1);
+  return sweep;
+}
+
+exp::ShardMeta test_meta(std::uint64_t seed, std::size_t index,
+                         std::size_t count) {
+  exp::ShardMeta meta;
+  meta.tool = "shard_test";
+  meta.figure = "test-sweep";
+  meta.scale = "default";
+  meta.base_seed = seed;
+  meta.trials = 3;
+  meta.shard_index = index;
+  meta.shard_count = count;
+  return meta;
+}
+
+std::vector<std::uint64_t> fingerprints(
+    const std::vector<exp::PointResult>& results) {
+  std::vector<std::uint64_t> fps;
+  fps.reserve(results.size());
+  for (const exp::PointResult& r : results) {
+    fps.push_back(r.aggregate.fingerprint());
+  }
+  return fps;
+}
+
+// Runs the reference sweep under record mode for slice `index` of `count`
+// and returns the recorded document (after a JSON round-trip, so the wire
+// format itself is part of every merge test).
+exp::ShardDoc record_slice(std::uint64_t seed, std::size_t index,
+                           std::size_t count) {
+  exp::ShardIo::instance().start_record(test_meta(seed, index, count));
+  reference_sweep(seed).run();
+  const std::string json = exp::ShardIo::instance().doc().to_json();
+  exp::ShardIo::instance().reset();
+  return exp::ShardDoc::from_json(json);
+}
+
+// Replays a merged document through a fresh sweep and returns its
+// per-point fingerprints.
+std::vector<std::uint64_t> replay(std::uint64_t seed,
+                                  const exp::ShardDoc& merged) {
+  exp::ShardIo::instance().start_replay(merged);
+  const auto results = reference_sweep(seed).run();
+  exp::ShardIo::instance().reset();
+  return fingerprints(results);
+}
+
+TEST(ShardTest, OutcomeJsonRoundTripsEveryBit) {
+  const auto results = reference_sweep(20130722).run();
+  ASSERT_FALSE(results.empty());
+  for (const exp::PointResult& r : results) {
+    for (const exp::TrialOutcome& outcome : r.outcomes) {
+      const exp::TrialOutcome back = exp::outcome_from_json(
+          json::Value::parse(exp::outcome_to_json(outcome).dump()));
+      EXPECT_EQ(exp::outcome_fingerprint(back),
+                exp::outcome_fingerprint(outcome))
+          << r.point.label();
+      EXPECT_EQ(back.seed, outcome.seed);
+      EXPECT_EQ(back.decision_times.size(), outcome.decision_times.size());
+    }
+  }
+}
+
+TEST(ShardTest, PayloadRejectsTruncationAndGarbage) {
+  exp::ShardPayload payload;
+  exp::ShardCell cell;
+  cell.point = 1;
+  cell.trial = 2;
+  cell.outcome.seed = 99;
+  cell.outcome.completion_time = 4.5;
+  payload.cells.push_back(cell);
+  const std::string json = payload.to_json();
+
+  const exp::ShardPayload back = exp::ShardPayload::from_json(json);
+  ASSERT_EQ(back.cells.size(), 1u);
+  EXPECT_EQ(back.cells[0].point, 1u);
+  EXPECT_EQ(exp::outcome_fingerprint(back.cells[0].outcome),
+            exp::outcome_fingerprint(cell.outcome));
+
+  EXPECT_THROW(exp::ShardPayload::from_json("{"), ConfigError);
+  EXPECT_THROW(exp::ShardPayload::from_json("null"), ConfigError);
+  EXPECT_THROW(
+      exp::ShardPayload::from_json(json.substr(0, json.size() / 2)),
+      ConfigError);
+}
+
+TEST(ShardTest, RoundRobinSlicesMergeAndReplayToSerialResults) {
+  ShardIoGuard guard;
+  const std::uint64_t seed = 20130722;
+  const auto reference = fingerprints(reference_sweep(seed).run());
+
+  for (std::size_t count : {1u, 3u}) {
+    std::vector<exp::ShardDoc> slices;
+    for (std::size_t i = 0; i < count; ++i) {
+      slices.push_back(record_slice(seed, i, count));
+    }
+    const exp::ShardDoc merged = exp::merge_shards(slices);
+    EXPECT_EQ(merged.total_cells(), reference_sweep(seed).total_trials());
+    EXPECT_EQ(replay(seed, merged), reference);
+  }
+}
+
+TEST(ShardTest, RandomPartitionsMergeAndReplayToSerialResults) {
+  // Property: ANY partition of the full cell set merges back, not just the
+  // round-robin one the recorder deals. Hand-split a full recording into
+  // 1..8 shards at random, across several base seeds.
+  ShardIoGuard guard;
+  std::mt19937 rng(1234);  // fixed seed: the test itself stays reproducible
+  for (const std::uint64_t seed : {11ull, 20130722ull, 9000000000000000001ull}) {
+    const auto reference = fingerprints(reference_sweep(seed).run());
+    const exp::ShardDoc full = record_slice(seed, 0, 1);
+
+    const std::size_t count = 1 + rng() % 8;
+    std::vector<exp::ShardDoc> shards(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      shards[i].meta = test_meta(seed, i, count);
+      shards[i].sweeps.resize(full.sweeps.size());
+      for (std::size_t s = 0; s < full.sweeps.size(); ++s) {
+        shards[i].sweeps[s].points = full.sweeps[s].points;
+        shards[i].sweeps[s].trials = full.sweeps[s].trials;
+        shards[i].sweeps[s].grid_fingerprint =
+            full.sweeps[s].grid_fingerprint;
+      }
+    }
+    for (std::size_t s = 0; s < full.sweeps.size(); ++s) {
+      for (const exp::ShardCell& cell : full.sweeps[s].cells) {
+        shards[rng() % count].sweeps[s].cells.push_back(cell);
+      }
+    }
+    // Round-trip each hand-built shard through JSON before merging.
+    std::vector<exp::ShardDoc> parsed;
+    for (const exp::ShardDoc& shard : shards) {
+      parsed.push_back(exp::ShardDoc::from_json(shard.to_json()));
+    }
+    const exp::ShardDoc merged = exp::merge_shards(parsed);
+    EXPECT_EQ(replay(seed, merged), reference) << "seed " << seed;
+  }
+}
+
+TEST(ShardTest, MergeRejectsOverlapGapAndMetaMismatch) {
+  ShardIoGuard guard;
+  const std::uint64_t seed = 20130722;
+  std::vector<exp::ShardDoc> slices = {record_slice(seed, 0, 2),
+                                       record_slice(seed, 1, 2)};
+
+  // Duplicate coverage: the same slice twice overlaps on every cell.
+  EXPECT_THROW(exp::merge_shards({slices[0], slices[0]}), ConfigError);
+
+  // Gap: one slice of two leaves cells uncovered.
+  EXPECT_THROW(exp::merge_shards({slices[0]}), ConfigError);
+
+  // Meta mismatch: slices recorded under different figure inputs refuse
+  // to merge even when their cells happen to line up.
+  {
+    std::vector<exp::ShardDoc> mixed = slices;
+    mixed[1].meta.base_seed = seed + 1;
+    EXPECT_THROW(exp::merge_shards(mixed), ConfigError);
+  }
+  {
+    std::vector<exp::ShardDoc> mixed = slices;
+    mixed[1].meta.figure = "other-figure";
+    EXPECT_THROW(exp::merge_shards(mixed), ConfigError);
+  }
+
+  // Shape mismatch: a shard claiming a different grid shape is rejected
+  // before any cell bookkeeping.
+  {
+    std::vector<exp::ShardDoc> mixed = slices;
+    mixed[1].sweeps[0].grid_fingerprint ^= 1;
+    EXPECT_THROW(exp::merge_shards(mixed), ConfigError);
+  }
+
+  // Empty input.
+  EXPECT_THROW(exp::merge_shards({}), ConfigError);
+}
+
+TEST(ShardTest, ParserRejectsMalformedAndTamperedDocuments) {
+  ShardIoGuard guard;
+  EXPECT_THROW(exp::ShardDoc::from_json("not json"), ConfigError);
+  EXPECT_THROW(exp::ShardDoc::from_json("{}"), ConfigError);
+  EXPECT_THROW(exp::ShardDoc::from_json("{\"schema\":\"fba.report\"}"),
+               ConfigError);
+
+  const exp::ShardDoc doc = record_slice(20130722, 0, 1);
+  std::string json = doc.to_json();
+
+  // Unsupported future schema version.
+  {
+    std::string bumped = json;
+    const std::string key = "\"schema_version\": 1";
+    const std::size_t at = bumped.find(key);
+    ASSERT_NE(at, std::string::npos);
+    bumped.replace(at, key.size(), "\"schema_version\": 999");
+    EXPECT_THROW(exp::ShardDoc::from_json(bumped), ConfigError);
+  }
+
+  // Tampering with the recorded cells breaks the fingerprint check on
+  // parse. Flip one hex digit of the committed fingerprint — equivalent
+  // to altering any outcome bit without re-signing.
+  {
+    std::string tampered = json;
+    const std::size_t at = tampered.find("\"fingerprint\": \"");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t digit = at + std::string("\"fingerprint\": \"").size();
+    tampered[digit] = tampered[digit] == '0' ? '1' : '0';
+    EXPECT_THROW(exp::ShardDoc::from_json(tampered), ConfigError);
+  }
+
+  // The file loader names the unreadable path in its diagnostic.
+  try {
+    exp::ShardDoc::from_json_file("/nonexistent/shard.json");
+    FAIL() << "expected ConfigError for a missing shard file";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/shard.json"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShardTest, RecordedSlicesAreBalancedAndDisjoint) {
+  ShardIoGuard guard;
+  const std::uint64_t seed = 7;
+  const std::size_t count = 3;
+  std::vector<exp::ShardDoc> slices;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    slices.push_back(record_slice(seed, i, count));
+    total += slices.back().total_cells();
+    EXPECT_EQ(slices.back().meta.shard_index, i);
+    EXPECT_EQ(slices.back().meta.shard_count, count);
+  }
+  const std::size_t expected = reference_sweep(seed).total_trials();
+  EXPECT_EQ(total, expected);
+  // Round-robin dealing keeps slices within one cell of each other.
+  for (const exp::ShardDoc& slice : slices) {
+    EXPECT_GE(slice.total_cells(), expected / count);
+    EXPECT_LE(slice.total_cells(), expected / count + 1);
+  }
+}
+
+}  // namespace
+}  // namespace fba
