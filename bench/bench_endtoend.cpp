@@ -40,8 +40,11 @@ int main(int argc, char** argv) {
                      "  --attack=<name>    compose an adversary into the"
                      " fault-degradation matrix\n"
                      "  --fault=<preset>   apply one preset to the first"
-                     " table's n-sweep\n",
-                 .sections = {.attacks = true, .faults = true}});
+                     " table's n-sweep\n"
+                     "  (--recovery=<preset> layers ack/retransmit under the"
+                     " first table's n-sweep)\n",
+                 .sections = {.attacks = true, .faults = true,
+                              .recoveries = true}});
   const Scale scale = opt.scale;
   const std::size_t trials = opt.trials();
   const std::size_t threads = opt.threads;
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
   grid.ns = protocol_sizes(scale);
   grid.models = {aer::Model::kSyncNonRushing, aer::Model::kAsync};
   grid.faults = {opt.fault};
+  if (opt.recovery != "off") grid.recoveries = {opt.recovery};
   exp::Sweep sweep(base, grid, trials);
   sweep.set_threads(threads).set_procs(opt.procs);
   sweep.set_progress(progress_printer("endtoend"));

@@ -292,6 +292,70 @@ void BM_SteadyStateSendAllocations(benchmark::State& state) {
 }
 BENCHMARK(BM_SteadyStateSendAllocations);
 
+/// The same contract with the recovery sublayer engaged: tracked sends,
+/// ack generation, retransmit timers and resends all run from the pooled
+/// slot table and the event slab. Unlike the plain bench's constant
+/// 2-messages-per-round trace, lossy ARQ traffic is bursty — the event
+/// queue's lane/ring capacity high-water is only reached somewhere inside
+/// the run — so this bench follows BM_WarmTrialAllocations' shape instead:
+/// one engine, reset() between runs (capacity persists, as in the trial
+/// arena), one unmeasured warm-up run over the identical deterministic
+/// trace, then every measured run must perform zero heap allocations. The
+/// loss plan forces the retransmit path to actually fire (not just the
+/// tracking bookkeeping).
+void BM_SteadyStateSendAllocationsRecovery(benchmark::State& state) {
+  const sim::Wire wire = bench_wire();
+  const sim::FaultPlan fault = exp::fault_plan_factory("lossy-5pct");
+  const sim::RecoveryPlan recovery = exp::recovery_plan_factory("arq-fast");
+  sim::SyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_rounds = 1000;
+  sim::SyncEngine engine(cfg);
+  const auto run_once = [&] {
+    engine.reset(cfg);
+    engine.set_wire(&wire);
+    engine.set_fault_plan(&fault);
+    engine.set_recovery_plan(&recovery);
+    engine.set_actor(0, std::make_unique<Bouncer>());
+    engine.set_actor(1, std::make_unique<Bouncer>());
+    engine.run([] { return false; });
+  };
+  run_once();  // warm-up: grow queue lanes/ring and the slot pool
+  std::size_t allocs = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t retransmits = 0;
+  for (auto _ : state) {
+    engine.reset(cfg);
+    engine.set_wire(&wire);
+    engine.set_fault_plan(&fault);
+    engine.set_recovery_plan(&recovery);
+    engine.set_actor(0, std::make_unique<Bouncer>());
+    engine.set_actor(1, std::make_unique<Bouncer>());
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    engine.run([] { return false; });
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    allocs += g_alloc_count.load(std::memory_order_relaxed);
+    messages += engine.metrics().total_messages();
+    retransmits += engine.metrics().recovery_retransmit_messages();
+  }
+  state.counters["steady_allocs_recovery"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
+  state.counters["retransmits"] =
+      static_cast<double>(retransmits) / static_cast<double>(state.iterations());
+  if (allocs != 0) {
+    state.SkipWithError(
+        "recovery-enabled steady-state send path performed heap allocations");
+  }
+  if (retransmits == 0) {
+    state.SkipWithError(
+        "recovery-enabled bench saw no retransmits — the gate measured"
+        " nothing");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+}
+BENCHMARK(BM_SteadyStateSendAllocationsRecovery);
+
 /// Full world construction through the trial arena: what exp::Sweep pays
 /// per trial before the engine runs (samplers re-keyed, string table and
 /// vectors reused in place).

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
                  .extra_usage =
                      "  --fault=<preset>   compose the wrong-answer attack"
                      " with a channel fault\n",
-                 .sections = {.faults = true}});
+                 .sections = {.faults = true, .recoveries = true}});
   const Scale scale = opt.scale;
   const std::size_t trials = opt.trials(5, 25, 25);
   const std::size_t threads = opt.threads;
@@ -44,8 +44,10 @@ int main(int argc, char** argv) {
   grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
   grid.strategies = {"wrong"};
   // --fault=<preset> composes the wrong-answer attack with loss /
-  // partitions / churn: safety must hold even on faulty channels.
+  // partitions / churn: safety must hold even on faulty channels —
+  // --recovery=<preset> additionally layers ack/retransmit under them.
   grid.faults = {opt.fault};
+  if (opt.recovery != "off") grid.recoveries = {opt.recovery};
   exp::Report report = make_report(
       "bench_safety", "safety",
       "Lemma 7: decision safety under wrong-answer attacks", base.seed,

@@ -72,6 +72,21 @@ inline std::string fault_for(int argc, char** argv) {
   return string_flag(argc, argv, "--fault", "none");
 }
 
+/// Strict `--recovery=<preset>` validation shared by fba_sim, fba_repro and
+/// the benches (the same treatment --corrupt=/--know= got): an unknown or
+/// malformed name gets recovery_plan_factory's one-line ConfigError —
+/// which lists every known preset — and exit 2, instead of silently
+/// running without recovery. Returns the resolved plan.
+inline sim::RecoveryPlan check_recovery(const char* binary,
+                                        const std::string& name) {
+  try {
+    return exp::recovery_plan_factory(name);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s: %s\n", binary, e.what());
+    std::exit(2);
+  }
+}
+
 /// Strict positive-integer flag value: every character a digit and the
 /// number > 0. Zero, negatives, and garbage get a one-line error and
 /// exit 2 — the same contract --corrupt=/--know= follow in fba_sim
@@ -196,6 +211,7 @@ struct CommonOptions {
   std::size_t procs = 1;  ///< --procs=N: forked sweep workers (1 = off).
   std::string attack = "none";
   std::string fault = "none";
+  std::string recovery = "off";  ///< --recovery=<preset> (validated).
   std::string json;     ///< --json=FILE target; empty = not requested.
   bool timing = false;  ///< --timing: print the wall split on exit.
 
@@ -282,6 +298,14 @@ inline CommonOptions parse_common_flags(int argc, char** argv,
     }
     if (spec.sections.faults && (value = value_of("--fault")) != nullptr) {
       opt.fault = value;
+      continue;
+    }
+    if (spec.sections.recoveries &&
+        (value = value_of("--recovery")) != nullptr) {
+      // Validated here, not at first use: a typo like --recovery=arq-fsat
+      // must fail before the sweep runs without recovery for an hour.
+      check_recovery(spec.binary, value);
+      opt.recovery = value;
       continue;
     }
     if (spec.sections.json && (value = value_of("--json")) != nullptr) {

@@ -57,6 +57,7 @@ struct Options {
   std::string validate;
   std::string attack = "none";
   std::string fault = "none";
+  std::string recovery = "off";
   std::uint64_t seed = 20130722;  // PODC'13, July 22
   bool seed_set = false;          // --seed was passed explicitly
   std::size_t trials = 0;         // 0 = per-scale default
@@ -71,7 +72,7 @@ struct Options {
 
 constexpr const char* kUsageExtra =
     "  --figure=NAME      fig1a | fig1b | fig2 | fig3 | fig3-scale |\n"
-    "                     fault-matrix | adaptive | service\n"
+    "                     fault-matrix | recovery-matrix | adaptive | service\n"
     "  --out=DIR          output directory (default results/); writes\n"
     "                     BENCH_<figure>.{json,csv,md,gp}\n"
     "  --baseline=FILE    diff this run against a committed fba.report JSON;\n"
@@ -86,10 +87,11 @@ constexpr const char* kUsageExtra =
     "  --merge FILE...    merge independently recorded shard files, verify\n"
     "                     full coverage + fingerprints, and emit the exact\n"
     "                     report a serial run of the same flags would\n"
-    "  --attack applies to fault-matrix, adaptive and fig3-scale; --fault\n"
-    "  applies one preset to the fig1a/fig1b/fig2/fig3-scale/adaptive sweeps\n"
-    "  (fig3 is sampler-only and ignores both; service pins its own plan\n"
-    "  matrix).\n";
+    "  --attack applies to fault-matrix, recovery-matrix, adaptive and\n"
+    "  fig3-scale; --fault applies one preset to the fig1a/fig1b/fig2/\n"
+    "  fig3-scale/adaptive sweeps; --recovery applies one preset to those\n"
+    "  plus fault-matrix (fig3 is sampler-only and ignores all three;\n"
+    "  service and recovery-matrix pin their own plan axes).\n";
 
 /// The flag vocabulary, shared with every bench through
 /// benchutil::parse_common_flags — a typoed --baseline must not silently
@@ -102,7 +104,7 @@ benchutil::CommonSpec repro_spec() {
   spec.extra_usage = kUsageExtra;
   spec.extra_flags = {"--figure=", "--out=", "--baseline=", "--validate=",
                       "--seed=", "--shard="};
-  spec.sections = {.attacks = true, .faults = true,
+  spec.sections = {.attacks = true, .faults = true, .recoveries = true,
                    .json = false};  // reports go via --out
   spec.accept_timing = true;
   return spec;
@@ -162,6 +164,7 @@ exp::Report run_fig1a(const Options& opt, std::size_t trials) {
   aer_grid.models = {aer::Model::kSyncNonRushing, aer::Model::kSyncRushing,
                      aer::Model::kAsync};
   if (opt.fault != "none") aer_grid.faults = {opt.fault};
+  if (opt.recovery != "off") aer_grid.recoveries = {opt.recovery};
   exp::Sweep aer_sweep(base, aer_grid, trials);
   aer_sweep.set_threads(opt.threads).set_procs(opt.procs);
   aer_sweep.set_progress(progress("fig1a AER"));
@@ -171,6 +174,7 @@ exp::Report run_fig1a(const Options& opt, std::size_t trials) {
   base_grid.ns = sizes;
   base_grid.models = {aer::Model::kSyncRushing};
   if (opt.fault != "none") base_grid.faults = {opt.fault};
+  if (opt.recovery != "off") base_grid.recoveries = {opt.recovery};
   exp::Sweep sqrt_sweep(base, base_grid, trials);
   sqrt_sweep.set_threads(opt.threads).set_procs(opt.procs);
   sqrt_sweep.set_trial(exp::run_sqrtsample_trial);
@@ -201,6 +205,7 @@ exp::Report run_fig1b(const Options& opt, std::size_t trials) {
   exp::Grid grid;
   grid.ns = benchutil::protocol_sizes(opt.scale);
   if (opt.fault != "none") grid.faults = {opt.fault};
+  if (opt.recovery != "off") grid.recoveries = {opt.recovery};
 
   for (const ba::Reduction reduction :
        {ba::Reduction::kAer, ba::Reduction::kSqrtSample,
@@ -216,6 +221,9 @@ exp::Report run_fig1b(const Options& opt, std::size_t trials) {
           run.corrupt_fraction = cfg.corrupt_fraction;
           if (!point.fault.empty()) {
             run.fault_plan = exp::fault_plan_factory(point.fault);
+          }
+          if (!point.recovery.empty()) {
+            run.recovery_plan = exp::recovery_plan_factory(point.recovery);
           }
           return exp::outcome_of(ba::run_ba(run, reduction));
         });
@@ -241,10 +249,11 @@ exp::Report run_fig2(const Options& opt, std::size_t trials) {
   cfg.model = aer::Model::kSyncRushing;
   cfg.d_override = 11;
   report.meta().base_seed = cfg.seed;
-  // The fault rides the grid axis (not cfg.fault_plan) so the report's
-  // point axes record it.
+  // The fault/recovery presets ride the grid axes (not cfg plans) so the
+  // report's point axes record them.
   exp::Grid grid;
   if (opt.fault != "none") grid.faults = {opt.fault};
+  if (opt.recovery != "off") grid.recoveries = {opt.recovery};
 
   exp::Sweep sweep(cfg, grid, trials);
   sweep.set_threads(opt.threads).set_procs(opt.procs);
@@ -343,6 +352,7 @@ exp::Report run_fig3_scale(const Options& opt, std::size_t trials) {
   grid.models = {aer::Model::kSyncRushing};
   if (opt.attack != "none") grid.strategies = {opt.attack};
   if (opt.fault != "none") grid.faults = {opt.fault};
+  if (opt.recovery != "off") grid.recoveries = {opt.recovery};
 
   const std::vector<exp::GridPoint> points = exp::expand_grid(base, grid);
   std::size_t total = 0;
@@ -402,10 +412,46 @@ exp::Report run_fault_matrix(const Options& opt, std::size_t trials) {
   grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
   grid.strategies = {opt.attack};
   grid.faults = exp::known_faults();
+  if (opt.recovery != "off") grid.recoveries = {opt.recovery};
   exp::Sweep sweep(base, grid, trials);
   sweep.set_threads(opt.threads).set_procs(opt.procs);
   sweep.set_progress(progress("fault-matrix"));
   add_by_model(report, "AER/", base, sweep.run());
+  return report;
+}
+
+// ---- recovery-matrix: buying the channel assumption back --------------------
+
+exp::Report run_recovery_matrix(const Options& opt, std::size_t trials) {
+  exp::Report report = figure_report(
+      opt, "recovery-matrix",
+      "Recovery matrix: agreement and retransmit bit-cost of ack/retransmit"
+      " under loss",
+      "fault", "agreement_rate", "agreement rate", trials);
+
+  aer::AerConfig base;
+  base.n = opt.scale == Scale::kQuick ? 64 : 128;
+  base.seed = opt.seed;
+  base.max_rounds = 60;
+  base.max_time = 60.0;
+
+  // Loss severity x recovery preset under both engines: the off column is
+  // the degradation beyond the paper's model (fault-matrix's loss rows),
+  // the arq-* columns show agreement restored plus the measured price —
+  // recovery_retransmit_bits — of buying the reliable-channel assumption
+  // back at each loss rate.
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.strategies = {opt.attack};
+  grid.faults = {"none", "lossy-1pct", "lossy-5pct", "lossy-20pct"};
+  grid.recoveries = {"off", "arq-fast", "arq-patient", "arq-capped"};
+  exp::Sweep sweep(base, grid, trials);
+  sweep.set_threads(opt.threads).set_procs(opt.procs);
+  sweep.set_progress(progress("recovery-matrix"));
+  benchutil::add_split_series(
+      report, base, sweep.run(), [](const exp::GridPoint& p) {
+        return p.recovery + "/" + aer::model_name(p.model);
+      });
   return report;
 }
 
@@ -437,6 +483,7 @@ exp::Report run_adaptive(const Options& opt, std::size_t trials) {
                                      "adaptive-king", "adaptive-random"}
           : std::vector<std::string>{opt.attack};
   if (opt.fault != "none") grid.faults = {opt.fault};
+  if (opt.recovery != "off") grid.recoveries = {opt.recovery};
   grid.budgets = {0, 2, 4, 8, 16};
 
   exp::Sweep sweep(base, grid, trials);
@@ -505,7 +552,8 @@ exp::Report run_service_figure(const Options& opt, std::size_t trials) {
 /// and service loop by hand with non-uniform trial counts).
 bool shardable_figure(const std::string& figure) {
   return figure == "fig1a" || figure == "fig1b" || figure == "fig2" ||
-         figure == "fault-matrix" || figure == "adaptive";
+         figure == "fault-matrix" || figure == "recovery-matrix" ||
+         figure == "adaptive";
 }
 
 Scale scale_from_name(const std::string& name) {
@@ -552,6 +600,7 @@ Options parse(int argc, char** argv) {
   opt.scale = common.scale;
   opt.attack = common.attack;
   opt.fault = common.fault;
+  opt.recovery = common.recovery;
   opt.timing = common.timing;
   opt.trials = common.trials_override;
   opt.threads = common.threads;
@@ -613,7 +662,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "fba_repro: --shard/--merge support only the"
                      " Sweep-driven figures (fig1a, fig1b, fig2,"
-                     " fault-matrix, adaptive), not \"%s\"\n",
+                     " fault-matrix, recovery-matrix, adaptive), not"
+                     " \"%s\"\n",
                      opt.figure.c_str());
         return 2;
       }
@@ -646,6 +696,7 @@ int main(int argc, char** argv) {
       opt.scale = scale_from_name(merged.meta.scale);
       opt.attack = merged.meta.attack;
       opt.fault = merged.meta.fault;
+      opt.recovery = merged.meta.recovery;
       opt.procs = 1;  // cells come from the shards, nothing runs
       std::fprintf(stderr,
                    "fba_repro: replaying %zu cells from %zu shard file(s)"
@@ -658,6 +709,7 @@ int main(int argc, char** argv) {
     // Validate scenario names before any sweep runs.
     exp::attack_factory(opt.attack);
     exp::fault_plan_factory(opt.fault);
+    exp::recovery_plan_factory(opt.recovery);
 
     const std::size_t trials =
         opt.trials > 0 ? opt.trials : default_trials(opt.scale);
@@ -670,6 +722,7 @@ int main(int argc, char** argv) {
       meta.scale = benchutil::scale_name(opt.scale);
       meta.attack = opt.attack;
       meta.fault = opt.fault;
+      meta.recovery = opt.recovery;
       meta.base_seed = effective_seed(opt);
       meta.trials = trials;
       meta.shard_index = shard_index;
@@ -690,6 +743,8 @@ int main(int argc, char** argv) {
       report = run_fig3_scale(opt, trials);
     } else if (opt.figure == "fault-matrix") {
       report = run_fault_matrix(opt, trials);
+    } else if (opt.figure == "recovery-matrix") {
+      report = run_recovery_matrix(opt, trials);
     } else if (opt.figure == "adaptive") {
       report = run_adaptive(opt, trials);
     } else if (opt.figure == "service") {
@@ -697,8 +752,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "%s --figure=%s: unknown figure (known: fig1a, fig1b,"
-                   " fig2, fig3, fig3-scale, fault-matrix, adaptive, service;"
-                   " --help for details)\n",
+                   " fig2, fig3, fig3-scale, fault-matrix, recovery-matrix,"
+                   " adaptive, service; --help for details)\n",
                    argv[0], opt.figure.c_str());
       return 2;
     }

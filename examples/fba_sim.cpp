@@ -52,6 +52,7 @@ struct Options {
   std::string model = "sync";
   std::string attack = "none";
   std::string fault = "none";
+  std::string recovery = "off";
   std::string reduction = "aer";
   std::string json;  ///< --json=FILE: write an fba.report document.
   std::size_t trials = 1;
@@ -120,7 +121,7 @@ benchutil::CommonSpec sim_spec() {
                       "--corrupt=",  "--know=",  "--d=",
                       "--budget=",   "--model=", "--reduction=",
                       "--adaptive-budget=", "--adaptive-from="};
-  spec.sections = {.attacks = true, .faults = true};
+  spec.sections = {.attacks = true, .faults = true, .recoveries = true};
   spec.accept_timing = true;
   spec.accept_scale = false;  // runs are sized with --n/--trials directly.
   return spec;
@@ -152,6 +153,7 @@ Options parse(int argc, char** argv) {
   Options opt;
   opt.attack = common.attack;
   opt.fault = common.fault;
+  opt.recovery = common.recovery;
   opt.json = common.json;
   opt.timing = common.timing;
   if (common.trials_override > 0) opt.trials = common.trials_override;
@@ -202,6 +204,15 @@ sim::FaultPlan make_fault(const std::string& name) {
   }
 }
 
+sim::RecoveryPlan make_recovery(const std::string& name) {
+  try {
+    return exp::recovery_plan_factory(name);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
 void print_report(const char* label, const aer::AerReport& r) {
   std::printf("%s: n=%zu t=%zu d=%zu\n", label, r.n, r.t, r.d);
   std::printf("  outcome : %zu/%zu decided, %zu on the common string -> %s\n",
@@ -230,6 +241,15 @@ void print_report(const char* label, const aer::AerReport& r) {
     }
     std::printf("), %llu delayed\n",
                 static_cast<unsigned long long>(r.fault_delayed_msgs));
+  }
+  if (r.recovery_retransmit_msgs > 0 || r.recovery_acked_msgs > 0) {
+    std::printf("  recovery: %llu retransmits (%llu bits), %llu acked,"
+                " %llu dead, %llu duplicates\n",
+                static_cast<unsigned long long>(r.recovery_retransmit_msgs),
+                static_cast<unsigned long long>(r.recovery_retransmit_bits),
+                static_cast<unsigned long long>(r.recovery_acked_msgs),
+                static_cast<unsigned long long>(r.recovery_dead_msgs),
+                static_cast<unsigned long long>(r.recovery_dup_msgs));
   }
 }
 
@@ -268,6 +288,13 @@ void print_aggregate(const std::string& label, const exp::Aggregate& a,
                 a.drops_by_cause[sim::fault_cause_index(
                     sim::FaultCause::kLoss)],
                 a.fault_delayed_msgs);
+  }
+  if (a.recovery_retransmit_msgs.mean > 0 || a.recovery_acked_msgs > 0) {
+    std::printf("  recovery     : mean %.1f retransmits/trial (%.0f bits),"
+                " %.1f acked, %.1f dead, %.1f duplicates\n",
+                a.recovery_retransmit_msgs.mean,
+                a.recovery_retransmit_bits.mean, a.recovery_acked_msgs,
+                a.recovery_dead_msgs, a.recovery_dup_msgs);
   }
   std::printf("  fingerprint  : %016llx\n",
               static_cast<unsigned long long>(a.fingerprint()));
@@ -322,6 +349,7 @@ exp::GridPoint single_point(const Options& opt, aer::Model model) {
   p.corrupt_fraction = opt.corrupt;
   p.strategy = opt.attack;
   p.fault = opt.fault;
+  p.recovery = opt.recovery;
   return p;
 }
 
@@ -341,6 +369,12 @@ int run_sim(int argc, char** argv) {
       std::fprintf(stderr,
                    "--fault applies to the AER/baseline/BA-reduction engines;"
                    " the AE tournament keeps reliable channels\n");
+      return 2;
+    }
+    if (opt.recovery != "off") {
+      std::fprintf(stderr,
+                   "--recovery applies to the AER/baseline/BA-reduction"
+                   " engines; the AE tournament keeps reliable channels\n");
       return 2;
     }
     ae::AeConfig cfg;
@@ -369,6 +403,7 @@ int run_sim(int argc, char** argv) {
     cfg.reduction_model = parse_model(opt.model);
     cfg.d_override = opt.d;
     cfg.fault_plan = make_fault(opt.fault);
+    cfg.recovery_plan = make_recovery(opt.recovery);
     ba::Reduction reduction = ba::Reduction::kAer;
     if (opt.reduction == "sqrt") reduction = ba::Reduction::kSqrtSample;
     if (opt.reduction == "flood") reduction = ba::Reduction::kFlood;
@@ -377,7 +412,8 @@ int run_sim(int argc, char** argv) {
       const aer::AerConfig base = ba_report_base(opt, cfg.reduction_model);
       exp::Grid grid;
       grid.strategies = {opt.attack};
-      grid.faults = {opt.fault};  // BaConfig carries the resolved plan.
+      grid.faults = {opt.fault};  // BaConfig carries the resolved plans;
+      grid.recoveries = {opt.recovery};  // the axes are labels here.
       exp::Sweep sweep(base, grid, opt.trials);
       sweep.set_threads(opt.threads).set_procs(opt.procs);
       sweep.set_progress(sweep_progress());
@@ -431,6 +467,7 @@ int run_sim(int argc, char** argv) {
   cfg.adaptive_budget = opt.adaptive_budget;
   cfg.adaptive_from = opt.adaptive_from;
   cfg.fault_plan = make_fault(opt.fault);
+  cfg.recovery_plan = make_recovery(opt.recovery);
 
   exp::Sweep::Trial trial;
   if (opt.protocol == "aer") {
@@ -451,6 +488,7 @@ int run_sim(int argc, char** argv) {
     exp::Grid grid;
     grid.strategies = {opt.attack};
     grid.faults = {opt.fault};
+    grid.recoveries = {opt.recovery};
     exp::Sweep sweep(cfg, grid, opt.trials);
     sweep.set_threads(opt.threads).set_procs(opt.procs);
     if (trial) sweep.set_trial(std::move(trial));

@@ -8,6 +8,7 @@
 
 #include "net/fault.h"
 #include "net/message.h"
+#include "net/recovery.h"
 #include "sampler/sampler.h"
 #include "sampler/tables.h"
 #include "support/intern.h"
@@ -76,6 +77,13 @@ struct AerConfig {
   /// (exp::fault_plan_factory) so benches, fba_sim and Grid sweeps share
   /// one vocabulary.
   sim::FaultPlan fault_plan;
+
+  /// Reliable-channel recovery sublayer (ack/retransmit with adaptive
+  /// timeout, net/recovery.h). Empty (the default) disables it; named
+  /// presets live in exp/scenario.h (exp::recovery_plan_factory). Layered
+  /// under send_from, downstream of fault_plan, so retransmissions are
+  /// re-exposed to loss/partition/churn.
+  sim::RecoveryPlan recovery_plan;
 
   std::size_t resolved_t() const;
   std::size_t resolved_d() const;

@@ -196,6 +196,11 @@ void fill_outcome_and_traffic(AerReport& report, const AerWorld& world,
   report.fault_dropped_bits = metrics.fault_dropped_bits();
   report.fault_delayed_msgs = metrics.fault_delayed_messages();
   report.fault_drops_by_cause = metrics.drops_by_cause();
+  report.recovery_retransmit_msgs = metrics.recovery_retransmit_messages();
+  report.recovery_retransmit_bits = metrics.recovery_retransmit_bits();
+  report.recovery_acked_msgs = metrics.recovery_acked_messages();
+  report.recovery_dead_msgs = metrics.recovery_dead_messages();
+  report.recovery_dup_msgs = metrics.recovery_duplicate_messages();
 
   report.push_bits_per_node =
       report.n > 0
@@ -283,6 +288,7 @@ AerReport run_aer_world_arena(AerWorld& world, RunArena& arena,
   auto wire_nodes = [&](auto& engine) {
     engine.set_wire(&world.shared->wire());
     engine.set_fault_plan(&config.fault_plan);
+    engine.set_recovery_plan(&config.recovery_plan);
     engine.set_corrupt(world.view.corrupt);
     arena.wire_actors(engine, world);
     engine.set_strategy(strategy.get());

@@ -118,6 +118,14 @@ struct AerReport {
   std::uint64_t fault_dropped_bits = 0;
   std::uint64_t fault_delayed_msgs = 0;
   FaultCounters fault_drops_by_cause{};
+  /// Recovery-sublayer activity (zero with the layer off). Retransmit bits
+  /// are included in total_bits too — this isolates the layer's overhead,
+  /// the measured cost of restoring the reliable-channel assumption.
+  std::uint64_t recovery_retransmit_msgs = 0;
+  std::uint64_t recovery_retransmit_bits = 0;
+  std::uint64_t recovery_acked_msgs = 0;
+  std::uint64_t recovery_dead_msgs = 0;
+  std::uint64_t recovery_dup_msgs = 0;
   std::uint64_t msgs_of(sim::MessageKind k) const {
     return msgs_by_kind[sim::kind_index(k)];
   }

@@ -94,6 +94,7 @@ AerReport run_world_protocol(
   auto wire_nodes = [&](auto& engine) {
     engine.set_wire(&world.shared->wire());
     engine.set_fault_plan(&config.fault_plan);
+    engine.set_recovery_plan(&config.recovery_plan);
     engine.set_corrupt(world.view.corrupt);
     for (NodeId id = 0; id < config.n; ++id) {
       if (engine.is_corrupt(id)) continue;

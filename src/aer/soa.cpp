@@ -527,6 +527,7 @@ AerReport run_aer_world_soa(AerWorld& world, SoaArena& arena,
   auto wire_nodes = [&](auto& engine) {
     engine.set_wire(&world.shared->wire());
     engine.set_fault_plan(&config.fault_plan);
+    engine.set_recovery_plan(&config.recovery_plan);
     engine.set_corrupt(world.view.corrupt);
     arena.state.reset(world.shared.get(), world.view.initial, engine);
     engine.set_strategy(strategy.get());
@@ -568,9 +569,10 @@ AerReport run_aer_world_soa(AerWorld& world, SoaArena& arena,
     else arena.sync.emplace(ec);
     sim::SyncEngine& engine = *arena.sync;
     wire_nodes(engine);
-    // Bursts skip the per-send observe/fault taps, so they are only legal
-    // when both taps are no-ops.
-    if (opts.bursts && strategy == nullptr && config.fault_plan.empty()) {
+    // Bursts skip the per-send observe/fault/recovery taps, so they are only
+    // legal when all of them are no-ops.
+    if (opts.bursts && strategy == nullptr && config.fault_plan.empty() &&
+        config.recovery_plan.empty()) {
       engine.set_burst_source(&arena.state);
       arena.state.enable_bursts(&engine);
     }

@@ -53,6 +53,7 @@ BaReport run_ba(const BaConfig& config, Reduction reduction,
   aer_cfg.max_rounds = config.max_rounds;
   aer_cfg.max_time = config.max_time;
   aer_cfg.fault_plan = config.fault_plan;
+  aer_cfg.recovery_plan = config.recovery_plan;
 
   // The corrupt set is non-adaptive and spans both phases.
   auto same_corrupt = [&ae_result](std::size_t, std::size_t, Rng&,

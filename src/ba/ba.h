@@ -48,6 +48,9 @@ struct BaConfig {
   /// Fault conditions for the reduction phase (net/fault.h); the AE
   /// tournament keeps the paper's synchronous reliable channels.
   sim::FaultPlan fault_plan;
+  /// Ack/retransmit recovery sublayer for the reduction phase
+  /// (net/recovery.h) — composable with any fault_plan.
+  sim::RecoveryPlan recovery_plan;
 };
 
 struct BaReport {

@@ -44,6 +44,11 @@ TrialOutcome outcome_of(const aer::AerReport& r) {
   o.fault_dropped_msgs = static_cast<double>(r.fault_dropped_msgs);
   o.fault_dropped_bits = static_cast<double>(r.fault_dropped_bits);
   o.fault_delayed_msgs = static_cast<double>(r.fault_delayed_msgs);
+  o.recovery_retransmit_msgs = static_cast<double>(r.recovery_retransmit_msgs);
+  o.recovery_retransmit_bits = static_cast<double>(r.recovery_retransmit_bits);
+  o.recovery_acked_msgs = static_cast<double>(r.recovery_acked_msgs);
+  o.recovery_dead_msgs = static_cast<double>(r.recovery_dead_msgs);
+  o.recovery_dup_msgs = static_cast<double>(r.recovery_dup_msgs);
   for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
     o.drops_by_cause[c] = static_cast<double>(r.fault_drops_by_cause[c]);
   }
@@ -140,7 +145,17 @@ std::uint64_t Aggregate::fingerprint() const {
   hash_doubles(h, {push_bits_per_node, push_msgs_per_node,
                    candidate_lists_per_node, ae_rounds, reduction_time,
                    ae_bits, reduction_bits});
+  // The first 19 kinds (everything up to kPing) are hashed unconditionally —
+  // the pinned golden fingerprints were recorded over exactly those. Kinds
+  // appended later (kAck and any successors) enter the hash only when they
+  // carried traffic, so a run that never sends them — every recovery-off
+  // run — fingerprints identically to a build without the kind. The skip
+  // decision depends only on round-tripped values (msgs_by_kind), so a
+  // JSON-reloaded Aggregate hashes the same.
+  constexpr std::size_t kLegacyKinds =
+      sim::kind_index(sim::MessageKind::kAck);
   for (std::size_t k = 0; k < sim::kNumMessageKinds; ++k) {
+    if (k >= kLegacyKinds && msgs_by_kind[k] == 0) continue;
     hash_stats(h, bits_by_kind[k]);
     hash_doubles(h, {msgs_by_kind[k]});
   }
@@ -152,7 +167,8 @@ std::uint64_t Aggregate::fingerprint() const {
   }
   // mem_bytes_per_node is deliberately NOT hashed — see its declaration.
   // Likewise the corruption-timeline fields (runtime_corruptions,
-  // first/last_corruption_time): zero on every pinned golden.
+  // first/last_corruption_time) and the recovery_* fields: zero on every
+  // pinned golden.
   return h;
 }
 
@@ -164,6 +180,7 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
   double push_bits = 0, push_msgs = 0, lists = 0;
   double ae_rounds = 0, red_time = 0, ae_bits = 0, red_bits = 0;
   double delayed = 0;
+  double rec_acked = 0, rec_dead = 0, rec_dup = 0;
   double first_sum = 0, last_sum = 0;
   std::size_t corrupted_trials = 0;
   std::array<double, sim::kNumFaultCauses> cause_sums{};
@@ -185,6 +202,9 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
     ae_bits += o.ae_bits;
     red_bits += o.reduction_bits;
     delayed += o.fault_delayed_msgs;
+    rec_acked += o.recovery_acked_msgs;
+    rec_dead += o.recovery_dead_msgs;
+    rec_dup += o.recovery_dup_msgs;
     agg.runtime_corruptions += static_cast<std::uint64_t>(o.runtime_corruptions);
     if (o.runtime_corruptions > 0) {
       ++corrupted_trials;
@@ -207,6 +227,9 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
     agg.ae_bits = ae_bits / count;
     agg.reduction_bits = red_bits / count;
     agg.fault_delayed_msgs = delayed / count;
+    agg.recovery_acked_msgs = rec_acked / count;
+    agg.recovery_dead_msgs = rec_dead / count;
+    agg.recovery_dup_msgs = rec_dup / count;
     for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
       agg.drops_by_cause[c] = cause_sums[c] / count;
     }
@@ -238,6 +261,10 @@ Aggregate aggregate_outcomes(const std::vector<TrialOutcome>& outcomes) {
       summarize_sample(collect(outcomes, &TrialOutcome::fault_dropped_msgs));
   agg.fault_dropped_bits =
       summarize_sample(collect(outcomes, &TrialOutcome::fault_dropped_bits));
+  agg.recovery_retransmit_msgs = summarize_sample(
+      collect(outcomes, &TrialOutcome::recovery_retransmit_msgs));
+  agg.recovery_retransmit_bits = summarize_sample(
+      collect(outcomes, &TrialOutcome::recovery_retransmit_bits));
   agg.decision_time = summarize_sample(std::move(pooled_times));
 
   std::vector<double> kind_values(outcomes.size());

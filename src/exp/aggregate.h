@@ -53,6 +53,12 @@ struct TrialOutcome {
   double fault_dropped_bits = 0;
   double fault_delayed_msgs = 0;
   std::array<double, sim::kNumFaultCauses> drops_by_cause{};
+  /// Recovery-sublayer activity (net/recovery.h; all zero with it off).
+  double recovery_retransmit_msgs = 0;
+  double recovery_retransmit_bits = 0;
+  double recovery_acked_msgs = 0;
+  double recovery_dead_msgs = 0;
+  double recovery_dup_msgs = 0;
 
   // Composed-BA phase split (zero for single-phase runs).
   double ae_rounds = 0;
@@ -154,6 +160,17 @@ struct Aggregate {
   std::uint64_t runtime_corruptions = 0;  ///< summed over trials.
   double first_corruption_time = 0;  ///< mean over trials that corrupted.
   double last_corruption_time = 0;   ///< mean over trials that corrupted.
+
+  /// Recovery-sublayer activity across trials. Same placement rule as
+  /// mem_bytes_per_node: deliberately OUTSIDE fingerprint(), so the pinned
+  /// goldens (all recorded pre-recovery) stay valid and a recovery-off run
+  /// fingerprints identically to a build without the layer. Report::diff
+  /// compares retransmit bits explicitly (exp/report.cpp kDiffMetrics).
+  SummaryStats recovery_retransmit_msgs;
+  SummaryStats recovery_retransmit_bits;
+  double recovery_acked_msgs = 0;  ///< mean per trial.
+  double recovery_dead_msgs = 0;   ///< mean per trial.
+  double recovery_dup_msgs = 0;    ///< mean per trial.
 
   double agreement_rate() const {
     return trials > 0 ? static_cast<double>(agreements) /

@@ -18,7 +18,7 @@ std::size_t Grid::points() const {
   auto dim = [](std::size_t v) { return v == 0 ? std::size_t{1} : v; };
   return dim(ns.size()) * dim(models.size()) * dim(corrupt_fractions.size()) *
          dim(strategies.size()) * dim(faults.size()) * dim(budgets.size()) *
-         dim(adaptive_froms.size());
+         dim(adaptive_froms.size()) * dim(recoveries.size());
 }
 
 aer::AerConfig GridPoint::apply(aer::AerConfig base) const {
@@ -38,6 +38,10 @@ std::string GridPoint::label() const {
   if (!fault.empty()) {
     out += " fault=";
     out += fault;
+  }
+  if (!recovery.empty()) {
+    out += " recovery=";
+    out += recovery;
   }
   if (budget >= 0) {
     std::snprintf(buf, sizeof(buf), " budget=%ld", budget);
@@ -62,6 +66,7 @@ std::vector<GridPoint> expand_grid(const aer::AerConfig& base,
   // label unchanged), so every pre-adaptive sweep expands exactly as
   // before — same points, same indexes, same per-trial seeds.
   const auto faults = axis_or<std::string>(grid.faults, "");
+  const auto recoveries = axis_or<std::string>(grid.recoveries, "");
   std::vector<long> budget_axis;
   budget_axis.reserve(grid.budgets.size());
   for (std::size_t b : grid.budgets) budget_axis.push_back(static_cast<long>(b));
@@ -71,24 +76,27 @@ std::vector<GridPoint> expand_grid(const aer::AerConfig& base,
   std::vector<GridPoint> points;
   points.reserve(ns.size() * models.size() * fractions.size() *
                  strategies.size() * faults.size() * budgets.size() *
-                 froms.size());
-  for (double from : froms) {
-    for (long budget : budgets) {
-      for (const std::string& fault : faults) {
-        for (const std::string& strategy : strategies) {
-          for (double fraction : fractions) {
-            for (aer::Model model : models) {
-              for (std::size_t n : ns) {
-                GridPoint p;
-                p.index = points.size();
-                p.n = n;
-                p.model = model;
-                p.corrupt_fraction = fraction;
-                p.strategy = strategy;
-                p.fault = fault;
-                p.budget = budget;
-                p.adaptive_from = from;
-                points.push_back(std::move(p));
+                 froms.size() * recoveries.size());
+  for (const std::string& recovery : recoveries) {
+    for (double from : froms) {
+      for (long budget : budgets) {
+        for (const std::string& fault : faults) {
+          for (const std::string& strategy : strategies) {
+            for (double fraction : fractions) {
+              for (aer::Model model : models) {
+                for (std::size_t n : ns) {
+                  GridPoint p;
+                  p.index = points.size();
+                  p.n = n;
+                  p.model = model;
+                  p.corrupt_fraction = fraction;
+                  p.strategy = strategy;
+                  p.fault = fault;
+                  p.recovery = recovery;
+                  p.budget = budget;
+                  p.adaptive_from = from;
+                  points.push_back(std::move(p));
+                }
               }
             }
           }

@@ -27,6 +27,12 @@ struct Grid {
   /// base config's fault plan.
   std::vector<std::string> faults;
 
+  /// Recovery-preset names resolved via exp::recovery_plan_factory
+  /// (scenario.h); "off" disables the layer. An empty axis keeps the base
+  /// config's recovery plan — pre-recovery sweeps expand to identical
+  /// points and labels.
+  std::vector<std::string> recoveries;
+
   /// Runtime corruption budgets for adaptive-* strategies
   /// (AerConfig::adaptive_budget). An empty axis keeps the base config's
   /// budget — every non-adaptive sweep expands exactly as before.
@@ -51,6 +57,10 @@ struct GridPoint {
   /// the name is resolved onto the trial config by the scenario trial
   /// runners (exp::fault_plan_factory), keeping grid.cpp registry-free.
   std::string fault;
+  /// Recovery-preset name. Empty means "keep the base config's recovery
+  /// plan" (and keeps the label unchanged); resolved by the scenario trial
+  /// runners via exp::recovery_plan_factory, like `fault`.
+  std::string recovery;
   /// Runtime corruption budget (adaptive-* strategies). -1 means "keep the
   /// base config's adaptive_budget" — and keeps the label unchanged, so
   /// non-adaptive baselines diff cleanly against old files.
@@ -64,14 +74,14 @@ struct GridPoint {
   aer::AerConfig apply(aer::AerConfig base) const;
 
   /// "n=256 model=async corrupt=0.08 attack=poll-stuff fault=lossy-1pct
-  /// budget=4" — for table rows. The fault / budget / from fields appear
-  /// only when their axis is set.
+  /// recovery=arq-fast budget=4" — for table rows. The fault / recovery /
+  /// budget / from fields appear only when their axis is set.
   std::string label() const;
 };
 
 /// Cross-product expansion, axes fixed in the order
-/// adaptive_from > budget > fault > strategy > corrupt_fraction > model > n
-/// (n varies fastest). Missing axes are filled from `base`.
+/// recovery > adaptive_from > budget > fault > strategy > corrupt_fraction
+/// > model > n (n varies fastest). Missing axes are filled from `base`.
 std::vector<GridPoint> expand_grid(const aer::AerConfig& base,
                                    const Grid& grid);
 

@@ -85,6 +85,10 @@ const StatField kStatFields[] = {
     // Schema v2: absent from v1 files, so point_from_json must tolerate a
     // missing stats entry (defaults to all-zero).
     {"mem_bytes_per_node", &Aggregate::mem_bytes_per_node},
+    // Schema v5: the recovery sublayer's overhead (absent from v1–v4 files,
+    // same missing-entry tolerance).
+    {"recovery_retransmit_msgs", &Aggregate::recovery_retransmit_msgs},
+    {"recovery_retransmit_bits", &Aggregate::recovery_retransmit_bits},
 };
 
 struct ScalarField {
@@ -140,6 +144,14 @@ const ScalarField kScalarFields[] = {
      [](const Aggregate& a) { return a.first_corruption_time; }},
     {"last_corruption_time",
      [](const Aggregate& a) { return a.last_corruption_time; }},
+    // Schema v5: recovery-sublayer scalar means. All zero with the layer
+    // off, and deliberately outside Aggregate::fingerprint().
+    {"recovery_acked_msgs",
+     [](const Aggregate& a) { return a.recovery_acked_msgs; }},
+    {"recovery_dead_msgs",
+     [](const Aggregate& a) { return a.recovery_dead_msgs; }},
+    {"recovery_dup_msgs",
+     [](const Aggregate& a) { return a.recovery_dup_msgs; }},
 };
 
 struct StatComponent {
@@ -197,6 +209,10 @@ const DiffMetric kDiffMetrics[] = {
     // comparison is skipped then rather than flagging any positive value
     // as a regression.
     {"mem_bytes_per_node.mean", true, false},
+    // Also outside the fingerprint. A zero baseline means the baseline ran
+    // without the recovery layer (or a pre-v5 file) — skipped then, like
+    // the memory account.
+    {"recovery_retransmit_bits.mean", true, false},
 };
 
 // ---- JSON (de)serialization -------------------------------------------------
@@ -237,6 +253,11 @@ json::Value point_json(const ReportPoint& rp) {
   axes.set("corrupt_fraction", rp.point.corrupt_fraction);
   axes.set("attack", rp.point.strategy);
   axes.set("fault", rp.point.fault);
+  // Recovery axis (schema v5), written only when the sweep set it — a
+  // recovery-less report carries the same axes block as a v4 writer's.
+  if (!rp.point.recovery.empty()) {
+    axes.set("recovery", rp.point.recovery);
+  }
   // Adaptive axes (schema v4), written only when the sweep set them, so a
   // non-adaptive report carries the same axes block as a v3 writer's.
   if (rp.point.budget >= 0) {
@@ -289,6 +310,9 @@ json::Value point_json(const ReportPoint& rp) {
   scalars.set("runtime_corruptions", std::uint64_t{a.runtime_corruptions});
   scalars.set("first_corruption_time", a.first_corruption_time);
   scalars.set("last_corruption_time", a.last_corruption_time);
+  scalars.set("recovery_acked_msgs", a.recovery_acked_msgs);
+  scalars.set("recovery_dead_msgs", a.recovery_dead_msgs);
+  scalars.set("recovery_dup_msgs", a.recovery_dup_msgs);
   out.set("scalars", std::move(scalars));
 
   json::Value causes = json::Value::object();
@@ -341,6 +365,9 @@ ReportPoint point_from_json(const json::Value& v) {
   rp.point.corrupt_fraction = axes.at("corrupt_fraction").as_double();
   rp.point.strategy = axes.at("attack").as_string();
   rp.point.fault = axes.at("fault").as_string();
+  // Absent in pre-v5 files and recovery-less v5 reports: empty = unset.
+  const json::Value* recovery = axes.find("recovery");
+  rp.point.recovery = recovery != nullptr ? recovery->as_string() : "";
   // Absent in pre-v4 files and in non-adaptive v4 reports: -1 = unset.
   const json::Value* budget = axes.find("budget");
   rp.point.budget = budget != nullptr ? long(budget->as_uint64()) : -1;
@@ -398,6 +425,13 @@ ReportPoint point_from_json(const json::Value& v) {
   a.first_corruption_time = fct != nullptr ? fct->as_double() : 0;
   const json::Value* lct = scalars.find("last_corruption_time");
   a.last_corruption_time = lct != nullptr ? lct->as_double() : 0;
+  // Pre-v5 files predate the recovery sublayer: load as zero.
+  const json::Value* ra = scalars.find("recovery_acked_msgs");
+  a.recovery_acked_msgs = ra != nullptr ? ra->as_double() : 0;
+  const json::Value* rd = scalars.find("recovery_dead_msgs");
+  a.recovery_dead_msgs = rd != nullptr ? rd->as_double() : 0;
+  const json::Value* rdup = scalars.find("recovery_dup_msgs");
+  a.recovery_dup_msgs = rdup != nullptr ? rdup->as_double() : 0;
 
   const json::Value& causes = v.at("drops_by_cause");
   for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
@@ -406,10 +440,13 @@ ReportPoint point_from_json(const json::Value& v) {
             .as_double();
   }
 
+  // Tolerant of files written before a kind was appended (pre-v5 files
+  // predate kAck): missing trailing kinds load as zero, which is exactly
+  // what those runs — which could not have sent them — recorded.
   const auto& traffic = v.at("traffic_by_kind").as_array();
-  FBA_REQUIRE(traffic.size() == sim::kNumMessageKinds,
-              "report: traffic_by_kind must list every message kind");
-  for (std::size_t k = 0; k < sim::kNumMessageKinds; ++k) {
+  FBA_REQUIRE(traffic.size() <= sim::kNumMessageKinds,
+              "report: traffic_by_kind lists unknown message kinds");
+  for (std::size_t k = 0; k < traffic.size(); ++k) {
     const json::Value& entry = traffic[k];
     FBA_REQUIRE(entry.at("kind").as_string() ==
                     sim::kind_name(static_cast<sim::MessageKind>(k)),
@@ -784,11 +821,12 @@ Report Report::from_json_file(const std::string& path) {
 std::string Report::to_csv() const {
   std::string out;
   // Header: identity, axes, provenance, counts, then the stat columns and
-  // per-kind traffic. One row per point, stable column order (schema v4).
+  // per-kind traffic. One row per point, stable column order (schema v5).
   // The per-point load block is JSON-only: wall-clock cells would make the
-  // CSV environment-dependent. Unset adaptive axes serialize as -1.
+  // CSV environment-dependent. Unset adaptive axes serialize as -1, an
+  // unset recovery axis as the empty cell.
   out += "figure,series,label,index,n,model,corrupt_fraction,attack,fault"
-         ",budget,adaptive_from"
+         ",recovery,budget,adaptive_from"
          ",d,t,gstring_bits,node_id_bits,answer_budget"
          ",trials,agreements,agreement_rate,decided_fraction"
          ",engine_incomplete,wrong_decisions,stalled_nodes,correct_nodes"
@@ -804,7 +842,8 @@ std::string Report::to_csv() const {
   out += ",ae_rounds,reduction_time,ae_bits,reduction_bits"
          ",push_bits_per_node,push_msgs_per_node,candidate_lists_per_node"
          ",fault_delayed_msgs"
-         ",runtime_corruptions,first_corruption_time,last_corruption_time";
+         ",runtime_corruptions,first_corruption_time,last_corruption_time"
+         ",recovery_acked_msgs,recovery_dead_msgs,recovery_dup_msgs";
   for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {
     out += ",drops_";
     out += sim::fault_cause_name(static_cast<sim::FaultCause>(c));
@@ -832,6 +871,7 @@ std::string Report::to_csv() const {
           canonical_num(rp.point.corrupt_fraction),
           rp.point.strategy,
           rp.point.fault,
+          rp.point.recovery,
           std::to_string(rp.point.budget),
           canonical_num(rp.point.adaptive_from),
           dec_u64(rp.provenance.d),
@@ -864,7 +904,10 @@ std::string Report::to_csv() const {
                              a.fault_delayed_msgs,
                              double(a.runtime_corruptions),
                              a.first_corruption_time,
-                             a.last_corruption_time}) {
+                             a.last_corruption_time,
+                             a.recovery_acked_msgs,
+                             a.recovery_dead_msgs,
+                             a.recovery_dup_msgs}) {
         cells.push_back(canonical_num(v));
       }
       for (std::size_t c = 0; c < sim::kNumFaultCauses; ++c) {

@@ -42,10 +42,13 @@ namespace fba::exp {
 /// mem_bytes_per_node stat; v3 added the p999 stat component and the
 /// optional per-point `load` block (service mode); v4 added the adaptive
 /// axes (budget / adaptive_from, written only when set) and the
-/// corruption-timeline scalars. Older files still load: missing
+/// corruption-timeline scalars; v5 added the recovery sublayer: the
+/// optional `recovery` axis, the retransmit stats, the ack/dead/duplicate
+/// scalars, and the `ack` traffic kind. Older files still load: missing
 /// stats/components default to zero, a missing load block to "absent",
-/// missing adaptive axes to "unset".
-inline constexpr std::uint64_t kReportSchemaVersion = 4;
+/// missing adaptive/recovery axes to "unset", missing trailing traffic
+/// kinds to zero.
+inline constexpr std::uint64_t kReportSchemaVersion = 5;
 
 /// Quantities the config resolves per point (functions of n and the base
 /// config), recorded so a report is interpretable without the binary.

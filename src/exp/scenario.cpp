@@ -86,6 +86,21 @@ const std::vector<ScenarioEntry>& fault_registry() {
   return kFaults;
 }
 
+const std::vector<ScenarioEntry>& recovery_registry() {
+  static const std::vector<ScenarioEntry> kRecoveries = {
+      {"off", "no recovery: faulty links stay faulty (the fault layer raw)"},
+      {"arq-fast",
+       "ack/retransmit from the engine RTO floor, 1.5x backoff capped at 8,"
+       " 12 retries"},
+      {"arq-patient",
+       "ack/retransmit from RTO 6, 2x backoff capped at 64, 16 retries"},
+      {"arq-capped",
+       "ack/retransmit with a tight 2-retry budget, then the send is"
+       " declared dead"},
+  };
+  return kRecoveries;
+}
+
 std::string scenario_usage(const UsageSections& sections) {
   std::string out;
   if (sections.attacks || sections.faults) {
@@ -100,6 +115,12 @@ std::string scenario_usage(const UsageSections& sections) {
     out += "  --fault=<preset>   channel-fault preset, composable with any"
            " attack:\n";
     out += format_registry(fault_registry());
+  }
+  if (sections.recoveries) {
+    out += "  --recovery=<preset> reliable-channel recovery sublayer"
+           " (ack/retransmit under\n"
+           "                     the fault layer; net/recovery.h):\n";
+    out += format_registry(recovery_registry());
   }
   if (sections.sweep) {
     out += "common sweep flags:\n"
@@ -118,15 +139,15 @@ std::string scenario_usage(const UsageSections& sections) {
     out += "report output (docs/output-schema.md):\n"
            "  --json=FILE        write the run's aggregates as a versioned"
            " fba.report\n"
-           "                     JSON document (schema v4)\n";
+           "                     JSON document (schema v5)\n";
   }
   return out;
 }
 
 std::string scenario_usage() {
   return scenario_usage(
-      UsageSections{.attacks = true, .faults = true, .sweep = true,
-                    .json = true});
+      UsageSections{.attacks = true, .faults = true, .recoveries = true,
+                    .sweep = true, .json = true});
 }
 
 bool is_grudge_attack(const std::string& name) {
@@ -306,15 +327,54 @@ std::vector<std::string> known_faults() {
   return names;
 }
 
+sim::RecoveryPlan recovery_plan_factory(const std::string& name) {
+  sim::RecoveryPlan plan;
+  if (name.empty() || name == "off") return plan;
+  plan.enabled = true;
+  if (name == "arq-fast") {
+    plan.rto_initial = 0;  // the engine's delay-model floor
+    plan.backoff = 1.5;
+    plan.rto_cap = 8.0;
+    plan.max_retries = 12;
+    return plan;
+  }
+  if (name == "arq-patient") {
+    plan.rto_initial = 6.0;
+    plan.backoff = 2.0;
+    plan.rto_cap = 64.0;
+    plan.max_retries = 16;
+    return plan;
+  }
+  if (name == "arq-capped") {
+    plan.rto_initial = 0;
+    plan.backoff = 2.0;
+    plan.rto_cap = 8.0;
+    plan.max_retries = 2;
+    return plan;
+  }
+  throw ConfigError("unknown recovery preset: " + name +
+                    " (known presets: " + join(known_recoveries()) + ")");
+}
+
+std::vector<std::string> known_recoveries() {
+  std::vector<std::string> names;
+  names.reserve(recovery_registry().size());
+  for (const ScenarioEntry& e : recovery_registry()) names.push_back(e.name);
+  return names;
+}
+
 namespace {
 
 template <typename RunWorld>
 TrialOutcome world_trial(const aer::AerConfig& config, const GridPoint& point,
                          RunWorld&& run_world) {
   aer::AerConfig cfg = config;
-  // The grid's fault axis carries a preset name; an empty name keeps the
-  // base config's (possibly hand-built) plan.
+  // The grid's fault/recovery axes carry preset names; an empty name keeps
+  // the base config's (possibly hand-built) plan.
   if (!point.fault.empty()) cfg.fault_plan = fault_plan_factory(point.fault);
+  if (!point.recovery.empty()) {
+    cfg.recovery_plan = recovery_plan_factory(point.recovery);
+  }
   aer::AerWorld world = aer::build_aer_world(cfg);
   const aer::AerReport report =
       run_world(world, attack_factory(point.strategy));
@@ -338,6 +398,9 @@ void run_aer_trial(const aer::AerConfig& config, const GridPoint& point,
   using clock = std::chrono::steady_clock;
   aer::AerConfig cfg = config;
   if (!point.fault.empty()) cfg.fault_plan = fault_plan_factory(point.fault);
+  if (!point.recovery.empty()) {
+    cfg.recovery_plan = recovery_plan_factory(point.recovery);
+  }
   const auto t0 = clock::now();
   aer::build_aer_world_into(arena.world, cfg);
   const auto t1 = clock::now();
@@ -357,6 +420,9 @@ void run_aer_scale_trial(const aer::AerConfig& config, const GridPoint& point,
   using clock = std::chrono::steady_clock;
   aer::AerConfig cfg = config;
   if (!point.fault.empty()) cfg.fault_plan = fault_plan_factory(point.fault);
+  if (!point.recovery.empty()) {
+    cfg.recovery_plan = recovery_plan_factory(point.recovery);
+  }
   const auto t0 = clock::now();
   aer::build_aer_world_into(arena.world, cfg);
   const auto t1 = clock::now();

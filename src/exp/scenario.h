@@ -30,15 +30,18 @@ struct ScenarioEntry {
 const std::vector<ScenarioEntry>& attack_registry();
 /// Every fault preset fault_plan_factory() accepts, with descriptions.
 const std::vector<ScenarioEntry>& fault_registry();
+/// Every recovery preset recovery_plan_factory() accepts, with descriptions.
+const std::vector<ScenarioEntry>& recovery_registry();
 
 /// Which sections of the generated usage block a binary's --help prints.
 /// Only advertise flags the binary actually parses: attacks/faults are off
 /// by default because most benches pin their own adversary/fault axes.
 struct UsageSections {
-  bool attacks = false;  ///< the binary accepts --attack=<name>.
-  bool faults = false;   ///< the binary accepts --fault=<preset>.
-  bool sweep = true;     ///< --trials / --threads.
-  bool json = true;      ///< the --json=FILE report flag.
+  bool attacks = false;     ///< the binary accepts --attack=<name>.
+  bool faults = false;      ///< the binary accepts --fault=<preset>.
+  bool recoveries = false;  ///< the binary accepts --recovery=<preset>.
+  bool sweep = true;        ///< --trials / --threads.
+  bool json = true;         ///< the --json=FILE report flag.
 };
 
 /// The generated usage block shared by fba_sim, the benches and fba_repro:
@@ -74,6 +77,16 @@ sim::FaultPlan fault_plan_factory(const std::string& name);
 
 /// Names accepted by fault_plan_factory, for --help strings.
 std::vector<std::string> known_faults();
+
+/// Resolves a recovery-preset name to a sim::RecoveryPlan (net/recovery.h)
+/// — the third leg of the scenario vocabulary, composable with every attack
+/// and fault preset (names and descriptions: recovery_registry(); "" is
+/// accepted as "off"). Throws ConfigError on an unknown name, listing the
+/// known presets.
+sim::RecoveryPlan recovery_plan_factory(const std::string& name);
+
+/// Names accepted by recovery_plan_factory, for --help strings.
+std::vector<std::string> known_recoveries();
 
 class TrialArena;
 class ScaleArena;

@@ -72,6 +72,11 @@ constexpr DoubleField kDoubleFields[] = {
     {"runtime_corruptions", &TrialOutcome::runtime_corruptions},
     {"first_corruption_time", &TrialOutcome::first_corruption_time},
     {"last_corruption_time", &TrialOutcome::last_corruption_time},
+    {"recovery_retransmit_msgs", &TrialOutcome::recovery_retransmit_msgs},
+    {"recovery_retransmit_bits", &TrialOutcome::recovery_retransmit_bits},
+    {"recovery_acked_msgs", &TrialOutcome::recovery_acked_msgs},
+    {"recovery_dead_msgs", &TrialOutcome::recovery_dead_msgs},
+    {"recovery_dup_msgs", &TrialOutcome::recovery_dup_msgs},
 };
 
 struct CountField {
@@ -97,9 +102,12 @@ json::Value doubles_array(const double* values, std::size_t count) {
 
 void doubles_from_array(const json::Value& v, double* values,
                         std::size_t count) {
+  // Tolerant like report.cpp's traffic load: an older shard written before
+  // a trailing message kind existed lists fewer entries; missing tails stay
+  // zero. More entries than this build knows is a real mismatch.
   const auto& arr = v.as_array();
-  FBA_REQUIRE(arr.size() == count, "shard: outcome array length mismatch");
-  for (std::size_t i = 0; i < count; ++i) values[i] = arr[i].as_double();
+  FBA_REQUIRE(arr.size() <= count, "shard: outcome array length mismatch");
+  for (std::size_t i = 0; i < arr.size(); ++i) values[i] = arr[i].as_double();
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -200,7 +208,11 @@ TrialOutcome outcome_from_json(const json::Value& v) {
   o.agreement = v.at("agreement").as_bool();
   o.engine_completed = v.at("engine_completed").as_bool();
   for (const DoubleField& f : kDoubleFields) {
-    o.*(f.field) = v.at(f.name).as_double();
+    // Missing fields (pre-v2 shard files lack the recovery_* counters)
+    // default to zero, mirroring the report loader's tolerance.
+    if (const json::Value* field = v.find(f.name)) {
+      o.*(f.field) = field->as_double();
+    }
   }
   doubles_from_array(v.at("bits_by_kind"), o.bits_by_kind.data(),
                      o.bits_by_kind.size());
@@ -282,6 +294,7 @@ std::string ShardDoc::to_json() const {
   m.set("scale", meta.scale);
   m.set("attack", meta.attack);
   m.set("fault", meta.fault);
+  m.set("recovery", meta.recovery);
   m.set("base_seed", std::to_string(meta.base_seed));
   m.set("trials", std::uint64_t{meta.trials});
   m.set("shard_index", std::uint64_t{meta.shard_index});
@@ -323,6 +336,10 @@ ShardDoc ShardDoc::from_json(std::string_view text) {
   doc.meta.scale = m.at("scale").as_string();
   doc.meta.attack = m.at("attack").as_string();
   doc.meta.fault = m.at("fault").as_string();
+  // Tolerant: pre-recovery shard files carry no recovery key -> "off".
+  if (const json::Value* rec = m.find("recovery")) {
+    doc.meta.recovery = rec->as_string();
+  }
   doc.meta.base_seed = parse_u64(m.at("base_seed").as_string(), 10);
   doc.meta.trials = static_cast<std::size_t>(m.at("trials").as_uint64());
   doc.meta.shard_index =
@@ -363,10 +380,11 @@ ShardDoc merge_shards(const std::vector<ShardDoc>& shards) {
     FBA_REQUIRE(
         m.figure == first.figure && m.base_seed == first.base_seed &&
             m.trials == first.trials && m.scale == first.scale &&
-            m.attack == first.attack && m.fault == first.fault,
+            m.attack == first.attack && m.fault == first.fault &&
+            m.recovery == first.recovery,
         "shard merge: shard " + std::to_string(i) +
             " was recorded from a different run (figure/seed/trials/scale/"
-            "attack/fault must all match shard 0)");
+            "attack/fault/recovery must all match shard 0)");
     FBA_REQUIRE(shards[i].sweeps.size() == shards.front().sweeps.size(),
                 "shard merge: shard " + std::to_string(i) + " holds " +
                     std::to_string(shards[i].sweeps.size()) +

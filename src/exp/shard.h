@@ -33,8 +33,10 @@ namespace fba::exp {
 
 /// Bumped whenever the shard JSON layout changes (independent of the
 /// fba.report schema — shards are an exchange format between runs of the
-/// same build, not a long-lived artifact).
-inline constexpr std::uint64_t kShardSchemaVersion = 1;
+/// same build, not a long-lived artifact). v2 added the meta recovery
+/// preset, the outcome recovery_* counters, and the ack traffic kind
+/// (missing fields/trailing kinds load as zero, recovery as "off").
+inline constexpr std::uint64_t kShardSchemaVersion = 2;
 
 /// Order-sensitive hash of every TrialOutcome field (decision_times
 /// included). Two outcomes are bit-identical iff their fingerprints match;
@@ -99,6 +101,7 @@ struct ShardMeta {
   std::string scale;
   std::string attack = "none";
   std::string fault = "none";
+  std::string recovery = "off";
   std::uint64_t base_seed = 0;
   std::size_t trials = 0;
   std::size_t shard_index = 0;  ///< 0-based slice id (provenance only).

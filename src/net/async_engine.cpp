@@ -22,7 +22,7 @@ void AsyncEngine::reset(const AsyncConfig& config) {
   beyond_horizon_ = 0;
 }
 
-void AsyncEngine::queue_envelope(const Envelope& env) {
+void AsyncEngine::queue_envelope(const Envelope& env, RecoveryTag rec) {
   SimTime delay;
   if (strategy_ != nullptr) {
     adv::AdvContext actx(*this);
@@ -44,7 +44,16 @@ void AsyncEngine::queue_envelope(const Envelope& env) {
     ++beyond_horizon_;
     return;
   }
-  queue_.push_message(at, 0, env);
+  queue_.push_message(at, 0, env, rec);
+}
+
+void AsyncEngine::queue_recovery_timer(double delay, std::uint64_t token) {
+  const SimTime at = current_time_ + delay;
+  if (at > config_.max_time) {
+    ++beyond_horizon_;
+    return;
+  }
+  queue_.push_timer(at, 0, kRecoveryTimerNode, token);
 }
 
 void AsyncEngine::queue_timer(NodeId node, double delay, std::uint64_t token) {
@@ -78,10 +87,14 @@ AsyncResult AsyncEngine::run(const std::function<bool()>& done) {
     const std::uint64_t decisions_before = decisions_reported();
     if (next.is_timer) {
       ++result.timer_fires;
-      fire_timer(next.timer_node, next.timer_token);
+      if (next.timer_node == kRecoveryTimerNode) {
+        on_recovery_timeout(next.timer_token);
+      } else {
+        fire_timer(next.timer_node, next.timer_token);
+      }
     } else {
       ++result.deliveries;
-      deliver(next.env);
+      deliver(next.env, next.rec());
     }
     // A delivery that fired a decision callback may have been the last one
     // needed: re-check immediately instead of processing up to

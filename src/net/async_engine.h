@@ -52,7 +52,12 @@ class AsyncEngine : public EngineBase {
   void queue_timer(NodeId node, double delay, std::uint64_t token) override;
 
  private:
-  void queue_envelope(const Envelope& env) override;
+  void queue_envelope(const Envelope& env, RecoveryTag rec) override;
+  void queue_recovery_timer(double delay, std::uint64_t token) override;
+  /// Delays are clamped to (0, 1], so a loss-free round trip takes at most
+  /// 2.0 time units; the extra half-unit margin keeps a floor-RTO timer
+  /// strictly after any same-instant ack tie.
+  double recovery_rto_floor() const override { return 2.5; }
 
   AsyncConfig config_;
   SimTime current_time_ = 0;

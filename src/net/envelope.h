@@ -20,4 +20,17 @@ struct Envelope {
   double fault_delay = 0;
 };
 
+/// Transport-level retransmit bookkeeping travelling with a queued delivery
+/// (net/recovery.h). Not part of Envelope — it is engine metadata, invisible
+/// to actors and never charged on the wire (the receiver learns the pair
+/// from the ack payload instead). slot1 is a RecoveryState slot index + 1,
+/// so the all-zero default means "untracked"; gen disambiguates reuses of
+/// the same slot (gen 0 is never issued).
+struct RecoveryTag {
+  std::uint32_t slot1 = 0;
+  std::uint16_t gen = 0;
+
+  bool tracked() const { return slot1 != 0; }
+};
+
 }  // namespace fba::sim

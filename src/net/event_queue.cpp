@@ -76,10 +76,12 @@ void EventQueue::push(Event&& ev) {
 }
 
 void EventQueue::push_message(SimTime at, std::uint32_t pri,
-                              const Envelope& env) {
+                              const Envelope& env, RecoveryTag rec) {
   Event ev;
   ev.at = at;
   ev.pri = pri;
+  ev.rec_slot1 = rec.slot1;
+  ev.rec_gen = rec.gen;
   ev.env = env;
   push(std::move(ev));
 }

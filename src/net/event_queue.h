@@ -51,12 +51,20 @@ class EventQueue {
   struct Event {
     SimTime at = 0;
     std::uint32_t pri = 0;
+    /// Recovery-layer tag of a tracked delivery (net/recovery.h), split
+    /// across the struct's two natural padding holes so adding it keeps
+    /// sizeof(Event) unchanged (the deterministic memory account charges
+    /// queue_peak * sizeof(Event)). 0/0 = untracked.
+    std::uint32_t rec_slot1 = 0;
     std::uint64_t seq = 0;  ///< assigned by push; FIFO tie-break.
     bool is_timer = false;
     bool is_burst = false;  ///< env is a burst descriptor (push_burst).
+    std::uint16_t rec_gen = 0;  ///< second half of the recovery tag.
     NodeId timer_node = 0;
     std::uint64_t timer_token = 0;
     Envelope env;  ///< valid when !is_timer.
+
+    RecoveryTag rec() const { return RecoveryTag{rec_slot1, rec_gen}; }
   };
 
   explicit EventQueue(Mode mode = Mode::kHeap) : mode_(mode) {}
@@ -73,8 +81,10 @@ class EventQueue {
   /// non-empty.
   SimTime next_at() const;
 
-  /// Queues a message delivery at (at, pri).
-  void push_message(SimTime at, std::uint32_t pri, const Envelope& env);
+  /// Queues a message delivery at (at, pri). `rec` is the recovery-layer
+  /// tag of a tracked send (default: untracked).
+  void push_message(SimTime at, std::uint32_t pri, const Envelope& env,
+                    RecoveryTag rec = {});
 
   /// Queues a timer firing at (at, pri).
   void push_timer(SimTime at, std::uint32_t pri, NodeId node,

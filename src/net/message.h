@@ -58,6 +58,13 @@ enum class MessageKind : std::uint8_t {
   // Test / micro-bench traffic.
   kPing,
 
+  // Transport-level recovery sublayer (net/recovery.h): per-link delivery
+  // acknowledgement. Emitted by the receiving engine, consumed by the
+  // sending engine — never seen by actors or adversary strategies' deliver
+  // path. Appended after kPing so the first 19 kinds keep their indices
+  // (the pinned golden fingerprints hash exactly that legacy prefix).
+  kAck,
+
   kCount,
 };
 
@@ -153,6 +160,10 @@ inline constexpr std::array<KindInfo, kNumMessageKinds> kKindTable = {{
     {"snow-q", 0, 0, 0, 0, 0, 0, 16},
     {"snow-r", 0, 0, 1, 0, 0, 0, 16},
     {"ping", 0, 0, 0, 0, 0, 0, 16},
+    // 32 fixed bits: the (slot, gen) pair identifying the acked send. The
+    // common header (kind tag + authenticated sender id) is charged on top,
+    // like every other kind.
+    {"ack", 0, 0, 0, 0, 0, 0, 32},
 }};
 }  // namespace detail
 

@@ -15,6 +15,7 @@ void EngineBase::reset_base(std::size_t n, std::uint64_t seed) {
   actors_.assign(n, nullptr);
   owned_actors_.clear();
   fault_.reset();
+  recovery_on_ = false;  // recovery_ keeps its pool capacity (arena reuse)
   corrupt_.assign(n, false);
   corrupt_list_.clear();
   strategy_ = nullptr;
@@ -68,6 +69,15 @@ void EngineBase::set_fault_plan(const FaultPlan* plan) {
   fault_.emplace(*plan, n_, seed_);
 }
 
+void EngineBase::set_recovery_plan(const RecoveryPlan* plan) {
+  if (plan == nullptr || plan->empty()) {
+    recovery_on_ = false;
+    return;
+  }
+  recovery_.configure(*plan, n_, recovery_rto_floor());
+  recovery_on_ = true;
+}
+
 std::vector<NodeId> EngineBase::correct_nodes() const {
   std::vector<NodeId> out;
   out.reserve(n_ - corrupt_list_.size());
@@ -92,6 +102,18 @@ void EngineBase::send_from(NodeId src, NodeId dst, const Message& msg) {
   env.msg = msg;
   env.send_time = send_time;
 
+  // Recovery sublayer (net/recovery.h): track the send and arm its
+  // retransmit timer BEFORE the fault layer sees it, so a dropped original
+  // still retransmits — that is the whole point of the layer. Acks are the
+  // layer's own traffic and are never tracked (an ack's loss is repaired by
+  // the data retransmission it provokes).
+  RecoveryTag rec;
+  if (recovery_on_ && msg.kind != MessageKind::kAck) {
+    rec = recovery_.track(env, send_time);
+    queue_recovery_timer(recovery_.current_rto(rec),
+                         RecoveryState::timer_token(rec));
+  }
+
   // Fault layer (net/fault.h): one shared code path for both engines.
   // Dropped sends stay charged (the bits left the sender) but never reach
   // the queue or the adversary's tap — traffic nobody receives is as if
@@ -115,7 +137,53 @@ void EngineBase::send_from(NodeId src, NodeId dst, const Message& msg) {
     adv::AdvContext actx(*this);
     strategy_->on_observe(actx, env);
   }
-  queue_envelope(env);
+  queue_envelope(env, rec);
+}
+
+void EngineBase::on_recovery_timeout(std::uint64_t token) {
+  if (!recovery_on_) return;
+  const RecoveryTag tag = RecoveryState::tag_of_token(token);
+  switch (recovery_.on_timeout(tag)) {
+    case RecoveryState::TimeoutAction::kStale:
+      return;  // acked since the timer was armed — lazy cancellation
+    case RecoveryState::TimeoutAction::kDead:
+      metrics_.on_recovery_dead();
+      return;
+    case RecoveryState::TimeoutAction::kRetry:
+      break;
+  }
+  recovery_.note_resend(tag, now());
+  // The retransmission walks the same path as any send: recharged (the bits
+  // leave the sender again — that is the measured cost of the layer),
+  // re-exposed to the fault layer, re-observed by the adversary.
+  Envelope env = recovery_.envelope_of(tag);
+  const std::size_t bits =
+      message_bit_size(env.msg, *wire_) + wire_->header_bits();
+  metrics_.on_message(env.src, env.dst, bits, env.msg.kind);
+  metrics_.on_recovery_retransmit(bits);
+  bool dropped = false;
+  if (fault_) {
+    const FaultState::Action act =
+        fault_->on_send(env.src, env.dst, env.send_time);
+    if (act.drop) {
+      metrics_.on_fault_drop(bits, act.cause);
+      dropped = true;
+    } else if (act.extra_delay > 0) {
+      env.fault_delay = act.extra_delay;
+      metrics_.on_fault_delay();
+    }
+  }
+  if (!dropped) {
+    if (strategy_ != nullptr) {
+      adv::AdvContext actx(*this);
+      strategy_->on_observe(actx, env);
+    }
+    queue_envelope(env, tag);
+  }
+  // Re-armed even when the resend dropped: the next timeout retries again
+  // (or declares the send dead once the budget runs out).
+  queue_recovery_timer(recovery_.current_rto(tag),
+                       RecoveryState::timer_token(tag));
 }
 
 bool EngineBase::corrupt_now(NodeId node) {
@@ -138,7 +206,30 @@ void EngineBase::report_decision(NodeId node, StringId value) {
   if (on_decide_) on_decide_(node, value, now());
 }
 
-void EngineBase::deliver(const Envelope& env) {
+void EngineBase::deliver(const Envelope& env, RecoveryTag rec) {
+  if (recovery_on_) {
+    if (env.msg.kind == MessageKind::kAck) {
+      // Transport-level: consumed here for any destination (corrupt nodes'
+      // engines ack-process too); actors and strategies never see acks.
+      const RecoveryTag acked{env.msg.a,
+                              static_cast<std::uint16_t>(env.msg.b)};
+      if (recovery_.on_ack(acked, now())) metrics_.on_recovery_ack_landed();
+      return;
+    }
+    if (rec.tracked()) {
+      // Ack every copy — the ack for an earlier copy may itself have been
+      // lost — then suppress duplicate deliveries.
+      Message ack;
+      ack.kind = MessageKind::kAck;
+      ack.a = rec.slot1;
+      ack.b = rec.gen;
+      send_from(env.dst, env.src, ack);
+      if (!recovery_.should_deliver(rec)) {
+        metrics_.on_recovery_duplicate();
+        return;
+      }
+    }
+  }
   if (corrupt_[env.dst]) {
     if (strategy_ != nullptr) {
       adv::AdvContext actx(*this);

@@ -29,6 +29,7 @@
 #include "net/envelope.h"
 #include "net/fault.h"
 #include "net/node.h"
+#include "net/recovery.h"
 #include "support/metrics.h"
 #include "support/random.h"
 #include "support/types.h"
@@ -45,6 +46,12 @@ using DecisionCallback = std::function<void(NodeId, StringId, double)>;
 /// Invoked when a runtime corruption lands: (node, time). Fires after the
 /// node has been flipped, so is_corrupt(node) is already true inside it.
 using CorruptionCallback = std::function<void(NodeId, double)>;
+
+/// Sentinel timer owner for the recovery sublayer's retransmit timers: they
+/// belong to the transport, not to any actor, so engines must route them to
+/// EngineBase::on_recovery_timeout instead of fire_timer (which would index
+/// the corrupt set with this out-of-range id).
+inline constexpr NodeId kRecoveryTimerNode = 0xffffffffu;
 
 class EngineBase {
  public:
@@ -90,6 +97,13 @@ class EngineBase {
   /// identically on either engine. Call before run().
   void set_fault_plan(const FaultPlan* plan);
 
+  /// Installs the reliable-channel recovery sublayer (net/recovery.h):
+  /// ack/retransmit with adaptive timeout under the one shared send path,
+  /// downstream of the fault layer so retransmissions are re-exposed to
+  /// loss/partition/churn. A null or empty plan disables it (the default —
+  /// every pre-recovery run is bit-unchanged). Call before run().
+  void set_recovery_plan(const RecoveryPlan* plan);
+
   void set_decision_callback(DecisionCallback cb) { on_decide_ = std::move(cb); }
 
   // ----- introspection -----------------------------------------------------
@@ -97,6 +111,9 @@ class EngineBase {
   std::size_t n() const { return n_; }
   const FaultState* fault_state() const {
     return fault_ ? &*fault_ : nullptr;
+  }
+  const RecoveryState* recovery_state() const {
+    return recovery_on_ ? &recovery_ : nullptr;
   }
   bool is_corrupt(NodeId id) const { return corrupt_.at(id); }
   const std::vector<NodeId>& corrupt_nodes() const { return corrupt_list_; }
@@ -144,7 +161,23 @@ class EngineBase {
   /// Hands a charged, observed envelope to the engine's queue. Taking a
   /// reference lets the horizon-cull path (common in short bounded runs)
   /// discard without copying; implementations copy only what they keep.
-  virtual void queue_envelope(const Envelope& env) = 0;
+  /// `rec` is the recovery-layer tag of a tracked send (untracked default);
+  /// implementations thread it through to the delivery event.
+  virtual void queue_envelope(const Envelope& env, RecoveryTag rec) = 0;
+
+  /// Arms a transport-level retransmit timer: fires after `delay` with
+  /// `token`, routed to on_recovery_timeout (never to an actor). Subject to
+  /// the engine's usual horizon cull.
+  virtual void queue_recovery_timer(double delay, std::uint64_t token) = 0;
+
+  /// The engine's delay-model RTO floor: the shortest interval that cannot
+  /// fire before an in-flight ack on a loss-free link.
+  virtual double recovery_rto_floor() const = 0;
+
+  /// Retransmit-timer dispatch: stale timers are no-ops (lazy
+  /// cancellation), live ones either retransmit (recharged, re-faulted,
+  /// re-observed, re-armed) or declare the send dead.
+  void on_recovery_timeout(std::uint64_t token);
 
   /// Re-initializes the base for a fresh run with the same construction
   /// semantics (node RNG derivation included), keeping vector capacity and
@@ -155,8 +188,11 @@ class EngineBase {
   void fire_timer(NodeId node, std::uint64_t token);
 
   /// Dispatches a delivered envelope: correct nodes get their actor callback,
-  /// corrupt nodes hand the message to the strategy.
-  void deliver(const Envelope& env);
+  /// corrupt nodes hand the message to the strategy. With recovery enabled
+  /// the transport work happens first: acks are consumed here (never reach
+  /// actors or strategies), tracked deliveries are acked back (always, even
+  /// duplicates — the previous ack may have been lost) and deduplicated.
+  void deliver(const Envelope& env, RecoveryTag rec = {});
 
   void start_actor(NodeId id);
   void strategy_setup();
@@ -169,6 +205,11 @@ class EngineBase {
   std::vector<Actor*> actors_;
   std::vector<std::unique_ptr<Actor>> owned_actors_;
   std::optional<FaultState> fault_;
+  /// Recovery sublayer: a plain member (not optional) so its pooled slot
+  /// storage keeps capacity across trial-arena resets; recovery_on_ gates
+  /// every use.
+  RecoveryState recovery_;
+  bool recovery_on_ = false;
   std::vector<bool> corrupt_;
   std::vector<NodeId> corrupt_list_;
   adv::Strategy* strategy_ = nullptr;

@@ -33,7 +33,7 @@ void SyncEngine::reset(const SyncConfig& config) {
   round_progress_ = nullptr;
 }
 
-void SyncEngine::queue_envelope(const Envelope& env) {
+void SyncEngine::queue_envelope(const Envelope& env, RecoveryTag rec) {
   // Sent during round r, delivered during round r+1 — plus any whole rounds
   // of fault-layer jitter. Horizon culling: a message that could only be
   // delivered after the last executable round is charged but not queued.
@@ -50,7 +50,18 @@ void SyncEngine::queue_envelope(const Envelope& env) {
   // sent while still correct keep the correct-traffic lane.
   const bool rushed = config_.rushing_adversary && corrupt_[env.src];
   queue_.push_message(static_cast<SimTime>(at),
-                      rushed ? kPriCorruptSend : kPriSend, std::move(env));
+                      rushed ? kPriCorruptSend : kPriSend, env, rec);
+}
+
+void SyncEngine::queue_recovery_timer(double delay, std::uint64_t token) {
+  const auto rounds = static_cast<Round>(std::max(1.0, std::ceil(delay)));
+  const Round at = current_round_ + rounds;
+  if (at > config_.max_rounds) {
+    ++beyond_horizon_;
+    return;
+  }
+  queue_.push_timer(static_cast<SimTime>(at), kPriTimer, kRecoveryTimerNode,
+                    token);
 }
 
 void SyncEngine::queue_burst(const Envelope& env) {
@@ -117,11 +128,17 @@ SyncResult SyncEngine::run(const std::function<bool()>& done) {
     // re-expands burst descriptors at delivery time).
     auto dispatch = [&](const EventQueue::Event& ev) {
       if (ev.is_timer) {
-        fire_timer(ev.timer_node, ev.timer_token);
+        // The sentinel check must come before fire_timer: the recovery
+        // sublayer's timer node indexes no actor or corrupt-set entry.
+        if (ev.timer_node == kRecoveryTimerNode) {
+          on_recovery_timeout(ev.timer_token);
+        } else {
+          fire_timer(ev.timer_node, ev.timer_token);
+        }
       } else if (ev.is_burst) {
         burst_source_->expand(ev.env, *this);
       } else {
-        deliver(ev.env);
+        deliver(ev.env, ev.rec());
       }
     };
     if (config_.round_drain) {

@@ -101,7 +101,14 @@ class SyncEngine : public EngineBase {
   void set_round_progress(RoundProgress cb) { round_progress_ = std::move(cb); }
 
  private:
-  void queue_envelope(const Envelope& env) override;
+  void queue_envelope(const Envelope& env, RecoveryTag rec) override;
+  /// Recovery retransmit timers ride the timer lane at round
+  /// current + max(1, ceil(delay)) under the sentinel kRecoveryTimerNode.
+  void queue_recovery_timer(double delay, std::uint64_t token) override;
+  /// Data sent round r delivers in r+1; its ack delivers in r+2, in the
+  /// message lane — one round before a 2-round timer fires in the timer
+  /// lane of r+2. Anything below 2 could beat a loss-free ack.
+  double recovery_rto_floor() const override { return 2.0; }
 
   SyncConfig config_;
   Round current_round_ = 0;

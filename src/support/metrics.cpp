@@ -54,6 +54,11 @@ void TrafficMetrics::reset(std::size_t n) {
   fault_dropped_bits_ = 0;
   fault_delayed_msgs_ = 0;
   drops_by_cause_.fill(0);
+  recovery_retransmit_msgs_ = 0;
+  recovery_retransmit_bits_ = 0;
+  recovery_acked_msgs_ = 0;
+  recovery_dead_msgs_ = 0;
+  recovery_dup_msgs_ = 0;
 }
 
 void TrafficMetrics::on_fault_drop(std::size_t bits, sim::FaultCause cause) {

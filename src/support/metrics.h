@@ -63,6 +63,18 @@ class TrafficMetrics {
   /// Records a send the fault layer delayed past its natural delivery.
   void on_fault_delay() { ++fault_delayed_msgs_; }
 
+  // Recovery sublayer (net/recovery.h) counters. Retransmissions are also
+  // charged through on_message — these isolate the layer's overhead so the
+  // bit-cost of restoring the reliable-channel assumption is reportable on
+  // its own.
+  void on_recovery_retransmit(std::size_t bits) {
+    ++recovery_retransmit_msgs_;
+    recovery_retransmit_bits_ += bits;
+  }
+  void on_recovery_ack_landed() { ++recovery_acked_msgs_; }
+  void on_recovery_dead() { ++recovery_dead_msgs_; }
+  void on_recovery_duplicate() { ++recovery_dup_msgs_; }
+
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t total_bits() const { return total_bits_; }
 
@@ -98,6 +110,19 @@ class TrafficMetrics {
     return bits_by_kind_[sim::kind_index(k)];
   }
 
+  /// Recovery-sublayer totals (all zero with the layer off).
+  std::uint64_t recovery_retransmit_messages() const {
+    return recovery_retransmit_msgs_;
+  }
+  std::uint64_t recovery_retransmit_bits() const {
+    return recovery_retransmit_bits_;
+  }
+  std::uint64_t recovery_acked_messages() const { return recovery_acked_msgs_; }
+  std::uint64_t recovery_dead_messages() const { return recovery_dead_msgs_; }
+  std::uint64_t recovery_duplicate_messages() const {
+    return recovery_dup_msgs_;
+  }
+
   std::size_t n() const { return sent_bits_.size(); }
 
  private:
@@ -112,6 +137,11 @@ class TrafficMetrics {
   std::uint64_t fault_dropped_bits_ = 0;
   std::uint64_t fault_delayed_msgs_ = 0;
   FaultCounters drops_by_cause_{};
+  std::uint64_t recovery_retransmit_msgs_ = 0;
+  std::uint64_t recovery_retransmit_bits_ = 0;
+  std::uint64_t recovery_acked_msgs_ = 0;
+  std::uint64_t recovery_dead_msgs_ = 0;
+  std::uint64_t recovery_dup_msgs_ = 0;
   /// Sort scratch for the *_stats() harvest (capacity reused across trials).
   mutable std::vector<double> stats_scratch_;
 };

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -119,6 +120,46 @@ TEST(FaultStateTest, ChurnRosterMatchesFractionAndWindow) {
   EXPECT_TRUE(state.on_send(up_node, down_node, 2.0).drop);
   EXPECT_EQ(state.on_send(up_node, down_node, 2.0).cause, FaultCause::kChurn);
   EXPECT_FALSE(state.on_send(up_node, down_node, 6.0).drop);
+}
+
+// Fault windows whose heal/up edge lands exactly on the run horizon: the
+// window is [start, end) exclusive, so the fault is active at every
+// pre-horizon instant and gone at the edge itself. A window ending at the
+// horizon is therefore indistinguishable from one that outlives the run —
+// the engine never sends at a time >= the horizon.
+TEST(FaultStateTest, WindowEdgeAtRunHorizonIsExclusive) {
+  const double kHorizon = 8.0;
+  FaultPlan plan;
+  plan.partitions.push_back(
+      {.start = 0, .heal = kHorizon, .cut_fraction = 0.5});
+  plan.churns.push_back({.down = 0, .up = kHorizon, .fraction = 0.25});
+  const std::size_t n = 32;
+  FaultState state(plan, n, 3);
+
+  NodeId cut_a = 0, cut_b = 0, down_node = n;
+  for (NodeId a = 0; a < n && cut_b == 0; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (state.is_cut(a, b, 0.0)) {
+        cut_a = a;
+        cut_b = b;
+        break;
+      }
+    }
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    if (state.is_down(id, 0.0)) down_node = id;
+  }
+  ASSERT_NE(cut_b, 0u);
+  ASSERT_NE(down_node, n);
+
+  // Active through the last representable pre-horizon instant...
+  const double just_before = std::nextafter(kHorizon, 0.0);
+  EXPECT_TRUE(state.is_cut(cut_a, cut_b, just_before));
+  EXPECT_TRUE(state.is_down(down_node, just_before));
+  // ...and gone at the edge instant exactly ([start, end) exclusive).
+  EXPECT_FALSE(state.is_cut(cut_a, cut_b, kHorizon));
+  EXPECT_FALSE(state.is_down(down_node, kHorizon));
+  EXPECT_FALSE(state.on_send(cut_a, cut_b, kHorizon).drop);
 }
 
 TEST(FaultStateTest, JitterDelaysWithoutDropping) {
@@ -277,6 +318,43 @@ TEST(FaultEngineTest, FaultedAerRunsAreReproducible) {
     EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
     EXPECT_EQ(a.decided_count, b.decided_count);
     EXPECT_GT(a.fault_dropped_msgs + a.fault_delayed_msgs, 0u);
+  }
+}
+
+// A window whose heal/up edge lands exactly on the run horizon behaves as
+// a permanent fault: since [start, end) is exclusive and every send the
+// engine performs happens strictly before the horizon, the run must be
+// bit-identical to one whose window outlives the run — on both engines.
+TEST(FaultEngineTest, WindowHealAtHorizonMatchesOutlivingWindow) {
+  for (const aer::Model model :
+       {aer::Model::kSyncRushing, aer::Model::kAsync}) {
+    aer::AerConfig cfg;
+    cfg.n = 64;
+    cfg.seed = 20260729;
+    cfg.model = model;
+    cfg.max_rounds = 40;
+    cfg.max_time = 40.0;
+    cfg.fault_plan.partitions.push_back(
+        {.start = 2, .heal = 40.0, .cut_fraction = 0.5});
+    cfg.fault_plan.churns.push_back(
+        {.down = 1, .up = 40.0, .fraction = 0.1});
+    const aer::AerReport edge = aer::run_aer(cfg);
+
+    aer::AerConfig outliving = cfg;
+    outliving.fault_plan.partitions[0].heal = 1e9;
+    outliving.fault_plan.churns[0].up = 1e9;
+    const aer::AerReport forever = aer::run_aer(outliving);
+
+    EXPECT_EQ(edge.total_messages, forever.total_messages)
+        << aer::model_name(model);
+    EXPECT_EQ(edge.total_bits, forever.total_bits) << aer::model_name(model);
+    EXPECT_EQ(edge.fault_dropped_msgs, forever.fault_dropped_msgs)
+        << aer::model_name(model);
+    EXPECT_EQ(edge.decided_count, forever.decided_count)
+        << aer::model_name(model);
+    EXPECT_DOUBLE_EQ(edge.completion_time, forever.completion_time)
+        << aer::model_name(model);
+    EXPECT_GT(edge.fault_dropped_msgs, 0u) << aer::model_name(model);
   }
 }
 

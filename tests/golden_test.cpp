@@ -97,6 +97,37 @@ constexpr std::uint64_t kAdaptiveGolden[] = {
     0x227db3e849126105ull,  // async attack=adaptive-random budget=8
 };
 
+// The recovery corpus: the same base world over a lossy link with the
+// ack/retransmit sublayer on. Pins the whole recovery path — send
+// tracking, ack traffic and its kind accounting, retransmit timers and
+// backoff, receiver dedup, the recovery counters in the aggregate — at
+// two presets per engine. (The fingerprint covers the recovery counters
+// only through the traffic they generate; the counters themselves stay
+// outside it so pre-recovery corpora remain valid.)
+exp::Sweep recovery_golden_sweep(std::size_t threads) {
+  aer::AerConfig base;
+  base.n = 48;
+  base.seed = 20130722;
+  base.corrupt_fraction = 0.08;
+  base.max_rounds = 150;
+  base.max_time = 150.0;
+  exp::Grid grid;
+  grid.models = {aer::Model::kSyncRushing, aer::Model::kAsync};
+  grid.faults = {"lossy-5pct"};
+  grid.recoveries = {"arq-fast", "arq-patient"};
+  exp::Sweep sweep(base, grid, /*trials=*/3);
+  sweep.set_threads(threads);
+  return sweep;
+}
+
+// 4 points in expansion order (recovery > fault > model; n fixed).
+constexpr std::uint64_t kRecoveryGolden[] = {
+    0x540e563227d4183aull,  // sync-rushing lossy-5pct recovery=arq-fast
+    0x8302a533af852e88ull,  // async lossy-5pct recovery=arq-fast
+    0x9d1eb6a41bc05d50ull,  // sync-rushing lossy-5pct recovery=arq-patient
+    0xd445219ea3a06d43ull,  // async lossy-5pct recovery=arq-patient
+};
+
 void print_golden_table(const std::vector<exp::PointResult>& results,
                         const char* table) {
   std::printf("expected golden table (paste into %s):\n", table);
@@ -182,6 +213,36 @@ TEST(GoldenTest, ProcessAdaptiveSweepReproducesGoldenCorpus) {
   ASSERT_EQ(results.size(), std::size(kAdaptiveGolden));
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].aggregate.fingerprint(), kAdaptiveGolden[i])
+        << results[i].point.label();
+  }
+}
+
+TEST(GoldenTest, RecoverySweepFingerprintsMatchCommittedCorpus) {
+  expect_matches(recovery_golden_sweep(/*threads=*/1).run(), kRecoveryGolden,
+                 std::size(kRecoveryGolden), "kRecoveryGolden");
+}
+
+// Retransmit timers ride the engines' deterministic event order and the
+// ack traffic re-enters the fault layer's RNG stream, so the 4-thread
+// sweep must reproduce the serial recovery corpus bit for bit.
+TEST(GoldenTest, ParallelRecoverySweepReproducesGoldenCorpus) {
+  const auto results = recovery_golden_sweep(/*threads=*/4).run();
+  ASSERT_EQ(results.size(), std::size(kRecoveryGolden));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].aggregate.fingerprint(), kRecoveryGolden[i])
+        << results[i].point.label();
+  }
+}
+
+// And through forked workers: recovery counters and the ack kind must
+// survive the shard round-trip (schema v2) back to the serial values.
+TEST(GoldenTest, ProcessRecoverySweepReproducesGoldenCorpus) {
+  exp::Sweep sweep = recovery_golden_sweep(/*threads=*/1);
+  sweep.set_procs(2);
+  const auto results = sweep.run();
+  ASSERT_EQ(results.size(), std::size(kRecoveryGolden));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].aggregate.fingerprint(), kRecoveryGolden[i])
         << results[i].point.label();
   }
 }

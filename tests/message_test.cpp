@@ -58,6 +58,7 @@ TEST(MessageSizeTest, KindTableMatchesGoldenSizes) {
       {MessageKind::kSnowQuery, 16},        // fixed round tag
       {MessageKind::kSnowReply, 40 + 16},   // string + round tag
       {MessageKind::kPing, 16},             // fixed
+      {MessageKind::kAck, 32},              // fixed recovery cookie
   };
   // The table above must cover every sendable kind exactly once.
   EXPECT_EQ(golden.size(), kNumMessageKinds - 1);  // all but kNone

@@ -559,6 +559,80 @@ TEST(HorizonTest, AsyncTimerExactlyAtMaxTimeFires) {
   EXPECT_TRUE(result.quiescent);
 }
 
+// ---- fault windows ending exactly on the horizon ----------------------------
+//
+// Fault windows are [start, end) exclusive and drop decisions happen at
+// SEND time. When the heal/up edge coincides with the run horizon, a send
+// inside the window is still eaten even though its delivery would land at
+// the healed edge instant — and a send at the edge instant itself passes
+// the fault check (only to meet the horizon cull on delivery).
+
+/// Sends one ping at start and a second from a timer at a chosen delay.
+class TimerSenderActor final : public Actor {
+ public:
+  explicit TimerSenderActor(double delay) : delay_(delay) {}
+  void on_start(Context& ctx) override {
+    ctx.send(1, ping_msg(1));
+    ctx.schedule_timer(delay_, 1);
+  }
+  void on_message(Context&, const Envelope&) override {}
+  void on_timer(Context& ctx, std::uint64_t) override {
+    ctx.send(1, ping_msg(2));
+  }
+
+ private:
+  double delay_;
+};
+
+TEST(HorizonTest, SyncFaultWindowHealingAtHorizonDropsFinalRoundSend) {
+  // n=2 with cut_fraction 0.5 puts one node on each side: the (0, 1) pair
+  // is always cut while the window is active.
+  FaultPlan plan;
+  plan.partitions.push_back({.start = 0, .heal = 3, .cut_fraction = 0.5});
+  SyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_rounds = 3;
+  cfg.min_rounds = 3;
+  SyncEngine engine(cfg);
+  const Wire wire = test_wire();
+  engine.set_wire(&wire);
+  engine.set_fault_plan(&plan);
+  // Sent during round 2 (inside [0, 3)), delivery round 3 == heal ==
+  // max_rounds: the drop is decided at send time, so it never arrives.
+  engine.set_actor(0, std::make_unique<RoundSenderActor>(2));
+  auto* sink = new IdleActor();
+  engine.set_actor(1, std::unique_ptr<Actor>(sink));
+  engine.run([] { return false; });
+  EXPECT_EQ(sink->received.size(), 0u);
+  EXPECT_EQ(engine.metrics().fault_dropped_messages(), 1u);
+  EXPECT_EQ(engine.metrics().drops_of(FaultCause::kPartition), 1u);
+}
+
+TEST(HorizonTest, AsyncChurnUpAtMaxTimeIsExclusiveAtTheEdge) {
+  // Every node is down for [0, 1): the start-time send drops as churn. The
+  // timer fires at exactly up == max_time == 1.0, where the node is back
+  // up ([down, up) exclusive): that send passes the fault check and is
+  // charged, then culled by the horizon on delivery — never fault-dropped.
+  FaultPlan plan;
+  plan.churns.push_back({.down = 0, .up = 1.0, .fraction = 1.0});
+  AsyncConfig cfg;
+  cfg.n = 2;
+  cfg.max_time = 1.0;
+  AsyncEngine engine(cfg);
+  const Wire wire = test_wire();
+  engine.set_wire(&wire);
+  engine.set_fault_plan(&plan);
+  engine.set_actor(0, std::make_unique<TimerSenderActor>(1.0));
+  auto* sink = new IdleActor();
+  engine.set_actor(1, std::unique_ptr<Actor>(sink));
+  const auto result = engine.run([] { return false; });
+  EXPECT_EQ(sink->received.size(), 0u);
+  EXPECT_EQ(result.deliveries, 0u);
+  EXPECT_EQ(engine.metrics().total_messages(), 2u);  // both charged
+  EXPECT_EQ(engine.metrics().fault_dropped_messages(), 1u);
+  EXPECT_EQ(engine.metrics().drops_of(FaultCause::kChurn), 1u);
+}
+
 // ---- round-drain event core (the scale path) --------------------------------
 
 Envelope tagged_env(NodeId src, NodeId dst, std::uint32_t tag) {

@@ -95,7 +95,7 @@ TEST(ReportTest, SerializedOutputIsByteIdenticalAcrossThreadCounts) {
 
 TEST(ReportTest, SchemaVersionGuardRejectsOtherVersions) {
   std::string doc = small_report(1).to_json();
-  const std::string needle = "\"schema_version\": 4";
+  const std::string needle = "\"schema_version\": 5";
   const std::size_t pos = doc.find(needle);
   ASSERT_NE(pos, std::string::npos);
   doc.replace(pos, needle.size(), "\"schema_version\": 999");
@@ -115,7 +115,7 @@ TEST(ReportTest, SchemaVersionGuardRejectsOtherVersions) {
 // version history).
 TEST(ReportTest, SchemaV1DocumentsStillParse) {
   std::string doc = small_report(1).to_json();
-  const std::string version_needle = "\"schema_version\": 4";
+  const std::string version_needle = "\"schema_version\": 5";
   const std::size_t version_pos = doc.find(version_needle);
   ASSERT_NE(version_pos, std::string::npos);
   doc.replace(version_pos, version_needle.size(), "\"schema_version\": 1");
@@ -283,8 +283,8 @@ TEST(ReportTest, CurveRenderingsNameEverySeries) {
 }
 
 // The --help satellite: the generated usage block is the single source of
-// truth, so it must mention every registered attack and fault preset and
-// the report flag.
+// truth, so it must mention every registered attack, fault and recovery
+// preset and the report flag.
 TEST(ScenarioUsageTest, MentionsEveryAttackFaultAndReportFlag) {
   const std::string usage = exp::scenario_usage();
   for (const std::string& name : exp::known_attacks()) {
@@ -301,6 +301,35 @@ TEST(ScenarioUsageTest, MentionsEveryAttackFaultAndReportFlag) {
   }
   for (const std::string& name : exp::known_faults()) {
     EXPECT_NO_THROW(exp::fault_plan_factory(name)) << name;
+  }
+}
+
+// The --recovery flag's usage block must mention every registered recovery
+// preset, each name must resolve through the factory, and the off preset
+// must come back disabled (the recovery-off bit-identity contract hangs
+// off that default).
+TEST(ScenarioUsageTest, MentionsEveryRecoveryPreset) {
+  const std::string usage = exp::scenario_usage();
+  ASSERT_FALSE(exp::known_recoveries().empty());
+  for (const std::string& name : exp::known_recoveries()) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+    EXPECT_NO_THROW(exp::recovery_plan_factory(name)) << name;
+  }
+  EXPECT_TRUE(exp::recovery_plan_factory("off").empty());
+  EXPECT_TRUE(exp::recovery_plan_factory("").empty());
+  for (const char* name : {"arq-fast", "arq-patient", "arq-capped"}) {
+    EXPECT_FALSE(exp::recovery_plan_factory(name).empty()) << name;
+  }
+  // Unknown names fail with a one-line diagnostic listing the known
+  // presets (the strict-parse satellite).
+  try {
+    exp::recovery_plan_factory("argh-fast");
+    FAIL() << "expected ConfigError for an unknown recovery preset";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("argh-fast"), std::string::npos) << what;
+    EXPECT_NE(what.find("arq-patient"), std::string::npos) << what;
+    EXPECT_EQ(what.find('\n'), std::string::npos) << what;
   }
 }
 

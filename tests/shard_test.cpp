@@ -221,7 +221,7 @@ TEST(ShardTest, ParserRejectsMalformedAndTamperedDocuments) {
   // Unsupported future schema version.
   {
     std::string bumped = json;
-    const std::string key = "\"schema_version\": 1";
+    const std::string key = "\"schema_version\": 2";
     const std::size_t at = bumped.find(key);
     ASSERT_NE(at, std::string::npos);
     bumped.replace(at, key.size(), "\"schema_version\": 999");
